@@ -1,0 +1,52 @@
+//! Criterion wrappers around each figure runner (quick-mode sizes), so
+//! `cargo bench` regenerates every table and times it — one bench per
+//! table/figure in the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn figures(c: &mut Criterion) {
+    // Quick mode keeps bench iterations tractable; the standalone figNN
+    // binaries run the full-size sweeps.
+    std::env::set_var("EMU_QUICK", "1");
+    std::env::set_var(
+        "EMU_RESULTS_DIR",
+        std::env::temp_dir().join("emu_bench_results"),
+    );
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    g.bench_function("fig04_stream_single_nodelet", |b| {
+        b.iter(|| emu_bench::figures::fig04().rows.len())
+    });
+    g.bench_function("fig05_stream_eight_nodelets", |b| {
+        b.iter(|| emu_bench::figures::fig05().rows.len())
+    });
+    g.bench_function("fig06_chase_emu", |b| {
+        b.iter(|| emu_bench::figures::fig06().rows.len())
+    });
+    g.bench_function("fig07_chase_xeon", |b| {
+        b.iter(|| emu_bench::figures::fig07().rows.len())
+    });
+    g.bench_function("fig08_utilization", |b| {
+        b.iter(|| emu_bench::figures::fig08().rows.len())
+    });
+    g.bench_function("fig09a_spmv_emu", |b| {
+        b.iter(|| emu_bench::figures::fig09a().rows.len())
+    });
+    g.bench_function("fig09b_spmv_xeon", |b| {
+        b.iter(|| emu_bench::figures::fig09b().rows.len())
+    });
+    g.bench_function("fig10_validation", |b| {
+        b.iter(|| emu_bench::figures::fig10().rows.len())
+    });
+    g.bench_function("fig11_emu64", |b| {
+        b.iter(|| emu_bench::figures::fig11().rows.len())
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = figures
+}
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Criterion microbenchmarks of the simulation substrate itself —
+//! regression tracking for the engines' event throughput, which bounds
+//! how large the figure runs can be.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use emu_core::prelude::*;
+use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::pingpong::{run_pingpong, PingPongConfig};
+use membench::stream::{
+    cpu::{run_stream_cpu, CpuStreamConfig},
+    run_stream_emu, EmuStreamConfig,
+};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("desim/event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = desim::EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(desim::Time::from_ns((i * 37) % 5000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            sum
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    use xeon_sim::cache::Cache;
+    use xeon_sim::config::sandy_bridge;
+    c.bench_function("xeon/l1_access_streaming_4k_lines", |b| {
+        b.iter_batched(
+            || Cache::new(sandy_bridge().l1),
+            |mut cache| {
+                for i in 0..4096u64 {
+                    let _ = cache.access(i * 64, false);
+                }
+                cache.stats()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_emu_stream(c: &mut Criterion) {
+    let cfg = presets::chick_prototype();
+    c.bench_function("emu/stream_16k_elems_128thr", |b| {
+        b.iter(|| {
+            run_stream_emu(
+                &cfg,
+                &EmuStreamConfig {
+                    total_elems: 1 << 14,
+                    nthreads: 128,
+                    ..Default::default()
+                },
+            )
+            .report
+            .makespan
+        })
+    });
+}
+
+fn bench_emu_chase(c: &mut Criterion) {
+    let cfg = presets::chick_prototype();
+    let cc = ChaseConfig {
+        elems_per_list: 1024,
+        nlists: 64,
+        block_elems: 16,
+        mode: ShuffleMode::FullBlock,
+        seed: 1,
+    };
+    c.bench_function("emu/chase_64k_elems", |b| {
+        b.iter(|| run_chase_emu(&cfg, &cc).makespan)
+    });
+}
+
+fn bench_pingpong(c: &mut Criterion) {
+    let cfg = presets::chick_prototype();
+    c.bench_function("emu/pingpong_64thr_100rt", |b| {
+        b.iter(|| {
+            run_pingpong(
+                &cfg,
+                &PingPongConfig {
+                    nthreads: 64,
+                    round_trips: 100,
+                    ..Default::default()
+                },
+            )
+            .migrations
+        })
+    });
+}
+
+fn bench_cpu_platform(c: &mut Criterion) {
+    let cfg = xeon_sim::config::sandy_bridge();
+    c.bench_function("xeon/stream_64k_elems_8thr", |b| {
+        b.iter(|| {
+            run_stream_cpu(
+                &cfg,
+                &CpuStreamConfig {
+                    total_elems: 1 << 16,
+                    nthreads: 8,
+                    ..Default::default()
+                },
+            )
+            .report
+            .makespan
+        })
+    });
+    let cc = ChaseConfig {
+        elems_per_list: 1 << 13,
+        nlists: 8,
+        block_elems: 64,
+        mode: ShuffleMode::FullBlock,
+        seed: 1,
+    };
+    c.bench_function("xeon/chase_64k_elems", |b| {
+        b.iter(|| run_chase_cpu(&cfg, &cc).makespan)
+    });
+}
+
+fn bench_laplacian(c: &mut Criterion) {
+    c.bench_function("spmat/laplacian_n100_build", |b| {
+        b.iter(|| spmat::laplacian(spmat::LaplacianSpec::paper(100)).nnz())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_event_queue, bench_cache, bench_emu_stream, bench_emu_chase,
+              bench_pingpong, bench_cpu_platform, bench_laplacian
+}
+criterion_main!(benches);

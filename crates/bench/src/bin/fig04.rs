@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 04.
+fn main() {
+    emu_bench::figures::fig04().emit("fig04");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 05.
+fn main() {
+    emu_bench::figures::fig05().emit("fig05");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 06.
+fn main() {
+    emu_bench::figures::fig06().emit("fig06");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 07.
+fn main() {
+    emu_bench::figures::fig07().emit("fig07");
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 08.
+fn main() {
+    emu_bench::figures::fig08().emit("fig08");
+}

@@ -1,0 +1,302 @@
+//! `simctl` — interactive driver for the Emu Chick reproduction.
+//!
+//! ```sh
+//! cargo run --release --bin simctl -- stream --threads 512
+//! cargo run --release --bin simctl -- chase --platform xeon --block 512
+//! cargo run --release --bin simctl -- bfs --scale 12 --mode smart
+//! ```
+
+use emu_bench::cli::{self, Parsed};
+use emu_core::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => {}
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        println!("{}", cli::USAGE);
+        return Ok(());
+    }
+    let p = cli::parse(args)?;
+    match p.command.as_str() {
+        "presets" => cmd_presets(),
+        "stream" => cmd_stream(&p),
+        "chase" => cmd_chase(&p),
+        "spmv" => cmd_spmv(&p),
+        "pingpong" => cmd_pingpong(&p),
+        "gups" => cmd_gups(&p),
+        "bfs" => cmd_bfs(&p),
+        "mttkrp" => cmd_mttkrp(&p),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn cmd_presets() -> Result<(), String> {
+    for (name, cfg) in [
+        ("chick", presets::chick_prototype()),
+        ("chick-sim", presets::chick_toolchain_sim()),
+        ("full-speed", presets::chick_full_speed()),
+        ("emu64", presets::emu64_full_speed()),
+        ("chick-8node", presets::chick_8node_prototype()),
+    ] {
+        println!(
+            "{name:<12} {} nodelets, {} GC/nodelet @ {:.0} MHz, {} threadlets/nodelet, {:.1} GB/s NCDRAM/nodelet, {:.1} M migrations/s/nodelet",
+            cfg.total_nodelets(),
+            cfg.gcs_per_nodelet,
+            cfg.gc_clock.hz() / 1e6,
+            cfg.slots_per_nodelet(),
+            cfg.ncdram_bytes_per_sec as f64 / 1e9,
+            cfg.migration_rate_per_sec as f64 / 1e6,
+        );
+    }
+    Ok(())
+}
+
+fn cmd_stream(p: &Parsed) -> Result<(), String> {
+    use membench::stream::*;
+    p.check_known(&["preset", "threads", "elems", "strategy", "kernel", "single-nodelet", "stack-touch"])?;
+    let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+    let kernel = match p.get_str("kernel", "add").as_str() {
+        "add" => StreamKernel::Add,
+        "copy" => StreamKernel::Copy,
+        "scale" => StreamKernel::Scale,
+        "triad" => StreamKernel::Triad,
+        other => return Err(format!("unknown kernel {other:?}")),
+    };
+    let sc = EmuStreamConfig {
+        total_elems: p.get("elems", 1u64 << 18)?,
+        nthreads: p.get("threads", 512usize)?,
+        strategy: cli::strategy_by_name(&p.get_str("strategy", "recursive-remote"))?,
+        kernel,
+        single_nodelet: p.get("single-nodelet", false)?,
+        stack_touch_period: p.get("stack-touch", 4u32)?,
+    };
+    let r = run_stream_emu(&cfg, &sc);
+    assert_eq!(r.checksum, stream_checksum(sc.total_elems, kernel), "checksum!");
+    println!("STREAM {} on {} threads ({}):", kernel.name(), sc.nthreads, sc.strategy.name());
+    println!("  bandwidth   : {:.1} MB/s", r.bandwidth.mb_per_sec());
+    println!("  makespan    : {}", r.report.makespan);
+    println!("  migrations  : {}", r.report.total_migrations());
+    println!("  core util   : {:.1} %", 100.0 * r.report.core_utilization());
+    println!("  channel util: {:.1} %", 100.0 * r.report.channel_utilization());
+    Ok(())
+}
+
+fn cmd_chase(p: &Parsed) -> Result<(), String> {
+    use membench::chase::*;
+    p.check_known(&["preset", "platform", "threads", "elems", "block", "mode", "seed"])?;
+    let cc = ChaseConfig {
+        elems_per_list: p.get("elems", 4096usize)?,
+        nlists: p.get("threads", 512usize)?,
+        block_elems: p.get("block", 64usize)?,
+        mode: cli::mode_by_name(&p.get_str("mode", "full"))?,
+        seed: p.get("seed", desim::rng::DEFAULT_SEED)?,
+    };
+    let r = match p.get_str("platform", "emu").as_str() {
+        "emu" => {
+            let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+            run_chase_emu(&cfg, &cc)
+        }
+        "xeon" => cpu::run_chase_cpu(&xeon_sim::config::sandy_bridge(), &cc),
+        other => return Err(format!("unknown platform {other:?}")),
+    };
+    assert_eq!(r.checksum, cc.expected_checksum(), "checksum!");
+    println!(
+        "pointer chase, {} lists x {} elems, block {}, {}:",
+        cc.nlists, cc.elems_per_list, cc.block_elems, cc.mode.name()
+    );
+    println!("  bandwidth : {:.1} MB/s", r.bandwidth.mb_per_sec());
+    println!("  makespan  : {}", r.makespan);
+    println!("  migrations: {}", r.migrations);
+    Ok(())
+}
+
+fn cmd_spmv(p: &Parsed) -> Result<(), String> {
+    use membench::{spmv_cpu, spmv_emu};
+    use spmat::{laplacian, LaplacianSpec};
+    p.check_known(&["preset", "platform", "n", "layout", "grain", "threads", "strategy"])?;
+    let n = p.get("n", 100u32)?;
+    let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
+    let reference = m.spmv(&spmv_emu::x_vector(m.ncols()));
+    println!("SpMV: {}x{} Laplacian, {} nnz", m.nrows(), m.ncols(), m.nnz());
+    let (bw, migrations) = match p.get_str("platform", "emu").as_str() {
+        "emu" => {
+            let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+            let layout = match p.get_str("layout", "2d").as_str() {
+                "local" => spmv_emu::EmuLayout::Local,
+                "1d" => spmv_emu::EmuLayout::OneD,
+                "2d" => spmv_emu::EmuLayout::TwoD,
+                other => return Err(format!("unknown layout {other:?}")),
+            };
+            let r = spmv_emu::run_spmv_emu(
+                &cfg,
+                Arc::clone(&m),
+                &spmv_emu::EmuSpmvConfig {
+                    layout,
+                    grain_nnz: p.get("grain", 16usize)?,
+                },
+            );
+            verify(&reference, &r.y)?;
+            (r.bandwidth.mb_per_sec(), r.migrations)
+        }
+        "xeon" => {
+            let strategy = match p.get_str("strategy", "mkl").as_str() {
+                "mkl" => spmv_cpu::CpuStrategy::MklLike,
+                "cilk-for" => spmv_cpu::CpuStrategy::CilkFor,
+                "spawn" => spmv_cpu::CpuStrategy::CilkSpawn {
+                    grain: p.get("grain", 16384usize)?,
+                },
+                other => return Err(format!("unknown strategy {other:?}")),
+            };
+            let r = spmv_cpu::run_spmv_cpu(
+                &xeon_sim::config::haswell(),
+                Arc::clone(&m),
+                &spmv_cpu::CpuSpmvConfig {
+                    strategy,
+                    nthreads: p.get("threads", 56usize)?,
+                },
+            );
+            verify(&reference, &r.y)?;
+            (r.bandwidth.mb_per_sec(), 0)
+        }
+        other => return Err(format!("unknown platform {other:?}")),
+    };
+    println!("  effective bandwidth: {bw:.1} MB/s");
+    println!("  migrations         : {migrations}");
+    println!("  (output vector verified against reference)");
+    Ok(())
+}
+
+fn verify(reference: &[f64], y: &[f64]) -> Result<(), String> {
+    let err = reference
+        .iter()
+        .zip(y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    if err < 1e-9 {
+        Ok(())
+    } else {
+        Err(format!("result check failed: max err {err}"))
+    }
+}
+
+fn cmd_pingpong(p: &Parsed) -> Result<(), String> {
+    use membench::pingpong::*;
+    p.check_known(&["preset", "threads", "round-trips", "a", "b"])?;
+    let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+    let pc = PingPongConfig {
+        nthreads: p.get("threads", 64usize)?,
+        round_trips: p.get("round-trips", 2000u32)?,
+        a: NodeletId(p.get("a", 0u32)?),
+        b: NodeletId(p.get("b", 1u32)?),
+    };
+    let r = run_pingpong(&cfg, &pc);
+    println!("ping-pong, {} threads x {} round trips:", pc.nthreads, pc.round_trips);
+    println!("  throughput  : {:.2} M migrations/s", r.migrations_per_sec / 1e6);
+    println!("  mean latency: {:.2} us", r.mean_latency_ns / 1000.0);
+    println!("  p99 latency : {}", r.p99_latency);
+    Ok(())
+}
+
+fn cmd_gups(p: &Parsed) -> Result<(), String> {
+    use membench::gups::*;
+    p.check_known(&["preset", "platform", "threads", "updates", "table", "seed"])?;
+    let gc = GupsConfig {
+        table_words: p.get("table", 1u64 << 22)?,
+        nthreads: p.get("threads", 256usize)?,
+        updates_per_thread: p.get("updates", 4096usize)?,
+        seed: p.get("seed", desim::rng::DEFAULT_SEED)?,
+    };
+    let r = match p.get_str("platform", "emu").as_str() {
+        "emu" => {
+            let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+            run_gups_emu(&cfg, &gc)
+        }
+        "xeon" => cpu::run_gups_cpu(&xeon_sim::config::sandy_bridge(), &gc),
+        other => return Err(format!("unknown platform {other:?}")),
+    };
+    println!("GUPS, {} threads x {} updates:", gc.nthreads, gc.updates_per_thread);
+    println!("  {:.4} GUPS, {} migrations", r.gups, r.migrations);
+    Ok(())
+}
+
+fn cmd_bfs(p: &Parsed) -> Result<(), String> {
+    use emu_graph::bfs::*;
+    use emu_graph::{gen, stinger::Stinger};
+    p.check_known(&["preset", "scale", "edges", "mode", "threads", "src", "seed"])?;
+    let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+    let scale = p.get("scale", 11u32)?;
+    let edges = gen::rmat(scale, p.get("edges", 1usize << 14)?, p.get("seed", 42u64)?);
+    let g = Arc::new(Stinger::build_host(&edges, emu_graph::DEFAULT_BLOCK_CAP, cfg.total_nodelets()));
+    let mode = match p.get_str("mode", "smart").as_str() {
+        "naive" | "migrating" => BfsMode::Migrating,
+        "smart" | "remote-flags" => BfsMode::RemoteFlags,
+        other => return Err(format!("unknown mode {other:?}")),
+    };
+    let src = p.get("src", 0u32)?;
+    let r = run_bfs_emu(&cfg, Arc::clone(&g), src, mode, p.get("threads", 512usize)?);
+    if r.levels != g.bfs_reference(src) {
+        return Err("BFS levels diverged from reference".into());
+    }
+    println!(
+        "BFS ({}) over RMAT scale {scale}, {} edges, from vertex {src}:",
+        mode.name(),
+        edges.len()
+    );
+    println!("  {:.2} M TEPS, depth {}, {} migrations ({:.3}/edge)",
+        r.teps / 1e6, r.depth, r.migrations,
+        r.migrations as f64 / r.edges_traversed.max(1) as f64);
+    println!("  (levels verified against host reference)");
+    Ok(())
+}
+
+fn cmd_mttkrp(p: &Parsed) -> Result<(), String> {
+    use emu_tensor::coo::{mttkrp_reference, random_tensor};
+    use emu_tensor::emu::*;
+    p.check_known(&["preset", "rank", "nnz", "layout", "threads", "seed", "dims"])?;
+    let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+    let t = Arc::new(random_tensor(
+        [256, 64, 64],
+        p.get("nnz", 1usize << 14)?,
+        p.get("seed", 7u64)?,
+    ));
+    let layout = match p.get_str("layout", "blocked").as_str() {
+        "1d" => TensorLayout::OneD,
+        "blocked" | "slice-blocked" => TensorLayout::SliceBlocked,
+        other => return Err(format!("unknown layout {other:?}")),
+    };
+    let rank = p.get("rank", 8u32)?;
+    let r = run_mttkrp_emu(
+        &cfg,
+        Arc::clone(&t),
+        &EmuMttkrpConfig {
+            layout,
+            rank,
+            nthreads: p.get("threads", 512usize)?,
+        },
+    );
+    let reference = mttkrp_reference(&t, rank);
+    let err = reference
+        .iter()
+        .zip(&r.y)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    if err > 1e-6 {
+        return Err(format!("MTTKRP diverged: max err {err}"));
+    }
+    println!("MTTKRP rank {rank}, {} nnz, {} layout:", t.nnz(), layout.name());
+    println!("  effective bandwidth: {:.1} MB/s", r.bandwidth.mb_per_sec());
+    println!("  migrations         : {}", r.migrations);
+    println!("  (Y verified against reference)");
+    Ok(())
+}

@@ -1,0 +1,12 @@
+//! Calibration gate: checks every paper anchor band; exits nonzero on
+//! any FAIL.
+fn main() {
+    let checks = emu_bench::validate::run_all();
+    let (table, ok) = emu_bench::validate::render(&checks);
+    table.emit("validate");
+    if !ok {
+        eprintln!("validation FAILED");
+        std::process::exit(1);
+    }
+    println!("all {} checks PASS", checks.len());
+}

@@ -1,0 +1,202 @@
+//! Argument parsing and dispatch for the `simctl` binary — a driver
+//! that runs any benchmark on any machine preset with overridable
+//! parameters, so a downstream user can explore configurations without
+//! writing code.
+//!
+//! Grammar: `simctl <command> [--key value]...`. Parsing is hand-rolled
+//! (the workspace deliberately has no CLI dependency) and fully unit
+//! tested; the heavy lifting lives in the benchmark crates.
+
+use emu_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// A parsed command line: a command word plus `--key value` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Parsed {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    /// `--key value` pairs, keyed without the dashes.
+    pub options: BTreeMap<String, String>,
+}
+
+/// Parse `args` (excluding the program name).
+///
+/// Errors are human-readable strings meant for direct printing.
+pub fn parse(args: &[String]) -> Result<Parsed, String> {
+    let mut it = args.iter();
+    let command = it
+        .next()
+        .ok_or_else(|| "missing command; try `simctl help`".to_string())?
+        .clone();
+    if command.starts_with("--") {
+        return Err(format!("expected a command before options, got {command}"));
+    }
+    let mut options = BTreeMap::new();
+    while let Some(key) = it.next() {
+        let Some(key) = key.strip_prefix("--") else {
+            return Err(format!("expected --option, got {key}"));
+        };
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?
+            .clone();
+        if options.insert(key.to_string(), value).is_some() {
+            return Err(format!("--{key} given twice"));
+        }
+    }
+    Ok(Parsed { command, options })
+}
+
+impl Parsed {
+    /// Fetch an option parsed as `T`, or `default` if absent.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    /// Fetch a string option with a default.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Reject options outside `allowed` (typo protection).
+    pub fn check_known(&self, allowed: &[&str]) -> Result<(), String> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(format!(
+                    "unknown option --{k}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resolve a machine preset by name.
+pub fn preset_by_name(name: &str) -> Result<MachineConfig, String> {
+    match name {
+        "chick" | "chick-hw" | "prototype" => Ok(presets::chick_prototype()),
+        "chick-sim" | "toolchain-sim" => Ok(presets::chick_toolchain_sim()),
+        "full-speed" => Ok(presets::chick_full_speed()),
+        "emu64" => Ok(presets::emu64_full_speed()),
+        "chick-8node" => Ok(presets::chick_8node_prototype()),
+        other => Err(format!(
+            "unknown preset {other:?}; one of: chick, chick-sim, full-speed, emu64, chick-8node"
+        )),
+    }
+}
+
+/// Resolve a spawn strategy by name.
+pub fn strategy_by_name(name: &str) -> Result<SpawnStrategy, String> {
+    match name {
+        "serial" => Ok(SpawnStrategy::Serial),
+        "recursive" => Ok(SpawnStrategy::Recursive),
+        "serial-remote" => Ok(SpawnStrategy::SerialRemote),
+        "recursive-remote" => Ok(SpawnStrategy::RecursiveRemote),
+        other => Err(format!(
+            "unknown strategy {other:?}; one of: serial, recursive, serial-remote, recursive-remote"
+        )),
+    }
+}
+
+/// Resolve a chase shuffle mode by name.
+pub fn mode_by_name(name: &str) -> Result<membench::chase::ShuffleMode, String> {
+    use membench::chase::ShuffleMode::*;
+    match name {
+        "ordered" => Ok(Ordered),
+        "intra" | "intra-block" => Ok(IntraBlock),
+        "block" => Ok(BlockShuffle),
+        "full" | "full-block" => Ok(FullBlock),
+        other => Err(format!(
+            "unknown mode {other:?}; one of: ordered, intra, block, full"
+        )),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+simctl — run any benchmark of the Emu Chick reproduction
+
+USAGE: simctl <command> [--option value]...
+
+COMMANDS
+  stream    STREAM kernels        --preset chick --threads 512 --elems 262144
+                                  --strategy recursive-remote --kernel add
+                                  --single-nodelet false
+  chase     pointer chasing       --platform emu|xeon --threads 512 --block 64
+                                  --elems 4096 --mode full
+  spmv      CSR SpMV              --platform emu|xeon --n 100 --layout 2d
+                                  --grain 16 --strategy mkl (xeon)
+  pingpong  migration microbench  --preset chick --threads 64 --round-trips 2000
+  gups      random atomics        --threads 256 --updates 4096 --table 4194304
+  bfs       streaming-graph BFS   --scale 11 --edges 16384 --mode smart
+  mttkrp    sparse-tensor kernel  --rank 8 --nnz 16384 --layout blocked
+  presets   list machine presets
+  help      this text
+
+Every command prints bandwidth/throughput plus the migration counters
+relevant to the Emu execution model.";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let p = parse(&argv("stream --threads 64 --preset chick")).unwrap();
+        assert_eq!(p.command, "stream");
+        assert_eq!(p.get("threads", 0usize).unwrap(), 64);
+        assert_eq!(p.get_str("preset", "x"), "chick");
+        assert_eq!(p.get("elems", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn parse_rejects_bad_shapes() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&argv("--threads 4")).is_err());
+        assert!(parse(&argv("stream --threads")).is_err());
+        assert!(parse(&argv("stream threads 4")).is_err());
+        assert!(parse(&argv("stream --t 1 --t 2")).is_err());
+    }
+
+    #[test]
+    fn typed_get_errors() {
+        let p = parse(&argv("x --threads lots")).unwrap();
+        assert!(p.get("threads", 0usize).is_err());
+    }
+
+    #[test]
+    fn check_known_catches_typos() {
+        let p = parse(&argv("stream --thread 4")).unwrap();
+        assert!(p.check_known(&["threads"]).is_err());
+        let p = parse(&argv("stream --threads 4")).unwrap();
+        assert!(p.check_known(&["threads"]).is_ok());
+    }
+
+    #[test]
+    fn resolvers() {
+        assert!(preset_by_name("chick").is_ok());
+        assert!(preset_by_name("emu64").is_ok());
+        assert!(preset_by_name("nope").is_err());
+        assert!(strategy_by_name("recursive-remote").is_ok());
+        assert!(strategy_by_name("magic").is_err());
+        assert!(mode_by_name("full").is_ok());
+        assert!(mode_by_name("zigzag").is_err());
+    }
+}

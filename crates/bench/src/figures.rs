@@ -1,0 +1,618 @@
+//! Runners that regenerate each figure of the paper.
+//!
+//! Each function sweeps the same parameters as the corresponding figure
+//! and returns a [`Table`] whose rows are the figure's data series. The
+//! `figNN` binaries are thin wrappers; EXPERIMENTS.md records the
+//! paper-vs-measured comparison for every run.
+
+use crate::output::{fmt_mbs, Table};
+use crate::runcfg::{sized, sized_usize};
+use emu_core::prelude::*;
+use membench::chase::{self, ChaseConfig, ShuffleMode};
+use membench::pingpong::{run_pingpong, PingPongConfig};
+use membench::spmv_cpu::{run_spmv_cpu, CpuSpmvConfig, CpuStrategy};
+use membench::spmv_emu::{run_spmv_emu, x_vector, EmuLayout, EmuSpmvConfig};
+use membench::stream::{
+    cpu::{run_stream_cpu, CpuStreamConfig},
+    run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel,
+};
+use spmat::{laplacian, LaplacianSpec};
+use std::sync::Arc;
+
+/// Thread counts swept on a single nodelet (Fig 4).
+pub const FIG4_THREADS: [usize; 8] = [1, 2, 4, 8, 16, 24, 32, 64];
+/// Thread counts swept on eight nodelets (Fig 5).
+pub const FIG5_THREADS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
+/// Block sizes swept by the pointer-chase figures.
+pub const CHASE_BLOCKS: [usize; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// Fig 4: STREAM on one nodelet, serial vs recursive local spawn.
+pub fn fig04() -> Table {
+    let cfg = presets::chick_prototype();
+    let elems = sized(1 << 16, 1 << 12);
+    let mut t = Table::new(
+        "Fig 4: STREAM ADD, single nodelet of the Emu Chick",
+        &["threads", "serial_spawn (MB/s)", "recursive_spawn (MB/s)"],
+    );
+    for &threads in &FIG4_THREADS {
+        let mut cells = vec![threads.to_string()];
+        for strategy in [SpawnStrategy::Serial, SpawnStrategy::Recursive] {
+            let r = run_stream_emu(
+                &cfg,
+                &EmuStreamConfig {
+                    total_elems: elems,
+                    nthreads: threads,
+                    strategy,
+                    single_nodelet: true,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig 5: STREAM on eight nodelets, all four spawn strategies.
+pub fn fig05() -> Table {
+    let cfg = presets::chick_prototype();
+    let elems = sized(1 << 18, 1 << 13);
+    let mut t = Table::new(
+        "Fig 5: STREAM ADD, eight nodelets of the Emu Chick",
+        &[
+            "threads",
+            "serial (MB/s)",
+            "recursive (MB/s)",
+            "serial_remote (MB/s)",
+            "recursive_remote (MB/s)",
+        ],
+    );
+    for &threads in &FIG5_THREADS {
+        let mut cells = vec![threads.to_string()];
+        for strategy in SpawnStrategy::ALL {
+            let r = run_stream_emu(
+                &cfg,
+                &EmuStreamConfig {
+                    total_elems: elems,
+                    nthreads: threads,
+                    strategy,
+                    single_nodelet: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// The Emu chase sweep shared by Figs 6, 8, 11.
+fn chase_emu_sweep(
+    cfg: &MachineConfig,
+    title: &str,
+    thread_counts: &[usize],
+    blocks: &[usize],
+    elems_per_list: usize,
+) -> Table {
+    let mut cols = vec!["block_elems".to_string()];
+    cols.extend(thread_counts.iter().map(|t| format!("{t} threads (MB/s)")));
+    let mut t = Table::new(
+        title,
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &block in blocks {
+        if block > elems_per_list {
+            continue;
+        }
+        let mut cells = vec![block.to_string()];
+        for &threads in thread_counts {
+            let cc = ChaseConfig {
+                elems_per_list,
+                nlists: threads,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            };
+            let r = chase::run_chase_emu(cfg, &cc);
+            assert_eq!(r.checksum, cc.expected_checksum());
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig 6: pointer chasing on the Emu Chick (8 nodelets).
+pub fn fig06() -> Table {
+    chase_emu_sweep(
+        &presets::chick_prototype(),
+        "Fig 6: Pointer chasing, Emu Chick (8 nodelets), full_block_shuffle",
+        &[64, 128, 256, 512],
+        &CHASE_BLOCKS,
+        sized_usize(4096, 512),
+    )
+}
+
+/// Fig 7: pointer chasing on the Sandy Bridge Xeon.
+pub fn fig07() -> Table {
+    let cfg = xeon_sim::config::sandy_bridge();
+    // Lists must dwarf the 20 MiB LLC, as in the paper: 4 MiB per list
+    // and up to 32 lists = 128 MiB of once-touched data.
+    let elems_per_list = sized_usize(1 << 18, 1 << 13);
+    let thread_counts = [4usize, 16, 32];
+    let mut cols = vec!["block_elems".to_string()];
+    cols.extend(thread_counts.iter().map(|t| format!("{t} threads (MB/s)")));
+    let mut t = Table::new(
+        "Fig 7: Pointer chasing, Sandy Bridge Xeon, full_block_shuffle",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for &block in &CHASE_BLOCKS {
+        if block > elems_per_list {
+            continue;
+        }
+        let mut cells = vec![block.to_string()];
+        for &threads in &thread_counts {
+            let cc = ChaseConfig {
+                elems_per_list,
+                nlists: threads,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            };
+            let r = chase::cpu::run_chase_cpu(&cfg, &cc);
+            assert_eq!(r.checksum, cc.expected_checksum());
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Peak measured STREAM bandwidth of the Emu prototype (denominator of
+/// Fig 8's utilization).
+pub fn emu_peak_stream_mbs() -> f64 {
+    let r = run_stream_emu(
+        &presets::chick_prototype(),
+        &EmuStreamConfig {
+            total_elems: sized(1 << 18, 1 << 13),
+            nthreads: 512,
+            strategy: SpawnStrategy::RecursiveRemote,
+            ..Default::default()
+        },
+    );
+    r.bandwidth.mb_per_sec()
+}
+
+/// Peak measured STREAM bandwidth of the Sandy Bridge (Fig 8 denominator).
+pub fn xeon_peak_stream_mbs() -> f64 {
+    let r = run_stream_cpu(
+        &xeon_sim::config::sandy_bridge(),
+        &CpuStreamConfig {
+            total_elems: sized(1 << 20, 1 << 14),
+            nthreads: 16,
+            kernel: StreamKernel::Add,
+            nt_stores: true,
+        },
+    );
+    r.bandwidth.mb_per_sec()
+}
+
+/// Fig 8: pointer-chase bandwidth as a fraction of each platform's peak
+/// measured STREAM bandwidth.
+pub fn fig08() -> Table {
+    let emu_peak = emu_peak_stream_mbs();
+    let xeon_peak = xeon_peak_stream_mbs();
+    let emu_cfg = presets::chick_prototype();
+    let cpu_cfg = xeon_sim::config::sandy_bridge();
+    let mut t = Table::new(
+        format!(
+            "Fig 8: Bandwidth utilization vs measured peak (Emu peak {} / Xeon peak {})",
+            fmt_mbs(emu_peak),
+            fmt_mbs(xeon_peak)
+        ),
+        &["block_elems", "Emu 512thr (%)", "Xeon 32thr (%)"],
+    );
+    for &block in &CHASE_BLOCKS {
+        let emu = chase::run_chase_emu(
+            &emu_cfg,
+            &ChaseConfig {
+                elems_per_list: sized_usize(4096, 512).max(block),
+                nlists: 512,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            },
+        );
+        let xeon = chase::cpu::run_chase_cpu(
+            &cpu_cfg,
+            &ChaseConfig {
+                elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+                nlists: 32,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            },
+        );
+        t.row(vec![
+            block.to_string(),
+            format!("{:.1}", 100.0 * emu.bandwidth.mb_per_sec() / emu_peak),
+            format!("{:.1}", 100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak),
+        ]);
+    }
+    t
+}
+
+/// Laplacian sizes swept by Fig 9.
+pub const FIG9_SIZES: [u32; 6] = [25, 50, 100, 150, 200, 300];
+
+/// Fig 9a: Emu SpMV effective bandwidth for the three layouts.
+pub fn fig09a() -> Table {
+    let cfg = presets::chick_prototype();
+    let mut t = Table::new(
+        "Fig 9a: SpMV effective bandwidth, Emu Chick (grain 16 nnz)",
+        &["laplacian_n", "local (MB/s)", "1D (MB/s)", "2D (MB/s)"],
+    );
+    for &n in &FIG9_SIZES {
+        let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
+        let reference = m.spmv(&x_vector(m.ncols()));
+        let mut cells = vec![n.to_string()];
+        for layout in EmuLayout::ALL {
+            let r = run_spmv_emu(
+                &cfg,
+                Arc::clone(&m),
+                &EmuSpmvConfig {
+                    layout,
+                    grain_nnz: 16,
+                },
+            );
+            let err = reference
+                .iter()
+                .zip(&r.y)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "{} produced a wrong result", layout.name());
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Laplacian sizes swept by Fig 9b (the CPU scales further).
+pub const FIG9B_SIZES: [u32; 6] = [50, 100, 200, 400, 600, 1000];
+
+/// Fig 9b: Haswell SpMV effective bandwidth for the three strategies
+/// (plus the Emu-like tiny grain for the grain-size contrast).
+pub fn fig09b() -> Table {
+    let cfg = xeon_sim::config::haswell();
+    let strategies = [
+        CpuStrategy::MklLike,
+        CpuStrategy::CilkFor,
+        CpuStrategy::CilkSpawn { grain: 16384 },
+        CpuStrategy::CilkSpawn { grain: 16 },
+    ];
+    let mut t = Table::new(
+        "Fig 9b: SpMV effective bandwidth, Haswell Xeon (56 threads)",
+        &[
+            "laplacian_n",
+            "mkl (MB/s)",
+            "cilk_for (MB/s)",
+            "cilk_spawn g=16384 (MB/s)",
+            "cilk_spawn g=16 (MB/s)",
+        ],
+    );
+    for &n in &FIG9B_SIZES {
+        let n = if crate::runcfg::quick() { n.min(200) } else { n };
+        let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
+        let reference = m.spmv(&x_vector(m.ncols()));
+        let mut cells = vec![n.to_string()];
+        for &strategy in &strategies {
+            let r = run_spmv_cpu(
+                &cfg,
+                Arc::clone(&m),
+                &CpuSpmvConfig {
+                    strategy,
+                    nthreads: 56,
+                },
+            );
+            let err = reference
+                .iter()
+                .zip(&r.y)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "{} produced a wrong result", strategy.name());
+            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// Fig 10: hardware (1.0 firmware) vs Emu toolchain-simulator presets on
+/// STREAM, pointer chase, and ping-pong.
+pub fn fig10() -> Table {
+    let hw = presets::chick_prototype();
+    let sim = presets::chick_toolchain_sim();
+    let mut t = Table::new(
+        "Fig 10: Emu hardware preset vs toolchain-simulator preset",
+        &["benchmark", "hardware", "simulator", "sim/hw"],
+    );
+    let mut push = |name: &str, h: f64, s: f64, unit: &str| {
+        t.row(vec![
+            name.to_string(),
+            format!("{h:.1} {unit}"),
+            format!("{s:.1} {unit}"),
+            format!("{:.2}x", s / h),
+        ]);
+    };
+    // STREAM, single nodelet.
+    let stream1 = |cfg: &MachineConfig| {
+        run_stream_emu(
+            cfg,
+            &EmuStreamConfig {
+                total_elems: sized(1 << 15, 1 << 12),
+                nthreads: 64,
+                strategy: SpawnStrategy::Recursive,
+                single_nodelet: true,
+                ..Default::default()
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    push("STREAM 1 nodelet", stream1(&hw), stream1(&sim), "MB/s");
+    // STREAM, eight nodelets.
+    let stream8 = |cfg: &MachineConfig| {
+        run_stream_emu(
+            cfg,
+            &EmuStreamConfig {
+                total_elems: sized(1 << 18, 1 << 13),
+                nthreads: 512,
+                strategy: SpawnStrategy::RecursiveRemote,
+                ..Default::default()
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    push("STREAM 8 nodelets", stream8(&hw), stream8(&sim), "MB/s");
+    // Pointer chase: migration-bound at block 1 (where hardware and
+    // simulator diverge, as in the paper) and compute-bound at block 64
+    // (where they agree, like STREAM).
+    let chase_at = |cfg: &MachineConfig, block: usize| {
+        let cc = ChaseConfig {
+            elems_per_list: sized_usize(2048, 512).max(block),
+            nlists: 512,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: 1,
+        };
+        chase::run_chase_emu(cfg, &cc).bandwidth.mb_per_sec()
+    };
+    push(
+        "Pointer chase (block 1)",
+        chase_at(&hw, 1),
+        chase_at(&sim, 1),
+        "MB/s",
+    );
+    push(
+        "Pointer chase (block 64)",
+        chase_at(&hw, 64),
+        chase_at(&sim, 64),
+        "MB/s",
+    );
+    // Ping-pong migration rate (the component that explains the gap).
+    let pp = |cfg: &MachineConfig, threads: usize| {
+        run_pingpong(
+            cfg,
+            &PingPongConfig {
+                nthreads: threads,
+                round_trips: sized(2000, 200) as u32,
+                ..Default::default()
+            },
+        )
+    };
+    let (ph, ps) = (pp(&hw, 64), pp(&sim, 64));
+    push(
+        "Ping-pong (M migrations/s)",
+        ph.migrations_per_sec / 1e6,
+        ps.migrations_per_sec / 1e6,
+        "M/s",
+    );
+    // Latency measured at light load (the paper's 1-2 us estimate).
+    let (lh, ls) = (pp(&hw, 8), pp(&sim, 8));
+    push(
+        "Migration latency (us)",
+        lh.mean_latency_ns / 1000.0,
+        ls.mean_latency_ns / 1000.0,
+        "us",
+    );
+    t
+}
+
+/// Fig 11: pointer chasing on the full-speed 64-nodelet system.
+pub fn fig11() -> Table {
+    chase_emu_sweep(
+        &presets::emu64_full_speed(),
+        "Fig 11: Pointer chasing, simulated 64-nodelet Emu at full speed",
+        &[256, 1024, 4096],
+        &[1, 4, 16, 64, 256, 1024, 4096],
+        sized_usize(2048, 512),
+    )
+}
+
+/// Headline numbers quoted in the paper's text (Section IV-A and
+/// conclusions), as one table.
+pub fn headline() -> Table {
+    let mut t = Table::new(
+        "Headline numbers (paper Section IV / conclusions)",
+        &["quantity", "paper", "this reproduction"],
+    );
+    let emu_peak = emu_peak_stream_mbs();
+    t.row(vec![
+        "Emu Chick STREAM, 1 node".into(),
+        "1.2 GB/s".into(),
+        fmt_mbs(emu_peak),
+    ]);
+    // 8-node initial test.
+    let eight = run_stream_emu(
+        &presets::chick_8node_prototype(),
+        &EmuStreamConfig {
+            total_elems: sized(1 << 20, 1 << 15),
+            nthreads: 4096,
+            strategy: SpawnStrategy::RecursiveRemote,
+            ..Default::default()
+        },
+    );
+    t.row(vec![
+        "Emu Chick STREAM, 8 nodes (initial test)".into(),
+        "6.5 GB/s".into(),
+        fmt_mbs(eight.bandwidth.mb_per_sec()),
+    ]);
+    let xeon_peak = xeon_peak_stream_mbs();
+    t.row(vec![
+        "Sandy Bridge STREAM (51.2 GB/s nominal)".into(),
+        "~51.2 GB/s".into(),
+        fmt_mbs(xeon_peak),
+    ]);
+    // Chase utilization: median across the block-size sweep ("most
+    // cases" in the paper's words).
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs[xs.len() / 2]
+    };
+    let emu_cfg = presets::chick_prototype();
+    let emu_med = median(
+        CHASE_BLOCKS
+            .iter()
+            .map(|&block| {
+                chase::run_chase_emu(
+                    &emu_cfg,
+                    &ChaseConfig {
+                        elems_per_list: sized_usize(4096, 512).max(block),
+                        nlists: 512,
+                        block_elems: block,
+                        mode: ShuffleMode::FullBlock,
+                        seed: 1,
+                    },
+                )
+                .bandwidth
+                .mb_per_sec()
+            })
+            .collect(),
+    );
+    t.row(vec![
+        "Emu chase utilization (median over blocks)".into(),
+        "~80 %".into(),
+        format!("{:.0} %", 100.0 * emu_med / emu_peak),
+    ]);
+    let emu_chase_worst = chase::run_chase_emu(
+        &presets::chick_prototype(),
+        &ChaseConfig {
+            elems_per_list: sized_usize(4096, 512),
+            nlists: 512,
+            block_elems: 1,
+            mode: ShuffleMode::FullBlock,
+            seed: 1,
+        },
+    );
+    t.row(vec![
+        "Emu chase utilization (worst, block=1)".into(),
+        "~50 %".into(),
+        format!(
+            "{:.0} %",
+            100.0 * emu_chase_worst.bandwidth.mb_per_sec() / emu_peak
+        ),
+    ]);
+    let cpu_cfg = xeon_sim::config::sandy_bridge();
+    let xeon_med = median(
+        CHASE_BLOCKS
+            .iter()
+            .map(|&block| {
+                chase::cpu::run_chase_cpu(
+                    &cpu_cfg,
+                    &ChaseConfig {
+                        elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+                        nlists: 32,
+                        block_elems: block,
+                        mode: ShuffleMode::FullBlock,
+                        seed: 1,
+                    },
+                )
+                .bandwidth
+                .mb_per_sec()
+            })
+            .collect(),
+    );
+    t.row(vec![
+        "Xeon chase utilization (median over blocks)".into(),
+        "<25 %".into(),
+        format!("{:.0} %", 100.0 * xeon_med / xeon_peak),
+    ]);
+    // Ping-pong rates.
+    let pp_hw = run_pingpong(
+        &emu_cfg,
+        &PingPongConfig {
+            nthreads: 64,
+            round_trips: sized(2000, 200) as u32,
+            ..Default::default()
+        },
+    );
+    let pp_sim = run_pingpong(
+        &presets::chick_toolchain_sim(),
+        &PingPongConfig {
+            nthreads: 64,
+            round_trips: sized(2000, 200) as u32,
+            ..Default::default()
+        },
+    );
+    t.row(vec![
+        "Ping-pong, hardware".into(),
+        "9 M migrations/s".into(),
+        format!("{:.1} M migrations/s", pp_hw.migrations_per_sec / 1e6),
+    ]);
+    t.row(vec![
+        "Ping-pong, toolchain simulator".into(),
+        "16 M migrations/s".into(),
+        format!("{:.1} M migrations/s", pp_sim.migrations_per_sec / 1e6),
+    ]);
+    let pp_light = run_pingpong(
+        &emu_cfg,
+        &PingPongConfig {
+            nthreads: 8,
+            round_trips: sized(2000, 200) as u32,
+            ..Default::default()
+        },
+    );
+    t.row(vec![
+        "Single-migration latency".into(),
+        "1-2 us".into(),
+        format!("{:.2} us", pp_light.mean_latency_ns / 1000.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Figure functions are exercised end-to-end (quick mode) by the
+    // integration tests in tests/harness.rs; here we only check cheap
+    // structural properties.
+
+    #[test]
+    fn chase_blocks_are_increasing_powers() {
+        for w in CHASE_BLOCKS.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+    }
+
+    #[test]
+    fn fig4_thread_counts_cover_the_knee() {
+        assert!(FIG4_THREADS.contains(&32) && FIG4_THREADS.contains(&64));
+    }
+}

@@ -1,0 +1,37 @@
+//! Shared run-size configuration for the figure binaries.
+//!
+//! Every figure binary honours `EMU_QUICK=1`, which divides workload
+//! sizes by 8 — useful for smoke-testing the full harness in seconds.
+
+/// Whether quick mode is on.
+pub fn quick() -> bool {
+    std::env::var("EMU_QUICK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Scale a nominal size down in quick mode (never below `min`).
+pub fn sized(nominal: u64, min: u64) -> u64 {
+    if quick() {
+        (nominal / 8).max(min)
+    } else {
+        nominal
+    }
+}
+
+/// Scale a usize size.
+pub fn sized_usize(nominal: usize, min: usize) -> usize {
+    sized(nominal as u64, min as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sized_respects_min() {
+        std::env::set_var("EMU_QUICK", "1");
+        assert_eq!(sized(64, 32), 32);
+        assert_eq!(sized(1024, 16), 128);
+        std::env::remove_var("EMU_QUICK");
+        assert_eq!(sized(1024, 16), 1024);
+    }
+}

@@ -1,0 +1,184 @@
+//! The event queue at the heart of each discrete-event engine.
+//!
+//! Events are ordered by time, with insertion order (a monotonically
+//! increasing sequence number) breaking ties. Deterministic tie-breaking
+//! matters: several threadlets frequently become ready at the same
+//! picosecond, and FIFO semantics at downstream resources depend on a
+//! stable pop order.
+
+use crate::time::Time;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered queue of events of type `E`.
+///
+/// `E` carries whatever payload an engine needs (usually a thread id plus
+/// a small action tag). Events at equal times pop in insertion order.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Time,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue with the simulation clock at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// The time of the most recently popped event (the engine's "now").
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `at` is in the past — schedule-in-the-past
+    /// is always an engine bug.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past");
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(Reverse(entry));
+    }
+
+    /// Schedule `event` `delay` after now.
+    pub fn schedule_after(&mut self, delay: Time, event: E) {
+        let at = self.now + delay;
+        self.schedule(at, event);
+    }
+
+    /// Pop the earliest event, advancing the simulation clock to its time.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        self.heap.pop().map(|Reverse(entry)| {
+            debug_assert!(entry.at >= self.now, "time ran backwards");
+            self.now = entry.at;
+            (entry.at, entry.event)
+        })
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(5), "c");
+        q.schedule(Time::from_ns(1), "a");
+        q.schedule(Time::from_ns(3), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Time::from_ns(7);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), ());
+        assert_eq!(q.now(), Time::ZERO);
+        assert_eq!(q.peek_time(), Some(Time::from_ns(10)));
+        q.pop().unwrap();
+        assert_eq!(q.now(), Time::from_ns(10));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn schedule_after_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), 1);
+        q.pop().unwrap();
+        q.schedule_after(Time::from_ns(5), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, Time::from_ns(15));
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn len_tracks_pending() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.len(), 0);
+        q.schedule(Time::from_ns(1), ());
+        q.schedule(Time::from_ns(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    #[cfg(debug_assertions)]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::from_ns(10), ());
+        q.pop();
+        q.schedule(Time::from_ns(5), ());
+    }
+}

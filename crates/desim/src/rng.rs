@@ -1,0 +1,91 @@
+//! Deterministic randomness helpers.
+//!
+//! Every stochastic choice in the workspace (list shuffles, matrix
+//! sampling) flows through a seeded generator so that a given
+//! configuration always produces the same simulation, byte for byte.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The workspace-wide default seed. Experiments that need independent
+/// trials derive per-trial seeds with [`trial_seed`].
+pub const DEFAULT_SEED: u64 = 0x00E5_11C4_0C1C_2018;
+
+/// A deterministic RNG from an explicit seed.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Derive the seed for trial `trial` of an experiment from a base seed.
+///
+/// Uses SplitMix64 so adjacent trial indices yield well-separated streams.
+pub fn trial_seed(base: u64, trial: u64) -> u64 {
+    let mut z = base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Fisher–Yates shuffle of `xs` with a seeded generator.
+pub fn shuffle_seeded<T>(xs: &mut [T], seed: u64) {
+    let mut rng = rng_from_seed(seed);
+    xs.shuffle(&mut rng);
+}
+
+/// A random permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    assert!(n <= u32::MAX as usize, "permutation domain too large");
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    shuffle_seeded(&mut p, seed);
+    p
+}
+
+/// `n` uniform samples from `[0, bound)`.
+pub fn uniform_indices(n: usize, bound: u64, seed: u64) -> Vec<u64> {
+    let mut rng = rng_from_seed(seed);
+    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = permutation(1000, 42);
+        let b = permutation(1000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let a = permutation(1000, 1);
+        let b = permutation(1000, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut p = permutation(257, 7);
+        p.sort_unstable();
+        assert_eq!(p, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn trial_seeds_distinct() {
+        let seeds: std::collections::HashSet<u64> =
+            (0..1000).map(|t| trial_seed(DEFAULT_SEED, t)).collect();
+        assert_eq!(seeds.len(), 1000);
+    }
+
+    #[test]
+    fn uniform_indices_in_bounds() {
+        let xs = uniform_indices(10_000, 37, 5);
+        assert!(xs.iter().all(|&x| x < 37));
+        // All residues show up for a healthy generator.
+        let distinct: std::collections::HashSet<u64> = xs.into_iter().collect();
+        assert_eq!(distinct.len(), 37);
+    }
+}

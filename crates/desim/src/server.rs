@@ -1,0 +1,327 @@
+//! Analytic queueing-resource models.
+//!
+//! The engines in this workspace drive events strictly in time order, so
+//! a FIFO resource does not need its own event scheduling: it only needs
+//! to remember when it next becomes free. A request arriving at `t`
+//! with service time `s` starts at `max(t, next_free)` and completes at
+//! `start + s`. Because callers present requests in nondecreasing arrival
+//! order (guaranteed by the event queue), this is exactly an M/G/1-style
+//! FIFO without the cost of extra events.
+
+use crate::time::Time;
+
+/// A single-server FIFO queue with utilization accounting.
+///
+/// Models a serially reusable resource: a memory channel, a migration
+/// engine, an in-order core's issue port.
+#[derive(Debug, Clone)]
+pub struct FifoServer {
+    next_free: Time,
+    busy: Time,
+    served: u64,
+    queued_delay: Time,
+}
+
+/// The outcome of offering a request to a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When service began (>= arrival time).
+    pub start: Time,
+    /// When service completed.
+    pub done: Time,
+}
+
+impl Grant {
+    /// Time spent waiting in queue before service.
+    pub fn wait(&self, arrival: Time) -> Time {
+        self.start.saturating_sub(arrival)
+    }
+}
+
+impl FifoServer {
+    /// A new, idle server.
+    pub fn new() -> Self {
+        FifoServer {
+            next_free: Time::ZERO,
+            busy: Time::ZERO,
+            served: 0,
+            queued_delay: Time::ZERO,
+        }
+    }
+
+    /// Offer a request arriving at `arrival` needing `service` time.
+    ///
+    /// Callers must offer requests in nondecreasing arrival order; the
+    /// engines guarantee this by construction (events pop in time order).
+    pub fn offer(&mut self, arrival: Time, service: Time) -> Grant {
+        let start = arrival.max(self.next_free);
+        let done = start + service;
+        self.next_free = done;
+        self.busy += service;
+        self.served += 1;
+        self.queued_delay += start - arrival;
+        Grant { start, done }
+    }
+
+    /// When the server next becomes idle.
+    pub fn next_free(&self) -> Time {
+        self.next_free
+    }
+
+    /// Total time spent serving requests.
+    pub fn busy_time(&self) -> Time {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay over all requests, or zero if none served.
+    pub fn mean_wait(&self) -> Time {
+        if self.served == 0 {
+            Time::ZERO
+        } else {
+            self.queued_delay / self.served
+        }
+    }
+
+    /// Utilization over `[0, horizon]`: busy time / horizon.
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy.ps() as f64 / horizon.ps() as f64
+        }
+    }
+}
+
+impl Default for FifoServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A bank of `k` identical servers with a shared FIFO queue.
+///
+/// A request goes to whichever server frees first. Used for DRAM banks,
+/// multi-ported structures, and the per-nodelet Gossamer-core pool.
+#[derive(Debug, Clone)]
+pub struct MultiServer {
+    // Sorted ascending by next-free time is unnecessary; we scan for the
+    // min. k is small (<= 64) in every use, so a scan beats heap churn.
+    next_free: Vec<Time>,
+    busy: Time,
+    served: u64,
+    queued_delay: Time,
+}
+
+impl MultiServer {
+    /// A bank of `k` idle servers.
+    ///
+    /// # Panics
+    /// Panics if `k` is zero.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "MultiServer needs at least one server");
+        MultiServer {
+            next_free: vec![Time::ZERO; k],
+            busy: Time::ZERO,
+            served: 0,
+            queued_delay: Time::ZERO,
+        }
+    }
+
+    /// Number of servers in the bank.
+    pub fn width(&self) -> usize {
+        self.next_free.len()
+    }
+
+    /// Offer a request arriving at `arrival` needing `service` time; it is
+    /// dispatched to the earliest-free server.
+    pub fn offer(&mut self, arrival: Time, service: Time) -> Grant {
+        let (idx, _) = self
+            .next_free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("non-empty server bank");
+        let start = arrival.max(self.next_free[idx]);
+        let done = start + service;
+        self.next_free[idx] = done;
+        self.busy += service;
+        self.served += 1;
+        self.queued_delay += start - arrival;
+        Grant { start, done }
+    }
+
+    /// Earliest time any server becomes free.
+    pub fn earliest_free(&self) -> Time {
+        self.next_free.iter().copied().min().unwrap_or(Time::ZERO)
+    }
+
+    /// Total busy time summed over all servers.
+    pub fn busy_time(&self) -> Time {
+        self.busy
+    }
+
+    /// Number of requests served.
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Mean queueing delay over all requests.
+    pub fn mean_wait(&self) -> Time {
+        if self.served == 0 {
+            Time::ZERO
+        } else {
+            self.queued_delay / self.served
+        }
+    }
+
+    /// Aggregate utilization over `[0, horizon]` (1.0 = all servers always busy).
+    pub fn utilization(&self, horizon: Time) -> f64 {
+        if horizon == Time::ZERO {
+            0.0
+        } else {
+            self.busy.ps() as f64 / (horizon.ps() as f64 * self.width() as f64)
+        }
+    }
+}
+
+/// A bandwidth-limited pipe: requests occupy the pipe for
+/// `bytes / bandwidth` and additionally experience a fixed latency.
+///
+/// This models links (RapidIO hops, memory buses) where occupancy and
+/// latency are separable: a request completes at
+/// `FIFO(arrival, occupancy) + latency`.
+#[derive(Debug, Clone)]
+pub struct Link {
+    server: FifoServer,
+    /// Picoseconds per byte, in fixed-point (ps * 2^16 per byte) to keep
+    /// sub-picosecond-per-byte rates exact for fast links.
+    ps_per_byte_fp: u64,
+    latency: Time,
+}
+
+const FP_SHIFT: u32 = 16;
+
+impl Link {
+    /// A link with `bytes_per_sec` bandwidth and `latency` propagation delay.
+    ///
+    /// # Panics
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64, latency: Time) -> Self {
+        assert!(bytes_per_sec > 0, "zero-bandwidth link");
+        // ps/byte = 1e12 / B/s, kept in 48.16 fixed point.
+        let ps_per_byte_fp =
+            ((crate::time::PS_PER_S as u128) << FP_SHIFT) / bytes_per_sec as u128;
+        Link {
+            server: FifoServer::new(),
+            ps_per_byte_fp: ps_per_byte_fp as u64,
+            latency,
+        }
+    }
+
+    /// Occupancy (transfer) time for `bytes`.
+    pub fn occupancy(&self, bytes: u64) -> Time {
+        Time(((bytes as u128 * self.ps_per_byte_fp as u128) >> FP_SHIFT) as u64)
+    }
+
+    /// Send `bytes` at `arrival`; returns when the last byte arrives at the
+    /// far end (queueing + transfer + propagation).
+    pub fn send(&mut self, arrival: Time, bytes: u64) -> Time {
+        let grant = self.server.offer(arrival, self.occupancy(bytes));
+        grant.done + self.latency
+    }
+
+    /// Underlying FIFO for statistics.
+    pub fn server(&self) -> &FifoServer {
+        &self.server
+    }
+
+    /// The fixed propagation latency.
+    pub fn latency(&self) -> Time {
+        self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::PS_PER_S;
+
+    #[test]
+    fn fifo_serializes_overlapping_requests() {
+        let mut s = FifoServer::new();
+        let g1 = s.offer(Time::from_ns(0), Time::from_ns(10));
+        let g2 = s.offer(Time::from_ns(3), Time::from_ns(10));
+        assert_eq!(g1.done, Time::from_ns(10));
+        assert_eq!(g2.start, Time::from_ns(10));
+        assert_eq!(g2.done, Time::from_ns(20));
+        assert_eq!(g2.wait(Time::from_ns(3)), Time::from_ns(7));
+    }
+
+    #[test]
+    fn fifo_idle_gap_not_counted_busy() {
+        let mut s = FifoServer::new();
+        s.offer(Time::from_ns(0), Time::from_ns(5));
+        s.offer(Time::from_ns(100), Time::from_ns(5));
+        assert_eq!(s.busy_time(), Time::from_ns(10));
+        assert_eq!(s.served(), 2);
+        let u = s.utilization(Time::from_ns(105));
+        assert!((u - 10.0 / 105.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiserver_runs_k_in_parallel() {
+        let mut m = MultiServer::new(2);
+        let g1 = m.offer(Time::ZERO, Time::from_ns(10));
+        let g2 = m.offer(Time::ZERO, Time::from_ns(10));
+        let g3 = m.offer(Time::ZERO, Time::from_ns(10));
+        assert_eq!(g1.done, Time::from_ns(10));
+        assert_eq!(g2.done, Time::from_ns(10)); // second server
+        assert_eq!(g3.start, Time::from_ns(10)); // queued behind first free
+        assert_eq!(g3.done, Time::from_ns(20));
+        assert_eq!(m.served(), 3);
+    }
+
+    #[test]
+    fn multiserver_dispatches_to_earliest_free() {
+        let mut m = MultiServer::new(2);
+        m.offer(Time::ZERO, Time::from_ns(100)); // server A busy till 100
+        m.offer(Time::ZERO, Time::from_ns(10)); // server B busy till 10
+        let g = m.offer(Time::from_ns(10), Time::from_ns(5));
+        assert_eq!(g.start, Time::from_ns(10)); // lands on B immediately
+        assert_eq!(m.earliest_free(), Time::from_ns(15));
+    }
+
+    #[test]
+    fn link_bandwidth_and_latency() {
+        // 1 GB/s, 100 ns latency: 1000 bytes take 1 us transfer.
+        let mut l = Link::new(1_000_000_000, Time::from_ns(100));
+        assert_eq!(l.occupancy(1000), Time::from_ns(1000));
+        let done = l.send(Time::ZERO, 1000);
+        assert_eq!(done, Time::from_ns(1100));
+        // Second message queues behind the first's occupancy, not latency.
+        let done2 = l.send(Time::ZERO, 1000);
+        assert_eq!(done2, Time::from_ns(2100));
+    }
+
+    #[test]
+    fn link_high_bandwidth_is_precise() {
+        // 160 GB/s: 8 bytes = 0.05 ns = 50 ps.
+        let l = Link::new(160_000_000_000, Time::ZERO);
+        assert_eq!(l.occupancy(8).ps(), 50);
+        // One full second of bytes adds up without drift worse than fp step.
+        let total = l.occupancy(160_000_000_000);
+        let err = (total.ps() as i64 - PS_PER_S as i64).abs();
+        assert!(err < 1_000_000, "drift {err} ps over 1 s");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn empty_multiserver_panics() {
+        let _ = MultiServer::new(0);
+    }
+}

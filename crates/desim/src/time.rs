@@ -1,0 +1,302 @@
+//! Integer simulated time.
+//!
+//! All simulators in this workspace share a single notion of time: an
+//! unsigned count of **picoseconds** since the start of the simulation.
+//! Integer time keeps the discrete-event engines fully deterministic
+//! (no floating-point accumulation order effects) while still resolving
+//! sub-cycle quantities: one cycle of the fastest clock we model
+//! (DDR4-2133's 1066 MHz bus) is ~938 ps.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in simulated time, in picoseconds.
+///
+/// `Time` is also used for durations; the arithmetic operators saturate
+/// neither direction — overflow panics in debug builds, as elsewhere in
+/// Rust — because a simulation that runs for 2^64 ps (~213 days of
+/// simulated time) is a bug, not a use case.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+impl Time {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time, used as an "infinite" sentinel.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps)
+    }
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_ms(ms: u64) -> Time {
+        Time(ms * PS_PER_MS)
+    }
+
+    /// Construct from (possibly fractional) seconds. Rounds to nearest ps.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Time {
+        debug_assert!(s >= 0.0, "negative time");
+        Time((s * PS_PER_S as f64).round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional nanoseconds.
+    #[inline]
+    pub fn ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Time as fractional microseconds.
+    #[inline]
+    pub fn us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Time as fractional seconds.
+    #[inline]
+    pub fn secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Saturating subtraction: `self - other`, or zero if `other` is later.
+    #[inline]
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps", self.0)
+    }
+}
+
+impl fmt::Display for Time {
+    /// Human-readable display with an auto-selected unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps >= PS_PER_S {
+            write!(f, "{:.3}s", self.secs_f64())
+        } else if ps >= PS_PER_MS {
+            write!(f, "{:.3}ms", ps as f64 / PS_PER_MS as f64)
+        } else if ps >= PS_PER_US {
+            write!(f, "{:.3}us", self.us_f64())
+        } else if ps >= PS_PER_NS {
+            write!(f, "{:.3}ns", self.ns_f64())
+        } else {
+            write!(f, "{}ps", ps)
+        }
+    }
+}
+
+/// A fixed-frequency clock used to convert cycle counts to `Time`.
+///
+/// The period is stored in integer picoseconds, so clocks whose period is
+/// not an integer number of picoseconds (e.g. 150 MHz ⇒ 6666.67 ps) are
+/// rounded to the nearest picosecond. The resulting frequency error is
+/// below 0.01 % for every clock in this workspace, far below the
+/// calibration tolerances documented in EXPERIMENTS.md.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clock {
+    period_ps: u64,
+}
+
+impl Clock {
+    /// A clock with the given frequency in hertz.
+    ///
+    /// # Panics
+    /// Panics if `hz` is zero or greater than 10^12 (sub-picosecond period).
+    pub fn from_hz(hz: u64) -> Clock {
+        assert!(hz > 0, "zero-frequency clock");
+        assert!(hz <= PS_PER_S, "clock period below 1 ps");
+        Clock {
+            period_ps: (PS_PER_S + hz / 2) / hz,
+        }
+    }
+
+    /// A clock with the given frequency in megahertz.
+    pub fn from_mhz(mhz: u64) -> Clock {
+        Clock::from_hz(mhz * 1_000_000)
+    }
+
+    /// The clock period.
+    #[inline]
+    pub fn period(self) -> Time {
+        Time(self.period_ps)
+    }
+
+    /// Duration of `n` cycles.
+    #[inline]
+    pub fn cycles(self, n: u64) -> Time {
+        Time(self.period_ps * n)
+    }
+
+    /// Effective frequency in hertz (after period rounding).
+    pub fn hz(self) -> f64 {
+        PS_PER_S as f64 / self.period_ps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions_round_trip() {
+        assert_eq!(Time::from_ns(3).ps(), 3_000);
+        assert_eq!(Time::from_us(2).ps(), 2_000_000);
+        assert_eq!(Time::from_ms(1).ps(), PS_PER_MS);
+        assert_eq!(Time::from_secs_f64(1.5).ps(), 1_500_000_000_000);
+        assert!((Time::from_ps(2_500).ns_f64() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_ns(10);
+        let b = Time::from_ns(4);
+        assert_eq!((a + b).ps(), 14_000);
+        assert_eq!((a - b).ps(), 6_000);
+        assert_eq!((a * 3).ps(), 30_000);
+        assert_eq!((a / 2).ps(), 5_000);
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn sum_of_times() {
+        let total: Time = (1..=4).map(Time::from_ns).sum();
+        assert_eq!(total, Time::from_ns(10));
+    }
+
+    #[test]
+    fn clock_period_rounding() {
+        // 150 MHz -> 6666.67 ps, rounds to 6667 ps.
+        let c = Clock::from_mhz(150);
+        assert_eq!(c.period().ps(), 6667);
+        // Effective frequency stays within 0.01%.
+        assert!((c.hz() - 150e6).abs() / 150e6 < 1e-4);
+        // Exact divisors are exact.
+        assert_eq!(Clock::from_mhz(500).period().ps(), 2000);
+        assert_eq!(Clock::from_mhz(2600).cycles(26).ps(), 26 * 385);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Time::from_ps(12)), "12ps");
+        assert_eq!(format!("{}", Time::from_ns(12)), "12.000ns");
+        assert_eq!(format!("{}", Time::from_us(3)), "3.000us");
+        assert_eq!(format!("{}", Time::from_ms(7)), "7.000ms");
+        assert_eq!(format!("{}", Time::from_secs_f64(2.0)), "2.000s");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-frequency")]
+    fn zero_clock_panics() {
+        let _ = Clock::from_hz(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Time-bucketed occupancy accounting, for utilization timelines.
+//!
+//! The analytic servers resolve queueing without events, so there is no
+//! event stream to trace; instead a [`Timeline`] accumulates busy time
+//! into fixed-width buckets as grants are issued, giving a utilization
+//! profile over simulated time (e.g. the thread-spawn ramp of a STREAM
+//! run, or the level structure of a BFS).
+
+use crate::time::Time;
+
+/// Busy-time accumulation over fixed-width time buckets.
+#[derive(Debug, Clone)]
+pub struct Timeline {
+    bucket: Time,
+    busy: Vec<Time>,
+}
+
+impl Timeline {
+    /// A timeline with buckets of width `bucket`.
+    ///
+    /// # Panics
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: Time) -> Self {
+        assert!(bucket > Time::ZERO, "bucket width must be positive");
+        Timeline {
+            bucket,
+            busy: Vec::new(),
+        }
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> Time {
+        self.bucket
+    }
+
+    /// Record a busy interval `[start, start + dur)`, distributing it
+    /// across the buckets it spans.
+    pub fn record(&mut self, start: Time, dur: Time) {
+        if dur == Time::ZERO {
+            return;
+        }
+        let end = start + dur;
+        let first = (start.ps() / self.bucket.ps()) as usize;
+        let last = ((end.ps() - 1) / self.bucket.ps()) as usize;
+        if self.busy.len() <= last {
+            self.busy.resize(last + 1, Time::ZERO);
+        }
+        for b in first..=last {
+            let b_start = Time::from_ps(b as u64 * self.bucket.ps());
+            let b_end = b_start + self.bucket;
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            self.busy[b] += overlap;
+        }
+    }
+
+    /// Number of buckets with any activity recorded.
+    pub fn len(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.busy.is_empty()
+    }
+
+    /// Utilization of bucket `b` in `[0, 1]` relative to `capacity`
+    /// parallel servers.
+    pub fn utilization(&self, b: usize, capacity: u32) -> f64 {
+        match self.busy.get(b) {
+            Some(&t) => {
+                t.ps() as f64 / (self.bucket.ps() as f64 * capacity.max(1) as f64)
+            }
+            None => 0.0,
+        }
+    }
+
+    /// All bucket utilizations.
+    pub fn profile(&self, capacity: u32) -> Vec<f64> {
+        (0..self.busy.len())
+            .map(|b| self.utilization(b, capacity))
+            .collect()
+    }
+
+    /// A compact ASCII sparkline of the utilization profile (8 levels),
+    /// resampled to at most `width` characters.
+    pub fn sparkline(&self, capacity: u32, width: usize) -> String {
+        const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        let profile = self.profile(capacity);
+        if profile.is_empty() || width == 0 {
+            return String::new();
+        }
+        let chunks = profile.len().div_ceil(width);
+        profile
+            .chunks(chunks)
+            .map(|c| {
+                let avg = c.iter().sum::<f64>() / c.len() as f64;
+                let idx = (avg.clamp(0.0, 1.0) * 8.0).round() as usize;
+                LEVELS[idx]
+            })
+            .collect()
+    }
+
+    /// Merge another timeline (same bucket width) into this one.
+    ///
+    /// # Panics
+    /// Panics if bucket widths differ.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(self.bucket, other.bucket, "bucket width mismatch");
+        if self.busy.len() < other.busy.len() {
+            self.busy.resize(other.busy.len(), Time::ZERO);
+        }
+        for (a, b) in self.busy.iter_mut().zip(&other.busy) {
+            *a += *b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_bucket_interval() {
+        let mut t = Timeline::new(Time::from_ns(100));
+        t.record(Time::from_ns(10), Time::from_ns(50));
+        assert_eq!(t.len(), 1);
+        assert!((t.utilization(0, 1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interval_split_across_buckets() {
+        let mut t = Timeline::new(Time::from_ns(100));
+        // [80, 230): 20 in bucket 0, 100 in bucket 1, 30 in bucket 2.
+        t.record(Time::from_ns(80), Time::from_ns(150));
+        assert_eq!(t.len(), 3);
+        assert!((t.utilization(0, 1) - 0.2).abs() < 1e-12);
+        assert!((t.utilization(1, 1) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(2, 1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_scales_utilization() {
+        let mut t = Timeline::new(Time::from_ns(10));
+        t.record(Time::ZERO, Time::from_ns(10));
+        t.record(Time::ZERO, Time::from_ns(10));
+        assert!((t.utilization(0, 2) - 1.0).abs() < 1e-12);
+        assert!((t.utilization(0, 4) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut t = Timeline::new(Time::from_ns(10));
+        t.record(Time::ZERO, Time::from_ns(10)); // full
+        t.record(Time::from_ns(25), Time::from_ns(5)); // half in bucket 2
+        let s = t.sparkline(1, 10);
+        assert_eq!(s.chars().count(), 3);
+        assert_eq!(s.chars().next(), Some('\u{2588}'));
+        assert_eq!(s.chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = Timeline::new(Time::from_ns(10));
+        let mut b = Timeline::new(Time::from_ns(10));
+        a.record(Time::ZERO, Time::from_ns(5));
+        b.record(Time::ZERO, Time::from_ns(5));
+        b.record(Time::from_ns(10), Time::from_ns(10));
+        a.merge(&b);
+        assert!((a.utilization(0, 1) - 1.0).abs() < 1e-12);
+        assert!((a.utilization(1, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_duration_ignored() {
+        let mut t = Timeline::new(Time::from_ns(10));
+        t.record(Time::from_ns(5), Time::ZERO);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width mismatch")]
+    fn merge_checks_width() {
+        let mut a = Timeline::new(Time::from_ns(10));
+        let b = Timeline::new(Time::from_ns(20));
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the simulation kernel's invariants.
+
+use desim::server::{FifoServer, Link, MultiServer};
+use desim::stats::{LogHistogram, Summary};
+use desim::time::Time;
+use desim::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// FIFO server: with sorted arrivals, completions are nondecreasing,
+    /// service intervals never overlap, and busy time is conserved.
+    #[test]
+    fn fifo_server_conservation(
+        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)
+    ) {
+        let mut arrivals: Vec<(u64, u64)> = reqs;
+        arrivals.sort_unstable();
+        let mut s = FifoServer::new();
+        let mut last_done = Time::ZERO;
+        let mut total_service = Time::ZERO;
+        for &(at, dur) in &arrivals {
+            let g = s.offer(Time::from_ns(at), Time::from_ns(dur));
+            // Service starts no earlier than arrival and no earlier than
+            // the previous completion.
+            prop_assert!(g.start >= Time::from_ns(at));
+            prop_assert!(g.start >= last_done);
+            prop_assert_eq!(g.done, g.start + Time::from_ns(dur));
+            last_done = g.done;
+            total_service += Time::from_ns(dur);
+        }
+        prop_assert_eq!(s.busy_time(), total_service);
+        prop_assert_eq!(s.served(), arrivals.len() as u64);
+    }
+
+    /// Multi-server: total busy is conserved and the k-server bound holds
+    /// (aggregate utilization at most 1.0).
+    #[test]
+    fn multiserver_conservation(
+        k in 1usize..8,
+        reqs in prop::collection::vec((0u64..5_000, 1u64..300), 1..100)
+    ) {
+        let mut arrivals: Vec<(u64, u64)> = reqs;
+        arrivals.sort_unstable();
+        let mut m = MultiServer::new(k);
+        let mut total_service = Time::ZERO;
+        let mut makespan = Time::ZERO;
+        for &(at, dur) in &arrivals {
+            let g = m.offer(Time::from_ns(at), Time::from_ns(dur));
+            prop_assert!(g.start >= Time::from_ns(at));
+            total_service += Time::from_ns(dur);
+            makespan = makespan.max(g.done);
+        }
+        prop_assert_eq!(m.busy_time(), total_service);
+        let util = m.utilization(makespan);
+        prop_assert!(util <= 1.0 + 1e-9, "utilization {util}");
+    }
+
+    /// Event queue pops in (time, insertion) order for arbitrary input.
+    #[test]
+    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(Time::from_ns(t), i);
+        }
+        let mut last: Option<(Time, usize)> = None;
+        while let Some((t, i)) = q.pop() {
+            if let Some((lt, li)) = last {
+                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+            }
+            last = Some((t, i));
+        }
+    }
+
+    /// Merging summaries in any split equals the single-stream summary.
+    #[test]
+    fn summary_merge_split_invariant(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        cut in 0usize..200
+    ) {
+        let cut = cut.min(xs.len());
+        let mut whole = Summary::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        xs[..cut].iter().for_each(|&x| a.record(x));
+        xs[cut..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert_eq!(a.min(), whole.min());
+        prop_assert_eq!(a.max(), whole.max());
+    }
+
+    /// Histogram quantiles are monotone in q and bracket min/max.
+    #[test]
+    fn histogram_quantiles_monotone(samples in prop::collection::vec(1u64..1_000_000, 1..200)) {
+        let mut h = LogHistogram::new();
+        for &s in &samples {
+            h.record(Time::from_ps(s));
+        }
+        let q25 = h.quantile(0.25);
+        let q50 = h.quantile(0.5);
+        let q99 = h.quantile(0.99);
+        prop_assert!(q25 <= q50 && q50 <= q99);
+        let max = *samples.iter().max().unwrap();
+        // The top quantile's bucket upper bound is at least the max sample.
+        prop_assert!(h.quantile(1.0) >= Time::from_ps(max));
+    }
+
+    /// Link: completion is monotone in arrival for equal sizes, and the
+    /// transfer time scales linearly with bytes.
+    #[test]
+    fn link_monotone_and_linear(
+        bw in 1_000_000u64..100_000_000_000,
+        sizes in prop::collection::vec(1u64..100_000, 1..50)
+    ) {
+        let mut l = Link::new(bw, Time::from_ns(10));
+        let mut last = Time::ZERO;
+        let mut at = Time::ZERO;
+        for &s in &sizes {
+            let done = l.send(at, s);
+            prop_assert!(done >= last, "completion must be monotone");
+            last = done;
+            at += Time::from_ns(1);
+        }
+        // Linearity of occupancy within fixed-point resolution.
+        let one = l.occupancy(1000).ps() as i128;
+        let ten = l.occupancy(10_000).ps() as i128;
+        prop_assert!((ten - 10 * one).abs() <= 10, "occupancy not linear: {one} vs {ten}");
+    }
+}

@@ -1,0 +1,888 @@
+//! The discrete-event engine that executes threadlet kernels on the
+//! machine model.
+//!
+//! ## Execution model
+//!
+//! Each threadlet is driven through a sequence of operations (its
+//! [`Kernel`]'s op stream). One event pop re-activates one threadlet (or
+//! completes one in-flight transaction); the handler routes the operation
+//! through the analytic resources of the owning nodelet:
+//!
+//! * **Gossamer cores** — a [`MultiServer`] per nodelet. Every op occupies
+//!   the issue machinery for its issue cycles; the *issuing thread* is
+//!   additionally blocked for the op's pipeline latency. The gap between
+//!   aggregate issue throughput and single-thread latency is what makes
+//!   bandwidth scale with thread count (Figs 4–5).
+//! * **NCDRAM channel** — a [`FifoServer`] per nodelet with 8-byte burst
+//!   granularity: fine-grained accesses never over-fetch, the core Emu
+//!   advantage in the pointer-chasing comparison.
+//! * **Migration engine** — a [`FifoServer`] per nodelet with a finite
+//!   migration rate; **any remote load migrates the thread** through it.
+//! * **Hardware thread slots** — at most `gcs × 64` threadlet contexts per
+//!   nodelet; arrivals beyond that wait, which serializes naive
+//!   single-nodelet spawn strategies.
+//!
+//! All state changes happen inside event handlers, so resources see
+//! arrivals in nondecreasing time order and FIFO semantics hold.
+
+use crate::addr::NodeletId;
+use crate::config::MachineConfig;
+use crate::kernel::{Kernel, KernelCtx, Op, Placement, ThreadId};
+use crate::metrics::{NodeletCounters, NodeletOccupancy, RunReport};
+use desim::queue::EventQueue;
+use desim::server::{FifoServer, Link, MultiServer};
+use desim::stats::{LogHistogram, Summary};
+use desim::time::Time;
+use desim::timeline::Timeline;
+use std::collections::VecDeque;
+
+/// Internal engine events. One pop = one state transition.
+enum Event {
+    /// Thread context arrives at its `loc` (spawn or migration); it must
+    /// acquire a hardware slot before issuing.
+    Arrive(ThreadId),
+    /// Thread holds a slot and may issue its next operation.
+    Ready(ThreadId),
+    /// A load issued earlier now reaches the memory channel.
+    ChannelRead(ThreadId, u32),
+    /// A (possibly remote) store/atomic packet reaches a channel.
+    ChannelWrite {
+        nodelet: NodeletId,
+        bytes: u32,
+        atomic: bool,
+        from_remote: bool,
+    },
+    /// A departing context reaches its migration engine.
+    MigrateOut(ThreadId),
+    /// A cross-node migration enters the RapidIO link of its source node.
+    LinkSend(ThreadId),
+    /// A hardware slot frees on a nodelet (context departed or quit).
+    SlotRelease(NodeletId),
+}
+
+struct Thread {
+    kernel: Option<Box<dyn Kernel>>,
+    loc: NodeletId,
+    home: NodeletId,
+    dest: NodeletId,
+    /// Operation to re-execute after a migration completes.
+    resume: Option<Op>,
+    in_flight_migration: bool,
+    mig_issue_at: Time,
+    migrations: u64,
+    done: bool,
+    /// When the currently outstanding operation began.
+    op_started: Time,
+    /// What kind of delay the outstanding operation is charged to.
+    op_kind: OpKind,
+}
+
+/// Where a threadlet's wall time goes — the paper's §III-D "other system
+/// overheads" made measurable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    None,
+    Compute,
+    Memory,
+    Migration,
+    StoreIssue,
+    Spawn,
+}
+
+/// Aggregate threadlet time by activity, summed over all threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TimeBreakdown {
+    /// Blocked on compute (including core queueing and pipeline latency).
+    pub compute: Time,
+    /// Blocked on local loads (issue, pipeline, channel queue, DRAM).
+    pub memory: Time,
+    /// Blocked migrating (issue, engine queue, hops, destination slot
+    /// wait, and re-executing the interrupted read locally).
+    pub migration: Time,
+    /// Blocked posting stores/atomics (issue + pipeline only).
+    pub store_issue: Time,
+    /// Blocked executing spawn instructions.
+    pub spawn: Time,
+}
+
+impl TimeBreakdown {
+    /// Total accounted thread-time.
+    pub fn total(&self) -> Time {
+        self.compute + self.memory + self.migration + self.store_issue + self.spawn
+    }
+
+    /// Fraction of total thread-time in `part` (helper for reports).
+    pub fn fraction(&self, part: Time) -> f64 {
+        let t = self.total();
+        if t == Time::ZERO {
+            0.0
+        } else {
+            part.ps() as f64 / t.ps() as f64
+        }
+    }
+}
+
+struct Nodelet {
+    cores: MultiServer,
+    channel: FifoServer,
+    mig_engine: FifoServer,
+    slots_free: u32,
+    waiters: VecDeque<ThreadId>,
+    counters: NodeletCounters,
+}
+
+/// The Emu machine simulator. Construct, seed initial threadlets with
+/// [`Engine::spawn_at`], then [`Engine::run`] to completion.
+pub struct Engine {
+    cfg: MachineConfig,
+    q: EventQueue<Event>,
+    threads: Vec<Thread>,
+    nodelets: Vec<Nodelet>,
+    /// One outbound RapidIO link per node card (inter-node migrations).
+    links: Vec<Link>,
+    mig_latency: LogHistogram,
+    live: u64,
+    trace: Option<Trace>,
+    breakdown: TimeBreakdown,
+}
+
+/// Optional per-nodelet occupancy timelines (enabled via
+/// [`Engine::enable_timeline`]).
+struct Trace {
+    core: Vec<Timeline>,
+    channel: Vec<Timeline>,
+    migration: Vec<Timeline>,
+}
+
+/// Per-nodelet occupancy timelines of one run (present when
+/// [`Engine::enable_timeline`] was called).
+#[derive(Debug, Clone)]
+pub struct RunTimelines {
+    /// Bucket width used.
+    pub bucket: Time,
+    /// Gossamer-core occupancy per nodelet.
+    pub core: Vec<Timeline>,
+    /// Memory-channel occupancy per nodelet.
+    pub channel: Vec<Timeline>,
+    /// Migration-engine occupancy per nodelet.
+    pub migration: Vec<Timeline>,
+}
+
+impl Engine {
+    /// Build an engine over `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the configuration fails [`MachineConfig::validate`].
+    pub fn new(cfg: MachineConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid MachineConfig: {e}");
+        }
+        let n = cfg.total_nodelets() as usize;
+        let nodelets = (0..n)
+            .map(|_| Nodelet {
+                cores: MultiServer::new(cfg.gcs_per_nodelet as usize),
+                channel: FifoServer::new(),
+                mig_engine: FifoServer::new(),
+                slots_free: cfg.slots_per_nodelet(),
+                waiters: VecDeque::new(),
+                counters: NodeletCounters::default(),
+            })
+            .collect();
+        let links = (0..cfg.nodes)
+            .map(|_| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO))
+            .collect();
+        Engine {
+            cfg,
+            q: EventQueue::new(),
+            threads: Vec::new(),
+            nodelets,
+            links,
+            mig_latency: LogHistogram::new(),
+            live: 0,
+            trace: None,
+            breakdown: TimeBreakdown::default(),
+        }
+    }
+
+    /// Record per-nodelet occupancy timelines with buckets of `bucket`
+    /// width (see [`RunTimelines`] on the report).
+    pub fn enable_timeline(&mut self, bucket: Time) {
+        let n = self.nodelets.len();
+        self.trace = Some(Trace {
+            core: vec![Timeline::new(bucket); n],
+            channel: vec![Timeline::new(bucket); n],
+            migration: vec![Timeline::new(bucket); n],
+        });
+    }
+
+    #[inline]
+    fn trace_core(&mut self, nodelet: usize, grant: desim::server::Grant) {
+        if let Some(t) = self.trace.as_mut() {
+            t.core[nodelet].record(grant.start, grant.done - grant.start);
+        }
+    }
+
+    #[inline]
+    fn trace_channel(&mut self, nodelet: usize, grant: desim::server::Grant) {
+        if let Some(t) = self.trace.as_mut() {
+            t.channel[nodelet].record(grant.start, grant.done - grant.start);
+        }
+    }
+
+    #[inline]
+    fn trace_migration(&mut self, nodelet: usize, grant: desim::server::Grant) {
+        if let Some(t) = self.trace.as_mut() {
+            t.migration[nodelet].record(grant.start, grant.done - grant.start);
+        }
+    }
+
+    /// The machine configuration this engine simulates.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Create an initial threadlet on `nodelet` at time zero. May be
+    /// called multiple times before [`Engine::run`].
+    pub fn spawn_at(&mut self, nodelet: NodeletId, kernel: Box<dyn Kernel>) -> ThreadId {
+        assert!(
+            nodelet.0 < self.cfg.total_nodelets(),
+            "spawn target {nodelet:?} outside machine"
+        );
+        let tid = self.alloc_thread(kernel, nodelet, nodelet);
+        self.nodelets[nodelet.idx()].counters.spawns += 1;
+        self.q.schedule(Time::ZERO, Event::Arrive(tid));
+        tid
+    }
+
+    fn alloc_thread(
+        &mut self,
+        kernel: Box<dyn Kernel>,
+        loc: NodeletId,
+        home: NodeletId,
+    ) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        self.threads.push(Thread {
+            kernel: Some(kernel),
+            loc,
+            home,
+            dest: loc,
+            resume: None,
+            in_flight_migration: false,
+            mig_issue_at: Time::ZERO,
+            migrations: 0,
+            done: false,
+            op_started: Time::ZERO,
+            op_kind: OpKind::None,
+        });
+        self.live += 1;
+        tid
+    }
+
+    /// Run until every threadlet has quit; returns the measurement report.
+    ///
+    /// # Panics
+    /// Panics if the event queue drains while threads are still alive
+    /// (an engine bug — threads can only be waiting on events or slots,
+    /// and slots always free when holders finish).
+    pub fn run(mut self) -> RunReport {
+        while let Some((now, ev)) = self.q.pop() {
+            match ev {
+                Event::Arrive(tid) => self.on_arrive(tid, now),
+                Event::Ready(tid) => self.on_ready(tid, now),
+                Event::ChannelRead(tid, bytes) => self.on_channel_read(tid, bytes, now),
+                Event::ChannelWrite {
+                    nodelet,
+                    bytes,
+                    atomic,
+                    from_remote,
+                } => self.on_channel_write(nodelet, bytes, atomic, from_remote, now),
+                Event::MigrateOut(tid) => self.on_migrate_out(tid, now),
+                Event::LinkSend(tid) => self.on_link_send(tid, now),
+                Event::SlotRelease(nodelet) => self.on_slot_release(nodelet, now),
+            }
+        }
+        assert_eq!(
+            self.live, 0,
+            "event queue drained with {} threads still alive",
+            self.live
+        );
+        self.into_report()
+    }
+
+    fn on_arrive(&mut self, tid: ThreadId, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        if self.threads[tid.idx()].in_flight_migration {
+            self.threads[tid.idx()].in_flight_migration = false;
+            let issued = self.threads[tid.idx()].mig_issue_at;
+            self.mig_latency.record(now - issued);
+            self.nodelets[loc.idx()].counters.migrations_in += 1;
+        }
+        let nl = &mut self.nodelets[loc.idx()];
+        if nl.slots_free > 0 {
+            nl.slots_free -= 1;
+            self.q.schedule(now, Event::Ready(tid));
+        } else {
+            nl.counters.slot_waits += 1;
+            nl.waiters.push_back(tid);
+        }
+    }
+
+    fn on_slot_release(&mut self, nodelet: NodeletId, now: Time) {
+        let nl = &mut self.nodelets[nodelet.idx()];
+        if let Some(waiter) = nl.waiters.pop_front() {
+            // Slot transfers directly to the waiter.
+            self.q.schedule(now, Event::Ready(waiter));
+        } else {
+            nl.slots_free += 1;
+        }
+    }
+
+    fn on_ready(&mut self, tid: ThreadId, now: Time) {
+        self.charge(tid, now);
+        let op = match self.threads[tid.idx()].resume.take() {
+            Some(op) => op,
+            None => {
+                let t = &self.threads[tid.idx()];
+                let ctx = KernelCtx {
+                    tid,
+                    here: t.loc,
+                    home: t.home,
+                    now,
+                };
+                self.threads[tid.idx()]
+                    .kernel
+                    .as_mut()
+                    .expect("ready thread has a kernel")
+                    .step(&ctx)
+            }
+        };
+        self.execute(tid, op, now);
+    }
+
+    /// Attribute the elapsed time of the finished operation (if any) to
+    /// its activity class.
+    fn charge(&mut self, tid: ThreadId, now: Time) {
+        let t = &mut self.threads[tid.idx()];
+        let elapsed = now.saturating_sub(t.op_started);
+        match t.op_kind {
+            OpKind::None => {}
+            OpKind::Compute => self.breakdown.compute += elapsed,
+            OpKind::Memory => self.breakdown.memory += elapsed,
+            OpKind::Migration => self.breakdown.migration += elapsed,
+            OpKind::StoreIssue => self.breakdown.store_issue += elapsed,
+            OpKind::Spawn => self.breakdown.spawn += elapsed,
+        }
+        t.op_kind = OpKind::None;
+    }
+
+    fn begin(&mut self, tid: ThreadId, kind: OpKind, now: Time) {
+        let t = &mut self.threads[tid.idx()];
+        t.op_started = now;
+        t.op_kind = kind;
+    }
+
+    fn execute(&mut self, tid: ThreadId, op: Op, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        let costs = self.cfg.costs.clone();
+        match &op {
+            Op::Compute { .. } => self.begin(tid, OpKind::Compute, now),
+            Op::Load { addr, .. } => {
+                let kind = if addr.is_local_to(loc) {
+                    OpKind::Memory
+                } else {
+                    OpKind::Migration
+                };
+                self.begin(tid, kind, now);
+            }
+            Op::Store { .. } | Op::AtomicAdd { .. } => self.begin(tid, OpKind::StoreIssue, now),
+            Op::MigrateTo { .. } => self.begin(tid, OpKind::Migration, now),
+            Op::Spawn { .. } => self.begin(tid, OpKind::Spawn, now),
+            Op::Quit => {}
+        }
+        match op {
+            Op::Compute { cycles } => {
+                let occ = self.cfg.cycles(cycles);
+                let grant = self.nodelets[loc.idx()].cores.offer(now, occ);
+                self.trace_core(loc.idx(), grant);
+                let extra = self
+                    .cfg
+                    .cycles(cycles.saturating_mul(costs.compute_latency_factor.saturating_sub(1)));
+                self.q.schedule(grant.done + extra, Event::Ready(tid));
+            }
+            Op::Load { addr, bytes } => {
+                if addr.is_local_to(loc) {
+                    let grant = self.nodelets[loc.idx()]
+                        .cores
+                        .offer(now, self.cfg.cycles(costs.mem_issue_cycles));
+                    self.trace_core(loc.idx(), grant);
+                    let at_channel = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
+                    self.q.schedule(at_channel, Event::ChannelRead(tid, bytes));
+                } else {
+                    self.start_migration(tid, addr.nodelet, Some(Op::Load { addr, bytes }), now);
+                }
+            }
+            Op::Store { addr, bytes } | Op::AtomicAdd { addr, bytes } => {
+                let atomic = matches!(op, Op::AtomicAdd { .. });
+                let grant = self.nodelets[loc.idx()]
+                    .cores
+                    .offer(now, self.cfg.cycles(costs.mem_issue_cycles));
+                self.trace_core(loc.idx(), grant);
+                let pipelined = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
+                let (arrive, remote) = if addr.is_local_to(loc) {
+                    (pipelined, false)
+                } else {
+                    // Posted remote packet: traverses the network, handled
+                    // by the destination's memory-side processor. The
+                    // issuing thread does NOT migrate or wait.
+                    (pipelined + self.cfg.hop_latency(loc, addr.nodelet), true)
+                };
+                self.q.schedule(
+                    arrive,
+                    Event::ChannelWrite {
+                        nodelet: addr.nodelet,
+                        bytes,
+                        atomic,
+                        from_remote: remote,
+                    },
+                );
+                // The thread continues once the store clears its pipeline.
+                self.q.schedule(pipelined, Event::Ready(tid));
+            }
+            Op::MigrateTo { nodelet } => {
+                if nodelet == loc {
+                    // Degenerate self-migration: costs one issue.
+                    let grant = self.nodelets[loc.idx()]
+                        .cores
+                        .offer(now, self.cfg.cycles(costs.migrate_issue_cycles));
+                    self.trace_core(loc.idx(), grant);
+                    self.q.schedule(grant.done, Event::Ready(tid));
+                } else {
+                    self.start_migration(tid, nodelet, None, now);
+                }
+            }
+            Op::Spawn { kernel, place } => {
+                let grant = self.nodelets[loc.idx()]
+                    .cores
+                    .offer(now, self.cfg.cycles(costs.spawn_issue_cycles));
+                self.trace_core(loc.idx(), grant);
+                match place {
+                    Placement::Here => {
+                        let child = self.alloc_thread(kernel, loc, loc);
+                        self.nodelets[loc.idx()].counters.spawns += 1;
+                        self.q
+                            .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
+                    }
+                    Placement::On(target) if target == loc => {
+                        // "Remote" spawn onto the current nodelet is just
+                        // a local spawn — no engine traffic.
+                        let child = self.alloc_thread(kernel, loc, loc);
+                        self.nodelets[loc.idx()].counters.spawns += 1;
+                        self.q
+                            .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
+                    }
+                    Placement::On(target) => {
+                        assert!(
+                            target.0 < self.cfg.total_nodelets(),
+                            "remote spawn target {target:?} outside machine"
+                        );
+                        // A remote spawn ships the newborn context through
+                        // the local migration engine, exactly like a
+                        // migration; the child's home (stack) is the target.
+                        let child = self.alloc_thread(kernel, loc, target);
+                        self.nodelets[target.idx()].counters.spawns += 1;
+                        self.threads[child.idx()].dest = target;
+                        self.threads[child.idx()].in_flight_migration = true;
+                        self.threads[child.idx()].mig_issue_at = grant.done;
+                        self.threads[child.idx()].migrations += 1;
+                        self.nodelets[loc.idx()].counters.migrations_out += 1;
+                        self.q.schedule(grant.done, Event::MigrateOut(child));
+                    }
+                }
+                // The parent resumes after the spawn clears its pipeline.
+                let resume = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
+                self.q.schedule(resume, Event::Ready(tid));
+            }
+            Op::Quit => {
+                let t = &mut self.threads[tid.idx()];
+                t.done = true;
+                t.kernel = None;
+                self.live -= 1;
+                self.q.schedule(now, Event::SlotRelease(loc));
+            }
+        }
+    }
+
+    /// Issue a migration of `tid` toward `dest`; `resume` (if any) is
+    /// re-executed on arrival.
+    fn start_migration(&mut self, tid: ThreadId, dest: NodeletId, resume: Option<Op>, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        debug_assert_ne!(loc, dest, "migration to current nodelet");
+        let grant = self.nodelets[loc.idx()]
+            .cores
+            .offer(now, self.cfg.cycles(self.cfg.costs.migrate_issue_cycles));
+        self.trace_core(loc.idx(), grant);
+        let t = &mut self.threads[tid.idx()];
+        t.resume = resume;
+        t.dest = dest;
+        t.in_flight_migration = true;
+        t.mig_issue_at = grant.done;
+        t.migrations += 1;
+        self.nodelets[loc.idx()].counters.migrations_out += 1;
+        // The context departs the core at grant.done: its slot frees and
+        // it enters the migration engine.
+        self.q.schedule(grant.done, Event::SlotRelease(loc));
+        self.q.schedule(grant.done, Event::MigrateOut(tid));
+    }
+
+    fn on_migrate_out(&mut self, tid: ThreadId, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        let dest = self.threads[tid.idx()].dest;
+        let service = self.cfg.migration_service();
+        let grant = self.nodelets[loc.idx()].mig_engine.offer(now, service);
+        self.trace_migration(loc.idx(), grant);
+        if loc.same_node(dest, self.cfg.nodelets_per_node) {
+            let arrival = grant.done + self.cfg.hop_latency(loc, dest);
+            self.threads[tid.idx()].loc = dest;
+            self.q.schedule(arrival, Event::Arrive(tid));
+        } else {
+            // Cross-node: after the engine, the context crosses the
+            // RapidIO fabric, a shared per-node link.
+            self.q.schedule(grant.done, Event::LinkSend(tid));
+        }
+    }
+
+    fn on_link_send(&mut self, tid: ThreadId, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        let dest = self.threads[tid.idx()].dest;
+        let node = loc.node(self.cfg.nodelets_per_node) as usize;
+        let delivered = self.links[node].send(now, self.cfg.context_bytes as u64);
+        let arrival = delivered + self.cfg.inter_node_hop;
+        self.threads[tid.idx()].loc = dest;
+        self.q.schedule(arrival, Event::Arrive(tid));
+    }
+
+    fn on_channel_read(&mut self, tid: ThreadId, bytes: u32, now: Time) {
+        let loc = self.threads[tid.idx()].loc;
+        let nl = &mut self.nodelets[loc.idx()];
+        let grant = nl.channel.offer(now, self.cfg.channel_service(bytes));
+        nl.counters.local_loads += 1;
+        nl.counters.bytes_loaded += bytes as u64;
+        self.trace_channel(loc.idx(), grant);
+        self.q
+            .schedule(grant.done + self.cfg.dram_latency, Event::Ready(tid));
+    }
+
+    fn on_channel_write(
+        &mut self,
+        nodelet: NodeletId,
+        bytes: u32,
+        atomic: bool,
+        from_remote: bool,
+        now: Time,
+    ) {
+        let nl = &mut self.nodelets[nodelet.idx()];
+        let mut service = self.cfg.channel_service(bytes);
+        if atomic {
+            service += self.cfg.costs.atomic_extra;
+        }
+        let grant = nl.channel.offer(now, service);
+        if atomic {
+            nl.counters.atomics += 1;
+        } else {
+            nl.counters.local_stores += 1;
+        }
+        if from_remote {
+            nl.counters.remote_packets_in += 1;
+        }
+        nl.counters.bytes_stored += bytes as u64;
+        self.trace_channel(nodelet.idx(), grant);
+    }
+
+    fn into_report(self) -> RunReport {
+        let makespan = self.q.now();
+        let mut migs = Summary::new();
+        for t in &self.threads {
+            migs.record(t.migrations as f64);
+        }
+        let occupancy = self
+            .nodelets
+            .iter()
+            .map(|n| NodeletOccupancy {
+                core_busy: n.cores.busy_time(),
+                channel_busy: n.channel.busy_time(),
+                migration_busy: n.mig_engine.busy_time(),
+                channel_mean_wait: n.channel.mean_wait(),
+                migration_mean_wait: n.mig_engine.mean_wait(),
+            })
+            .collect();
+        let breakdown = self.breakdown;
+        let timelines = self.trace.map(|t| RunTimelines {
+            bucket: t.core.first().map(Timeline::bucket).unwrap_or(Time::from_us(1)),
+            core: t.core,
+            channel: t.channel,
+            migration: t.migration,
+        });
+        RunReport {
+            makespan,
+            nodelets: self.nodelets.into_iter().map(|n| n.counters).collect(),
+            occupancy,
+            gcs_per_nodelet: self.cfg.gcs_per_nodelet,
+            threads: self.threads.len() as u64,
+            migration_latency: self.mig_latency,
+            migrations_per_thread: migs,
+            timelines,
+            breakdown,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::GlobalAddr;
+    use crate::kernel::ScriptKernel;
+    use crate::presets;
+
+    fn nl(n: u32) -> NodeletId {
+        NodeletId(n)
+    }
+
+    fn run_script(ops: Vec<Op>) -> RunReport {
+        let mut e = Engine::new(presets::chick_prototype());
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops)));
+        e.run()
+    }
+
+    #[test]
+    fn empty_kernel_terminates() {
+        let r = run_script(vec![]);
+        assert_eq!(r.threads, 1);
+        assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn local_load_counts_bytes_no_migration() {
+        let r = run_script(vec![Op::Load {
+            addr: GlobalAddr::new(nl(0), 64),
+            bytes: 8,
+        }]);
+        assert_eq!(r.nodelets[0].local_loads, 1);
+        assert_eq!(r.nodelets[0].bytes_loaded, 8);
+        assert_eq!(r.total_migrations(), 0);
+        assert!(r.makespan > Time::ZERO);
+    }
+
+    #[test]
+    fn remote_load_migrates_thread() {
+        let r = run_script(vec![Op::Load {
+            addr: GlobalAddr::new(nl(3), 64),
+            bytes: 8,
+        }]);
+        assert_eq!(r.total_migrations(), 1);
+        assert_eq!(r.nodelets[0].migrations_out, 1);
+        assert_eq!(r.nodelets[3].migrations_in, 1);
+        // The load executed at the destination.
+        assert_eq!(r.nodelets[3].local_loads, 1);
+        assert_eq!(r.nodelets[0].local_loads, 0);
+        assert_eq!(r.migration_latency.count(), 1);
+    }
+
+    #[test]
+    fn remote_store_does_not_migrate() {
+        let r = run_script(vec![Op::Store {
+            addr: GlobalAddr::new(nl(5), 0),
+            bytes: 8,
+        }]);
+        assert_eq!(r.total_migrations(), 0);
+        assert_eq!(r.nodelets[5].local_stores, 1);
+        assert_eq!(r.nodelets[5].remote_packets_in, 1);
+        assert_eq!(r.nodelets[5].bytes_stored, 8);
+    }
+
+    #[test]
+    fn remote_atomic_counts_as_atomic() {
+        let r = run_script(vec![Op::AtomicAdd {
+            addr: GlobalAddr::new(nl(2), 0),
+            bytes: 8,
+        }]);
+        assert_eq!(r.total_migrations(), 0);
+        assert_eq!(r.nodelets[2].atomics, 1);
+        assert_eq!(r.nodelets[2].remote_packets_in, 1);
+    }
+
+    #[test]
+    fn migrate_to_bounces() {
+        let r = run_script(vec![
+            Op::MigrateTo { nodelet: nl(1) },
+            Op::MigrateTo { nodelet: nl(0) },
+            Op::MigrateTo { nodelet: nl(1) },
+        ]);
+        assert_eq!(r.total_migrations(), 3);
+        assert_eq!(r.nodelets[0].migrations_out, 2);
+        assert_eq!(r.nodelets[1].migrations_out, 1);
+        assert!((r.migrations_per_thread.mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn local_spawn_runs_child() {
+        let child = ScriptKernel::new(vec![Op::Compute { cycles: 10 }]);
+        let r = run_script(vec![Op::Spawn {
+            kernel: Box::new(child),
+            place: Placement::Here,
+        }]);
+        assert_eq!(r.threads, 2);
+        assert_eq!(r.total_spawns(), 2); // initial + child
+        assert_eq!(r.total_migrations(), 0);
+    }
+
+    #[test]
+    fn remote_spawn_travels_through_migration_engine() {
+        let child = ScriptKernel::new(vec![Op::Load {
+            addr: GlobalAddr::new(nl(4), 0),
+            bytes: 8,
+        }]);
+        let r = run_script(vec![Op::Spawn {
+            kernel: Box::new(child),
+            place: Placement::On(nl(4)),
+        }]);
+        assert_eq!(r.threads, 2);
+        // Child landed on nodelet 4 and its load was local there.
+        assert_eq!(r.nodelets[4].local_loads, 1);
+        assert_eq!(r.nodelets[4].spawns, 1);
+        // The remote spawn consumed the source migration engine once and
+        // needed no further migration for the load.
+        assert_eq!(r.nodelets[0].migrations_out, 1);
+    }
+
+    #[test]
+    fn slot_cap_serializes_arrivals() {
+        // Spawn 3 children on a machine with 2 slots per nodelet; each
+        // child computes. With only 2 slots, at least one child waits.
+        let mut cfg = presets::chick_prototype();
+        cfg.threadlets_per_gc = 2;
+        let mut e = Engine::new(cfg);
+        let mut ops = Vec::new();
+        for _ in 0..3 {
+            ops.push(Op::Spawn {
+                kernel: Box::new(ScriptKernel::new(vec![Op::Compute { cycles: 1000 }])),
+                place: Placement::Here,
+            });
+        }
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops)));
+        let r = e.run();
+        assert_eq!(r.threads, 4);
+        assert!(r.nodelets[0].slot_waits > 0, "expected slot contention");
+    }
+
+    #[test]
+    fn cross_node_migration_uses_link() {
+        let cfg = presets::emu64_full_speed();
+        let mut e = Engine::new(cfg);
+        e.spawn_at(
+            nl(0),
+            Box::new(ScriptKernel::new(vec![Op::Load {
+                addr: GlobalAddr::new(nl(12), 0), // node 1
+                bytes: 8,
+            }])),
+        );
+        let r = e.run();
+        assert_eq!(r.total_migrations(), 1);
+        assert_eq!(r.nodelets[12].local_loads, 1);
+    }
+
+    #[test]
+    fn deterministic_repeat() {
+        let mk = || {
+            run_script(vec![
+                Op::Load {
+                    addr: GlobalAddr::new(nl(2), 0),
+                    bytes: 16,
+                },
+                Op::Compute { cycles: 7 },
+                Op::Store {
+                    addr: GlobalAddr::new(nl(1), 8),
+                    bytes: 8,
+                },
+            ])
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+    }
+
+    #[test]
+    fn breakdown_attributes_time_to_the_right_class() {
+        // Pure compute.
+        let r = run_script(vec![Op::Compute { cycles: 100 }]);
+        assert!(r.breakdown.compute > Time::ZERO);
+        assert_eq!(r.breakdown.migration, Time::ZERO);
+        assert_eq!(r.breakdown.memory, Time::ZERO);
+        // Local load.
+        let r = run_script(vec![Op::Load {
+            addr: GlobalAddr::new(nl(0), 0),
+            bytes: 8,
+        }]);
+        assert!(r.breakdown.memory > Time::ZERO);
+        assert_eq!(r.breakdown.migration, Time::ZERO);
+        // Remote load: migration plus the re-executed (now local) read.
+        let r = run_script(vec![Op::Load {
+            addr: GlobalAddr::new(nl(5), 0),
+            bytes: 8,
+        }]);
+        assert!(r.breakdown.migration > Time::ZERO);
+        assert!(r.breakdown.memory > Time::ZERO);
+        assert!(
+            r.breakdown.migration > r.breakdown.store_issue,
+            "{:?}",
+            r.breakdown
+        );
+        // Posted store.
+        let r = run_script(vec![Op::Store {
+            addr: GlobalAddr::new(nl(3), 0),
+            bytes: 8,
+        }]);
+        assert!(r.breakdown.store_issue > Time::ZERO);
+        assert_eq!(r.breakdown.migration, Time::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_close_to_thread_busy_time() {
+        // A single thread's breakdown total equals its makespan minus the
+        // initial arrival instant (every op interval is accounted).
+        let r = run_script(vec![
+            Op::Compute { cycles: 50 },
+            Op::Load {
+                addr: GlobalAddr::new(nl(2), 0),
+                bytes: 8,
+            },
+            Op::Store {
+                addr: GlobalAddr::new(nl(2), 8),
+                bytes: 8,
+            },
+            Op::Compute { cycles: 10 },
+        ]);
+        let total = r.breakdown.total();
+        assert!(
+            total <= r.makespan && total >= r.makespan / 2,
+            "breakdown {total} vs makespan {}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn compute_occupancy_vs_latency() {
+        // A single thread computing 100 cycles is blocked for
+        // 100 * factor cycles, but the core is only busy 100 cycles.
+        let cfg = presets::chick_prototype();
+        let factor = cfg.costs.compute_latency_factor;
+        let mut e = Engine::new(cfg.clone());
+        e.spawn_at(
+            nl(0),
+            Box::new(ScriptKernel::new(vec![Op::Compute { cycles: 100 }])),
+        );
+        let r = e.run();
+        assert_eq!(r.occupancy[0].core_busy, cfg.cycles(100));
+        assert!(r.makespan >= cfg.cycles(100 * factor));
+    }
+}

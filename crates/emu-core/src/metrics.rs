@@ -1,0 +1,206 @@
+//! Per-run measurement: the counters the Emu toolchain simulator exposes
+//! (spawns, migrations, memory ops per nodelet) plus the bandwidth and
+//! latency reductions the paper reports.
+
+use desim::stats::{Bandwidth, LogHistogram, Summary};
+use desim::time::Time;
+
+/// Event counters for one nodelet.
+#[derive(Debug, Clone, Default)]
+pub struct NodeletCounters {
+    /// Threadlets created on this nodelet (local + remote spawns landing here).
+    pub spawns: u64,
+    /// Thread contexts that migrated away from this nodelet.
+    pub migrations_out: u64,
+    /// Thread contexts that arrived by migration.
+    pub migrations_in: u64,
+    /// Loads served by the local memory channel.
+    pub local_loads: u64,
+    /// Stores served by the local memory channel.
+    pub local_stores: u64,
+    /// Memory-side atomics served by the local channel.
+    pub atomics: u64,
+    /// Remote packets (stores/atomics) that arrived from other nodelets.
+    pub remote_packets_in: u64,
+    /// Bytes read from this nodelet's memory.
+    pub bytes_loaded: u64,
+    /// Bytes written to this nodelet's memory.
+    pub bytes_stored: u64,
+    /// Times a thread had to wait for a free hardware context (slot).
+    pub slot_waits: u64,
+}
+
+impl NodeletCounters {
+    /// Total bytes moved through this nodelet's channel.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_loaded + self.bytes_stored
+    }
+
+    /// Total memory operations on this nodelet's channel.
+    pub fn mem_ops(&self) -> u64 {
+        self.local_loads + self.local_stores + self.atomics
+    }
+}
+
+/// Resource occupancy for one nodelet over a run.
+#[derive(Debug, Clone, Default)]
+pub struct NodeletOccupancy {
+    /// Gossamer-core busy time (summed over cores).
+    pub core_busy: Time,
+    /// Memory-channel busy time.
+    pub channel_busy: Time,
+    /// Migration-engine busy time.
+    pub migration_busy: Time,
+    /// Mean queueing delay at the memory channel.
+    pub channel_mean_wait: Time,
+    /// Mean queueing delay at the migration engine.
+    pub migration_mean_wait: Time,
+}
+
+/// Complete report of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Time of the final event (the makespan of the whole run).
+    pub makespan: Time,
+    /// Per-nodelet event counters.
+    pub nodelets: Vec<NodeletCounters>,
+    /// Per-nodelet resource occupancy.
+    pub occupancy: Vec<NodeletOccupancy>,
+    /// Number of Gossamer cores per nodelet (for utilization math).
+    pub gcs_per_nodelet: u32,
+    /// Total threadlets that ran.
+    pub threads: u64,
+    /// Distribution of single-migration latency (issue to arrival).
+    pub migration_latency: LogHistogram,
+    /// Distribution of per-thread lifetime migration counts.
+    pub migrations_per_thread: Summary,
+    /// Per-nodelet occupancy timelines, when tracing was enabled
+    /// (see [`crate::engine::Engine::enable_timeline`]).
+    pub timelines: Option<crate::engine::RunTimelines>,
+    /// Where threadlet wall-time went, summed across threads.
+    pub breakdown: crate::engine::TimeBreakdown,
+}
+
+impl RunReport {
+    /// Total bytes moved through all memory channels.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodelets.iter().map(NodeletCounters::bytes_total).sum()
+    }
+
+    /// Total thread migrations (counted at the source).
+    pub fn total_migrations(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.migrations_out).sum()
+    }
+
+    /// Total threadlet spawns.
+    pub fn total_spawns(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.spawns).sum()
+    }
+
+    /// Aggregate memory bandwidth over the run (channel traffic).
+    pub fn memory_bandwidth(&self) -> Bandwidth {
+        Bandwidth::from_bytes(self.total_bytes(), self.makespan)
+    }
+
+    /// Bandwidth for an externally accounted byte count (benchmarks count
+    /// their *semantic* bytes, e.g. 24 B per STREAM-ADD element).
+    pub fn bandwidth_for(&self, semantic_bytes: u64) -> Bandwidth {
+        Bandwidth::from_bytes(semantic_bytes, self.makespan)
+    }
+
+    /// Migrations per second over the run.
+    pub fn migration_rate(&self) -> f64 {
+        if self.makespan == Time::ZERO {
+            0.0
+        } else {
+            self.total_migrations() as f64 / self.makespan.secs_f64()
+        }
+    }
+
+    /// Aggregate Gossamer-core utilization in [0, 1].
+    pub fn core_utilization(&self) -> f64 {
+        if self.makespan == Time::ZERO {
+            return 0.0;
+        }
+        let busy: Time = self.occupancy.iter().map(|o| o.core_busy).sum();
+        let capacity =
+            self.makespan.ps() as f64 * self.nodelets.len() as f64 * self.gcs_per_nodelet as f64;
+        busy.ps() as f64 / capacity
+    }
+
+    /// Aggregate memory-channel utilization in [0, 1].
+    pub fn channel_utilization(&self) -> f64 {
+        if self.makespan == Time::ZERO {
+            return 0.0;
+        }
+        let busy: Time = self.occupancy.iter().map(|o| o.channel_busy).sum();
+        busy.ps() as f64 / (self.makespan.ps() as f64 * self.nodelets.len() as f64)
+    }
+
+    /// Coefficient of variation of per-nodelet channel traffic — a
+    /// load-balance indicator (0 = perfectly balanced).
+    pub fn channel_balance_cv(&self) -> f64 {
+        let mut s = Summary::new();
+        for n in &self.nodelets {
+            s.record(n.bytes_total() as f64);
+        }
+        if s.mean() == 0.0 {
+            0.0
+        } else {
+            s.stddev() / s.mean()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(counters: Vec<NodeletCounters>, makespan: Time) -> RunReport {
+        let n = counters.len();
+        RunReport {
+            makespan,
+            nodelets: counters,
+            occupancy: vec![NodeletOccupancy::default(); n],
+            gcs_per_nodelet: 1,
+            threads: 0,
+            migration_latency: LogHistogram::new(),
+            migrations_per_thread: Summary::new(),
+            timelines: None,
+            breakdown: crate::engine::TimeBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn totals_and_bandwidth() {
+        let mut a = NodeletCounters::default();
+        a.bytes_loaded = 600;
+        a.bytes_stored = 400;
+        a.migrations_out = 5;
+        let mut b = NodeletCounters::default();
+        b.bytes_loaded = 1000;
+        b.migrations_out = 3;
+        let r = report_with(vec![a, b], Time::from_us(2));
+        assert_eq!(r.total_bytes(), 2000);
+        assert_eq!(r.total_migrations(), 8);
+        // 2000 B / 2 us = 1e9 B/s.
+        assert!((r.memory_bandwidth().bytes_per_sec - 1e9).abs() < 1.0);
+        assert!((r.migration_rate() - 4e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn balance_cv_zero_when_even() {
+        let mut a = NodeletCounters::default();
+        a.bytes_loaded = 500;
+        let r = report_with(vec![a.clone(), a], Time::from_us(1));
+        assert_eq!(r.channel_balance_cv(), 0.0);
+    }
+
+    #[test]
+    fn empty_run_is_safe() {
+        let r = report_with(vec![NodeletCounters::default()], Time::ZERO);
+        assert_eq!(r.memory_bandwidth().bytes_per_sec, 0.0);
+        assert_eq!(r.migration_rate(), 0.0);
+        assert_eq!(r.core_utilization(), 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests of the Emu machine model's invariants.
+
+use emu_core::prelude::*;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Strategy for a random little op program over an 8-nodelet machine.
+fn arb_ops() -> impl Strategy<Value = Vec<OpSpec>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Load(n, b)),
+            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Store(n, b)),
+            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Atomic(n, b)),
+            (1u32..200).prop_map(OpSpec::Compute),
+            (0u32..8).prop_map(OpSpec::Migrate),
+        ],
+        0..40,
+    )
+}
+
+/// Serializable op description (Op itself holds boxed kernels).
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Load(u32, u32),
+    Store(u32, u32),
+    Atomic(u32, u32),
+    Compute(u32),
+    Migrate(u32),
+}
+
+impl OpSpec {
+    fn to_op(&self) -> Op {
+        match *self {
+            OpSpec::Load(n, b) => Op::Load {
+                addr: GlobalAddr::new(NodeletId(n), 0x40),
+                bytes: b,
+            },
+            OpSpec::Store(n, b) => Op::Store {
+                addr: GlobalAddr::new(NodeletId(n), 0x80),
+                bytes: b,
+            },
+            OpSpec::Atomic(n, b) => Op::AtomicAdd {
+                addr: GlobalAddr::new(NodeletId(n), 0xc0),
+                bytes: b,
+            },
+            OpSpec::Compute(c) => Op::Compute { cycles: c },
+            OpSpec::Migrate(n) => Op::MigrateTo {
+                nodelet: NodeletId(n),
+            },
+        }
+    }
+}
+
+/// Replay the op specs off-line to compute the expected counters.
+fn expected(specs: &[OpSpec], start: u32) -> (u64, u64, u64) {
+    let mut loc = start;
+    let (mut migrations, mut bytes_loaded, mut bytes_stored) = (0u64, 0u64, 0u64);
+    for s in specs {
+        match *s {
+            OpSpec::Load(n, b) => {
+                if n != loc {
+                    migrations += 1;
+                    loc = n;
+                }
+                bytes_loaded += b as u64;
+            }
+            OpSpec::Store(n, b) | OpSpec::Atomic(n, b) => {
+                let _ = n;
+                bytes_stored += b as u64;
+            }
+            OpSpec::Compute(_) => {}
+            OpSpec::Migrate(n) => {
+                if n != loc {
+                    migrations += 1;
+                    loc = n;
+                }
+            }
+        }
+    }
+    (migrations, bytes_loaded, bytes_stored)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any program: the engine terminates, and migrations and byte
+    /// counters match an offline replay of the op semantics exactly.
+    #[test]
+    fn engine_counters_match_offline_replay(
+        specs in arb_ops(),
+        start in 0u32..8
+    ) {
+        let mut e = Engine::new(presets::chick_prototype());
+        let ops: Vec<Op> = specs.iter().map(OpSpec::to_op).collect();
+        e.spawn_at(NodeletId(start), Box::new(ScriptKernel::new(ops)));
+        let r = e.run();
+        let (migs, loaded, stored) = expected(&specs, start);
+        prop_assert_eq!(r.total_migrations(), migs);
+        let got_loaded: u64 = r.nodelets.iter().map(|n| n.bytes_loaded).sum();
+        let got_stored: u64 = r.nodelets.iter().map(|n| n.bytes_stored).sum();
+        prop_assert_eq!(got_loaded, loaded);
+        prop_assert_eq!(got_stored, stored);
+        // Time moved if any op ran.
+        if !specs.is_empty() {
+            prop_assert!(r.makespan > desim::Time::ZERO);
+        }
+    }
+
+    /// Two concurrent threads with arbitrary programs also terminate with
+    /// exact aggregate accounting (no lost or duplicated work).
+    #[test]
+    fn engine_two_threads_accounting(
+        a in arb_ops(),
+        b in arb_ops(),
+    ) {
+        let mut e = Engine::new(presets::chick_prototype());
+        e.spawn_at(NodeletId(0), Box::new(ScriptKernel::new(a.iter().map(OpSpec::to_op).collect())));
+        e.spawn_at(NodeletId(3), Box::new(ScriptKernel::new(b.iter().map(OpSpec::to_op).collect())));
+        let r = e.run();
+        let (m1, l1, s1) = expected(&a, 0);
+        let (m2, l2, s2) = expected(&b, 3);
+        prop_assert_eq!(r.total_migrations(), m1 + m2);
+        let got_loaded: u64 = r.nodelets.iter().map(|n| n.bytes_loaded).sum();
+        let got_stored: u64 = r.nodelets.iter().map(|n| n.bytes_stored).sum();
+        prop_assert_eq!(got_loaded, l1 + l2);
+        prop_assert_eq!(got_stored, s1 + s2);
+        prop_assert_eq!(r.threads, 2);
+    }
+
+    /// Spawn strategies run every worker exactly once on the machine,
+    /// for arbitrary worker counts.
+    #[test]
+    fn spawn_strategies_complete(
+        nworkers in 1usize..80,
+        strategy_idx in 0usize..4
+    ) {
+        let strategy = SpawnStrategy::ALL[strategy_idx];
+        let ran = Arc::new(AtomicUsize::new(0));
+        let factory: WorkerFactory = {
+            let ran = Arc::clone(&ran);
+            Arc::new(move |_i| {
+                let ran = Arc::clone(&ran);
+                let mut fired = false;
+                Box::new(move |_ctx: &KernelCtx| {
+                    if !fired {
+                        fired = true;
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Op::Quit
+                })
+            })
+        };
+        let mut e = Engine::new(presets::chick_prototype());
+        e.spawn_at(NodeletId(0), root_kernel(strategy, nworkers, 8, factory));
+        let r = e.run();
+        prop_assert_eq!(ran.load(Ordering::Relaxed), nworkers);
+        // Thread accounting: every thread the engine created terminated.
+        prop_assert!(r.threads >= nworkers as u64);
+    }
+
+    /// Striped allocations deal element i to nodelet i % N and replicated
+    /// allocations always resolve locally, for arbitrary geometry.
+    #[test]
+    fn allocation_owner_laws(
+        nodelets in 1u32..64,
+        len in 1u64..10_000,
+        here in 0u32..64
+    ) {
+        let here = NodeletId(here % nodelets);
+        let mut ms = MemSpace::new(nodelets);
+        let striped = ms.striped(len, 8);
+        let replicated = ms.replicated(len, 8);
+        for i in (0..len).step_by((len as usize / 17).max(1)) {
+            prop_assert_eq!(striped.owner(i, here).0, (i % nodelets as u64) as u32);
+            prop_assert_eq!(replicated.owner(i, here), here);
+        }
+    }
+
+    /// Engine determinism over arbitrary programs.
+    #[test]
+    fn engine_is_deterministic(specs in arb_ops()) {
+        let run = || {
+            let mut e = Engine::new(presets::chick_prototype());
+            e.spawn_at(
+                NodeletId(1),
+                Box::new(ScriptKernel::new(specs.iter().map(OpSpec::to_op).collect())),
+            );
+            e.run().makespan
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,385 @@
+//! Level-synchronous BFS on the Emu model — the paper's motivating
+//! "streaming graph analytics" access pattern, in two flavours that
+//! mirror its SpMV layout lesson:
+//!
+//! * [`BfsMode::Migrating`] — the naive port: for every discovered
+//!   neighbor `v` the thread *reads* `visited[v]`, which lives on `v`'s
+//!   home nodelet — a migration per traversed edge, the BFS analogue of
+//!   the 1D SpMV layout;
+//! * [`BfsMode::RemoteFlags`] — the "smart thread migration" version
+//!   (Section V-A): discovery is published with **memory-side remote
+//!   atomics** (no migration); the next level's threads start at their
+//!   vertices' homes and read everything locally — the analogue of the
+//!   2D layout plus replicated inputs.
+//!
+//! Both variants compute exact BFS levels, verified against
+//! [`Stinger::bfs_reference`]. Each level is one engine run (the global
+//! barrier of level-synchronous BFS); times accumulate across levels.
+
+use crate::stinger::Stinger;
+use desim::time::Time;
+use emu_core::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// Traversal strategy (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BfsMode {
+    /// Check `visited[v]` with a (migrating) remote read per edge.
+    Migrating,
+    /// Publish discovery with remote atomics; scan locally next level.
+    RemoteFlags,
+}
+
+impl BfsMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BfsMode::Migrating => "migrating",
+            BfsMode::RemoteFlags => "remote_flags",
+        }
+    }
+}
+
+/// Result of one BFS run.
+#[derive(Debug)]
+pub struct BfsResult {
+    /// Level of each vertex (`u32::MAX` = unreachable).
+    pub levels: Vec<u32>,
+    /// Number of BFS levels executed.
+    pub depth: u32,
+    /// Directed edges traversed.
+    pub edges_traversed: u64,
+    /// Total simulated time across all levels.
+    pub total_time: Time,
+    /// Total thread migrations across all levels.
+    pub migrations: u64,
+    /// Traversed edges per second.
+    pub teps: f64,
+}
+
+/// Cycles of frontier bookkeeping per traversed edge.
+const EDGE_CYCLES: u32 = 6;
+
+/// Shared per-level state: the functional BFS bookkeeping.
+struct LevelState {
+    g: Arc<Stinger>,
+    depth: u32,
+    visited: Mutex<Vec<bool>>,
+    levels: Mutex<Vec<u32>>,
+    next: Mutex<Vec<u32>>,
+    edges: std::sync::atomic::AtomicU64,
+}
+
+/// Address of `visited[v]` / `pending[v]` — striped by vertex, so it is
+/// local exactly on `v`'s home nodelet.
+fn flag_addr(g: &Stinger, v: u32) -> GlobalAddr {
+    let home = g.home(v);
+    GlobalAddr::new(home, 0x2000_0000 + (v as u64 / 8) * 8)
+}
+
+/// One frontier worker: processes a strided slice of the frontier.
+struct FrontierWorker {
+    st: Arc<LevelState>,
+    frontier: Arc<Vec<u32>>,
+    idx: usize,
+    step: usize,
+    mode: BfsMode,
+    /// (block index, neighbor index) cursor within the current vertex.
+    bi: usize,
+    ni: usize,
+    phase: u8,
+}
+
+impl Kernel for FrontierWorker {
+    fn step(&mut self, _ctx: &KernelCtx) -> Op {
+        loop {
+            if self.idx >= self.frontier.len() {
+                return Op::Quit;
+            }
+            let u = self.frontier[self.idx];
+            let g = &self.st.g;
+            match self.phase {
+                // Load the vertex record (and, in RemoteFlags mode, the
+                // pending flag written by the previous level) — both local
+                // after the initial migration to u's home.
+                0 => {
+                    self.phase = 1;
+                    self.bi = 0;
+                    self.ni = 0;
+                    return Op::Load {
+                        addr: g.vertex_addr(u),
+                        bytes: if self.mode == BfsMode::RemoteFlags { 16 } else { 8 },
+                    };
+                }
+                // Load the current edge block (local: blocks live on u's
+                // home), then walk its neighbors.
+                1 => {
+                    if self.bi >= g.blocks(u).len() {
+                        // Vertex finished.
+                        self.idx += self.step;
+                        self.phase = 0;
+                        continue;
+                    }
+                    self.phase = 2;
+                    return Op::Load {
+                        addr: g.blocks(u)[self.bi].addr,
+                        bytes: 16,
+                    };
+                }
+                // Per-neighbor handling.
+                2 => {
+                    let block = &g.blocks(u)[self.bi];
+                    if self.ni >= block.neighbors.len() {
+                        self.bi += 1;
+                        self.ni = 0;
+                        self.phase = 1;
+                        continue;
+                    }
+                    let v = block.neighbors[self.ni];
+                    self.ni += 1;
+                    self.st
+                        .edges
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match self.mode {
+                        BfsMode::Migrating => {
+                            // Read visited[v] at v's home — a migration —
+                            // then claim it if unvisited.
+                            self.phase = 3;
+                            // Functional claim happens now (simulation
+                            // event order = claim order).
+                            let claimed = {
+                                let mut vis = self.st.visited.lock().unwrap();
+                                if !vis[v as usize] {
+                                    vis[v as usize] = true;
+                                    true
+                                } else {
+                                    false
+                                }
+                            };
+                            if claimed {
+                                self.st.levels.lock().unwrap()[v as usize] = self.st.depth;
+                                self.st.next.lock().unwrap().push(v);
+                                // Claimed: read + write at v's home.
+                                self.phase = 4;
+                            }
+                            return Op::Load {
+                                addr: flag_addr(g, v),
+                                bytes: 8,
+                            };
+                        }
+                        BfsMode::RemoteFlags => {
+                            // Publish with a memory-side atomic; no
+                            // migration, no waiting. Dedup is resolved
+                            // functionally (set semantics of the flag).
+                            let fresh = {
+                                let mut vis = self.st.visited.lock().unwrap();
+                                if !vis[v as usize] {
+                                    vis[v as usize] = true;
+                                    true
+                                } else {
+                                    false
+                                }
+                            };
+                            if fresh {
+                                self.st.levels.lock().unwrap()[v as usize] = self.st.depth;
+                                self.st.next.lock().unwrap().push(v);
+                            }
+                            self.phase = 5;
+                            return Op::AtomicAdd {
+                                addr: flag_addr(g, v),
+                                bytes: 8,
+                            };
+                        }
+                    }
+                }
+                // Migrating mode: unclaimed neighbor — just the read cost.
+                3 => {
+                    self.phase = 2;
+                    return Op::Compute { cycles: EDGE_CYCLES };
+                }
+                // Migrating mode: claimed neighbor — also write the flag
+                // (local: we migrated to v's home for the read).
+                4 => {
+                    self.phase = 3;
+                    let v_prev = {
+                        // The flag we just read belongs to the neighbor we
+                        // claimed; its address is recomputable from the
+                        // level bookkeeping, but we can simply write the
+                        // same address we loaded: the engine only needs
+                        // the owner.
+                        let block = &g.blocks(u)[self.bi];
+                        block.neighbors[self.ni - 1]
+                    };
+                    return Op::Store {
+                        addr: flag_addr(g, v_prev),
+                        bytes: 8,
+                    };
+                }
+                // RemoteFlags mode: per-edge bookkeeping.
+                5 => {
+                    self.phase = 2;
+                    return Op::Compute { cycles: EDGE_CYCLES };
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Run a level-synchronous BFS from `src`.
+pub fn run_bfs_emu(
+    cfg: &MachineConfig,
+    g: Arc<Stinger>,
+    src: u32,
+    mode: BfsMode,
+    nthreads: usize,
+) -> BfsResult {
+    assert!(src < g.nv(), "source out of range");
+    assert!(nthreads > 0);
+    let nv = g.nv() as usize;
+    let mut levels = vec![u32::MAX; nv];
+    levels[src as usize] = 0;
+    let mut visited = vec![false; nv];
+    visited[src as usize] = true;
+    let mut frontier = vec![src];
+    let mut total_time = Time::ZERO;
+    let mut migrations = 0u64;
+    let mut edges = 0u64;
+    let mut depth = 0u32;
+
+    while !frontier.is_empty() {
+        depth += 1;
+        let st = Arc::new(LevelState {
+            g: Arc::clone(&g),
+            depth,
+            visited: Mutex::new(std::mem::take(&mut visited)),
+            levels: Mutex::new(std::mem::take(&mut levels)),
+            next: Mutex::new(Vec::new()),
+            edges: std::sync::atomic::AtomicU64::new(0),
+        });
+        let frontier_arc = Arc::new(frontier);
+        let mut engine = Engine::new(cfg.clone());
+        let workers = nthreads.min(frontier_arc.len());
+        for t in 0..workers {
+            let first = frontier_arc[t];
+            engine.spawn_at(
+                g.home(first),
+                Box::new(FrontierWorker {
+                    st: Arc::clone(&st),
+                    frontier: Arc::clone(&frontier_arc),
+                    idx: t,
+                    step: workers,
+                    mode,
+                    bi: 0,
+                    ni: 0,
+                    phase: 0,
+                }),
+            );
+        }
+        let report = engine.run();
+        total_time += report.makespan;
+        migrations += report.total_migrations();
+        edges += st.edges.load(std::sync::atomic::Ordering::Relaxed);
+        let st = Arc::try_unwrap(st).unwrap_or_else(|_| panic!("level state still shared"));
+        visited = st.visited.into_inner().unwrap();
+        levels = st.levels.into_inner().unwrap();
+        frontier = st.next.into_inner().unwrap();
+    }
+
+    let teps = if total_time == Time::ZERO {
+        0.0
+    } else {
+        edges as f64 / total_time.secs_f64()
+    };
+    // `depth` counted level iterations (including the final barren one);
+    // report the deepest level actually assigned.
+    let depth = levels
+        .iter()
+        .filter(|&&l| l != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0);
+    BfsResult {
+        levels,
+        depth,
+        edges_traversed: edges,
+        total_time,
+        migrations,
+        teps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use emu_core::presets;
+
+    fn check_levels(edges: &crate::gen::EdgeList, src: u32, mode: BfsMode) -> BfsResult {
+        let g = Arc::new(Stinger::build_host(edges, 4, 8));
+        let reference = g.bfs_reference(src);
+        let r = run_bfs_emu(&presets::chick_prototype(), Arc::clone(&g), src, mode, 16);
+        assert_eq!(r.levels, reference, "{} wrong levels", mode.name());
+        r
+    }
+
+    #[test]
+    fn bfs_levels_exact_on_path() {
+        for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
+            let r = check_levels(&gen::path(20), 0, mode);
+            assert_eq!(r.depth, 19);
+        }
+    }
+
+    #[test]
+    fn bfs_levels_exact_on_random_graphs() {
+        for seed in [1u64, 2, 3] {
+            let edges = gen::uniform(80, 400, seed);
+            for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
+                check_levels(&edges, 0, mode);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_exact_on_rmat() {
+        let edges = gen::rmat(7, 600, 4);
+        for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
+            check_levels(&edges, 0, mode);
+        }
+    }
+
+    #[test]
+    fn remote_flags_barely_migrates() {
+        let edges = gen::uniform(128, 800, 9);
+        let naive = check_levels(&edges, 0, BfsMode::Migrating);
+        let smart = check_levels(&edges, 0, BfsMode::RemoteFlags);
+        assert!(
+            naive.migrations > 5 * smart.migrations.max(1),
+            "naive {} vs smart {}",
+            naive.migrations,
+            smart.migrations
+        );
+        assert_eq!(naive.edges_traversed, smart.edges_traversed);
+    }
+
+    #[test]
+    fn smart_bfs_is_faster() {
+        let edges = gen::uniform(256, 2000, 10);
+        let naive = check_levels(&edges, 0, BfsMode::Migrating);
+        let smart = check_levels(&edges, 0, BfsMode::RemoteFlags);
+        assert!(
+            smart.teps > naive.teps,
+            "smart {} vs naive {} TEPS",
+            smart.teps,
+            naive.teps
+        );
+    }
+
+    #[test]
+    fn star_graph_single_level() {
+        let r = check_levels(&gen::star(32), 0, BfsMode::RemoteFlags);
+        assert_eq!(r.depth, 1);
+        assert!(r.levels[1..].iter().all(|&l| l == 1));
+    }
+}

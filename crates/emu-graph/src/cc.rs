@@ -1,0 +1,312 @@
+//! Connected components by label propagation on the Emu model.
+//!
+//! Each vertex starts with its own id as label; rounds propagate the
+//! minimum label across edges until a fixed point. Like BFS, the kernel
+//! comes in the naive flavour (reading a neighbor's label migrates) and
+//! the smart flavour (labels pushed with remote atomic-min-style posted
+//! updates, read locally next round) — and like every workload in this
+//! workspace, it computes the real answer, verified against a host
+//! union-find.
+
+use crate::stinger::Stinger;
+use desim::time::Time;
+use emu_core::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Propagation strategy, mirroring [`crate::bfs::BfsMode`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CcMode {
+    /// Pull: read each neighbor's label (migrates per edge).
+    Pull,
+    /// Push: send own label to neighbors with posted remote updates.
+    Push,
+}
+
+impl CcMode {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcMode::Pull => "pull",
+            CcMode::Push => "push",
+        }
+    }
+}
+
+/// Result of a connected-components run.
+#[derive(Debug)]
+pub struct CcResult {
+    /// Final label per vertex (the minimum vertex id of its component).
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub components: usize,
+    /// Propagation rounds until fixed point.
+    pub rounds: u32,
+    /// Total simulated time across rounds.
+    pub total_time: Time,
+    /// Total migrations.
+    pub migrations: u64,
+}
+
+/// Host-reference components via union-find (labels = min id per
+/// component, matching label propagation's fixed point).
+pub fn cc_reference(g: &Stinger) -> Vec<u32> {
+    let nv = g.nv() as usize;
+    let mut parent: Vec<u32> = (0..g.nv()).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut root = x;
+        while parent[root as usize] != root {
+            root = parent[root as usize];
+        }
+        let mut cur = x;
+        while parent[cur as usize] != root {
+            let next = parent[cur as usize];
+            parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+    for u in 0..g.nv() {
+        for v in g.neighbors(u) {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                // Union by min id keeps labels canonical.
+                let (lo, hi) = (ru.min(rv), ru.max(rv));
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    let mut labels = vec![0u32; nv];
+    for v in 0..g.nv() {
+        labels[v as usize] = find(&mut parent, v);
+    }
+    labels
+}
+
+struct RoundState {
+    g: Arc<Stinger>,
+    labels: Mutex<Vec<u32>>,
+    changed: AtomicU64,
+}
+
+/// One propagation worker over a strided slice of active vertices.
+struct CcWorker {
+    st: Arc<RoundState>,
+    active: Arc<Vec<u32>>,
+    idx: usize,
+    step: usize,
+    mode: CcMode,
+    bi: usize,
+    ni: usize,
+    phase: u8,
+}
+
+fn label_addr(g: &Stinger, v: u32) -> GlobalAddr {
+    GlobalAddr::new(g.home(v), 0x5000_0000 + (v as u64 / 8) * 8)
+}
+
+impl Kernel for CcWorker {
+    fn step(&mut self, _ctx: &KernelCtx) -> Op {
+        loop {
+            if self.idx >= self.active.len() {
+                return Op::Quit;
+            }
+            let u = self.active[self.idx];
+            let g = &self.st.g;
+            match self.phase {
+                // Read own label + vertex record (local at u's home).
+                0 => {
+                    self.phase = 1;
+                    self.bi = 0;
+                    self.ni = 0;
+                    return Op::Load {
+                        addr: g.vertex_addr(u),
+                        bytes: 16,
+                    };
+                }
+                1 => {
+                    if self.bi >= g.blocks(u).len() {
+                        self.idx += self.step;
+                        self.phase = 0;
+                        continue;
+                    }
+                    self.phase = 2;
+                    return Op::Load {
+                        addr: g.blocks(u)[self.bi].addr,
+                        bytes: 16,
+                    };
+                }
+                2 => {
+                    let block = &g.blocks(u)[self.bi];
+                    if self.ni >= block.neighbors.len() {
+                        self.bi += 1;
+                        self.ni = 0;
+                        self.phase = 1;
+                        continue;
+                    }
+                    let v = block.neighbors[self.ni];
+                    self.ni += 1;
+                    // Functional min-propagation both directions (the
+                    // undirected edge relaxes whichever side is larger).
+                    {
+                        let mut labels = self.st.labels.lock().unwrap();
+                        let (lu, lv) = (labels[u as usize], labels[v as usize]);
+                        let m = lu.min(lv);
+                        if lu != m {
+                            labels[u as usize] = m;
+                            self.st.changed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if lv != m {
+                            labels[v as usize] = m;
+                            self.st.changed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    self.phase = 3;
+                    return match self.mode {
+                        // Pull: read the neighbor's label where it lives.
+                        CcMode::Pull => Op::Load {
+                            addr: label_addr(g, v),
+                            bytes: 8,
+                        },
+                        // Push: post our label to the neighbor's home.
+                        CcMode::Push => Op::AtomicAdd {
+                            addr: label_addr(g, v),
+                            bytes: 8,
+                        },
+                    };
+                }
+                3 => {
+                    self.phase = 2;
+                    return Op::Compute { cycles: 5 };
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Run label-propagation connected components.
+pub fn run_cc_emu(cfg: &MachineConfig, g: Arc<Stinger>, mode: CcMode, nthreads: usize) -> CcResult {
+    assert!(nthreads > 0);
+    let nv = g.nv();
+    let mut labels: Vec<u32> = (0..nv).collect();
+    let mut total_time = Time::ZERO;
+    let mut migrations = 0u64;
+    let mut rounds = 0u32;
+    loop {
+        rounds += 1;
+        let st = Arc::new(RoundState {
+            g: Arc::clone(&g),
+            labels: Mutex::new(std::mem::take(&mut labels)),
+            changed: AtomicU64::new(0),
+        });
+        let active: Arc<Vec<u32>> = Arc::new((0..nv).collect());
+        let mut engine = Engine::new(cfg.clone());
+        let workers = nthreads.min(nv as usize);
+        for t in 0..workers {
+            engine.spawn_at(
+                g.home(active[t]),
+                Box::new(CcWorker {
+                    st: Arc::clone(&st),
+                    active: Arc::clone(&active),
+                    idx: t,
+                    step: workers,
+                    mode,
+                    bi: 0,
+                    ni: 0,
+                    phase: 0,
+                }),
+            );
+        }
+        let report = engine.run();
+        total_time += report.makespan;
+        migrations += report.total_migrations();
+        let changed = st.changed.load(Ordering::Relaxed);
+        let st = Arc::try_unwrap(st).unwrap_or_else(|_| panic!("round state shared"));
+        labels = st.labels.into_inner().unwrap();
+        if changed == 0 {
+            break;
+        }
+        assert!(rounds < nv + 2, "label propagation failed to converge");
+    }
+    let mut distinct: Vec<u32> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    CcResult {
+        components: distinct.len(),
+        labels,
+        rounds,
+        total_time,
+        migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use emu_core::presets;
+
+    fn check(edges: &crate::gen::EdgeList, mode: CcMode) -> CcResult {
+        let g = Arc::new(Stinger::build_host(edges, 4, 8));
+        let reference = cc_reference(&g);
+        let r = run_cc_emu(&presets::chick_prototype(), Arc::clone(&g), mode, 16);
+        assert_eq!(r.labels, reference, "{} labels diverged", mode.name());
+        r
+    }
+
+    #[test]
+    fn single_component_path() {
+        for mode in [CcMode::Pull, CcMode::Push] {
+            let r = check(&gen::path(12), mode);
+            assert_eq!(r.components, 1);
+            assert!(r.labels.iter().all(|&l| l == 0));
+        }
+    }
+
+    #[test]
+    fn disjoint_components_counted() {
+        // Two cliques {0..4} and {5..9}, plus isolated vertices 10, 11.
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in a + 1..5 {
+                edges.push((a, b));
+            }
+        }
+        for a in 5..10u32 {
+            for b in a + 1..10 {
+                edges.push((a, b));
+            }
+        }
+        let el = crate::gen::EdgeList { nv: 12, edges };
+        for mode in [CcMode::Pull, CcMode::Push] {
+            let r = check(&el, mode);
+            assert_eq!(r.components, 4); // two cliques + two isolated
+            assert_eq!(r.labels[7], 5);
+            assert_eq!(r.labels[10], 10);
+        }
+    }
+
+    #[test]
+    fn random_graph_matches_union_find() {
+        for seed in [1u64, 2] {
+            let edges = gen::uniform(60, 90, seed);
+            check(&edges, CcMode::Pull);
+            check(&edges, CcMode::Push);
+        }
+    }
+
+    #[test]
+    fn push_mode_migrates_less() {
+        let edges = gen::uniform(96, 500, 3);
+        let pull = check(&edges, CcMode::Pull);
+        let push = check(&edges, CcMode::Push);
+        assert!(
+            pull.migrations > 3 * push.migrations.max(1),
+            "pull {} vs push {}",
+            pull.migrations,
+            push.migrations
+        );
+        assert_eq!(pull.components, push.components);
+    }
+}

@@ -1,0 +1,126 @@
+//! Synthetic graph generators for the streaming-graph benchmarks.
+
+use desim::rng::rng_from_seed;
+use rand::Rng;
+
+/// An undirected edge list over vertices `0..nv` (no self-loops;
+/// duplicates possible, as in a real edge stream).
+#[derive(Debug, Clone)]
+pub struct EdgeList {
+    /// Number of vertices.
+    pub nv: u32,
+    /// Edges as (u, v) pairs, u != v.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl EdgeList {
+    /// Number of edges in the stream.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Uniform random graph: `ne` edges drawn uniformly (Erdős–Rényi-ish).
+pub fn uniform(nv: u32, ne: usize, seed: u64) -> EdgeList {
+    assert!(nv >= 2, "need at least two vertices");
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::with_capacity(ne);
+    while edges.len() < ne {
+        let u = rng.gen_range(0..nv);
+        let v = rng.gen_range(0..nv);
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    EdgeList { nv, edges }
+}
+
+/// RMAT-style skewed generator (a=0.57, b=c=0.19, d=0.05): the degree
+/// skew typical of the "streaming graph analytics" workloads motivating
+/// the paper.
+pub fn rmat(scale: u32, ne: usize, seed: u64) -> EdgeList {
+    assert!(scale >= 1 && scale < 31, "scale out of range");
+    let nv = 1u32 << scale;
+    let mut rng = rng_from_seed(seed);
+    let mut edges = Vec::with_capacity(ne);
+    while edges.len() < ne {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < 0.57 {
+                // quadrant a: (0,0)
+            } else if r < 0.76 {
+                v |= 1;
+            } else if r < 0.95 {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            edges.push((u, v));
+        }
+    }
+    EdgeList { nv, edges }
+}
+
+/// A path graph 0-1-2-…-(nv-1): handy for exact BFS-level tests.
+pub fn path(nv: u32) -> EdgeList {
+    EdgeList {
+        nv,
+        edges: (0..nv - 1).map(|i| (i, i + 1)).collect(),
+    }
+}
+
+/// A star centered at vertex 0: maximal degree skew.
+pub fn star(nv: u32) -> EdgeList {
+    EdgeList {
+        nv,
+        edges: (1..nv).map(|i| (0, i)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let g = uniform(100, 500, 1);
+        assert_eq!(g.len(), 500);
+        assert!(g.edges.iter().all(|&(u, v)| u < 100 && v < 100 && u != v));
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let g = rmat(8, 2000, 2);
+        let mut deg = vec![0u32; 256];
+        for &(u, v) in &g.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let max = *deg.iter().max().unwrap();
+        let mean = deg.iter().sum::<u32>() / 256;
+        assert!(max > 4 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(uniform(50, 100, 7).edges, uniform(50, 100, 7).edges);
+        assert_eq!(rmat(6, 100, 7).edges, rmat(6, 100, 7).edges);
+    }
+
+    #[test]
+    fn path_and_star_shapes() {
+        assert_eq!(path(5).edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(star(4).edges, vec![(0, 1), (0, 2), (0, 3)]);
+    }
+}

@@ -1,0 +1,255 @@
+//! A STINGER-inspired streaming-graph structure mapped onto the Emu
+//! address space.
+//!
+//! STINGER (Ediger et al., HPEC 2012 — the paper's reference \[3\]) keeps
+//! each vertex's adjacency as a linked list of fixed-capacity *edge
+//! blocks*, so edge insertions are cheap and traversals see exactly the
+//! fragmented, fine-grained access pattern the paper's pointer-chase
+//! benchmark distills. Here each vertex's record and all of its edge
+//! blocks live on the vertex's *home nodelet* (`v % nodelets` — the same
+//! dealing as the SpMV 2D layout), which is the placement a migratory
+//! machine wants: a thread visits a vertex once and then reads its whole
+//! adjacency locally.
+
+use emu_core::prelude::*;
+
+/// Capacity of one edge block (neighbors per block). Real STINGER uses
+/// tens; small blocks stress the pointer-chasing behaviour.
+pub const DEFAULT_BLOCK_CAP: usize = 14;
+
+/// One fixed-capacity edge block.
+#[derive(Debug, Clone)]
+pub struct EdgeBlock {
+    /// Neighbor vertex ids stored in this block.
+    pub neighbors: Vec<u32>,
+    /// Where this block lives (always the owning vertex's home nodelet).
+    pub addr: GlobalAddr,
+}
+
+/// The streaming-graph structure: functional adjacency plus the address
+/// map the simulated kernels charge against.
+#[derive(Debug)]
+pub struct Stinger {
+    nv: u32,
+    block_cap: usize,
+    nodelets: u32,
+    adj: Vec<Vec<EdgeBlock>>,
+    next_offset: Vec<u64>,
+    edges: u64,
+}
+
+/// Outcome of a single directed insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Appended into an existing block with space.
+    Appended,
+    /// A fresh block had to be allocated.
+    NewBlock,
+    /// The neighbor was already present; nothing changed.
+    Duplicate,
+}
+
+impl Stinger {
+    /// An empty graph over `nv` vertices on a `nodelets`-wide machine.
+    pub fn new(nv: u32, block_cap: usize, nodelets: u32) -> Self {
+        assert!(block_cap > 0, "block_cap must be > 0");
+        assert!(nodelets > 0, "nodelets must be > 0");
+        Stinger {
+            nv,
+            block_cap,
+            nodelets,
+            adj: vec![Vec::new(); nv as usize],
+            next_offset: vec![0x4000_0000; nodelets as usize],
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn nv(&self) -> u32 {
+        self.nv
+    }
+
+    /// Edge-block capacity.
+    pub fn block_cap(&self) -> usize {
+        self.block_cap
+    }
+
+    /// Directed edge count (an undirected edge counts twice).
+    pub fn directed_edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// The nodelet that owns vertex `v`'s record and edge blocks.
+    pub fn home(&self, v: u32) -> NodeletId {
+        NodeletId(v % self.nodelets)
+    }
+
+    /// Address of vertex `v`'s record (degree, block-list head).
+    pub fn vertex_addr(&self, v: u32) -> GlobalAddr {
+        GlobalAddr::new(self.home(v), 0x1000_0000 + (v / self.nodelets) as u64 * 32)
+    }
+
+    /// The edge blocks of vertex `v`.
+    pub fn blocks(&self, v: u32) -> &[EdgeBlock] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].iter().map(|b| b.neighbors.len()).sum()
+    }
+
+    /// Iterate `v`'s neighbors (block order).
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = u32> + '_ {
+        self.adj[v as usize]
+            .iter()
+            .flat_map(|b| b.neighbors.iter().copied())
+    }
+
+    /// Insert the directed edge `u -> v` (idempotent: duplicates are
+    /// detected by scanning `u`'s blocks, as STINGER does).
+    pub fn insert_directed(&mut self, u: u32, v: u32) -> InsertOutcome {
+        assert!(u < self.nv && v < self.nv, "vertex out of range");
+        let home = self.home(u);
+        if self.adj[u as usize]
+            .iter()
+            .any(|b| b.neighbors.contains(&v))
+        {
+            return InsertOutcome::Duplicate;
+        }
+        self.edges += 1;
+        if let Some(last) = self.adj[u as usize].last_mut() {
+            if last.neighbors.len() < self.block_cap {
+                last.neighbors.push(v);
+                return InsertOutcome::Appended;
+            }
+        }
+        let off = &mut self.next_offset[home.idx()];
+        let addr = GlobalAddr::new(home, *off);
+        *off += (self.block_cap as u64 * 8).max(64);
+        self.adj[u as usize].push(EdgeBlock {
+            neighbors: vec![v],
+            addr,
+        });
+        InsertOutcome::NewBlock
+    }
+
+    /// Insert an undirected edge (both directions).
+    pub fn insert_undirected(&mut self, u: u32, v: u32) -> (InsertOutcome, InsertOutcome) {
+        (self.insert_directed(u, v), self.insert_directed(v, u))
+    }
+
+    /// Build from an undirected edge stream on the host (no simulation).
+    pub fn build_host(edges: &crate::gen::EdgeList, block_cap: usize, nodelets: u32) -> Self {
+        let mut g = Stinger::new(edges.nv, block_cap, nodelets);
+        for &(u, v) in &edges.edges {
+            g.insert_undirected(u, v);
+        }
+        g
+    }
+
+    /// Sorted adjacency lists, for comparing two structures that were
+    /// built in different orders.
+    pub fn canonical_adjacency(&self) -> Vec<Vec<u32>> {
+        (0..self.nv)
+            .map(|v| {
+                let mut n: Vec<u32> = self.neighbors(v).collect();
+                n.sort_unstable();
+                n
+            })
+            .collect()
+    }
+
+    /// Host-side BFS levels from `src` (`u32::MAX` = unreachable) — the
+    /// reference the simulated BFS kernels are verified against.
+    pub fn bfs_reference(&self, src: u32) -> Vec<u32> {
+        let mut level = vec![u32::MAX; self.nv as usize];
+        let mut frontier = vec![src];
+        level[src as usize] = 0;
+        let mut depth = 0;
+        while !frontier.is_empty() {
+            depth += 1;
+            let mut next = Vec::new();
+            for &u in &frontier {
+                for v in self.neighbors(u) {
+                    if level[v as usize] == u32::MAX {
+                        level[v as usize] = depth;
+                        next.push(v);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn insert_and_degree() {
+        let mut g = Stinger::new(10, 2, 8);
+        assert_eq!(g.insert_directed(0, 1), InsertOutcome::NewBlock);
+        assert_eq!(g.insert_directed(0, 2), InsertOutcome::Appended);
+        assert_eq!(g.insert_directed(0, 3), InsertOutcome::NewBlock); // block full
+        assert_eq!(g.insert_directed(0, 1), InsertOutcome::Duplicate);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.blocks(0).len(), 2);
+        assert_eq!(g.directed_edges(), 3);
+    }
+
+    #[test]
+    fn blocks_live_on_vertex_home() {
+        let mut g = Stinger::new(20, 4, 8);
+        g.insert_directed(13, 1);
+        g.insert_directed(13, 2);
+        assert_eq!(g.home(13), NodeletId(5));
+        for b in g.blocks(13) {
+            assert_eq!(b.addr.nodelet, NodeletId(5));
+        }
+        assert_eq!(g.vertex_addr(13).nodelet, NodeletId(5));
+    }
+
+    #[test]
+    fn block_addresses_unique() {
+        let mut g = Stinger::new(4, 1, 2);
+        for v in [1u32, 2, 3] {
+            g.insert_directed(0, v); // three blocks for vertex 0
+        }
+        let addrs: Vec<_> = g.blocks(0).iter().map(|b| (b.addr.nodelet, b.addr.offset)).collect();
+        let mut dedup = addrs.clone();
+        dedup.sort_unstable_by_key(|&(n, o)| (n.0, o));
+        dedup.dedup();
+        assert_eq!(addrs.len(), dedup.len());
+    }
+
+    #[test]
+    fn bfs_reference_on_path() {
+        let g = Stinger::build_host(&gen::path(6), 4, 8);
+        assert_eq!(g.bfs_reference(0), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(g.bfs_reference(3), vec![3, 2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_reference_unreachable() {
+        let mut g = Stinger::new(5, 4, 8);
+        g.insert_undirected(0, 1);
+        // vertices 2..4 isolated
+        let lv = g.bfs_reference(0);
+        assert_eq!(lv[1], 1);
+        assert_eq!(lv[2], u32::MAX);
+    }
+
+    #[test]
+    fn canonical_adjacency_order_independent() {
+        let e1 = gen::uniform(30, 120, 3);
+        let mut e2 = e1.clone();
+        e2.edges.reverse();
+        let a = Stinger::build_host(&e1, 4, 8).canonical_adjacency();
+        let b = Stinger::build_host(&e2, 4, 8).canonical_adjacency();
+        assert_eq!(a, b);
+    }
+}

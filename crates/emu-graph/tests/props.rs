@@ -1,0 +1,109 @@
+//! Property-based tests for the streaming-graph substrate.
+
+use emu_core::presets;
+use emu_graph::bfs::{run_bfs_emu, BfsMode};
+use emu_graph::gen::{uniform, EdgeList};
+use emu_graph::insert::run_insert_emu;
+use emu_graph::stinger::Stinger;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_edges() -> impl Strategy<Value = EdgeList> {
+    (2u32..50, 1usize..150, any::<u64>())
+        .prop_map(|(nv, ne, seed)| uniform(nv, ne, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The structure holds exactly the distinct edges of the stream, no
+    /// matter the insertion order or block capacity.
+    #[test]
+    fn stinger_holds_exactly_the_distinct_edges(
+        edges in arb_edges(),
+        block_cap in 1usize..10
+    ) {
+        let g = Stinger::build_host(&edges, block_cap, 8);
+        // Expected: sorted deduped undirected adjacency.
+        let mut expect: Vec<Vec<u32>> = vec![Vec::new(); edges.nv as usize];
+        for &(u, v) in &edges.edges {
+            expect[u as usize].push(v);
+            expect[v as usize].push(u);
+        }
+        for l in &mut expect {
+            l.sort_unstable();
+            l.dedup();
+        }
+        prop_assert_eq!(g.canonical_adjacency(), expect);
+    }
+
+    /// Block capacity shapes the structure: every block except the last
+    /// of each vertex is exactly full.
+    #[test]
+    fn blocks_pack_tightly(edges in arb_edges(), block_cap in 1usize..8) {
+        let g = Stinger::build_host(&edges, block_cap, 8);
+        for v in 0..g.nv() {
+            let blocks = g.blocks(v);
+            for b in blocks.iter().take(blocks.len().saturating_sub(1)) {
+                prop_assert_eq!(b.neighbors.len(), block_cap);
+            }
+        }
+    }
+
+    /// Simulated streaming insertion produces the same structure as the
+    /// host build, for any thread count.
+    #[test]
+    fn simulated_insert_equals_host(edges in arb_edges(), threads in 1usize..24) {
+        let cfg = presets::chick_prototype();
+        let r = run_insert_emu(&cfg, &edges, threads, 4);
+        let host = Stinger::build_host(&edges, 4, 8);
+        prop_assert_eq!(
+            r.graph.lock().unwrap().canonical_adjacency(),
+            host.canonical_adjacency()
+        );
+    }
+
+    /// Both BFS modes compute exactly the reference levels on arbitrary
+    /// graphs and sources.
+    #[test]
+    fn bfs_always_matches_reference(
+        edges in arb_edges(),
+        src_pick in any::<u32>(),
+        threads in 1usize..16
+    ) {
+        let src = src_pick % edges.nv;
+        let g = Arc::new(Stinger::build_host(&edges, 4, 8));
+        let reference = g.bfs_reference(src);
+        for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
+            let r = run_bfs_emu(
+                &presets::chick_prototype(),
+                Arc::clone(&g),
+                src,
+                mode,
+                threads,
+            );
+            prop_assert_eq!(&r.levels, &reference, "{}", mode.name());
+        }
+    }
+
+    /// BFS level sets are symmetric in an undirected graph: adjacent
+    /// vertices' levels differ by at most 1.
+    #[test]
+    fn bfs_levels_lipschitz(edges in arb_edges()) {
+        let g = Arc::new(Stinger::build_host(&edges, 4, 8));
+        let r = run_bfs_emu(
+            &presets::chick_prototype(),
+            Arc::clone(&g),
+            0,
+            BfsMode::RemoteFlags,
+            8,
+        );
+        for &(u, v) in &edges.edges {
+            let (lu, lv) = (r.levels[u as usize], r.levels[v as usize]);
+            if lu != u32::MAX || lv != u32::MAX {
+                prop_assert!(lu != u32::MAX && lv != u32::MAX, "one side unreachable");
+                prop_assert!(lu.abs_diff(lv) <= 1, "({u},{v}): {lu} vs {lv}");
+            }
+        }
+    }
+}

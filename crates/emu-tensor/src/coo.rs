@@ -1,0 +1,206 @@
+//! Three-mode sparse tensors in coordinate format, plus the host MTTKRP
+//! reference.
+//!
+//! MTTKRP — matricized tensor times Khatri-Rao product — is the kernel
+//! at the heart of the CP decomposition the paper's ParTI goal targets:
+//! for a tensor X and factor matrices B (J×R), C (K×R),
+//! `Y(i, r) += X(i,j,k) · B(j,r) · C(k,r)` over all nonzeros.
+
+use desim::rng::rng_from_seed;
+use rand::Rng;
+
+/// One tensor nonzero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorEntry {
+    /// Mode-0 index.
+    pub i: u32,
+    /// Mode-1 index.
+    pub j: u32,
+    /// Mode-2 index.
+    pub k: u32,
+    /// Value.
+    pub val: f64,
+}
+
+/// A 3-mode sparse tensor in COO format, entries sorted by (i, j, k)
+/// with duplicates folded.
+#[derive(Debug, Clone)]
+pub struct SparseTensor {
+    /// Mode sizes (I, J, K).
+    pub dims: [u32; 3],
+    entries: Vec<TensorEntry>,
+}
+
+impl SparseTensor {
+    /// Build from raw entries: sorts and folds duplicates.
+    ///
+    /// # Panics
+    /// Panics if any index exceeds its mode size.
+    pub fn from_entries(dims: [u32; 3], mut raw: Vec<TensorEntry>) -> Self {
+        for e in &raw {
+            assert!(
+                e.i < dims[0] && e.j < dims[1] && e.k < dims[2],
+                "entry ({},{},{}) outside dims {dims:?}",
+                e.i,
+                e.j,
+                e.k
+            );
+        }
+        raw.sort_unstable_by_key(|e| (e.i, e.j, e.k));
+        let mut entries: Vec<TensorEntry> = Vec::with_capacity(raw.len());
+        for e in raw {
+            match entries.last_mut() {
+                Some(last) if (last.i, last.j, last.k) == (e.i, e.j, e.k) => last.val += e.val,
+                _ => entries.push(e),
+            }
+        }
+        SparseTensor { dims, entries }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The sorted, deduplicated entries.
+    pub fn entries(&self) -> &[TensorEntry] {
+        &self.entries
+    }
+
+    /// Entries of mode-0 slice `i` (contiguous thanks to sorting).
+    pub fn slice_range(&self, i: u32) -> std::ops::Range<usize> {
+        let start = self.entries.partition_point(|e| e.i < i);
+        let end = self.entries.partition_point(|e| e.i <= i);
+        start..end
+    }
+
+    /// Bytes of useful data one MTTKRP pass touches with rank `r`: each
+    /// nonzero reads its 24 B entry plus a B row and a C row, and updates
+    /// a Y row (read+write counted once, as the SpMV accounting does).
+    pub fn mttkrp_bytes(&self, rank: u32) -> u64 {
+        self.nnz() as u64 * (24 + 3 * rank as u64 * 8)
+    }
+}
+
+/// The deterministic factor-matrix entries used by all MTTKRP
+/// implementations: `B(j, r) = 1 + ((j + 3r) mod 11) / 11`.
+pub fn b_value(j: u32, r: u32) -> f64 {
+    1.0 + ((j + 3 * r) % 11) as f64 / 11.0
+}
+
+/// `C(k, r) = 1 + ((2k + r) mod 7) / 7`.
+pub fn c_value(k: u32, r: u32) -> f64 {
+    1.0 + ((2 * k + r) % 7) as f64 / 7.0
+}
+
+/// Host-reference MTTKRP: returns Y as an I×R row-major vector.
+pub fn mttkrp_reference(t: &SparseTensor, rank: u32) -> Vec<f64> {
+    let mut y = vec![0.0; t.dims[0] as usize * rank as usize];
+    for e in t.entries() {
+        for r in 0..rank {
+            y[e.i as usize * rank as usize + r as usize] +=
+                e.val * b_value(e.j, r) * c_value(e.k, r);
+        }
+    }
+    y
+}
+
+/// Uniform random tensor with ~`nnz` nonzeros (duplicates folded).
+pub fn random_tensor(dims: [u32; 3], nnz: usize, seed: u64) -> SparseTensor {
+    let mut rng = rng_from_seed(seed);
+    let raw: Vec<TensorEntry> = (0..nnz)
+        .map(|_| TensorEntry {
+            i: rng.gen_range(0..dims[0]),
+            j: rng.gen_range(0..dims[1]),
+            k: rng.gen_range(0..dims[2]),
+            val: rng.gen_range(-1.0..1.0),
+        })
+        .collect();
+    SparseTensor::from_entries(dims, raw)
+}
+
+/// A slice-skewed tensor: slice `i` receives `~ base >> (8i/I)` entries —
+/// the load imbalance real tensors (e.g. Amazon reviews) exhibit.
+pub fn skewed_tensor(dims: [u32; 3], base: usize, seed: u64) -> SparseTensor {
+    let mut rng = rng_from_seed(seed);
+    let mut raw = Vec::new();
+    for i in 0..dims[0] {
+        let level = (i as u64 * 8 / dims[0].max(1) as u64) as u32;
+        let n = (base >> level).max(1);
+        for _ in 0..n {
+            raw.push(TensorEntry {
+                i,
+                j: rng.gen_range(0..dims[1]),
+                k: rng.gen_range(0..dims[2]),
+                val: rng.gen_range(-1.0..1.0),
+            });
+        }
+    }
+    SparseTensor::from_entries(dims, raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts_and_folds() {
+        let t = SparseTensor::from_entries(
+            [3, 3, 3],
+            vec![
+                TensorEntry { i: 2, j: 0, k: 0, val: 1.0 },
+                TensorEntry { i: 0, j: 1, k: 2, val: 2.0 },
+                TensorEntry { i: 0, j: 1, k: 2, val: 3.0 },
+            ],
+        );
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.entries()[0].val, 5.0);
+        assert_eq!(t.entries()[1].i, 2);
+    }
+
+    #[test]
+    fn slice_range_is_contiguous_partition() {
+        let t = random_tensor([10, 8, 8], 200, 1);
+        let mut total = 0;
+        for i in 0..10 {
+            let r = t.slice_range(i);
+            assert!(t.entries()[r.clone()].iter().all(|e| e.i == i));
+            total += r.len();
+        }
+        assert_eq!(total, t.nnz());
+    }
+
+    #[test]
+    fn reference_mttkrp_tiny_by_hand() {
+        // Single entry (0,1,2,val=2), rank 1:
+        // y[0] = 2 * B(1,0) * C(2,0).
+        let t = SparseTensor::from_entries(
+            [1, 2, 3],
+            vec![TensorEntry { i: 0, j: 1, k: 2, val: 2.0 }],
+        );
+        let y = mttkrp_reference(&t, 1);
+        let expect = 2.0 * b_value(1, 0) * c_value(2, 0);
+        assert!((y[0] - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_front_loads_slices() {
+        let t = skewed_tensor([16, 16, 16], 64, 2);
+        assert!(t.slice_range(0).len() > t.slice_range(15).len());
+    }
+
+    #[test]
+    fn mttkrp_bytes_formula() {
+        let t = random_tensor([4, 4, 4], 10, 3);
+        assert_eq!(t.mttkrp_bytes(8), t.nnz() as u64 * (24 + 192));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside dims")]
+    fn bounds_checked() {
+        let _ = SparseTensor::from_entries(
+            [2, 2, 2],
+            vec![TensorEntry { i: 2, j: 0, k: 0, val: 1.0 }],
+        );
+    }
+}

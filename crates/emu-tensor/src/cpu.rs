@@ -1,0 +1,230 @@
+//! MTTKRP on the Xeon comparison platform: contiguous COO streams with
+//! factor-row gathers — prefetch-friendly over the entry arrays, gathery
+//! over B and C, exactly the mixed pattern ParTI tunes around.
+
+use crate::coo::{b_value, c_value, SparseTensor};
+use desim::stats::Bandwidth;
+use std::sync::{Arc, Mutex};
+use xeon_sim::prelude::*;
+
+/// Configuration of one CPU MTTKRP run.
+#[derive(Clone, Debug)]
+pub struct CpuMttkrpConfig {
+    /// CP rank.
+    pub rank: u32,
+    /// Worker threads (contiguous entry ranges).
+    pub nthreads: usize,
+}
+
+impl Default for CpuMttkrpConfig {
+    fn default() -> Self {
+        CpuMttkrpConfig {
+            rank: 8,
+            nthreads: 16,
+        }
+    }
+}
+
+/// Result of one CPU MTTKRP run.
+#[derive(Debug)]
+pub struct CpuMttkrpResult {
+    /// Computed Y (I×R row-major).
+    pub y: Vec<f64>,
+    /// Effective bandwidth.
+    pub bandwidth: Bandwidth,
+    /// Full platform report.
+    pub report: CpuReport,
+}
+
+const ENTRIES_BASE: u64 = 0x10_0000_0000;
+const B_BASE: u64 = 0x20_0000_0000;
+const C_BASE: u64 = 0x30_0000_0000;
+const Y_BASE: u64 = 0x40_0000_0000;
+
+struct Worker {
+    t: Arc<SparseTensor>,
+    rank: u32,
+    range: std::ops::Range<usize>,
+    e: usize,
+    r: u32,
+    phase: u8,
+    acc: f64,
+    y_out: Arc<Mutex<Vec<f64>>>,
+}
+
+impl CpuKernel for Worker {
+    fn step(&mut self, _ctx: &CpuCtx) -> CpuOp {
+        loop {
+            if self.e >= self.range.end {
+                return CpuOp::Quit;
+            }
+            let entry = self.t.entries()[self.e];
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    self.r = 0;
+                    // 24 B entry at a 32 B-aligned slot (never crosses a line).
+                    return CpuOp::Load {
+                        addr: ENTRIES_BASE + self.e as u64 * 32,
+                        bytes: 24,
+                    };
+                }
+                1 => {
+                    if self.r >= self.rank {
+                        self.e += 1;
+                        self.phase = 0;
+                        continue;
+                    }
+                    self.phase = 2;
+                    let idx = entry.j as u64 * self.rank as u64 + self.r as u64;
+                    return CpuOp::Load {
+                        addr: B_BASE + idx * 8,
+                        bytes: 8,
+                    };
+                }
+                2 => {
+                    self.phase = 3;
+                    let idx = entry.k as u64 * self.rank as u64 + self.r as u64;
+                    return CpuOp::Load {
+                        addr: C_BASE + idx * 8,
+                        bytes: 8,
+                    };
+                }
+                3 => {
+                    self.phase = 4;
+                    self.acc = entry.val * b_value(entry.j, self.r) * c_value(entry.k, self.r);
+                    return CpuOp::Compute { cycles: 2 };
+                }
+                4 => {
+                    let y_idx = entry.i as usize * self.rank as usize + self.r as usize;
+                    self.y_out.lock().unwrap()[y_idx] += self.acc;
+                    self.r += 1;
+                    self.phase = 1;
+                    return CpuOp::Store {
+                        addr: Y_BASE + y_idx as u64 * 8,
+                        bytes: 8,
+                    };
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Run MTTKRP on the CPU platform `cfg`.
+///
+/// Entries are partitioned into contiguous ranges at mode-0 slice
+/// boundaries, so no two threads update the same Y row (the real
+/// privatization strategy) — the functional accumulation needs no
+/// atomicity and the result is exact.
+pub fn run_mttkrp_cpu(
+    cfg: &CpuConfig,
+    t: Arc<SparseTensor>,
+    mc: &CpuMttkrpConfig,
+) -> CpuMttkrpResult {
+    assert!(mc.rank > 0 && mc.nthreads > 0);
+    let y_out = Arc::new(Mutex::new(vec![
+        0.0;
+        t.dims[0] as usize * mc.rank as usize
+    ]));
+    let nnz = t.nnz();
+    let mut engine = CpuEngine::new(cfg.clone());
+    // Split at slice boundaries nearest the even cut points.
+    let mut cuts = vec![0usize];
+    for w in 1..mc.nthreads {
+        let target = w * nnz / mc.nthreads;
+        // Round up to the end of the slice containing `target`.
+        let cut = if target >= nnz {
+            nnz
+        } else {
+            let i = t.entries()[target].i;
+            t.slice_range(i).end
+        };
+        cuts.push(cut.max(*cuts.last().unwrap()));
+    }
+    cuts.push(nnz);
+    for w in 0..mc.nthreads {
+        let range = cuts[w]..cuts[w + 1];
+        if range.is_empty() {
+            continue;
+        }
+        engine.add_thread(Box::new(Worker {
+            t: Arc::clone(&t),
+            rank: mc.rank,
+            e: range.start,
+            range,
+            r: 0,
+            phase: 0,
+            acc: 0.0,
+            y_out: Arc::clone(&y_out),
+        }));
+    }
+    let report = engine.run();
+    let y = y_out.lock().unwrap().clone();
+    CpuMttkrpResult {
+        y,
+        bandwidth: report.bandwidth_for(t.mttkrp_bytes(mc.rank)),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::{mttkrp_reference, random_tensor};
+    use xeon_sim::config::haswell;
+
+    #[test]
+    fn cpu_mttkrp_exact() {
+        let t = Arc::new(random_tensor([24, 16, 16], 500, 1));
+        let reference = mttkrp_reference(&t, 4);
+        let r = run_mttkrp_cpu(
+            &haswell(),
+            Arc::clone(&t),
+            &CpuMttkrpConfig {
+                rank: 4,
+                nthreads: 8,
+            },
+        );
+        let err = reference
+            .iter()
+            .zip(&r.y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "err {err}");
+    }
+
+    #[test]
+    fn slice_boundary_partition_never_splits_a_row() {
+        // With slice-aligned cuts, parallel and serial Y agree exactly
+        // even without atomic accumulation — validated by exactness above,
+        // but also check the cut structure directly.
+        let t = Arc::new(random_tensor([10, 8, 8], 300, 2));
+        let r1 = run_mttkrp_cpu(
+            &haswell(),
+            Arc::clone(&t),
+            &CpuMttkrpConfig {
+                rank: 2,
+                nthreads: 1,
+            },
+        );
+        let r4 = run_mttkrp_cpu(
+            &haswell(),
+            Arc::clone(&t),
+            &CpuMttkrpConfig {
+                rank: 2,
+                nthreads: 4,
+            },
+        );
+        assert_eq!(r1.y, r4.y);
+        assert!(r4.report.makespan < r1.report.makespan);
+    }
+
+    #[test]
+    fn more_threads_help() {
+        let t = Arc::new(random_tensor([64, 32, 32], 4000, 3));
+        let t1 = run_mttkrp_cpu(&haswell(), Arc::clone(&t), &CpuMttkrpConfig { rank: 8, nthreads: 1 });
+        let t16 = run_mttkrp_cpu(&haswell(), Arc::clone(&t), &CpuMttkrpConfig { rank: 8, nthreads: 16 });
+        assert!(t16.bandwidth.mb_per_sec() > 4.0 * t1.bandwidth.mb_per_sec());
+    }
+}

@@ -1,0 +1,367 @@
+//! MTTKRP on the Emu model, with the SpMV layout lesson transplanted to
+//! tensors:
+//!
+//! * [`TensorLayout::OneD`] — entries striped element-wise across
+//!   nodelets (`mw_malloc1dlong` of the COO arrays): walking consecutive
+//!   nonzeros migrates on every entry;
+//! * [`TensorLayout::SliceBlocked`] — the "2D" analogue: the entries of
+//!   mode-0 slice `i` live contiguously on nodelet `i % N`, factor
+//!   matrices B and C are replicated, and the output row `Y(i,:)` is
+//!   co-located with its slice — the inner loop never migrates.
+//!
+//! Y updates use memory-side remote atomics in both layouts, so the
+//! layouts differ *only* in where the entry data lives.
+
+use crate::coo::{b_value, c_value, SparseTensor};
+use desim::stats::Bandwidth;
+use emu_core::prelude::*;
+use std::sync::{Arc, Mutex};
+
+/// FMA + index arithmetic per (nonzero, rank) pair on the Gossamer soft
+/// core (same justification as `membench::spmv_emu::FMA_CYCLES`).
+pub const FMA_CYCLES: u32 = 30;
+
+/// Data placement of the tensor (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TensorLayout {
+    /// Entries striped element-wise across all nodelets.
+    OneD,
+    /// Slice-contiguous per-nodelet placement, B/C replicated.
+    SliceBlocked,
+}
+
+impl TensorLayout {
+    /// Both layouts, for sweeps.
+    pub const ALL: [TensorLayout; 2] = [TensorLayout::OneD, TensorLayout::SliceBlocked];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TensorLayout::OneD => "1D",
+            TensorLayout::SliceBlocked => "slice-blocked",
+        }
+    }
+}
+
+/// Configuration of one Emu MTTKRP run.
+#[derive(Clone, Debug)]
+pub struct EmuMttkrpConfig {
+    /// Data placement.
+    pub layout: TensorLayout,
+    /// CP rank (columns of B, C, Y).
+    pub rank: u32,
+    /// Worker threadlets.
+    pub nthreads: usize,
+}
+
+impl Default for EmuMttkrpConfig {
+    fn default() -> Self {
+        EmuMttkrpConfig {
+            layout: TensorLayout::SliceBlocked,
+            rank: 8,
+            nthreads: 256,
+        }
+    }
+}
+
+/// Result of one Emu MTTKRP run.
+#[derive(Debug)]
+pub struct EmuMttkrpResult {
+    /// The computed Y (I×R row-major), verified against
+    /// [`crate::coo::mttkrp_reference`].
+    pub y: Vec<f64>,
+    /// Effective bandwidth ([`SparseTensor::mttkrp_bytes`] / makespan).
+    pub bandwidth: Bandwidth,
+    /// Total thread migrations.
+    pub migrations: u64,
+    /// Full machine report.
+    pub report: RunReport,
+}
+
+/// Address of entry `e` under `layout`.
+fn entry_addr(t: &SparseTensor, layout: TensorLayout, e: usize, nodelets: u32) -> GlobalAddr {
+    match layout {
+        TensorLayout::OneD => GlobalAddr::new(
+            NodeletId((e as u32) % nodelets),
+            0x1000_0000 + (e as u64 / nodelets as u64) * 32,
+        ),
+        TensorLayout::SliceBlocked => {
+            let i = t.entries()[e].i;
+            GlobalAddr::new(
+                NodeletId(i % nodelets),
+                0x1000_0000 + e as u64 * 32,
+            )
+        }
+    }
+}
+
+struct MttkrpWorker {
+    t: Arc<SparseTensor>,
+    layout: TensorLayout,
+    rank: u32,
+    nodelets: u32,
+    /// B and C, replicated: resolve at the reader's nodelet.
+    b: ArrayHandle,
+    c: ArrayHandle,
+    /// Entry indices this worker owns.
+    work: Vec<u32>,
+    w: usize,
+    r: u32,
+    phase: u8,
+    acc: f64,
+    y_out: Arc<Mutex<Vec<f64>>>,
+}
+
+impl Kernel for MttkrpWorker {
+    fn step(&mut self, ctx: &KernelCtx) -> Op {
+        loop {
+            let Some(&e_idx) = self.work.get(self.w) else {
+                return Op::Quit;
+            };
+            let e = self.t.entries()[e_idx as usize];
+            match self.phase {
+                // Load the entry — the only op whose placement differs
+                // between layouts (migration per entry in 1D).
+                0 => {
+                    self.phase = 1;
+                    self.r = 0;
+                    return Op::Load {
+                        addr: entry_addr(&self.t, self.layout, e_idx as usize, self.nodelets),
+                        bytes: 24,
+                    };
+                }
+                // Rank loop: B(j,r), C(k,r), FMA, Y(i,r) atomic update.
+                1 => {
+                    if self.r >= self.rank {
+                        self.w += 1;
+                        self.phase = 0;
+                        continue;
+                    }
+                    self.phase = 2;
+                    let idx = e.j as u64 * self.rank as u64 + self.r as u64;
+                    return Op::Load {
+                        addr: self.b.addr(idx, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                2 => {
+                    self.phase = 3;
+                    let idx = e.k as u64 * self.rank as u64 + self.r as u64;
+                    return Op::Load {
+                        addr: self.c.addr(idx, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                3 => {
+                    self.phase = 4;
+                    self.acc = e.val * b_value(e.j, self.r) * c_value(e.k, self.r);
+                    return Op::Compute { cycles: FMA_CYCLES };
+                }
+                4 => {
+                    // Functional accumulate + the memory-side update. The
+                    // Y row lives on slice i's home nodelet.
+                    let y_idx = e.i as usize * self.rank as usize + self.r as usize;
+                    self.y_out.lock().unwrap()[y_idx] += self.acc;
+                    let y_home = NodeletId(e.i % self.nodelets);
+                    let addr =
+                        GlobalAddr::new(y_home, 0x3000_0000 + y_idx as u64 * 8);
+                    self.r += 1;
+                    self.phase = 1;
+                    return Op::AtomicAdd { addr, bytes: 8 };
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// Run MTTKRP on the Emu machine `cfg`.
+pub fn run_mttkrp_emu(
+    cfg: &MachineConfig,
+    t: Arc<SparseTensor>,
+    mc: &EmuMttkrpConfig,
+) -> EmuMttkrpResult {
+    assert!(mc.rank > 0 && mc.nthreads > 0);
+    let nodelets = cfg.total_nodelets();
+    let mut ms = MemSpace::new(nodelets);
+    let b = ms.replicated(t.dims[1] as u64 * mc.rank as u64, 8);
+    let c = ms.replicated(t.dims[2] as u64 * mc.rank as u64, 8);
+    let y_out = Arc::new(Mutex::new(vec![
+        0.0;
+        t.dims[0] as usize * mc.rank as usize
+    ]));
+    let nnz = t.nnz();
+    let workers = mc.nthreads.min(nnz.max(1));
+    // Work assignment follows the layout: in 1D, worker w takes entries
+    // w, w+W, …; in slice-blocked, entries are grouped per nodelet (by
+    // slice home) and dealt to that nodelet's workers.
+    let mut engine = Engine::new(cfg.clone());
+    let assignments: Vec<(NodeletId, Vec<u32>)> = match mc.layout {
+        TensorLayout::OneD => {
+            // Contiguous chunks (how a cilk_spawn loop deals work): each
+            // worker walks consecutive entries, which sit on consecutive
+            // nodelets — the migration storm.
+            let chunk = nnz.div_ceil(workers);
+            (0..workers)
+                .filter_map(|w| {
+                    let start = w * chunk;
+                    let end = ((w + 1) * chunk).min(nnz);
+                    if start >= end {
+                        return None;
+                    }
+                    let work: Vec<u32> = (start..end).map(|e| e as u32).collect();
+                    Some((NodeletId((start as u32) % nodelets), work))
+                })
+                .collect()
+        }
+        TensorLayout::SliceBlocked => {
+            let mut per_nodelet: Vec<Vec<u32>> = vec![Vec::new(); nodelets as usize];
+            for (e_idx, e) in t.entries().iter().enumerate() {
+                per_nodelet[(e.i % nodelets) as usize].push(e_idx as u32);
+            }
+            let per_home = (workers / nodelets as usize).max(1);
+            let mut out = Vec::new();
+            for (n, entries) in per_nodelet.into_iter().enumerate() {
+                if entries.is_empty() {
+                    continue;
+                }
+                for w in 0..per_home.min(entries.len()) {
+                    let work: Vec<u32> =
+                        entries.iter().skip(w).step_by(per_home).copied().collect();
+                    out.push((NodeletId(n as u32), work));
+                }
+            }
+            out
+        }
+    };
+    for (start, work) in assignments {
+        if work.is_empty() {
+            continue;
+        }
+        engine.spawn_at(
+            start,
+            Box::new(MttkrpWorker {
+                t: Arc::clone(&t),
+                layout: mc.layout,
+                rank: mc.rank,
+                nodelets,
+                b: b.clone(),
+                c: c.clone(),
+                work,
+                w: 0,
+                r: 0,
+                phase: 0,
+                acc: 0.0,
+                y_out: Arc::clone(&y_out),
+            }),
+        );
+    }
+    let report = engine.run();
+    let y = y_out.lock().unwrap().clone();
+    EmuMttkrpResult {
+        y,
+        bandwidth: report.bandwidth_for(t.mttkrp_bytes(mc.rank)),
+        migrations: report.total_migrations(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::{mttkrp_reference, random_tensor, skewed_tensor};
+    use emu_core::presets;
+
+    fn check(t: Arc<SparseTensor>, layout: TensorLayout, rank: u32) -> EmuMttkrpResult {
+        let reference = mttkrp_reference(&t, rank);
+        let r = run_mttkrp_emu(
+            &presets::chick_prototype(),
+            Arc::clone(&t),
+            &EmuMttkrpConfig {
+                layout,
+                rank,
+                nthreads: 32,
+            },
+        );
+        let err = reference
+            .iter()
+            .zip(&r.y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "{}: err {err}", layout.name());
+        r
+    }
+
+    #[test]
+    fn both_layouts_exact() {
+        let t = Arc::new(random_tensor([20, 16, 12], 400, 1));
+        check(Arc::clone(&t), TensorLayout::OneD, 4);
+        check(t, TensorLayout::SliceBlocked, 4);
+    }
+
+    #[test]
+    fn one_d_migrates_slice_blocked_does_not() {
+        let t = Arc::new(random_tensor([32, 16, 16], 600, 2));
+        let one_d = check(Arc::clone(&t), TensorLayout::OneD, 4);
+        let blocked = check(Arc::clone(&t), TensorLayout::SliceBlocked, 4);
+        assert!(
+            one_d.migrations as usize > t.nnz() / 2,
+            "1D should migrate per entry: {}",
+            one_d.migrations
+        );
+        assert!(
+            blocked.migrations < one_d.migrations / 10,
+            "blocked {} vs 1D {}",
+            blocked.migrations,
+            one_d.migrations
+        );
+    }
+
+    #[test]
+    fn blocked_wins_when_threads_saturate() {
+        // Layout only pays off once enough threadlets saturate the
+        // machine (at low saturation the per-rank FMA latency dominates
+        // both layouts equally — a real property of rank-heavy MTTKRP).
+        let t = Arc::new(random_tensor([128, 32, 32], 8192, 2));
+        let bw = |layout| {
+            run_mttkrp_emu(
+                &presets::chick_prototype(),
+                Arc::clone(&t),
+                &EmuMttkrpConfig {
+                    layout,
+                    rank: 1,
+                    nthreads: 512,
+                },
+            )
+            .bandwidth
+            .mb_per_sec()
+        };
+        let one_d = bw(TensorLayout::OneD);
+        let blocked = bw(TensorLayout::SliceBlocked);
+        assert!(
+            blocked > 1.05 * one_d,
+            "blocked {blocked} should beat 1D {one_d} under saturation"
+        );
+    }
+
+    #[test]
+    fn skewed_tensor_still_exact() {
+        let t = Arc::new(skewed_tensor([24, 12, 12], 48, 3));
+        check(Arc::clone(&t), TensorLayout::SliceBlocked, 6);
+        check(t, TensorLayout::OneD, 6);
+    }
+
+    #[test]
+    fn rank_one_works() {
+        let t = Arc::new(random_tensor([8, 8, 8], 100, 4));
+        check(t, TensorLayout::SliceBlocked, 1);
+    }
+
+    #[test]
+    fn deterministic() {
+        let t = Arc::new(random_tensor([16, 8, 8], 200, 5));
+        let a = check(Arc::clone(&t), TensorLayout::SliceBlocked, 4);
+        let b = check(t, TensorLayout::SliceBlocked, 4);
+        assert_eq!(a.report.makespan, b.report.makespan);
+    }
+}

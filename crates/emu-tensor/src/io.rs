@@ -1,0 +1,93 @@
+//! FROSTT `.tns` I/O — the text format of the sparse-tensor collection
+//! ParTI consumes: one nonzero per line, `i j k value`, 1-based indices.
+
+use crate::coo::{SparseTensor, TensorEntry};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Parse a `.tns` stream (3-mode). Dimensions are inferred as the max
+/// index per mode unless `dims` is given.
+pub fn read_tns<R: Read>(r: R, dims: Option<[u32; 3]>) -> Result<SparseTensor, String> {
+    let mut raw = Vec::new();
+    let mut maxes = [0u32; 3];
+    for line in BufReader::new(r).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let f: Vec<&str> = t.split_whitespace().collect();
+        if f.len() != 4 {
+            return Err(format!("expected `i j k value`, got {t:?}"));
+        }
+        let idx: Vec<u64> = f[..3]
+            .iter()
+            .map(|x| x.parse().map_err(|_| format!("bad index in {t:?}")))
+            .collect::<Result<_, _>>()?;
+        if idx.iter().any(|&x| x == 0) {
+            return Err(format!("indices are 1-based, got 0 in {t:?}"));
+        }
+        if idx.iter().any(|&x| x > u32::MAX as u64) {
+            return Err("index too large for u32".into());
+        }
+        let val: f64 = f[3]
+            .parse()
+            .map_err(|_| format!("bad value in {t:?}"))?;
+        let (i, j, k) = (idx[0] as u32 - 1, idx[1] as u32 - 1, idx[2] as u32 - 1);
+        maxes[0] = maxes[0].max(i + 1);
+        maxes[1] = maxes[1].max(j + 1);
+        maxes[2] = maxes[2].max(k + 1);
+        raw.push(TensorEntry { i, j, k, val });
+    }
+    let dims = dims.unwrap_or(maxes);
+    for (m, (&have, &need)) in dims.iter().zip(&maxes).enumerate() {
+        if need > have {
+            return Err(format!("mode {m}: index {need} exceeds dim {have}"));
+        }
+    }
+    if dims.iter().any(|&d| d == 0) {
+        return Err("empty tensor with no explicit dims".into());
+    }
+    Ok(SparseTensor::from_entries(dims, raw))
+}
+
+/// Write a tensor as `.tns` (1-based).
+pub fn write_tns<W: Write>(t: &SparseTensor, w: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(w);
+    for e in t.entries() {
+        writeln!(out, "{} {} {} {:.17e}", e.i + 1, e.j + 1, e.k + 1, e.val)?;
+    }
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::random_tensor;
+
+    #[test]
+    fn round_trip() {
+        let t = random_tensor([9, 7, 5], 60, 3);
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(&buf[..], Some(t.dims)).unwrap();
+        assert_eq!(t.dims, back.dims);
+        assert_eq!(t.entries(), back.entries());
+    }
+
+    #[test]
+    fn infers_dims() {
+        let src = "1 2 3 1.5\n4 1 1 2.0\n# comment\n";
+        let t = read_tns(src.as_bytes(), None).unwrap();
+        assert_eq!(t.dims, [4, 2, 3]);
+        assert_eq!(t.nnz(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_lines() {
+        assert!(read_tns("1 2 3\n".as_bytes(), None).is_err()); // short
+        assert!(read_tns("0 1 1 5.0\n".as_bytes(), None).is_err()); // 0-based
+        assert!(read_tns("1 1 x 5.0\n".as_bytes(), None).is_err()); // junk
+        assert!(read_tns("".as_bytes(), None).is_err()); // empty, no dims
+        assert!(read_tns("5 1 1 1.0\n".as_bytes(), Some([2, 2, 2])).is_err()); // oob
+    }
+}

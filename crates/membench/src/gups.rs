@@ -1,0 +1,233 @@
+//! GUPS / RandomAccess (extension benchmark).
+//!
+//! Section III-E notes the pointer chase "is quite similar to the
+//! GUPS/RandomAccess benchmark, however GUPS lacks data-dependent loads
+//! and pointer chase does not modify the list." This module provides the
+//! other corner of that comparison: random read-modify-write updates to a
+//! giant table.
+//!
+//! On the Emu, updates use **memory-side remote atomics** — the hardware
+//! feature the paper highlights for "small amounts of data without
+//! triggering unnecessary thread migrations" — so Emu GUPS is *not*
+//! migration-bound. On the Xeon, each update is a random line fetch plus
+//! dirtying store.
+
+use desim::rng::{trial_seed, uniform_indices};
+use emu_core::prelude::*;
+
+/// Configuration of one GUPS run.
+#[derive(Clone, Debug)]
+pub struct GupsConfig {
+    /// Table size in 8-byte words.
+    pub table_words: u64,
+    /// Concurrent update threads.
+    pub nthreads: usize,
+    /// Updates issued by each thread.
+    pub updates_per_thread: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GupsConfig {
+    fn default() -> Self {
+        GupsConfig {
+            table_words: 1 << 22,
+            nthreads: 256,
+            updates_per_thread: 4096,
+            seed: desim::rng::DEFAULT_SEED,
+        }
+    }
+}
+
+impl GupsConfig {
+    /// Total updates across all threads.
+    pub fn total_updates(&self) -> u64 {
+        self.nthreads as u64 * self.updates_per_thread as u64
+    }
+}
+
+/// Result of one GUPS run.
+#[derive(Debug, Clone)]
+pub struct GupsResult {
+    /// Total updates performed.
+    pub updates: u64,
+    /// Giga-updates per second.
+    pub gups: f64,
+    /// Thread migrations during the run (0 expected on Emu — atomics
+    /// don't migrate; always 0 on CPU).
+    pub migrations: u64,
+    /// Makespan.
+    pub makespan: desim::time::Time,
+}
+
+struct EmuUpdater {
+    table: ArrayHandle,
+    targets: Vec<u64>,
+    pos: usize,
+    phase: u8,
+}
+
+impl Kernel for EmuUpdater {
+    fn step(&mut self, ctx: &KernelCtx) -> Op {
+        if self.pos >= self.targets.len() {
+            return Op::Quit;
+        }
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                let w = self.targets[self.pos];
+                Op::AtomicAdd {
+                    addr: self.table.addr(w, ctx.here),
+                    bytes: 8,
+                }
+            }
+            _ => {
+                self.phase = 0;
+                self.pos += 1;
+                // XOR + index generation.
+                Op::Compute { cycles: 8 }
+            }
+        }
+    }
+}
+
+/// Run GUPS on the Emu machine `cfg`; the table is striped across all
+/// nodelets and updates are remote atomics.
+pub fn run_gups_emu(cfg: &MachineConfig, gc: &GupsConfig) -> GupsResult {
+    let mut ms = MemSpace::new(cfg.total_nodelets());
+    let table = ms.striped(gc.table_words, 8);
+    let mut engine = Engine::new(cfg.clone());
+    let nodelets = cfg.total_nodelets();
+    for t in 0..gc.nthreads {
+        let targets = uniform_indices(
+            gc.updates_per_thread,
+            gc.table_words,
+            trial_seed(gc.seed, t as u64),
+        );
+        // Spread threads across nodelets (remote-spawn in spirit).
+        engine.spawn_at(
+            NodeletId((t % nodelets as usize) as u32),
+            Box::new(EmuUpdater {
+                table: table.clone(),
+                targets,
+                pos: 0,
+                phase: 0,
+            }),
+        );
+    }
+    let report = engine.run();
+    GupsResult {
+        updates: gc.total_updates(),
+        gups: gc.total_updates() as f64 / report.makespan.secs_f64() / 1e9,
+        migrations: report.total_migrations(),
+        makespan: report.makespan,
+    }
+}
+
+/// CPU-side GUPS.
+pub mod cpu {
+    use super::*;
+    use xeon_sim::prelude::*;
+
+    struct CpuUpdater {
+        base: u64,
+        targets: Vec<u64>,
+        pos: usize,
+        phase: u8,
+    }
+
+    impl CpuKernel for CpuUpdater {
+        fn step(&mut self, _ctx: &CpuCtx) -> CpuOp {
+            if self.pos >= self.targets.len() {
+                return CpuOp::Quit;
+            }
+            let addr = self.base + self.targets[self.pos] * 8;
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    CpuOp::Load { addr, bytes: 8 }
+                }
+                1 => {
+                    self.phase = 2;
+                    CpuOp::Store { addr, bytes: 8 }
+                }
+                _ => {
+                    self.phase = 0;
+                    self.pos += 1;
+                    CpuOp::Compute { cycles: 4 }
+                }
+            }
+        }
+    }
+
+    /// Run GUPS on the CPU platform `cfg` (read-modify-write per update).
+    pub fn run_gups_cpu(cfg: &CpuConfig, gc: &GupsConfig) -> GupsResult {
+        let mut engine = CpuEngine::new(cfg.clone());
+        for t in 0..gc.nthreads {
+            let targets = uniform_indices(
+                gc.updates_per_thread,
+                gc.table_words,
+                trial_seed(gc.seed, t as u64),
+            );
+            engine.add_thread(Box::new(CpuUpdater {
+                base: 0x100_0000_0000,
+                targets,
+                pos: 0,
+                phase: 0,
+            }));
+        }
+        let report = engine.run();
+        GupsResult {
+            updates: gc.total_updates(),
+            gups: gc.total_updates() as f64 / report.makespan.secs_f64() / 1e9,
+            migrations: 0,
+            makespan: report.makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu_core::presets;
+
+    fn small() -> GupsConfig {
+        GupsConfig {
+            table_words: 1 << 12,
+            nthreads: 16,
+            updates_per_thread: 256,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn emu_gups_never_migrates() {
+        let r = run_gups_emu(&presets::chick_prototype(), &small());
+        assert_eq!(r.migrations, 0, "memory-side atomics must not migrate");
+        assert_eq!(r.updates, 16 * 256);
+        assert!(r.gups > 0.0);
+    }
+
+    #[test]
+    fn cpu_gups_runs() {
+        let r = cpu::run_gups_cpu(&xeon_sim::config::sandy_bridge(), &small());
+        assert_eq!(r.updates, 16 * 256);
+        assert!(r.gups > 0.0);
+    }
+
+    #[test]
+    fn more_threads_more_gups_on_emu() {
+        let cfg = presets::chick_prototype();
+        let g = |threads| {
+            run_gups_emu(
+                &cfg,
+                &GupsConfig {
+                    nthreads: threads,
+                    ..small()
+                },
+            )
+            .gups
+        };
+        assert!(g(64) > 2.0 * g(4));
+    }
+}

@@ -1,0 +1,24 @@
+//! # membench — the Emu Chick paper's benchmark suite
+//!
+//! Platform-portable implementations of every workload in the paper's
+//! evaluation (Section III-E), each verified functionally (checksums or
+//! exact output vectors) while the discrete-event machine models account
+//! for time:
+//!
+//! | Module | Paper experiment |
+//! |---|---|
+//! | [`stream`] | STREAM ADD with the four spawn strategies (Figs 4–5) + CPU STREAM |
+//! | [`chase`]  | pointer chasing with block shuffles (Figs 6–8) |
+//! | [`spmv_emu`] | CSR SpMV with local/1D/2D Emu layouts (Fig 9a) |
+//! | [`spmv_cpu`] | CSR SpMV with mkl / cilk_for / cilk_spawn (Fig 9b) |
+//! | [`pingpong`] | migration throughput/latency microbenchmark (Fig 10) |
+//! | [`gups`] | GUPS/RandomAccess (extension, discussed in III-E) |
+
+#![warn(missing_docs)]
+
+pub mod chase;
+pub mod gups;
+pub mod pingpong;
+pub mod spmv_cpu;
+pub mod spmv_emu;
+pub mod stream;

@@ -1,0 +1,191 @@
+//! The ping-pong migration microbenchmark (Section III-E, Fig 10).
+//!
+//! N threadlets bounce between two nodelets several thousand times,
+//! exposing the raw throughput and latency of the migration engine — the
+//! component whose idealization in the Emu toolchain simulator explains
+//! the pointer-chase validation gap (hardware ≈9 M migrations/s vs
+//! simulator ≈16 M/s; single-migration latency 1–2 µs).
+
+use emu_core::prelude::*;
+
+/// Configuration of one ping-pong run.
+#[derive(Clone, Debug)]
+pub struct PingPongConfig {
+    /// Concurrent bouncing threadlets.
+    pub nthreads: usize,
+    /// Round trips per threadlet (each is two migrations).
+    pub round_trips: u32,
+    /// First endpoint.
+    pub a: NodeletId,
+    /// Second endpoint.
+    pub b: NodeletId,
+}
+
+impl Default for PingPongConfig {
+    fn default() -> Self {
+        PingPongConfig {
+            nthreads: 64,
+            round_trips: 2000,
+            a: NodeletId(0),
+            b: NodeletId(1),
+        }
+    }
+}
+
+/// Result of one ping-pong run.
+#[derive(Debug, Clone)]
+pub struct PingPongResult {
+    /// Total migrations performed.
+    pub migrations: u64,
+    /// Aggregate migration throughput, migrations/second.
+    pub migrations_per_sec: f64,
+    /// Mean single-migration latency (issue to arrival), nanoseconds.
+    pub mean_latency_ns: f64,
+    /// Approximate 99th-percentile migration latency.
+    pub p99_latency: desim::time::Time,
+    /// Makespan.
+    pub makespan: desim::time::Time,
+}
+
+struct Bouncer {
+    a: NodeletId,
+    b: NodeletId,
+    remaining: u32,
+}
+
+impl Kernel for Bouncer {
+    fn step(&mut self, ctx: &KernelCtx) -> Op {
+        if self.remaining == 0 {
+            return Op::Quit;
+        }
+        self.remaining -= 1;
+        let target = if ctx.here == self.a { self.b } else { self.a };
+        Op::MigrateTo { nodelet: target }
+    }
+}
+
+/// Run ping-pong on the Emu machine `cfg`.
+pub fn run_pingpong(cfg: &MachineConfig, pc: &PingPongConfig) -> PingPongResult {
+    assert_ne!(pc.a, pc.b, "endpoints must differ");
+    assert!(pc.nthreads > 0 && pc.round_trips > 0);
+    let mut engine = Engine::new(cfg.clone());
+    for t in 0..pc.nthreads {
+        // Alternate starting ends so both engines load evenly from t=0.
+        let start = if t % 2 == 0 { pc.a } else { pc.b };
+        engine.spawn_at(
+            start,
+            Box::new(Bouncer {
+                a: pc.a,
+                b: pc.b,
+                remaining: pc.round_trips * 2,
+            }),
+        );
+    }
+    let report = engine.run();
+    PingPongResult {
+        migrations: report.total_migrations(),
+        migrations_per_sec: report.migration_rate(),
+        mean_latency_ns: report.migration_latency.summary().mean(),
+        p99_latency: report.migration_latency.quantile(0.99),
+        makespan: report.makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu_core::presets;
+
+    #[test]
+    fn migration_count_exact() {
+        let cfg = presets::chick_prototype();
+        let pc = PingPongConfig {
+            nthreads: 4,
+            round_trips: 10,
+            ..Default::default()
+        };
+        let r = run_pingpong(&cfg, &pc);
+        assert_eq!(r.migrations, 4 * 10 * 2);
+    }
+
+    #[test]
+    fn saturated_rate_matches_engine_configuration() {
+        // With many threads, throughput approaches 2x the per-nodelet
+        // engine rate (both directions saturate).
+        let cfg = presets::chick_prototype();
+        let r = run_pingpong(
+            &cfg,
+            &PingPongConfig {
+                nthreads: 64,
+                round_trips: 200,
+                ..Default::default()
+            },
+        );
+        let expect = 2.0 * cfg.migration_rate_per_sec as f64;
+        let ratio = r.migrations_per_sec / expect;
+        assert!(
+            (0.7..=1.01).contains(&ratio),
+            "rate {:.2e} vs engine 2x{:.2e}",
+            r.migrations_per_sec,
+            cfg.migration_rate_per_sec as f64
+        );
+    }
+
+    #[test]
+    fn toolchain_sim_is_faster_than_hardware() {
+        let run = |cfg: &MachineConfig| {
+            run_pingpong(
+                cfg,
+                &PingPongConfig {
+                    nthreads: 64,
+                    round_trips: 100,
+                    ..Default::default()
+                },
+            )
+            .migrations_per_sec
+        };
+        let hw = run(&presets::chick_prototype());
+        let sim = run(&presets::chick_toolchain_sim());
+        assert!(
+            sim > 1.5 * hw,
+            "toolchain sim {sim:.2e} should far exceed hw {hw:.2e}"
+        );
+    }
+
+    #[test]
+    fn single_thread_latency_in_paper_range() {
+        // Unloaded single-migration latency should be well under the
+        // 1-2 us the paper reports under load.
+        let cfg = presets::chick_prototype();
+        let r = run_pingpong(
+            &cfg,
+            &PingPongConfig {
+                nthreads: 1,
+                round_trips: 100,
+                ..Default::default()
+            },
+        );
+        assert!(
+            r.mean_latency_ns > 100.0 && r.mean_latency_ns < 2000.0,
+            "latency {} ns",
+            r.mean_latency_ns
+        );
+    }
+
+    #[test]
+    fn loaded_latency_exceeds_unloaded() {
+        let cfg = presets::chick_prototype();
+        let lat = |threads| {
+            run_pingpong(
+                &cfg,
+                &PingPongConfig {
+                    nthreads: threads,
+                    round_trips: 100,
+                    ..Default::default()
+                },
+            )
+            .mean_latency_ns
+        };
+        assert!(lat(64) > 2.0 * lat(1));
+    }
+}

@@ -1,0 +1,549 @@
+//! CSR SpMV on the Emu with the paper's three data layouts (Fig 3, 9a).
+//!
+//! * **local** — every array `mw_localmalloc`'d on nodelet 0: no
+//!   migrations, but only one nodelet's cores and channel do any work;
+//! * **1D** — `row_ptr`, `col_idx`, `vals` striped element-wise across
+//!   nodelets (`mw_malloc1dlong`), `x` replicated, `y` on nodelet 0:
+//!   maximal parallelism, but walking a row's consecutive nonzeros hops
+//!   nodelets on *every element* — a migration storm;
+//! * **2D** — the paper's custom two-stage allocation: each row's data
+//!   contiguous on the nodelet that owns the row (rows dealt round-robin),
+//!   per-nodelet row-length arrays, `x` replicated, `y` written to
+//!   nodelet 0 with posted remote stores: no migrations in the inner loop.
+//!
+//! Work is divided `grain`-nonzeros at a time (the paper found tiny
+//! grains — 16 elements — best on the Emu, vs 16384 on the Xeon) and the
+//! kernels compute the real output vector, verified against
+//! [`spmat::CsrMatrix::spmv`].
+
+use desim::stats::Bandwidth;
+use emu_core::prelude::*;
+use spmat::CsrMatrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Floating multiply-add + loop bookkeeping per nonzero on the Gossamer
+/// soft core. FP on the FPGA prototype is multi-cycle and, per thread,
+/// unpipelined — the dominant per-element cost (calibrated so the 2D
+/// layout lands in the paper's few-hundred-MB/s range, Fig 9a).
+pub const FMA_CYCLES: u32 = 80;
+/// Per-row bookkeeping cycles (pointer setup, accumulator init, store).
+pub const ROW_OVERHEAD_CYCLES: u32 = 20;
+
+/// The deterministic input vector used by all SpMV benchmarks:
+/// `x[j] = 1 + (j mod 97)`.
+pub fn x_value(j: u32) -> f64 {
+    1.0 + (j % 97) as f64
+}
+
+/// Materialize the input vector for an `ncols`-wide matrix.
+pub fn x_vector(ncols: u32) -> Vec<f64> {
+    (0..ncols).map(x_value).collect()
+}
+
+/// The three Emu data layouts of Fig 3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum EmuLayout {
+    /// Everything on nodelet 0.
+    Local,
+    /// Matrix arrays striped element-wise; `x` replicated.
+    OneD,
+    /// Row-contiguous per-nodelet allocation; `x` replicated.
+    TwoD,
+}
+
+impl EmuLayout {
+    /// All layouts in the paper's order.
+    pub const ALL: [EmuLayout; 3] = [EmuLayout::Local, EmuLayout::OneD, EmuLayout::TwoD];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EmuLayout::Local => "local",
+            EmuLayout::OneD => "1D",
+            EmuLayout::TwoD => "2D",
+        }
+    }
+}
+
+/// Configuration of one Emu SpMV run.
+#[derive(Clone, Debug)]
+pub struct EmuSpmvConfig {
+    /// Data layout.
+    pub layout: EmuLayout,
+    /// Target nonzeros per spawned task (the paper's "grain"; 16 works
+    /// best on the Emu).
+    pub grain_nnz: usize,
+}
+
+impl Default for EmuSpmvConfig {
+    fn default() -> Self {
+        EmuSpmvConfig {
+            layout: EmuLayout::TwoD,
+            grain_nnz: 16,
+        }
+    }
+}
+
+/// Result of one Emu SpMV run.
+#[derive(Debug)]
+pub struct EmuSpmvResult {
+    /// Effective bandwidth: [`CsrMatrix::spmv_bytes`] / makespan.
+    pub bandwidth: Bandwidth,
+    /// The computed output vector.
+    pub y: Vec<f64>,
+    /// Total thread migrations during the multiply.
+    pub migrations: u64,
+    /// Total threadlets spawned.
+    pub spawns: u64,
+    /// Full machine report.
+    pub report: RunReport,
+}
+
+/// How one task kernel finds its rows: `row = first + k * stride`.
+#[derive(Clone, Copy, Debug)]
+struct RowChunk {
+    first: u32,
+    count: u32,
+    stride: u32,
+}
+
+/// Where each array element of the 2D layout lives.
+struct TwoDMap {
+    /// Owner nodelet of each row (`r % nodelets`).
+    nodelets: u32,
+    /// Per-row base offset within its owner's blob.
+    row_offset: Vec<u64>,
+}
+
+impl TwoDMap {
+    fn build(m: &CsrMatrix, nodelets: u32) -> TwoDMap {
+        let mut next_offset = vec![0u64; nodelets as usize];
+        let mut row_offset = vec![0u64; m.nrows() as usize];
+        for r in 0..m.nrows() {
+            let owner = (r % nodelets) as usize;
+            row_offset[r as usize] = next_offset[owner];
+            next_offset[owner] += m.row_nnz(r) * 16; // val + col per nnz
+        }
+        TwoDMap {
+            nodelets,
+            row_offset,
+        }
+    }
+
+    fn addr_of(&self, row: u32, k_in_row: u64, which: u64) -> GlobalAddr {
+        let owner = NodeletId(row % self.nodelets);
+        // vals and cols interleave in the blob; `which` picks one.
+        let offset = 0x100_0000 + self.row_offset[row as usize] + k_in_row * 16 + which * 8;
+        GlobalAddr::new(owner, offset)
+    }
+}
+
+/// Shared immutable state for all task kernels of one run.
+struct SpmvShared {
+    matrix: Arc<CsrMatrix>,
+    layout: EmuLayout,
+    row_ptr: ArrayHandle,
+    vals: ArrayHandle,
+    cols: ArrayHandle,
+    x: ArrayHandle,
+    y: ArrayHandle,
+    twod: Option<TwoDMap>,
+    y_out: Mutex<Vec<f64>>,
+    rows_done: AtomicU64,
+}
+
+/// One task: multiply a chunk of rows.
+struct SpmvTask {
+    sh: Arc<SpmvShared>,
+    chunk: RowChunk,
+    k: u32,    // row index within chunk
+    j: u64,    // nnz index within row
+    phase: u8, // per-row op sequence position
+    acc: f64,
+    xv: f64,
+    cur_val: f64,
+}
+
+impl SpmvTask {
+    fn row(&self) -> u32 {
+        self.chunk.first + self.k * self.chunk.stride
+    }
+}
+
+impl Kernel for SpmvTask {
+    fn step(&mut self, ctx: &KernelCtx) -> Op {
+        loop {
+            if self.k >= self.chunk.count {
+                return Op::Quit;
+            }
+            let r = self.row();
+            let sh = &self.sh;
+            let m = &sh.matrix;
+            let range = m.row_range(r);
+            let row_len = (range.end - range.start) as u64;
+            match self.phase {
+                // Row-pointer loads: 2 for local/1D (r and r+1), 1 for 2D
+                // (precomputed per-nodelet length array, always local).
+                0 => {
+                    self.phase = if sh.layout == EmuLayout::TwoD { 2 } else { 1 };
+                    self.acc = 0.0;
+                    self.j = 0;
+                    return Op::Load {
+                        addr: sh.row_ptr.addr(r as u64, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                1 => {
+                    self.phase = 2;
+                    return Op::Load {
+                        addr: sh.row_ptr.addr(r as u64 + 1, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                // Inner loop over nonzeros: val, col, x[col], fma.
+                2 => {
+                    if self.j >= row_len {
+                        self.phase = 6;
+                        continue;
+                    }
+                    self.phase = 3;
+                    let k = range.start as u64 + self.j;
+                    self.cur_val = m.vals()[k as usize];
+                    let addr = match (&sh.twod, sh.layout) {
+                        (Some(t), EmuLayout::TwoD) => t.addr_of(r, self.j, 0),
+                        _ => sh.vals.addr(k, ctx.here),
+                    };
+                    return Op::Load { addr, bytes: 8 };
+                }
+                3 => {
+                    self.phase = 4;
+                    let k = range.start as u64 + self.j;
+                    let col = m.col_idx()[k as usize];
+                    self.xv = x_value(col);
+                    let addr = match (&sh.twod, sh.layout) {
+                        (Some(t), EmuLayout::TwoD) => t.addr_of(r, self.j, 1),
+                        _ => sh.cols.addr(k, ctx.here),
+                    };
+                    return Op::Load { addr, bytes: 8 };
+                }
+                4 => {
+                    self.phase = 5;
+                    let k = range.start as u64 + self.j;
+                    let col = m.col_idx()[k as usize] as u64;
+                    return Op::Load {
+                        addr: sh.x.addr(col, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                5 => {
+                    self.phase = 2;
+                    self.acc += self.cur_val * self.xv;
+                    self.j += 1;
+                    return Op::Compute { cycles: FMA_CYCLES };
+                }
+                // Row epilogue: record the result, store y[r], bookkeeping.
+                6 => {
+                    self.phase = 7;
+                    self.sh.y_out.lock().unwrap()[r as usize] = self.acc;
+                    self.sh.rows_done.fetch_add(1, Ordering::Relaxed);
+                    return Op::Store {
+                        addr: sh.y.addr(r as u64, ctx.here),
+                        bytes: 8,
+                    };
+                }
+                7 => {
+                    self.phase = 0;
+                    self.k += 1;
+                    return Op::Compute {
+                        cycles: ROW_OVERHEAD_CYCLES,
+                    };
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+/// A spawner that serially spawns a list of prepared task kernels, then
+/// quits. Placement per task.
+struct TaskSpawner {
+    tasks: Vec<Option<(Box<dyn Kernel>, Placement)>>,
+    next: usize,
+}
+
+impl Kernel for TaskSpawner {
+    fn step(&mut self, _ctx: &KernelCtx) -> Op {
+        while self.next < self.tasks.len() {
+            let slot = self.tasks[self.next].take();
+            self.next += 1;
+            if let Some((kernel, place)) = slot {
+                return Op::Spawn { kernel, place };
+            }
+        }
+        Op::Quit
+    }
+}
+
+/// Split `rows` (strided arithmetic sequences) into grain-sized chunks.
+fn chunk_rows(m: &CsrMatrix, first: u32, count: u32, stride: u32, grain_nnz: usize) -> Vec<RowChunk> {
+    let mut out = Vec::new();
+    let mut start = 0u32;
+    let mut acc = 0u64;
+    for k in 0..count {
+        let r = first + k * stride;
+        acc += m.row_nnz(r);
+        if acc as usize >= grain_nnz || k == count - 1 {
+            out.push(RowChunk {
+                first: first + start * stride,
+                count: k - start + 1,
+                stride,
+            });
+            start = k + 1;
+            acc = 0;
+        }
+    }
+    out
+}
+
+/// Run SpMV on the Emu machine `cfg`.
+pub fn run_spmv_emu(cfg: &MachineConfig, m: Arc<CsrMatrix>, sc: &EmuSpmvConfig) -> EmuSpmvResult {
+    let nodelets = cfg.total_nodelets();
+    let mut ms = MemSpace::new(nodelets);
+    let n = m.nrows();
+    let nnz = m.nnz();
+    let (row_ptr, vals, cols, x, y) = match sc.layout {
+        EmuLayout::Local => (
+            ms.local(NodeletId(0), n as u64 + 1, 8),
+            ms.local(NodeletId(0), nnz, 8),
+            ms.local(NodeletId(0), nnz, 8),
+            ms.local(NodeletId(0), m.ncols() as u64, 8),
+            ms.local(NodeletId(0), n as u64, 8),
+        ),
+        EmuLayout::OneD | EmuLayout::TwoD => (
+            ms.striped(n as u64 + 1, 8),
+            ms.striped(nnz.max(1), 8),
+            ms.striped(nnz.max(1), 8),
+            ms.replicated(m.ncols() as u64, 8),
+            ms.local(NodeletId(0), n as u64, 8),
+        ),
+    };
+    let twod = (sc.layout == EmuLayout::TwoD).then(|| TwoDMap::build(&m, nodelets));
+    let shared = Arc::new(SpmvShared {
+        matrix: Arc::clone(&m),
+        layout: sc.layout,
+        row_ptr,
+        vals,
+        cols,
+        x,
+        y,
+        twod,
+        y_out: Mutex::new(vec![0.0; n as usize]),
+        rows_done: AtomicU64::new(0),
+    });
+
+    let task = |chunk: RowChunk| -> Box<dyn Kernel> {
+        Box::new(SpmvTask {
+            sh: Arc::clone(&shared),
+            chunk,
+            k: 0,
+            j: 0,
+            phase: 0,
+            acc: 0.0,
+            xv: 0.0,
+            cur_val: 0.0,
+        })
+    };
+
+    let mut engine = Engine::new(cfg.clone());
+    match sc.layout {
+        EmuLayout::Local | EmuLayout::OneD => {
+            // cilk_spawn loop from the main thread on nodelet 0.
+            let tasks: Vec<_> = chunk_rows(&m, 0, n, 1, sc.grain_nnz)
+                .into_iter()
+                .map(|c| Some((task(c), Placement::Here)))
+                .collect();
+            engine.spawn_at(NodeletId(0), Box::new(TaskSpawner { tasks, next: 0 }));
+        }
+        EmuLayout::TwoD => {
+            // One leader per nodelet spawns tasks for its own rows — the
+            // "smart migration" recipe of Section V-A.
+            let leader_tasks: Vec<Vec<_>> = (0..nodelets)
+                .map(|k| {
+                    let count = emu_core::spawn::workers_on(k, n as usize, nodelets) as u32;
+                    chunk_rows(&m, k, count, nodelets, sc.grain_nnz)
+                        .into_iter()
+                        .map(|c| Some((task(c), Placement::Here)))
+                        .collect()
+                })
+                .collect();
+            let root_tasks: Vec<_> = leader_tasks
+                .into_iter()
+                .enumerate()
+                .filter(|(_, ts)| !ts.is_empty())
+                .map(|(k, tasks)| {
+                    let leader: Box<dyn Kernel> = Box::new(TaskSpawner { tasks, next: 0 });
+                    Some((leader, Placement::On(NodeletId(k as u32))))
+                })
+                .collect();
+            engine.spawn_at(
+                NodeletId(0),
+                Box::new(TaskSpawner {
+                    tasks: root_tasks,
+                    next: 0,
+                }),
+            );
+        }
+    }
+    let report = engine.run();
+    assert_eq!(
+        shared.rows_done.load(Ordering::Relaxed),
+        n as u64,
+        "not every row was multiplied"
+    );
+    let y_out = shared.y_out.lock().unwrap().clone();
+    EmuSpmvResult {
+        bandwidth: report.bandwidth_for(m.spmv_bytes()),
+        y: y_out,
+        migrations: report.total_migrations(),
+        spawns: report.total_spawns(),
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emu_core::presets;
+    use spmat::{laplacian, LaplacianSpec};
+
+    fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    fn check_layout(layout: EmuLayout) -> EmuSpmvResult {
+        let m = Arc::new(laplacian(LaplacianSpec::paper(12)));
+        let reference = m.spmv(&x_vector(m.ncols()));
+        let cfg = presets::chick_prototype();
+        let r = run_spmv_emu(
+            &cfg,
+            Arc::clone(&m),
+            &EmuSpmvConfig {
+                layout,
+                grain_nnz: 16,
+            },
+        );
+        assert!(
+            max_abs_diff(&r.y, &reference) < 1e-9,
+            "{}: wrong result",
+            layout.name()
+        );
+        r
+    }
+
+    #[test]
+    fn local_layout_correct_and_contained() {
+        let r = check_layout(EmuLayout::Local);
+        assert_eq!(r.migrations, 0, "local layout must not migrate");
+        assert!(r.report.nodelets[1..].iter().all(|c| c.bytes_total() == 0));
+    }
+
+    #[test]
+    fn one_d_layout_correct_and_migration_heavy() {
+        let r = check_layout(EmuLayout::OneD);
+        let m = laplacian(LaplacianSpec::paper(12));
+        // Striding nodelets per element: migrations comparable to nnz.
+        assert!(
+            r.migrations > m.nnz() / 2,
+            "1D should migrate per element: {} of {}",
+            r.migrations,
+            m.nnz()
+        );
+    }
+
+    #[test]
+    fn two_d_layout_correct_with_few_migrations() {
+        let r = check_layout(EmuLayout::TwoD);
+        let m = laplacian(LaplacianSpec::paper(12));
+        // Only the leader remote-spawns migrate; the inner loop is local.
+        assert!(
+            r.migrations < m.nrows() as u64,
+            "2D inner loop must be migration-free: {} migrations",
+            r.migrations
+        );
+    }
+
+    #[test]
+    fn two_d_beats_one_d_beats_nothing() {
+        let m = Arc::new(laplacian(LaplacianSpec::paper(16)));
+        let cfg = presets::chick_prototype();
+        let bw = |layout| {
+            run_spmv_emu(
+                &cfg,
+                Arc::clone(&m),
+                &EmuSpmvConfig {
+                    layout,
+                    grain_nnz: 16,
+                },
+            )
+            .bandwidth
+            .mb_per_sec()
+        };
+        let local = bw(EmuLayout::Local);
+        let two_d = bw(EmuLayout::TwoD);
+        assert!(
+            two_d > 2.0 * local,
+            "2D {two_d} MB/s should far exceed local {local} MB/s"
+        );
+    }
+
+    #[test]
+    fn chunking_covers_all_rows_exactly_once() {
+        let m = laplacian(LaplacianSpec::paper(10));
+        for grain in [1usize, 16, 1000, 10_000_000] {
+            let chunks = chunk_rows(&m, 0, m.nrows(), 1, grain);
+            let mut seen = vec![false; m.nrows() as usize];
+            for c in &chunks {
+                for k in 0..c.count {
+                    let r = (c.first + k * c.stride) as usize;
+                    assert!(!seen[r]);
+                    seen[r] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "grain {grain}");
+        }
+    }
+
+    #[test]
+    fn strided_chunking_stays_on_stride() {
+        let m = laplacian(LaplacianSpec::paper(10));
+        let count = emu_core::spawn::workers_on(3, m.nrows() as usize, 8) as u32;
+        let chunks = chunk_rows(&m, 3, count, 8, 16);
+        for c in &chunks {
+            for k in 0..c.count {
+                assert_eq!((c.first + k * c.stride) % 8, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_grain_spawns_more_tasks() {
+        let m = Arc::new(laplacian(LaplacianSpec::paper(12)));
+        let cfg = presets::chick_prototype();
+        let spawns = |grain| {
+            run_spmv_emu(
+                &cfg,
+                Arc::clone(&m),
+                &EmuSpmvConfig {
+                    layout: EmuLayout::TwoD,
+                    grain_nnz: grain,
+                },
+            )
+            .spawns
+        };
+        assert!(spawns(16) > 2 * spawns(256));
+    }
+}

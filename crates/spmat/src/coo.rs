@@ -1,0 +1,70 @@
+//! Coordinate-format sparse matrices (assembly format).
+
+/// A matrix entry in coordinate form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Triplet {
+    /// Row index.
+    pub row: u32,
+    /// Column index.
+    pub col: u32,
+    /// Value.
+    pub val: f64,
+}
+
+/// A sparse matrix under assembly: unordered triplets with duplicates
+/// summed on conversion to CSR.
+#[derive(Debug, Clone, Default)]
+pub struct CooMatrix {
+    /// Number of rows.
+    pub nrows: u32,
+    /// Number of columns.
+    pub ncols: u32,
+    /// Entries, in arbitrary order.
+    pub entries: Vec<Triplet>,
+}
+
+impl CooMatrix {
+    /// An empty `nrows x ncols` matrix.
+    pub fn new(nrows: u32, ncols: u32) -> Self {
+        CooMatrix {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Append one entry.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, row: u32, col: u32, val: f64) {
+        assert!(row < self.nrows, "row {row} out of bounds ({})", self.nrows);
+        assert!(col < self.ncols, "col {col} out of bounds ({})", self.ncols);
+        self.entries.push(Triplet { row, col, val });
+    }
+
+    /// Number of stored entries (before duplicate folding).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut m = CooMatrix::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(2, 1, -2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let mut m = CooMatrix::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+}

@@ -1,0 +1,283 @@
+//! Compressed Sparse Row matrices — the storage format of every SpMV
+//! experiment in the paper (Fig 3 shows the three Emu layouts of exactly
+//! these arrays: `row_ptr`, `col_idx`, `vals`).
+
+use crate::coo::CooMatrix;
+
+/// A CSR sparse matrix.
+///
+/// Invariants (checked by [`CsrMatrix::validate`], maintained by all
+/// constructors):
+/// * `row_ptr.len() == nrows + 1`, `row_ptr[0] == 0`, nondecreasing;
+/// * `col_idx.len() == vals.len() == row_ptr[nrows]`;
+/// * column indices within each row are strictly increasing and `< ncols`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    nrows: u32,
+    ncols: u32,
+    row_ptr: Vec<u64>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Build from raw parts, validating the CSR invariants.
+    pub fn from_parts(
+        nrows: u32,
+        ncols: u32,
+        row_ptr: Vec<u64>,
+        col_idx: Vec<u32>,
+        vals: Vec<f64>,
+    ) -> Result<Self, String> {
+        let m = CsrMatrix {
+            nrows,
+            ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Convert from COO, sorting entries and summing duplicates.
+    pub fn from_coo(coo: &CooMatrix) -> Self {
+        let mut entries = coo.entries.clone();
+        entries.sort_unstable_by_key(|t| (t.row, t.col));
+        let mut row_ptr = vec![0u64; coo.nrows as usize + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut vals: Vec<f64> = Vec::with_capacity(entries.len());
+        let mut i = 0;
+        while i < entries.len() {
+            let (r, c) = (entries[i].row, entries[i].col);
+            let mut v = entries[i].val;
+            i += 1;
+            while i < entries.len() && entries[i].row == r && entries[i].col == c {
+                v += entries[i].val;
+                i += 1;
+            }
+            col_idx.push(c);
+            vals.push(v);
+            row_ptr[r as usize + 1] = col_idx.len() as u64;
+        }
+        // Prefix-fill empty rows.
+        for r in 1..row_ptr.len() {
+            if row_ptr[r] < row_ptr[r - 1] {
+                row_ptr[r] = row_ptr[r - 1];
+            }
+        }
+        let m = CsrMatrix {
+            nrows: coo.nrows,
+            ncols: coo.ncols,
+            row_ptr,
+            col_idx,
+            vals,
+        };
+        debug_assert!(m.validate().is_ok(), "{:?}", m.validate());
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn nrows(&self) -> u32 {
+        self.nrows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn ncols(&self) -> u32 {
+        self.ncols
+    }
+
+    /// Number of stored nonzeros.
+    #[inline]
+    pub fn nnz(&self) -> u64 {
+        self.row_ptr[self.nrows as usize]
+    }
+
+    /// The row-pointer array (`nrows + 1` entries).
+    #[inline]
+    pub fn row_ptr(&self) -> &[u64] {
+        &self.row_ptr
+    }
+
+    /// The column-index array.
+    #[inline]
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    #[inline]
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// The half-open nonzero range of row `r`.
+    #[inline]
+    pub fn row_range(&self, r: u32) -> std::ops::Range<usize> {
+        self.row_ptr[r as usize] as usize..self.row_ptr[r as usize + 1] as usize
+    }
+
+    /// Number of nonzeros in row `r`.
+    #[inline]
+    pub fn row_nnz(&self, r: u32) -> u64 {
+        self.row_ptr[r as usize + 1] - self.row_ptr[r as usize]
+    }
+
+    /// `y = A * x` (reference kernel; the simulators' SpMV kernels must
+    /// produce exactly these values).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != ncols`.
+    pub fn spmv(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.ncols as usize, "dimension mismatch");
+        let mut y = vec![0.0; self.nrows as usize];
+        for r in 0..self.nrows {
+            let mut acc = 0.0;
+            for k in self.row_range(r) {
+                acc += self.vals[k] * x[self.col_idx[k] as usize];
+            }
+            y[r as usize] = acc;
+        }
+        y
+    }
+
+    /// Check the CSR invariants.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.row_ptr.len() != self.nrows as usize + 1 {
+            return Err(format!(
+                "row_ptr has {} entries, want {}",
+                self.row_ptr.len(),
+                self.nrows + 1
+            ));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err("row_ptr[0] != 0".into());
+        }
+        if self
+            .row_ptr
+            .windows(2)
+            .any(|w| w[1] < w[0])
+        {
+            return Err("row_ptr not nondecreasing".into());
+        }
+        let nnz = self.row_ptr[self.nrows as usize] as usize;
+        if self.col_idx.len() != nnz || self.vals.len() != nnz {
+            return Err(format!(
+                "col_idx/vals length {}/{} != nnz {}",
+                self.col_idx.len(),
+                self.vals.len(),
+                nnz
+            ));
+        }
+        for r in 0..self.nrows {
+            let range = self.row_range(r);
+            let cols = &self.col_idx[range];
+            if cols.iter().any(|&c| c >= self.ncols) {
+                return Err(format!("row {r}: column out of bounds"));
+            }
+            if cols.windows(2).any(|w| w[1] <= w[0]) {
+                return Err(format!("row {r}: columns not strictly increasing"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Bytes of useful data a CSR SpMV must touch, the "effective
+    /// bandwidth" numerator used throughout Fig 9: each nonzero reads a
+    /// value and a column index plus the matched `x` element, each row
+    /// reads its pointer bounds and writes one `y` element. Emu stores
+    /// indices as 8-byte words; so do we.
+    pub fn spmv_bytes(&self) -> u64 {
+        let nnz = self.nnz();
+        let rows = self.nrows as u64;
+        nnz * (8 + 8 + 8) + rows * (8 + 8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 3x3: [[2,0,1],[0,3,0],[4,0,5]]
+    fn small() -> CsrMatrix {
+        CsrMatrix::from_parts(
+            3,
+            3,
+            vec![0, 2, 3, 5],
+            vec![0, 2, 1, 0, 2],
+            vec![2.0, 1.0, 3.0, 4.0, 5.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spmv_reference() {
+        let m = small();
+        let y = m.spmv(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![2.0 + 3.0, 6.0, 4.0 + 15.0]);
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let m = small();
+        assert_eq!(m.nnz(), 5);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(1), 1);
+        assert_eq!(m.row_range(2), 3..5);
+    }
+
+    #[test]
+    fn from_coo_sorts_and_handles_empty_rows() {
+        let mut coo = CooMatrix::new(4, 4);
+        coo.push(3, 1, 7.0);
+        coo.push(0, 2, 1.0);
+        coo.push(0, 0, 5.0);
+        // row 1 and 2 empty
+        let m = CsrMatrix::from_coo(&coo);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.row_nnz(1), 0);
+        assert_eq!(m.row_nnz(2), 0);
+        let y = m.spmv(&[1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![6.0, 0.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn from_coo_sums_duplicates() {
+        let mut coo = CooMatrix::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 0, 2.5);
+        let m = CsrMatrix::from_coo(&coo);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.vals()[0], 3.5);
+    }
+
+    #[test]
+    fn validation_rejects_bad_columns() {
+        let r = CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 1.0]);
+        assert!(r.is_err());
+        let r = CsrMatrix::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 1.0]);
+        assert!(r.unwrap_err().contains("strictly increasing"));
+    }
+
+    #[test]
+    fn validation_rejects_bad_row_ptr() {
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 1], vec![0, 1], vec![1.0; 2]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![1, 1, 2], vec![0, 1], vec![1.0; 2]).is_err());
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1], vec![0], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn spmv_bytes_formula() {
+        let m = small();
+        assert_eq!(m.spmv_bytes(), 5 * 24 + 3 * 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn spmv_dimension_check() {
+        small().spmv(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Random sparse-matrix generators for tests and extension benches.
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A uniformly random sparse matrix with ~`nnz_per_row` entries per row
+/// (duplicates folded, so actual nnz may be slightly lower).
+pub fn random_uniform(nrows: u32, ncols: u32, nnz_per_row: u32, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(nrows, ncols);
+    for r in 0..nrows {
+        for _ in 0..nnz_per_row {
+            let c = rng.gen_range(0..ncols);
+            let v = rng.gen_range(-1.0..1.0);
+            coo.push(r, c, v);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// A banded matrix: diagonals at the given offsets (clipped at borders),
+/// all values 1.0. Deterministic.
+pub fn banded(n: u32, offsets: &[i64]) -> CsrMatrix {
+    let mut coo = CooMatrix::new(n, n);
+    for r in 0..n as i64 {
+        for &off in offsets {
+            let c = r + off;
+            if (0..n as i64).contains(&c) {
+                coo.push(r as u32, c as u32, 1.0);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+/// A power-law (scale-free-ish) matrix: row `r` gets
+/// `max(1, base >> (r·levels/nrows))` random entries — a cheap stand-in
+/// for graph adjacency skew in load-balance tests.
+pub fn skewed(nrows: u32, ncols: u32, base: u32, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = CooMatrix::new(nrows, ncols);
+    for r in 0..nrows {
+        let level = (r as u64 * 8 / nrows.max(1) as u64) as u32;
+        let k = (base >> level).max(1);
+        for _ in 0..k {
+            let c = rng.gen_range(0..ncols);
+            coo.push(r, c, 1.0);
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_valid_and_deterministic() {
+        let a = random_uniform(50, 50, 4, 7);
+        let b = random_uniform(50, 50, 4, 7);
+        a.validate().unwrap();
+        assert_eq!(a, b);
+        assert!(a.nnz() > 0 && a.nnz() <= 200);
+    }
+
+    #[test]
+    fn banded_structure() {
+        let m = banded(5, &[-1, 0, 1]);
+        m.validate().unwrap();
+        assert_eq!(m.nnz(), 5 + 2 * 4);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(2), 3);
+    }
+
+    #[test]
+    fn skewed_front_loads_nnz() {
+        let m = skewed(64, 64, 64, 3);
+        m.validate().unwrap();
+        assert!(m.row_nnz(0) > m.row_nnz(63));
+    }
+}

@@ -1,0 +1,154 @@
+//! Synthetic Laplacian inputs (Section III-E): the matrix of a
+//! d-dimensional (2d+1)-point stencil on a grid of side `n`.
+//!
+//! The paper tests d = 2 with k = 4 neighbor points: an `n² x n²` matrix
+//! with 5 diagonals (the classic 5-point Poisson stencil).
+
+use crate::coo::CooMatrix;
+use crate::csr::CsrMatrix;
+
+/// Parameters of a stencil Laplacian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaplacianSpec {
+    /// Grid dimensionality (paper: 2).
+    pub dims: u32,
+    /// Grid points per dimension (paper sweeps this as "Laplacian size n").
+    pub n: u32,
+}
+
+impl LaplacianSpec {
+    /// The paper's configuration: a 2-D, 5-point stencil of side `n`.
+    pub fn paper(n: u32) -> Self {
+        LaplacianSpec { dims: 2, n }
+    }
+
+    /// Total number of rows/columns (`n^dims`).
+    pub fn nrows(&self) -> u64 {
+        (self.n as u64).pow(self.dims)
+    }
+
+    /// Exact nonzero count: each grid point has a center entry plus one
+    /// entry per in-bounds neighbor; each dimension contributes
+    /// `2(n-1)·n^(d-1)` neighbor pairs... computed exactly as
+    /// `n^d + 2·d·n^(d-1)·(n-1)`.
+    pub fn nnz(&self) -> u64 {
+        let n = self.n as u64;
+        let d = self.dims;
+        n.pow(d) + 2 * d as u64 * n.pow(d - 1) * (n - 1)
+    }
+}
+
+/// Build the Laplacian matrix for `spec`: center weight `2·dims`,
+/// neighbor weights `-1` (grid graph Laplacian).
+///
+/// # Panics
+/// Panics if the matrix would exceed `u32` rows or `n == 0` / `dims == 0`.
+pub fn laplacian(spec: LaplacianSpec) -> CsrMatrix {
+    assert!(spec.dims > 0, "dims must be > 0");
+    assert!(spec.n > 0, "n must be > 0");
+    let nrows = spec.nrows();
+    assert!(nrows <= u32::MAX as u64, "matrix too large for u32 indices");
+    let nrows = nrows as u32;
+    let n = spec.n as u64;
+    let d = spec.dims as usize;
+    // Strides for linearization: coordinate i varies with stride n^i.
+    let strides: Vec<u64> = (0..d).map(|i| n.pow(i as u32)).collect();
+
+    let mut coo = CooMatrix::new(nrows, nrows);
+    coo.entries.reserve(spec.nnz() as usize);
+    let mut coord = vec![0u64; d];
+    for row in 0..nrows as u64 {
+        // Decode coordinates of this grid point.
+        let mut rest = row;
+        for i in 0..d {
+            coord[i] = rest % n;
+            rest /= n;
+        }
+        coo.push(row as u32, row as u32, 2.0 * d as f64);
+        for i in 0..d {
+            if coord[i] > 0 {
+                coo.push(row as u32, (row - strides[i]) as u32, -1.0);
+            }
+            if coord[i] + 1 < n {
+                coo.push(row as u32, (row + strides[i]) as u32, -1.0);
+            }
+        }
+    }
+    CsrMatrix::from_coo(&coo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_is_2d() {
+        let s = LaplacianSpec::paper(100);
+        assert_eq!(s.dims, 2);
+        assert_eq!(s.nrows(), 10_000);
+    }
+
+    #[test]
+    fn nnz_formula_matches_construction() {
+        for n in [1u32, 2, 3, 5, 10] {
+            for dims in [1u32, 2, 3] {
+                let spec = LaplacianSpec { dims, n };
+                let m = laplacian(spec);
+                assert_eq!(m.nnz(), spec.nnz(), "n={n} dims={dims}");
+                assert_eq!(m.nrows() as u64, spec.nrows());
+            }
+        }
+    }
+
+    #[test]
+    fn five_point_structure() {
+        // Interior rows of the 2-D Laplacian have exactly 5 entries.
+        let m = laplacian(LaplacianSpec::paper(5));
+        let interior = 2 * 5 + 2; // row (2,2) linearized: 2 + 2*5
+        assert_eq!(m.row_nnz(interior), 5);
+        // Corner rows have 3.
+        assert_eq!(m.row_nnz(0), 3);
+        assert_eq!(m.row_nnz(24), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn rows_sum_to_zero_interior() {
+        // Grid-graph Laplacian: every row sums to the number of *missing*
+        // neighbors; interior rows sum to 0, so A * ones = boundary defect.
+        let m = laplacian(LaplacianSpec::paper(4));
+        let y = m.spmv(&vec![1.0; m.ncols() as usize]);
+        // Interior point (1..3, 1..3): zero.
+        let interior = 1 + 4; // (1,1)
+        assert_eq!(y[interior], 0.0);
+        // Corner (0,0): 2 missing neighbors -> 2.
+        assert_eq!(y[0], 2.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let m = laplacian(LaplacianSpec::paper(6));
+        // Check A == A^T entry-wise via dense reconstruction (tiny n).
+        let nr = m.nrows() as usize;
+        let mut dense = vec![0.0; nr * nr];
+        for r in 0..m.nrows() {
+            for k in m.row_range(r) {
+                dense[r as usize * nr + m.col_idx()[k] as usize] = m.vals()[k];
+            }
+        }
+        for i in 0..nr {
+            for j in 0..nr {
+                assert_eq!(dense[i * nr + j], dense[j * nr + i]);
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimensional_is_tridiagonal() {
+        let m = laplacian(LaplacianSpec { dims: 1, n: 8 });
+        assert_eq!(m.nrows(), 8);
+        assert_eq!(m.nnz(), 8 + 2 * 7);
+        assert_eq!(m.row_nnz(0), 2);
+        assert_eq!(m.row_nnz(3), 3);
+    }
+}

@@ -1,0 +1,156 @@
+//! Row partitioners: how SpMV work (and, in the 2D layout, storage) is
+//! divided among nodelets or CPU threads.
+
+use crate::csr::CsrMatrix;
+
+/// Assignment of each row to an owner in `0..nowners`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowPartition {
+    /// Owner of each row.
+    pub owner: Vec<u32>,
+    /// Number of owners.
+    pub nowners: u32,
+}
+
+impl RowPartition {
+    /// Rows assigned to `owner`, in order.
+    pub fn rows_of(&self, owner: u32) -> Vec<u32> {
+        self.owner
+            .iter()
+            .enumerate()
+            .filter(|&(_, &o)| o == owner)
+            .map(|(r, _)| r as u32)
+            .collect()
+    }
+
+    /// Nonzeros owned by each owner, for balance diagnostics.
+    pub fn nnz_per_owner(&self, m: &CsrMatrix) -> Vec<u64> {
+        let mut out = vec![0u64; self.nowners as usize];
+        for (r, &o) in self.owner.iter().enumerate() {
+            out[o as usize] += m.row_nnz(r as u32);
+        }
+        out
+    }
+
+    /// Max/mean nonzero imbalance ratio (1.0 = perfect).
+    pub fn imbalance(&self, m: &CsrMatrix) -> f64 {
+        let per = self.nnz_per_owner(m);
+        let max = per.iter().copied().max().unwrap_or(0) as f64;
+        let mean = per.iter().sum::<u64>() as f64 / per.len().max(1) as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+}
+
+/// Round-robin rows: row `r` to owner `r % nowners`. This is the
+/// assignment implied by striping `row_ptr` with `mw_malloc1dlong` — the
+/// paper's 1D and 2D layouts both use it.
+pub fn round_robin(nrows: u32, nowners: u32) -> RowPartition {
+    assert!(nowners > 0, "need at least one owner");
+    RowPartition {
+        owner: (0..nrows).map(|r| r % nowners).collect(),
+        nowners,
+    }
+}
+
+/// Contiguous row blocks: rows `[k·⌈nrows/nowners⌉, …)` to owner `k`
+/// (the usual OpenMP/MKL static schedule on the CPU side).
+pub fn contiguous(nrows: u32, nowners: u32) -> RowPartition {
+    assert!(nowners > 0, "need at least one owner");
+    let chunk = nrows.div_ceil(nowners).max(1);
+    RowPartition {
+        owner: (0..nrows).map(|r| (r / chunk).min(nowners - 1)).collect(),
+        nowners,
+    }
+}
+
+/// Greedy nonzero-balanced contiguous blocks: sweep rows, starting a new
+/// owner whenever the running nonzero count passes `nnz/nowners`.
+pub fn nnz_balanced(m: &CsrMatrix, nowners: u32) -> RowPartition {
+    assert!(nowners > 0, "need at least one owner");
+    let target = (m.nnz() as f64 / nowners as f64).max(1.0);
+    let mut owner = Vec::with_capacity(m.nrows() as usize);
+    let mut acc = 0u64;
+    let mut cur = 0u32;
+    for r in 0..m.nrows() {
+        owner.push(cur);
+        acc += m.row_nnz(r);
+        if (acc as f64) >= target * (cur + 1) as f64 && cur + 1 < nowners {
+            cur += 1;
+        }
+    }
+    RowPartition {
+        owner,
+        nowners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::laplacian::{laplacian, LaplacianSpec};
+
+    #[test]
+    fn round_robin_covers_all_rows() {
+        let p = round_robin(10, 3);
+        assert_eq!(p.owner.len(), 10);
+        assert_eq!(p.rows_of(0), vec![0, 3, 6, 9]);
+        assert_eq!(p.rows_of(2), vec![2, 5, 8]);
+    }
+
+    #[test]
+    fn contiguous_blocks() {
+        let p = contiguous(10, 3);
+        assert_eq!(p.rows_of(0), vec![0, 1, 2, 3]);
+        assert_eq!(p.rows_of(1), vec![4, 5, 6, 7]);
+        assert_eq!(p.rows_of(2), vec![8, 9]);
+    }
+
+    #[test]
+    fn partitions_are_exhaustive_and_disjoint() {
+        let m = laplacian(LaplacianSpec::paper(10));
+        for p in [
+            round_robin(m.nrows(), 8),
+            contiguous(m.nrows(), 8),
+            nnz_balanced(&m, 8),
+        ] {
+            let mut seen = vec![false; m.nrows() as usize];
+            for o in 0..p.nowners {
+                for r in p.rows_of(o) {
+                    assert!(!seen[r as usize]);
+                    seen[r as usize] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn laplacian_round_robin_is_balanced() {
+        let m = laplacian(LaplacianSpec::paper(20));
+        let p = round_robin(m.nrows(), 8);
+        assert!(p.imbalance(&m) < 1.05, "imbalance {}", p.imbalance(&m));
+    }
+
+    #[test]
+    fn nnz_balanced_beats_naive_on_skewed_matrix() {
+        // A matrix whose first rows are dense-ish and the rest near-empty.
+        use crate::coo::CooMatrix;
+        let mut coo = CooMatrix::new(100, 100);
+        for r in 0..10u32 {
+            for c in 0..50u32 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        for r in 10..100u32 {
+            coo.push(r, r, 1.0);
+        }
+        let m = crate::csr::CsrMatrix::from_coo(&coo);
+        let naive = contiguous(m.nrows(), 4).imbalance(&m);
+        let smart = nnz_balanced(&m, 4).imbalance(&m);
+        assert!(smart < naive, "smart {smart} vs naive {naive}");
+    }
+}

@@ -1,0 +1,127 @@
+//! The CPU-side thread programming model.
+//!
+//! Mirrors `emu_core::kernel` but over a flat 64-bit address space:
+//! CPU threads do not migrate, they fetch lines through the cache
+//! hierarchy. Kernels are resumable state machines with at most one
+//! outstanding memory operation (stall-on-use; memory-level parallelism
+//! beyond one comes from the hardware prefetcher, threads, and posted
+//! stores — a good model for data-dependent pointer chasing, and adequate
+//! for streaming once the prefetcher is in play).
+
+use desim::time::Time;
+
+/// Identifies a CPU software thread within one engine run.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CpuThreadId(pub u32);
+
+/// One operation from a CPU thread. Accesses must not cross a cache line
+/// (the engine asserts this); split larger accesses in the kernel.
+pub enum CpuOp {
+    /// Read `bytes` at `addr` (blocking: stall-on-use).
+    Load {
+        /// Virtual address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Write `bytes` at `addr` through the cache (write-allocate,
+    /// write-back). Posted: the thread stalls only briefly.
+    Store {
+        /// Virtual address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Non-temporal (streaming) store: bypasses the caches and writes
+    /// combined lines straight to DRAM — how tuned STREAM avoids
+    /// read-for-ownership traffic.
+    StoreNt {
+        /// Virtual address.
+        addr: u64,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Busy the core for `cycles`.
+    Compute {
+        /// Core cycles of work.
+        cycles: u32,
+    },
+    /// Terminate the thread.
+    Quit,
+}
+
+impl std::fmt::Debug for CpuOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CpuOp::Load { addr, bytes } => write!(f, "Load({addr:#x},{bytes}B)"),
+            CpuOp::Store { addr, bytes } => write!(f, "Store({addr:#x},{bytes}B)"),
+            CpuOp::StoreNt { addr, bytes } => write!(f, "StoreNt({addr:#x},{bytes}B)"),
+            CpuOp::Compute { cycles } => write!(f, "Compute({cycles}cyc)"),
+            CpuOp::Quit => write!(f, "Quit"),
+        }
+    }
+}
+
+/// Context handed to a CPU kernel at each step.
+#[derive(Clone, Copy, Debug)]
+pub struct CpuCtx {
+    /// This thread's id.
+    pub tid: CpuThreadId,
+    /// The core the thread is pinned to.
+    pub core: u32,
+    /// Current simulated time.
+    pub now: Time,
+}
+
+/// A resumable CPU thread program (see `emu_core::kernel::Kernel` for
+/// the shared design rationale).
+pub trait CpuKernel: Send {
+    /// Produce the next operation; must eventually return [`CpuOp::Quit`].
+    fn step(&mut self, ctx: &CpuCtx) -> CpuOp;
+}
+
+impl<F> CpuKernel for F
+where
+    F: FnMut(&CpuCtx) -> CpuOp + Send,
+{
+    fn step(&mut self, ctx: &CpuCtx) -> CpuOp {
+        self(ctx)
+    }
+}
+
+/// Replays a fixed op list then quits (tests, microbenchmarks).
+pub struct CpuScript {
+    ops: std::vec::IntoIter<CpuOp>,
+}
+
+impl CpuScript {
+    /// Wrap an op list; a trailing `Quit` is implicit.
+    pub fn new(ops: Vec<CpuOp>) -> Self {
+        CpuScript {
+            ops: ops.into_iter(),
+        }
+    }
+}
+
+impl CpuKernel for CpuScript {
+    fn step(&mut self, _ctx: &CpuCtx) -> CpuOp {
+        self.ops.next().unwrap_or(CpuOp::Quit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_replays() {
+        let mut s = CpuScript::new(vec![CpuOp::Compute { cycles: 1 }]);
+        let ctx = CpuCtx {
+            tid: CpuThreadId(0),
+            core: 0,
+            now: Time::ZERO,
+        };
+        assert!(matches!(s.step(&ctx), CpuOp::Compute { .. }));
+        assert!(matches!(s.step(&ctx), CpuOp::Quit));
+    }
+}

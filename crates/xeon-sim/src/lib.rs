@@ -1,0 +1,47 @@
+//! # xeon-sim — the cache-based comparison platform
+//!
+//! The paper contrasts the Emu Chick against two Intel Xeon servers
+//! (Section III-C): a dual-socket Sandy Bridge E5-2670 for STREAM and
+//! pointer chasing, and a four-socket Haswell E7-4850 v3 for SpMV. This
+//! crate is a from-scratch discrete-event model of such machines:
+//!
+//! * [`cache`] — functional set-associative L1/L2/L3 with true LRU and
+//!   write-back/write-allocate semantics;
+//! * [`prefetch`] — a per-core unit-stride stream prefetcher (the reason
+//!   STREAM approaches peak and shuffled pointer chasing does not);
+//! * [`dram`] — channels, banks, and 8 KiB open-page row buffers (the
+//!   reason pointer-chase bandwidth peaks when a shuffle block matches
+//!   one DRAM page, Fig 7);
+//! * [`engine`] — stall-on-use threads pinned to cores, driven by the
+//!   same resumable-kernel style as the Emu engine;
+//! * [`config`] — platform descriptions and the paper's two presets
+//!   ([`config::sandy_bridge`], [`config::haswell`]).
+//!
+//! ```
+//! use xeon_sim::prelude::*;
+//!
+//! let mut e = CpuEngine::new(sandy_bridge());
+//! e.add_thread(Box::new(CpuScript::new(vec![
+//!     CpuOp::Load { addr: 0x1000, bytes: 8 },
+//!     CpuOp::Load { addr: 0x1008, bytes: 8 }, // same line: L1 hit
+//! ])));
+//! let r = e.run();
+//! assert_eq!(r.counters.dram_loads, 1);
+//! assert_eq!(r.counters.l1_hits, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod engine;
+pub mod kernel;
+pub mod prefetch;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::config::{haswell, sandy_bridge, CpuConfig};
+    pub use crate::engine::{CpuEngine, CpuReport};
+    pub use crate::kernel::{CpuCtx, CpuKernel, CpuOp, CpuScript, CpuThreadId};
+}

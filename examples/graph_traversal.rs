@@ -1,0 +1,96 @@
+//! Pointer chasing as a proxy for streaming-graph traversal — the
+//! motivating workload class of the paper's introduction.
+//!
+//! Sweeps the block size (the amount of spatial locality left in a
+//! fragmented neighbor list) on both platforms and prints bandwidth and
+//! utilization side by side, i.e. a miniature Figs 6–8.
+//!
+//! ```sh
+//! cargo run --release --example graph_traversal
+//! ```
+
+use emu_chick::prelude::*;
+use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::stream::{
+    cpu::{run_stream_cpu, CpuStreamConfig},
+    run_stream_emu, EmuStreamConfig,
+};
+
+fn main() {
+    let emu_cfg = presets::chick_prototype();
+    let cpu_cfg = sandy_bridge();
+
+    // Peak measured STREAM on each platform is the utilization baseline.
+    let emu_peak = run_stream_emu(
+        &emu_cfg,
+        &EmuStreamConfig {
+            total_elems: 1 << 16,
+            nthreads: 512,
+            ..Default::default()
+        },
+    )
+    .bandwidth
+    .mb_per_sec();
+    let cpu_peak = run_stream_cpu(
+        &cpu_cfg,
+        &CpuStreamConfig {
+            total_elems: 1 << 18,
+            nthreads: 16,
+            ..Default::default()
+        },
+    )
+    .bandwidth
+    .mb_per_sec();
+    println!("peak STREAM: Emu {emu_peak:.0} MB/s | Xeon {cpu_peak:.0} MB/s");
+    println!();
+    println!(
+        "{:>12} {:>14} {:>8} {:>14} {:>8}",
+        "block_elems", "Emu (MB/s)", "util", "Xeon (MB/s)", "util"
+    );
+
+    for block in [1usize, 4, 16, 64, 256, 1024] {
+        let emu = run_chase_emu(
+            &emu_cfg,
+            &ChaseConfig {
+                elems_per_list: 2048,
+                nlists: 512,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 42,
+            },
+        );
+        assert_eq!(
+            emu.checksum,
+            ChaseConfig {
+                elems_per_list: 2048,
+                nlists: 512,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 42,
+            }
+            .expected_checksum()
+        );
+        let cpu = run_chase_cpu(
+            &cpu_cfg,
+            &ChaseConfig {
+                elems_per_list: 1 << 16,
+                nlists: 32,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 42,
+            },
+        );
+        println!(
+            "{:>12} {:>14.1} {:>7.0}% {:>14.1} {:>7.0}%",
+            block,
+            emu.bandwidth.mb_per_sec(),
+            100.0 * emu.bandwidth.mb_per_sec() / emu_peak,
+            cpu.bandwidth.mb_per_sec(),
+            100.0 * cpu.bandwidth.mb_per_sec() / cpu_peak,
+        );
+    }
+    println!();
+    println!("The Emu's bandwidth is nearly flat in the locality parameter — the");
+    println!("paper's central claim — while the cache machine needs kilobytes of");
+    println!("locality to approach even a quarter of its peak.");
+}

@@ -1,0 +1,92 @@
+//! Quickstart: the Emu execution model in five small experiments.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emu_chick::prelude::*;
+use membench::pingpong::{run_pingpong, PingPongConfig};
+use membench::stream::{run_stream_emu, EmuStreamConfig};
+
+fn main() {
+    // ── 1. Threads migrate to data ──────────────────────────────────
+    // A threadlet on nodelet 0 reads a word owned by nodelet 5. On a
+    // cache machine the line would travel; on the Emu the *thread* does.
+    let mut engine = Engine::new(presets::chick_prototype());
+    engine.spawn_at(
+        NodeletId(0),
+        Box::new(ScriptKernel::new(vec![Op::Load {
+            addr: GlobalAddr::new(NodeletId(5), 0x40),
+            bytes: 8,
+        }])),
+    );
+    let report = engine.run();
+    println!("1) remote read:");
+    println!("   migrations      : {}", report.total_migrations());
+    println!("   read served on  : nodelet 5 (local loads there: {})",
+        report.nodelets[5].local_loads);
+    println!("   single-read time: {}", report.makespan);
+
+    // ── 2. Remote writes do NOT migrate ─────────────────────────────
+    let mut engine = Engine::new(presets::chick_prototype());
+    engine.spawn_at(
+        NodeletId(0),
+        Box::new(ScriptKernel::new(vec![Op::Store {
+            addr: GlobalAddr::new(NodeletId(5), 0x40),
+            bytes: 8,
+        }])),
+    );
+    let report = engine.run();
+    println!("\n2) remote write (memory-side, posted):");
+    println!("   migrations: {}", report.total_migrations());
+    println!("   packets in at nodelet 5: {}", report.nodelets[5].remote_packets_in);
+
+    // ── 3. Bandwidth comes from thread count ────────────────────────
+    println!("\n3) STREAM ADD on one nodelet (cache-less core, more threads = more bandwidth):");
+    for threads in [1usize, 8, 64] {
+        let r = run_stream_emu(
+            &presets::chick_prototype(),
+            &EmuStreamConfig {
+                total_elems: 1 << 14,
+                nthreads: threads,
+                strategy: SpawnStrategy::Recursive,
+                single_nodelet: true,
+                ..Default::default()
+            },
+        );
+        println!("   {threads:>2} threads: {:>7.1} MB/s", r.bandwidth.mb_per_sec());
+    }
+
+    // ── 4. Spawn placement decides steady-state locality ────────────
+    println!("\n4) STREAM ADD on eight nodelets, 512 threads:");
+    for strategy in [SpawnStrategy::Serial, SpawnStrategy::RecursiveRemote] {
+        let r = run_stream_emu(
+            &presets::chick_prototype(),
+            &EmuStreamConfig {
+                total_elems: 1 << 16,
+                nthreads: 512,
+                strategy,
+                ..Default::default()
+            },
+        );
+        println!(
+            "   {:<24} {:>7.1} MB/s  ({} migrations)",
+            strategy.name(),
+            r.bandwidth.mb_per_sec(),
+            r.report.total_migrations()
+        );
+    }
+
+    // ── 5. The migration engine is a real, finite resource ──────────
+    let pp = run_pingpong(
+        &presets::chick_prototype(),
+        &PingPongConfig {
+            nthreads: 64,
+            round_trips: 500,
+            ..Default::default()
+        },
+    );
+    println!("\n5) ping-pong between two nodelets, 64 threads:");
+    println!("   throughput: {:.1} M migrations/s", pp.migrations_per_sec / 1e6);
+    println!("   mean latency: {:.2} us", pp.mean_latency_ns / 1000.0);
+}

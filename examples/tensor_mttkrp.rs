@@ -1,0 +1,63 @@
+//! Sparse-tensor MTTKRP on the Emu — toward the paper's ParTI goal.
+//!
+//! MTTKRP (`Y(i,:) += X(i,j,k)·B(j,:)∘C(k,:)`) dominates CP
+//! decomposition. This example sweeps the CP rank for the two entry
+//! placements and shows where data layout matters on a migratory
+//! machine — and where per-thread FP latency takes over.
+//!
+//! ```sh
+//! cargo run --release --example tensor_mttkrp
+//! ```
+
+use emu_chick::prelude::*;
+use emu_tensor::coo::{mttkrp_reference, random_tensor};
+use emu_tensor::emu::{run_mttkrp_emu, EmuMttkrpConfig, TensorLayout};
+use std::sync::Arc;
+
+fn main() {
+    let cfg = presets::chick_prototype();
+    let t = Arc::new(random_tensor([256, 64, 64], 1 << 14, 99));
+    println!(
+        "tensor: 256 x 64 x 64, {} nonzeros; 512 threadlets\n",
+        t.nnz()
+    );
+    println!(
+        "{:>5} {:>14} {:>20} {:>10}",
+        "rank", "1D (MB/s)", "slice-blocked (MB/s)", "speedup"
+    );
+    for rank in [1u32, 2, 4, 8, 16] {
+        let reference = mttkrp_reference(&t, rank);
+        let mut bw = Vec::new();
+        for layout in TensorLayout::ALL {
+            let r = run_mttkrp_emu(
+                &cfg,
+                Arc::clone(&t),
+                &EmuMttkrpConfig {
+                    layout,
+                    rank,
+                    nthreads: 512,
+                },
+            );
+            // Exactness check against the host reference.
+            let err = reference
+                .iter()
+                .zip(&r.y)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-6, "{} diverged ({err})", layout.name());
+            bw.push(r.bandwidth.mb_per_sec());
+        }
+        println!(
+            "{rank:>5} {:>14.1} {:>20.1} {:>9.2}x",
+            bw[0],
+            bw[1],
+            bw[1] / bw[0]
+        );
+    }
+    println!();
+    println!("Slice-blocked placement keeps every entry, factor row, and output");
+    println!("row local (entries of slice i live on nodelet i mod 8, B and C are");
+    println!("replicated) — the tensor analogue of the paper's 2D SpMV layout. At");
+    println!("higher ranks the per-thread FP latency of the soft cores dominates");
+    println!("both layouts and the placement advantage shrinks.");
+}

@@ -1,0 +1,40 @@
+//! # emu-chick — reproduction of "An Initial Characterization of the Emu Chick"
+//!
+//! This workspace rebuilds, in Rust, everything needed to reproduce the
+//! 2018 characterization study of the Emu Chick migratory-thread
+//! prototype: a discrete-event model of the Emu architecture
+//! ([`emu_core`]), a cache-based Xeon comparison platform ([`xeon_sim`]),
+//! the sparse-matrix substrate ([`spmat`]), the paper's benchmark suite
+//! ([`membench`]), and the shared simulation kernel ([`desim`]).
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the model inventory and
+//! per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results. The `examples/` directory shows the public API in action;
+//! the `emu-bench` crate regenerates every figure.
+//!
+//! ```
+//! use emu_chick::prelude::*;
+//!
+//! // A threadlet reading remote memory migrates to the data.
+//! let mut engine = Engine::new(presets::chick_prototype());
+//! engine.spawn_at(
+//!     NodeletId(0),
+//!     Box::new(ScriptKernel::new(vec![Op::Load {
+//!         addr: GlobalAddr::new(NodeletId(5), 0),
+//!         bytes: 8,
+//!     }])),
+//! );
+//! assert_eq!(engine.run().total_migrations(), 1);
+//! ```
+
+pub use desim;
+pub use emu_core;
+pub use membench;
+pub use spmat;
+pub use xeon_sim;
+
+/// One-stop import for examples and downstream users.
+pub mod prelude {
+    pub use emu_core::prelude::*;
+    pub use xeon_sim::prelude::*;
+}

@@ -1,0 +1,165 @@
+//! Cross-crate integration: the same workloads must produce identical
+//! functional results on every platform and layout, regardless of how
+//! differently the machines schedule them.
+
+use emu_chick::prelude::*;
+use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::spmv_cpu::{run_spmv_cpu, CpuSpmvConfig, CpuStrategy};
+use membench::spmv_emu::{run_spmv_emu, x_vector, EmuLayout, EmuSpmvConfig};
+use membench::stream::{
+    cpu::{run_stream_cpu, CpuStreamConfig},
+    run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel,
+};
+use spmat::{laplacian, LaplacianSpec};
+use std::sync::Arc;
+
+#[test]
+fn chase_checksums_agree_across_platforms_and_modes() {
+    for mode in ShuffleMode::ALL {
+        for block in [1usize, 16, 256] {
+            let cc = ChaseConfig {
+                elems_per_list: 512,
+                nlists: 6,
+                block_elems: block,
+                mode,
+                seed: 99,
+            };
+            let emu = run_chase_emu(&presets::chick_prototype(), &cc);
+            let cpu = run_chase_cpu(&sandy_bridge(), &cc);
+            assert_eq!(emu.checksum, cc.expected_checksum(), "{}", mode.name());
+            assert_eq!(cpu.checksum, cc.expected_checksum(), "{}", mode.name());
+        }
+    }
+}
+
+#[test]
+fn spmv_all_six_configurations_produce_identical_results() {
+    let m = Arc::new(laplacian(LaplacianSpec::paper(13)));
+    let reference = m.spmv(&x_vector(m.ncols()));
+    let close = |y: &[f64], label: &str| {
+        let err = reference
+            .iter()
+            .zip(y)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(err < 1e-9, "{label}: max err {err}");
+    };
+    for layout in EmuLayout::ALL {
+        let r = run_spmv_emu(
+            &presets::chick_prototype(),
+            Arc::clone(&m),
+            &EmuSpmvConfig {
+                layout,
+                grain_nnz: 8,
+            },
+        );
+        close(&r.y, layout.name());
+    }
+    for strategy in [
+        CpuStrategy::MklLike,
+        CpuStrategy::CilkFor,
+        CpuStrategy::CilkSpawn { grain: 32 },
+    ] {
+        let r = run_spmv_cpu(
+            &haswell(),
+            Arc::clone(&m),
+            &CpuSpmvConfig {
+                strategy,
+                nthreads: 7,
+            },
+        );
+        close(&r.y, &strategy.name());
+    }
+}
+
+#[test]
+fn spmv_works_on_non_stencil_matrices_too() {
+    // Random and skewed matrices exercise irregular row lengths.
+    for m in [
+        spmat::gen::random_uniform(300, 300, 6, 11),
+        spmat::gen::skewed(256, 256, 32, 12),
+        spmat::gen::banded(400, &[-7, -1, 0, 1, 7]),
+    ] {
+        let m = Arc::new(m);
+        let reference = m.spmv(&x_vector(m.ncols()));
+        for layout in EmuLayout::ALL {
+            let r = run_spmv_emu(
+                &presets::chick_prototype(),
+                Arc::clone(&m),
+                &EmuSpmvConfig {
+                    layout,
+                    grain_nnz: 16,
+                },
+            );
+            let err = reference
+                .iter()
+                .zip(&r.y)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "{}: err {err}", layout.name());
+        }
+    }
+}
+
+#[test]
+fn stream_checksums_agree_across_platforms_and_kernels() {
+    for kernel in [
+        StreamKernel::Add,
+        StreamKernel::Copy,
+        StreamKernel::Scale,
+        StreamKernel::Triad,
+    ] {
+        let n = 4096u64;
+        let emu = run_stream_emu(
+            &presets::chick_prototype(),
+            &EmuStreamConfig {
+                total_elems: n,
+                nthreads: 32,
+                kernel,
+                ..Default::default()
+            },
+        );
+        let cpu = run_stream_cpu(
+            &sandy_bridge(),
+            &CpuStreamConfig {
+                total_elems: n,
+                nthreads: 4,
+                kernel,
+                nt_stores: true,
+            },
+        );
+        assert_eq!(emu.checksum, stream_checksum(n, kernel), "emu {}", kernel.name());
+        assert_eq!(cpu.checksum, stream_checksum(n, kernel), "cpu {}", kernel.name());
+    }
+}
+
+#[test]
+fn every_emu_preset_runs_every_benchmark() {
+    for cfg in [
+        presets::chick_prototype(),
+        presets::chick_toolchain_sim(),
+        presets::chick_full_speed(),
+        presets::emu64_full_speed(),
+        presets::chick_8node_prototype(),
+    ] {
+        let nodelets = cfg.total_nodelets();
+        let r = run_stream_emu(
+            &cfg,
+            &EmuStreamConfig {
+                total_elems: 4096,
+                nthreads: nodelets as usize * 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(r.checksum, stream_checksum(4096, StreamKernel::Add));
+        let cc = ChaseConfig {
+            elems_per_list: 256,
+            nlists: 8,
+            block_elems: 16,
+            mode: ShuffleMode::FullBlock,
+            seed: 3,
+        };
+        let ch = run_chase_emu(&cfg, &cc);
+        assert_eq!(ch.checksum, cc.expected_checksum());
+    }
+}

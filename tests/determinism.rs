@@ -1,0 +1,133 @@
+//! Every simulation in the workspace is bit-deterministic: same seed,
+//! same configuration ⇒ identical makespans, counters, and results.
+
+use emu_chick::prelude::*;
+use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::gups::{run_gups_emu, GupsConfig};
+use membench::pingpong::{run_pingpong, PingPongConfig};
+use membench::spmv_emu::{run_spmv_emu, EmuLayout, EmuSpmvConfig};
+use membench::stream::{run_stream_emu, EmuStreamConfig};
+use spmat::{laplacian, LaplacianSpec};
+use std::sync::Arc;
+
+#[test]
+fn stream_is_deterministic() {
+    let run = || {
+        run_stream_emu(
+            &presets::chick_prototype(),
+            &EmuStreamConfig {
+                total_elems: 8192,
+                nthreads: 64,
+                ..Default::default()
+            },
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.report.total_bytes(), b.report.total_bytes());
+    assert_eq!(a.checksum, b.checksum);
+}
+
+#[test]
+fn chase_same_seed_identical_different_seed_not() {
+    let run = |seed: u64| {
+        let cc = ChaseConfig {
+            elems_per_list: 1024,
+            nlists: 16,
+            block_elems: 8,
+            mode: ShuffleMode::FullBlock,
+            seed,
+        };
+        run_chase_emu(&presets::chick_prototype(), &cc)
+    };
+    assert_eq!(run(1).makespan, run(1).makespan);
+    // A different permutation gives a (very likely) different makespan
+    // but the identical checksum — same elements, different order.
+    let (a, b) = (run(1), run(2));
+    assert_eq!(a.checksum, b.checksum);
+    assert_ne!(a.makespan, b.makespan);
+}
+
+#[test]
+fn cpu_chase_is_deterministic() {
+    let run = || {
+        let cc = ChaseConfig {
+            elems_per_list: 2048,
+            nlists: 8,
+            block_elems: 64,
+            mode: ShuffleMode::FullBlock,
+            seed: 4,
+        };
+        run_chase_cpu(&sandy_bridge(), &cc)
+    };
+    assert_eq!(run().makespan, run().makespan);
+}
+
+#[test]
+fn spmv_is_deterministic_in_time_and_value() {
+    let m = Arc::new(laplacian(LaplacianSpec::paper(10)));
+    let run = || {
+        run_spmv_emu(
+            &presets::chick_prototype(),
+            Arc::clone(&m),
+            &EmuSpmvConfig {
+                layout: EmuLayout::TwoD,
+                grain_nnz: 8,
+            },
+        )
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a.report.makespan, b.report.makespan);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.y, b.y);
+}
+
+#[test]
+fn pingpong_and_gups_are_deterministic() {
+    let pp = || {
+        run_pingpong(
+            &presets::chick_prototype(),
+            &PingPongConfig {
+                nthreads: 16,
+                round_trips: 100,
+                ..Default::default()
+            },
+        )
+    };
+    assert_eq!(pp().makespan, pp().makespan);
+    let g = || {
+        run_gups_emu(
+            &presets::chick_prototype(),
+            &GupsConfig {
+                table_words: 1 << 12,
+                nthreads: 16,
+                updates_per_thread: 128,
+                seed: 3,
+            },
+        )
+    };
+    assert_eq!(g().makespan, g().makespan);
+}
+
+#[test]
+fn per_nodelet_counters_are_reproducible() {
+    let run = || {
+        run_stream_emu(
+            &presets::chick_prototype(),
+            &EmuStreamConfig {
+                total_elems: 4096,
+                nthreads: 96,
+                strategy: SpawnStrategy::SerialRemote,
+                ..Default::default()
+            },
+        )
+        .report
+    };
+    let (a, b) = (run(), run());
+    for (x, y) in a.nodelets.iter().zip(&b.nodelets) {
+        assert_eq!(x.bytes_loaded, y.bytes_loaded);
+        assert_eq!(x.migrations_in, y.migrations_in);
+        assert_eq!(x.spawns, y.spawns);
+        assert_eq!(x.slot_waits, y.slot_waits);
+    }
+}

@@ -1,0 +1,293 @@
+//! The paper's qualitative claims, asserted at test scale.
+//!
+//! These are the "shape" criteria of DESIGN.md: who wins, where the
+//! knees/crossovers fall. Absolute magnitudes are checked against the
+//! paper in EXPERIMENTS.md from full-size release runs.
+
+use emu_chick::prelude::*;
+use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::pingpong::{run_pingpong, PingPongConfig};
+use membench::spmv_emu::{run_spmv_emu, EmuLayout, EmuSpmvConfig};
+use membench::stream::{run_stream_emu, EmuStreamConfig};
+use spmat::{laplacian, LaplacianSpec};
+use std::sync::Arc;
+
+fn emu_stream(threads: usize, strategy: SpawnStrategy, single: bool) -> f64 {
+    run_stream_emu(
+        &presets::chick_prototype(),
+        &EmuStreamConfig {
+            total_elems: 1 << 14,
+            nthreads: threads,
+            strategy,
+            single_nodelet: single,
+            ..Default::default()
+        },
+    )
+    .bandwidth
+    .mb_per_sec()
+}
+
+/// Fig 4: single-nodelet STREAM scales with threads through 32 and
+/// plateaus to 64.
+#[test]
+fn fig4_shape_knee_near_32_threads() {
+    let b8 = emu_stream(8, SpawnStrategy::Serial, true);
+    let b32 = emu_stream(32, SpawnStrategy::Serial, true);
+    let b64 = emu_stream(64, SpawnStrategy::Serial, true);
+    assert!(b32 > 2.5 * b8, "should still scale 8->32: {b8} -> {b32}");
+    assert!(
+        b64 < 1.15 * b32,
+        "should plateau 32->64: {b32} -> {b64}"
+    );
+}
+
+/// Fig 4: spawn style barely matters on one nodelet.
+#[test]
+fn fig4_serial_and_recursive_agree_on_one_nodelet() {
+    let s = emu_stream(32, SpawnStrategy::Serial, true);
+    let r = emu_stream(32, SpawnStrategy::Recursive, true);
+    assert!((s / r - 1.0).abs() < 0.1, "serial {s} vs recursive {r}");
+}
+
+/// Fig 5: remote spawns are essential for peak multi-nodelet bandwidth.
+#[test]
+fn fig5_remote_spawns_essential() {
+    let serial = emu_stream(256, SpawnStrategy::Serial, false);
+    let remote = emu_stream(256, SpawnStrategy::RecursiveRemote, false);
+    assert!(
+        remote > 1.7 * serial,
+        "remote {remote} should dwarf serial {serial}"
+    );
+}
+
+/// Fig 6: Emu chase bandwidth is flat in block size (above a few
+/// elements), with a dip at block=1 that recovers by block=4.
+#[test]
+fn fig6_emu_flat_with_block1_dip() {
+    let bw = |block: usize| {
+        let cc = ChaseConfig {
+            elems_per_list: 1024,
+            nlists: 128,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: 5,
+        };
+        run_chase_emu(&presets::chick_prototype(), &cc)
+            .bandwidth
+            .mb_per_sec()
+    };
+    let b1 = bw(1);
+    let b4 = bw(4);
+    let b64 = bw(64);
+    let b512 = bw(512);
+    assert!(b1 < 0.9 * b64, "block=1 dips: {b1} vs {b64}");
+    assert!(b4 > 0.85 * b64, "recovers by block 4: {b4} vs {b64}");
+    assert!(
+        (b512 / b64 - 1.0).abs() < 0.2,
+        "flat across blocks: {b64} vs {b512}"
+    );
+}
+
+/// Fig 7: the Xeon needs DRAM-page-scale locality; tiny blocks are bad.
+#[test]
+fn fig7_xeon_hump() {
+    let mut cfg = sandy_bridge();
+    // Shrink the LLC so test-size lists behave like the paper's
+    // LLC-dwarfing ones.
+    cfg.l3.capacity = 1 << 20;
+    let bw = |block: usize| {
+        let cc = ChaseConfig {
+            elems_per_list: 1 << 15,
+            nlists: 8,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: 5,
+        };
+        run_chase_cpu(&cfg, &cc).bandwidth.mb_per_sec()
+    };
+    let tiny = bw(1);
+    let page = bw(512);
+    let huge = bw(1 << 14);
+    assert!(page > 2.0 * tiny, "page {page} vs tiny {tiny}");
+    assert!(page > 1.2 * huge, "page {page} vs huge {huge}");
+}
+
+/// Fig 8: the Emu uses a far higher fraction of its peak than the Xeon
+/// at every locality level.
+#[test]
+fn fig8_emu_utilization_dominates() {
+    let emu_peak = emu_stream(512, SpawnStrategy::RecursiveRemote, false);
+    let cpu_cfg = sandy_bridge();
+    let cpu_peak = membench::stream::cpu::run_stream_cpu(
+        &cpu_cfg,
+        &membench::stream::cpu::CpuStreamConfig {
+            total_elems: 1 << 16,
+            nthreads: 16,
+            ..Default::default()
+        },
+    )
+    .bandwidth
+    .mb_per_sec();
+    for block in [4usize, 64, 1024] {
+        let emu = run_chase_emu(
+            &presets::chick_prototype(),
+            &ChaseConfig {
+                elems_per_list: 1024,
+                nlists: 256,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 6,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+            / emu_peak;
+        let xeon = run_chase_cpu(
+            &cpu_cfg,
+            &ChaseConfig {
+                elems_per_list: 1 << 14,
+                nlists: 16,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 6,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+            / cpu_peak;
+        assert!(
+            emu > 1.5 * xeon,
+            "block {block}: emu {:.0}% vs xeon {:.0}%",
+            emu * 100.0,
+            xeon * 100.0
+        );
+    }
+}
+
+/// Fig 9a: layout ordering local < 1D < 2D.
+#[test]
+fn fig9a_layout_ordering() {
+    let m = Arc::new(laplacian(LaplacianSpec::paper(20)));
+    let bw = |layout| {
+        run_spmv_emu(
+            &presets::chick_prototype(),
+            Arc::clone(&m),
+            &EmuSpmvConfig {
+                layout,
+                grain_nnz: 16,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    let local = bw(EmuLayout::Local);
+    let one_d = bw(EmuLayout::OneD);
+    let two_d = bw(EmuLayout::TwoD);
+    assert!(local < one_d, "local {local} < 1D {one_d}");
+    assert!(one_d < two_d, "1D {one_d} < 2D {two_d}");
+    assert!(two_d > 3.0 * local, "2D {two_d} >> local {local}");
+}
+
+/// Fig 10: the validation story — STREAM agrees between the hardware and
+/// toolchain-simulator presets; migration-bound benchmarks do not.
+#[test]
+fn fig10_validation_gap_is_migration_specific() {
+    let hw = presets::chick_prototype();
+    let sim = presets::chick_toolchain_sim();
+    let stream = |cfg: &MachineConfig| {
+        run_stream_emu(
+            cfg,
+            &EmuStreamConfig {
+                total_elems: 1 << 13,
+                nthreads: 128,
+                ..Default::default()
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    assert!(
+        (stream(&hw) / stream(&sim) - 1.0).abs() < 0.02,
+        "STREAM must agree"
+    );
+    let chase1 = |cfg: &MachineConfig| {
+        run_chase_emu(
+            cfg,
+            &ChaseConfig {
+                elems_per_list: 512,
+                nlists: 256,
+                block_elems: 1,
+                mode: ShuffleMode::FullBlock,
+                seed: 7,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    assert!(
+        chase1(&sim) > 1.15 * chase1(&hw),
+        "migration-bound chase must diverge"
+    );
+    let pp = |cfg: &MachineConfig| {
+        run_pingpong(
+            cfg,
+            &PingPongConfig {
+                nthreads: 64,
+                round_trips: 200,
+                ..Default::default()
+            },
+        )
+        .migrations_per_sec
+    };
+    let (h, s) = (pp(&hw), pp(&sim));
+    assert!((h / 9.0e6 - 1.0).abs() < 0.1, "hw pingpong {h:.2e} ~ 9M/s");
+    assert!((s / 16.0e6 - 1.0).abs() < 0.1, "sim pingpong {s:.2e} ~ 16M/s");
+}
+
+/// Fig 11: at full speed, bandwidth keeps scaling into thousands of
+/// threads and stays insensitive to block size beyond small blocks.
+#[test]
+fn fig11_full_speed_scales_with_threads() {
+    let cfg = presets::emu64_full_speed();
+    let bw = |threads: usize, block: usize| {
+        run_chase_emu(
+            &cfg,
+            &ChaseConfig {
+                elems_per_list: 512,
+                nlists: threads,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 8,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    };
+    let t256 = bw(256, 64);
+    let t2048 = bw(2048, 64);
+    assert!(t2048 > 3.0 * t256, "scales with threads: {t256} -> {t2048}");
+    let b64 = bw(1024, 64);
+    let b512 = bw(1024, 512);
+    assert!(
+        (b512 / b64 - 1.0).abs() < 0.25,
+        "insensitive to block size: {b64} vs {b512}"
+    );
+}
+
+/// Migration latency sits in the paper's 1–2 µs band under load.
+#[test]
+fn migration_latency_band() {
+    let r = run_pingpong(
+        &presets::chick_prototype(),
+        &PingPongConfig {
+            nthreads: 16,
+            round_trips: 500,
+            ..Default::default()
+        },
+    );
+    assert!(
+        r.mean_latency_ns > 500.0 && r.mean_latency_ns < 3000.0,
+        "loaded latency {} ns",
+        r.mean_latency_ns
+    );
+}

@@ -1,0 +1,180 @@
+//! Stress and edge-case coverage across crates: slot exhaustion,
+//! oversubscription, degenerate sizes, and preset extremes.
+
+use emu_chick::prelude::*;
+use membench::chase::{run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::stream::{run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Thousands of threads funneled through one nodelet's 64 slots: the
+/// engine must serialize admission without deadlock and run every worker.
+#[test]
+fn slot_exhaustion_thousands_of_threads() {
+    let ran = Arc::new(AtomicUsize::new(0));
+    let mut e = Engine::new(presets::chick_prototype());
+    for _ in 0..2000 {
+        let ran = Arc::clone(&ran);
+        let mut fired = false;
+        e.spawn_at(
+            NodeletId(0),
+            Box::new(move |_ctx: &KernelCtx| {
+                if !fired {
+                    fired = true;
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    Op::Compute { cycles: 50 }
+                } else {
+                    Op::Quit
+                }
+            }),
+        );
+    }
+    let r = e.run();
+    assert_eq!(ran.load(Ordering::Relaxed), 2000);
+    assert!(r.nodelets[0].slot_waits > 0, "expected admission queueing");
+}
+
+/// More workers than elements: strided STREAM workers with empty ranges
+/// must quit cleanly, and the checksum still verifies.
+#[test]
+fn stream_more_threads_than_elements() {
+    let r = run_stream_emu(
+        &presets::chick_prototype(),
+        &EmuStreamConfig {
+            total_elems: 64,
+            nthreads: 512,
+            strategy: SpawnStrategy::RecursiveRemote,
+            ..Default::default()
+        },
+    );
+    assert_eq!(r.checksum, stream_checksum(64, StreamKernel::Add));
+}
+
+/// Single-element lists, one list: the degenerate chase.
+#[test]
+fn chase_degenerate_single_element() {
+    let cc = ChaseConfig {
+        elems_per_list: 1,
+        nlists: 1,
+        block_elems: 1,
+        mode: ShuffleMode::FullBlock,
+        seed: 1,
+    };
+    let r = run_chase_emu(&presets::chick_prototype(), &cc);
+    assert_eq!(r.checksum, 0); // payload of the single element is id 0
+    assert!(r.makespan > desim::Time::ZERO);
+}
+
+/// The 64-nodelet machine runs a cross-node chase deterministically.
+#[test]
+fn emu64_cross_node_chase_deterministic() {
+    let cc = ChaseConfig {
+        elems_per_list: 256,
+        nlists: 128,
+        block_elems: 4,
+        mode: ShuffleMode::FullBlock,
+        seed: 9,
+    };
+    let run = || run_chase_emu(&presets::emu64_full_speed(), &cc);
+    let (a, b) = (run(), run());
+    assert_eq!(a.checksum, cc.expected_checksum());
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.migrations, b.migrations);
+    assert!(a.migrations > 0, "cross-node lists must migrate");
+}
+
+/// An Emu machine with a single nodelet: everything is local, nothing
+/// migrates, all benchmarks still work.
+#[test]
+fn single_nodelet_machine() {
+    let cfg = MachineConfig {
+        nodelets_per_node: 1,
+        ..presets::chick_prototype()
+    };
+    let r = run_stream_emu(
+        &cfg,
+        &EmuStreamConfig {
+            total_elems: 2048,
+            nthreads: 32,
+            strategy: SpawnStrategy::SerialRemote,
+            single_nodelet: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(r.checksum, stream_checksum(2048, StreamKernel::Add));
+    assert_eq!(r.report.total_migrations(), 0);
+}
+
+/// Breakdown accounting is conserved: the per-class times sum to at most
+/// threads x makespan (no time invented).
+#[test]
+fn breakdown_conservation_bound() {
+    let r = run_chase_emu(
+        &presets::chick_prototype(),
+        &ChaseConfig {
+            elems_per_list: 512,
+            nlists: 64,
+            block_elems: 8,
+            mode: ShuffleMode::FullBlock,
+            seed: 4,
+        },
+    );
+    let b = r.breakdown;
+    let cap = r.makespan * 64;
+    assert!(
+        b.total() <= cap,
+        "breakdown {} exceeds threads x makespan {}",
+        b.total(),
+        cap
+    );
+    assert!(b.migration > desim::Time::ZERO);
+    // Fractions sum to 1 by construction.
+    let f = b.fraction(b.compute)
+        + b.fraction(b.memory)
+        + b.fraction(b.migration)
+        + b.fraction(b.store_issue)
+        + b.fraction(b.spawn);
+    assert!((f - 1.0).abs() < 1e-9);
+}
+
+/// The CPU engine tolerates thread oversubscription (threads > contexts).
+#[test]
+fn cpu_oversubscription() {
+    use xeon_sim::prelude::*;
+    let mut e = CpuEngine::new(sandy_bridge());
+    for t in 0..96u64 {
+        let ops: Vec<CpuOp> = (0..32)
+            .map(|i| CpuOp::Load {
+                addr: t * 0x100000 + i * 64,
+                bytes: 8,
+            })
+            .collect();
+        e.add_thread(Box::new(CpuScript::new(ops)));
+    }
+    let r = e.run();
+    assert_eq!(r.threads, 96);
+    assert!(r.makespan > desim::Time::ZERO);
+}
+
+/// Huge access sizes through the Emu channel (a full row of 1 KiB) are
+/// charged proportionally.
+#[test]
+fn large_accesses_scale_channel_time() {
+    let time_of = |bytes: u32| {
+        let mut e = Engine::new(presets::chick_prototype());
+        e.spawn_at(
+            NodeletId(0),
+            Box::new(ScriptKernel::new(vec![Op::Load {
+                addr: GlobalAddr::new(NodeletId(0), 0),
+                bytes,
+            }])),
+        );
+        e.run().makespan
+    };
+    let t8 = time_of(8);
+    let t1k = time_of(1024);
+    assert!(t1k > t8, "1 KiB must take longer than 8 B");
+    // Transfer of 1024 B at 1.6 GB/s adds 640 ns - 5 ns over the 8 B case.
+    let delta = (t1k - t8).ns_f64();
+    assert!((delta - 635.0).abs() < 50.0, "delta {delta} ns");
+}
