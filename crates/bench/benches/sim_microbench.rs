@@ -1,8 +1,8 @@
-//! Criterion microbenchmarks of the simulation substrate itself —
-//! regression tracking for the engines' event throughput, which bounds
-//! how large the figure runs can be.
+//! Microbenchmarks of the simulation substrate itself — regression
+//! tracking for the engines' event throughput, which bounds how large
+//! the figure runs can be. Plain `harness = false` main: wall-clock
+//! medians over a fixed number of iterations, no external framework.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use emu_core::prelude::*;
 use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
 use membench::pingpong::{run_pingpong, PingPongConfig};
@@ -10,60 +10,72 @@ use membench::stream::{
     cpu::{run_stream_cpu, CpuStreamConfig},
     run_stream_emu, EmuStreamConfig,
 };
+use std::time::Instant;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("desim/event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = desim::EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(desim::Time::from_ns((i * 37) % 5000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            sum
-        })
-    });
+const ITERS: usize = 10;
+
+/// Run `f` ITERS times; print the median wall-clock time. The returned
+/// u64 is folded into a sink so the work cannot be optimized away.
+fn bench(name: &str, mut f: impl FnMut() -> u64) {
+    let mut times = Vec::with_capacity(ITERS);
+    let mut sink = 0u64;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        sink = sink.wrapping_add(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let med = times[times.len() / 2];
+    let unit = if med >= 1e-3 {
+        format!("{:>9.2} ms/iter", med * 1e3)
+    } else {
+        format!("{:>9.1} us/iter", med * 1e6)
+    };
+    println!("{name:<38} {unit}  (sink {sink:x})");
 }
 
-fn bench_cache(c: &mut Criterion) {
-    use xeon_sim::cache::Cache;
-    use xeon_sim::config::sandy_bridge;
-    c.bench_function("xeon/l1_access_streaming_4k_lines", |b| {
-        b.iter_batched(
-            || Cache::new(sandy_bridge().l1),
-            |mut cache| {
-                for i in 0..4096u64 {
-                    let _ = cache.access(i * 64, false);
-                }
-                cache.stats()
+fn main() {
+    bench("desim/event_queue_push_pop_10k", || {
+        let mut q = desim::EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(desim::Time::from_ns((i * 37) % 5000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum = sum.wrapping_add(e);
+        }
+        sum
+    });
+
+    {
+        use xeon_sim::cache::Cache;
+        use xeon_sim::config::sandy_bridge;
+        bench("xeon/l1_access_streaming_4k_lines", || {
+            let mut cache = Cache::new(sandy_bridge().l1);
+            for i in 0..4096u64 {
+                let _ = cache.access(i * 64, false);
+            }
+            let (h, m) = cache.stats();
+            h.wrapping_add(m)
+        });
+    }
+
+    let cfg = presets::chick_prototype();
+    bench("emu/stream_16k_elems_128thr", || {
+        run_stream_emu(
+            &cfg,
+            &EmuStreamConfig {
+                total_elems: 1 << 14,
+                nthreads: 128,
+                ..Default::default()
             },
-            BatchSize::SmallInput,
         )
+        .expect("stream")
+        .report
+        .makespan
+        .ps()
     });
-}
 
-fn bench_emu_stream(c: &mut Criterion) {
-    let cfg = presets::chick_prototype();
-    c.bench_function("emu/stream_16k_elems_128thr", |b| {
-        b.iter(|| {
-            run_stream_emu(
-                &cfg,
-                &EmuStreamConfig {
-                    total_elems: 1 << 14,
-                    nthreads: 128,
-                    ..Default::default()
-                },
-            )
-            .report
-            .makespan
-        })
-    });
-}
-
-fn bench_emu_chase(c: &mut Criterion) {
-    let cfg = presets::chick_prototype();
     let cc = ChaseConfig {
         elems_per_list: 1024,
         nlists: 64,
@@ -71,66 +83,49 @@ fn bench_emu_chase(c: &mut Criterion) {
         mode: ShuffleMode::FullBlock,
         seed: 1,
     };
-    c.bench_function("emu/chase_64k_elems", |b| {
-        b.iter(|| run_chase_emu(&cfg, &cc).makespan)
+    bench("emu/chase_64k_elems", || {
+        run_chase_emu(&cfg, &cc).expect("chase").makespan.ps()
     });
-}
 
-fn bench_pingpong(c: &mut Criterion) {
-    let cfg = presets::chick_prototype();
-    c.bench_function("emu/pingpong_64thr_100rt", |b| {
-        b.iter(|| {
-            run_pingpong(
-                &cfg,
-                &PingPongConfig {
-                    nthreads: 64,
-                    round_trips: 100,
-                    ..Default::default()
-                },
-            )
-            .migrations
-        })
+    bench("emu/pingpong_64thr_100rt", || {
+        run_pingpong(
+            &cfg,
+            &PingPongConfig {
+                nthreads: 64,
+                round_trips: 100,
+                ..Default::default()
+            },
+        )
+        .expect("pingpong")
+        .migrations
     });
-}
 
-fn bench_cpu_platform(c: &mut Criterion) {
-    let cfg = xeon_sim::config::sandy_bridge();
-    c.bench_function("xeon/stream_64k_elems_8thr", |b| {
-        b.iter(|| {
-            run_stream_cpu(
-                &cfg,
-                &CpuStreamConfig {
-                    total_elems: 1 << 16,
-                    nthreads: 8,
-                    ..Default::default()
-                },
-            )
-            .report
-            .makespan
-        })
+    let cpu_cfg = xeon_sim::config::sandy_bridge();
+    bench("xeon/stream_64k_elems_8thr", || {
+        run_stream_cpu(
+            &cpu_cfg,
+            &CpuStreamConfig {
+                total_elems: 1 << 16,
+                nthreads: 8,
+                ..Default::default()
+            },
+        )
+        .report
+        .makespan
+        .ps()
     });
-    let cc = ChaseConfig {
+    let cpu_cc = ChaseConfig {
         elems_per_list: 1 << 13,
         nlists: 8,
         block_elems: 64,
         mode: ShuffleMode::FullBlock,
         seed: 1,
     };
-    c.bench_function("xeon/chase_64k_elems", |b| {
-        b.iter(|| run_chase_cpu(&cfg, &cc).makespan)
+    bench("xeon/chase_64k_elems", || {
+        run_chase_cpu(&cpu_cfg, &cpu_cc).makespan.ps()
+    });
+
+    bench("spmat/laplacian_n100_build", || {
+        spmat::laplacian(spmat::LaplacianSpec::paper(100)).nnz() as u64
     });
 }
-
-fn bench_laplacian(c: &mut Criterion) {
-    c.bench_function("spmat/laplacian_n100_build", |b| {
-        b.iter(|| spmat::laplacian(spmat::LaplacianSpec::paper(100)).nnz())
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_event_queue, bench_cache, bench_emu_stream, bench_emu_chase,
-              bench_pingpong, bench_cpu_platform, bench_laplacian
-}
-criterion_main!(benches);

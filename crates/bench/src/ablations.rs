@@ -15,7 +15,7 @@ use std::sync::Arc;
 /// Grain-size sweep on both platforms: the paper's observation that the
 /// Emu prefers tiny grains (16 nnz) while the Xeon prefers huge ones
 /// (16384 nnz).
-pub fn ablation_grain() -> Table {
+pub fn ablation_grain() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Ablation: SpMV grain size (nnz per task)",
         &["grain", "Emu 2D (MB/s)", "Haswell cilk_spawn (MB/s)"],
@@ -32,7 +32,7 @@ pub fn ablation_grain() -> Table {
                 layout: EmuLayout::TwoD,
                 grain_nnz: grain,
             },
-        );
+        )?;
         let cpu = membench::spmv_cpu::run_spmv_cpu(
             &cpu_cfg,
             Arc::clone(&m),
@@ -47,12 +47,12 @@ pub fn ablation_grain() -> Table {
             format!("{:.1}", cpu.bandwidth.mb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Migration-engine rate sweep: how ping-pong and migration-heavy chase
 /// scale with the component the 1.0 firmware limited.
-pub fn ablation_migration_rate() -> Table {
+pub fn ablation_migration_rate() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Ablation: migration-engine rate per nodelet",
         &[
@@ -74,9 +74,9 @@ pub fn ablation_migration_rate() -> Table {
                 round_trips: sized(1000, 100) as u32,
                 ..Default::default()
             },
-        );
-        let chase_at = |block: usize| {
-            chase::run_chase_emu(
+        )?;
+        let chase_at = |block: usize| -> Result<f64, SimError> {
+            Ok(chase::run_chase_emu(
                 &cfg,
                 &ChaseConfig {
                     elems_per_list: sized_usize(2048, 512),
@@ -85,22 +85,22 @@ pub fn ablation_migration_rate() -> Table {
                     mode: ShuffleMode::FullBlock,
                     seed: 2,
                 },
-            )
+            )?
             .bandwidth
-            .mb_per_sec()
+            .mb_per_sec())
         };
         t.row(vec![
             rate_m.to_string(),
             format!("{:.1}", pp.migrations_per_sec / 1e6),
-            format!("{:.1}", chase_at(1)),
-            format!("{:.1}", chase_at(128)),
+            format!("{:.1}", chase_at(1)?),
+            format!("{:.1}", chase_at(128)?),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Spawn-strategy ramp cost: time to create N no-op workers.
-pub fn ablation_spawn_ramp() -> Table {
+pub fn ablation_spawn_ramp() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let mut t = Table::new(
         "Ablation: spawn-tree ramp time (no-op workers)",
@@ -116,23 +116,30 @@ pub fn ablation_spawn_ramp() -> Table {
         let mut cells = vec![workers.to_string()];
         for strategy in SpawnStrategy::ALL {
             let factory: WorkerFactory = Arc::new(|_| Box::new(ScriptKernel::new(vec![])));
-            let mut e = Engine::new(cfg.clone());
-            e.spawn_at(NodeletId(0), emu_core::spawn::root_kernel(strategy, workers, 8, factory));
-            let r = e.run();
+            let mut e = Engine::new(cfg.clone())?;
+            e.spawn_at(
+                NodeletId(0),
+                emu_core::spawn::root_kernel(strategy, workers, 8, factory),
+            )?;
+            let r = e.run()?;
             cells.push(format!("{:.1}", r.makespan.us_f64()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// The Fig 5 modeling lever: how often workers touch their Cilk frame on
 /// the spawn-home nodelet. Period 0 disables the mechanism entirely.
-pub fn ablation_stack_touch() -> Table {
+pub fn ablation_stack_touch() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let mut t = Table::new(
         "Ablation: Cilk-frame (stack) touch period, STREAM 8 nodelets, 512 threads",
-        &["touch period", "serial_spawn (MB/s)", "recursive_remote (MB/s)"],
+        &[
+            "touch period",
+            "serial_spawn (MB/s)",
+            "recursive_remote (MB/s)",
+        ],
     );
     for period in [0u32, 1, 2, 4, 8, 16, 64] {
         let mut cells = vec![if period == 0 {
@@ -150,16 +157,16 @@ pub fn ablation_stack_touch() -> Table {
                     stack_touch_period: period,
                     ..Default::default()
                 },
-            );
+            )?;
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Prefetcher and NT-store contribution to CPU STREAM and chase.
-pub fn ablation_cpu_features() -> Table {
+pub fn ablation_cpu_features() -> Result<Table, SimError> {
     use membench::stream::cpu::{run_stream_cpu, CpuStreamConfig};
     let mut t = Table::new(
         "Ablation: Xeon prefetcher / NT stores",
@@ -198,11 +205,11 @@ pub fn ablation_cpu_features() -> Table {
             format!("{:.1}", chase.bandwidth.mb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// GUPS comparison (extension): Emu memory-side atomics vs Xeon RMW.
-pub fn gups_compare() -> Table {
+pub fn gups_compare() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Extension: GUPS random updates",
         &["platform", "threads", "GUPS", "migrations"],
@@ -213,7 +220,7 @@ pub fn gups_compare() -> Table {
         updates_per_thread: sized_usize(2048, 256),
         seed: 9,
     };
-    let emu = gups::run_gups_emu(&presets::chick_prototype(), &gc);
+    let emu = gups::run_gups_emu(&presets::chick_prototype(), &gc)?;
     t.row(vec![
         "Emu Chick (remote atomics)".into(),
         gc.nthreads.to_string(),
@@ -231,12 +238,12 @@ pub fn gups_compare() -> Table {
         format!("{:.4}", cpu.gups),
         "0".into(),
     ]);
-    t
+    Ok(t)
 }
 
 /// Scaling the prototype toward the full-speed design point (GC count,
 /// clock, DRAM) — the bridge between the Chick and Fig 11's machine.
-pub fn ablation_full_speed_path() -> Table {
+pub fn ablation_full_speed_path() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Ablation: prototype -> full-speed design point (STREAM, 8 nodelets)",
         &["configuration", "STREAM (MB/s)", "chase 512thr (MB/s)"],
@@ -258,7 +265,10 @@ pub fn ablation_full_speed_path() -> Table {
                 ..presets::chick_prototype()
             },
         ),
-        ("full speed (also DDR4-2133, fast engine)", presets::chick_full_speed()),
+        (
+            "full speed (also DDR4-2133, fast engine)",
+            presets::chick_full_speed(),
+        ),
     ];
     for (name, cfg) in steps {
         let stream = run_stream_emu(
@@ -268,7 +278,7 @@ pub fn ablation_full_speed_path() -> Table {
                 nthreads: 512,
                 ..Default::default()
             },
-        );
+        )?;
         let ch = chase::run_chase_emu(
             &cfg,
             &ChaseConfig {
@@ -278,12 +288,12 @@ pub fn ablation_full_speed_path() -> Table {
                 mode: ShuffleMode::FullBlock,
                 seed: 4,
             },
-        );
+        )?;
         t.row(vec![
             name.to_string(),
             format!("{:.1}", stream.bandwidth.mb_per_sec()),
             format!("{:.1}", ch.bandwidth.mb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }

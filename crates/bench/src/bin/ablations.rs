@@ -1,10 +1,25 @@
 //! Runs every ablation study.
 fn main() {
-    emu_bench::ablations::ablation_grain().emit("ablation_grain");
-    emu_bench::ablations::ablation_migration_rate().emit("ablation_migration_rate");
-    emu_bench::ablations::ablation_spawn_ramp().emit("ablation_spawn_ramp");
-    emu_bench::ablations::ablation_stack_touch().emit("ablation_stack_touch");
-    emu_bench::ablations::ablation_cpu_features().emit("ablation_cpu_features");
-    emu_bench::ablations::ablation_full_speed_path().emit("ablation_full_speed_path");
-    emu_bench::ablations::gups_compare().emit("gups_compare");
+    emu_bench::output::emit_result("ablation_grain", emu_bench::ablations::ablation_grain());
+    emu_bench::output::emit_result(
+        "ablation_migration_rate",
+        emu_bench::ablations::ablation_migration_rate(),
+    );
+    emu_bench::output::emit_result(
+        "ablation_spawn_ramp",
+        emu_bench::ablations::ablation_spawn_ramp(),
+    );
+    emu_bench::output::emit_result(
+        "ablation_stack_touch",
+        emu_bench::ablations::ablation_stack_touch(),
+    );
+    emu_bench::output::emit_result(
+        "ablation_cpu_features",
+        emu_bench::ablations::ablation_cpu_features(),
+    );
+    emu_bench::output::emit_result(
+        "ablation_full_speed_path",
+        emu_bench::ablations::ablation_full_speed_path(),
+    );
+    emu_bench::output::emit_result("gups_compare", emu_bench::ablations::gups_compare());
 }

@@ -27,10 +27,24 @@ fn row(t: &mut Table, name: &str, b: &TimeBreakdown) {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("[breakdown] simulation failed: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let cfg = presets::chick_prototype();
     let mut t = Table::new(
         "Threadlet time breakdown (% of total thread-time)",
-        &["workload", "compute", "memory", "migration", "stores", "spawn"],
+        &[
+            "workload",
+            "compute",
+            "memory",
+            "migration",
+            "stores",
+            "spawn",
+        ],
     );
 
     // STREAM: remote vs serial spawn.
@@ -43,7 +57,7 @@ fn main() {
                 strategy,
                 ..Default::default()
             },
-        );
+        )?;
         row(
             &mut t,
             &format!("STREAM 512thr {}", strategy.name()),
@@ -62,7 +76,7 @@ fn main() {
                 mode: ShuffleMode::FullBlock,
                 seed: 5,
             },
-        );
+        )?;
         row(&mut t, &format!("chase block={block}"), &r.breakdown);
     }
 
@@ -76,9 +90,14 @@ fn main() {
                 layout,
                 grain_nnz: 16,
             },
+        )?;
+        row(
+            &mut t,
+            &format!("SpMV {}", layout.name()),
+            &r.report.breakdown,
         );
-        row(&mut t, &format!("SpMV {}", layout.name()), &r.report.breakdown);
     }
 
     t.emit("breakdown");
+    Ok(())
 }

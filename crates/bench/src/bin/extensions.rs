@@ -1,9 +1,15 @@
 //! Runs the extension experiments (streaming graphs, MTTKRP, shuffle
 //! modes, full STREAM suite, node scaling).
 fn main() {
-    emu_bench::extensions::ext_graph().emit("ext_graph");
-    emu_bench::extensions::ext_mttkrp().emit("ext_mttkrp");
-    emu_bench::extensions::ext_shuffle_modes().emit("ext_shuffle_modes");
-    emu_bench::extensions::ext_stream_suite().emit("ext_stream_suite");
-    emu_bench::extensions::ext_multinode().emit("ext_multinode");
+    emu_bench::output::emit_result("ext_graph", emu_bench::extensions::ext_graph());
+    emu_bench::output::emit_result("ext_mttkrp", emu_bench::extensions::ext_mttkrp());
+    emu_bench::output::emit_result(
+        "ext_shuffle_modes",
+        emu_bench::extensions::ext_shuffle_modes(),
+    );
+    emu_bench::output::emit_result(
+        "ext_stream_suite",
+        emu_bench::extensions::ext_stream_suite(),
+    );
+    emu_bench::output::emit_result("ext_multinode", emu_bench::extensions::ext_multinode());
 }

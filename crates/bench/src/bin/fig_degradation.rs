@@ -1,0 +1,5 @@
+//! Degradation sweep: bandwidth vs dead/slow nodelet fractions and
+//! migration NACK rates, with per-point fault counters and statuses.
+fn main() {
+    emu_bench::degradation::fig_degradation().emit("fig_degradation");
+}

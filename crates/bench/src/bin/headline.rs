@@ -1,4 +1,4 @@
 //! Regenerates the headline numbers quoted in the paper's text.
 fn main() {
-    emu_bench::figures::headline().emit("headline");
+    emu_bench::output::emit_result("headline", emu_bench::figures::headline());
 }

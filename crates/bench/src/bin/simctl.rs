@@ -64,7 +64,15 @@ fn cmd_presets() -> Result<(), String> {
 
 fn cmd_stream(p: &Parsed) -> Result<(), String> {
     use membench::stream::*;
-    p.check_known(&["preset", "threads", "elems", "strategy", "kernel", "single-nodelet", "stack-touch"])?;
+    p.check_known(&[
+        "preset",
+        "threads",
+        "elems",
+        "strategy",
+        "kernel",
+        "single-nodelet",
+        "stack-touch",
+    ])?;
     let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
     let kernel = match p.get_str("kernel", "add").as_str() {
         "add" => StreamKernel::Add,
@@ -81,20 +89,35 @@ fn cmd_stream(p: &Parsed) -> Result<(), String> {
         single_nodelet: p.get("single-nodelet", false)?,
         stack_touch_period: p.get("stack-touch", 4u32)?,
     };
-    let r = run_stream_emu(&cfg, &sc);
-    assert_eq!(r.checksum, stream_checksum(sc.total_elems, kernel), "checksum!");
-    println!("STREAM {} on {} threads ({}):", kernel.name(), sc.nthreads, sc.strategy.name());
+    let r = run_stream_emu(&cfg, &sc).map_err(|e| e.to_string())?;
+    if r.checksum != stream_checksum(sc.total_elems, kernel) {
+        return Err("STREAM checksum mismatch".into());
+    }
+    println!(
+        "STREAM {} on {} threads ({}):",
+        kernel.name(),
+        sc.nthreads,
+        sc.strategy.name()
+    );
     println!("  bandwidth   : {:.1} MB/s", r.bandwidth.mb_per_sec());
     println!("  makespan    : {}", r.report.makespan);
     println!("  migrations  : {}", r.report.total_migrations());
-    println!("  core util   : {:.1} %", 100.0 * r.report.core_utilization());
-    println!("  channel util: {:.1} %", 100.0 * r.report.channel_utilization());
+    println!(
+        "  core util   : {:.1} %",
+        100.0 * r.report.core_utilization()
+    );
+    println!(
+        "  channel util: {:.1} %",
+        100.0 * r.report.channel_utilization()
+    );
     Ok(())
 }
 
 fn cmd_chase(p: &Parsed) -> Result<(), String> {
     use membench::chase::*;
-    p.check_known(&["preset", "platform", "threads", "elems", "block", "mode", "seed"])?;
+    p.check_known(&[
+        "preset", "platform", "threads", "elems", "block", "mode", "seed",
+    ])?;
     let cc = ChaseConfig {
         elems_per_list: p.get("elems", 4096usize)?,
         nlists: p.get("threads", 512usize)?,
@@ -102,18 +125,29 @@ fn cmd_chase(p: &Parsed) -> Result<(), String> {
         mode: cli::mode_by_name(&p.get_str("mode", "full"))?,
         seed: p.get("seed", desim::rng::DEFAULT_SEED)?,
     };
+    if cc.block_elems == 0 || !cc.elems_per_list.is_multiple_of(cc.block_elems) {
+        return Err(format!(
+            "--elems ({}) must be a positive multiple of --block ({})",
+            cc.elems_per_list, cc.block_elems
+        ));
+    }
     let r = match p.get_str("platform", "emu").as_str() {
         "emu" => {
             let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
-            run_chase_emu(&cfg, &cc)
+            run_chase_emu(&cfg, &cc).map_err(|e| e.to_string())?
         }
         "xeon" => cpu::run_chase_cpu(&xeon_sim::config::sandy_bridge(), &cc),
         other => return Err(format!("unknown platform {other:?}")),
     };
-    assert_eq!(r.checksum, cc.expected_checksum(), "checksum!");
+    if r.checksum != cc.expected_checksum() {
+        return Err("chase checksum mismatch".into());
+    }
     println!(
         "pointer chase, {} lists x {} elems, block {}, {}:",
-        cc.nlists, cc.elems_per_list, cc.block_elems, cc.mode.name()
+        cc.nlists,
+        cc.elems_per_list,
+        cc.block_elems,
+        cc.mode.name()
     );
     println!("  bandwidth : {:.1} MB/s", r.bandwidth.mb_per_sec());
     println!("  makespan  : {}", r.makespan);
@@ -124,11 +158,18 @@ fn cmd_chase(p: &Parsed) -> Result<(), String> {
 fn cmd_spmv(p: &Parsed) -> Result<(), String> {
     use membench::{spmv_cpu, spmv_emu};
     use spmat::{laplacian, LaplacianSpec};
-    p.check_known(&["preset", "platform", "n", "layout", "grain", "threads", "strategy"])?;
+    p.check_known(&[
+        "preset", "platform", "n", "layout", "grain", "threads", "strategy",
+    ])?;
     let n = p.get("n", 100u32)?;
     let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
     let reference = m.spmv(&spmv_emu::x_vector(m.ncols()));
-    println!("SpMV: {}x{} Laplacian, {} nnz", m.nrows(), m.ncols(), m.nnz());
+    println!(
+        "SpMV: {}x{} Laplacian, {} nnz",
+        m.nrows(),
+        m.ncols(),
+        m.nnz()
+    );
     let (bw, migrations) = match p.get_str("platform", "emu").as_str() {
         "emu" => {
             let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
@@ -145,7 +186,8 @@ fn cmd_spmv(p: &Parsed) -> Result<(), String> {
                     layout,
                     grain_nnz: p.get("grain", 16usize)?,
                 },
-            );
+            )
+            .map_err(|e| e.to_string())?;
             verify(&reference, &r.y)?;
             (r.bandwidth.mb_per_sec(), r.migrations)
         }
@@ -200,9 +242,15 @@ fn cmd_pingpong(p: &Parsed) -> Result<(), String> {
         a: NodeletId(p.get("a", 0u32)?),
         b: NodeletId(p.get("b", 1u32)?),
     };
-    let r = run_pingpong(&cfg, &pc);
-    println!("ping-pong, {} threads x {} round trips:", pc.nthreads, pc.round_trips);
-    println!("  throughput  : {:.2} M migrations/s", r.migrations_per_sec / 1e6);
+    let r = run_pingpong(&cfg, &pc).map_err(|e| e.to_string())?;
+    println!(
+        "ping-pong, {} threads x {} round trips:",
+        pc.nthreads, pc.round_trips
+    );
+    println!(
+        "  throughput  : {:.2} M migrations/s",
+        r.migrations_per_sec / 1e6
+    );
     println!("  mean latency: {:.2} us", r.mean_latency_ns / 1000.0);
     println!("  p99 latency : {}", r.p99_latency);
     Ok(())
@@ -220,12 +268,15 @@ fn cmd_gups(p: &Parsed) -> Result<(), String> {
     let r = match p.get_str("platform", "emu").as_str() {
         "emu" => {
             let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
-            run_gups_emu(&cfg, &gc)
+            run_gups_emu(&cfg, &gc).map_err(|e| e.to_string())?
         }
         "xeon" => cpu::run_gups_cpu(&xeon_sim::config::sandy_bridge(), &gc),
         other => return Err(format!("unknown platform {other:?}")),
     };
-    println!("GUPS, {} threads x {} updates:", gc.nthreads, gc.updates_per_thread);
+    println!(
+        "GUPS, {} threads x {} updates:",
+        gc.nthreads, gc.updates_per_thread
+    );
     println!("  {:.4} GUPS, {} migrations", r.gups, r.migrations);
     Ok(())
 }
@@ -237,14 +288,19 @@ fn cmd_bfs(p: &Parsed) -> Result<(), String> {
     let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
     let scale = p.get("scale", 11u32)?;
     let edges = gen::rmat(scale, p.get("edges", 1usize << 14)?, p.get("seed", 42u64)?);
-    let g = Arc::new(Stinger::build_host(&edges, emu_graph::DEFAULT_BLOCK_CAP, cfg.total_nodelets()));
+    let g = Arc::new(Stinger::build_host(
+        &edges,
+        emu_graph::DEFAULT_BLOCK_CAP,
+        cfg.total_nodelets(),
+    ));
     let mode = match p.get_str("mode", "smart").as_str() {
         "naive" | "migrating" => BfsMode::Migrating,
         "smart" | "remote-flags" => BfsMode::RemoteFlags,
         other => return Err(format!("unknown mode {other:?}")),
     };
     let src = p.get("src", 0u32)?;
-    let r = run_bfs_emu(&cfg, Arc::clone(&g), src, mode, p.get("threads", 512usize)?);
+    let r = run_bfs_emu(&cfg, Arc::clone(&g), src, mode, p.get("threads", 512usize)?)
+        .map_err(|e| e.to_string())?;
     if r.levels != g.bfs_reference(src) {
         return Err("BFS levels diverged from reference".into());
     }
@@ -253,9 +309,13 @@ fn cmd_bfs(p: &Parsed) -> Result<(), String> {
         mode.name(),
         edges.len()
     );
-    println!("  {:.2} M TEPS, depth {}, {} migrations ({:.3}/edge)",
-        r.teps / 1e6, r.depth, r.migrations,
-        r.migrations as f64 / r.edges_traversed.max(1) as f64);
+    println!(
+        "  {:.2} M TEPS, depth {}, {} migrations ({:.3}/edge)",
+        r.teps / 1e6,
+        r.depth,
+        r.migrations,
+        r.migrations as f64 / r.edges_traversed.max(1) as f64
+    );
     println!("  (levels verified against host reference)");
     Ok(())
 }
@@ -284,7 +344,8 @@ fn cmd_mttkrp(p: &Parsed) -> Result<(), String> {
             rank,
             nthreads: p.get("threads", 512usize)?,
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let reference = mttkrp_reference(&t, rank);
     let err = reference
         .iter()
@@ -294,8 +355,15 @@ fn cmd_mttkrp(p: &Parsed) -> Result<(), String> {
     if err > 1e-6 {
         return Err(format!("MTTKRP diverged: max err {err}"));
     }
-    println!("MTTKRP rank {rank}, {} nnz, {} layout:", t.nnz(), layout.name());
-    println!("  effective bandwidth: {:.1} MB/s", r.bandwidth.mb_per_sec());
+    println!(
+        "MTTKRP rank {rank}, {} nnz, {} layout:",
+        t.nnz(),
+        layout.name()
+    );
+    println!(
+        "  effective bandwidth: {:.1} MB/s",
+        r.bandwidth.mb_per_sec()
+    );
     println!("  migrations         : {}", r.migrations);
     println!("  (Y verified against reference)");
     Ok(())

@@ -24,12 +24,7 @@ fn show(title: &str, report: &emu_core::metrics::RunReport, gcs: u32) {
 }
 
 /// A strided STREAM-ADD worker over three striped arrays.
-fn stream_worker(
-    arrays: &[ArrayHandle; 3],
-    start: u64,
-    step: u64,
-    n: u64,
-) -> Box<dyn Kernel> {
+fn stream_worker(arrays: &[ArrayHandle; 3], start: u64, step: u64, n: u64) -> Box<dyn Kernel> {
     let [a, b, c] = arrays.clone();
     let mut i = start;
     let mut phase = 0u8;
@@ -40,11 +35,17 @@ fn stream_worker(
         match phase {
             0 => {
                 phase = 1;
-                Op::Load { addr: a.addr(i, ctx.here), bytes: 8 }
+                Op::Load {
+                    addr: a.addr(i, ctx.here),
+                    bytes: 8,
+                }
             }
             1 => {
                 phase = 2;
-                Op::Load { addr: b.addr(i, ctx.here), bytes: 8 }
+                Op::Load {
+                    addr: b.addr(i, ctx.here),
+                    bytes: 8,
+                }
             }
             2 => {
                 phase = 3;
@@ -61,27 +62,29 @@ fn stream_worker(
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("[timeline] simulation failed: {e}");
+        std::process::exit(2);
+    }
+}
+
+fn run() -> Result<(), SimError> {
     let threads = 512usize;
     let n = 1u64 << 15;
 
     for strategy in [SpawnStrategy::Serial, SpawnStrategy::RecursiveRemote] {
         let cfg = presets::chick_prototype();
         let mut ms = MemSpace::new(8);
-        let arrays: [ArrayHandle; 3] = [
-            ms.striped(n, 8),
-            ms.striped(n, 8),
-            ms.striped(n, 8),
-        ];
-        let factory: WorkerFactory = {
-            std::sync::Arc::new(move |w| stream_worker(&arrays, w as u64, threads as u64, n))
-        };
-        let mut engine = Engine::new(cfg.clone());
+        let arrays: [ArrayHandle; 3] = [ms.striped(n, 8), ms.striped(n, 8), ms.striped(n, 8)];
+        let factory: WorkerFactory =
+            { std::sync::Arc::new(move |w| stream_worker(&arrays, w as u64, threads as u64, n)) };
+        let mut engine = Engine::new(cfg.clone())?;
         engine.enable_timeline(Time::from_us(50));
         engine.spawn_at(
             NodeletId(0),
             emu_core::spawn::root_kernel(strategy, threads, 8, factory),
-        );
-        let report = engine.run();
+        )?;
+        let report = engine.run()?;
         show(
             &format!("STREAM ADD, 512 threads, {}", strategy.name()),
             &report,
@@ -92,7 +95,7 @@ fn main() {
     // Chase visual: migration engines saturated at block 1.
     let cfg = presets::chick_prototype();
     let mut ms = MemSpace::new(8);
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     engine.enable_timeline(Time::from_us(20));
     for l in 0..threads {
         let elems_per_list = 1024usize;
@@ -127,12 +130,13 @@ fn main() {
                     Op::Compute { cycles: 15 }
                 }
             }),
-        );
+        )?;
     }
-    let report = engine.run();
+    let report = engine.run()?;
     show(
         "pointer chase, block 1, 512 threads (engines pinned)",
         &report,
         cfg.gcs_per_nodelet,
     );
+    Ok(())
 }

@@ -1,7 +1,13 @@
 //! Calibration gate: checks every paper anchor band; exits nonzero on
 //! any FAIL.
 fn main() {
-    let checks = emu_bench::validate::run_all();
+    let checks = match emu_bench::validate::run_all() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("validation aborted: simulation failed: {e}");
+            std::process::exit(2);
+        }
+    };
     let (table, ok) = emu_bench::validate::render(&checks);
     table.emit("validate");
     if !ok {

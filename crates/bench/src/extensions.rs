@@ -22,7 +22,7 @@ use std::sync::Arc;
 
 /// Streaming-graph extension: edge-insertion throughput and BFS with the
 /// two migration strategies, on an RMAT graph.
-pub fn ext_graph() -> Table {
+pub fn ext_graph() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let scale = if crate::runcfg::quick() { 9 } else { 12 };
     let ne = sized_usize(1 << 15, 1 << 11);
@@ -35,7 +35,7 @@ pub fn ext_graph() -> Table {
         &["experiment", "threads", "rate", "migrations"],
     );
     for threads in [32usize, 128, 512] {
-        let r = run_insert_emu(&cfg, &edges, threads, emu_graph::DEFAULT_BLOCK_CAP);
+        let r = run_insert_emu(&cfg, &edges, threads, emu_graph::DEFAULT_BLOCK_CAP)?;
         // Verify the streamed build against a host build.
         let host = Stinger::build_host(&edges, emu_graph::DEFAULT_BLOCK_CAP, 8);
         assert_eq!(
@@ -53,7 +53,7 @@ pub fn ext_graph() -> Table {
     let reference = g.bfs_reference(0);
     for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
         for threads in [64usize, 512] {
-            let r = run_bfs_emu(&cfg, Arc::clone(&g), 0, mode, threads);
+            let r = run_bfs_emu(&cfg, Arc::clone(&g), 0, mode, threads)?;
             assert_eq!(r.levels, reference, "BFS diverged");
             t.row(vec![
                 format!("BFS ({})", mode.name()),
@@ -63,21 +63,18 @@ pub fn ext_graph() -> Table {
             ]);
         }
     }
-    t
+    Ok(t)
 }
 
 /// Sparse-tensor extension: MTTKRP layout x rank on the Emu, plus the
 /// Haswell comparison.
-pub fn ext_mttkrp() -> Table {
+pub fn ext_mttkrp() -> Result<Table, SimError> {
     let emu_cfg = presets::chick_prototype();
     let cpu_cfg = xeon_sim::config::haswell();
     let nnz = sized_usize(1 << 15, 1 << 11);
     let t3 = Arc::new(random_tensor([256, 64, 64], nnz, 7));
     let mut t = Table::new(
-        format!(
-            "Extension: MTTKRP ({} nnz, 256x64x64)",
-            t3.nnz()
-        ),
+        format!("Extension: MTTKRP ({} nnz, 256x64x64)", t3.nnz()),
         &[
             "rank",
             "Emu 1D (MB/s)",
@@ -99,7 +96,7 @@ pub fn ext_mttkrp() -> Table {
                     rank,
                     nthreads: 512,
                 },
-            );
+            )?;
             let err = reference
                 .iter()
                 .zip(&r.y)
@@ -114,10 +111,7 @@ pub fn ext_mttkrp() -> Table {
         let cpu = run_mttkrp_cpu(
             &cpu_cfg,
             Arc::clone(&t3),
-            &CpuMttkrpConfig {
-                rank,
-                nthreads: 56,
-            },
+            &CpuMttkrpConfig { rank, nthreads: 56 },
         );
         t.row(vec![
             rank.to_string(),
@@ -127,12 +121,12 @@ pub fn ext_mttkrp() -> Table {
             format!("{:.1}", cpu.bandwidth.mb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// The full shuffle-mode matrix of Fig 2, on both platforms at one block
 /// size (the paper only plots full_block_shuffle).
-pub fn ext_shuffle_modes() -> Table {
+pub fn ext_shuffle_modes() -> Result<Table, SimError> {
     let emu_cfg = presets::chick_prototype();
     let cpu_cfg = xeon_sim::config::sandy_bridge();
     let mut t = Table::new(
@@ -149,7 +143,7 @@ pub fn ext_shuffle_modes() -> Table {
                 mode,
                 seed: 11,
             },
-        );
+        )?;
         let cpu = chase::cpu::run_chase_cpu(
             &cpu_cfg,
             &ChaseConfig {
@@ -166,11 +160,11 @@ pub fn ext_shuffle_modes() -> Table {
             format!("{:.1}", cpu.bandwidth.mb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Full STREAM suite (the paper only reports ADD).
-pub fn ext_stream_suite() -> Table {
+pub fn ext_stream_suite() -> Result<Table, SimError> {
     let emu_cfg = presets::chick_prototype();
     let cpu_cfg = xeon_sim::config::sandy_bridge();
     let mut t = Table::new(
@@ -191,7 +185,7 @@ pub fn ext_stream_suite() -> Table {
                 kernel,
                 ..Default::default()
             },
-        );
+        )?;
         let cpu = run_stream_cpu(
             &cpu_cfg,
             &CpuStreamConfig {
@@ -207,12 +201,12 @@ pub fn ext_stream_suite() -> Table {
             format!("{:.2}", cpu.bandwidth.gb_per_sec()),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Multi-node scaling of the prototype (the paper managed one stable
 /// 8-node STREAM measurement of 6.5 GB/s).
-pub fn ext_multinode() -> Table {
+pub fn ext_multinode() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Extension: node scaling, prototype-grade nodes",
         &[
@@ -235,9 +229,9 @@ pub fn ext_multinode() -> Table {
                 nthreads: threads,
                 ..Default::default()
             },
-        );
-        let chase_at = |block: usize| {
-            chase::run_chase_emu(
+        )?;
+        let chase_at = |block: usize| -> Result<f64, SimError> {
+            Ok(chase::run_chase_emu(
                 &cfg,
                 &ChaseConfig {
                     elems_per_list: sized_usize(1024, 256).max(block),
@@ -246,16 +240,16 @@ pub fn ext_multinode() -> Table {
                     mode: ShuffleMode::FullBlock,
                     seed: 12,
                 },
-            )
+            )?
             .bandwidth
-            .mb_per_sec()
+            .mb_per_sec())
         };
         t.row(vec![
             nodes.to_string(),
             format!("{:.1}", stream.bandwidth.mb_per_sec()),
-            format!("{:.1}", chase_at(64)),
-            format!("{:.1}", chase_at(1)),
+            format!("{:.1}", chase_at(64)?),
+            format!("{:.1}", chase_at(1)?),
         ]);
     }
-    t
+    Ok(t)
 }

@@ -27,7 +27,7 @@ pub const FIG5_THREADS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
 pub const CHASE_BLOCKS: [usize; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
 
 /// Fig 4: STREAM on one nodelet, serial vs recursive local spawn.
-pub fn fig04() -> Table {
+pub fn fig04() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let elems = sized(1 << 16, 1 << 12);
     let mut t = Table::new(
@@ -46,17 +46,17 @@ pub fn fig04() -> Table {
                     single_nodelet: true,
                     ..Default::default()
                 },
-            );
+            )?;
             assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 5: STREAM on eight nodelets, all four spawn strategies.
-pub fn fig05() -> Table {
+pub fn fig05() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let elems = sized(1 << 18, 1 << 13);
     let mut t = Table::new(
@@ -81,13 +81,13 @@ pub fn fig05() -> Table {
                     single_nodelet: false,
                     ..Default::default()
                 },
-            );
+            )?;
             assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// The Emu chase sweep shared by Figs 6, 8, 11.
@@ -97,13 +97,10 @@ fn chase_emu_sweep(
     thread_counts: &[usize],
     blocks: &[usize],
     elems_per_list: usize,
-) -> Table {
+) -> Result<Table, SimError> {
     let mut cols = vec!["block_elems".to_string()];
     cols.extend(thread_counts.iter().map(|t| format!("{t} threads (MB/s)")));
-    let mut t = Table::new(
-        title,
-        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
-    );
+    let mut t = Table::new(title, &cols.iter().map(String::as_str).collect::<Vec<_>>());
     for &block in blocks {
         if block > elems_per_list {
             continue;
@@ -117,17 +114,17 @@ fn chase_emu_sweep(
                 mode: ShuffleMode::FullBlock,
                 seed: desim::rng::DEFAULT_SEED,
             };
-            let r = chase::run_chase_emu(cfg, &cc);
+            let r = chase::run_chase_emu(cfg, &cc)?;
             assert_eq!(r.checksum, cc.expected_checksum());
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 6: pointer chasing on the Emu Chick (8 nodelets).
-pub fn fig06() -> Table {
+pub fn fig06() -> Result<Table, SimError> {
     chase_emu_sweep(
         &presets::chick_prototype(),
         "Fig 6: Pointer chasing, Emu Chick (8 nodelets), full_block_shuffle",
@@ -138,7 +135,7 @@ pub fn fig06() -> Table {
 }
 
 /// Fig 7: pointer chasing on the Sandy Bridge Xeon.
-pub fn fig07() -> Table {
+pub fn fig07() -> Result<Table, SimError> {
     let cfg = xeon_sim::config::sandy_bridge();
     // Lists must dwarf the 20 MiB LLC, as in the paper: 4 MiB per list
     // and up to 32 lists = 128 MiB of once-touched data.
@@ -169,12 +166,12 @@ pub fn fig07() -> Table {
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Peak measured STREAM bandwidth of the Emu prototype (denominator of
 /// Fig 8's utilization).
-pub fn emu_peak_stream_mbs() -> f64 {
+pub fn emu_peak_stream_mbs() -> Result<f64, SimError> {
     let r = run_stream_emu(
         &presets::chick_prototype(),
         &EmuStreamConfig {
@@ -183,8 +180,8 @@ pub fn emu_peak_stream_mbs() -> f64 {
             strategy: SpawnStrategy::RecursiveRemote,
             ..Default::default()
         },
-    );
-    r.bandwidth.mb_per_sec()
+    )?;
+    Ok(r.bandwidth.mb_per_sec())
 }
 
 /// Peak measured STREAM bandwidth of the Sandy Bridge (Fig 8 denominator).
@@ -203,8 +200,8 @@ pub fn xeon_peak_stream_mbs() -> f64 {
 
 /// Fig 8: pointer-chase bandwidth as a fraction of each platform's peak
 /// measured STREAM bandwidth.
-pub fn fig08() -> Table {
-    let emu_peak = emu_peak_stream_mbs();
+pub fn fig08() -> Result<Table, SimError> {
+    let emu_peak = emu_peak_stream_mbs()?;
     let xeon_peak = xeon_peak_stream_mbs();
     let emu_cfg = presets::chick_prototype();
     let cpu_cfg = xeon_sim::config::sandy_bridge();
@@ -226,7 +223,7 @@ pub fn fig08() -> Table {
                 mode: ShuffleMode::FullBlock,
                 seed: desim::rng::DEFAULT_SEED,
             },
-        );
+        )?;
         let xeon = chase::cpu::run_chase_cpu(
             &cpu_cfg,
             &ChaseConfig {
@@ -243,14 +240,14 @@ pub fn fig08() -> Table {
             format!("{:.1}", 100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak),
         ]);
     }
-    t
+    Ok(t)
 }
 
 /// Laplacian sizes swept by Fig 9.
 pub const FIG9_SIZES: [u32; 6] = [25, 50, 100, 150, 200, 300];
 
 /// Fig 9a: Emu SpMV effective bandwidth for the three layouts.
-pub fn fig09a() -> Table {
+pub fn fig09a() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
     let mut t = Table::new(
         "Fig 9a: SpMV effective bandwidth, Emu Chick (grain 16 nnz)",
@@ -268,7 +265,7 @@ pub fn fig09a() -> Table {
                     layout,
                     grain_nnz: 16,
                 },
-            );
+            )?;
             let err = reference
                 .iter()
                 .zip(&r.y)
@@ -279,7 +276,7 @@ pub fn fig09a() -> Table {
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Laplacian sizes swept by Fig 9b (the CPU scales further).
@@ -287,7 +284,7 @@ pub const FIG9B_SIZES: [u32; 6] = [50, 100, 200, 400, 600, 1000];
 
 /// Fig 9b: Haswell SpMV effective bandwidth for the three strategies
 /// (plus the Emu-like tiny grain for the grain-size contrast).
-pub fn fig09b() -> Table {
+pub fn fig09b() -> Result<Table, SimError> {
     let cfg = xeon_sim::config::haswell();
     let strategies = [
         CpuStrategy::MklLike,
@@ -306,7 +303,11 @@ pub fn fig09b() -> Table {
         ],
     );
     for &n in &FIG9B_SIZES {
-        let n = if crate::runcfg::quick() { n.min(200) } else { n };
+        let n = if crate::runcfg::quick() {
+            n.min(200)
+        } else {
+            n
+        };
         let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
         let reference = m.spmv(&x_vector(m.ncols()));
         let mut cells = vec![n.to_string()];
@@ -329,12 +330,12 @@ pub fn fig09b() -> Table {
         }
         t.row(cells);
     }
-    t
+    Ok(t)
 }
 
 /// Fig 10: hardware (1.0 firmware) vs Emu toolchain-simulator presets on
 /// STREAM, pointer chase, and ping-pong.
-pub fn fig10() -> Table {
+pub fn fig10() -> Result<Table, SimError> {
     let hw = presets::chick_prototype();
     let sim = presets::chick_toolchain_sim();
     let mut t = Table::new(
@@ -350,8 +351,8 @@ pub fn fig10() -> Table {
         ]);
     };
     // STREAM, single nodelet.
-    let stream1 = |cfg: &MachineConfig| {
-        run_stream_emu(
+    let stream1 = |cfg: &MachineConfig| -> Result<f64, SimError> {
+        Ok(run_stream_emu(
             cfg,
             &EmuStreamConfig {
                 total_elems: sized(1 << 15, 1 << 12),
@@ -360,14 +361,14 @@ pub fn fig10() -> Table {
                 single_nodelet: true,
                 ..Default::default()
             },
-        )
+        )?
         .bandwidth
-        .mb_per_sec()
+        .mb_per_sec())
     };
-    push("STREAM 1 nodelet", stream1(&hw), stream1(&sim), "MB/s");
+    push("STREAM 1 nodelet", stream1(&hw)?, stream1(&sim)?, "MB/s");
     // STREAM, eight nodelets.
-    let stream8 = |cfg: &MachineConfig| {
-        run_stream_emu(
+    let stream8 = |cfg: &MachineConfig| -> Result<f64, SimError> {
+        Ok(run_stream_emu(
             cfg,
             &EmuStreamConfig {
                 total_elems: sized(1 << 18, 1 << 13),
@@ -375,15 +376,15 @@ pub fn fig10() -> Table {
                 strategy: SpawnStrategy::RecursiveRemote,
                 ..Default::default()
             },
-        )
+        )?
         .bandwidth
-        .mb_per_sec()
+        .mb_per_sec())
     };
-    push("STREAM 8 nodelets", stream8(&hw), stream8(&sim), "MB/s");
+    push("STREAM 8 nodelets", stream8(&hw)?, stream8(&sim)?, "MB/s");
     // Pointer chase: migration-bound at block 1 (where hardware and
     // simulator diverge, as in the paper) and compute-bound at block 64
     // (where they agree, like STREAM).
-    let chase_at = |cfg: &MachineConfig, block: usize| {
+    let chase_at = |cfg: &MachineConfig, block: usize| -> Result<f64, SimError> {
         let cc = ChaseConfig {
             elems_per_list: sized_usize(2048, 512).max(block),
             nlists: 512,
@@ -391,18 +392,18 @@ pub fn fig10() -> Table {
             mode: ShuffleMode::FullBlock,
             seed: 1,
         };
-        chase::run_chase_emu(cfg, &cc).bandwidth.mb_per_sec()
+        Ok(chase::run_chase_emu(cfg, &cc)?.bandwidth.mb_per_sec())
     };
     push(
         "Pointer chase (block 1)",
-        chase_at(&hw, 1),
-        chase_at(&sim, 1),
+        chase_at(&hw, 1)?,
+        chase_at(&sim, 1)?,
         "MB/s",
     );
     push(
         "Pointer chase (block 64)",
-        chase_at(&hw, 64),
-        chase_at(&sim, 64),
+        chase_at(&hw, 64)?,
+        chase_at(&sim, 64)?,
         "MB/s",
     );
     // Ping-pong migration rate (the component that explains the gap).
@@ -416,7 +417,7 @@ pub fn fig10() -> Table {
             },
         )
     };
-    let (ph, ps) = (pp(&hw, 64), pp(&sim, 64));
+    let (ph, ps) = (pp(&hw, 64)?, pp(&sim, 64)?);
     push(
         "Ping-pong (M migrations/s)",
         ph.migrations_per_sec / 1e6,
@@ -424,18 +425,18 @@ pub fn fig10() -> Table {
         "M/s",
     );
     // Latency measured at light load (the paper's 1-2 us estimate).
-    let (lh, ls) = (pp(&hw, 8), pp(&sim, 8));
+    let (lh, ls) = (pp(&hw, 8)?, pp(&sim, 8)?);
     push(
         "Migration latency (us)",
         lh.mean_latency_ns / 1000.0,
         ls.mean_latency_ns / 1000.0,
         "us",
     );
-    t
+    Ok(t)
 }
 
 /// Fig 11: pointer chasing on the full-speed 64-nodelet system.
-pub fn fig11() -> Table {
+pub fn fig11() -> Result<Table, SimError> {
     chase_emu_sweep(
         &presets::emu64_full_speed(),
         "Fig 11: Pointer chasing, simulated 64-nodelet Emu at full speed",
@@ -447,12 +448,12 @@ pub fn fig11() -> Table {
 
 /// Headline numbers quoted in the paper's text (Section IV-A and
 /// conclusions), as one table.
-pub fn headline() -> Table {
+pub fn headline() -> Result<Table, SimError> {
     let mut t = Table::new(
         "Headline numbers (paper Section IV / conclusions)",
         &["quantity", "paper", "this reproduction"],
     );
-    let emu_peak = emu_peak_stream_mbs();
+    let emu_peak = emu_peak_stream_mbs()?;
     t.row(vec![
         "Emu Chick STREAM, 1 node".into(),
         "1.2 GB/s".into(),
@@ -467,7 +468,7 @@ pub fn headline() -> Table {
             strategy: SpawnStrategy::RecursiveRemote,
             ..Default::default()
         },
-    );
+    )?;
     t.row(vec![
         "Emu Chick STREAM, 8 nodes (initial test)".into(),
         "6.5 GB/s".into(),
@@ -482,14 +483,14 @@ pub fn headline() -> Table {
     // Chase utilization: median across the block-size sweep ("most
     // cases" in the paper's words).
     let median = |mut xs: Vec<f64>| -> f64 {
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs.sort_by(f64::total_cmp);
         xs[xs.len() / 2]
     };
     let emu_cfg = presets::chick_prototype();
-    let emu_med = median(
-        CHASE_BLOCKS
-            .iter()
-            .map(|&block| {
+    let emu_med = {
+        let mut bws = Vec::new();
+        for &block in &CHASE_BLOCKS {
+            bws.push(
                 chase::run_chase_emu(
                     &emu_cfg,
                     &ChaseConfig {
@@ -499,12 +500,13 @@ pub fn headline() -> Table {
                         mode: ShuffleMode::FullBlock,
                         seed: 1,
                     },
-                )
+                )?
                 .bandwidth
-                .mb_per_sec()
-            })
-            .collect(),
-    );
+                .mb_per_sec(),
+            );
+        }
+        median(bws)
+    };
     t.row(vec![
         "Emu chase utilization (median over blocks)".into(),
         "~80 %".into(),
@@ -519,7 +521,7 @@ pub fn headline() -> Table {
             mode: ShuffleMode::FullBlock,
             seed: 1,
         },
-    );
+    )?;
     t.row(vec![
         "Emu chase utilization (worst, block=1)".into(),
         "~50 %".into(),
@@ -561,7 +563,7 @@ pub fn headline() -> Table {
             round_trips: sized(2000, 200) as u32,
             ..Default::default()
         },
-    );
+    )?;
     let pp_sim = run_pingpong(
         &presets::chick_toolchain_sim(),
         &PingPongConfig {
@@ -569,7 +571,7 @@ pub fn headline() -> Table {
             round_trips: sized(2000, 200) as u32,
             ..Default::default()
         },
-    );
+    )?;
     t.row(vec![
         "Ping-pong, hardware".into(),
         "9 M migrations/s".into(),
@@ -587,13 +589,13 @@ pub fn headline() -> Table {
             round_trips: sized(2000, 200) as u32,
             ..Default::default()
         },
-    );
+    )?;
     t.row(vec![
         "Single-migration latency".into(),
         "1-2 us".into(),
         format!("{:.2} us", pp_light.mean_latency_ns / 1000.0),
     ]);
-    t
+    Ok(t)
 }
 
 #[cfg(test)]

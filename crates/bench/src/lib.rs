@@ -12,8 +12,10 @@
 
 pub mod ablations;
 pub mod cli;
+pub mod degradation;
 pub mod extensions;
 pub mod figures;
+pub mod harness;
 pub mod output;
 pub mod runcfg;
 pub mod validate;

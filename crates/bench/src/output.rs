@@ -81,6 +81,20 @@ impl Table {
     }
 }
 
+/// Emit a fallible table, printing the error and exiting nonzero when
+/// the simulation failed — the figure binaries are thin wrappers over
+/// this, so a faulted machine config degrades to a clean error message
+/// instead of a panic.
+pub fn emit_result(name: &str, table: Result<Table, emu_core::fault::SimError>) {
+    match table {
+        Ok(t) => t.emit(name),
+        Err(e) => {
+            eprintln!("[{name}] simulation failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// The directory figure CSVs are written to: `$EMU_RESULTS_DIR` or
 /// `results/` in the working directory.
 pub fn results_dir() -> PathBuf {
@@ -131,7 +145,10 @@ mod tests {
 
     #[test]
     fn csv_round_trip() {
-        std::env::set_var("EMU_RESULTS_DIR", std::env::temp_dir().join("emu_test_results"));
+        std::env::set_var(
+            "EMU_RESULTS_DIR",
+            std::env::temp_dir().join("emu_test_results"),
+        );
         let mut t = Table::new("demo", &["x", "y"]);
         t.row(vec!["1".into(), "2.5".into()]);
         let p = t.write_csv("unit_test_demo").unwrap();

@@ -5,7 +5,9 @@
 
 /// Whether quick mode is on.
 pub fn quick() -> bool {
-    std::env::var("EMU_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("EMU_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Scale a nominal size down in quick mode (never below `min`).

@@ -1,28 +1,123 @@
 //! Deterministic randomness helpers.
 //!
 //! Every stochastic choice in the workspace (list shuffles, matrix
-//! sampling) flows through a seeded generator so that a given
-//! configuration always produces the same simulation, byte for byte.
-
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+//! sampling, fault draws) flows through a seeded generator so that a
+//! given configuration always produces the same simulation, byte for
+//! byte. The generator is self-contained — SplitMix64 seeding feeding a
+//! xoshiro256** core — so the workspace builds with no external crates.
 
 /// The workspace-wide default seed. Experiments that need independent
 /// trials derive per-trial seeds with [`trial_seed`].
 pub const DEFAULT_SEED: u64 = 0x00E5_11C4_0C1C_2018;
 
+/// One SplitMix64 step: advances `state` and returns the next output.
+///
+/// Also usable as a stateless mixer: feed it a counter and take the
+/// output without keeping the advanced state.
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator seeded via SplitMix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    s: [u64; 4],
+}
+
+impl Rng64 {
+    /// Build a generator from a 64-bit seed (SplitMix64 state fill).
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // xoshiro's state must not be all zero; splitmix cannot produce
+        // four zero outputs in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Rng64 { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Uniform `f64` in `[0, 1)` (53 mantissa bits).
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift.
+    pub fn gen_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "gen_below bound must be positive");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform sample from a half-open range; see [`UniformRange`] for
+    /// the supported scalar types.
+    pub fn gen_range<T: UniformRange>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_below(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Scalar types [`Rng64::gen_range`] can sample uniformly.
+pub trait UniformRange: Copy {
+    /// Draw a uniform sample from `[lo, hi)`.
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for $t {
+            fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty range");
+                lo + rng.gen_below((hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u32, u64, usize);
+
+impl UniformRange for f64 {
+    fn sample(rng: &mut Rng64, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range");
+        lo + rng.gen_f64() * (hi - lo)
+    }
+}
+
 /// A deterministic RNG from an explicit seed.
-pub fn rng_from_seed(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng_from_seed(seed: u64) -> Rng64 {
+    Rng64::new(seed)
 }
 
 /// Derive the seed for trial `trial` of an experiment from a base seed.
 ///
 /// Uses SplitMix64 so adjacent trial indices yield well-separated streams.
 pub fn trial_seed(base: u64, trial: u64) -> u64 {
-    let mut z = base
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -30,8 +125,7 @@ pub fn trial_seed(base: u64, trial: u64) -> u64 {
 
 /// Fisher–Yates shuffle of `xs` with a seeded generator.
 pub fn shuffle_seeded<T>(xs: &mut [T], seed: u64) {
-    let mut rng = rng_from_seed(seed);
-    xs.shuffle(&mut rng);
+    rng_from_seed(seed).shuffle(xs);
 }
 
 /// A random permutation of `0..n`.
@@ -45,7 +139,7 @@ pub fn permutation(n: usize, seed: u64) -> Vec<u32> {
 /// `n` uniform samples from `[0, bound)`.
 pub fn uniform_indices(n: usize, bound: u64, seed: u64) -> Vec<u64> {
     let mut rng = rng_from_seed(seed);
-    (0..n).map(|_| rng.gen_range(0..bound)).collect()
+    (0..n).map(|_| rng.gen_below(bound)).collect()
 }
 
 #[cfg(test)]
@@ -87,5 +181,33 @@ mod tests {
         // All residues show up for a healthy generator.
         let distinct: std::collections::HashSet<u64> = xs.into_iter().collect();
         assert_eq!(distinct.len(), 37);
+    }
+
+    #[test]
+    fn f64_samples_in_unit_interval() {
+        let mut rng = Rng64::new(11);
+        for _ in 0..10_000 {
+            let x = rng.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Rng64::new(3);
+        for _ in 0..1000 {
+            let a = rng.gen_range(5u32..17);
+            assert!((5..17).contains(&a));
+            let b = rng.gen_range(-2.0f64..2.0);
+            assert!((-2.0..2.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn gen_f64_mean_is_centered() {
+        let mut rng = Rng64::new(99);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
     }
 }

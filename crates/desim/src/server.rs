@@ -214,8 +214,7 @@ impl Link {
     pub fn new(bytes_per_sec: u64, latency: Time) -> Self {
         assert!(bytes_per_sec > 0, "zero-bandwidth link");
         // ps/byte = 1e12 / B/s, kept in 48.16 fixed point.
-        let ps_per_byte_fp =
-            ((crate::time::PS_PER_S as u128) << FP_SHIFT) / bytes_per_sec as u128;
+        let ps_per_byte_fp = ((crate::time::PS_PER_S as u128) << FP_SHIFT) / bytes_per_sec as u128;
         Link {
             server: FifoServer::new(),
             ps_per_byte_fp: ps_per_byte_fp as u64,

@@ -184,7 +184,11 @@ impl LogHistogram {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                let upper = if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
                 return Time::from_ps(upper);
             }
         }
@@ -288,10 +292,16 @@ mod tests {
         // Median (rank 4 of 8) is the 100 ns sample; the bucket upper bound
         // containing it is 2^17-1 ps ≈ 131 ns.
         let med = h.quantile(0.5);
-        assert!(med >= Time::from_ns(100) && med <= Time::from_ns(200), "{med}");
+        assert!(
+            med >= Time::from_ns(100) && med <= Time::from_ns(200),
+            "{med}"
+        );
         // p90 (rank 8 -> wait, rank ceil(0.9*8)=8) covers the max; p0.75 the 1000 ns runs.
         let p75 = h.quantile(0.75);
-        assert!(p75 >= Time::from_ns(1000) && p75 <= Time::from_ns(2100), "{p75}");
+        assert!(
+            p75 >= Time::from_ns(1000) && p75 <= Time::from_ns(2100),
+            "{p75}"
+        );
         // p100 covers the max sample.
         assert!(h.quantile(1.0) >= Time::from_ns(10_000));
         assert_eq!(LogHistogram::new().quantile(0.5), Time::ZERO);

@@ -67,9 +67,7 @@ impl Timeline {
     /// parallel servers.
     pub fn utilization(&self, b: usize, capacity: u32) -> f64 {
         match self.busy.get(b) {
-            Some(&t) => {
-                t.ps() as f64 / (self.bucket.ps() as f64 * capacity.max(1) as f64)
-            }
+            Some(&t) => t.ps() as f64 / (self.bucket.ps() as f64 * capacity.max(1) as f64),
             None => 0.0,
         }
     }
@@ -84,7 +82,10 @@ impl Timeline {
     /// A compact ASCII sparkline of the utilization profile (8 levels),
     /// resampled to at most `width` characters.
     pub fn sparkline(&self, capacity: u32, width: usize) -> String {
-        const LEVELS: [char; 9] = [' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+        const LEVELS: [char; 9] = [
+            ' ', '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}',
+            '\u{2587}', '\u{2588}',
+        ];
         let profile = self.profile(capacity);
         if profile.is_empty() || width == 0 {
             return String::new();

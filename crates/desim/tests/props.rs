@@ -1,83 +1,100 @@
-//! Property-based tests of the simulation kernel's invariants.
+//! Randomized (seeded, deterministic) tests of the simulation kernel's
+//! invariants. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
+use desim::rng::{rng_from_seed, Rng64};
 use desim::server::{FifoServer, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
 use desim::EventQueue;
-use proptest::prelude::*;
 
-proptest! {
-    /// FIFO server: with sorted arrivals, completions are nondecreasing,
-    /// service intervals never overlap, and busy time is conserved.
-    #[test]
-    fn fifo_server_conservation(
-        reqs in prop::collection::vec((0u64..10_000, 1u64..500), 1..200)
-    ) {
-        let mut arrivals: Vec<(u64, u64)> = reqs;
-        arrivals.sort_unstable();
+const CASES: u64 = 64;
+
+fn arrivals(rng: &mut Rng64, max_at: u64, max_dur: u64, max_len: usize) -> Vec<(u64, u64)> {
+    let len = rng.gen_range(1..max_len);
+    let mut v: Vec<(u64, u64)> = (0..len)
+        .map(|_| (rng.gen_range(0..max_at), rng.gen_range(1..max_dur)))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+/// FIFO server: with sorted arrivals, completions are nondecreasing,
+/// service intervals never overlap, and busy time is conserved.
+#[test]
+fn fifo_server_conservation() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xF1F0 + case);
+        let reqs = arrivals(&mut rng, 10_000, 500, 200);
         let mut s = FifoServer::new();
         let mut last_done = Time::ZERO;
         let mut total_service = Time::ZERO;
-        for &(at, dur) in &arrivals {
+        for &(at, dur) in &reqs {
             let g = s.offer(Time::from_ns(at), Time::from_ns(dur));
             // Service starts no earlier than arrival and no earlier than
             // the previous completion.
-            prop_assert!(g.start >= Time::from_ns(at));
-            prop_assert!(g.start >= last_done);
-            prop_assert_eq!(g.done, g.start + Time::from_ns(dur));
+            assert!(g.start >= Time::from_ns(at));
+            assert!(g.start >= last_done);
+            assert_eq!(g.done, g.start + Time::from_ns(dur));
             last_done = g.done;
             total_service += Time::from_ns(dur);
         }
-        prop_assert_eq!(s.busy_time(), total_service);
-        prop_assert_eq!(s.served(), arrivals.len() as u64);
+        assert_eq!(s.busy_time(), total_service);
+        assert_eq!(s.served(), reqs.len() as u64);
     }
+}
 
-    /// Multi-server: total busy is conserved and the k-server bound holds
-    /// (aggregate utilization at most 1.0).
-    #[test]
-    fn multiserver_conservation(
-        k in 1usize..8,
-        reqs in prop::collection::vec((0u64..5_000, 1u64..300), 1..100)
-    ) {
-        let mut arrivals: Vec<(u64, u64)> = reqs;
-        arrivals.sort_unstable();
+/// Multi-server: total busy is conserved and the k-server bound holds
+/// (aggregate utilization at most 1.0).
+#[test]
+fn multiserver_conservation() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x3A11 + case);
+        let k = rng.gen_range(1..8usize);
+        let reqs = arrivals(&mut rng, 5_000, 300, 100);
         let mut m = MultiServer::new(k);
         let mut total_service = Time::ZERO;
         let mut makespan = Time::ZERO;
-        for &(at, dur) in &arrivals {
+        for &(at, dur) in &reqs {
             let g = m.offer(Time::from_ns(at), Time::from_ns(dur));
-            prop_assert!(g.start >= Time::from_ns(at));
+            assert!(g.start >= Time::from_ns(at));
             total_service += Time::from_ns(dur);
             makespan = makespan.max(g.done);
         }
-        prop_assert_eq!(m.busy_time(), total_service);
+        assert_eq!(m.busy_time(), total_service);
         let util = m.utilization(makespan);
-        prop_assert!(util <= 1.0 + 1e-9, "utilization {util}");
+        assert!(util <= 1.0 + 1e-9, "utilization {util}");
     }
+}
 
-    /// Event queue pops in (time, insertion) order for arbitrary input.
-    #[test]
-    fn event_queue_total_order(times in prop::collection::vec(0u64..1_000, 1..300)) {
+/// Event queue pops in (time, insertion) order for arbitrary input.
+#[test]
+fn event_queue_total_order() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x0EDE + case);
+        let len = rng.gen_range(1..300usize);
         let mut q = EventQueue::new();
-        for (i, &t) in times.iter().enumerate() {
-            q.schedule(Time::from_ns(t), i);
+        for i in 0..len {
+            q.schedule(Time::from_ns(rng.gen_range(0..1_000u64)), i);
         }
         let mut last: Option<(Time, usize)> = None;
         while let Some((t, i)) = q.pop() {
             if let Some((lt, li)) = last {
-                prop_assert!(t > lt || (t == lt && i > li), "order violated");
+                assert!(t > lt || (t == lt && i > li), "order violated");
             }
             last = Some((t, i));
         }
     }
+}
 
-    /// Merging summaries in any split equals the single-stream summary.
-    #[test]
-    fn summary_merge_split_invariant(
-        xs in prop::collection::vec(-1e6f64..1e6, 2..200),
-        cut in 0usize..200
-    ) {
-        let cut = cut.min(xs.len());
+/// Merging summaries in any split equals the single-stream summary.
+#[test]
+fn summary_merge_split_invariant() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x5123 + case);
+        let len = rng.gen_range(2..200usize);
+        let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let cut = rng.gen_range(0..len + 1);
         let mut whole = Summary::new();
         xs.iter().for_each(|&x| whole.record(x));
         let mut a = Summary::new();
@@ -85,15 +102,20 @@ proptest! {
         xs[..cut].iter().for_each(|&x| a.record(x));
         xs[cut..].iter().for_each(|&x| b.record(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
-        prop_assert_eq!(a.min(), whole.min());
-        prop_assert_eq!(a.max(), whole.max());
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
     }
+}
 
-    /// Histogram quantiles are monotone in q and bracket min/max.
-    #[test]
-    fn histogram_quantiles_monotone(samples in prop::collection::vec(1u64..1_000_000, 1..200)) {
+/// Histogram quantiles are monotone in q and bracket min/max.
+#[test]
+fn histogram_quantiles_monotone() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x4157 + case);
+        let len = rng.gen_range(1..200usize);
+        let samples: Vec<u64> = (0..len).map(|_| rng.gen_range(1..1_000_000u64)).collect();
         let mut h = LogHistogram::new();
         for &s in &samples {
             h.record(Time::from_ps(s));
@@ -101,31 +123,37 @@ proptest! {
         let q25 = h.quantile(0.25);
         let q50 = h.quantile(0.5);
         let q99 = h.quantile(0.99);
-        prop_assert!(q25 <= q50 && q50 <= q99);
+        assert!(q25 <= q50 && q50 <= q99);
         let max = *samples.iter().max().unwrap();
         // The top quantile's bucket upper bound is at least the max sample.
-        prop_assert!(h.quantile(1.0) >= Time::from_ps(max));
+        assert!(h.quantile(1.0) >= Time::from_ps(max));
     }
+}
 
-    /// Link: completion is monotone in arrival for equal sizes, and the
-    /// transfer time scales linearly with bytes.
-    #[test]
-    fn link_monotone_and_linear(
-        bw in 1_000_000u64..100_000_000_000,
-        sizes in prop::collection::vec(1u64..100_000, 1..50)
-    ) {
+/// Link: completion is monotone in arrival for equal sizes, and the
+/// transfer time scales linearly with bytes.
+#[test]
+fn link_monotone_and_linear() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x117C + case);
+        let bw = rng.gen_range(1_000_000..100_000_000_000u64);
+        let nsizes = rng.gen_range(1..50usize);
         let mut l = Link::new(bw, Time::from_ns(10));
         let mut last = Time::ZERO;
         let mut at = Time::ZERO;
-        for &s in &sizes {
+        for _ in 0..nsizes {
+            let s = rng.gen_range(1..100_000u64);
             let done = l.send(at, s);
-            prop_assert!(done >= last, "completion must be monotone");
+            assert!(done >= last, "completion must be monotone");
             last = done;
             at += Time::from_ns(1);
         }
         // Linearity of occupancy within fixed-point resolution.
         let one = l.occupancy(1000).ps() as i128;
         let ten = l.occupancy(10_000).ps() as i128;
-        prop_assert!((ten - 10 * one).abs() <= 10, "occupancy not linear: {one} vs {ten}");
+        assert!(
+            (ten - 10 * one).abs() <= 10,
+            "occupancy not linear: {one} vs {ten}"
+        );
     }
 }

@@ -88,7 +88,10 @@ impl ArrayHandle {
         match &self.layout {
             Layout::Local(n) => *n,
             Layout::Striped { nodelets } => NodeletId((i % *nodelets as u64) as u32),
-            Layout::Blocked { owners, block_elems } => {
+            Layout::Blocked {
+                owners,
+                block_elems,
+            } => {
                 let b = (i / block_elems) as usize;
                 owners[b.min(owners.len() - 1)]
             }
@@ -202,7 +205,10 @@ impl MemSpace {
         ArrayHandle {
             elem_bytes,
             len,
-            layout: Layout::Blocked { owners, block_elems },
+            layout: Layout::Blocked {
+                owners,
+                block_elems,
+            },
             base,
         }
     }

@@ -6,6 +6,7 @@
 //! prototype, the Emu toolchain simulator's idealized machine, and the
 //! projected full-speed systems (see [`crate::presets`]).
 
+use crate::fault::FaultPlan;
 use desim::time::{Clock, Time};
 
 /// Structural and timing description of an Emu system.
@@ -48,6 +49,9 @@ pub struct MachineConfig {
     pub context_bytes: u32,
     /// Timing cost model for instruction issue.
     pub costs: CostModel,
+    /// Fault-injection plan. [`FaultPlan::none`] (the default) leaves the
+    /// machine pristine and the engine's timing bit-for-bit unchanged.
+    pub faults: FaultPlan,
 }
 
 /// Instruction-level timing of the Gossamer cores.
@@ -120,8 +124,8 @@ impl MachineConfig {
         let burst = self.dram_burst_bytes.max(1);
         let rounded = bytes.div_ceil(burst) * burst;
         // ps = bytes * 1e12 / B/s, computed in u128 to avoid overflow.
-        let ps = rounded as u128 * desim::time::PS_PER_S as u128
-            / self.ncdram_bytes_per_sec as u128;
+        let ps =
+            rounded as u128 * desim::time::PS_PER_S as u128 / self.ncdram_bytes_per_sec as u128;
         Time::from_ps(ps as u64)
     }
 
@@ -176,6 +180,7 @@ impl MachineConfig {
         if self.context_bytes == 0 {
             return Err("context_bytes must be > 0".into());
         }
+        self.faults.validate(self.total_nodelets())?;
         Ok(())
     }
 }

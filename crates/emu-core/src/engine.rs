@@ -25,12 +25,13 @@
 //! All state changes happen inside event handlers, so resources see
 //! arrivals in nondecreasing time order and FIFO semantics hold.
 
-use crate::addr::NodeletId;
+use crate::addr::{GlobalAddr, NodeletId};
 use crate::config::MachineConfig;
+use crate::fault::{self, SimError};
 use crate::kernel::{Kernel, KernelCtx, Op, Placement, ThreadId};
 use crate::metrics::{NodeletCounters, NodeletOccupancy, RunReport};
 use desim::queue::EventQueue;
-use desim::server::{FifoServer, Link, MultiServer};
+use desim::server::{FifoServer, Grant, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
 use desim::timeline::Timeline;
@@ -70,6 +71,10 @@ struct Thread {
     in_flight_migration: bool,
     mig_issue_at: Time,
     migrations: u64,
+    /// Consecutive NACKs of the currently outstanding migration.
+    mig_attempts: u32,
+    /// Consecutive drops of the currently outstanding link packet.
+    link_attempts: u32,
     done: bool,
     /// When the currently outstanding operation began.
     op_started: Time,
@@ -144,6 +149,15 @@ pub struct Engine {
     live: u64,
     trace: Option<Trace>,
     breakdown: TimeBreakdown,
+    /// Nearest-live-nodelet map for dead-nodelet redirection (identity
+    /// when the fault plan marks nothing dead).
+    redirect: Vec<u32>,
+    /// Monotone counter feeding deterministic fault draws.
+    fault_draws: u64,
+    /// Events processed so far (watchdog wall-event cap).
+    events: u64,
+    /// First fatal error raised by a handler; stops the run.
+    error: Option<SimError>,
 }
 
 /// Optional per-nodelet occupancy timelines (enabled via
@@ -171,12 +185,13 @@ pub struct RunTimelines {
 impl Engine {
     /// Build an engine over `cfg`.
     ///
-    /// # Panics
-    /// Panics if the configuration fails [`MachineConfig::validate`].
-    pub fn new(cfg: MachineConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid MachineConfig: {e}");
-        }
+    /// # Errors
+    /// [`SimError::InvalidConfig`] if the configuration fails
+    /// [`MachineConfig::validate`]; [`SimError::AllNodeletsDead`] if the
+    /// fault plan leaves no live nodelet.
+    pub fn new(cfg: MachineConfig) -> Result<Self, SimError> {
+        cfg.validate().map_err(SimError::InvalidConfig)?;
+        let redirect = fault::redirect_map(&cfg.faults, cfg.total_nodelets())?;
         let n = cfg.total_nodelets() as usize;
         let nodelets = (0..n)
             .map(|_| Nodelet {
@@ -191,7 +206,7 @@ impl Engine {
         let links = (0..cfg.nodes)
             .map(|_| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO))
             .collect();
-        Engine {
+        Ok(Engine {
             cfg,
             q: EventQueue::new(),
             threads: Vec::new(),
@@ -201,7 +216,65 @@ impl Engine {
             live: 0,
             trace: None,
             breakdown: TimeBreakdown::default(),
+            redirect,
+            fault_draws: 0,
+            events: 0,
+            error: None,
+        })
+    }
+
+    /// Record a fatal error; the event loop stops at the next pop.
+    fn fail(&mut self, e: SimError) {
+        if self.error.is_none() {
+            self.error = Some(e);
         }
+    }
+
+    /// Next deterministic fault draw in `[0, 1)`.
+    #[inline]
+    fn fdraw(&mut self) -> f64 {
+        let n = self.fault_draws;
+        self.fault_draws += 1;
+        fault::unit_draw(self.cfg.faults.seed, n)
+    }
+
+    /// Scale a service time by the nodelet's slowdown factor (exact
+    /// identity at the nominal factor of 1.0).
+    #[inline]
+    fn scaled(&self, nodelet: usize, t: Time) -> Time {
+        let f = self.cfg.faults.slow_factor(nodelet);
+        if f == 1.0 {
+            t
+        } else {
+            Time::from_ps((t.ps() as f64 * f).round() as u64)
+        }
+    }
+
+    /// Where traffic aimed at `n` actually lands (dead-nodelet redirect);
+    /// counts a redirect on the absorbing nodelet when it moves.
+    fn redirected(&mut self, n: NodeletId) -> NodeletId {
+        let to = NodeletId(self.redirect[n.idx()]);
+        if to != n {
+            self.nodelets[to.idx()].counters.redirects += 1;
+        }
+        to
+    }
+
+    /// Remap an address owned by a dead nodelet to its live stand-in.
+    fn remap_addr(&mut self, addr: GlobalAddr) -> GlobalAddr {
+        if self.redirect[addr.nodelet.idx()] == addr.nodelet.0 {
+            addr
+        } else {
+            GlobalAddr::new(self.redirected(addr.nodelet), addr.offset)
+        }
+    }
+
+    /// Offer scaled service to a nodelet's cores, tracing the grant.
+    fn core_offer(&mut self, nodelet: usize, now: Time, service: Time) -> Grant {
+        let service = self.scaled(nodelet, service);
+        let grant = self.nodelets[nodelet].cores.offer(now, service);
+        self.trace_core(nodelet, grant);
+        grant
     }
 
     /// Record per-nodelet occupancy timelines with buckets of `bucket`
@@ -242,16 +315,27 @@ impl Engine {
     }
 
     /// Create an initial threadlet on `nodelet` at time zero. May be
-    /// called multiple times before [`Engine::run`].
-    pub fn spawn_at(&mut self, nodelet: NodeletId, kernel: Box<dyn Kernel>) -> ThreadId {
-        assert!(
-            nodelet.0 < self.cfg.total_nodelets(),
-            "spawn target {nodelet:?} outside machine"
-        );
+    /// called multiple times before [`Engine::run`]. A spawn aimed at a
+    /// dead nodelet lands on its nearest live stand-in.
+    ///
+    /// # Errors
+    /// [`SimError::SpawnOutOfRange`] if `nodelet` is outside the machine.
+    pub fn spawn_at(
+        &mut self,
+        nodelet: NodeletId,
+        kernel: Box<dyn Kernel>,
+    ) -> Result<ThreadId, SimError> {
+        if nodelet.0 >= self.cfg.total_nodelets() {
+            return Err(SimError::SpawnOutOfRange {
+                nodelet,
+                total: self.cfg.total_nodelets(),
+            });
+        }
+        let nodelet = self.redirected(nodelet);
         let tid = self.alloc_thread(kernel, nodelet, nodelet);
         self.nodelets[nodelet.idx()].counters.spawns += 1;
         self.q.schedule(Time::ZERO, Event::Arrive(tid));
-        tid
+        Ok(tid)
     }
 
     fn alloc_thread(
@@ -270,6 +354,8 @@ impl Engine {
             in_flight_migration: false,
             mig_issue_at: Time::ZERO,
             migrations: 0,
+            mig_attempts: 0,
+            link_attempts: 0,
             done: false,
             op_started: Time::ZERO,
             op_kind: OpKind::None,
@@ -280,12 +366,25 @@ impl Engine {
 
     /// Run until every threadlet has quit; returns the measurement report.
     ///
-    /// # Panics
-    /// Panics if the event queue drains while threads are still alive
-    /// (an engine bug — threads can only be waiting on events or slots,
-    /// and slots always free when holders finish).
-    pub fn run(mut self) -> RunReport {
+    /// # Errors
+    /// A watchdog converts every no-progress condition into a structured
+    /// error instead of hanging or panicking:
+    /// [`SimError::Stalled`] if the event queue drains while threads are
+    /// still alive (a deadlock), [`SimError::EventCapExceeded`] if the
+    /// fault plan's wall-event cap trips (a livelock),
+    /// [`SimError::RetryBudgetExhausted`] if injected NACKs/drops outlast
+    /// their retry budget, and [`SimError::MissingKernel`] on engine-state
+    /// corruption.
+    pub fn run(mut self) -> Result<RunReport, SimError> {
+        let cap = match self.cfg.faults.max_events {
+            0 => u64::MAX,
+            n => n,
+        };
         while let Some((now, ev)) = self.q.pop() {
+            self.events += 1;
+            if self.events > cap {
+                return Err(SimError::EventCapExceeded { cap });
+            }
             match ev {
                 Event::Arrive(tid) => self.on_arrive(tid, now),
                 Event::Ready(tid) => self.on_ready(tid, now),
@@ -300,13 +399,17 @@ impl Engine {
                 Event::LinkSend(tid) => self.on_link_send(tid, now),
                 Event::SlotRelease(nodelet) => self.on_slot_release(nodelet, now),
             }
+            if let Some(e) = self.error.take() {
+                return Err(e);
+            }
         }
-        assert_eq!(
-            self.live, 0,
-            "event queue drained with {} threads still alive",
-            self.live
-        );
-        self.into_report()
+        if self.live != 0 {
+            return Err(SimError::Stalled {
+                live: self.live,
+                at: self.q.now(),
+            });
+        }
+        Ok(self.into_report())
     }
 
     fn on_arrive(&mut self, tid: ThreadId, now: Time) {
@@ -349,11 +452,13 @@ impl Engine {
                     home: t.home,
                     now,
                 };
-                self.threads[tid.idx()]
-                    .kernel
-                    .as_mut()
-                    .expect("ready thread has a kernel")
-                    .step(&ctx)
+                match self.threads[tid.idx()].kernel.as_mut() {
+                    Some(kernel) => kernel.step(&ctx),
+                    None => {
+                        self.fail(SimError::MissingKernel { thread: tid });
+                        return;
+                    }
+                }
             }
         };
         self.execute(tid, op, now);
@@ -384,6 +489,53 @@ impl Engine {
     fn execute(&mut self, tid: ThreadId, op: Op, now: Time) {
         let loc = self.threads[tid.idx()].loc;
         let costs = self.cfg.costs.clone();
+        let target = match &op {
+            Op::Load { addr, .. } | Op::Store { addr, .. } | Op::AtomicAdd { addr, .. } => {
+                Some(addr.nodelet)
+            }
+            Op::MigrateTo { nodelet } => Some(*nodelet),
+            Op::Spawn {
+                place: Placement::On(t),
+                ..
+            } => Some(*t),
+            _ => None,
+        };
+        if let Some(t) = target {
+            if t.0 >= self.cfg.total_nodelets() {
+                self.fail(SimError::TargetOutOfRange {
+                    nodelet: t,
+                    total: self.cfg.total_nodelets(),
+                });
+                return;
+            }
+        }
+        // Memory and migration targets on dead nodelets are served by
+        // their live stand-ins (see [`crate::fault::FaultPlan::dead`]).
+        let op = match op {
+            Op::Load { addr, bytes } => Op::Load {
+                addr: self.remap_addr(addr),
+                bytes,
+            },
+            Op::Store { addr, bytes } => Op::Store {
+                addr: self.remap_addr(addr),
+                bytes,
+            },
+            Op::AtomicAdd { addr, bytes } => Op::AtomicAdd {
+                addr: self.remap_addr(addr),
+                bytes,
+            },
+            Op::MigrateTo { nodelet } => Op::MigrateTo {
+                nodelet: self.redirected(nodelet),
+            },
+            Op::Spawn { kernel, place } => Op::Spawn {
+                kernel,
+                place: match place {
+                    Placement::Here => Placement::Here,
+                    Placement::On(t) => Placement::On(self.redirected(t)),
+                },
+            },
+            other => other,
+        };
         match &op {
             Op::Compute { .. } => self.begin(tid, OpKind::Compute, now),
             Op::Load { addr, .. } => {
@@ -402,8 +554,7 @@ impl Engine {
         match op {
             Op::Compute { cycles } => {
                 let occ = self.cfg.cycles(cycles);
-                let grant = self.nodelets[loc.idx()].cores.offer(now, occ);
-                self.trace_core(loc.idx(), grant);
+                let grant = self.core_offer(loc.idx(), now, occ);
                 let extra = self
                     .cfg
                     .cycles(cycles.saturating_mul(costs.compute_latency_factor.saturating_sub(1)));
@@ -411,10 +562,8 @@ impl Engine {
             }
             Op::Load { addr, bytes } => {
                 if addr.is_local_to(loc) {
-                    let grant = self.nodelets[loc.idx()]
-                        .cores
-                        .offer(now, self.cfg.cycles(costs.mem_issue_cycles));
-                    self.trace_core(loc.idx(), grant);
+                    let grant =
+                        self.core_offer(loc.idx(), now, self.cfg.cycles(costs.mem_issue_cycles));
                     let at_channel = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
                     self.q.schedule(at_channel, Event::ChannelRead(tid, bytes));
                 } else {
@@ -423,10 +572,8 @@ impl Engine {
             }
             Op::Store { addr, bytes } | Op::AtomicAdd { addr, bytes } => {
                 let atomic = matches!(op, Op::AtomicAdd { .. });
-                let grant = self.nodelets[loc.idx()]
-                    .cores
-                    .offer(now, self.cfg.cycles(costs.mem_issue_cycles));
-                self.trace_core(loc.idx(), grant);
+                let grant =
+                    self.core_offer(loc.idx(), now, self.cfg.cycles(costs.mem_issue_cycles));
                 let pipelined = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
                 let (arrive, remote) = if addr.is_local_to(loc) {
                     (pipelined, false)
@@ -451,20 +598,19 @@ impl Engine {
             Op::MigrateTo { nodelet } => {
                 if nodelet == loc {
                     // Degenerate self-migration: costs one issue.
-                    let grant = self.nodelets[loc.idx()]
-                        .cores
-                        .offer(now, self.cfg.cycles(costs.migrate_issue_cycles));
-                    self.trace_core(loc.idx(), grant);
+                    let grant = self.core_offer(
+                        loc.idx(),
+                        now,
+                        self.cfg.cycles(costs.migrate_issue_cycles),
+                    );
                     self.q.schedule(grant.done, Event::Ready(tid));
                 } else {
                     self.start_migration(tid, nodelet, None, now);
                 }
             }
             Op::Spawn { kernel, place } => {
-                let grant = self.nodelets[loc.idx()]
-                    .cores
-                    .offer(now, self.cfg.cycles(costs.spawn_issue_cycles));
-                self.trace_core(loc.idx(), grant);
+                let grant =
+                    self.core_offer(loc.idx(), now, self.cfg.cycles(costs.spawn_issue_cycles));
                 match place {
                     Placement::Here => {
                         let child = self.alloc_thread(kernel, loc, loc);
@@ -481,10 +627,6 @@ impl Engine {
                             .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
                     }
                     Placement::On(target) => {
-                        assert!(
-                            target.0 < self.cfg.total_nodelets(),
-                            "remote spawn target {target:?} outside machine"
-                        );
                         // A remote spawn ships the newborn context through
                         // the local migration engine, exactly like a
                         // migration; the child's home (stack) is the target.
@@ -517,10 +659,11 @@ impl Engine {
     fn start_migration(&mut self, tid: ThreadId, dest: NodeletId, resume: Option<Op>, now: Time) {
         let loc = self.threads[tid.idx()].loc;
         debug_assert_ne!(loc, dest, "migration to current nodelet");
-        let grant = self.nodelets[loc.idx()]
-            .cores
-            .offer(now, self.cfg.cycles(self.cfg.costs.migrate_issue_cycles));
-        self.trace_core(loc.idx(), grant);
+        let grant = self.core_offer(
+            loc.idx(),
+            now,
+            self.cfg.cycles(self.cfg.costs.migrate_issue_cycles),
+        );
         let t = &mut self.threads[tid.idx()];
         t.resume = resume;
         t.dest = dest;
@@ -537,7 +680,35 @@ impl Engine {
     fn on_migrate_out(&mut self, tid: ThreadId, now: Time) {
         let loc = self.threads[tid.idx()].loc;
         let dest = self.threads[tid.idx()].dest;
-        let service = self.cfg.migration_service();
+        let faults = &self.cfg.faults;
+        if faults.mig_nack_prob > 0.0 {
+            let (prob, backoff, budget) = (
+                faults.mig_nack_prob,
+                faults.mig_backoff,
+                faults.mig_retry_budget,
+            );
+            if self.fdraw() < prob {
+                // The engine refuses the context: back off exponentially
+                // (capped at 64x) and retry, up to the budget.
+                self.nodelets[loc.idx()].counters.mig_nacks += 1;
+                let attempts = self.threads[tid.idx()].mig_attempts;
+                if attempts >= budget {
+                    self.fail(SimError::RetryBudgetExhausted {
+                        thread: tid,
+                        nodelet: loc,
+                        retries: attempts,
+                    });
+                    return;
+                }
+                self.threads[tid.idx()].mig_attempts = attempts + 1;
+                self.nodelets[loc.idx()].counters.mig_retries += 1;
+                let delay = backoff * (1u64 << attempts.min(6));
+                self.q.schedule(now + delay, Event::MigrateOut(tid));
+                return;
+            }
+        }
+        self.threads[tid.idx()].mig_attempts = 0;
+        let service = self.scaled(loc.idx(), self.cfg.migration_service());
         let grant = self.nodelets[loc.idx()].mig_engine.offer(now, service);
         self.trace_migration(loc.idx(), grant);
         if loc.same_node(dest, self.cfg.nodelets_per_node) {
@@ -555,6 +726,29 @@ impl Engine {
         let loc = self.threads[tid.idx()].loc;
         let dest = self.threads[tid.idx()].dest;
         let node = loc.node(self.cfg.nodelets_per_node) as usize;
+        let faults = &self.cfg.faults;
+        if faults.link_drop_prob > 0.0 {
+            let (prob, budget) = (faults.link_drop_prob, faults.link_retry_budget);
+            if self.fdraw() < prob {
+                // Packet lost on the fabric: detected after a round-trip
+                // hop and retransmitted, up to the budget.
+                self.nodelets[loc.idx()].counters.link_retransmits += 1;
+                let attempts = self.threads[tid.idx()].link_attempts;
+                if attempts >= budget {
+                    self.fail(SimError::RetryBudgetExhausted {
+                        thread: tid,
+                        nodelet: loc,
+                        retries: attempts,
+                    });
+                    return;
+                }
+                self.threads[tid.idx()].link_attempts = attempts + 1;
+                self.q
+                    .schedule(now + self.cfg.inter_node_hop * 2, Event::LinkSend(tid));
+                return;
+            }
+        }
+        self.threads[tid.idx()].link_attempts = 0;
         let delivered = self.links[node].send(now, self.cfg.context_bytes as u64);
         let arrival = delivered + self.cfg.inter_node_hop;
         self.threads[tid.idx()].loc = dest;
@@ -563,13 +757,31 @@ impl Engine {
 
     fn on_channel_read(&mut self, tid: ThreadId, bytes: u32, now: Time) {
         let loc = self.threads[tid.idx()].loc;
+        let service = self.channel_service_faulted(loc.idx(), bytes, Time::ZERO);
         let nl = &mut self.nodelets[loc.idx()];
-        let grant = nl.channel.offer(now, self.cfg.channel_service(bytes));
+        let grant = nl.channel.offer(now, service);
         nl.counters.local_loads += 1;
         nl.counters.bytes_loaded += bytes as u64;
         self.trace_channel(loc.idx(), grant);
         self.q
             .schedule(grant.done + self.cfg.dram_latency, Event::Ready(tid));
+    }
+
+    /// Channel service time for one access on `nodelet`, including the
+    /// slowdown factor and (probabilistically) an ECC-style retry.
+    fn channel_service_faulted(&mut self, nodelet: usize, bytes: u32, extra: Time) -> Time {
+        let mut service = self.scaled(nodelet, self.cfg.channel_service(bytes) + extra);
+        let faults = &self.cfg.faults;
+        if faults.ecc_prob > 0.0 {
+            let (prob, latency) = (faults.ecc_prob, faults.ecc_latency);
+            if self.fdraw() < prob {
+                // Correctable error: the access occupies the channel for
+                // one extra scrub-and-retry.
+                self.nodelets[nodelet].counters.ecc_retries += 1;
+                service += latency;
+            }
+        }
+        service
     }
 
     fn on_channel_write(
@@ -580,11 +792,13 @@ impl Engine {
         from_remote: bool,
         now: Time,
     ) {
+        let extra = if atomic {
+            self.cfg.costs.atomic_extra
+        } else {
+            Time::ZERO
+        };
+        let service = self.channel_service_faulted(nodelet.idx(), bytes, extra);
         let nl = &mut self.nodelets[nodelet.idx()];
-        let mut service = self.cfg.channel_service(bytes);
-        if atomic {
-            service += self.cfg.costs.atomic_extra;
-        }
         let grant = nl.channel.offer(now, service);
         if atomic {
             nl.counters.atomics += 1;
@@ -617,7 +831,11 @@ impl Engine {
             .collect();
         let breakdown = self.breakdown;
         let timelines = self.trace.map(|t| RunTimelines {
-            bucket: t.core.first().map(Timeline::bucket).unwrap_or(Time::from_us(1)),
+            bucket: t
+                .core
+                .first()
+                .map(Timeline::bucket)
+                .unwrap_or(Time::from_us(1)),
             core: t.core,
             channel: t.channel,
             migration: t.migration,
@@ -647,10 +865,14 @@ mod tests {
         NodeletId(n)
     }
 
+    fn run_script_on(cfg: MachineConfig, ops: Vec<Op>) -> RunReport {
+        let mut e = Engine::new(cfg).unwrap();
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops))).unwrap();
+        e.run().unwrap()
+    }
+
     fn run_script(ops: Vec<Op>) -> RunReport {
-        let mut e = Engine::new(presets::chick_prototype());
-        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops)));
-        e.run()
+        run_script_on(presets::chick_prototype(), ops)
     }
 
     #[test]
@@ -760,7 +982,6 @@ mod tests {
         // child computes. With only 2 slots, at least one child waits.
         let mut cfg = presets::chick_prototype();
         cfg.threadlets_per_gc = 2;
-        let mut e = Engine::new(cfg);
         let mut ops = Vec::new();
         for _ in 0..3 {
             ops.push(Op::Spawn {
@@ -768,24 +989,20 @@ mod tests {
                 place: Placement::Here,
             });
         }
-        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops)));
-        let r = e.run();
+        let r = run_script_on(cfg, ops);
         assert_eq!(r.threads, 4);
         assert!(r.nodelets[0].slot_waits > 0, "expected slot contention");
     }
 
     #[test]
     fn cross_node_migration_uses_link() {
-        let cfg = presets::emu64_full_speed();
-        let mut e = Engine::new(cfg);
-        e.spawn_at(
-            nl(0),
-            Box::new(ScriptKernel::new(vec![Op::Load {
+        let r = run_script_on(
+            presets::emu64_full_speed(),
+            vec![Op::Load {
                 addr: GlobalAddr::new(nl(12), 0), // node 1
                 bytes: 8,
-            }])),
+            }],
         );
-        let r = e.run();
         assert_eq!(r.total_migrations(), 1);
         assert_eq!(r.nodelets[12].local_loads, 1);
     }
@@ -876,13 +1093,267 @@ mod tests {
         // 100 * factor cycles, but the core is only busy 100 cycles.
         let cfg = presets::chick_prototype();
         let factor = cfg.costs.compute_latency_factor;
-        let mut e = Engine::new(cfg.clone());
-        e.spawn_at(
-            nl(0),
-            Box::new(ScriptKernel::new(vec![Op::Compute { cycles: 100 }])),
-        );
-        let r = e.run();
+        let r = run_script_on(cfg.clone(), vec![Op::Compute { cycles: 100 }]);
         assert_eq!(r.occupancy[0].core_busy, cfg.cycles(100));
         assert!(r.makespan >= cfg.cycles(100 * factor));
+    }
+
+    // ---- fault injection and watchdog ----
+
+    use crate::fault::FaultPlan;
+
+    /// A kernel that migrates between two nodelets forever — a crafted
+    /// livelock for the watchdog's wall-event cap.
+    struct PingPongForever {
+        a: NodeletId,
+        b: NodeletId,
+    }
+
+    impl Kernel for PingPongForever {
+        fn step(&mut self, ctx: &KernelCtx) -> Op {
+            Op::MigrateTo {
+                nodelet: if ctx.here == self.a { self.b } else { self.a },
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = presets::chick_prototype();
+        cfg.gcs_per_nodelet = 0;
+        match Engine::new(cfg) {
+            Err(SimError::InvalidConfig(why)) => assert!(why.contains("gcs_per_nodelet")),
+            other => panic!("expected InvalidConfig, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn bad_fault_plan_is_rejected() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.ecc_prob = 2.0;
+        assert!(matches!(Engine::new(cfg), Err(SimError::InvalidConfig(_))));
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.dead = vec![true; 8];
+        assert!(matches!(Engine::new(cfg), Err(SimError::AllNodeletsDead)));
+    }
+
+    #[test]
+    fn spawn_out_of_range_is_an_error() {
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        let r = e.spawn_at(nl(99), Box::new(ScriptKernel::new(vec![])));
+        assert!(matches!(r, Err(SimError::SpawnOutOfRange { .. })));
+    }
+
+    #[test]
+    fn kernel_target_out_of_range_is_an_error() {
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        e.spawn_at(
+            nl(0),
+            Box::new(ScriptKernel::new(vec![Op::Load {
+                addr: GlobalAddr::new(nl(64), 0),
+                bytes: 8,
+            }])),
+        )
+        .unwrap();
+        assert!(matches!(e.run(), Err(SimError::TargetOutOfRange { .. })));
+    }
+
+    #[test]
+    fn dead_nodelet_traffic_is_redirected() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.dead = vec![false, false, false, true, false, false, false, false];
+        let r = run_script_on(
+            cfg,
+            vec![Op::Load {
+                addr: GlobalAddr::new(nl(3), 0),
+                bytes: 8,
+            }],
+        );
+        // Nodelet 3's memory is served by its live neighbor, nodelet 4.
+        assert_eq!(r.nodelets[3].local_loads, 0);
+        assert_eq!(r.nodelets[4].local_loads, 1);
+        assert_eq!(r.total_redirects(), 1);
+    }
+
+    #[test]
+    fn spawn_on_dead_nodelet_lands_on_live_neighbor() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.dead = vec![true];
+        let mut e = Engine::new(cfg).unwrap();
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(vec![])))
+            .unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.nodelets[0].spawns, 0);
+        assert_eq!(r.nodelets[1].spawns, 1);
+        assert!(r.total_redirects() >= 1);
+    }
+
+    #[test]
+    fn slowdown_stretches_the_run() {
+        let script = || {
+            vec![
+                Op::Compute { cycles: 1000 },
+                Op::Load {
+                    addr: GlobalAddr::new(nl(0), 0),
+                    bytes: 64,
+                },
+            ]
+        };
+        let base = run_script(script());
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.slowdown = vec![4.0];
+        let slow = run_script_on(cfg, script());
+        assert!(
+            slow.makespan > base.makespan,
+            "slow {} vs base {}",
+            slow.makespan,
+            base.makespan
+        );
+    }
+
+    #[test]
+    fn nacks_are_counted_and_retried() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.mig_nack_prob = 0.5;
+        cfg.faults.mig_retry_budget = 64;
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            ops.push(Op::MigrateTo { nodelet: nl(1) });
+            ops.push(Op::MigrateTo { nodelet: nl(0) });
+        }
+        let r = run_script_on(cfg, ops);
+        assert!(
+            r.total_nacks() > 0,
+            "expected NACKs at p=0.5 over 20 migrations"
+        );
+        assert_eq!(r.total_nacks(), r.total_retries());
+        assert_eq!(r.total_migrations(), 20);
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_an_error_not_a_hang() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.mig_nack_prob = 1.0;
+        cfg.faults.mig_retry_budget = 3;
+        let mut e = Engine::new(cfg).unwrap();
+        e.spawn_at(
+            nl(0),
+            Box::new(ScriptKernel::new(vec![Op::MigrateTo { nodelet: nl(1) }])),
+        )
+        .unwrap();
+        match e.run() {
+            Err(SimError::RetryBudgetExhausted { retries, .. }) => assert_eq!(retries, 3),
+            other => panic!("expected RetryBudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_event_cap_catches_livelock() {
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.max_events = 10_000;
+        let mut e = Engine::new(cfg).unwrap();
+        e.spawn_at(nl(0), Box::new(PingPongForever { a: nl(0), b: nl(1) }))
+            .unwrap();
+        match e.run() {
+            Err(SimError::EventCapExceeded { cap }) => assert_eq!(cap, 10_000),
+            other => panic!(
+                "expected EventCapExceeded, got {:?}",
+                other.map(|r| r.makespan)
+            ),
+        }
+    }
+
+    #[test]
+    fn ecc_retries_slow_the_channel() {
+        let script = || {
+            (0..50)
+                .map(|i| Op::Load {
+                    addr: GlobalAddr::new(nl(0), i * 8),
+                    bytes: 8,
+                })
+                .collect::<Vec<_>>()
+        };
+        let base = run_script(script());
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.ecc_prob = 1.0;
+        let faulted = run_script_on(cfg, script());
+        assert_eq!(faulted.nodelets[0].ecc_retries, 50);
+        assert!(faulted.makespan > base.makespan);
+    }
+
+    #[test]
+    fn link_drops_are_retransmitted() {
+        let mut cfg = presets::emu64_full_speed();
+        cfg.faults.link_drop_prob = 0.5;
+        cfg.faults.link_retry_budget = 64;
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            ops.push(Op::MigrateTo { nodelet: nl(12) });
+            ops.push(Op::MigrateTo { nodelet: nl(0) });
+        }
+        let r = run_script_on(cfg, ops);
+        assert!(r.total_link_retransmits() > 0);
+        assert_eq!(r.total_migrations(), 20);
+    }
+
+    #[test]
+    fn faulted_runs_replay_byte_for_byte() {
+        let mk = || {
+            let mut cfg = presets::chick_prototype();
+            cfg.faults = FaultPlan {
+                seed: 77,
+                mig_nack_prob: 0.3,
+                ecc_prob: 0.2,
+                ..FaultPlan::none()
+            }
+            .with_dead_fraction(8, 0.25)
+            .with_slow_fraction(8, 0.25, 3.0);
+            let mut ops = Vec::new();
+            for i in 0..8u32 {
+                ops.push(Op::Load {
+                    addr: GlobalAddr::new(nl(i % 8), (i as u64) * 8),
+                    bytes: 8,
+                });
+            }
+            run_script_on(cfg, ops)
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(format!("{:?}", a.nodelets), format!("{:?}", b.nodelets));
+        assert_eq!(format!("{:?}", a.breakdown), format!("{:?}", b.breakdown));
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_baseline_exactly() {
+        let script = || {
+            vec![
+                Op::Load {
+                    addr: GlobalAddr::new(nl(5), 0),
+                    bytes: 16,
+                },
+                Op::Compute { cycles: 30 },
+                Op::Store {
+                    addr: GlobalAddr::new(nl(2), 0),
+                    bytes: 8,
+                },
+            ]
+        };
+        let base = run_script(script());
+        let mut cfg = presets::chick_prototype();
+        // An explicitly-spelled-out zero plan, plus a (non-injecting)
+        // watchdog cap, must not perturb timing at all.
+        cfg.faults = FaultPlan {
+            seed: 12345,
+            max_events: 1_000_000,
+            slowdown: vec![1.0; 8],
+            dead: vec![false; 8],
+            ..FaultPlan::none()
+        };
+        let zero = run_script_on(cfg, script());
+        assert_eq!(base.makespan, zero.makespan);
+        assert_eq!(
+            format!("{:?}", base.nodelets),
+            format!("{:?}", zero.nodelets)
+        );
     }
 }

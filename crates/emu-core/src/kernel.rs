@@ -203,15 +203,24 @@ mod tests {
             home: NodeletId(2),
             now: Time::ZERO,
         };
-        assert!(matches!(Kernel::step(&mut k, &ctx), Op::Compute { cycles: 1 }));
-        assert!(matches!(Kernel::step(&mut k, &ctx), Op::Compute { cycles: 2 }));
+        assert!(matches!(
+            Kernel::step(&mut k, &ctx),
+            Op::Compute { cycles: 1 }
+        ));
+        assert!(matches!(
+            Kernel::step(&mut k, &ctx),
+            Op::Compute { cycles: 2 }
+        ));
         assert!(matches!(Kernel::step(&mut k, &ctx), Op::Quit));
     }
 
     #[test]
     fn op_debug_strings() {
         let a = GlobalAddr::new(NodeletId(1), 8);
-        assert_eq!(format!("{:?}", Op::Load { addr: a, bytes: 8 }), "Load(nlet1+0x8,8B)");
+        assert_eq!(
+            format!("{:?}", Op::Load { addr: a, bytes: 8 }),
+            "Load(nlet1+0x8,8B)"
+        );
         assert_eq!(format!("{:?}", Op::Quit), "Quit");
     }
 }

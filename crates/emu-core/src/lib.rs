@@ -22,6 +22,10 @@
 //! * [`spawn`] — the paper's four spawn-tree strategies;
 //! * [`config`] / [`presets`] — the Chick prototype, the Emu toolchain
 //!   simulator's idealized machine, and full-speed projections;
+//! * [`fault`] — deterministic fault injection (dead/slow nodelets,
+//!   migration NACKs, ECC retries, link drops) and the [`fault::SimError`]
+//!   type every engine failure surfaces as — the Chick the paper measured
+//!   was itself a degraded machine (Fig 10);
 //! * [`metrics`] — the per-nodelet counters and bandwidth reductions the
 //!   paper reports.
 //!
@@ -30,17 +34,20 @@
 //! ```
 //! use emu_core::prelude::*;
 //!
+//! # fn main() -> Result<(), SimError> {
 //! // One threadlet on nodelet 0 reads a word owned by nodelet 3:
 //! // the *thread* moves, not the data.
-//! let mut engine = Engine::new(presets::chick_prototype());
+//! let mut engine = Engine::new(presets::chick_prototype())?;
 //! let addr = GlobalAddr::new(NodeletId(3), 0x40);
 //! engine.spawn_at(
 //!     NodeletId(0),
 //!     Box::new(ScriptKernel::new(vec![Op::Load { addr, bytes: 8 }])),
-//! );
-//! let report = engine.run();
+//! )?;
+//! let report = engine.run()?;
 //! assert_eq!(report.total_migrations(), 1);
 //! assert_eq!(report.nodelets[3].local_loads, 1);
+//! # Ok(())
+//! # }
 //! ```
 
 #![warn(missing_docs)]
@@ -49,6 +56,7 @@ pub mod addr;
 pub mod alloc;
 pub mod config;
 pub mod engine;
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod presets;
@@ -60,8 +68,9 @@ pub mod prelude {
     pub use crate::alloc::{ArrayHandle, Layout, MemSpace};
     pub use crate::config::{CostModel, MachineConfig};
     pub use crate::engine::Engine;
+    pub use crate::fault::{FaultPlan, SimError};
     pub use crate::kernel::{Kernel, KernelCtx, Op, Placement, ScriptKernel, ThreadId};
-    pub use crate::metrics::{NodeletCounters, RunReport};
+    pub use crate::metrics::{FaultTotals, NodeletCounters, RunReport};
     pub use crate::presets;
     pub use crate::spawn::{root_kernel, SpawnStrategy, WorkerFactory};
 }

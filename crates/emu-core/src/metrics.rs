@@ -28,6 +28,16 @@ pub struct NodeletCounters {
     pub bytes_stored: u64,
     /// Times a thread had to wait for a free hardware context (slot).
     pub slot_waits: u64,
+    /// Migration-engine NACKs issued by this nodelet's engine.
+    pub mig_nacks: u64,
+    /// Migration retries scheduled after a NACK (backoff re-offers).
+    pub mig_retries: u64,
+    /// ECC-style retries on this nodelet's memory channel.
+    pub ecc_retries: u64,
+    /// Packets retransmitted on this node's outbound link.
+    pub link_retransmits: u64,
+    /// Arrivals/accesses absorbed here on behalf of a dead nodelet.
+    pub redirects: u64,
 }
 
 impl NodeletCounters {
@@ -39,6 +49,35 @@ impl NodeletCounters {
     /// Total memory operations on this nodelet's channel.
     pub fn mem_ops(&self) -> u64 {
         self.local_loads + self.local_stores + self.atomics
+    }
+
+    /// Total fault-recovery events recorded on this nodelet.
+    pub fn fault_events(&self) -> u64 {
+        self.mig_nacks + self.ecc_retries + self.link_retransmits + self.redirects
+    }
+}
+
+/// Machine-wide fault-recovery totals, aggregated from the per-nodelet
+/// counters — one value per injected-fault class, in the order the
+/// degradation sweeps report them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Migration-engine NACKs.
+    pub nacks: u64,
+    /// Migration retries (backoff re-offers).
+    pub retries: u64,
+    /// ECC-style memory-channel retries.
+    pub ecc_retries: u64,
+    /// Inter-node link retransmits.
+    pub link_retransmits: u64,
+    /// Arrivals/accesses redirected away from dead nodelets.
+    pub redirects: u64,
+}
+
+impl FaultTotals {
+    /// Sum of every fault-recovery event class.
+    pub fn total(&self) -> u64 {
+        self.nacks + self.retries + self.ecc_retries + self.link_retransmits + self.redirects
     }
 }
 
@@ -95,6 +134,42 @@ impl RunReport {
     /// Total threadlet spawns.
     pub fn total_spawns(&self) -> u64 {
         self.nodelets.iter().map(|n| n.spawns).sum()
+    }
+
+    /// Total migration-engine NACKs across the machine.
+    pub fn total_nacks(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.mig_nacks).sum()
+    }
+
+    /// Total migration retries (backoff re-offers) across the machine.
+    pub fn total_retries(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.mig_retries).sum()
+    }
+
+    /// Total ECC-style channel retries across the machine.
+    pub fn total_ecc_retries(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.ecc_retries).sum()
+    }
+
+    /// Total link retransmits across the machine.
+    pub fn total_link_retransmits(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.link_retransmits).sum()
+    }
+
+    /// Total redirected arrivals/accesses absorbed for dead nodelets.
+    pub fn total_redirects(&self) -> u64 {
+        self.nodelets.iter().map(|n| n.redirects).sum()
+    }
+
+    /// Machine-wide fault-recovery totals as one copyable record.
+    pub fn fault_totals(&self) -> FaultTotals {
+        FaultTotals {
+            nacks: self.total_nacks(),
+            retries: self.total_retries(),
+            ecc_retries: self.total_ecc_retries(),
+            link_retransmits: self.total_link_retransmits(),
+            redirects: self.total_redirects(),
+        }
     }
 
     /// Aggregate memory bandwidth over the run (channel traffic).
@@ -173,13 +248,17 @@ mod tests {
 
     #[test]
     fn totals_and_bandwidth() {
-        let mut a = NodeletCounters::default();
-        a.bytes_loaded = 600;
-        a.bytes_stored = 400;
-        a.migrations_out = 5;
-        let mut b = NodeletCounters::default();
-        b.bytes_loaded = 1000;
-        b.migrations_out = 3;
+        let a = NodeletCounters {
+            bytes_loaded: 600,
+            bytes_stored: 400,
+            migrations_out: 5,
+            ..Default::default()
+        };
+        let b = NodeletCounters {
+            bytes_loaded: 1000,
+            migrations_out: 3,
+            ..Default::default()
+        };
         let r = report_with(vec![a, b], Time::from_us(2));
         assert_eq!(r.total_bytes(), 2000);
         assert_eq!(r.total_migrations(), 8);
@@ -190,8 +269,10 @@ mod tests {
 
     #[test]
     fn balance_cv_zero_when_even() {
-        let mut a = NodeletCounters::default();
-        a.bytes_loaded = 500;
+        let a = NodeletCounters {
+            bytes_loaded: 500,
+            ..Default::default()
+        };
         let r = report_with(vec![a.clone(), a], Time::from_us(1));
         assert_eq!(r.channel_balance_cv(), 0.0);
     }

@@ -56,6 +56,7 @@ pub fn chick_prototype() -> MachineConfig {
         rapidio_bytes_per_sec: 1_000_000_000,
         context_bytes: 192,
         costs: gossamer_costs(),
+        faults: crate::fault::FaultPlan::none(),
     }
 }
 
@@ -149,7 +150,10 @@ mod tests {
         assert_eq!(sim.gc_clock, hw.gc_clock);
         assert_eq!(sim.costs.mem_issue_cycles, hw.costs.mem_issue_cycles);
         assert_eq!(sim.costs.mem_pipeline_cycles, hw.costs.mem_pipeline_cycles);
-        assert_eq!(sim.costs.compute_latency_factor, hw.costs.compute_latency_factor);
+        assert_eq!(
+            sim.costs.compute_latency_factor,
+            hw.costs.compute_latency_factor
+        );
     }
 
     #[test]

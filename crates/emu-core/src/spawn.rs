@@ -166,7 +166,11 @@ impl Kernel for RecursiveSpawner {
         }
         if self.hi - self.lo > 1 {
             let mid = self.lo + (self.hi - self.lo) / 2;
-            let child = Box::new(RecursiveSpawner::new(mid, self.hi, Arc::clone(&self.factory)));
+            let child = Box::new(RecursiveSpawner::new(
+                mid,
+                self.hi,
+                Arc::clone(&self.factory),
+            ));
             self.hi = mid;
             return Op::Spawn {
                 kernel: child,
@@ -362,10 +366,10 @@ mod tests {
     fn run_strategy(strategy: SpawnStrategy, nworkers: usize) -> Vec<(usize, u32)> {
         let log = Arc::new(Mutex::new(Vec::new()));
         let factory = probe_factory(Arc::clone(&log));
-        let mut e = Engine::new(presets::chick_prototype());
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
         let root = root_kernel(strategy, nworkers, 8, factory);
-        e.spawn_at(NodeletId(0), root);
-        let _ = e.run();
+        e.spawn_at(NodeletId(0), root).unwrap();
+        let _ = e.run().unwrap();
         let mut out = log.lock().unwrap().clone();
         out.sort_unstable();
         out
@@ -441,9 +445,10 @@ mod tests {
         let time_of = |s: SpawnStrategy| {
             let factory: WorkerFactory =
                 Arc::new(|_| Box::new(crate::kernel::ScriptKernel::new(vec![])));
-            let mut e = Engine::new(presets::chick_prototype());
-            e.spawn_at(NodeletId(0), root_kernel(s, 64, 8, factory));
-            e.run().makespan
+            let mut e = Engine::new(presets::chick_prototype()).unwrap();
+            e.spawn_at(NodeletId(0), root_kernel(s, 64, 8, factory))
+                .unwrap();
+            e.run().unwrap().makespan
         };
         let serial = time_of(SpawnStrategy::Serial);
         let recursive = time_of(SpawnStrategy::Recursive);
@@ -456,7 +461,10 @@ mod tests {
     #[test]
     fn strategy_names() {
         assert_eq!(SpawnStrategy::Serial.name(), "serial_spawn");
-        assert_eq!(SpawnStrategy::RecursiveRemote.name(), "recursive_remote_spawn");
+        assert_eq!(
+            SpawnStrategy::RecursiveRemote.name(),
+            "recursive_remote_spawn"
+        );
         assert!(SpawnStrategy::SerialRemote.is_remote());
         assert!(!SpawnStrategy::Recursive.is_remote());
     }

@@ -1,23 +1,13 @@
-//! Property-based tests of the Emu machine model's invariants.
+//! Randomized (seeded, deterministic) tests of the Emu machine model's
+//! invariants. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
+use desim::rng::{rng_from_seed, Rng64};
 use emu_core::prelude::*;
-use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-/// Strategy for a random little op program over an 8-nodelet machine.
-fn arb_ops() -> impl Strategy<Value = Vec<OpSpec>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Load(n, b)),
-            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Store(n, b)),
-            (0u32..8, 1u32..64).prop_map(|(n, b)| OpSpec::Atomic(n, b)),
-            (1u32..200).prop_map(OpSpec::Compute),
-            (0u32..8).prop_map(OpSpec::Migrate),
-        ],
-        0..40,
-    )
-}
+const CASES: u64 = 64;
 
 /// Serializable op description (Op itself holds boxed kernels).
 #[derive(Clone, Debug)]
@@ -27,6 +17,20 @@ enum OpSpec {
     Atomic(u32, u32),
     Compute(u32),
     Migrate(u32),
+}
+
+/// A random little op program over an 8-nodelet machine.
+fn arb_ops(rng: &mut Rng64) -> Vec<OpSpec> {
+    let len = rng.gen_range(0..40usize);
+    (0..len)
+        .map(|_| match rng.gen_range(0..5u32) {
+            0 => OpSpec::Load(rng.gen_range(0..8), rng.gen_range(1..64)),
+            1 => OpSpec::Store(rng.gen_range(0..8), rng.gen_range(1..64)),
+            2 => OpSpec::Atomic(rng.gen_range(0..8), rng.gen_range(1..64)),
+            3 => OpSpec::Compute(rng.gen_range(1..200)),
+            _ => OpSpec::Migrate(rng.gen_range(0..8)),
+        })
+        .collect()
 }
 
 impl OpSpec {
@@ -81,61 +85,71 @@ fn expected(specs: &[OpSpec], start: u32) -> (u64, u64, u64) {
     (migrations, bytes_loaded, bytes_stored)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// For any program: the engine terminates, and migrations and byte
-    /// counters match an offline replay of the op semantics exactly.
-    #[test]
-    fn engine_counters_match_offline_replay(
-        specs in arb_ops(),
-        start in 0u32..8
-    ) {
-        let mut e = Engine::new(presets::chick_prototype());
+/// For any program: the engine terminates, and migrations and byte
+/// counters match an offline replay of the op semantics exactly.
+#[test]
+fn engine_counters_match_offline_replay() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xC047 + case);
+        let specs = arb_ops(&mut rng);
+        let start = rng.gen_range(0..8u32);
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
         let ops: Vec<Op> = specs.iter().map(OpSpec::to_op).collect();
-        e.spawn_at(NodeletId(start), Box::new(ScriptKernel::new(ops)));
-        let r = e.run();
+        e.spawn_at(NodeletId(start), Box::new(ScriptKernel::new(ops)))
+            .unwrap();
+        let r = e.run().unwrap();
         let (migs, loaded, stored) = expected(&specs, start);
-        prop_assert_eq!(r.total_migrations(), migs);
+        assert_eq!(r.total_migrations(), migs);
         let got_loaded: u64 = r.nodelets.iter().map(|n| n.bytes_loaded).sum();
         let got_stored: u64 = r.nodelets.iter().map(|n| n.bytes_stored).sum();
-        prop_assert_eq!(got_loaded, loaded);
-        prop_assert_eq!(got_stored, stored);
+        assert_eq!(got_loaded, loaded);
+        assert_eq!(got_stored, stored);
         // Time moved if any op ran.
         if !specs.is_empty() {
-            prop_assert!(r.makespan > desim::Time::ZERO);
+            assert!(r.makespan > desim::Time::ZERO);
         }
     }
+}
 
-    /// Two concurrent threads with arbitrary programs also terminate with
-    /// exact aggregate accounting (no lost or duplicated work).
-    #[test]
-    fn engine_two_threads_accounting(
-        a in arb_ops(),
-        b in arb_ops(),
-    ) {
-        let mut e = Engine::new(presets::chick_prototype());
-        e.spawn_at(NodeletId(0), Box::new(ScriptKernel::new(a.iter().map(OpSpec::to_op).collect())));
-        e.spawn_at(NodeletId(3), Box::new(ScriptKernel::new(b.iter().map(OpSpec::to_op).collect())));
-        let r = e.run();
+/// Two concurrent threads with arbitrary programs also terminate with
+/// exact aggregate accounting (no lost or duplicated work).
+#[test]
+fn engine_two_threads_accounting() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x2788 + case);
+        let a = arb_ops(&mut rng);
+        let b = arb_ops(&mut rng);
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        e.spawn_at(
+            NodeletId(0),
+            Box::new(ScriptKernel::new(a.iter().map(OpSpec::to_op).collect())),
+        )
+        .unwrap();
+        e.spawn_at(
+            NodeletId(3),
+            Box::new(ScriptKernel::new(b.iter().map(OpSpec::to_op).collect())),
+        )
+        .unwrap();
+        let r = e.run().unwrap();
         let (m1, l1, s1) = expected(&a, 0);
         let (m2, l2, s2) = expected(&b, 3);
-        prop_assert_eq!(r.total_migrations(), m1 + m2);
+        assert_eq!(r.total_migrations(), m1 + m2);
         let got_loaded: u64 = r.nodelets.iter().map(|n| n.bytes_loaded).sum();
         let got_stored: u64 = r.nodelets.iter().map(|n| n.bytes_stored).sum();
-        prop_assert_eq!(got_loaded, l1 + l2);
-        prop_assert_eq!(got_stored, s1 + s2);
-        prop_assert_eq!(r.threads, 2);
+        assert_eq!(got_loaded, l1 + l2);
+        assert_eq!(got_stored, s1 + s2);
+        assert_eq!(r.threads, 2);
     }
+}
 
-    /// Spawn strategies run every worker exactly once on the machine,
-    /// for arbitrary worker counts.
-    #[test]
-    fn spawn_strategies_complete(
-        nworkers in 1usize..80,
-        strategy_idx in 0usize..4
-    ) {
-        let strategy = SpawnStrategy::ALL[strategy_idx];
+/// Spawn strategies run every worker exactly once on the machine,
+/// for arbitrary worker counts.
+#[test]
+fn spawn_strategies_complete() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x59A3 + case);
+        let nworkers = rng.gen_range(1..80usize);
+        let strategy = SpawnStrategy::ALL[rng.gen_range(0..SpawnStrategy::ALL.len())];
         let ran = Arc::new(AtomicUsize::new(0));
         let factory: WorkerFactory = {
             let ran = Arc::clone(&ran);
@@ -151,43 +165,50 @@ proptest! {
                 })
             })
         };
-        let mut e = Engine::new(presets::chick_prototype());
-        e.spawn_at(NodeletId(0), root_kernel(strategy, nworkers, 8, factory));
-        let r = e.run();
-        prop_assert_eq!(ran.load(Ordering::Relaxed), nworkers);
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        e.spawn_at(NodeletId(0), root_kernel(strategy, nworkers, 8, factory))
+            .unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), nworkers);
         // Thread accounting: every thread the engine created terminated.
-        prop_assert!(r.threads >= nworkers as u64);
+        assert!(r.threads >= nworkers as u64);
     }
+}
 
-    /// Striped allocations deal element i to nodelet i % N and replicated
-    /// allocations always resolve locally, for arbitrary geometry.
-    #[test]
-    fn allocation_owner_laws(
-        nodelets in 1u32..64,
-        len in 1u64..10_000,
-        here in 0u32..64
-    ) {
-        let here = NodeletId(here % nodelets);
+/// Striped allocations deal element i to nodelet i % N and replicated
+/// allocations always resolve locally, for arbitrary geometry.
+#[test]
+fn allocation_owner_laws() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xA110 + case);
+        let nodelets = rng.gen_range(1..64u32);
+        let len = rng.gen_range(1..10_000u64);
+        let here = NodeletId(rng.gen_range(0..64u32) % nodelets);
         let mut ms = MemSpace::new(nodelets);
         let striped = ms.striped(len, 8);
         let replicated = ms.replicated(len, 8);
         for i in (0..len).step_by((len as usize / 17).max(1)) {
-            prop_assert_eq!(striped.owner(i, here).0, (i % nodelets as u64) as u32);
-            prop_assert_eq!(replicated.owner(i, here), here);
+            assert_eq!(striped.owner(i, here).0, (i % nodelets as u64) as u32);
+            assert_eq!(replicated.owner(i, here), here);
         }
     }
+}
 
-    /// Engine determinism over arbitrary programs.
-    #[test]
-    fn engine_is_deterministic(specs in arb_ops()) {
+/// Engine determinism over arbitrary programs.
+#[test]
+fn engine_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xDE7E + case);
+        let specs = arb_ops(&mut rng);
         let run = || {
-            let mut e = Engine::new(presets::chick_prototype());
+            let mut e = Engine::new(presets::chick_prototype()).unwrap();
             e.spawn_at(
                 NodeletId(1),
                 Box::new(ScriptKernel::new(specs.iter().map(OpSpec::to_op).collect())),
-            );
-            e.run().makespan
+            )
+            .unwrap();
+            e.run().unwrap().makespan
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

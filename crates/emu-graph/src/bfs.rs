@@ -108,7 +108,11 @@ impl Kernel for FrontierWorker {
                     self.ni = 0;
                     return Op::Load {
                         addr: g.vertex_addr(u),
-                        bytes: if self.mode == BfsMode::RemoteFlags { 16 } else { 8 },
+                        bytes: if self.mode == BfsMode::RemoteFlags {
+                            16
+                        } else {
+                            8
+                        },
                     };
                 }
                 // Load the current edge block (local: blocks live on u's
@@ -195,7 +199,9 @@ impl Kernel for FrontierWorker {
                 // Migrating mode: unclaimed neighbor — just the read cost.
                 3 => {
                     self.phase = 2;
-                    return Op::Compute { cycles: EDGE_CYCLES };
+                    return Op::Compute {
+                        cycles: EDGE_CYCLES,
+                    };
                 }
                 // Migrating mode: claimed neighbor — also write the flag
                 // (local: we migrated to v's home for the read).
@@ -218,7 +224,9 @@ impl Kernel for FrontierWorker {
                 // RemoteFlags mode: per-edge bookkeeping.
                 5 => {
                     self.phase = 2;
-                    return Op::Compute { cycles: EDGE_CYCLES };
+                    return Op::Compute {
+                        cycles: EDGE_CYCLES,
+                    };
                 }
                 _ => unreachable!(),
             }
@@ -233,7 +241,7 @@ pub fn run_bfs_emu(
     src: u32,
     mode: BfsMode,
     nthreads: usize,
-) -> BfsResult {
+) -> Result<BfsResult, SimError> {
     assert!(src < g.nv(), "source out of range");
     assert!(nthreads > 0);
     let nv = g.nv() as usize;
@@ -258,7 +266,7 @@ pub fn run_bfs_emu(
             edges: std::sync::atomic::AtomicU64::new(0),
         });
         let frontier_arc = Arc::new(frontier);
-        let mut engine = Engine::new(cfg.clone());
+        let mut engine = Engine::new(cfg.clone())?;
         let workers = nthreads.min(frontier_arc.len());
         for t in 0..workers {
             let first = frontier_arc[t];
@@ -274,9 +282,9 @@ pub fn run_bfs_emu(
                     ni: 0,
                     phase: 0,
                 }),
-            );
+            )?;
         }
-        let report = engine.run();
+        let report = engine.run()?;
         total_time += report.makespan;
         migrations += report.total_migrations();
         edges += st.edges.load(std::sync::atomic::Ordering::Relaxed);
@@ -299,14 +307,14 @@ pub fn run_bfs_emu(
         .copied()
         .max()
         .unwrap_or(0);
-    BfsResult {
+    Ok(BfsResult {
         levels,
         depth,
         edges_traversed: edges,
         total_time,
         migrations,
         teps,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -318,7 +326,7 @@ mod tests {
     fn check_levels(edges: &crate::gen::EdgeList, src: u32, mode: BfsMode) -> BfsResult {
         let g = Arc::new(Stinger::build_host(edges, 4, 8));
         let reference = g.bfs_reference(src);
-        let r = run_bfs_emu(&presets::chick_prototype(), Arc::clone(&g), src, mode, 16);
+        let r = run_bfs_emu(&presets::chick_prototype(), Arc::clone(&g), src, mode, 16).unwrap();
         assert_eq!(r.levels, reference, "{} wrong levels", mode.name());
         r
     }

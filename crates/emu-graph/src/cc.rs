@@ -186,7 +186,12 @@ impl Kernel for CcWorker {
 }
 
 /// Run label-propagation connected components.
-pub fn run_cc_emu(cfg: &MachineConfig, g: Arc<Stinger>, mode: CcMode, nthreads: usize) -> CcResult {
+pub fn run_cc_emu(
+    cfg: &MachineConfig,
+    g: Arc<Stinger>,
+    mode: CcMode,
+    nthreads: usize,
+) -> Result<CcResult, SimError> {
     assert!(nthreads > 0);
     let nv = g.nv();
     let mut labels: Vec<u32> = (0..nv).collect();
@@ -201,7 +206,7 @@ pub fn run_cc_emu(cfg: &MachineConfig, g: Arc<Stinger>, mode: CcMode, nthreads: 
             changed: AtomicU64::new(0),
         });
         let active: Arc<Vec<u32>> = Arc::new((0..nv).collect());
-        let mut engine = Engine::new(cfg.clone());
+        let mut engine = Engine::new(cfg.clone())?;
         let workers = nthreads.min(nv as usize);
         for t in 0..workers {
             engine.spawn_at(
@@ -216,9 +221,9 @@ pub fn run_cc_emu(cfg: &MachineConfig, g: Arc<Stinger>, mode: CcMode, nthreads: 
                     ni: 0,
                     phase: 0,
                 }),
-            );
+            )?;
         }
-        let report = engine.run();
+        let report = engine.run()?;
         total_time += report.makespan;
         migrations += report.total_migrations();
         let changed = st.changed.load(Ordering::Relaxed);
@@ -232,13 +237,13 @@ pub fn run_cc_emu(cfg: &MachineConfig, g: Arc<Stinger>, mode: CcMode, nthreads: 
     let mut distinct: Vec<u32> = labels.clone();
     distinct.sort_unstable();
     distinct.dedup();
-    CcResult {
+    Ok(CcResult {
         components: distinct.len(),
         labels,
         rounds,
         total_time,
         migrations,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -250,7 +255,7 @@ mod tests {
     fn check(edges: &crate::gen::EdgeList, mode: CcMode) -> CcResult {
         let g = Arc::new(Stinger::build_host(edges, 4, 8));
         let reference = cc_reference(&g);
-        let r = run_cc_emu(&presets::chick_prototype(), Arc::clone(&g), mode, 16);
+        let r = run_cc_emu(&presets::chick_prototype(), Arc::clone(&g), mode, 16).unwrap();
         assert_eq!(r.labels, reference, "{} labels diverged", mode.name());
         r
     }

@@ -1,7 +1,6 @@
 //! Synthetic graph generators for the streaming-graph benchmarks.
 
 use desim::rng::rng_from_seed;
-use rand::Rng;
 
 /// An undirected edge list over vertices `0..nv` (no self-loops;
 /// duplicates possible, as in a real edge stream).
@@ -44,7 +43,7 @@ pub fn uniform(nv: u32, ne: usize, seed: u64) -> EdgeList {
 /// skew typical of the "streaming graph analytics" workloads motivating
 /// the paper.
 pub fn rmat(scale: u32, ne: usize, seed: u64) -> EdgeList {
-    assert!(scale >= 1 && scale < 31, "scale out of range");
+    assert!((1..31).contains(&scale), "scale out of range");
     let nv = 1u32 << scale;
     let mut rng = rng_from_seed(seed);
     let mut edges = Vec::with_capacity(ne);
@@ -53,7 +52,7 @@ pub fn rmat(scale: u32, ne: usize, seed: u64) -> EdgeList {
         for _ in 0..scale {
             u <<= 1;
             v <<= 1;
-            let r: f64 = rng.gen();
+            let r = rng.gen_f64();
             if r < 0.57 {
                 // quadrant a: (0,0)
             } else if r < 0.76 {

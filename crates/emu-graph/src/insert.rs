@@ -110,7 +110,9 @@ impl Kernel for Inserter {
                 }
                 2 => {
                     self.phase = 1;
-                    return Op::Compute { cycles: SCAN_CYCLES };
+                    return Op::Compute {
+                        cycles: SCAN_CYCLES,
+                    };
                 }
                 // Mutate the structure, then charge the write (and the
                 // allocation, for a fresh block) before moving on.
@@ -169,7 +171,7 @@ pub fn run_insert_emu(
     edges: &EdgeList,
     nthreads: usize,
     block_cap: usize,
-) -> InsertResult {
+) -> Result<InsertResult, SimError> {
     assert!(nthreads > 0);
     let g = Arc::new(Mutex::new(Stinger::new(
         edges.nv,
@@ -177,7 +179,7 @@ pub fn run_insert_emu(
         cfg.total_nodelets(),
     )));
     let shared_edges = Arc::new(edges.edges.clone());
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     let nodelets = cfg.total_nodelets();
     for t in 0..nthreads.min(edges.edges.len()) {
         let first_u = shared_edges[t].0;
@@ -194,11 +196,11 @@ pub fn run_insert_emu(
                 phase: 0,
                 pending_store: None,
             }),
-        );
+        )?;
     }
-    let report = engine.run();
+    let report = engine.run()?;
     let edges_n = edges.edges.len() as u64;
-    InsertResult {
+    Ok(InsertResult {
         graph: g,
         edges: edges_n,
         edges_per_sec: if report.makespan == Time::ZERO {
@@ -209,7 +211,7 @@ pub fn run_insert_emu(
         migrations: report.total_migrations(),
         makespan: report.makespan,
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +224,7 @@ mod tests {
     fn simulated_insertion_matches_host_build() {
         let edges = gen::uniform(64, 300, 5);
         let cfg = presets::chick_prototype();
-        let r = run_insert_emu(&cfg, &edges, 16, 4);
+        let r = run_insert_emu(&cfg, &edges, 16, 4).unwrap();
         let host = Stinger::build_host(&edges, 4, 8);
         let sim = r.graph.lock().unwrap();
         assert_eq!(sim.canonical_adjacency(), host.canonical_adjacency());
@@ -233,7 +235,7 @@ mod tests {
     fn insertion_is_migration_heavy() {
         let edges = gen::uniform(128, 400, 6);
         let cfg = presets::chick_prototype();
-        let r = run_insert_emu(&cfg, &edges, 32, 8);
+        let r = run_insert_emu(&cfg, &edges, 32, 8).unwrap();
         // Roughly one migration per directed leg (minus same-home hits).
         assert!(
             r.migrations as f64 > 1.2 * edges.len() as f64,
@@ -248,8 +250,8 @@ mod tests {
     fn more_threads_insert_faster() {
         let edges = gen::uniform(256, 800, 7);
         let cfg = presets::chick_prototype();
-        let t1 = run_insert_emu(&cfg, &edges, 1, 8).makespan;
-        let t32 = run_insert_emu(&cfg, &edges, 32, 8).makespan;
+        let t1 = run_insert_emu(&cfg, &edges, 1, 8).unwrap().makespan;
+        let t32 = run_insert_emu(&cfg, &edges, 32, 8).unwrap().makespan;
         assert!(t32 < t1 / 4, "1thr {t1} vs 32thr {t32}");
     }
 
@@ -257,8 +259,8 @@ mod tests {
     fn deterministic() {
         let edges = gen::rmat(6, 200, 8);
         let cfg = presets::chick_prototype();
-        let a = run_insert_emu(&cfg, &edges, 8, 4);
-        let b = run_insert_emu(&cfg, &edges, 8, 4);
+        let a = run_insert_emu(&cfg, &edges, 8, 4).unwrap();
+        let b = run_insert_emu(&cfg, &edges, 8, 4).unwrap();
         assert_eq!(a.makespan, b.makespan);
         assert_eq!(a.migrations, b.migrations);
     }

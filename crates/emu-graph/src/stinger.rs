@@ -219,7 +219,11 @@ mod tests {
         for v in [1u32, 2, 3] {
             g.insert_directed(0, v); // three blocks for vertex 0
         }
-        let addrs: Vec<_> = g.blocks(0).iter().map(|b| (b.addr.nodelet, b.addr.offset)).collect();
+        let addrs: Vec<_> = g
+            .blocks(0)
+            .iter()
+            .map(|b| (b.addr.nodelet, b.addr.offset))
+            .collect();
         let mut dedup = addrs.clone();
         dedup.sort_unstable_by_key(|&(n, o)| (n.0, o));
         dedup.dedup();

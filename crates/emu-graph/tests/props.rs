@@ -1,28 +1,32 @@
-//! Property-based tests for the streaming-graph substrate.
+//! Randomized (seeded, deterministic) tests for the streaming-graph
+//! substrate. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
+use desim::rng::{rng_from_seed, Rng64};
 use emu_core::presets;
 use emu_graph::bfs::{run_bfs_emu, BfsMode};
 use emu_graph::gen::{uniform, EdgeList};
 use emu_graph::insert::run_insert_emu;
 use emu_graph::stinger::Stinger;
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn arb_edges() -> impl Strategy<Value = EdgeList> {
-    (2u32..50, 1usize..150, any::<u64>())
-        .prop_map(|(nv, ne, seed)| uniform(nv, ne, seed))
+const CASES: u64 = 32;
+
+fn arb_edges(rng: &mut Rng64) -> EdgeList {
+    let nv = rng.gen_range(2..50u32);
+    let ne = rng.gen_range(1..150usize);
+    let seed = rng.next_u64();
+    uniform(nv, ne, seed)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The structure holds exactly the distinct edges of the stream, no
-    /// matter the insertion order or block capacity.
-    #[test]
-    fn stinger_holds_exactly_the_distinct_edges(
-        edges in arb_edges(),
-        block_cap in 1usize..10
-    ) {
+/// The structure holds exactly the distinct edges of the stream, no
+/// matter the insertion order or block capacity.
+#[test]
+fn stinger_holds_exactly_the_distinct_edges() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x571 + case);
+        let edges = arb_edges(&mut rng);
+        let block_cap = rng.gen_range(1..10usize);
         let g = Stinger::build_host(&edges, block_cap, 8);
         // Expected: sorted deduped undirected adjacency.
         let mut expect: Vec<Vec<u32>> = vec![Vec::new(); edges.nv as usize];
@@ -34,44 +38,55 @@ proptest! {
             l.sort_unstable();
             l.dedup();
         }
-        prop_assert_eq!(g.canonical_adjacency(), expect);
+        assert_eq!(g.canonical_adjacency(), expect);
     }
+}
 
-    /// Block capacity shapes the structure: every block except the last
-    /// of each vertex is exactly full.
-    #[test]
-    fn blocks_pack_tightly(edges in arb_edges(), block_cap in 1usize..8) {
+/// Block capacity shapes the structure: every block except the last
+/// of each vertex is exactly full.
+#[test]
+fn blocks_pack_tightly() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xB10C + case);
+        let edges = arb_edges(&mut rng);
+        let block_cap = rng.gen_range(1..8usize);
         let g = Stinger::build_host(&edges, block_cap, 8);
         for v in 0..g.nv() {
             let blocks = g.blocks(v);
             for b in blocks.iter().take(blocks.len().saturating_sub(1)) {
-                prop_assert_eq!(b.neighbors.len(), block_cap);
+                assert_eq!(b.neighbors.len(), block_cap);
             }
         }
     }
+}
 
-    /// Simulated streaming insertion produces the same structure as the
-    /// host build, for any thread count.
-    #[test]
-    fn simulated_insert_equals_host(edges in arb_edges(), threads in 1usize..24) {
+/// Simulated streaming insertion produces the same structure as the
+/// host build, for any thread count.
+#[test]
+fn simulated_insert_equals_host() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x145E87 + case);
+        let edges = arb_edges(&mut rng);
+        let threads = rng.gen_range(1..24usize);
         let cfg = presets::chick_prototype();
-        let r = run_insert_emu(&cfg, &edges, threads, 4);
+        let r = run_insert_emu(&cfg, &edges, threads, 4).unwrap();
         let host = Stinger::build_host(&edges, 4, 8);
-        prop_assert_eq!(
+        assert_eq!(
             r.graph.lock().unwrap().canonical_adjacency(),
             host.canonical_adjacency()
         );
     }
+}
 
-    /// Both BFS modes compute exactly the reference levels on arbitrary
-    /// graphs and sources.
-    #[test]
-    fn bfs_always_matches_reference(
-        edges in arb_edges(),
-        src_pick in any::<u32>(),
-        threads in 1usize..16
-    ) {
-        let src = src_pick % edges.nv;
+/// Both BFS modes compute exactly the reference levels on arbitrary
+/// graphs and sources.
+#[test]
+fn bfs_always_matches_reference() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xBF5 + case);
+        let edges = arb_edges(&mut rng);
+        let src = rng.gen_range(0..edges.nv);
+        let threads = rng.gen_range(1..16usize);
         let g = Arc::new(Stinger::build_host(&edges, 4, 8));
         let reference = g.bfs_reference(src);
         for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
@@ -81,15 +96,20 @@ proptest! {
                 src,
                 mode,
                 threads,
-            );
-            prop_assert_eq!(&r.levels, &reference, "{}", mode.name());
+            )
+            .unwrap();
+            assert_eq!(&r.levels, &reference, "{}", mode.name());
         }
     }
+}
 
-    /// BFS level sets are symmetric in an undirected graph: adjacent
-    /// vertices' levels differ by at most 1.
-    #[test]
-    fn bfs_levels_lipschitz(edges in arb_edges()) {
+/// BFS level sets are symmetric in an undirected graph: adjacent
+/// vertices' levels differ by at most 1.
+#[test]
+fn bfs_levels_lipschitz() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x11B5 + case);
+        let edges = arb_edges(&mut rng);
         let g = Arc::new(Stinger::build_host(&edges, 4, 8));
         let r = run_bfs_emu(
             &presets::chick_prototype(),
@@ -97,12 +117,13 @@ proptest! {
             0,
             BfsMode::RemoteFlags,
             8,
-        );
+        )
+        .unwrap();
         for &(u, v) in &edges.edges {
             let (lu, lv) = (r.levels[u as usize], r.levels[v as usize]);
             if lu != u32::MAX || lv != u32::MAX {
-                prop_assert!(lu != u32::MAX && lv != u32::MAX, "one side unreachable");
-                prop_assert!(lu.abs_diff(lv) <= 1, "({u},{v}): {lu} vs {lv}");
+                assert!(lu != u32::MAX && lv != u32::MAX, "one side unreachable");
+                assert!(lu.abs_diff(lv) <= 1, "({u},{v}): {lu} vs {lv}");
             }
         }
     }

@@ -7,7 +7,6 @@
 //! `Y(i, r) += X(i,j,k) · B(j,r) · C(k,r)` over all nonzeros.
 
 use desim::rng::rng_from_seed;
-use rand::Rng;
 
 /// One tensor nonzero.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -148,9 +147,24 @@ mod tests {
         let t = SparseTensor::from_entries(
             [3, 3, 3],
             vec![
-                TensorEntry { i: 2, j: 0, k: 0, val: 1.0 },
-                TensorEntry { i: 0, j: 1, k: 2, val: 2.0 },
-                TensorEntry { i: 0, j: 1, k: 2, val: 3.0 },
+                TensorEntry {
+                    i: 2,
+                    j: 0,
+                    k: 0,
+                    val: 1.0,
+                },
+                TensorEntry {
+                    i: 0,
+                    j: 1,
+                    k: 2,
+                    val: 2.0,
+                },
+                TensorEntry {
+                    i: 0,
+                    j: 1,
+                    k: 2,
+                    val: 3.0,
+                },
             ],
         );
         assert_eq!(t.nnz(), 2);
@@ -176,7 +190,12 @@ mod tests {
         // y[0] = 2 * B(1,0) * C(2,0).
         let t = SparseTensor::from_entries(
             [1, 2, 3],
-            vec![TensorEntry { i: 0, j: 1, k: 2, val: 2.0 }],
+            vec![TensorEntry {
+                i: 0,
+                j: 1,
+                k: 2,
+                val: 2.0,
+            }],
         );
         let y = mttkrp_reference(&t, 1);
         let expect = 2.0 * b_value(1, 0) * c_value(2, 0);
@@ -200,7 +219,12 @@ mod tests {
     fn bounds_checked() {
         let _ = SparseTensor::from_entries(
             [2, 2, 2],
-            vec![TensorEntry { i: 2, j: 0, k: 0, val: 1.0 }],
+            vec![TensorEntry {
+                i: 2,
+                j: 0,
+                k: 0,
+                val: 1.0,
+            }],
         );
     }
 }

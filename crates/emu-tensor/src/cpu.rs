@@ -123,10 +123,7 @@ pub fn run_mttkrp_cpu(
     mc: &CpuMttkrpConfig,
 ) -> CpuMttkrpResult {
     assert!(mc.rank > 0 && mc.nthreads > 0);
-    let y_out = Arc::new(Mutex::new(vec![
-        0.0;
-        t.dims[0] as usize * mc.rank as usize
-    ]));
+    let y_out = Arc::new(Mutex::new(vec![0.0; t.dims[0] as usize * mc.rank as usize]));
     let nnz = t.nnz();
     let mut engine = CpuEngine::new(cfg.clone());
     // Split at slice boundaries nearest the even cut points.
@@ -223,8 +220,22 @@ mod tests {
     #[test]
     fn more_threads_help() {
         let t = Arc::new(random_tensor([64, 32, 32], 4000, 3));
-        let t1 = run_mttkrp_cpu(&haswell(), Arc::clone(&t), &CpuMttkrpConfig { rank: 8, nthreads: 1 });
-        let t16 = run_mttkrp_cpu(&haswell(), Arc::clone(&t), &CpuMttkrpConfig { rank: 8, nthreads: 16 });
+        let t1 = run_mttkrp_cpu(
+            &haswell(),
+            Arc::clone(&t),
+            &CpuMttkrpConfig {
+                rank: 8,
+                nthreads: 1,
+            },
+        );
+        let t16 = run_mttkrp_cpu(
+            &haswell(),
+            Arc::clone(&t),
+            &CpuMttkrpConfig {
+                rank: 8,
+                nthreads: 16,
+            },
+        );
         assert!(t16.bandwidth.mb_per_sec() > 4.0 * t1.bandwidth.mb_per_sec());
     }
 }

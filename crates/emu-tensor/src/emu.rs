@@ -87,10 +87,7 @@ fn entry_addr(t: &SparseTensor, layout: TensorLayout, e: usize, nodelets: u32) -
         ),
         TensorLayout::SliceBlocked => {
             let i = t.entries()[e].i;
-            GlobalAddr::new(
-                NodeletId(i % nodelets),
-                0x1000_0000 + e as u64 * 32,
-            )
+            GlobalAddr::new(NodeletId(i % nodelets), 0x1000_0000 + e as u64 * 32)
         }
     }
 }
@@ -163,8 +160,7 @@ impl Kernel for MttkrpWorker {
                     let y_idx = e.i as usize * self.rank as usize + self.r as usize;
                     self.y_out.lock().unwrap()[y_idx] += self.acc;
                     let y_home = NodeletId(e.i % self.nodelets);
-                    let addr =
-                        GlobalAddr::new(y_home, 0x3000_0000 + y_idx as u64 * 8);
+                    let addr = GlobalAddr::new(y_home, 0x3000_0000 + y_idx as u64 * 8);
                     self.r += 1;
                     self.phase = 1;
                     return Op::AtomicAdd { addr, bytes: 8 };
@@ -180,22 +176,19 @@ pub fn run_mttkrp_emu(
     cfg: &MachineConfig,
     t: Arc<SparseTensor>,
     mc: &EmuMttkrpConfig,
-) -> EmuMttkrpResult {
+) -> Result<EmuMttkrpResult, SimError> {
     assert!(mc.rank > 0 && mc.nthreads > 0);
     let nodelets = cfg.total_nodelets();
     let mut ms = MemSpace::new(nodelets);
     let b = ms.replicated(t.dims[1] as u64 * mc.rank as u64, 8);
     let c = ms.replicated(t.dims[2] as u64 * mc.rank as u64, 8);
-    let y_out = Arc::new(Mutex::new(vec![
-        0.0;
-        t.dims[0] as usize * mc.rank as usize
-    ]));
+    let y_out = Arc::new(Mutex::new(vec![0.0; t.dims[0] as usize * mc.rank as usize]));
     let nnz = t.nnz();
     let workers = mc.nthreads.min(nnz.max(1));
     // Work assignment follows the layout: in 1D, worker w takes entries
     // w, w+W, …; in slice-blocked, entries are grouped per nodelet (by
     // slice home) and dealt to that nodelet's workers.
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     let assignments: Vec<(NodeletId, Vec<u32>)> = match mc.layout {
         TensorLayout::OneD => {
             // Contiguous chunks (how a cilk_spawn loop deals work): each
@@ -254,16 +247,16 @@ pub fn run_mttkrp_emu(
                 acc: 0.0,
                 y_out: Arc::clone(&y_out),
             }),
-        );
+        )?;
     }
-    let report = engine.run();
+    let report = engine.run()?;
     let y = y_out.lock().unwrap().clone();
-    EmuMttkrpResult {
+    Ok(EmuMttkrpResult {
         y,
         bandwidth: report.bandwidth_for(t.mttkrp_bytes(mc.rank)),
         migrations: report.total_migrations(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -282,7 +275,8 @@ mod tests {
                 rank,
                 nthreads: 32,
             },
-        );
+        )
+        .unwrap();
         let err = reference
             .iter()
             .zip(&r.y)
@@ -333,6 +327,7 @@ mod tests {
                     nthreads: 512,
                 },
             )
+            .unwrap()
             .bandwidth
             .mb_per_sec()
         };

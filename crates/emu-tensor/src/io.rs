@@ -23,15 +23,13 @@ pub fn read_tns<R: Read>(r: R, dims: Option<[u32; 3]>) -> Result<SparseTensor, S
             .iter()
             .map(|x| x.parse().map_err(|_| format!("bad index in {t:?}")))
             .collect::<Result<_, _>>()?;
-        if idx.iter().any(|&x| x == 0) {
+        if idx.contains(&0) {
             return Err(format!("indices are 1-based, got 0 in {t:?}"));
         }
         if idx.iter().any(|&x| x > u32::MAX as u64) {
             return Err("index too large for u32".into());
         }
-        let val: f64 = f[3]
-            .parse()
-            .map_err(|_| format!("bad value in {t:?}"))?;
+        let val: f64 = f[3].parse().map_err(|_| format!("bad value in {t:?}"))?;
         let (i, j, k) = (idx[0] as u32 - 1, idx[1] as u32 - 1, idx[2] as u32 - 1);
         maxes[0] = maxes[0].max(i + 1);
         maxes[1] = maxes[1].max(j + 1);
@@ -44,7 +42,7 @@ pub fn read_tns<R: Read>(r: R, dims: Option<[u32; 3]>) -> Result<SparseTensor, S
             return Err(format!("mode {m}: index {need} exceeds dim {have}"));
         }
     }
-    if dims.iter().any(|&d| d == 0) {
+    if dims.contains(&0) {
         return Err("empty tensor with no explicit dims".into());
     }
     Ok(SparseTensor::from_entries(dims, raw))

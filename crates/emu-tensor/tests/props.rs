@@ -1,71 +1,80 @@
-//! Property-based tests for the sparse-tensor substrate.
+//! Randomized (seeded, deterministic) tests for the sparse-tensor
+//! substrate. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
+use desim::rng::{rng_from_seed, Rng64};
 use emu_core::presets;
 use emu_tensor::coo::{mttkrp_reference, SparseTensor, TensorEntry};
 use emu_tensor::cpu::{run_mttkrp_cpu, CpuMttkrpConfig};
 use emu_tensor::emu::{run_mttkrp_emu, EmuMttkrpConfig, TensorLayout};
-use proptest::prelude::*;
 use std::sync::Arc;
 
-fn arb_tensor() -> impl Strategy<Value = SparseTensor> {
-    (2u32..16, 2u32..12, 2u32..12).prop_flat_map(|(i, j, k)| {
-        prop::collection::vec((0..i, 0..j, 0..k, -5.0f64..5.0), 1..120).prop_map(
-            move |raw| {
-                SparseTensor::from_entries(
-                    [i, j, k],
-                    raw.into_iter()
-                        .map(|(i, j, k, val)| TensorEntry { i, j, k, val })
-                        .collect(),
-                )
-            },
-        )
-    })
+const CASES: u64 = 32;
+
+fn arb_tensor(rng: &mut Rng64) -> SparseTensor {
+    let i = rng.gen_range(2..16u32);
+    let j = rng.gen_range(2..12u32);
+    let k = rng.gen_range(2..12u32);
+    let n = rng.gen_range(1..120usize);
+    SparseTensor::from_entries(
+        [i, j, k],
+        (0..n)
+            .map(|_| TensorEntry {
+                i: rng.gen_range(0..i),
+                j: rng.gen_range(0..j),
+                k: rng.gen_range(0..k),
+                val: rng.gen_range(-5.0..5.0),
+            })
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Entries come out sorted, deduplicated, and in bounds.
-    #[test]
-    fn tensor_canonical_form(t in arb_tensor()) {
+/// Entries come out sorted, deduplicated, and in bounds.
+#[test]
+fn tensor_canonical_form() {
+    for case in 0..CASES {
+        let t = arb_tensor(&mut rng_from_seed(0x7E45 + case));
         let es = t.entries();
         for w in es.windows(2) {
-            prop_assert!((w[0].i, w[0].j, w[0].k) < (w[1].i, w[1].j, w[1].k));
+            assert!((w[0].i, w[0].j, w[0].k) < (w[1].i, w[1].j, w[1].k));
         }
         for e in es {
-            prop_assert!(e.i < t.dims[0] && e.j < t.dims[1] && e.k < t.dims[2]);
+            assert!(e.i < t.dims[0] && e.j < t.dims[1] && e.k < t.dims[2]);
         }
     }
+}
 
-    /// Slice ranges partition the entry array.
-    #[test]
-    fn slice_ranges_partition(t in arb_tensor()) {
+/// Slice ranges partition the entry array.
+#[test]
+fn slice_ranges_partition() {
+    for case in 0..CASES {
+        let t = arb_tensor(&mut rng_from_seed(0x511CE + case));
         let mut covered = 0;
         let mut last_end = 0;
         for i in 0..t.dims[0] {
             let r = t.slice_range(i);
-            prop_assert_eq!(r.start, last_end);
+            assert_eq!(r.start, last_end);
             last_end = r.end;
             covered += r.len();
         }
-        prop_assert_eq!(covered, t.nnz());
+        assert_eq!(covered, t.nnz());
     }
+}
 
-    /// Both Emu layouts and the CPU implementation agree exactly with the
-    /// reference for arbitrary tensors, ranks, and thread counts.
-    #[test]
-    fn mttkrp_exact_everywhere(
-        t in arb_tensor(),
-        rank in 1u32..6,
-        threads in 1usize..24
-    ) {
-        let t = Arc::new(t);
+/// Both Emu layouts and the CPU implementation agree exactly with the
+/// reference for arbitrary tensors, ranks, and thread counts.
+#[test]
+fn mttkrp_exact_everywhere() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x377 + case);
+        let t = Arc::new(arb_tensor(&mut rng));
+        let rank = rng.gen_range(1..6u32);
+        let threads = rng.gen_range(1..24usize);
         let reference = mttkrp_reference(&t, rank);
-        let close = |y: &[f64], label: &str| -> Result<(), TestCaseError> {
+        let close = |y: &[f64], label: &str| {
             for (i, (a, b)) in reference.iter().zip(y).enumerate() {
-                prop_assert!((a - b).abs() < 1e-9, "{label}[{i}]: {a} vs {b}");
+                assert!((a - b).abs() < 1e-9, "{label}[{i}]: {a} vs {b}");
             }
-            Ok(())
         };
         for layout in TensorLayout::ALL {
             let r = run_mttkrp_emu(
@@ -76,8 +85,9 @@ proptest! {
                     rank,
                     nthreads: threads,
                 },
-            );
-            close(&r.y, layout.name())?;
+            )
+            .unwrap();
+            close(&r.y, layout.name());
         }
         let cpu = run_mttkrp_cpu(
             &xeon_sim::config::haswell(),
@@ -87,24 +97,32 @@ proptest! {
                 nthreads: threads,
             },
         );
-        close(&cpu.y, "cpu")?;
+        close(&cpu.y, "cpu");
     }
+}
 
-    /// MTTKRP is linear in the tensor values: scaling every value scales Y.
-    #[test]
-    fn mttkrp_homogeneous(t in arb_tensor(), scale in 0.5f64..3.0) {
+/// MTTKRP is linear in the tensor values: scaling every value scales Y.
+#[test]
+fn mttkrp_homogeneous() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x40E0 + case);
+        let t = arb_tensor(&mut rng);
+        let scale = rng.gen_range(0.5..3.0);
         let rank = 3;
         let y1 = mttkrp_reference(&t, rank);
         let scaled = SparseTensor::from_entries(
             t.dims,
             t.entries()
                 .iter()
-                .map(|e| TensorEntry { val: e.val * scale, ..*e })
+                .map(|e| TensorEntry {
+                    val: e.val * scale,
+                    ..*e
+                })
                 .collect(),
         );
         let y2 = mttkrp_reference(&scaled, rank);
         for (a, b) in y1.iter().zip(&y2) {
-            prop_assert!((a * scale - b).abs() < 1e-9);
+            assert!((a * scale - b).abs() < 1e-9);
         }
     }
 }

@@ -62,7 +62,7 @@ impl ShuffleMode {
 /// a permutation of `0..n` visiting whole blocks one after another.
 pub fn traversal_order(n: usize, block: usize, mode: ShuffleMode, seed: u64) -> Vec<u32> {
     assert!(block > 0, "block must be > 0");
-    assert!(n % block == 0, "n must be a multiple of block");
+    assert!(n.is_multiple_of(block), "n must be a multiple of block");
     let nblocks = n / block;
     let block_order: Vec<u32> = match mode {
         ShuffleMode::BlockShuffle | ShuffleMode::FullBlock => {
@@ -144,6 +144,8 @@ pub struct ChaseResult {
     pub makespan: desim::time::Time,
     /// Threadlet time breakdown (Emu runs; zeroed on CPU).
     pub breakdown: emu_core::engine::TimeBreakdown,
+    /// Fault-recovery totals (Emu runs; zeroed on CPU).
+    pub faults: emu_core::metrics::FaultTotals,
 }
 
 /// Per-element compute charged by the Emu chase kernel: pointer compare,
@@ -197,11 +199,11 @@ impl Kernel for EmuChaser {
 /// Each list's blocks are placed round-robin across nodelets (block `b`
 /// on nodelet `b % nodelets`); each thread starts (remote-spawned in
 /// spirit) on the nodelet of its first element.
-pub fn run_chase_emu(cfg: &MachineConfig, cc: &ChaseConfig) -> ChaseResult {
+pub fn run_chase_emu(cfg: &MachineConfig, cc: &ChaseConfig) -> Result<ChaseResult, SimError> {
     let nodelets = cfg.total_nodelets();
     let mut ms = MemSpace::new(nodelets);
     let total = Arc::new(AtomicU64::new(0));
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     for l in 0..cc.nlists {
         let n = cc.elems_per_list;
         let nblocks = n / cc.block_elems;
@@ -231,17 +233,18 @@ pub fn run_chase_emu(cfg: &MachineConfig, cc: &ChaseConfig) -> ChaseResult {
                 total: Arc::clone(&total),
                 done: false,
             }),
-        );
+        )?;
     }
-    let report = engine.run();
-    ChaseResult {
+    let report = engine.run()?;
+    Ok(ChaseResult {
         semantic_bytes: cc.semantic_bytes(),
         bandwidth: report.bandwidth_for(cc.semantic_bytes()),
         checksum: total.load(Ordering::Relaxed),
         migrations: report.total_migrations(),
         makespan: report.makespan,
+        faults: report.fault_totals(),
         breakdown: report.breakdown,
-    }
+    })
 }
 
 /// CPU-side pointer chasing.
@@ -323,6 +326,7 @@ pub mod cpu {
             migrations: 0,
             makespan: report.makespan,
             breakdown: emu_core::engine::TimeBreakdown::default(),
+            faults: emu_core::metrics::FaultTotals::default(),
         }
     }
 }
@@ -385,7 +389,7 @@ mod tests {
             mode: ShuffleMode::FullBlock,
             seed: 7,
         };
-        let r = run_chase_emu(&cfg, &cc);
+        let r = run_chase_emu(&cfg, &cc).unwrap();
         assert_eq!(r.checksum, cc.expected_checksum());
         // One migration per block transition at most: 8 lists x 8 blocks.
         assert!(r.migrations <= 8 * 8, "migrations {}", r.migrations);
@@ -402,7 +406,7 @@ mod tests {
             mode: ShuffleMode::FullBlock,
             seed: 7,
         };
-        let r = run_chase_emu(&cfg, &cc);
+        let r = run_chase_emu(&cfg, &cc).unwrap();
         assert_eq!(r.checksum, cc.expected_checksum());
         // Nearly every element is on a different nodelet than the last.
         let total = cc.total_elems();
@@ -424,7 +428,7 @@ mod tests {
                 mode: ShuffleMode::FullBlock,
                 seed: 3,
             };
-            run_chase_emu(&cfg, &cc).bandwidth.mb_per_sec()
+            run_chase_emu(&cfg, &cc).unwrap().bandwidth.mb_per_sec()
         };
         let b8 = bw(8);
         let b256 = bw(256);

@@ -93,10 +93,10 @@ impl Kernel for EmuUpdater {
 
 /// Run GUPS on the Emu machine `cfg`; the table is striped across all
 /// nodelets and updates are remote atomics.
-pub fn run_gups_emu(cfg: &MachineConfig, gc: &GupsConfig) -> GupsResult {
+pub fn run_gups_emu(cfg: &MachineConfig, gc: &GupsConfig) -> Result<GupsResult, SimError> {
     let mut ms = MemSpace::new(cfg.total_nodelets());
     let table = ms.striped(gc.table_words, 8);
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     let nodelets = cfg.total_nodelets();
     for t in 0..gc.nthreads {
         let targets = uniform_indices(
@@ -113,15 +113,15 @@ pub fn run_gups_emu(cfg: &MachineConfig, gc: &GupsConfig) -> GupsResult {
                 pos: 0,
                 phase: 0,
             }),
-        );
+        )?;
     }
-    let report = engine.run();
-    GupsResult {
+    let report = engine.run()?;
+    Ok(GupsResult {
         updates: gc.total_updates(),
         gups: gc.total_updates() as f64 / report.makespan.secs_f64() / 1e9,
         migrations: report.total_migrations(),
         makespan: report.makespan,
-    }
+    })
 }
 
 /// CPU-side GUPS.
@@ -202,7 +202,7 @@ mod tests {
 
     #[test]
     fn emu_gups_never_migrates() {
-        let r = run_gups_emu(&presets::chick_prototype(), &small());
+        let r = run_gups_emu(&presets::chick_prototype(), &small()).unwrap();
         assert_eq!(r.migrations, 0, "memory-side atomics must not migrate");
         assert_eq!(r.updates, 16 * 256);
         assert!(r.gups > 0.0);
@@ -226,6 +226,7 @@ mod tests {
                     ..small()
                 },
             )
+            .unwrap()
             .gups
         };
         assert!(g(64) > 2.0 * g(4));

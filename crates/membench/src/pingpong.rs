@@ -65,10 +65,10 @@ impl Kernel for Bouncer {
 }
 
 /// Run ping-pong on the Emu machine `cfg`.
-pub fn run_pingpong(cfg: &MachineConfig, pc: &PingPongConfig) -> PingPongResult {
+pub fn run_pingpong(cfg: &MachineConfig, pc: &PingPongConfig) -> Result<PingPongResult, SimError> {
     assert_ne!(pc.a, pc.b, "endpoints must differ");
     assert!(pc.nthreads > 0 && pc.round_trips > 0);
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     for t in 0..pc.nthreads {
         // Alternate starting ends so both engines load evenly from t=0.
         let start = if t % 2 == 0 { pc.a } else { pc.b };
@@ -79,16 +79,16 @@ pub fn run_pingpong(cfg: &MachineConfig, pc: &PingPongConfig) -> PingPongResult 
                 b: pc.b,
                 remaining: pc.round_trips * 2,
             }),
-        );
+        )?;
     }
-    let report = engine.run();
-    PingPongResult {
+    let report = engine.run()?;
+    Ok(PingPongResult {
         migrations: report.total_migrations(),
         migrations_per_sec: report.migration_rate(),
         mean_latency_ns: report.migration_latency.summary().mean(),
         p99_latency: report.migration_latency.quantile(0.99),
         makespan: report.makespan,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -104,7 +104,7 @@ mod tests {
             round_trips: 10,
             ..Default::default()
         };
-        let r = run_pingpong(&cfg, &pc);
+        let r = run_pingpong(&cfg, &pc).unwrap();
         assert_eq!(r.migrations, 4 * 10 * 2);
     }
 
@@ -120,7 +120,8 @@ mod tests {
                 round_trips: 200,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let expect = 2.0 * cfg.migration_rate_per_sec as f64;
         let ratio = r.migrations_per_sec / expect;
         assert!(
@@ -142,6 +143,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
             .migrations_per_sec
         };
         let hw = run(&presets::chick_prototype());
@@ -164,7 +166,8 @@ mod tests {
                 round_trips: 100,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert!(
             r.mean_latency_ns > 100.0 && r.mean_latency_ns < 2000.0,
             "latency {} ns",
@@ -184,6 +187,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
             .mean_latency_ns
         };
         assert!(lat(64) > 2.0 * lat(1));

@@ -286,7 +286,13 @@ impl Kernel for TaskSpawner {
 }
 
 /// Split `rows` (strided arithmetic sequences) into grain-sized chunks.
-fn chunk_rows(m: &CsrMatrix, first: u32, count: u32, stride: u32, grain_nnz: usize) -> Vec<RowChunk> {
+fn chunk_rows(
+    m: &CsrMatrix,
+    first: u32,
+    count: u32,
+    stride: u32,
+    grain_nnz: usize,
+) -> Vec<RowChunk> {
     let mut out = Vec::new();
     let mut start = 0u32;
     let mut acc = 0u64;
@@ -307,7 +313,11 @@ fn chunk_rows(m: &CsrMatrix, first: u32, count: u32, stride: u32, grain_nnz: usi
 }
 
 /// Run SpMV on the Emu machine `cfg`.
-pub fn run_spmv_emu(cfg: &MachineConfig, m: Arc<CsrMatrix>, sc: &EmuSpmvConfig) -> EmuSpmvResult {
+pub fn run_spmv_emu(
+    cfg: &MachineConfig,
+    m: Arc<CsrMatrix>,
+    sc: &EmuSpmvConfig,
+) -> Result<EmuSpmvResult, SimError> {
     let nodelets = cfg.total_nodelets();
     let mut ms = MemSpace::new(nodelets);
     let n = m.nrows();
@@ -355,7 +365,7 @@ pub fn run_spmv_emu(cfg: &MachineConfig, m: Arc<CsrMatrix>, sc: &EmuSpmvConfig) 
         })
     };
 
-    let mut engine = Engine::new(cfg.clone());
+    let mut engine = Engine::new(cfg.clone())?;
     match sc.layout {
         EmuLayout::Local | EmuLayout::OneD => {
             // cilk_spawn loop from the main thread on nodelet 0.
@@ -363,7 +373,7 @@ pub fn run_spmv_emu(cfg: &MachineConfig, m: Arc<CsrMatrix>, sc: &EmuSpmvConfig) 
                 .into_iter()
                 .map(|c| Some((task(c), Placement::Here)))
                 .collect();
-            engine.spawn_at(NodeletId(0), Box::new(TaskSpawner { tasks, next: 0 }));
+            engine.spawn_at(NodeletId(0), Box::new(TaskSpawner { tasks, next: 0 }))?;
         }
         EmuLayout::TwoD => {
             // One leader per nodelet spawns tasks for its own rows — the
@@ -392,23 +402,23 @@ pub fn run_spmv_emu(cfg: &MachineConfig, m: Arc<CsrMatrix>, sc: &EmuSpmvConfig) 
                     tasks: root_tasks,
                     next: 0,
                 }),
-            );
+            )?;
         }
     }
-    let report = engine.run();
+    let report = engine.run()?;
     assert_eq!(
         shared.rows_done.load(Ordering::Relaxed),
         n as u64,
         "not every row was multiplied"
     );
     let y_out = shared.y_out.lock().unwrap().clone();
-    EmuSpmvResult {
+    Ok(EmuSpmvResult {
         bandwidth: report.bandwidth_for(m.spmv_bytes()),
         y: y_out,
         migrations: report.total_migrations(),
         spawns: report.total_spawns(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -435,7 +445,8 @@ mod tests {
                 layout,
                 grain_nnz: 16,
             },
-        );
+        )
+        .unwrap();
         assert!(
             max_abs_diff(&r.y, &reference) < 1e-9,
             "{}: wrong result",
@@ -489,6 +500,7 @@ mod tests {
                     grain_nnz: 16,
                 },
             )
+            .unwrap()
             .bandwidth
             .mb_per_sec()
         };
@@ -542,6 +554,7 @@ mod tests {
                     grain_nnz: grain,
                 },
             )
+            .unwrap()
             .spawns
         };
         assert!(spawns(16) > 2 * spawns(256));

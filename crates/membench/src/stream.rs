@@ -156,7 +156,7 @@ impl Kernel for StreamWorker {
                     // Periodic Cilk-frame touch on the spawn-home nodelet.
                     self.phase = 1;
                     if self.stack_touch_period > 0
-                        && self.elems_done % self.stack_touch_period == 0
+                        && self.elems_done.is_multiple_of(self.stack_touch_period)
                     {
                         return Op::Load {
                             addr: GlobalAddr::new(ctx.home, 0x10),
@@ -215,7 +215,7 @@ impl Kernel for StreamWorker {
 }
 
 /// Run STREAM on the Emu machine described by `cfg`.
-pub fn run_stream_emu(cfg: &MachineConfig, sc: &EmuStreamConfig) -> StreamResult {
+pub fn run_stream_emu(cfg: &MachineConfig, sc: &EmuStreamConfig) -> Result<StreamResult, SimError> {
     assert!(sc.nthreads > 0 && sc.total_elems > 0);
     let nodelets = cfg.total_nodelets();
     let mut ms = MemSpace::new(nodelets);
@@ -258,16 +258,16 @@ pub fn run_stream_emu(cfg: &MachineConfig, sc: &EmuStreamConfig) -> StreamResult
     // The spawn fan-out spans all nodelets unless the run is pinned to one.
     let fanout = if sc.single_nodelet { 1 } else { nodelets };
     let root = emu_core::spawn::root_kernel(sc.strategy, sc.nthreads, fanout, factory);
-    let mut engine = Engine::new(cfg.clone());
-    engine.spawn_at(NodeletId(0), root);
-    let report = engine.run();
+    let mut engine = Engine::new(cfg.clone())?;
+    engine.spawn_at(NodeletId(0), root)?;
+    let report = engine.run()?;
     let semantic_bytes = sc.total_elems * sc.kernel.bytes_per_elem();
-    StreamResult {
+    Ok(StreamResult {
         semantic_bytes,
         bandwidth: report.bandwidth_for(semantic_bytes),
         checksum: total.load(Ordering::Relaxed),
         report,
-    }
+    })
 }
 
 /// CPU-side STREAM (Section III-C: same Cilk code with x86 mallocs).
@@ -440,7 +440,7 @@ mod tests {
     fn checksum_verifies_every_strategy() {
         let cfg = presets::chick_prototype();
         for s in SpawnStrategy::ALL {
-            let r = run_stream_emu(&cfg, &small(s, false, 32));
+            let r = run_stream_emu(&cfg, &small(s, false, 32)).unwrap();
             assert_eq!(
                 r.checksum,
                 stream_checksum(4096, StreamKernel::Add),
@@ -453,7 +453,7 @@ mod tests {
     #[test]
     fn single_nodelet_runs_only_on_nodelet_zero() {
         let cfg = presets::chick_prototype();
-        let r = run_stream_emu(&cfg, &small(SpawnStrategy::Serial, true, 16));
+        let r = run_stream_emu(&cfg, &small(SpawnStrategy::Serial, true, 16)).unwrap();
         assert_eq!(r.checksum, stream_checksum(4096, StreamKernel::Add));
         // All memory traffic on nodelet 0.
         for (i, n) in r.report.nodelets.iter().enumerate().skip(1) {
@@ -465,7 +465,7 @@ mod tests {
     #[test]
     fn striped_run_spreads_traffic() {
         let cfg = presets::chick_prototype();
-        let r = run_stream_emu(&cfg, &small(SpawnStrategy::RecursiveRemote, false, 64));
+        let r = run_stream_emu(&cfg, &small(SpawnStrategy::RecursiveRemote, false, 64)).unwrap();
         for (i, n) in r.report.nodelets.iter().enumerate() {
             assert!(n.bytes_total() > 0, "nodelet {i} idle");
         }
@@ -481,7 +481,7 @@ mod tests {
     #[test]
     fn serial_spawn_on_striped_arrays_migrates_constantly() {
         let cfg = presets::chick_prototype();
-        let r = run_stream_emu(&cfg, &small(SpawnStrategy::Serial, false, 64));
+        let r = run_stream_emu(&cfg, &small(SpawnStrategy::Serial, false, 64)).unwrap();
         // Workers live on nodelet 0 stacks: every stack touch drags them
         // back — orders of magnitude more migrations than remote spawn.
         assert!(
@@ -505,6 +505,7 @@ mod tests {
                     ..Default::default()
                 },
             )
+            .unwrap()
             .bandwidth
             .mb_per_sec()
         };

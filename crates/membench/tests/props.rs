@@ -1,129 +1,135 @@
-//! Property-based tests of the benchmark workload generators and the
-//! functional results of the benchmark kernels.
+//! Randomized (seeded, deterministic) tests of the benchmark workload
+//! generators and the functional results of the benchmark kernels.
+//! Each test sweeps a fixed set of seeds so failures are reproducible
+//! without any external property-testing framework.
 
+use desim::rng::rng_from_seed;
 use emu_core::prelude::*;
 use membench::chase::{run_chase_emu, traversal_order, ChaseConfig, ShuffleMode};
 use membench::spmv_emu::{run_spmv_emu, x_vector, EmuLayout, EmuSpmvConfig};
 use membench::stream::{run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel};
-use proptest::prelude::*;
 use std::sync::Arc;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// Traversal orders are permutations that visit whole blocks, for all
-    /// modes and any geometry.
-    #[test]
-    fn traversal_order_permutation(
-        blocks in 1usize..32,
-        block in 1usize..64,
-        mode_idx in 0usize..4,
-        seed in any::<u64>()
-    ) {
+/// Traversal orders are permutations that visit whole blocks, for all
+/// modes and any geometry.
+#[test]
+fn traversal_order_permutation() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x7AE5 + case);
+        let blocks = rng.gen_range(1..32usize);
+        let block = rng.gen_range(1..64usize);
+        let mode = ShuffleMode::ALL[rng.gen_range(0..ShuffleMode::ALL.len())];
+        let seed = rng.next_u64();
         let n = blocks * block;
-        let mode = ShuffleMode::ALL[mode_idx];
         let o = traversal_order(n, block, mode, seed);
         let mut sorted = o.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
         // Block atomicity: each consecutive chunk is one block.
         for chunk in o.chunks(block) {
             let b = chunk[0] as usize / block;
-            prop_assert!(chunk.iter().all(|&e| e as usize / block == b));
+            assert!(chunk.iter().all(|&e| e as usize / block == b));
         }
     }
+}
 
-    /// The chase checksum is correct for arbitrary configurations.
-    #[test]
-    fn chase_checksum_always_right(
-        lists in 1usize..10,
-        blocks in 1usize..8,
-        block in 1usize..32,
-        mode_idx in 0usize..4,
-        seed in any::<u64>()
-    ) {
+/// The chase checksum is correct for arbitrary configurations.
+#[test]
+fn chase_checksum_always_right() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xC4A5E + case);
+        let blocks = rng.gen_range(1..8usize);
+        let block = rng.gen_range(1..32usize);
         let cc = ChaseConfig {
             elems_per_list: blocks * block,
-            nlists: lists,
+            nlists: rng.gen_range(1..10usize),
             block_elems: block,
-            mode: ShuffleMode::ALL[mode_idx],
-            seed,
+            mode: ShuffleMode::ALL[rng.gen_range(0..ShuffleMode::ALL.len())],
+            seed: rng.next_u64(),
         };
-        let r = run_chase_emu(&presets::chick_prototype(), &cc);
-        prop_assert_eq!(r.checksum, cc.expected_checksum());
+        let r = run_chase_emu(&presets::chick_prototype(), &cc).unwrap();
+        assert_eq!(r.checksum, cc.expected_checksum());
     }
+}
 
-    /// STREAM checksums hold for every kernel x strategy x thread count.
-    #[test]
-    fn stream_checksum_always_right(
-        n_log in 6u32..11,
-        threads in 1usize..70,
-        strategy_idx in 0usize..4,
-        kernel_idx in 0usize..4,
-    ) {
+/// STREAM checksums hold for every kernel x strategy x thread count.
+#[test]
+fn stream_checksum_always_right() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x57AEA + case);
         let kernel = [
             StreamKernel::Add,
             StreamKernel::Copy,
             StreamKernel::Scale,
             StreamKernel::Triad,
-        ][kernel_idx];
-        let n = 1u64 << n_log;
+        ][rng.gen_range(0..4usize)];
+        let n = 1u64 << rng.gen_range(6..11u32);
+        let threads = rng.gen_range(1..70usize);
+        let strategy = SpawnStrategy::ALL[rng.gen_range(0..SpawnStrategy::ALL.len())];
         let r = run_stream_emu(
             &presets::chick_prototype(),
             &EmuStreamConfig {
                 total_elems: n,
                 nthreads: threads,
-                strategy: SpawnStrategy::ALL[strategy_idx],
+                strategy,
                 kernel,
                 ..Default::default()
             },
-        );
-        prop_assert_eq!(r.checksum, stream_checksum(n, kernel));
+        )
+        .unwrap();
+        assert_eq!(r.checksum, stream_checksum(n, kernel));
     }
+}
 
-    /// SpMV on random sparse matrices is exact in every layout, for any
-    /// grain size.
-    #[test]
-    fn spmv_exact_on_random_matrices(
-        n in 10u32..60,
-        nnz_per_row in 1u32..6,
-        layout_idx in 0usize..3,
-        grain in 1usize..64,
-        seed in any::<u64>()
-    ) {
+/// SpMV on random sparse matrices is exact in every layout, for any
+/// grain size.
+#[test]
+fn spmv_exact_on_random_matrices() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x59F4 + case);
+        let n = rng.gen_range(10..60u32);
+        let nnz_per_row = rng.gen_range(1..6u32);
+        let layout = EmuLayout::ALL[rng.gen_range(0..EmuLayout::ALL.len())];
+        let grain = rng.gen_range(1..64usize);
+        let seed = rng.next_u64();
         let m = Arc::new(spmat::gen::random_uniform(n, n, nnz_per_row, seed));
         let reference = m.spmv(&x_vector(m.ncols()));
         let r = run_spmv_emu(
             &presets::chick_prototype(),
             Arc::clone(&m),
             &EmuSpmvConfig {
-                layout: EmuLayout::ALL[layout_idx],
+                layout,
                 grain_nnz: grain,
             },
-        );
+        )
+        .unwrap();
         for (i, (a, b)) in reference.iter().zip(&r.y).enumerate() {
-            prop_assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
         }
     }
+}
 
-    /// Migration count bounds for the chase: at most one migration per
-    /// element, at least one per off-nodelet block transition is
-    /// impossible to undercut (lower bound: 0).
-    #[test]
-    fn chase_migrations_bounded(
-        lists in 1usize..6,
-        blocks in 2usize..10,
-        block in 1usize..16,
-        seed in any::<u64>()
-    ) {
+/// Migration count bounds for the chase: at most one migration per
+/// element.
+#[test]
+fn chase_migrations_bounded() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xB0DD + case);
+        let blocks = rng.gen_range(2..10usize);
+        let block = rng.gen_range(1..16usize);
         let cc = ChaseConfig {
             elems_per_list: blocks * block,
-            nlists: lists,
+            nlists: rng.gen_range(1..6usize),
             block_elems: block,
             mode: ShuffleMode::FullBlock,
-            seed,
+            seed: rng.next_u64(),
         };
-        let r = run_chase_emu(&presets::chick_prototype(), &cc);
-        prop_assert!(r.migrations <= cc.total_elems(), "more migrations than elements");
+        let r = run_chase_emu(&presets::chick_prototype(), &cc).unwrap();
+        assert!(
+            r.migrations <= cc.total_elems(),
+            "more migrations than elements"
+        );
     }
 }

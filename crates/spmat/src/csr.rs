@@ -155,11 +155,7 @@ impl CsrMatrix {
         if self.row_ptr[0] != 0 {
             return Err("row_ptr[0] != 0".into());
         }
-        if self
-            .row_ptr
-            .windows(2)
-            .any(|w| w[1] < w[0])
-        {
+        if self.row_ptr.windows(2).any(|w| w[1] < w[0]) {
             return Err("row_ptr not nondecreasing".into());
         }
         let nnz = self.row_ptr[self.nrows as usize] as usize;

@@ -2,13 +2,12 @@
 
 use crate::coo::CooMatrix;
 use crate::csr::CsrMatrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use desim::rng::rng_from_seed;
 
 /// A uniformly random sparse matrix with ~`nnz_per_row` entries per row
 /// (duplicates folded, so actual nnz may be slightly lower).
 pub fn random_uniform(nrows: u32, ncols: u32, nnz_per_row: u32, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = rng_from_seed(seed);
     let mut coo = CooMatrix::new(nrows, ncols);
     for r in 0..nrows {
         for _ in 0..nnz_per_row {
@@ -39,7 +38,7 @@ pub fn banded(n: u32, offsets: &[i64]) -> CsrMatrix {
 /// `max(1, base >> (r·levels/nrows))` random entries — a cheap stand-in
 /// for graph adjacency skew in load-balance tests.
 pub fn skewed(nrows: u32, ncols: u32, base: u32, seed: u64) -> CsrMatrix {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = rng_from_seed(seed);
     let mut coo = CooMatrix::new(nrows, ncols);
     for r in 0..nrows {
         let level = (r as u64 * 8 / nrows.max(1) as u64) as u32;

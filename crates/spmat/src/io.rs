@@ -47,7 +47,10 @@ pub fn read_matrix_market<R: Read>(r: R) -> Result<CsrMatrix, String> {
     let size_line = size_line.ok_or("missing size line")?;
     let dims: Vec<u64> = size_line
         .split_whitespace()
-        .map(|x| x.parse().map_err(|_| format!("bad size line {size_line:?}")))
+        .map(|x| {
+            x.parse()
+                .map_err(|_| format!("bad size line {size_line:?}"))
+        })
         .collect::<Result<_, _>>()?;
     let [nrows, ncols, nnz] = dims[..] else {
         return Err(format!("size line needs 3 fields: {size_line:?}"));
@@ -164,10 +167,10 @@ mod tests {
     #[test]
     fn rejects_malformed() {
         assert!(read_matrix_market("hello\n".as_bytes()).is_err());
-        assert!(read_matrix_market(
-            "%%MatrixMarket matrix array real general\n2 2\n".as_bytes()
-        )
-        .is_err());
+        assert!(
+            read_matrix_market("%%MatrixMarket matrix array real general\n2 2\n".as_bytes())
+                .is_err()
+        );
         // Entry out of bounds.
         let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(src.as_bytes()).is_err());

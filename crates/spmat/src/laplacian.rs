@@ -60,8 +60,8 @@ pub fn laplacian(spec: LaplacianSpec) -> CsrMatrix {
     for row in 0..nrows as u64 {
         // Decode coordinates of this grid point.
         let mut rest = row;
-        for i in 0..d {
-            coord[i] = rest % n;
+        for c in coord.iter_mut() {
+            *c = rest % n;
             rest /= n;
         }
         coo.push(row as u32, row as u32, 2.0 * d as f64);

@@ -19,6 +19,6 @@ pub mod partition;
 
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use laplacian::{laplacian, LaplacianSpec};
 pub use io::{load_matrix_market, read_matrix_market, write_matrix_market};
+pub use laplacian::{laplacian, LaplacianSpec};
 pub use partition::{contiguous, nnz_balanced, round_robin, RowPartition};

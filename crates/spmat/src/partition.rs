@@ -82,10 +82,7 @@ pub fn nnz_balanced(m: &CsrMatrix, nowners: u32) -> RowPartition {
             cur += 1;
         }
     }
-    RowPartition {
-        owner,
-        nowners,
-    }
+    RowPartition { owner, nowners }
 }
 
 #[cfg(test)]

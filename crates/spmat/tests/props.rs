@@ -1,37 +1,48 @@
-//! Property-based tests of the sparse-matrix substrate.
+//! Randomized (seeded, deterministic) tests of the sparse-matrix
+//! substrate. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
-use proptest::prelude::*;
+use desim::rng::{rng_from_seed, Rng64};
 use spmat::coo::CooMatrix;
 use spmat::csr::CsrMatrix;
 use spmat::laplacian::{laplacian, LaplacianSpec};
 use spmat::partition::{contiguous, nnz_balanced, round_robin};
 
-fn arb_coo() -> impl Strategy<Value = CooMatrix> {
-    (1u32..40, 1u32..40).prop_flat_map(|(nr, nc)| {
-        prop::collection::vec((0..nr, 0..nc, -10.0f64..10.0), 0..200).prop_map(
-            move |entries| {
-                let mut coo = CooMatrix::new(nr, nc);
-                for (r, c, v) in entries {
-                    coo.push(r, c, v);
-                }
-                coo
-            },
-        )
-    })
+const CASES: u64 = 64;
+
+fn arb_coo(rng: &mut Rng64) -> CooMatrix {
+    let nr = rng.gen_range(1..40u32);
+    let nc = rng.gen_range(1..40u32);
+    let n = rng.gen_range(0..200usize);
+    let mut coo = CooMatrix::new(nr, nc);
+    for _ in 0..n {
+        coo.push(
+            rng.gen_range(0..nr),
+            rng.gen_range(0..nc),
+            rng.gen_range(-10.0..10.0),
+        );
+    }
+    coo
 }
 
-proptest! {
-    /// CSR built from any COO satisfies all format invariants.
-    #[test]
-    fn from_coo_always_valid(coo in arb_coo()) {
+/// CSR built from any COO satisfies all format invariants.
+#[test]
+fn from_coo_always_valid() {
+    for case in 0..CASES {
+        let coo = arb_coo(&mut rng_from_seed(0xC00 + case));
         let m = CsrMatrix::from_coo(&coo);
-        prop_assert!(m.validate().is_ok(), "{:?}", m.validate());
-        prop_assert!(m.nnz() as usize <= coo.nnz());
+        assert!(m.validate().is_ok(), "{:?}", m.validate());
+        assert!(m.nnz() as usize <= coo.nnz());
     }
+}
 
-    /// SpMV agrees with a naive dense computation from the COO triplets.
-    #[test]
-    fn spmv_matches_dense(coo in arb_coo(), seed in 0u64..1000) {
+/// SpMV agrees with a naive dense computation from the COO triplets.
+#[test]
+fn spmv_matches_dense() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xDE05E + case);
+        let coo = arb_coo(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         let m = CsrMatrix::from_coo(&coo);
         let x: Vec<f64> = (0..coo.ncols)
             .map(|j| ((j as u64 + seed) % 13) as f64 - 6.0)
@@ -42,13 +53,19 @@ proptest! {
         }
         let y = m.spmv(&x);
         for (a, b) in dense.iter().zip(&y) {
-            prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
     }
+}
 
-    /// SpMV is linear: A(ax + by) == a·Ax + b·Ay.
-    #[test]
-    fn spmv_linearity(coo in arb_coo(), a in -4.0f64..4.0, b in -4.0f64..4.0) {
+/// SpMV is linear: A(ax + by) == a·Ax + b·Ay.
+#[test]
+fn spmv_linearity() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x11EA7 + case);
+        let coo = arb_coo(&mut rng);
+        let a = rng.gen_range(-4.0..4.0);
+        let b = rng.gen_range(-4.0..4.0);
         let m = CsrMatrix::from_coo(&coo);
         let nc = coo.ncols as usize;
         let x: Vec<f64> = (0..nc).map(|j| (j % 7) as f64).collect();
@@ -58,46 +75,58 @@ proptest! {
         let (mx, my) = (m.spmv(&x), m.spmv(&y));
         for i in 0..lhs.len() {
             let rhs = a * mx[i] + b * my[i];
-            prop_assert!((lhs[i] - rhs).abs() < 1e-6, "row {i}: {} vs {rhs}", lhs[i]);
+            assert!((lhs[i] - rhs).abs() < 1e-6, "row {i}: {} vs {rhs}", lhs[i]);
         }
     }
+}
 
-    /// The Laplacian nnz formula is exact and the matrix is symmetric
-    /// with zero interior row sums, for any small (dims, n).
-    #[test]
-    fn laplacian_structure(dims in 1u32..4, n in 1u32..8) {
-        let spec = LaplacianSpec { dims, n };
-        let m = laplacian(spec);
-        prop_assert_eq!(m.nnz(), spec.nnz());
-        prop_assert!(m.validate().is_ok());
-        // A * ones >= 0 everywhere (diagonally dominant), interior = 0.
-        let y = m.spmv(&vec![1.0; m.ncols() as usize]);
-        prop_assert!(y.iter().all(|&v| v >= -1e-12));
+/// The Laplacian nnz formula is exact and the matrix is symmetric
+/// with zero interior row sums, for any small (dims, n).
+#[test]
+fn laplacian_structure() {
+    for dims in 1u32..4 {
+        for n in 1u32..8 {
+            let spec = LaplacianSpec { dims, n };
+            let m = laplacian(spec);
+            assert_eq!(m.nnz(), spec.nnz());
+            assert!(m.validate().is_ok());
+            // A * ones >= 0 everywhere (diagonally dominant), interior = 0.
+            let y = m.spmv(&vec![1.0; m.ncols() as usize]);
+            assert!(y.iter().all(|&v| v >= -1e-12));
+        }
     }
+}
 
-    /// Every partitioner covers all rows exactly once.
-    #[test]
-    fn partitions_cover(nrows in 1u32..500, owners in 1u32..17) {
+/// Every partitioner covers all rows exactly once.
+#[test]
+fn partitions_cover() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xC0FE + case);
+        let nrows = rng.gen_range(1..500u32);
+        let owners = rng.gen_range(1..17u32);
         let m = laplacian(LaplacianSpec { dims: 1, n: nrows });
         for p in [
             round_robin(nrows, owners),
             contiguous(nrows, owners),
             nnz_balanced(&m, owners),
         ] {
-            prop_assert_eq!(p.owner.len(), nrows as usize);
-            prop_assert!(p.owner.iter().all(|&o| o < owners));
+            assert_eq!(p.owner.len(), nrows as usize);
+            assert!(p.owner.iter().all(|&o| o < owners));
             let covered: usize = (0..owners).map(|o| p.rows_of(o).len()).sum();
-            prop_assert_eq!(covered, nrows as usize);
+            assert_eq!(covered, nrows as usize);
         }
     }
+}
 
-    /// nnz-balanced partitioning is never worse than 1 row of imbalance
-    /// beyond the heaviest row.
-    #[test]
-    fn nnz_balanced_is_sane(n in 2u32..20, owners in 1u32..9) {
-        let m = laplacian(LaplacianSpec::paper(n));
-        let p = nnz_balanced(&m, owners);
-        let per = p.nnz_per_owner(&m);
-        prop_assert_eq!(per.iter().sum::<u64>(), m.nnz());
+/// nnz-balanced partitioning conserves the matrix's nonzeros.
+#[test]
+fn nnz_balanced_is_sane() {
+    for n in 2u32..20 {
+        for owners in 1u32..9 {
+            let m = laplacian(LaplacianSpec::paper(n));
+            let p = nnz_balanced(&m, owners);
+            let per = p.nnz_per_owner(&m);
+            assert_eq!(per.iter().sum::<u64>(), m.nnz());
+        }
     }
 }

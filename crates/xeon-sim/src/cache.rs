@@ -60,7 +60,10 @@ impl Cache {
     pub fn new(geom: CacheGeometry) -> Self {
         let sets = geom.sets();
         assert!(sets > 0, "cache must have at least one set");
-        assert!(geom.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            geom.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             ways: vec![Way::default(); (sets * geom.assoc as u64) as usize],
             assoc: geom.assoc as usize,
@@ -193,7 +196,7 @@ mod tests {
         // Set 0 holds lines with (line_addr >> 6) even.
         c.install(0x000, false);
         c.install(0x080, false); // same set (2 sets: set = bit 6.. wait)
-        // set index = (addr>>6) & 1, so 0x000 -> set 0, 0x080 -> set 0? 0x80>>6 = 2 -> set 0.
+                                 // set index = (addr>>6) & 1, so 0x000 -> set 0, 0x080 -> set 0? 0x80>>6 = 2 -> set 0.
         assert!(c.contains(0x000) && c.contains(0x080));
         c.probe(0x000, false); // touch 0x000, making 0x080 LRU
         c.install(0x100, false); // set 0 again (0x100>>6 = 4)

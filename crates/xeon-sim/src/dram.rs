@@ -86,8 +86,8 @@ impl Dram {
             .collect();
         // ps per line = bytes * 1e12 / B/s.
         let line_transfer = Time::from_ps(
-            (line_bytes as u128 * desim::time::PS_PER_S as u128
-                / cfg.channel_bytes_per_sec as u128) as u64,
+            (line_bytes as u128 * desim::time::PS_PER_S as u128 / cfg.channel_bytes_per_sec as u128)
+                as u64,
         );
         Dram {
             cfg,

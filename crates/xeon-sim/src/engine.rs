@@ -375,9 +375,18 @@ mod tests {
     #[test]
     fn repeat_loads_hit_l1() {
         let r = run_ops(vec![
-            CpuOp::Load { addr: 0x1000, bytes: 8 },
-            CpuOp::Load { addr: 0x1008, bytes: 8 },
-            CpuOp::Load { addr: 0x1010, bytes: 8 },
+            CpuOp::Load {
+                addr: 0x1000,
+                bytes: 8,
+            },
+            CpuOp::Load {
+                addr: 0x1008,
+                bytes: 8,
+            },
+            CpuOp::Load {
+                addr: 0x1010,
+                bytes: 8,
+            },
         ]);
         assert_eq!(r.counters.dram_loads, 1);
         assert_eq!(r.counters.l1_hits, 2);
@@ -385,22 +394,38 @@ mod tests {
 
     #[test]
     fn dram_load_is_slow_l1_hit_is_fast() {
-        let miss = run_ops(vec![CpuOp::Load { addr: 0x1000, bytes: 8 }]).makespan;
+        let miss = run_ops(vec![CpuOp::Load {
+            addr: 0x1000,
+            bytes: 8,
+        }])
+        .makespan;
         let hit2 = run_ops(vec![
-            CpuOp::Load { addr: 0x1000, bytes: 8 },
-            CpuOp::Load { addr: 0x1000, bytes: 8 },
+            CpuOp::Load {
+                addr: 0x1000,
+                bytes: 8,
+            },
+            CpuOp::Load {
+                addr: 0x1000,
+                bytes: 8,
+            },
         ])
         .makespan;
         // The second (L1-hit) load adds far less than the first.
         assert!(hit2 - miss < miss / 4, "miss {miss}, +hit {hit2}");
         // A cold DRAM load costs tens of ns.
-        assert!(miss > Time::from_ns(40) && miss < Time::from_ns(400), "{miss}");
+        assert!(
+            miss > Time::from_ns(40) && miss < Time::from_ns(400),
+            "{miss}"
+        );
     }
 
     #[test]
     fn sequential_loads_trigger_prefetch() {
         let ops: Vec<CpuOp> = (0..64u64)
-            .map(|i| CpuOp::Load { addr: i * 64, bytes: 8 })
+            .map(|i| CpuOp::Load {
+                addr: i * 64,
+                bytes: 8,
+            })
             .collect();
         let r = run_ops(ops);
         assert!(r.counters.prefetches > 0, "prefetcher silent");
@@ -418,7 +443,10 @@ mod tests {
         let addrs = desim::rng::uniform_indices(256, 1 << 30, 42);
         let ops: Vec<CpuOp> = addrs
             .iter()
-            .map(|&a| CpuOp::Load { addr: (a / 64) * 64, bytes: 8 })
+            .map(|&a| CpuOp::Load {
+                addr: (a / 64) * 64,
+                bytes: 8,
+            })
             .collect();
         let r = run_ops(ops);
         assert_eq!(r.counters.prefetch_hits, 0);
@@ -428,8 +456,14 @@ mod tests {
     #[test]
     fn store_then_load_hits() {
         let r = run_ops(vec![
-            CpuOp::Store { addr: 0x2000, bytes: 8 },
-            CpuOp::Load { addr: 0x2000, bytes: 8 },
+            CpuOp::Store {
+                addr: 0x2000,
+                bytes: 8,
+            },
+            CpuOp::Load {
+                addr: 0x2000,
+                bytes: 8,
+            },
         ]);
         assert_eq!(r.counters.l1_hits, 1);
         assert_eq!(r.counters.stores, 1);
@@ -438,8 +472,14 @@ mod tests {
     #[test]
     fn nt_stores_bypass_cache() {
         let r = run_ops(vec![
-            CpuOp::StoreNt { addr: 0x3000, bytes: 8 },
-            CpuOp::Load { addr: 0x3000, bytes: 8 },
+            CpuOp::StoreNt {
+                addr: 0x3000,
+                bytes: 8,
+            },
+            CpuOp::Load {
+                addr: 0x3000,
+                bytes: 8,
+            },
         ]);
         // The NT store did not allocate, so the load misses to DRAM.
         assert_eq!(r.counters.dram_loads, 1);
@@ -456,7 +496,10 @@ mod tests {
         for pass in 0..2 {
             let _ = pass;
             for i in (0..lines).step_by(64) {
-                ops.push(CpuOp::Store { addr: i * line, bytes: 8 });
+                ops.push(CpuOp::Store {
+                    addr: i * line,
+                    bytes: 8,
+                });
             }
         }
         let r = run_ops(ops);
@@ -474,7 +517,10 @@ mod tests {
         let mk = || {
             run_ops(
                 (0..128u64)
-                    .map(|i| CpuOp::Load { addr: i * 128, bytes: 8 })
+                    .map(|i| CpuOp::Load {
+                        addr: i * 128,
+                        bytes: 8,
+                    })
                     .collect(),
             )
         };

@@ -174,8 +174,8 @@ mod tests {
         let mut p = pf();
         p.on_miss(10);
         p.on_miss(11); // fires
-        // A far jump starts a NEW stream; the old one stays tracked but
-        // this new location must re-earn its streak.
+                       // A far jump starts a NEW stream; the old one stays tracked but
+                       // this new location must re-earn its streak.
         assert!(p.on_miss(500_000).is_empty());
         assert_eq!(p.on_miss(500_001), vec![500_002, 500_003, 500_004, 500_005]);
     }

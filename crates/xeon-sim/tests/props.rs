@@ -1,9 +1,13 @@
-//! Property-based tests of the CPU model's invariants.
+//! Randomized (seeded, deterministic) tests of the CPU model's
+//! invariants. Each test sweeps a fixed set of seeds so failures are
+//! reproducible without any external property-testing framework.
 
-use proptest::prelude::*;
+use desim::rng::rng_from_seed;
 use xeon_sim::cache::Cache;
 use xeon_sim::config::{sandy_bridge, CacheGeometry};
 use xeon_sim::prelude::*;
+
+const CASES: u64 = 64;
 
 fn tiny_geom(assoc: u32, sets: u32) -> CacheGeometry {
     CacheGeometry {
@@ -14,85 +18,107 @@ fn tiny_geom(assoc: u32, sets: u32) -> CacheGeometry {
     }
 }
 
-proptest! {
-    /// A cache never holds more distinct lines than its capacity, and a
-    /// line just installed is always present.
-    #[test]
-    fn cache_capacity_bound(
-        assoc in 1u32..8,
-        sets in 1u32..16,
-        addrs in prop::collection::vec(0u64..1_000_000, 1..400)
-    ) {
+/// A cache never holds more distinct lines than its capacity, and a
+/// line just installed is always present.
+#[test]
+fn cache_capacity_bound() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xCAB + case);
+        let assoc = rng.gen_range(1..8u32);
+        let sets = rng.gen_range(1..16u32);
+        let len = rng.gen_range(1..400usize);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..1_000_000u64)).collect();
         let geom = tiny_geom(assoc, sets);
         let mut c = Cache::new(geom);
         for &a in &addrs {
             c.access(a, false);
-            prop_assert!(c.contains(a), "just-installed line missing");
+            assert!(c.contains(a), "just-installed line missing");
         }
         // Count resident lines by probing all distinct lines we touched.
         let mut distinct: Vec<u64> = addrs.iter().map(|a| a / 64 * 64).collect();
         distinct.sort_unstable();
         distinct.dedup();
         let resident = distinct.iter().filter(|&&l| c.contains(l)).count();
-        prop_assert!(resident as u64 <= geom.sets() * assoc as u64);
+        assert!(resident as u64 <= geom.sets() * assoc as u64);
     }
+}
 
-    /// hits + misses equals the number of accesses, always.
-    #[test]
-    fn cache_stats_partition(addrs in prop::collection::vec(0u64..100_000, 1..300)) {
+/// hits + misses equals the number of accesses, always.
+#[test]
+fn cache_stats_partition() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x57A7 + case);
+        let len = rng.gen_range(1..300usize);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100_000u64)).collect();
         let mut c = Cache::new(tiny_geom(4, 8));
         for &a in &addrs {
             c.access(a, a % 3 == 0);
         }
         let (h, m) = c.stats();
-        prop_assert_eq!(h + m, addrs.len() as u64);
+        assert_eq!(h + m, addrs.len() as u64);
     }
+}
 
-    /// Within one set, an access pattern that fits the associativity
-    /// never misses after the warmup pass (LRU stack property).
-    #[test]
-    fn cache_lru_stack_property(assoc in 2u32..8, rounds in 2usize..6) {
-        let geom = tiny_geom(assoc, 4);
-        let mut c = Cache::new(geom);
-        // `assoc` distinct lines in set 0 (stride = sets*64).
-        let lines: Vec<u64> = (0..assoc as u64).map(|i| i * 4 * 64).collect();
-        for round in 0..rounds {
-            for &l in &lines {
-                let hit = c.probe(l, false);
-                if !hit {
-                    c.install(l, false);
-                    prop_assert_eq!(round, 0, "miss after warmup");
+/// Within one set, an access pattern that fits the associativity
+/// never misses after the warmup pass (LRU stack property).
+#[test]
+fn cache_lru_stack_property() {
+    for assoc in 2u32..8 {
+        for rounds in 2usize..6 {
+            let geom = tiny_geom(assoc, 4);
+            let mut c = Cache::new(geom);
+            // `assoc` distinct lines in set 0 (stride = sets*64).
+            let lines: Vec<u64> = (0..assoc as u64).map(|i| i * 4 * 64).collect();
+            for round in 0..rounds {
+                for &l in &lines {
+                    let hit = c.probe(l, false);
+                    if !hit {
+                        c.install(l, false);
+                        assert_eq!(round, 0, "miss after warmup");
+                    }
                 }
             }
         }
     }
+}
 
-    /// DRAM request completion is monotone when arrivals are monotone,
-    /// and row stats partition the accesses.
-    #[test]
-    fn dram_monotone(reqs in prop::collection::vec((0u64..1u64<<24, any::<bool>()), 1..200)) {
-        use desim::time::Time;
+/// DRAM request completion is monotone when arrivals are monotone,
+/// and row stats partition the accesses.
+#[test]
+fn dram_monotone() {
+    use desim::time::Time;
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0xD7A8 + case);
+        let len = rng.gen_range(1..200usize);
+        let reqs: Vec<(u64, bool)> = (0..len)
+            .map(|_| (rng.gen_range(0..1u64 << 24), rng.next_u64() & 1 == 0))
+            .collect();
         let mut d = xeon_sim::dram::Dram::new(sandy_bridge().dram, 64);
         let mut at = Time::ZERO;
         for (i, &(addr, w)) in reqs.iter().enumerate() {
             let addr = addr / 64 * 64;
             let done = d.request(at, addr, w);
-            prop_assert!(done > at);
+            assert!(done > at);
             at += Time::from_ns((i % 7) as u64);
         }
         let s = d.stats();
-        prop_assert_eq!(s.reads + s.writes, reqs.len() as u64);
-        prop_assert_eq!(s.row_hits + s.row_misses, reqs.len() as u64);
+        assert_eq!(s.reads + s.writes, reqs.len() as u64);
+        assert_eq!(s.row_hits + s.row_misses, reqs.len() as u64);
         let r = s.row_hit_rate();
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r));
     }
+}
 
-    /// The engine terminates for arbitrary single-thread programs and
-    /// counts every load at exactly one level.
-    #[test]
-    fn cpu_engine_levels_partition(
-        ops in prop::collection::vec((0u64..1u64<<20, 0u8..3), 1..200)
-    ) {
+/// The engine terminates for arbitrary single-thread programs and
+/// counts every load at exactly one level.
+#[test]
+fn cpu_engine_levels_partition() {
+    for case in 0..CASES {
+        let mut rng = rng_from_seed(0x1E7E15 + case);
+        let len = rng.gen_range(1..200usize);
+        let ops: Vec<(u64, u8)> = (0..len)
+            .map(|_| (rng.gen_range(0..1u64 << 20), rng.gen_range(0..3u32) as u8))
+            .collect();
         let mut e = CpuEngine::new(sandy_bridge());
         let script: Vec<CpuOp> = ops
             .iter()
@@ -109,29 +135,39 @@ proptest! {
         e.add_thread(Box::new(CpuScript::new(script)));
         let r = e.run();
         let c = &r.counters;
-        prop_assert_eq!(
+        assert_eq!(
             c.l1_hits + c.l2_hits + c.l3_hits + c.prefetch_hits + c.dram_loads,
             loads
         );
     }
+}
 
-    /// Determinism of the CPU engine under arbitrary multi-thread loads.
-    #[test]
-    fn cpu_engine_deterministic(
-        seqs in prop::collection::vec(
-            prop::collection::vec(0u64..1u64<<18, 1..50), 1..4)
-    ) {
+/// Determinism of the CPU engine under arbitrary multi-thread loads.
+#[test]
+fn cpu_engine_deterministic() {
+    for case in 0..16u64 {
+        let mut rng = rng_from_seed(0xDE7C + case);
+        let nthreads = rng.gen_range(1..4usize);
+        let seqs: Vec<Vec<u64>> = (0..nthreads)
+            .map(|_| {
+                let len = rng.gen_range(1..50usize);
+                (0..len).map(|_| rng.gen_range(0..1u64 << 18)).collect()
+            })
+            .collect();
         let run = || {
             let mut e = CpuEngine::new(sandy_bridge());
             for s in &seqs {
                 let script: Vec<CpuOp> = s
                     .iter()
-                    .map(|&a| CpuOp::Load { addr: a / 8 * 8, bytes: 8 })
+                    .map(|&a| CpuOp::Load {
+                        addr: a / 8 * 8,
+                        bytes: 8,
+                    })
                     .collect();
                 e.add_thread(Box::new(CpuScript::new(script)));
             }
             e.run().makespan
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

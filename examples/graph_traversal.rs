@@ -29,6 +29,7 @@ fn main() {
             ..Default::default()
         },
     )
+    .unwrap()
     .bandwidth
     .mb_per_sec();
     let cpu_peak = run_stream_cpu(
@@ -58,7 +59,8 @@ fn main() {
                 mode: ShuffleMode::FullBlock,
                 seed: 42,
             },
-        );
+        )
+        .unwrap();
         assert_eq!(
             emu.checksum,
             ChaseConfig {

@@ -12,7 +12,10 @@ use membench::pingpong::{run_pingpong, PingPongConfig};
 fn main() {
     let presets_list: [(&str, MachineConfig); 3] = [
         ("Chick hardware (1.0 firmware)", presets::chick_prototype()),
-        ("Emu 17.11 toolchain simulator", presets::chick_toolchain_sim()),
+        (
+            "Emu 17.11 toolchain simulator",
+            presets::chick_toolchain_sim(),
+        ),
         ("full-speed design point", presets::chick_full_speed()),
     ];
 
@@ -32,7 +35,8 @@ fn main() {
                     a: NodeletId(0),
                     b: NodeletId(1),
                 },
-            );
+            )
+            .unwrap();
             println!(
                 "{:>10} {:>16.2} M {:>11.2} us {:>9} ",
                 threads,

@@ -8,38 +8,43 @@ use emu_chick::prelude::*;
 use membench::pingpong::{run_pingpong, PingPongConfig};
 use membench::stream::{run_stream_emu, EmuStreamConfig};
 
-fn main() {
+fn main() -> Result<(), SimError> {
     // ── 1. Threads migrate to data ──────────────────────────────────
     // A threadlet on nodelet 0 reads a word owned by nodelet 5. On a
     // cache machine the line would travel; on the Emu the *thread* does.
-    let mut engine = Engine::new(presets::chick_prototype());
+    let mut engine = Engine::new(presets::chick_prototype())?;
     engine.spawn_at(
         NodeletId(0),
         Box::new(ScriptKernel::new(vec![Op::Load {
             addr: GlobalAddr::new(NodeletId(5), 0x40),
             bytes: 8,
         }])),
-    );
-    let report = engine.run();
+    )?;
+    let report = engine.run()?;
     println!("1) remote read:");
     println!("   migrations      : {}", report.total_migrations());
-    println!("   read served on  : nodelet 5 (local loads there: {})",
-        report.nodelets[5].local_loads);
+    println!(
+        "   read served on  : nodelet 5 (local loads there: {})",
+        report.nodelets[5].local_loads
+    );
     println!("   single-read time: {}", report.makespan);
 
     // ── 2. Remote writes do NOT migrate ─────────────────────────────
-    let mut engine = Engine::new(presets::chick_prototype());
+    let mut engine = Engine::new(presets::chick_prototype())?;
     engine.spawn_at(
         NodeletId(0),
         Box::new(ScriptKernel::new(vec![Op::Store {
             addr: GlobalAddr::new(NodeletId(5), 0x40),
             bytes: 8,
         }])),
-    );
-    let report = engine.run();
+    )?;
+    let report = engine.run()?;
     println!("\n2) remote write (memory-side, posted):");
     println!("   migrations: {}", report.total_migrations());
-    println!("   packets in at nodelet 5: {}", report.nodelets[5].remote_packets_in);
+    println!(
+        "   packets in at nodelet 5: {}",
+        report.nodelets[5].remote_packets_in
+    );
 
     // ── 3. Bandwidth comes from thread count ────────────────────────
     println!("\n3) STREAM ADD on one nodelet (cache-less core, more threads = more bandwidth):");
@@ -53,8 +58,11 @@ fn main() {
                 single_nodelet: true,
                 ..Default::default()
             },
+        )?;
+        println!(
+            "   {threads:>2} threads: {:>7.1} MB/s",
+            r.bandwidth.mb_per_sec()
         );
-        println!("   {threads:>2} threads: {:>7.1} MB/s", r.bandwidth.mb_per_sec());
     }
 
     // ── 4. Spawn placement decides steady-state locality ────────────
@@ -68,7 +76,7 @@ fn main() {
                 strategy,
                 ..Default::default()
             },
-        );
+        )?;
         println!(
             "   {:<24} {:>7.1} MB/s  ({} migrations)",
             strategy.name(),
@@ -85,8 +93,12 @@ fn main() {
             round_trips: 500,
             ..Default::default()
         },
-    );
+    )?;
     println!("\n5) ping-pong between two nodelets, 64 threads:");
-    println!("   throughput: {:.1} M migrations/s", pp.migrations_per_sec / 1e6);
+    println!(
+        "   throughput: {:.1} M migrations/s",
+        pp.migrations_per_sec / 1e6
+    );
     println!("   mean latency: {:.2} us", pp.mean_latency_ns / 1000.0);
+    Ok(())
 }

@@ -39,7 +39,8 @@ fn main() {
                 layout,
                 grain_nnz: 16,
             },
-        );
+        )
+        .unwrap();
         // Every layout computes the exact same output vector.
         let err = reference
             .iter()

@@ -29,7 +29,7 @@ fn main() {
     // ── streaming insertion ─────────────────────────────────────────
     println!("edge-stream ingestion (threads -> M edges/s, migrations/edge):");
     for threads in [16usize, 64, 256] {
-        let r = run_insert_emu(&cfg, &edges, threads, emu_graph::DEFAULT_BLOCK_CAP);
+        let r = run_insert_emu(&cfg, &edges, threads, emu_graph::DEFAULT_BLOCK_CAP).unwrap();
         println!(
             "  {threads:>4} threads: {:>6.2} M edges/s   {:.2} migrations/edge",
             r.edges_per_sec / 1e6,
@@ -39,7 +39,7 @@ fn main() {
 
     // The streamed structure is exactly the host-built one.
     let host = Stinger::build_host(&edges, emu_graph::DEFAULT_BLOCK_CAP, 8);
-    let streamed = run_insert_emu(&cfg, &edges, 256, emu_graph::DEFAULT_BLOCK_CAP);
+    let streamed = run_insert_emu(&cfg, &edges, 256, emu_graph::DEFAULT_BLOCK_CAP).unwrap();
     assert_eq!(
         streamed.graph.lock().unwrap().canonical_adjacency(),
         host.canonical_adjacency()
@@ -51,7 +51,7 @@ fn main() {
     let reference = g.bfs_reference(0);
     println!("BFS from vertex 0 (512 threads):");
     for mode in [BfsMode::Migrating, BfsMode::RemoteFlags] {
-        let r = run_bfs_emu(&cfg, Arc::clone(&g), 0, mode, 512);
+        let r = run_bfs_emu(&cfg, Arc::clone(&g), 0, mode, 512).unwrap();
         assert_eq!(r.levels, reference);
         println!(
             "  {:<14} {:>7.2} M TEPS  depth {}  {:>8} migrations  ({:.3} per edge)",

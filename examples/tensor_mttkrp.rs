@@ -37,7 +37,8 @@ fn main() {
                     rank,
                     nthreads: 512,
                 },
-            );
+            )
+            .unwrap();
             // Exactness check against the host reference.
             let err = reference
                 .iter()

@@ -15,16 +15,19 @@
 //! ```
 //! use emu_chick::prelude::*;
 //!
+//! # fn main() -> Result<(), SimError> {
 //! // A threadlet reading remote memory migrates to the data.
-//! let mut engine = Engine::new(presets::chick_prototype());
+//! let mut engine = Engine::new(presets::chick_prototype())?;
 //! engine.spawn_at(
 //!     NodeletId(0),
 //!     Box::new(ScriptKernel::new(vec![Op::Load {
 //!         addr: GlobalAddr::new(NodeletId(5), 0),
 //!         bytes: 8,
 //!     }])),
-//! );
-//! assert_eq!(engine.run().total_migrations(), 1);
+//! )?;
+//! assert_eq!(engine.run()?.total_migrations(), 1);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use desim;

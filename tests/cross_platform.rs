@@ -24,7 +24,7 @@ fn chase_checksums_agree_across_platforms_and_modes() {
                 mode,
                 seed: 99,
             };
-            let emu = run_chase_emu(&presets::chick_prototype(), &cc);
+            let emu = run_chase_emu(&presets::chick_prototype(), &cc).unwrap();
             let cpu = run_chase_cpu(&sandy_bridge(), &cc);
             assert_eq!(emu.checksum, cc.expected_checksum(), "{}", mode.name());
             assert_eq!(cpu.checksum, cc.expected_checksum(), "{}", mode.name());
@@ -52,7 +52,8 @@ fn spmv_all_six_configurations_produce_identical_results() {
                 layout,
                 grain_nnz: 8,
             },
-        );
+        )
+        .unwrap();
         close(&r.y, layout.name());
     }
     for strategy in [
@@ -90,7 +91,8 @@ fn spmv_works_on_non_stencil_matrices_too() {
                     layout,
                     grain_nnz: 16,
                 },
-            );
+            )
+            .unwrap();
             let err = reference
                 .iter()
                 .zip(&r.y)
@@ -118,7 +120,8 @@ fn stream_checksums_agree_across_platforms_and_kernels() {
                 kernel,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let cpu = run_stream_cpu(
             &sandy_bridge(),
             &CpuStreamConfig {
@@ -128,8 +131,18 @@ fn stream_checksums_agree_across_platforms_and_kernels() {
                 nt_stores: true,
             },
         );
-        assert_eq!(emu.checksum, stream_checksum(n, kernel), "emu {}", kernel.name());
-        assert_eq!(cpu.checksum, stream_checksum(n, kernel), "cpu {}", kernel.name());
+        assert_eq!(
+            emu.checksum,
+            stream_checksum(n, kernel),
+            "emu {}",
+            kernel.name()
+        );
+        assert_eq!(
+            cpu.checksum,
+            stream_checksum(n, kernel),
+            "cpu {}",
+            kernel.name()
+        );
     }
 }
 
@@ -150,7 +163,8 @@ fn every_emu_preset_runs_every_benchmark() {
                 nthreads: nodelets as usize * 4,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         assert_eq!(r.checksum, stream_checksum(4096, StreamKernel::Add));
         let cc = ChaseConfig {
             elems_per_list: 256,
@@ -159,7 +173,7 @@ fn every_emu_preset_runs_every_benchmark() {
             mode: ShuffleMode::FullBlock,
             seed: 3,
         };
-        let ch = run_chase_emu(&cfg, &cc);
+        let ch = run_chase_emu(&cfg, &cc).unwrap();
         assert_eq!(ch.checksum, cc.expected_checksum());
     }
 }

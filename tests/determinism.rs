@@ -21,6 +21,7 @@ fn stream_is_deterministic() {
                 ..Default::default()
             },
         )
+        .unwrap()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.report.makespan, b.report.makespan);
@@ -38,7 +39,7 @@ fn chase_same_seed_identical_different_seed_not() {
             mode: ShuffleMode::FullBlock,
             seed,
         };
-        run_chase_emu(&presets::chick_prototype(), &cc)
+        run_chase_emu(&presets::chick_prototype(), &cc).unwrap()
     };
     assert_eq!(run(1).makespan, run(1).makespan);
     // A different permutation gives a (very likely) different makespan
@@ -75,6 +76,7 @@ fn spmv_is_deterministic_in_time_and_value() {
                 grain_nnz: 8,
             },
         )
+        .unwrap()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.report.makespan, b.report.makespan);
@@ -93,6 +95,7 @@ fn pingpong_and_gups_are_deterministic() {
                 ..Default::default()
             },
         )
+        .unwrap()
     };
     assert_eq!(pp().makespan, pp().makespan);
     let g = || {
@@ -105,6 +108,7 @@ fn pingpong_and_gups_are_deterministic() {
                 seed: 3,
             },
         )
+        .unwrap()
     };
     assert_eq!(g().makespan, g().makespan);
 }
@@ -121,6 +125,7 @@ fn per_nodelet_counters_are_reproducible() {
                 ..Default::default()
             },
         )
+        .unwrap()
         .report
     };
     let (a, b) = (run(), run());

@@ -1,0 +1,145 @@
+//! Fault-injection integration: graceful degradation of the real
+//! benchmarks under a faulted machine, determinism of faulted runs, and
+//! error (not hang/panic) behaviour at the edges.
+
+use emu_chick::prelude::*;
+use membench::chase::{run_chase_emu, ChaseConfig, ShuffleMode};
+use membench::stream::{run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel};
+
+fn stream_bw(cfg: &MachineConfig) -> f64 {
+    let r = run_stream_emu(
+        cfg,
+        &EmuStreamConfig {
+            total_elems: 1 << 14,
+            nthreads: 256,
+            strategy: SpawnStrategy::RecursiveRemote,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Faults slow the machine; they must never corrupt the computation.
+    assert_eq!(r.checksum, stream_checksum(1 << 14, StreamKernel::Add));
+    r.bandwidth.mb_per_sec()
+}
+
+/// More dead nodelets ⇒ monotonically less STREAM bandwidth (and some
+/// redirected traffic), while the answer stays exact.
+#[test]
+fn stream_degrades_monotonically_with_dead_nodelets() {
+    let base = presets::chick_prototype();
+    let mut last = f64::INFINITY;
+    for frac in [0.0, 0.25, 0.5] {
+        let cfg = MachineConfig {
+            faults: FaultPlan::none().with_dead_fraction(base.total_nodelets(), frac),
+            ..base.clone()
+        };
+        let bw = stream_bw(&cfg);
+        assert!(
+            bw <= last * 1.001,
+            "bandwidth must not improve as nodelets die: {bw} after {last} at frac {frac}"
+        );
+        last = bw;
+    }
+    // Half the machine gone must cost at least a quarter of the bandwidth.
+    assert!(last < 0.75 * stream_bw(&base));
+}
+
+/// Slowing a subset of nodelets degrades the chase without changing its
+/// functional result.
+#[test]
+fn chase_survives_slow_nodelets_exactly() {
+    let base = presets::chick_prototype();
+    let cc = ChaseConfig {
+        elems_per_list: 512,
+        nlists: 64,
+        block_elems: 4,
+        mode: ShuffleMode::FullBlock,
+        seed: 23,
+    };
+    let clean = run_chase_emu(&base, &cc).unwrap();
+    let slowed = MachineConfig {
+        faults: FaultPlan::none().with_slow_fraction(base.total_nodelets(), 0.5, 4.0),
+        ..base.clone()
+    };
+    let slow = run_chase_emu(&slowed, &cc).unwrap();
+    assert_eq!(slow.checksum, cc.expected_checksum());
+    assert!(
+        slow.bandwidth.mb_per_sec() < clean.bandwidth.mb_per_sec(),
+        "4x-slow nodelets must cost bandwidth"
+    );
+}
+
+/// A faulted benchmark run replays bit-for-bit from the same plan seed.
+#[test]
+fn faulted_benchmarks_are_deterministic() {
+    let base = presets::chick_prototype();
+    let mut faults = FaultPlan::none().with_dead_fraction(base.total_nodelets(), 0.25);
+    faults.mig_nack_prob = 0.1;
+    faults.ecc_prob = 0.02;
+    let cfg = MachineConfig {
+        faults,
+        ..base.clone()
+    };
+    let cc = ChaseConfig {
+        elems_per_list: 256,
+        nlists: 32,
+        block_elems: 2,
+        mode: ShuffleMode::FullBlock,
+        seed: 7,
+    };
+    let (a, b) = (
+        run_chase_emu(&cfg, &cc).unwrap(),
+        run_chase_emu(&cfg, &cc).unwrap(),
+    );
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.faults, b.faults);
+    assert!(a.faults.total() > 0, "the plan must actually inject faults");
+}
+
+/// NACK storms with a tiny retry budget surface as a structured error —
+/// never a hang, never a panic.
+#[test]
+fn retry_budget_exhaustion_reports_cleanly_through_benchmarks() {
+    let base = presets::chick_prototype();
+    let mut faults = FaultPlan::none();
+    faults.mig_nack_prob = 1.0; // every offer NACKed
+    faults.mig_retry_budget = 3;
+    let cfg = MachineConfig {
+        faults,
+        ..base.clone()
+    };
+    let err = run_chase_emu(
+        &cfg,
+        &ChaseConfig {
+            elems_per_list: 64,
+            nlists: 8,
+            block_elems: 1,
+            mode: ShuffleMode::FullBlock,
+            seed: 1,
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, SimError::RetryBudgetExhausted { retries: 3, .. }),
+        "unexpected error: {err}"
+    );
+}
+
+/// An invalid fault plan is rejected at engine construction, through the
+/// public benchmark API.
+#[test]
+fn invalid_fault_plan_is_rejected_not_panicked() {
+    let mut cfg = presets::chick_prototype();
+    cfg.faults.mig_nack_prob = 2.0;
+    let err = run_stream_emu(
+        &cfg,
+        &EmuStreamConfig {
+            total_elems: 64,
+            nthreads: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimError::InvalidConfig(_)), "got {err}");
+}

@@ -23,6 +23,7 @@ fn emu_stream(threads: usize, strategy: SpawnStrategy, single: bool) -> f64 {
             ..Default::default()
         },
     )
+    .unwrap()
     .bandwidth
     .mb_per_sec()
 }
@@ -35,10 +36,7 @@ fn fig4_shape_knee_near_32_threads() {
     let b32 = emu_stream(32, SpawnStrategy::Serial, true);
     let b64 = emu_stream(64, SpawnStrategy::Serial, true);
     assert!(b32 > 2.5 * b8, "should still scale 8->32: {b8} -> {b32}");
-    assert!(
-        b64 < 1.15 * b32,
-        "should plateau 32->64: {b32} -> {b64}"
-    );
+    assert!(b64 < 1.15 * b32, "should plateau 32->64: {b32} -> {b64}");
 }
 
 /// Fig 4: spawn style barely matters on one nodelet.
@@ -73,6 +71,7 @@ fn fig6_emu_flat_with_block1_dip() {
             seed: 5,
         };
         run_chase_emu(&presets::chick_prototype(), &cc)
+            .unwrap()
             .bandwidth
             .mb_per_sec()
     };
@@ -139,6 +138,7 @@ fn fig8_emu_utilization_dominates() {
                 seed: 6,
             },
         )
+        .unwrap()
         .bandwidth
         .mb_per_sec()
             / emu_peak;
@@ -177,6 +177,7 @@ fn fig9a_layout_ordering() {
                 grain_nnz: 16,
             },
         )
+        .unwrap()
         .bandwidth
         .mb_per_sec()
     };
@@ -203,6 +204,7 @@ fn fig10_validation_gap_is_migration_specific() {
                 ..Default::default()
             },
         )
+        .unwrap()
         .bandwidth
         .mb_per_sec()
     };
@@ -221,6 +223,7 @@ fn fig10_validation_gap_is_migration_specific() {
                 seed: 7,
             },
         )
+        .unwrap()
         .bandwidth
         .mb_per_sec()
     };
@@ -237,11 +240,15 @@ fn fig10_validation_gap_is_migration_specific() {
                 ..Default::default()
             },
         )
+        .unwrap()
         .migrations_per_sec
     };
     let (h, s) = (pp(&hw), pp(&sim));
     assert!((h / 9.0e6 - 1.0).abs() < 0.1, "hw pingpong {h:.2e} ~ 9M/s");
-    assert!((s / 16.0e6 - 1.0).abs() < 0.1, "sim pingpong {s:.2e} ~ 16M/s");
+    assert!(
+        (s / 16.0e6 - 1.0).abs() < 0.1,
+        "sim pingpong {s:.2e} ~ 16M/s"
+    );
 }
 
 /// Fig 11: at full speed, bandwidth keeps scaling into thousands of
@@ -260,6 +267,7 @@ fn fig11_full_speed_scales_with_threads() {
                 seed: 8,
             },
         )
+        .unwrap()
         .bandwidth
         .mb_per_sec()
     };
@@ -284,7 +292,8 @@ fn migration_latency_band() {
             round_trips: 500,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert!(
         r.mean_latency_ns > 500.0 && r.mean_latency_ns < 3000.0,
         "loaded latency {} ns",

@@ -12,7 +12,7 @@ use std::sync::Arc;
 #[test]
 fn slot_exhaustion_thousands_of_threads() {
     let ran = Arc::new(AtomicUsize::new(0));
-    let mut e = Engine::new(presets::chick_prototype());
+    let mut e = Engine::new(presets::chick_prototype()).unwrap();
     for _ in 0..2000 {
         let ran = Arc::clone(&ran);
         let mut fired = false;
@@ -27,9 +27,10 @@ fn slot_exhaustion_thousands_of_threads() {
                     Op::Quit
                 }
             }),
-        );
+        )
+        .unwrap();
     }
-    let r = e.run();
+    let r = e.run().unwrap();
     assert_eq!(ran.load(Ordering::Relaxed), 2000);
     assert!(r.nodelets[0].slot_waits > 0, "expected admission queueing");
 }
@@ -46,7 +47,8 @@ fn stream_more_threads_than_elements() {
             strategy: SpawnStrategy::RecursiveRemote,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(r.checksum, stream_checksum(64, StreamKernel::Add));
 }
 
@@ -60,7 +62,7 @@ fn chase_degenerate_single_element() {
         mode: ShuffleMode::FullBlock,
         seed: 1,
     };
-    let r = run_chase_emu(&presets::chick_prototype(), &cc);
+    let r = run_chase_emu(&presets::chick_prototype(), &cc).unwrap();
     assert_eq!(r.checksum, 0); // payload of the single element is id 0
     assert!(r.makespan > desim::Time::ZERO);
 }
@@ -75,7 +77,7 @@ fn emu64_cross_node_chase_deterministic() {
         mode: ShuffleMode::FullBlock,
         seed: 9,
     };
-    let run = || run_chase_emu(&presets::emu64_full_speed(), &cc);
+    let run = || run_chase_emu(&presets::emu64_full_speed(), &cc).unwrap();
     let (a, b) = (run(), run());
     assert_eq!(a.checksum, cc.expected_checksum());
     assert_eq!(a.makespan, b.makespan);
@@ -100,7 +102,8 @@ fn single_nodelet_machine() {
             single_nodelet: false,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(r.checksum, stream_checksum(2048, StreamKernel::Add));
     assert_eq!(r.report.total_migrations(), 0);
 }
@@ -118,7 +121,8 @@ fn breakdown_conservation_bound() {
             mode: ShuffleMode::FullBlock,
             seed: 4,
         },
-    );
+    )
+    .unwrap();
     let b = r.breakdown;
     let cap = r.makespan * 64;
     assert!(
@@ -161,15 +165,16 @@ fn cpu_oversubscription() {
 #[test]
 fn large_accesses_scale_channel_time() {
     let time_of = |bytes: u32| {
-        let mut e = Engine::new(presets::chick_prototype());
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
         e.spawn_at(
             NodeletId(0),
             Box::new(ScriptKernel::new(vec![Op::Load {
                 addr: GlobalAddr::new(NodeletId(0), 0),
                 bytes,
             }])),
-        );
-        e.run().makespan
+        )
+        .unwrap();
+        e.run().unwrap().makespan
     };
     let t8 = time_of(8);
     let t1k = time_of(1024);
