@@ -1,15 +1,15 @@
 //! Regenerates every figure, the headline table, and all ablations.
 fn main() {
     let t0 = std::time::Instant::now();
-    emu_bench::output::emit_result("fig04", emu_bench::figures::fig04());
-    emu_bench::output::emit_result("fig05", emu_bench::figures::fig05());
-    emu_bench::output::emit_result("fig06", emu_bench::figures::fig06());
-    emu_bench::output::emit_result("fig07", emu_bench::figures::fig07());
-    emu_bench::output::emit_result("fig08", emu_bench::figures::fig08());
-    emu_bench::output::emit_result("fig09a", emu_bench::figures::fig09a());
-    emu_bench::output::emit_result("fig09b", emu_bench::figures::fig09b());
-    emu_bench::output::emit_result("fig10", emu_bench::figures::fig10());
-    emu_bench::output::emit_result("fig11", emu_bench::figures::fig11());
-    emu_bench::output::emit_result("headline", emu_bench::figures::headline());
+    emu_bench::output::run_figure("fig04", emu_bench::figures::fig04);
+    emu_bench::output::run_figure("fig05", emu_bench::figures::fig05);
+    emu_bench::output::run_figure("fig06", emu_bench::figures::fig06);
+    emu_bench::output::run_figure("fig07", emu_bench::figures::fig07);
+    emu_bench::output::run_figure("fig08", emu_bench::figures::fig08);
+    emu_bench::output::run_figure("fig09a", emu_bench::figures::fig09a);
+    emu_bench::output::run_figure("fig09b", emu_bench::figures::fig09b);
+    emu_bench::output::run_figure("fig10", emu_bench::figures::fig10);
+    emu_bench::output::run_figure("fig11", emu_bench::figures::fig11);
+    emu_bench::output::run_figure("headline", emu_bench::figures::headline);
     eprintln!("[all_figures] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

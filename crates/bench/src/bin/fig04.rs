@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 04.
 fn main() {
-    emu_bench::output::emit_result("fig04", emu_bench::figures::fig04());
+    emu_bench::output::run_figure("fig04", emu_bench::figures::fig04);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 05.
 fn main() {
-    emu_bench::output::emit_result("fig05", emu_bench::figures::fig05());
+    emu_bench::output::run_figure("fig05", emu_bench::figures::fig05);
 }

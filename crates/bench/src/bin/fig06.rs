@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 06.
 fn main() {
-    emu_bench::output::emit_result("fig06", emu_bench::figures::fig06());
+    emu_bench::output::run_figure("fig06", emu_bench::figures::fig06);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 07.
 fn main() {
-    emu_bench::output::emit_result("fig07", emu_bench::figures::fig07());
+    emu_bench::output::run_figure("fig07", emu_bench::figures::fig07);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 08.
 fn main() {
-    emu_bench::output::emit_result("fig08", emu_bench::figures::fig08());
+    emu_bench::output::run_figure("fig08", emu_bench::figures::fig08);
 }

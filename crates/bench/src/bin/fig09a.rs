@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 09a.
 fn main() {
-    emu_bench::output::emit_result("fig09a", emu_bench::figures::fig09a());
+    emu_bench::output::run_figure("fig09a", emu_bench::figures::fig09a);
 }

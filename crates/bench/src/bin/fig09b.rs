@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 09b.
 fn main() {
-    emu_bench::output::emit_result("fig09b", emu_bench::figures::fig09b());
+    emu_bench::output::run_figure("fig09b", emu_bench::figures::fig09b);
 }

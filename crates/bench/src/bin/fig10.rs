@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 10.
 fn main() {
-    emu_bench::output::emit_result("fig10", emu_bench::figures::fig10());
+    emu_bench::output::run_figure("fig10", emu_bench::figures::fig10);
 }

@@ -1,4 +1,4 @@
 //! Regenerates the paper's Figure 11.
 fn main() {
-    emu_bench::output::emit_result("fig11", emu_bench::figures::fig11());
+    emu_bench::output::run_figure("fig11", emu_bench::figures::fig11);
 }

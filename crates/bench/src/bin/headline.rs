@@ -1,4 +1,4 @@
 //! Regenerates the headline numbers quoted in the paper's text.
 fn main() {
-    emu_bench::output::emit_result("headline", emu_bench::figures::headline());
+    emu_bench::output::run_figure("headline", emu_bench::figures::headline);
 }

@@ -37,6 +37,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "gups" => cmd_gups(&p),
         "bfs" => cmd_bfs(&p),
         "mttkrp" => cmd_mttkrp(&p),
+        "trace" => cmd_trace(&p),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -367,4 +368,134 @@ fn cmd_mttkrp(p: &Parsed) -> Result<(), String> {
     println!("  migrations         : {}", r.migrations);
     println!("  (Y verified against reference)");
     Ok(())
+}
+
+fn cmd_trace(p: &Parsed) -> Result<(), String> {
+    use emu_bench::telemetry;
+    use emu_core::trace::{self, TelemetryConfig, TraceKind};
+    use std::path::PathBuf;
+
+    p.check_known(&[
+        "bench",
+        "preset",
+        "threads",
+        "elems",
+        "block",
+        "strategy",
+        "events",
+        "bucket-us",
+        "trace-out",
+        "jsonl-out",
+        "report-json",
+    ])?;
+    let bench = p.get_str("bench", "stream");
+    let cfg = cli::preset_by_name(&p.get_str("preset", "chick"))?;
+    let events = p.get("events", 4 * emu_bench::runcfg::DEFAULT_TRACE_EVENTS)?;
+    let bucket_us = p.get("bucket-us", emu_bench::runcfg::DEFAULT_TRACE_BUCKET_US)?;
+
+    let dir = emu_bench::output::results_dir();
+    let path_opt = |key: &str, default: String| -> PathBuf {
+        p.options
+            .get(key)
+            .map(PathBuf::from)
+            .unwrap_or_else(|| dir.join(default))
+    };
+    let trace_out = path_opt("trace-out", format!("trace_{bench}.trace.json"));
+    let jsonl_out = path_opt("jsonl-out", format!("trace_{bench}.jsonl"));
+    let report_out = path_opt("report-json", format!("trace_{bench}.report.json"));
+
+    // Arm the process-global telemetry config and the report collector,
+    // then run the workload through the ordinary benchmark entry point.
+    let guard = trace::GlobalTelemetryGuard::arm(TelemetryConfig {
+        event_capacity: events,
+        timeline_bucket: Some(desim::time::Time::from_us(bucket_us)),
+    });
+    trace::collect_reports(true);
+    let outcome = run_traced_bench(p, &bench, &cfg);
+    drop(guard);
+    let reports = trace::take_reports();
+    trace::collect_reports(false);
+    outcome?;
+
+    let traced = reports
+        .iter()
+        .rev()
+        .find(|r| r.trace.is_some())
+        .ok_or("no traced emu run was collected")?;
+
+    let chrome = telemetry::chrome_trace(traced);
+    let jsonl = telemetry::trace_jsonl(traced);
+    let report = telemetry::report_set_json(&format!("trace_{bench}"), None, &reports);
+    if !telemetry::json_ok(&chrome) || !telemetry::json_ok(&report) || !telemetry::jsonl_ok(&jsonl)
+    {
+        return Err("internal error: emitted telemetry failed JSON validation".into());
+    }
+    emu_bench::output::write_artifact("trace-out", &trace_out, &chrome);
+    emu_bench::output::write_artifact("jsonl-out", &jsonl_out, &jsonl);
+    emu_bench::output::write_artifact("report-json", &report_out, &report);
+
+    let log = traced.trace.as_ref().expect("traced run has a log");
+    println!(
+        "\ntraced {bench}: makespan {}, {} events recorded ({} dropped, ring capacity {})",
+        traced.makespan,
+        log.emitted(),
+        log.dropped,
+        log.capacity
+    );
+    let mut by_kind: Vec<(TraceKind, u64)> = TraceKind::ALL
+        .iter()
+        .map(|&k| (k, log.count_of(k)))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    by_kind.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (k, n) in by_kind {
+        println!("  {:<16} {n}", k.name());
+    }
+    println!("\nopen the .trace.json file in Perfetto (ui.perfetto.dev) or chrome://tracing");
+    Ok(())
+}
+
+/// Run the workload selected by `simctl trace --bench ...` with
+/// telemetry already armed.
+fn run_traced_bench(p: &Parsed, bench: &str, cfg: &MachineConfig) -> Result<(), String> {
+    match bench {
+        "stream" => {
+            use membench::stream::*;
+            let sc = EmuStreamConfig {
+                total_elems: p.get("elems", 1u64 << 15)?,
+                nthreads: p.get("threads", 256usize)?,
+                strategy: cli::strategy_by_name(&p.get_str("strategy", "recursive-remote"))?,
+                kernel: StreamKernel::Add,
+                single_nodelet: false,
+                stack_touch_period: 4,
+            };
+            let r = run_stream_emu(cfg, &sc).map_err(|e| e.to_string())?;
+            if r.checksum != stream_checksum(sc.total_elems, StreamKernel::Add) {
+                return Err("STREAM checksum mismatch".into());
+            }
+            Ok(())
+        }
+        "chase" => {
+            use membench::chase::*;
+            let cc = ChaseConfig {
+                elems_per_list: p.get("elems", 1024usize)?,
+                nlists: p.get("threads", 128usize)?,
+                block_elems: p.get("block", 1usize)?,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            };
+            if cc.block_elems == 0 || !cc.elems_per_list.is_multiple_of(cc.block_elems) {
+                return Err(format!(
+                    "--elems ({}) must be a positive multiple of --block ({})",
+                    cc.elems_per_list, cc.block_elems
+                ));
+            }
+            let r = run_chase_emu(cfg, &cc).map_err(|e| e.to_string())?;
+            if r.checksum != cc.expected_checksum() {
+                return Err("chase checksum mismatch".into());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown --bench {other:?}; one of: stream, chase")),
+    }
 }

@@ -79,7 +79,7 @@ fn run() -> Result<(), SimError> {
         let factory: WorkerFactory =
             { std::sync::Arc::new(move |w| stream_worker(&arrays, w as u64, threads as u64, n)) };
         let mut engine = Engine::new(cfg.clone())?;
-        engine.enable_timeline(Time::from_us(50));
+        engine.enable_timeline(Time::from_us(50))?;
         engine.spawn_at(
             NodeletId(0),
             emu_core::spawn::root_kernel(strategy, threads, 8, factory),
@@ -96,7 +96,7 @@ fn run() -> Result<(), SimError> {
     let cfg = presets::chick_prototype();
     let mut ms = MemSpace::new(8);
     let mut engine = Engine::new(cfg.clone())?;
-    engine.enable_timeline(Time::from_us(20));
+    engine.enable_timeline(Time::from_us(20))?;
     for l in 0..threads {
         let elems_per_list = 1024usize;
         let owners: Vec<NodeletId> = (0..elems_per_list)

@@ -143,11 +143,16 @@ COMMANDS
   gups      random atomics        --threads 256 --updates 4096 --table 4194304
   bfs       streaming-graph BFS   --scale 11 --edges 16384 --mode smart
   mttkrp    sparse-tensor kernel  --rank 8 --nnz 16384 --layout blocked
+  trace     run a traced workload --bench stream|chase --block 1 --events 65536
+            and export telemetry  --bucket-us 20 --trace-out F --jsonl-out F
+                                  --report-json F
   presets   list machine presets
   help      this text
 
 Every command prints bandwidth/throughput plus the migration counters
-relevant to the Emu execution model.";
+relevant to the Emu execution model. `trace` additionally writes a
+Chrome trace_event JSON (load in Perfetto / chrome://tracing), a JSONL
+event log, and a machine-readable run report under the results dir.";
 
 #[cfg(test)]
 mod tests {

@@ -71,6 +71,14 @@ impl Default for RunPolicy {
 /// not) in the background while the sweep moves on, which is exactly the
 /// "abandon the hung run, keep the campaign going" behaviour the paper's
 /// measurement campaign needed on the prototype.
+///
+/// Note for telemetry users: the process-global report collector
+/// (`emu_core::trace::collect_reports`) sees every engine run in the
+/// process, including a detached straggler that completes *after* its
+/// point was abandoned — so under a sweep with `--report-json`, a
+/// timed-out-then-finished attempt can still contribute a report. The
+/// exported `runs` array is a superset of the table's rows, keyed by
+/// completion order, not sweep order.
 pub fn run_point<T, F>(policy: RunPolicy, f: F) -> PointOutcome<T>
 where
     T: Send + 'static,

@@ -18,4 +18,5 @@ pub mod figures;
 pub mod harness;
 pub mod output;
 pub mod runcfg;
+pub mod telemetry;
 pub mod validate;

@@ -95,6 +95,155 @@ pub fn emit_result(name: &str, table: Result<Table, emu_core::fault::SimError>) 
     }
 }
 
+/// Telemetry-related flags shared by every figure binary (parsed from
+/// `std::env::args` by [`run_figure`]).
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryArgs {
+    /// `--report-json PATH`: write the machine-readable run report.
+    pub report_json: Option<PathBuf>,
+    /// `--trace-out PATH`: write a Chrome `trace_event` JSON trace.
+    pub trace_out: Option<PathBuf>,
+    /// `--jsonl-out PATH`: write the JSONL event log.
+    pub jsonl_out: Option<PathBuf>,
+    /// `--trace-events N`: event ring capacity (default 16384).
+    pub trace_events: usize,
+    /// `--trace-bucket-us N`: timeline bucket width in µs (default 20).
+    pub trace_bucket_us: u64,
+}
+
+impl TelemetryArgs {
+    /// Parse the shared flags from an argument iterator. Unknown
+    /// arguments are ignored (figure binaries take no others today, but
+    /// this keeps the wrapper forward-compatible).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = TelemetryArgs {
+            trace_events: crate::runcfg::DEFAULT_TRACE_EVENTS,
+            trace_bucket_us: crate::runcfg::DEFAULT_TRACE_BUCKET_US,
+            ..TelemetryArgs::default()
+        };
+        fn path_flag(dst: &mut Option<PathBuf>, args: &mut dyn Iterator<Item = String>) {
+            if let Some(v) = args.next() {
+                *dst = Some(PathBuf::from(v));
+            }
+        }
+        let mut args = args;
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--report-json" => path_flag(&mut out.report_json, &mut args),
+                "--trace-out" => path_flag(&mut out.trace_out, &mut args),
+                "--jsonl-out" => path_flag(&mut out.jsonl_out, &mut args),
+                "--trace-events" => {
+                    if let Some(v) = args.next() {
+                        out.trace_events = v.parse().unwrap_or(out.trace_events);
+                    }
+                }
+                "--trace-bucket-us" => {
+                    if let Some(v) = args.next() {
+                        out.trace_bucket_us = v.parse().unwrap_or(out.trace_bucket_us);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether any telemetry artifact was requested.
+    pub fn any(&self) -> bool {
+        self.report_json.is_some() || self.trace_out.is_some() || self.jsonl_out.is_some()
+    }
+
+    /// Whether per-event tracing (ring buffer + timelines) is needed.
+    pub fn wants_trace(&self) -> bool {
+        self.trace_out.is_some() || self.jsonl_out.is_some()
+    }
+
+    /// The engine-side telemetry config these flags imply.
+    pub fn config(&self) -> emu_core::trace::TelemetryConfig {
+        if self.wants_trace() {
+            emu_core::trace::TelemetryConfig {
+                event_capacity: self.trace_events,
+                timeline_bucket: Some(desim::time::Time::from_us(self.trace_bucket_us)),
+            }
+        } else {
+            emu_core::trace::TelemetryConfig::off()
+        }
+    }
+}
+
+/// Write a telemetry artifact, creating parent directories and
+/// reporting the path (or the failure) on the console.
+pub fn write_artifact(label: &str, path: &Path, body: &str) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    match std::fs::write(path, body) {
+        Ok(()) => println!("[{label}] {}", path.display()),
+        Err(e) => eprintln!("[{label}] write failed ({}): {e}", path.display()),
+    }
+}
+
+/// Run a figure with telemetry plumbing: parses the shared
+/// `--report-json` / `--trace-out` / `--jsonl-out` flags, arms the
+/// process-global telemetry config and report collector while `f` runs,
+/// writes the requested artifacts, then emits the table exactly like
+/// [`emit_result`]. With no flags this is byte-for-byte the old
+/// behaviour (telemetry stays disarmed; the engine's off path is a
+/// single relaxed atomic load).
+pub fn run_figure(name: &str, f: impl FnOnce() -> Result<Table, emu_core::fault::SimError>) {
+    let args = TelemetryArgs::parse(std::env::args().skip(1));
+    run_figure_with(name, &args, f);
+}
+
+/// [`run_figure`] with pre-parsed flags (used by `simctl`, which owns
+/// its own argument list).
+pub fn run_figure_with(
+    name: &str,
+    args: &TelemetryArgs,
+    f: impl FnOnce() -> Result<Table, emu_core::fault::SimError>,
+) {
+    use emu_core::trace;
+
+    if args.any() {
+        trace::collect_reports(true);
+    }
+    let _guard = args
+        .wants_trace()
+        .then(|| trace::GlobalTelemetryGuard::arm(args.config()));
+    let table = f();
+    drop(_guard);
+    let runs = if args.any() {
+        let r = trace::take_reports();
+        trace::collect_reports(false);
+        r
+    } else {
+        Vec::new()
+    };
+
+    if let Some(path) = &args.report_json {
+        let body = crate::telemetry::report_set_json(name, table.as_ref().ok(), &runs);
+        write_artifact("report-json", path, &body);
+    }
+    // Chrome trace / JSONL describe a single run: use the last traced
+    // report (the figure's final emu configuration).
+    let traced = runs.iter().rev().find(|r| r.trace.is_some());
+    if let Some(path) = &args.trace_out {
+        match traced {
+            Some(r) => write_artifact("trace-out", path, &crate::telemetry::chrome_trace(r)),
+            None => eprintln!("[trace-out] no traced emu run to export"),
+        }
+    }
+    if let Some(path) = &args.jsonl_out {
+        match traced {
+            Some(r) => write_artifact("jsonl-out", path, &crate::telemetry::trace_jsonl(r)),
+            None => eprintln!("[jsonl-out] no traced emu run to export"),
+        }
+    }
+    emit_result(name, table);
+}
+
 /// The directory figure CSVs are written to: `$EMU_RESULTS_DIR` or
 /// `results/` in the working directory.
 pub fn results_dir() -> PathBuf {
@@ -141,6 +290,34 @@ mod tests {
         assert_eq!(fmt_mbs(1234.0), "1.23 GB/s");
         assert_eq!(fmt_mbs(250.0), "250 MB/s");
         assert_eq!(fmt_mbs(3.5), "3.50 MB/s");
+    }
+
+    #[test]
+    fn telemetry_args_parse_round_trip() {
+        let args = TelemetryArgs::parse(
+            [
+                "--report-json",
+                "r.json",
+                "--trace-events",
+                "64",
+                "--jsonl-out",
+                "t.jsonl",
+                "ignored-positional",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        assert_eq!(args.report_json.as_deref(), Some(Path::new("r.json")));
+        assert_eq!(args.jsonl_out.as_deref(), Some(Path::new("t.jsonl")));
+        assert!(args.trace_out.is_none());
+        assert_eq!(args.trace_events, 64);
+        assert_eq!(args.trace_bucket_us, 20);
+        assert!(args.any() && args.wants_trace());
+        assert!(args.config().enabled());
+
+        let off = TelemetryArgs::parse(std::iter::empty());
+        assert!(!off.any() && !off.wants_trace());
+        assert!(!off.config().enabled());
     }
 
     #[test]

@@ -3,6 +3,14 @@
 //! Every figure binary honours `EMU_QUICK=1`, which divides workload
 //! sizes by 8 — useful for smoke-testing the full harness in seconds.
 
+/// Default trace ring capacity for `--trace-events` (figure binaries).
+/// `simctl trace` defaults to 4x this: it exists to be looked at, while
+/// a traced figure run mostly wants the counters and timelines.
+pub const DEFAULT_TRACE_EVENTS: usize = 16384;
+
+/// Default timeline bucket width in microseconds for `--trace-bucket-us`.
+pub const DEFAULT_TRACE_BUCKET_US: u64 = 20;
+
 /// Whether quick mode is on.
 pub fn quick() -> bool {
     std::env::var("EMU_QUICK")

@@ -38,4 +38,4 @@ pub use queue::EventQueue;
 pub use server::{FifoServer, Grant, Link, MultiServer};
 pub use stats::{Bandwidth, Counter, LogHistogram, Summary};
 pub use time::{Clock, Time};
-pub use timeline::Timeline;
+pub use timeline::{Gauge, Timeline, ZeroBucket};

@@ -172,6 +172,12 @@ impl LogHistogram {
         &self.summary
     }
 
+    /// Raw bucket counts: bucket `i` holds samples in `[2^i, 2^(i+1))`
+    /// picoseconds (bucket 0 also holds zero). For serialization.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
     /// Approximate quantile `q` in (0, 1], as the upper bound of the bucket
     /// containing that rank. Returns `Time::ZERO` when empty.
     pub fn quantile(&self, q: f64) -> Time {

@@ -4,9 +4,25 @@
 //! event stream to trace; instead a [`Timeline`] accumulates busy time
 //! into fixed-width buckets as grants are issued, giving a utilization
 //! profile over simulated time (e.g. the thread-spawn ramp of a STREAM
-//! run, or the level structure of a BFS).
+//! run, or the level structure of a BFS). A [`Gauge`] complements it for
+//! step-valued quantities (queue depth, live threadlets): it tracks a
+//! piecewise-constant integer signal and reduces it to a time-weighted
+//! mean and peak per bucket.
 
 use crate::time::Time;
+use std::fmt;
+
+/// Error for bucketed series constructed with a zero bucket width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroBucket;
+
+impl fmt::Display for ZeroBucket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bucket width must be positive")
+    }
+}
+
+impl std::error::Error for ZeroBucket {}
 
 /// Busy-time accumulation over fixed-width time buckets.
 #[derive(Debug, Clone)]
@@ -17,15 +33,14 @@ pub struct Timeline {
 
 impl Timeline {
     /// A timeline with buckets of width `bucket`.
-    ///
-    /// # Panics
-    /// Panics if `bucket` is zero.
-    pub fn new(bucket: Time) -> Self {
-        assert!(bucket > Time::ZERO, "bucket width must be positive");
-        Timeline {
+    pub fn new(bucket: Time) -> Result<Self, ZeroBucket> {
+        if bucket == Time::ZERO {
+            return Err(ZeroBucket);
+        }
+        Ok(Timeline {
             bucket,
             busy: Vec::new(),
-        }
+        })
     }
 
     /// Bucket width.
@@ -116,13 +131,137 @@ impl Timeline {
     }
 }
 
+/// A piecewise-constant integer signal sampled into fixed-width buckets.
+///
+/// Call [`Gauge::set`] whenever the tracked quantity changes (the signal
+/// holds its value between calls) and [`Gauge::finish`] once at the end
+/// of the run to account the final plateau. Each bucket then reports the
+/// time-weighted [`mean`](Gauge::mean) and the instantaneous
+/// [`peak`](Gauge::peak) of the signal within it.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bucket: Time,
+    last_t: Time,
+    value: u64,
+    /// Σ value·ps accumulated within each bucket.
+    weighted: Vec<u64>,
+    peak: Vec<u64>,
+}
+
+impl Gauge {
+    /// A gauge with buckets of width `bucket`, starting at value 0.
+    pub fn new(bucket: Time) -> Result<Self, ZeroBucket> {
+        if bucket == Time::ZERO {
+            return Err(ZeroBucket);
+        }
+        Ok(Gauge {
+            bucket,
+            last_t: Time::ZERO,
+            value: 0,
+            weighted: Vec::new(),
+            peak: Vec::new(),
+        })
+    }
+
+    /// Bucket width.
+    pub fn bucket(&self) -> Time {
+        self.bucket
+    }
+
+    /// Current value of the signal.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    fn touch(&mut self, b: usize) {
+        if self.weighted.len() <= b {
+            self.weighted.resize(b + 1, 0);
+            self.peak.resize(b + 1, 0);
+        }
+    }
+
+    /// Integrate the held value forward to `now`. Out-of-order calls
+    /// (`now` before the last update) are ignored rather than rewound.
+    fn advance(&mut self, now: Time) {
+        if now <= self.last_t {
+            return;
+        }
+        let (start, end) = (self.last_t, now);
+        let first = (start.ps() / self.bucket.ps()) as usize;
+        let last = ((end.ps() - 1) / self.bucket.ps()) as usize;
+        self.touch(last);
+        for b in first..=last {
+            let b_start = Time::from_ps(b as u64 * self.bucket.ps());
+            let b_end = b_start + self.bucket;
+            let overlap = end.min(b_end).saturating_sub(start.max(b_start));
+            self.weighted[b] += self.value * overlap.ps();
+            self.peak[b] = self.peak[b].max(self.value);
+        }
+        self.last_t = now;
+    }
+
+    /// The signal takes value `v` at time `now` (holding its previous
+    /// value over `[last update, now)`).
+    pub fn set(&mut self, now: Time, v: u64) {
+        self.advance(now);
+        self.value = v;
+        let b = (now.ps() / self.bucket.ps()) as usize;
+        self.touch(b);
+        self.peak[b] = self.peak[b].max(v);
+    }
+
+    /// Account the final plateau up to `now` (end of run).
+    pub fn finish(&mut self, now: Time) {
+        self.advance(now);
+    }
+
+    /// Number of buckets covered.
+    pub fn len(&self) -> usize {
+        self.weighted.len()
+    }
+
+    /// Whether the gauge never advanced.
+    pub fn is_empty(&self) -> bool {
+        self.weighted.is_empty()
+    }
+
+    /// Time-weighted mean of the signal within bucket `b`.
+    pub fn mean(&self, b: usize) -> f64 {
+        match self.weighted.get(b) {
+            Some(&w) => w as f64 / self.bucket.ps() as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Peak instantaneous value observed within bucket `b`.
+    pub fn peak(&self, b: usize) -> u64 {
+        self.peak.get(b).copied().unwrap_or(0)
+    }
+
+    /// All bucket means.
+    pub fn means(&self) -> Vec<f64> {
+        (0..self.len()).map(|b| self.mean(b)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn tl(bucket: Time) -> Timeline {
+        Timeline::new(bucket).unwrap()
+    }
+
+    #[test]
+    fn zero_bucket_is_an_error_not_a_panic() {
+        assert_eq!(Timeline::new(Time::ZERO).unwrap_err(), ZeroBucket);
+        assert_eq!(Gauge::new(Time::ZERO).unwrap_err(), ZeroBucket);
+        assert_eq!(format!("{ZeroBucket}"), "bucket width must be positive");
+    }
+
     #[test]
     fn single_bucket_interval() {
-        let mut t = Timeline::new(Time::from_ns(100));
+        let mut t = tl(Time::from_ns(100));
         t.record(Time::from_ns(10), Time::from_ns(50));
         assert_eq!(t.len(), 1);
         assert!((t.utilization(0, 1) - 0.5).abs() < 1e-12);
@@ -130,7 +269,7 @@ mod tests {
 
     #[test]
     fn interval_split_across_buckets() {
-        let mut t = Timeline::new(Time::from_ns(100));
+        let mut t = tl(Time::from_ns(100));
         // [80, 230): 20 in bucket 0, 100 in bucket 1, 30 in bucket 2.
         t.record(Time::from_ns(80), Time::from_ns(150));
         assert_eq!(t.len(), 3);
@@ -141,7 +280,7 @@ mod tests {
 
     #[test]
     fn capacity_scales_utilization() {
-        let mut t = Timeline::new(Time::from_ns(10));
+        let mut t = tl(Time::from_ns(10));
         t.record(Time::ZERO, Time::from_ns(10));
         t.record(Time::ZERO, Time::from_ns(10));
         assert!((t.utilization(0, 2) - 1.0).abs() < 1e-12);
@@ -150,7 +289,7 @@ mod tests {
 
     #[test]
     fn sparkline_shape() {
-        let mut t = Timeline::new(Time::from_ns(10));
+        let mut t = tl(Time::from_ns(10));
         t.record(Time::ZERO, Time::from_ns(10)); // full
         t.record(Time::from_ns(25), Time::from_ns(5)); // half in bucket 2
         let s = t.sparkline(1, 10);
@@ -161,8 +300,8 @@ mod tests {
 
     #[test]
     fn merge_adds() {
-        let mut a = Timeline::new(Time::from_ns(10));
-        let mut b = Timeline::new(Time::from_ns(10));
+        let mut a = tl(Time::from_ns(10));
+        let mut b = tl(Time::from_ns(10));
         a.record(Time::ZERO, Time::from_ns(5));
         b.record(Time::ZERO, Time::from_ns(5));
         b.record(Time::from_ns(10), Time::from_ns(10));
@@ -173,7 +312,7 @@ mod tests {
 
     #[test]
     fn zero_duration_ignored() {
-        let mut t = Timeline::new(Time::from_ns(10));
+        let mut t = tl(Time::from_ns(10));
         t.record(Time::from_ns(5), Time::ZERO);
         assert!(t.is_empty());
     }
@@ -181,8 +320,51 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket width mismatch")]
     fn merge_checks_width() {
-        let mut a = Timeline::new(Time::from_ns(10));
-        let b = Timeline::new(Time::from_ns(20));
+        let mut a = tl(Time::from_ns(10));
+        let b = tl(Time::from_ns(20));
         a.merge(&b);
+    }
+
+    #[test]
+    fn gauge_time_weighted_mean() {
+        let mut g = Gauge::new(Time::from_ns(100)).unwrap();
+        g.set(Time::ZERO, 4);
+        g.set(Time::from_ns(50), 2); // 4 for 50 ns, then 2
+        g.finish(Time::from_ns(100));
+        assert_eq!(g.len(), 1);
+        assert!((g.mean(0) - 3.0).abs() < 1e-12);
+        assert_eq!(g.peak(0), 4);
+    }
+
+    #[test]
+    fn gauge_holds_value_across_buckets() {
+        let mut g = Gauge::new(Time::from_ns(10)).unwrap();
+        g.set(Time::from_ns(5), 6);
+        g.finish(Time::from_ns(35)); // 6 held over [5, 35)
+        assert_eq!(g.len(), 4);
+        assert!((g.mean(0) - 3.0).abs() < 1e-12);
+        assert!((g.mean(1) - 6.0).abs() < 1e-12);
+        assert!((g.mean(2) - 6.0).abs() < 1e-12);
+        assert!((g.mean(3) - 3.0).abs() < 1e-12);
+        assert_eq!(g.peak(3), 6);
+    }
+
+    #[test]
+    fn gauge_peak_sees_spikes_shorter_than_a_bucket() {
+        let mut g = Gauge::new(Time::from_ns(100)).unwrap();
+        g.set(Time::from_ns(10), 9);
+        g.set(Time::from_ns(11), 1); // 9 lives for only 1 ns
+        g.finish(Time::from_ns(100));
+        assert_eq!(g.peak(0), 9);
+        assert!(g.mean(0) < 2.0);
+    }
+
+    #[test]
+    fn gauge_out_of_order_set_is_ignored_not_rewound() {
+        let mut g = Gauge::new(Time::from_ns(10)).unwrap();
+        g.set(Time::from_ns(20), 5);
+        g.set(Time::from_ns(10), 7); // stale: does not rewind last_t
+        g.finish(Time::from_ns(30));
+        assert!((g.mean(2) - 7.0).abs() < 1e-12);
     }
 }

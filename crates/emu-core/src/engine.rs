@@ -30,11 +30,12 @@ use crate::config::MachineConfig;
 use crate::fault::{self, SimError};
 use crate::kernel::{Kernel, KernelCtx, Op, Placement, ThreadId};
 use crate::metrics::{NodeletCounters, NodeletOccupancy, RunReport};
+use crate::trace::{self, TraceEvent, TraceKind, TraceRecorder};
 use desim::queue::EventQueue;
 use desim::server::{FifoServer, Grant, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
-use desim::timeline::Timeline;
+use desim::timeline::{Gauge, Timeline};
 use std::collections::VecDeque;
 
 /// Internal engine events. One pop = one state transition.
@@ -132,6 +133,9 @@ struct Nodelet {
     channel: FifoServer,
     mig_engine: FifoServer,
     slots_free: u32,
+    /// Hardware slots currently held by resident threadlets (the
+    /// live-threadlet gauge samples this).
+    in_use: u32,
     waiters: VecDeque<ThreadId>,
     counters: NodeletCounters,
 }
@@ -148,6 +152,9 @@ pub struct Engine {
     mig_latency: LogHistogram,
     live: u64,
     trace: Option<Trace>,
+    /// Structured event recorder; `None` (the default) costs one branch
+    /// per would-be event (see [`crate::trace`]).
+    recorder: Option<TraceRecorder>,
     breakdown: TimeBreakdown,
     /// Nearest-live-nodelet map for dead-nodelet redirection (identity
     /// when the fault plan marks nothing dead).
@@ -160,15 +167,17 @@ pub struct Engine {
     error: Option<SimError>,
 }
 
-/// Optional per-nodelet occupancy timelines (enabled via
+/// Optional per-nodelet time series (enabled via
 /// [`Engine::enable_timeline`]).
 struct Trace {
     core: Vec<Timeline>,
     channel: Vec<Timeline>,
     migration: Vec<Timeline>,
+    queue_depth: Vec<Gauge>,
+    live_threads: Vec<Gauge>,
 }
 
-/// Per-nodelet occupancy timelines of one run (present when
+/// Per-nodelet time series of one run (present when
 /// [`Engine::enable_timeline`] was called).
 #[derive(Debug, Clone)]
 pub struct RunTimelines {
@@ -180,6 +189,10 @@ pub struct RunTimelines {
     pub channel: Vec<Timeline>,
     /// Migration-engine occupancy per nodelet.
     pub migration: Vec<Timeline>,
+    /// Slot-wait queue depth per nodelet (threads parked for a context).
+    pub queue_depth: Vec<Gauge>,
+    /// Resident (slot-holding) threadlets per nodelet.
+    pub live_threads: Vec<Gauge>,
 }
 
 impl Engine {
@@ -199,6 +212,7 @@ impl Engine {
                 channel: FifoServer::new(),
                 mig_engine: FifoServer::new(),
                 slots_free: cfg.slots_per_nodelet(),
+                in_use: 0,
                 waiters: VecDeque::new(),
                 counters: NodeletCounters::default(),
             })
@@ -206,7 +220,7 @@ impl Engine {
         let links = (0..cfg.nodes)
             .map(|_| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO))
             .collect();
-        Ok(Engine {
+        let mut engine = Engine {
             cfg,
             q: EventQueue::new(),
             threads: Vec::new(),
@@ -215,12 +229,24 @@ impl Engine {
             mig_latency: LogHistogram::new(),
             live: 0,
             trace: None,
+            recorder: None,
             breakdown: TimeBreakdown::default(),
             redirect,
             fault_draws: 0,
             events: 0,
             error: None,
-        })
+        };
+        // Benchmark runners build engines internally; the process-global
+        // telemetry config (see [`crate::trace::set_global`]) lets the
+        // harness trace them without plumbing flags through every runner.
+        let telemetry = trace::global();
+        if telemetry.event_capacity > 0 {
+            engine.enable_trace(telemetry.event_capacity);
+        }
+        if let Some(bucket) = telemetry.timeline_bucket {
+            engine.enable_timeline(bucket)?;
+        }
+        Ok(engine)
     }
 
     /// Record a fatal error; the event loop stops at the next pop.
@@ -252,20 +278,21 @@ impl Engine {
 
     /// Where traffic aimed at `n` actually lands (dead-nodelet redirect);
     /// counts a redirect on the absorbing nodelet when it moves.
-    fn redirected(&mut self, n: NodeletId) -> NodeletId {
+    fn redirected(&mut self, n: NodeletId, now: Time) -> NodeletId {
         let to = NodeletId(self.redirect[n.idx()]);
         if to != n {
             self.nodelets[to.idx()].counters.redirects += 1;
+            self.emit(now, to, None, TraceKind::Redirect);
         }
         to
     }
 
     /// Remap an address owned by a dead nodelet to its live stand-in.
-    fn remap_addr(&mut self, addr: GlobalAddr) -> GlobalAddr {
+    fn remap_addr(&mut self, addr: GlobalAddr, now: Time) -> GlobalAddr {
         if self.redirect[addr.nodelet.idx()] == addr.nodelet.0 {
             addr
         } else {
-            GlobalAddr::new(self.redirected(addr.nodelet), addr.offset)
+            GlobalAddr::new(self.redirected(addr.nodelet, now), addr.offset)
         }
     }
 
@@ -277,15 +304,59 @@ impl Engine {
         grant
     }
 
-    /// Record per-nodelet occupancy timelines with buckets of `bucket`
+    /// Record per-nodelet time series (occupancy timelines plus
+    /// queue-depth and live-threadlet gauges) with buckets of `bucket`
     /// width (see [`RunTimelines`] on the report).
-    pub fn enable_timeline(&mut self, bucket: Time) {
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] if `bucket` is zero.
+    pub fn enable_timeline(&mut self, bucket: Time) -> Result<(), SimError> {
+        let invalid = |e: desim::timeline::ZeroBucket| {
+            SimError::InvalidConfig(format!("timeline bucket: {e}"))
+        };
+        let tl = Timeline::new(bucket).map_err(invalid)?;
+        let gauge = Gauge::new(bucket).map_err(invalid)?;
         let n = self.nodelets.len();
         self.trace = Some(Trace {
-            core: vec![Timeline::new(bucket); n],
-            channel: vec![Timeline::new(bucket); n],
-            migration: vec![Timeline::new(bucket); n],
+            core: vec![tl.clone(); n],
+            channel: vec![tl.clone(); n],
+            migration: vec![tl; n],
+            queue_depth: vec![gauge.clone(); n],
+            live_threads: vec![gauge; n],
         });
+        Ok(())
+    }
+
+    /// Record structured trace events into a ring of at most `capacity`
+    /// entries (0 disables). See [`crate::trace`]; the finalized log is
+    /// attached to [`RunReport::trace`](crate::metrics::RunReport::trace).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.recorder = (capacity > 0).then(|| TraceRecorder::new(capacity));
+    }
+
+    /// Record one structured trace event (a single branch when tracing
+    /// is off — the zero-cost-when-disabled guarantee).
+    #[inline]
+    fn emit(&mut self, at: Time, nodelet: NodeletId, thread: Option<ThreadId>, kind: TraceKind) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(TraceEvent {
+                at,
+                nodelet,
+                thread,
+                kind,
+            });
+        }
+    }
+
+    /// Sample the slot gauges of `nodelet` (call after its waiter queue
+    /// or resident count changes).
+    #[inline]
+    fn sample_slots(&mut self, nodelet: usize, now: Time) {
+        if let Some(t) = self.trace.as_mut() {
+            let nl = &self.nodelets[nodelet];
+            t.queue_depth[nodelet].set(now, nl.waiters.len() as u64);
+            t.live_threads[nodelet].set(now, nl.in_use as u64);
+        }
     }
 
     #[inline]
@@ -331,9 +402,10 @@ impl Engine {
                 total: self.cfg.total_nodelets(),
             });
         }
-        let nodelet = self.redirected(nodelet);
+        let nodelet = self.redirected(nodelet, Time::ZERO);
         let tid = self.alloc_thread(kernel, nodelet, nodelet);
         self.nodelets[nodelet.idx()].counters.spawns += 1;
+        self.emit(Time::ZERO, nodelet, Some(tid), TraceKind::Spawn);
         self.q.schedule(Time::ZERO, Event::Arrive(tid));
         Ok(tid)
     }
@@ -409,7 +481,9 @@ impl Engine {
                 at: self.q.now(),
             });
         }
-        Ok(self.into_report())
+        let report = self.into_report();
+        trace::offer_report(&report);
+        Ok(report)
     }
 
     fn on_arrive(&mut self, tid: ThreadId, now: Time) {
@@ -419,25 +493,33 @@ impl Engine {
             let issued = self.threads[tid.idx()].mig_issue_at;
             self.mig_latency.record(now - issued);
             self.nodelets[loc.idx()].counters.migrations_in += 1;
+            self.emit(now, loc, Some(tid), TraceKind::MigrateIn);
         }
         let nl = &mut self.nodelets[loc.idx()];
         if nl.slots_free > 0 {
             nl.slots_free -= 1;
+            nl.in_use += 1;
             self.q.schedule(now, Event::Ready(tid));
         } else {
             nl.counters.slot_waits += 1;
             nl.waiters.push_back(tid);
+            self.emit(now, loc, Some(tid), TraceKind::SlotWait);
         }
+        self.sample_slots(loc.idx(), now);
     }
 
     fn on_slot_release(&mut self, nodelet: NodeletId, now: Time) {
         let nl = &mut self.nodelets[nodelet.idx()];
         if let Some(waiter) = nl.waiters.pop_front() {
-            // Slot transfers directly to the waiter.
+            // Slot transfers directly to the waiter; the departing
+            // context's slot is immediately re-occupied, so `in_use`
+            // is unchanged.
             self.q.schedule(now, Event::Ready(waiter));
         } else {
             nl.slots_free += 1;
+            nl.in_use -= 1;
         }
+        self.sample_slots(nodelet.idx(), now);
     }
 
     fn on_ready(&mut self, tid: ThreadId, now: Time) {
@@ -513,25 +595,25 @@ impl Engine {
         // their live stand-ins (see [`crate::fault::FaultPlan::dead`]).
         let op = match op {
             Op::Load { addr, bytes } => Op::Load {
-                addr: self.remap_addr(addr),
+                addr: self.remap_addr(addr, now),
                 bytes,
             },
             Op::Store { addr, bytes } => Op::Store {
-                addr: self.remap_addr(addr),
+                addr: self.remap_addr(addr, now),
                 bytes,
             },
             Op::AtomicAdd { addr, bytes } => Op::AtomicAdd {
-                addr: self.remap_addr(addr),
+                addr: self.remap_addr(addr, now),
                 bytes,
             },
             Op::MigrateTo { nodelet } => Op::MigrateTo {
-                nodelet: self.redirected(nodelet),
+                nodelet: self.redirected(nodelet, now),
             },
             Op::Spawn { kernel, place } => Op::Spawn {
                 kernel,
                 place: match place {
                     Placement::Here => Placement::Here,
-                    Placement::On(t) => Placement::On(self.redirected(t)),
+                    Placement::On(t) => Placement::On(self.redirected(t, now)),
                 },
             },
             other => other,
@@ -615,6 +697,7 @@ impl Engine {
                     Placement::Here => {
                         let child = self.alloc_thread(kernel, loc, loc);
                         self.nodelets[loc.idx()].counters.spawns += 1;
+                        self.emit(now, loc, Some(child), TraceKind::Spawn);
                         self.q
                             .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
                     }
@@ -623,6 +706,7 @@ impl Engine {
                         // a local spawn — no engine traffic.
                         let child = self.alloc_thread(kernel, loc, loc);
                         self.nodelets[loc.idx()].counters.spawns += 1;
+                        self.emit(now, loc, Some(child), TraceKind::Spawn);
                         self.q
                             .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
                     }
@@ -632,11 +716,13 @@ impl Engine {
                         // migration; the child's home (stack) is the target.
                         let child = self.alloc_thread(kernel, loc, target);
                         self.nodelets[target.idx()].counters.spawns += 1;
+                        self.emit(now, target, Some(child), TraceKind::Spawn);
                         self.threads[child.idx()].dest = target;
                         self.threads[child.idx()].in_flight_migration = true;
                         self.threads[child.idx()].mig_issue_at = grant.done;
                         self.threads[child.idx()].migrations += 1;
                         self.nodelets[loc.idx()].counters.migrations_out += 1;
+                        self.emit(now, loc, Some(child), TraceKind::MigrateOut);
                         self.q.schedule(grant.done, Event::MigrateOut(child));
                     }
                 }
@@ -649,6 +735,7 @@ impl Engine {
                 t.done = true;
                 t.kernel = None;
                 self.live -= 1;
+                self.emit(now, loc, Some(tid), TraceKind::Quit);
                 self.q.schedule(now, Event::SlotRelease(loc));
             }
         }
@@ -671,6 +758,7 @@ impl Engine {
         t.mig_issue_at = grant.done;
         t.migrations += 1;
         self.nodelets[loc.idx()].counters.migrations_out += 1;
+        self.emit(now, loc, Some(tid), TraceKind::MigrateOut);
         // The context departs the core at grant.done: its slot frees and
         // it enters the migration engine.
         self.q.schedule(grant.done, Event::SlotRelease(loc));
@@ -691,6 +779,7 @@ impl Engine {
                 // The engine refuses the context: back off exponentially
                 // (capped at 64x) and retry, up to the budget.
                 self.nodelets[loc.idx()].counters.mig_nacks += 1;
+                self.emit(now, loc, Some(tid), TraceKind::MigNack);
                 let attempts = self.threads[tid.idx()].mig_attempts;
                 if attempts >= budget {
                     self.fail(SimError::RetryBudgetExhausted {
@@ -702,6 +791,7 @@ impl Engine {
                 }
                 self.threads[tid.idx()].mig_attempts = attempts + 1;
                 self.nodelets[loc.idx()].counters.mig_retries += 1;
+                self.emit(now, loc, Some(tid), TraceKind::MigRetry);
                 let delay = backoff * (1u64 << attempts.min(6));
                 self.q.schedule(now + delay, Event::MigrateOut(tid));
                 return;
@@ -733,6 +823,7 @@ impl Engine {
                 // Packet lost on the fabric: detected after a round-trip
                 // hop and retransmitted, up to the budget.
                 self.nodelets[loc.idx()].counters.link_retransmits += 1;
+                self.emit(now, loc, Some(tid), TraceKind::LinkRetransmit);
                 let attempts = self.threads[tid.idx()].link_attempts;
                 if attempts >= budget {
                     self.fail(SimError::RetryBudgetExhausted {
@@ -757,11 +848,12 @@ impl Engine {
 
     fn on_channel_read(&mut self, tid: ThreadId, bytes: u32, now: Time) {
         let loc = self.threads[tid.idx()].loc;
-        let service = self.channel_service_faulted(loc.idx(), bytes, Time::ZERO);
+        let service = self.channel_service_faulted(loc.idx(), bytes, Time::ZERO, now);
         let nl = &mut self.nodelets[loc.idx()];
         let grant = nl.channel.offer(now, service);
         nl.counters.local_loads += 1;
         nl.counters.bytes_loaded += bytes as u64;
+        self.emit(now, loc, Some(tid), TraceKind::LocalLoad);
         self.trace_channel(loc.idx(), grant);
         self.q
             .schedule(grant.done + self.cfg.dram_latency, Event::Ready(tid));
@@ -769,7 +861,13 @@ impl Engine {
 
     /// Channel service time for one access on `nodelet`, including the
     /// slowdown factor and (probabilistically) an ECC-style retry.
-    fn channel_service_faulted(&mut self, nodelet: usize, bytes: u32, extra: Time) -> Time {
+    fn channel_service_faulted(
+        &mut self,
+        nodelet: usize,
+        bytes: u32,
+        extra: Time,
+        now: Time,
+    ) -> Time {
         let mut service = self.scaled(nodelet, self.cfg.channel_service(bytes) + extra);
         let faults = &self.cfg.faults;
         if faults.ecc_prob > 0.0 {
@@ -778,6 +876,7 @@ impl Engine {
                 // Correctable error: the access occupies the channel for
                 // one extra scrub-and-retry.
                 self.nodelets[nodelet].counters.ecc_retries += 1;
+                self.emit(now, NodeletId(nodelet as u32), None, TraceKind::EccRetry);
                 service += latency;
             }
         }
@@ -797,7 +896,7 @@ impl Engine {
         } else {
             Time::ZERO
         };
-        let service = self.channel_service_faulted(nodelet.idx(), bytes, extra);
+        let service = self.channel_service_faulted(nodelet.idx(), bytes, extra, now);
         let nl = &mut self.nodelets[nodelet.idx()];
         let grant = nl.channel.offer(now, service);
         if atomic {
@@ -809,6 +908,17 @@ impl Engine {
             nl.counters.remote_packets_in += 1;
         }
         nl.counters.bytes_stored += bytes as u64;
+        // Posted packets are detached from their issuing thread by the
+        // time they reach the channel, so these events carry no tid.
+        let kind = if atomic {
+            TraceKind::Atomic
+        } else {
+            TraceKind::LocalStore
+        };
+        self.emit(now, nodelet, None, kind);
+        if from_remote {
+            self.emit(now, nodelet, None, TraceKind::RemotePacket);
+        }
         self.trace_channel(nodelet.idx(), grant);
     }
 
@@ -830,15 +940,24 @@ impl Engine {
             })
             .collect();
         let breakdown = self.breakdown;
-        let timelines = self.trace.map(|t| RunTimelines {
-            bucket: t
-                .core
-                .first()
-                .map(Timeline::bucket)
-                .unwrap_or(Time::from_us(1)),
-            core: t.core,
-            channel: t.channel,
-            migration: t.migration,
+        let timelines = self.trace.map(|mut t| {
+            // Account the final plateau of every gauge out to the end of
+            // the run, so trailing idle/resident time is not lost.
+            for g in t.queue_depth.iter_mut().chain(t.live_threads.iter_mut()) {
+                g.finish(makespan);
+            }
+            RunTimelines {
+                bucket: t
+                    .core
+                    .first()
+                    .map(Timeline::bucket)
+                    .unwrap_or(Time::from_us(1)),
+                core: t.core,
+                channel: t.channel,
+                migration: t.migration,
+                queue_depth: t.queue_depth,
+                live_threads: t.live_threads,
+            }
         });
         RunReport {
             makespan,
@@ -850,6 +969,7 @@ impl Engine {
             migrations_per_thread: migs,
             timelines,
             breakdown,
+            trace: self.recorder.map(TraceRecorder::into_log),
         }
     }
 }
@@ -1096,6 +1216,160 @@ mod tests {
         let r = run_script_on(cfg.clone(), vec![Op::Compute { cycles: 100 }]);
         assert_eq!(r.occupancy[0].core_busy, cfg.cycles(100));
         assert!(r.makespan >= cfg.cycles(100 * factor));
+    }
+
+    // ---- tracing and telemetry ----
+
+    #[test]
+    fn zero_timeline_bucket_is_an_error_not_a_panic() {
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        match e.enable_timeline(Time::ZERO) {
+            Err(SimError::InvalidConfig(why)) => assert!(why.contains("bucket")),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    fn traced_script(cfg: MachineConfig, ops: Vec<Op>) -> RunReport {
+        let mut e = Engine::new(cfg).unwrap();
+        e.enable_trace(1 << 16);
+        e.enable_timeline(Time::from_us(1)).unwrap();
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops))).unwrap();
+        e.run().unwrap()
+    }
+
+    fn busy_script() -> Vec<Op> {
+        let mut ops = Vec::new();
+        for i in 0..6u32 {
+            ops.push(Op::Spawn {
+                kernel: Box::new(ScriptKernel::new(vec![
+                    Op::Load {
+                        addr: GlobalAddr::new(nl(i % 8), 0),
+                        bytes: 8,
+                    },
+                    Op::Store {
+                        addr: GlobalAddr::new(nl((i + 3) % 8), 0),
+                        bytes: 8,
+                    },
+                ])),
+                place: Placement::On(nl(i % 8)),
+            });
+        }
+        ops.push(Op::AtomicAdd {
+            addr: GlobalAddr::new(nl(7), 0),
+            bytes: 8,
+        });
+        ops
+    }
+
+    #[test]
+    fn trace_event_counts_reconcile_with_counters() {
+        use crate::trace::TraceKind;
+        let r = traced_script(presets::chick_prototype(), busy_script());
+        let log = r.trace.as_ref().unwrap();
+        assert!(log.is_lossless());
+        assert_eq!(log.count_of(TraceKind::Spawn), r.total_spawns());
+        assert_eq!(log.count_of(TraceKind::MigrateOut), r.total_migrations());
+        let sums = |f: fn(&NodeletCounters) -> u64| r.nodelets.iter().map(f).sum::<u64>();
+        assert_eq!(
+            log.count_of(TraceKind::MigrateIn),
+            sums(|n| n.migrations_in)
+        );
+        assert_eq!(log.count_of(TraceKind::LocalLoad), sums(|n| n.local_loads));
+        assert_eq!(
+            log.count_of(TraceKind::LocalStore),
+            sums(|n| n.local_stores)
+        );
+        assert_eq!(log.count_of(TraceKind::Atomic), sums(|n| n.atomics));
+        assert_eq!(
+            log.count_of(TraceKind::RemotePacket),
+            sums(|n| n.remote_packets_in)
+        );
+        assert_eq!(log.count_of(TraceKind::SlotWait), sums(|n| n.slot_waits));
+        assert_eq!(log.count_of(TraceKind::Quit), r.threads);
+        // Events arrive in nondecreasing simulated-time order.
+        assert!(log.events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn faulted_trace_counts_nacks_and_retries() {
+        use crate::trace::TraceKind;
+        let mut cfg = presets::chick_prototype();
+        cfg.faults.mig_nack_prob = 0.5;
+        cfg.faults.mig_retry_budget = 64;
+        let mut ops = Vec::new();
+        for _ in 0..10 {
+            ops.push(Op::MigrateTo { nodelet: nl(1) });
+            ops.push(Op::MigrateTo { nodelet: nl(0) });
+        }
+        let r = traced_script(cfg, ops);
+        let log = r.trace.as_ref().unwrap();
+        assert!(r.total_nacks() > 0);
+        assert_eq!(log.count_of(TraceKind::MigNack), r.total_nacks());
+        assert_eq!(log.count_of(TraceKind::MigRetry), r.total_retries());
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        let base = run_script(busy_script());
+        let traced = traced_script(presets::chick_prototype(), busy_script());
+        assert_eq!(base.makespan, traced.makespan);
+        assert_eq!(
+            format!("{:?}", base.nodelets),
+            format!("{:?}", traced.nodelets)
+        );
+        assert_eq!(
+            format!("{:?}", base.breakdown),
+            format!("{:?}", traced.breakdown)
+        );
+    }
+
+    #[test]
+    fn ring_capacity_bounds_the_log_and_counts_drops() {
+        let mut e = Engine::new(presets::chick_prototype()).unwrap();
+        e.enable_trace(4);
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(busy_script())))
+            .unwrap();
+        let r = e.run().unwrap();
+        let log = r.trace.unwrap();
+        assert_eq!(log.events.len(), 4);
+        assert!(log.dropped > 0);
+        let full = traced_script(presets::chick_prototype(), busy_script());
+        assert_eq!(log.emitted(), full.trace.unwrap().emitted());
+    }
+
+    #[test]
+    fn slot_gauges_observe_contention() {
+        let mut cfg = presets::chick_prototype();
+        cfg.threadlets_per_gc = 2;
+        let mut ops = Vec::new();
+        for _ in 0..4 {
+            ops.push(Op::Spawn {
+                kernel: Box::new(ScriptKernel::new(vec![Op::Compute { cycles: 5000 }])),
+                place: Placement::Here,
+            });
+        }
+        let mut e = Engine::new(cfg.clone()).unwrap();
+        e.enable_timeline(Time::from_ns(100)).unwrap();
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(ops))).unwrap();
+        let r = e.run().unwrap();
+        assert!(r.nodelets[0].slot_waits > 0, "expected slot contention");
+        let tl = r.timelines.unwrap();
+        let peak_depth = (0..tl.queue_depth[0].len())
+            .map(|b| tl.queue_depth[0].peak(b))
+            .max()
+            .unwrap_or(0);
+        let peak_live = (0..tl.live_threads[0].len())
+            .map(|b| tl.live_threads[0].peak(b))
+            .max()
+            .unwrap_or(0);
+        assert!(peak_depth > 0, "queue-depth gauge missed the wait");
+        assert_eq!(peak_live as u32, cfg.slots_per_nodelet());
+        // Gauges on idle nodelets stay flat at zero.
+        let idle_peak = (0..tl.live_threads[5].len())
+            .map(|b| tl.live_threads[5].peak(b))
+            .max()
+            .unwrap_or(0);
+        assert_eq!(idle_peak, 0);
     }
 
     // ---- fault injection and watchdog ----

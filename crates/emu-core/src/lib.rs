@@ -27,7 +27,9 @@
 //!   type every engine failure surfaces as — the Chick the paper measured
 //!   was itself a degraded machine (Fig 10);
 //! * [`metrics`] — the per-nodelet counters and bandwidth reductions the
-//!   paper reports.
+//!   paper reports;
+//! * [`trace`] — optional structured event tracing (spawns, migrations,
+//!   NACKs, stalls with nodelet/thread/timestamp), zero-cost when off.
 //!
 //! ## Quick example
 //!
@@ -61,6 +63,7 @@ pub mod kernel;
 pub mod metrics;
 pub mod presets;
 pub mod spawn;
+pub mod trace;
 
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
@@ -73,4 +76,5 @@ pub mod prelude {
     pub use crate::metrics::{FaultTotals, NodeletCounters, RunReport};
     pub use crate::presets;
     pub use crate::spawn::{root_kernel, SpawnStrategy, WorkerFactory};
+    pub use crate::trace::{TelemetryConfig, TraceEvent, TraceKind, TraceLog};
 }

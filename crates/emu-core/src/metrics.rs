@@ -113,11 +113,14 @@ pub struct RunReport {
     pub migration_latency: LogHistogram,
     /// Distribution of per-thread lifetime migration counts.
     pub migrations_per_thread: Summary,
-    /// Per-nodelet occupancy timelines, when tracing was enabled
+    /// Per-nodelet time series, when timeline tracing was enabled
     /// (see [`crate::engine::Engine::enable_timeline`]).
     pub timelines: Option<crate::engine::RunTimelines>,
     /// Where threadlet wall-time went, summed across threads.
     pub breakdown: crate::engine::TimeBreakdown,
+    /// Structured event log, when event tracing was enabled
+    /// (see [`crate::engine::Engine::enable_trace`]).
+    pub trace: Option<crate::trace::TraceLog>,
 }
 
 impl RunReport {
@@ -243,6 +246,7 @@ mod tests {
             migrations_per_thread: Summary::new(),
             timelines: None,
             breakdown: crate::engine::TimeBreakdown::default(),
+            trace: None,
         }
     }
 
