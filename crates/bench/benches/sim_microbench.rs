@@ -2,6 +2,17 @@
 //! tracking for the engines' event throughput, which bounds how large
 //! the figure runs can be. Plain `harness = false` main: wall-clock
 //! medians over a fixed number of iterations, no external framework.
+//!
+//! Flags:
+//!
+//! * `--json PATH` — also write the machine-readable `BENCH_sim.json`
+//!   (scheduler throughput, engine events/sec, quick-mode `all_figures`
+//!   wall time at `-j 1` vs `-j N`) for CI artifact upload.
+//! * `--gate` — exit nonzero if the calendar-queue scheduler is slower
+//!   than the binary-heap baseline (ratio threshold from
+//!   `EMU_PERF_GATE_RATIO`, default 0.95).
+//! * `--skip-figures` — skip the quick-mode `all_figures` timing (the
+//!   slowest section; the queue gate does not need it).
 
 use emu_core::prelude::*;
 use membench::chase::{cpu::run_chase_cpu, run_chase_emu, ChaseConfig, ShuffleMode};
@@ -14,9 +25,10 @@ use std::time::Instant;
 
 const ITERS: usize = 10;
 
-/// Run `f` ITERS times; print the median wall-clock time. The returned
-/// u64 is folded into a sink so the work cannot be optimized away.
-fn bench(name: &str, mut f: impl FnMut() -> u64) {
+/// Run `f` ITERS times; print and return the median wall-clock seconds.
+/// The returned u64 is folded into a sink so the work cannot be
+/// optimized away.
+fn bench(name: &str, mut f: impl FnMut() -> u64) -> f64 {
     let mut times = Vec::with_capacity(ITERS);
     let mut sink = 0u64;
     for _ in 0..ITERS {
@@ -32,20 +44,91 @@ fn bench(name: &str, mut f: impl FnMut() -> u64) {
         format!("{:>9.1} us/iter", med * 1e6)
     };
     println!("{name:<38} {unit}  (sink {sink:x})");
+    med
+}
+
+const QUEUE_EVENTS: u64 = 10_000;
+
+/// Push/pop `QUEUE_EVENTS` events through `q` (mixed near/far times, so
+/// the calendar backend exercises buckets and the overflow heap alike).
+fn queue_workload(mut q: desim::EventQueue<u64>) -> u64 {
+    for i in 0..QUEUE_EVENTS {
+        let t = if i % 64 == 0 {
+            1_000_000 + (i * 131) % 500_000
+        } else {
+            (i * 37) % 5000
+        };
+        q.schedule(desim::Time::from_ns(t), i);
+    }
+    let mut sum = 0u64;
+    while let Some((_, e)) = q.pop() {
+        sum = sum.wrapping_add(e);
+    }
+    sum
+}
+
+/// Run every figure once, quick mode, at the given job count; returns
+/// wall-clock seconds. Mirrors `all_figures` minus the CSV/IO.
+type FigureFn = fn() -> Result<emu_bench::output::Table, SimError>;
+
+fn all_figures_quick(jobs: usize) -> f64 {
+    use emu_bench::figures as f;
+    emu_bench::runcfg::set_jobs(jobs);
+    let t0 = Instant::now();
+    let figs: [(&str, FigureFn); 10] = [
+        ("fig04", f::fig04),
+        ("fig05", f::fig05),
+        ("fig06", f::fig06),
+        ("fig07", f::fig07),
+        ("fig08", f::fig08),
+        ("fig09a", f::fig09a),
+        ("fig09b", f::fig09b),
+        ("fig10", f::fig10),
+        ("fig11", f::fig11),
+        ("headline", f::headline),
+    ];
+    for (name, fig) in figs {
+        fig().unwrap_or_else(|e| panic!("{name} failed: {e}"));
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    emu_bench::runcfg::set_jobs(0);
+    println!("all_figures quick -j {jobs:<26} {dt:>9.2} s");
+    dt
 }
 
 fn main() {
-    bench("desim/event_queue_push_pop_10k", || {
-        let mut q = desim::EventQueue::new();
-        for i in 0..10_000u64 {
-            q.schedule(desim::Time::from_ns((i * 37) % 5000), i);
+    let mut json_path: Option<String> = None;
+    let mut gate = false;
+    let mut skip_figures = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json_path = args.next(),
+            "--gate" => gate = true,
+            "--skip-figures" => skip_figures = true,
+            // `cargo bench` appends `--bench` to harness=false targets.
+            "--bench" => {}
+            other => {
+                eprintln!("unknown flag {other:?} (try --json PATH, --gate, --skip-figures)");
+                std::process::exit(2);
+            }
         }
-        let mut sum = 0u64;
-        while let Some((_, e)) = q.pop() {
-            sum = sum.wrapping_add(e);
-        }
-        sum
+    }
+
+    let cal_s = bench("desim/event_queue_calendar_10k", || {
+        queue_workload(desim::EventQueue::new())
     });
+    let heap_s = bench("desim/event_queue_heap_10k", || {
+        queue_workload(desim::EventQueue::heap_backed())
+    });
+    let cal_eps = QUEUE_EVENTS as f64 / cal_s;
+    let heap_eps = QUEUE_EVENTS as f64 / heap_s;
+    println!(
+        "  calendar {:.1} M events/s vs heap {:.1} M events/s ({:.2}x)",
+        cal_eps / 1e6,
+        heap_eps / 1e6,
+        cal_eps / heap_eps
+    );
 
     {
         use xeon_sim::cache::Cache;
@@ -61,8 +144,11 @@ fn main() {
     }
 
     let cfg = presets::chick_prototype();
-    bench("emu/stream_16k_elems_128thr", || {
-        run_stream_emu(
+    // Engine throughput probes: discrete events processed per second of
+    // host wall-clock, for the two figure-dominating workloads.
+    let mut stream_events = 0u64;
+    let stream_s = bench("emu/stream_16k_elems_128thr", || {
+        let r = run_stream_emu(
             &cfg,
             &EmuStreamConfig {
                 total_elems: 1 << 14,
@@ -71,11 +157,10 @@ fn main() {
             },
         )
         .expect("stream")
-        .report
-        .makespan
-        .ps()
+        .report;
+        stream_events = r.events;
+        r.makespan.ps()
     });
-
     let cc = ChaseConfig {
         elems_per_list: 1024,
         nlists: 64,
@@ -83,9 +168,19 @@ fn main() {
         mode: ShuffleMode::FullBlock,
         seed: 1,
     };
-    bench("emu/chase_64k_elems", || {
-        run_chase_emu(&cfg, &cc).expect("chase").makespan.ps()
+    let mut chase_events = 0u64;
+    let chase_s = bench("emu/chase_64k_elems", || {
+        let r = run_chase_emu(&cfg, &cc).expect("chase");
+        chase_events = r.events;
+        r.makespan.ps()
     });
+    let stream_eps = stream_events as f64 / stream_s;
+    let chase_eps = chase_events as f64 / chase_s;
+    println!(
+        "  engine: STREAM {:.2} M events/s, chase {:.2} M events/s",
+        stream_eps / 1e6,
+        chase_eps / 1e6
+    );
 
     bench("emu/pingpong_64thr_100rt", || {
         run_pingpong(
@@ -128,4 +223,70 @@ fn main() {
     bench("spmat/laplacian_n100_build", || {
         spmat::laplacian(spmat::LaplacianSpec::paper(100)).nnz() as u64
     });
+
+    // Quick-mode campaign wall time, serial vs parallel.
+    let (fig_j1, fig_jn, jobs_n) = if skip_figures {
+        (None, None, 1)
+    } else {
+        std::env::set_var("EMU_QUICK", "1");
+        let n = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let j1 = all_figures_quick(1);
+        let jn = if n > 1 { all_figures_quick(n) } else { j1 };
+        std::env::remove_var("EMU_QUICK");
+        if n > 1 {
+            println!("  parallel speedup at -j {n}: {:.2}x", j1 / jn);
+        }
+        (Some(j1), Some(jn), n)
+    };
+
+    if let Some(path) = json_path {
+        let opt = |v: Option<f64>| v.map_or("null".to_string(), |x| format!("{x:.6}"));
+        let body = format!(
+            concat!(
+                "{{\"queue\":{{\"calendar_s\":{:.9},\"heap_s\":{:.9},",
+                "\"calendar_events_per_sec\":{:.1},\"heap_events_per_sec\":{:.1}}},",
+                "\"engine\":{{\"stream_events_per_sec\":{:.1},\"chase_events_per_sec\":{:.1},",
+                "\"stream_events\":{},\"chase_events\":{}}},",
+                "\"all_figures_quick\":{{\"jobs_1_s\":{},\"jobs_n\":{},\"jobs_n_s\":{},\"speedup\":{}}}}}\n"
+            ),
+            cal_s,
+            heap_s,
+            cal_eps,
+            heap_eps,
+            stream_eps,
+            chase_eps,
+            stream_events,
+            chase_events,
+            opt(fig_j1),
+            jobs_n,
+            opt(fig_jn),
+            opt(fig_j1.zip(fig_jn).map(|(a, b)| a / b)),
+        );
+        match std::fs::write(&path, &body) {
+            Ok(()) => println!("[bench-json] {path}"),
+            Err(e) => {
+                eprintln!("[bench-json] write failed ({path}): {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if gate {
+        let ratio: f64 = std::env::var("EMU_PERF_GATE_RATIO")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.95);
+        if cal_eps < ratio * heap_eps {
+            eprintln!(
+                "PERF GATE FAILED: calendar queue {:.1} M events/s < {ratio} x heap {:.1} M events/s",
+                cal_eps / 1e6,
+                heap_eps / 1e6
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "perf gate ok: calendar/heap = {:.2} (threshold {ratio})",
+            cal_eps / heap_eps
+        );
+    }
 }

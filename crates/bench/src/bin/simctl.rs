@@ -27,7 +27,16 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", cli::USAGE);
         return Ok(());
     }
-    let p = cli::parse(args)?;
+    let mut p = cli::parse(args)?;
+    // `--jobs` is accepted by every command (sweep worker threads; single
+    // runs just ignore the pool size). Applied before dispatch so any
+    // sweep the command triggers sees it.
+    if let Some(v) = p.options.remove("jobs") {
+        let n: usize = v
+            .parse()
+            .map_err(|_| format!("--jobs: cannot parse {v:?}"))?;
+        emu_bench::runcfg::set_jobs(n);
+    }
     match p.command.as_str() {
         "presets" => cmd_presets(),
         "stream" => cmd_stream(&p),

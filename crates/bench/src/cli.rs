@@ -149,6 +149,11 @@ COMMANDS
   presets   list machine presets
   help      this text
 
+GLOBAL OPTIONS
+  --jobs N  worker threads for parameter sweeps (also: EMU_JOBS; the
+            figure binaries and all_figures take --jobs/-j N too).
+            Results are identical at any job count.
+
 Every command prints bandwidth/throughput plus the migration counters
 relevant to the Emu execution model. `trace` additionally writes a
 Chrome trace_event JSON (load in Perfetto / chrome://tracing), a JSONL

@@ -19,10 +19,10 @@
 use crate::harness::{run_point, PointOutcome, RunPolicy};
 use crate::output::Table;
 use crate::runcfg::{sized, sized_usize};
+use crate::sweep;
 use emu_core::prelude::*;
 use membench::chase::{run_chase_emu, ChaseConfig, ShuffleMode};
 use membench::stream::{run_stream_emu, EmuStreamConfig};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// One measured sweep point: bandwidth plus the fault-recovery counters
@@ -120,35 +120,27 @@ fn plan_points() -> Vec<Point> {
     pts
 }
 
-/// Run the full degradation sweep. Points run on parallel worker
-/// threads (each already isolated by [`run_point`]); failures and
-/// timeouts become labelled rows, never a crash.
+/// Run the full degradation sweep on the bounded worker pool in
+/// [`crate::sweep`] (`--jobs`/`-j`), each point isolated by
+/// [`run_point`]'s timeout/retry harness; failures and timeouts become
+/// labelled rows, never a crash.
 pub fn fig_degradation() -> Table {
     let policy = RunPolicy {
         timeout: Duration::from_secs(if crate::runcfg::quick() { 60 } else { 300 }),
         attempts: 2,
     };
     let points = plan_points();
-    let rows: Mutex<Vec<(usize, Vec<String>)>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|s| {
-        for (i, p) in points.into_iter().enumerate() {
-            let rows = &rows;
-            s.spawn(move || {
-                let bench = p.bench;
-                let cfg = p.cfg;
-                let outcome = run_point(policy, move || match bench {
-                    "stream" => stream_sample(&cfg),
-                    _ => chase_sample(&cfg),
-                });
-                let row = render_row(p.axis, p.value, bench, &outcome);
-                rows.lock().unwrap().push((i, row));
-            });
-        }
+    let rows = sweep::run_indexed(points.len(), |i| {
+        let p = &points[i];
+        let bench = p.bench;
+        let cfg = p.cfg.clone();
+        let outcome = run_point(policy, move || match bench {
+            "stream" => stream_sample(&cfg),
+            _ => chase_sample(&cfg),
+        });
+        render_row(p.axis, p.value, bench, &outcome)
     });
 
-    let mut rows = rows.into_inner().unwrap();
-    rows.sort_by_key(|&(i, _)| i);
     let mut t = Table::new(
         "Degradation: bandwidth vs injected faults (Emu Chick preset)",
         &[
@@ -165,7 +157,7 @@ pub fn fig_degradation() -> Table {
             "status",
         ],
     );
-    for (_, r) in rows {
+    for r in rows {
         t.row(r);
     }
     t

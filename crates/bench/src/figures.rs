@@ -4,9 +4,15 @@
 //! and returns a [`Table`] whose rows are the figure's data series. The
 //! `figNN` binaries are thin wrappers; EXPERIMENTS.md records the
 //! paper-vs-measured comparison for every run.
+//!
+//! Sweep points are independent simulations, so every figure fans its
+//! grid across the worker pool in [`crate::sweep`] (`--jobs`/`-j`) and
+//! assembles rows in sweep order — the tables and CSVs are identical at
+//! any job count.
 
 use crate::output::{fmt_mbs, Table};
 use crate::runcfg::{sized, sized_usize};
+use crate::sweep;
 use emu_core::prelude::*;
 use membench::chase::{self, ChaseConfig, ShuffleMode};
 use membench::pingpong::{run_pingpong, PingPongConfig};
@@ -26,6 +32,30 @@ pub const FIG5_THREADS: [usize; 7] = [8, 16, 32, 64, 128, 256, 512];
 /// Block sizes swept by the pointer-chase figures.
 pub const CHASE_BLOCKS: [usize; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
 
+/// Evaluate a rows × cols grid of independent cells across the worker
+/// pool; returns the formatted cells in row-major sweep order (first
+/// error in sweep order wins).
+fn grid<R: Sync, C: Sync>(
+    rows: &[R],
+    cols: &[C],
+    cell: impl Fn(&R, &C) -> Result<String, SimError> + Sync,
+) -> Result<Vec<Vec<String>>, SimError> {
+    let nc = cols.len().max(1);
+    let cells = sweep::run_indexed(rows.len() * cols.len(), |i| {
+        cell(&rows[i / nc], &cols[i % nc])
+    });
+    let flat: Vec<String> = cells.into_iter().collect::<Result<_, _>>()?;
+    Ok(flat.chunks(nc).map(<[String]>::to_vec).collect())
+}
+
+/// Run a batch of heterogeneous scalar measurements across the pool;
+/// first error in batch order wins.
+fn batch(
+    thunks: Vec<Box<dyn FnOnce() -> Result<f64, SimError> + Send>>,
+) -> Result<Vec<f64>, SimError> {
+    sweep::run_thunks(thunks).into_iter().collect()
+}
+
 /// Fig 4: STREAM on one nodelet, serial vs recursive local spawn.
 pub fn fig04() -> Result<Table, SimError> {
     let cfg = presets::chick_prototype();
@@ -34,23 +64,25 @@ pub fn fig04() -> Result<Table, SimError> {
         "Fig 4: STREAM ADD, single nodelet of the Emu Chick",
         &["threads", "serial_spawn (MB/s)", "recursive_spawn (MB/s)"],
     );
-    for &threads in &FIG4_THREADS {
-        let mut cells = vec![threads.to_string()];
-        for strategy in [SpawnStrategy::Serial, SpawnStrategy::Recursive] {
-            let r = run_stream_emu(
-                &cfg,
-                &EmuStreamConfig {
-                    total_elems: elems,
-                    nthreads: threads,
-                    strategy,
-                    single_nodelet: true,
-                    ..Default::default()
-                },
-            )?;
-            assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        t.row(cells);
+    let strategies = [SpawnStrategy::Serial, SpawnStrategy::Recursive];
+    let rows = grid(&FIG4_THREADS, &strategies, |&threads, &strategy| {
+        let r = run_stream_emu(
+            &cfg,
+            &EmuStreamConfig {
+                total_elems: elems,
+                nthreads: threads,
+                strategy,
+                single_nodelet: true,
+                ..Default::default()
+            },
+        )?;
+        assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+    })?;
+    for (&threads, cells) in FIG4_THREADS.iter().zip(rows) {
+        let mut row = vec![threads.to_string()];
+        row.extend(cells);
+        t.row(row);
     }
     Ok(t)
 }
@@ -69,23 +101,24 @@ pub fn fig05() -> Result<Table, SimError> {
             "recursive_remote (MB/s)",
         ],
     );
-    for &threads in &FIG5_THREADS {
-        let mut cells = vec![threads.to_string()];
-        for strategy in SpawnStrategy::ALL {
-            let r = run_stream_emu(
-                &cfg,
-                &EmuStreamConfig {
-                    total_elems: elems,
-                    nthreads: threads,
-                    strategy,
-                    single_nodelet: false,
-                    ..Default::default()
-                },
-            )?;
-            assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        t.row(cells);
+    let rows = grid(&FIG5_THREADS, &SpawnStrategy::ALL, |&threads, &strategy| {
+        let r = run_stream_emu(
+            &cfg,
+            &EmuStreamConfig {
+                total_elems: elems,
+                nthreads: threads,
+                strategy,
+                single_nodelet: false,
+                ..Default::default()
+            },
+        )?;
+        assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+    })?;
+    for (&threads, cells) in FIG5_THREADS.iter().zip(rows) {
+        let mut row = vec![threads.to_string()];
+        row.extend(cells);
+        t.row(row);
     }
     Ok(t)
 }
@@ -101,24 +134,27 @@ fn chase_emu_sweep(
     let mut cols = vec!["block_elems".to_string()];
     cols.extend(thread_counts.iter().map(|t| format!("{t} threads (MB/s)")));
     let mut t = Table::new(title, &cols.iter().map(String::as_str).collect::<Vec<_>>());
-    for &block in blocks {
-        if block > elems_per_list {
-            continue;
-        }
-        let mut cells = vec![block.to_string()];
-        for &threads in thread_counts {
-            let cc = ChaseConfig {
-                elems_per_list,
-                nlists: threads,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: desim::rng::DEFAULT_SEED,
-            };
-            let r = chase::run_chase_emu(cfg, &cc)?;
-            assert_eq!(r.checksum, cc.expected_checksum());
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        t.row(cells);
+    let blocks: Vec<usize> = blocks
+        .iter()
+        .copied()
+        .filter(|&b| b <= elems_per_list)
+        .collect();
+    let rows = grid(&blocks, thread_counts, |&block, &threads| {
+        let cc = ChaseConfig {
+            elems_per_list,
+            nlists: threads,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: desim::rng::DEFAULT_SEED,
+        };
+        let r = chase::run_chase_emu(cfg, &cc)?;
+        assert_eq!(r.checksum, cc.expected_checksum());
+        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+    })?;
+    for (&block, cells) in blocks.iter().zip(rows) {
+        let mut row = vec![block.to_string()];
+        row.extend(cells);
+        t.row(row);
     }
     Ok(t)
 }
@@ -147,24 +183,27 @@ pub fn fig07() -> Result<Table, SimError> {
         "Fig 7: Pointer chasing, Sandy Bridge Xeon, full_block_shuffle",
         &cols.iter().map(String::as_str).collect::<Vec<_>>(),
     );
-    for &block in &CHASE_BLOCKS {
-        if block > elems_per_list {
-            continue;
-        }
-        let mut cells = vec![block.to_string()];
-        for &threads in &thread_counts {
-            let cc = ChaseConfig {
-                elems_per_list,
-                nlists: threads,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: desim::rng::DEFAULT_SEED,
-            };
-            let r = chase::cpu::run_chase_cpu(&cfg, &cc);
-            assert_eq!(r.checksum, cc.expected_checksum());
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        t.row(cells);
+    let blocks: Vec<usize> = CHASE_BLOCKS
+        .iter()
+        .copied()
+        .filter(|&b| b <= elems_per_list)
+        .collect();
+    let rows = grid(&blocks, &thread_counts, |&block, &threads| {
+        let cc = ChaseConfig {
+            elems_per_list,
+            nlists: threads,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: desim::rng::DEFAULT_SEED,
+        };
+        let r = chase::cpu::run_chase_cpu(&cfg, &cc);
+        assert_eq!(r.checksum, cc.expected_checksum());
+        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+    })?;
+    for (&block, cells) in blocks.iter().zip(rows) {
+        let mut row = vec![block.to_string()];
+        row.extend(cells);
+        t.row(row);
     }
     Ok(t)
 }
@@ -201,8 +240,12 @@ pub fn xeon_peak_stream_mbs() -> f64 {
 /// Fig 8: pointer-chase bandwidth as a fraction of each platform's peak
 /// measured STREAM bandwidth.
 pub fn fig08() -> Result<Table, SimError> {
-    let emu_peak = emu_peak_stream_mbs()?;
-    let xeon_peak = xeon_peak_stream_mbs();
+    // Stage 1: the two peak-bandwidth denominators, concurrently.
+    let peaks = batch(vec![
+        Box::new(emu_peak_stream_mbs),
+        Box::new(|| Ok(xeon_peak_stream_mbs())),
+    ])?;
+    let (emu_peak, xeon_peak) = (peaks[0], peaks[1]);
     let emu_cfg = presets::chick_prototype();
     let cpu_cfg = xeon_sim::config::sandy_bridge();
     let mut t = Table::new(
@@ -213,32 +256,44 @@ pub fn fig08() -> Result<Table, SimError> {
         ),
         &["block_elems", "Emu 512thr (%)", "Xeon 32thr (%)"],
     );
-    for &block in &CHASE_BLOCKS {
-        let emu = chase::run_chase_emu(
-            &emu_cfg,
-            &ChaseConfig {
-                elems_per_list: sized_usize(4096, 512).max(block),
-                nlists: 512,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: desim::rng::DEFAULT_SEED,
-            },
-        )?;
-        let xeon = chase::cpu::run_chase_cpu(
-            &cpu_cfg,
-            &ChaseConfig {
-                elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
-                nlists: 32,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: desim::rng::DEFAULT_SEED,
-            },
-        );
-        t.row(vec![
-            block.to_string(),
-            format!("{:.1}", 100.0 * emu.bandwidth.mb_per_sec() / emu_peak),
-            format!("{:.1}", 100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak),
-        ]);
+    // Stage 2: the block sweep, one cell per (block, platform).
+    let rows = grid(&CHASE_BLOCKS, &[true, false], |&block, &is_emu| {
+        if is_emu {
+            let emu = chase::run_chase_emu(
+                &emu_cfg,
+                &ChaseConfig {
+                    elems_per_list: sized_usize(4096, 512).max(block),
+                    nlists: 512,
+                    block_elems: block,
+                    mode: ShuffleMode::FullBlock,
+                    seed: desim::rng::DEFAULT_SEED,
+                },
+            )?;
+            Ok(format!(
+                "{:.1}",
+                100.0 * emu.bandwidth.mb_per_sec() / emu_peak
+            ))
+        } else {
+            let xeon = chase::cpu::run_chase_cpu(
+                &cpu_cfg,
+                &ChaseConfig {
+                    elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+                    nlists: 32,
+                    block_elems: block,
+                    mode: ShuffleMode::FullBlock,
+                    seed: desim::rng::DEFAULT_SEED,
+                },
+            );
+            Ok(format!(
+                "{:.1}",
+                100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak
+            ))
+        }
+    })?;
+    for (&block, cells) in CHASE_BLOCKS.iter().zip(rows) {
+        let mut row = vec![block.to_string()];
+        row.extend(cells);
+        t.row(row);
     }
     Ok(t)
 }
@@ -253,7 +308,10 @@ pub fn fig09a() -> Result<Table, SimError> {
         "Fig 9a: SpMV effective bandwidth, Emu Chick (grain 16 nnz)",
         &["laplacian_n", "local (MB/s)", "1D (MB/s)", "2D (MB/s)"],
     );
-    for &n in &FIG9_SIZES {
+    // One sweep point per matrix size: the three layouts share the
+    // assembled matrix, so the row is the natural parallel unit.
+    let rows = sweep::run_indexed(FIG9_SIZES.len(), |i| -> Result<Vec<String>, SimError> {
+        let n = FIG9_SIZES[i];
         let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
         let reference = m.spmv(&x_vector(m.ncols()));
         let mut cells = vec![n.to_string()];
@@ -274,7 +332,10 @@ pub fn fig09a() -> Result<Table, SimError> {
             assert!(err < 1e-9, "{} produced a wrong result", layout.name());
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
-        t.row(cells);
+        Ok(cells)
+    });
+    for row in rows {
+        t.row(row?);
     }
     Ok(t)
 }
@@ -302,7 +363,8 @@ pub fn fig09b() -> Result<Table, SimError> {
             "cilk_spawn g=16 (MB/s)",
         ],
     );
-    for &n in &FIG9B_SIZES {
+    let rows = sweep::run_indexed(FIG9B_SIZES.len(), |i| -> Result<Vec<String>, SimError> {
+        let n = FIG9B_SIZES[i];
         let n = if crate::runcfg::quick() {
             n.min(200)
         } else {
@@ -328,7 +390,10 @@ pub fn fig09b() -> Result<Table, SimError> {
             assert!(err < 1e-9, "{} produced a wrong result", strategy.name());
             cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
         }
-        t.row(cells);
+        Ok(cells)
+    });
+    for row in rows {
+        t.row(row?);
     }
     Ok(t)
 }
@@ -338,100 +403,112 @@ pub fn fig09b() -> Result<Table, SimError> {
 pub fn fig10() -> Result<Table, SimError> {
     let hw = presets::chick_prototype();
     let sim = presets::chick_toolchain_sim();
+    // Every hardware/simulator measurement is independent: run all
+    // twelve as one batch (hw/sim pairs adjacent, in row order).
+    let stream1 = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+        Box::new(move || {
+            Ok(run_stream_emu(
+                &cfg,
+                &EmuStreamConfig {
+                    total_elems: sized(1 << 15, 1 << 12),
+                    nthreads: 64,
+                    strategy: SpawnStrategy::Recursive,
+                    single_nodelet: true,
+                    ..Default::default()
+                },
+            )?
+            .bandwidth
+            .mb_per_sec())
+        })
+    };
+    let stream8 = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+        Box::new(move || {
+            Ok(run_stream_emu(
+                &cfg,
+                &EmuStreamConfig {
+                    total_elems: sized(1 << 18, 1 << 13),
+                    nthreads: 512,
+                    strategy: SpawnStrategy::RecursiveRemote,
+                    ..Default::default()
+                },
+            )?
+            .bandwidth
+            .mb_per_sec())
+        })
+    };
+    // Pointer chase: migration-bound at block 1 (where hardware and
+    // simulator diverge, as in the paper) and compute-bound at block 64
+    // (where they agree, like STREAM).
+    let chase_at =
+        |cfg: MachineConfig, block: usize| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+            Box::new(move || {
+                let cc = ChaseConfig {
+                    elems_per_list: sized_usize(2048, 512).max(block),
+                    nlists: 512,
+                    block_elems: block,
+                    mode: ShuffleMode::FullBlock,
+                    seed: 1,
+                };
+                Ok(chase::run_chase_emu(&cfg, &cc)?.bandwidth.mb_per_sec())
+            })
+        };
+    // Ping-pong: the migration rate at load, and the latency at light
+    // load (the paper's 1-2 us estimate).
+    let pp = |cfg: MachineConfig,
+              threads: usize,
+              latency: bool|
+     -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+        Box::new(move || {
+            let r = run_pingpong(
+                &cfg,
+                &PingPongConfig {
+                    nthreads: threads,
+                    round_trips: sized(2000, 200) as u32,
+                    ..Default::default()
+                },
+            )?;
+            Ok(if latency {
+                r.mean_latency_ns / 1000.0
+            } else {
+                r.migrations_per_sec / 1e6
+            })
+        })
+    };
+    let v = batch(vec![
+        stream1(hw.clone()),
+        stream1(sim.clone()),
+        stream8(hw.clone()),
+        stream8(sim.clone()),
+        chase_at(hw.clone(), 1),
+        chase_at(sim.clone(), 1),
+        chase_at(hw.clone(), 64),
+        chase_at(sim.clone(), 64),
+        pp(hw.clone(), 64, false),
+        pp(sim.clone(), 64, false),
+        pp(hw, 8, true),
+        pp(sim, 8, true),
+    ])?;
     let mut t = Table::new(
         "Fig 10: Emu hardware preset vs toolchain-simulator preset",
         &["benchmark", "hardware", "simulator", "sim/hw"],
     );
-    let mut push = |name: &str, h: f64, s: f64, unit: &str| {
+    let names = [
+        ("STREAM 1 nodelet", "MB/s"),
+        ("STREAM 8 nodelets", "MB/s"),
+        ("Pointer chase (block 1)", "MB/s"),
+        ("Pointer chase (block 64)", "MB/s"),
+        ("Ping-pong (M migrations/s)", "M/s"),
+        ("Migration latency (us)", "us"),
+    ];
+    for (i, &(name, unit)) in names.iter().enumerate() {
+        let (h, s) = (v[2 * i], v[2 * i + 1]);
         t.row(vec![
             name.to_string(),
             format!("{h:.1} {unit}"),
             format!("{s:.1} {unit}"),
             format!("{:.2}x", s / h),
         ]);
-    };
-    // STREAM, single nodelet.
-    let stream1 = |cfg: &MachineConfig| -> Result<f64, SimError> {
-        Ok(run_stream_emu(
-            cfg,
-            &EmuStreamConfig {
-                total_elems: sized(1 << 15, 1 << 12),
-                nthreads: 64,
-                strategy: SpawnStrategy::Recursive,
-                single_nodelet: true,
-                ..Default::default()
-            },
-        )?
-        .bandwidth
-        .mb_per_sec())
-    };
-    push("STREAM 1 nodelet", stream1(&hw)?, stream1(&sim)?, "MB/s");
-    // STREAM, eight nodelets.
-    let stream8 = |cfg: &MachineConfig| -> Result<f64, SimError> {
-        Ok(run_stream_emu(
-            cfg,
-            &EmuStreamConfig {
-                total_elems: sized(1 << 18, 1 << 13),
-                nthreads: 512,
-                strategy: SpawnStrategy::RecursiveRemote,
-                ..Default::default()
-            },
-        )?
-        .bandwidth
-        .mb_per_sec())
-    };
-    push("STREAM 8 nodelets", stream8(&hw)?, stream8(&sim)?, "MB/s");
-    // Pointer chase: migration-bound at block 1 (where hardware and
-    // simulator diverge, as in the paper) and compute-bound at block 64
-    // (where they agree, like STREAM).
-    let chase_at = |cfg: &MachineConfig, block: usize| -> Result<f64, SimError> {
-        let cc = ChaseConfig {
-            elems_per_list: sized_usize(2048, 512).max(block),
-            nlists: 512,
-            block_elems: block,
-            mode: ShuffleMode::FullBlock,
-            seed: 1,
-        };
-        Ok(chase::run_chase_emu(cfg, &cc)?.bandwidth.mb_per_sec())
-    };
-    push(
-        "Pointer chase (block 1)",
-        chase_at(&hw, 1)?,
-        chase_at(&sim, 1)?,
-        "MB/s",
-    );
-    push(
-        "Pointer chase (block 64)",
-        chase_at(&hw, 64)?,
-        chase_at(&sim, 64)?,
-        "MB/s",
-    );
-    // Ping-pong migration rate (the component that explains the gap).
-    let pp = |cfg: &MachineConfig, threads: usize| {
-        run_pingpong(
-            cfg,
-            &PingPongConfig {
-                nthreads: threads,
-                round_trips: sized(2000, 200) as u32,
-                ..Default::default()
-            },
-        )
-    };
-    let (ph, ps) = (pp(&hw, 64)?, pp(&sim, 64)?);
-    push(
-        "Ping-pong (M migrations/s)",
-        ph.migrations_per_sec / 1e6,
-        ps.migrations_per_sec / 1e6,
-        "M/s",
-    );
-    // Latency measured at light load (the paper's 1-2 us estimate).
-    let (lh, ls) = (pp(&hw, 8)?, pp(&sim, 8)?);
-    push(
-        "Migration latency (us)",
-        lh.mean_latency_ns / 1000.0,
-        ls.mean_latency_ns / 1000.0,
-        "us",
-    );
+    }
     Ok(t)
 }
 
@@ -449,151 +526,164 @@ pub fn fig11() -> Result<Table, SimError> {
 /// Headline numbers quoted in the paper's text (Section IV-A and
 /// conclusions), as one table.
 pub fn headline() -> Result<Table, SimError> {
-    let mut t = Table::new(
-        "Headline numbers (paper Section IV / conclusions)",
-        &["quantity", "paper", "this reproduction"],
-    );
-    let emu_peak = emu_peak_stream_mbs()?;
-    t.row(vec![
-        "Emu Chick STREAM, 1 node".into(),
-        "1.2 GB/s".into(),
-        fmt_mbs(emu_peak),
-    ]);
-    // 8-node initial test.
-    let eight = run_stream_emu(
-        &presets::chick_8node_prototype(),
-        &EmuStreamConfig {
-            total_elems: sized(1 << 20, 1 << 15),
-            nthreads: 4096,
-            strategy: SpawnStrategy::RecursiveRemote,
-            ..Default::default()
-        },
-    )?;
-    t.row(vec![
-        "Emu Chick STREAM, 8 nodes (initial test)".into(),
-        "6.5 GB/s".into(),
-        fmt_mbs(eight.bandwidth.mb_per_sec()),
-    ]);
-    let xeon_peak = xeon_peak_stream_mbs();
-    t.row(vec![
-        "Sandy Bridge STREAM (51.2 GB/s nominal)".into(),
-        "~51.2 GB/s".into(),
-        fmt_mbs(xeon_peak),
-    ]);
-    // Chase utilization: median across the block-size sweep ("most
-    // cases" in the paper's words).
-    let median = |mut xs: Vec<f64>| -> f64 {
-        xs.sort_by(f64::total_cmp);
-        xs[xs.len() / 2]
-    };
     let emu_cfg = presets::chick_prototype();
-    let emu_med = {
-        let mut bws = Vec::new();
-        for &block in &CHASE_BLOCKS {
-            bws.push(
-                chase::run_chase_emu(
-                    &emu_cfg,
+    // Stage 1: the scalar measurements, one batch.
+    let pp_rate = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+        Box::new(move || {
+            Ok(run_pingpong(
+                &cfg,
+                &PingPongConfig {
+                    nthreads: 64,
+                    round_trips: sized(2000, 200) as u32,
+                    ..Default::default()
+                },
+            )?
+            .migrations_per_sec
+                / 1e6)
+        })
+    };
+    let scalars = batch(vec![
+        Box::new(emu_peak_stream_mbs),
+        Box::new(|| {
+            Ok(run_stream_emu(
+                &presets::chick_8node_prototype(),
+                &EmuStreamConfig {
+                    total_elems: sized(1 << 20, 1 << 15),
+                    nthreads: 4096,
+                    strategy: SpawnStrategy::RecursiveRemote,
+                    ..Default::default()
+                },
+            )?
+            .bandwidth
+            .mb_per_sec())
+        }),
+        Box::new(|| Ok(xeon_peak_stream_mbs())),
+        {
+            let cfg = emu_cfg.clone();
+            Box::new(move || {
+                Ok(chase::run_chase_emu(
+                    &cfg,
                     &ChaseConfig {
-                        elems_per_list: sized_usize(4096, 512).max(block),
+                        elems_per_list: sized_usize(4096, 512),
                         nlists: 512,
-                        block_elems: block,
+                        block_elems: 1,
                         mode: ShuffleMode::FullBlock,
                         seed: 1,
                     },
                 )?
                 .bandwidth
-                .mb_per_sec(),
-            );
-        }
-        median(bws)
+                .mb_per_sec())
+            })
+        },
+        pp_rate(emu_cfg.clone()),
+        pp_rate(presets::chick_toolchain_sim()),
+        {
+            let cfg = emu_cfg.clone();
+            Box::new(move || {
+                Ok(run_pingpong(
+                    &cfg,
+                    &PingPongConfig {
+                        nthreads: 8,
+                        round_trips: sized(2000, 200) as u32,
+                        ..Default::default()
+                    },
+                )?
+                .mean_latency_ns
+                    / 1000.0)
+            })
+        },
+    ])?;
+    let (emu_peak, eight, xeon_peak, chase_worst, pp_hw, pp_sim, pp_latency_us) = (
+        scalars[0], scalars[1], scalars[2], scalars[3], scalars[4], scalars[5], scalars[6],
+    );
+    // Stage 2: the chase utilization sweeps ("most cases" medians).
+    let emu_bws = sweep::run_indexed(CHASE_BLOCKS.len(), |i| -> Result<f64, SimError> {
+        let block = CHASE_BLOCKS[i];
+        Ok(chase::run_chase_emu(
+            &emu_cfg,
+            &ChaseConfig {
+                elems_per_list: sized_usize(4096, 512).max(block),
+                nlists: 512,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 1,
+            },
+        )?
+        .bandwidth
+        .mb_per_sec())
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    let cpu_cfg = xeon_sim::config::sandy_bridge();
+    let xeon_bws = sweep::run_indexed(CHASE_BLOCKS.len(), |i| {
+        let block = CHASE_BLOCKS[i];
+        chase::cpu::run_chase_cpu(
+            &cpu_cfg,
+            &ChaseConfig {
+                elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+                nlists: 32,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: 1,
+            },
+        )
+        .bandwidth
+        .mb_per_sec()
+    });
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
     };
+    let emu_med = median(emu_bws);
+    let xeon_med = median(xeon_bws);
+    let mut t = Table::new(
+        "Headline numbers (paper Section IV / conclusions)",
+        &["quantity", "paper", "this reproduction"],
+    );
+    t.row(vec![
+        "Emu Chick STREAM, 1 node".into(),
+        "1.2 GB/s".into(),
+        fmt_mbs(emu_peak),
+    ]);
+    t.row(vec![
+        "Emu Chick STREAM, 8 nodes (initial test)".into(),
+        "6.5 GB/s".into(),
+        fmt_mbs(eight),
+    ]);
+    t.row(vec![
+        "Sandy Bridge STREAM (51.2 GB/s nominal)".into(),
+        "~51.2 GB/s".into(),
+        fmt_mbs(xeon_peak),
+    ]);
     t.row(vec![
         "Emu chase utilization (median over blocks)".into(),
         "~80 %".into(),
         format!("{:.0} %", 100.0 * emu_med / emu_peak),
     ]);
-    let emu_chase_worst = chase::run_chase_emu(
-        &presets::chick_prototype(),
-        &ChaseConfig {
-            elems_per_list: sized_usize(4096, 512),
-            nlists: 512,
-            block_elems: 1,
-            mode: ShuffleMode::FullBlock,
-            seed: 1,
-        },
-    )?;
     t.row(vec![
         "Emu chase utilization (worst, block=1)".into(),
         "~50 %".into(),
-        format!(
-            "{:.0} %",
-            100.0 * emu_chase_worst.bandwidth.mb_per_sec() / emu_peak
-        ),
+        format!("{:.0} %", 100.0 * chase_worst / emu_peak),
     ]);
-    let cpu_cfg = xeon_sim::config::sandy_bridge();
-    let xeon_med = median(
-        CHASE_BLOCKS
-            .iter()
-            .map(|&block| {
-                chase::cpu::run_chase_cpu(
-                    &cpu_cfg,
-                    &ChaseConfig {
-                        elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
-                        nlists: 32,
-                        block_elems: block,
-                        mode: ShuffleMode::FullBlock,
-                        seed: 1,
-                    },
-                )
-                .bandwidth
-                .mb_per_sec()
-            })
-            .collect(),
-    );
     t.row(vec![
         "Xeon chase utilization (median over blocks)".into(),
         "<25 %".into(),
         format!("{:.0} %", 100.0 * xeon_med / xeon_peak),
     ]);
-    // Ping-pong rates.
-    let pp_hw = run_pingpong(
-        &emu_cfg,
-        &PingPongConfig {
-            nthreads: 64,
-            round_trips: sized(2000, 200) as u32,
-            ..Default::default()
-        },
-    )?;
-    let pp_sim = run_pingpong(
-        &presets::chick_toolchain_sim(),
-        &PingPongConfig {
-            nthreads: 64,
-            round_trips: sized(2000, 200) as u32,
-            ..Default::default()
-        },
-    )?;
     t.row(vec![
         "Ping-pong, hardware".into(),
         "9 M migrations/s".into(),
-        format!("{:.1} M migrations/s", pp_hw.migrations_per_sec / 1e6),
+        format!("{pp_hw:.1} M migrations/s"),
     ]);
     t.row(vec![
         "Ping-pong, toolchain simulator".into(),
         "16 M migrations/s".into(),
-        format!("{:.1} M migrations/s", pp_sim.migrations_per_sec / 1e6),
+        format!("{pp_sim:.1} M migrations/s"),
     ]);
-    let pp_light = run_pingpong(
-        &emu_cfg,
-        &PingPongConfig {
-            nthreads: 8,
-            round_trips: sized(2000, 200) as u32,
-            ..Default::default()
-        },
-    )?;
     t.row(vec![
         "Single-migration latency".into(),
         "1-2 us".into(),
-        format!("{:.2} us", pp_light.mean_latency_ns / 1000.0),
+        format!("{pp_latency_us:.2} us"),
     ]);
     Ok(t)
 }

@@ -9,6 +9,7 @@
 //! sweep.
 
 use emu_core::fault::SimError;
+use emu_core::trace;
 use std::sync::mpsc;
 use std::time::Duration;
 
@@ -63,6 +64,11 @@ impl Default for RunPolicy {
     }
 }
 
+/// Synthetic sweep-point ids for `run_point` callers outside any keyed
+/// sweep, in a range above every executor-assigned id so their reports
+/// sort after keyed sweeps (in call order).
+static SYNTH_POINT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1 << 63);
+
 /// Run `f` under `policy`: each attempt on its own worker thread with a
 /// wall-clock timeout. A completed attempt (Ok or Err) ends the point —
 /// deterministic errors replay identically, so only timeouts retry.
@@ -72,33 +78,49 @@ impl Default for RunPolicy {
 /// "abandon the hung run, keep the campaign going" behaviour the paper's
 /// measurement campaign needed on the prototype.
 ///
-/// Note for telemetry users: the process-global report collector
-/// (`emu_core::trace::collect_reports`) sees every engine run in the
-/// process, including a detached straggler that completes *after* its
-/// point was abandoned — so under a sweep with `--report-json`, a
-/// timed-out-then-finished attempt can still contribute a report. The
-/// exported `runs` array is a superset of the table's rows, keyed by
-/// completion order, not sweep order.
+/// Telemetry: every attempt runs under the caller's sweep-point key
+/// (see [`emu_core::trace::with_run_key`]) with its own attempt number,
+/// and the point's outcome is *decided* when an attempt completes — so
+/// the process-global report collector keeps exactly the reports of the
+/// attempt that produced the row. A detached straggler that finishes
+/// after its point was abandoned is dropped, not exported: the `runs`
+/// array under `--report-json` matches the table's rows, in sweep
+/// order, at any `-j`.
 pub fn run_point<T, F>(policy: RunPolicy, f: F) -> PointOutcome<T>
 where
     T: Send + 'static,
     F: Fn() -> Result<T, SimError> + Send + Sync + 'static,
 {
+    use std::sync::atomic::Ordering;
+    let point = match trace::current_point() {
+        trace::UNKEYED => SYNTH_POINT.fetch_add(1, Ordering::Relaxed),
+        p => p,
+    };
     let f = std::sync::Arc::new(f);
     let attempts = policy.attempts.max(1);
-    for _ in 0..attempts {
+    for attempt in 0..attempts {
         let (tx, rx) = mpsc::channel();
         let g = std::sync::Arc::clone(&f);
         std::thread::spawn(move || {
+            let out = trace::with_run_key(point, attempt, || g());
             // The receiver may have given up; a send error is fine.
-            let _ = tx.send(g());
+            let _ = tx.send(out);
         });
         match rx.recv_timeout(policy.timeout) {
-            Ok(Ok(v)) => return PointOutcome::Ok(v),
-            Ok(Err(e)) => return PointOutcome::Failed(e),
+            Ok(Ok(v)) => {
+                trace::accept_attempt(point, attempt);
+                return PointOutcome::Ok(v);
+            }
+            Ok(Err(e)) => {
+                trace::accept_attempt(point, attempt);
+                return PointOutcome::Failed(e);
+            }
             Err(mpsc::RecvTimeoutError::Timeout | mpsc::RecvTimeoutError::Disconnected) => {}
         }
     }
+    // Every attempt timed out: abandon the point so a straggler that
+    // finishes later cannot leak a report into the export.
+    trace::accept_attempt(point, u32::MAX);
     PointOutcome::TimedOut(policy.timeout)
 }
 

@@ -18,5 +18,6 @@ pub mod figures;
 pub mod harness;
 pub mod output;
 pub mod runcfg;
+pub mod sweep;
 pub mod telemetry;
 pub mod validate;

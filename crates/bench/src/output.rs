@@ -109,6 +109,9 @@ pub struct TelemetryArgs {
     pub trace_events: usize,
     /// `--trace-bucket-us N`: timeline bucket width in µs (default 20).
     pub trace_bucket_us: u64,
+    /// `--jobs N` / `-j N`: sweep worker threads (0 = default, see
+    /// [`crate::runcfg::jobs`]).
+    pub jobs: usize,
 }
 
 impl TelemetryArgs {
@@ -140,6 +143,11 @@ impl TelemetryArgs {
                 "--trace-bucket-us" => {
                     if let Some(v) = args.next() {
                         out.trace_bucket_us = v.parse().unwrap_or(out.trace_bucket_us);
+                    }
+                }
+                "--jobs" | "-j" => {
+                    if let Some(v) = args.next() {
+                        out.jobs = v.parse().unwrap_or(out.jobs);
                     }
                 }
                 _ => {}
@@ -206,6 +214,9 @@ pub fn run_figure_with(
 ) {
     use emu_core::trace;
 
+    if args.jobs > 0 {
+        crate::runcfg::set_jobs(args.jobs);
+    }
     if args.any() {
         trace::collect_reports(true);
     }
@@ -302,6 +313,8 @@ mod tests {
                 "64",
                 "--jsonl-out",
                 "t.jsonl",
+                "-j",
+                "4",
                 "ignored-positional",
             ]
             .iter()
@@ -312,6 +325,7 @@ mod tests {
         assert!(args.trace_out.is_none());
         assert_eq!(args.trace_events, 64);
         assert_eq!(args.trace_bucket_us, 20);
+        assert_eq!(args.jobs, 4);
         assert!(args.any() && args.wants_trace());
         assert!(args.config().enabled());
 

@@ -11,6 +11,35 @@ pub const DEFAULT_TRACE_EVENTS: usize = 16384;
 /// Default timeline bucket width in microseconds for `--trace-bucket-us`.
 pub const DEFAULT_TRACE_BUCKET_US: u64 = 20;
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count for sweep execution; 0 = not set explicitly.
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the sweep worker count (`--jobs`/`-j`). `0` reverts to the
+/// default (the `EMU_JOBS` environment variable, then the host's
+/// available parallelism). Re-settable so in-process tests can compare
+/// serial and parallel runs.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::SeqCst);
+}
+
+/// Worker threads to fan sweep points across. Never zero.
+pub fn jobs() -> usize {
+    let set = JOBS.load(Ordering::SeqCst);
+    if set > 0 {
+        return set;
+    }
+    if let Ok(v) = std::env::var("EMU_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Whether quick mode is on.
 pub fn quick() -> bool {
     std::env::var("EMU_QUICK")

@@ -109,10 +109,11 @@ pub fn report_json(label: &str, r: &RunReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"label\":{},\"makespan_ps\":{},\"threads\":{},\"gcs_per_nodelet\":{}",
+        "{{\"label\":{},\"makespan_ps\":{},\"threads\":{},\"events\":{},\"gcs_per_nodelet\":{}",
         jstr(label),
         r.makespan.ps(),
         r.threads,
+        r.events,
         r.gcs_per_nodelet
     );
     let ft = r.fault_totals();

@@ -157,3 +157,76 @@ fn link_monotone_and_linear() {
         );
     }
 }
+
+/// Equal-time events pop in insertion order (FIFO) on both backends,
+/// even when scheduling interleaves with popping.
+#[test]
+fn event_queue_equal_time_fifo_both_backends() {
+    for case in 0..CASES {
+        for heap in [false, true] {
+            let mut rng = rng_from_seed(0xF1F0_0EDE + case);
+            let mut q = if heap {
+                EventQueue::heap_backed()
+            } else {
+                EventQueue::new()
+            };
+            // A handful of times, many events per time, scheduled in
+            // random order; per-time pop order must follow insertion.
+            let times: Vec<Time> = (0..4u64)
+                .map(|k| Time::from_ns(100 * k + rng.gen_range(0..50u64)))
+                .collect();
+            let n = rng.gen_range(20..200usize);
+            let mut expect_per_time = vec![Vec::new(); times.len()];
+            for i in 0..n {
+                let which = rng.gen_range(0..times.len());
+                q.schedule(times[which], i);
+                expect_per_time[which].push(i);
+            }
+            let mut got_per_time = vec![Vec::new(); times.len()];
+            while let Some((t, i)) = q.pop() {
+                let which = times.iter().position(|&x| x == t).unwrap();
+                got_per_time[which].push(i);
+            }
+            assert_eq!(got_per_time, expect_per_time, "FIFO violated (heap={heap})");
+        }
+    }
+}
+
+/// The calendar-queue backend and the reference heap backend produce
+/// identical event sequences on randomized schedules, including
+/// interleaved schedule/pop traffic and far-future (overflow) events.
+#[test]
+fn event_queue_backends_are_equivalent() {
+    for case in 0..CASES {
+        let mut cal = EventQueue::new();
+        let mut heap = EventQueue::heap_backed();
+        let mut rng = rng_from_seed(0xCA1E_0DA2 + case);
+        let ops = rng.gen_range(50..500usize);
+        let mut next_id = 0usize;
+        for _ in 0..ops {
+            if rng.gen_range(0..3u32) < 2 {
+                // Mix near-future (in-window) and far-future (overflow)
+                // deltas; u64 ps resolution exercises sub-bucket ties.
+                let delta = if rng.gen_range(0..8u32) == 0 {
+                    rng.gen_range(0..100_000_000u64)
+                } else {
+                    rng.gen_range(0..20_000u64)
+                };
+                cal.schedule_after(Time::from_ps(delta), next_id);
+                heap.schedule_after(Time::from_ps(delta), next_id);
+                next_id += 1;
+            } else {
+                assert_eq!(cal.pop(), heap.pop(), "pop diverged");
+                assert_eq!(cal.now(), heap.now());
+            }
+            assert_eq!(cal.len(), heap.len());
+        }
+        loop {
+            let (a, b) = (cal.pop(), heap.pop());
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

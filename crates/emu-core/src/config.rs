@@ -64,7 +64,7 @@ pub struct MachineConfig {
 /// machinery (sets saturated throughput); `*_latency_cycles` is the
 /// additional time before the *same thread* may proceed (sets single-thread
 /// performance and thus the saturation knee).
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostModel {
     /// Core-occupancy cycles to issue a memory operation.
     pub mem_issue_cycles: u32,

@@ -161,6 +161,15 @@ pub struct Engine {
     redirect: Vec<u32>,
     /// Monotone counter feeding deterministic fault draws.
     fault_draws: u64,
+    /// Thread-table indices of contexts that have quit, ready for reuse.
+    /// Recycling contexts keeps the table (and its per-entry boxes) at
+    /// the peak-concurrency size instead of the total-spawn size.
+    free_tids: Vec<u32>,
+    /// Total threadlets ever spawned (recycling makes `threads.len()`
+    /// a peak-concurrency figure, not a spawn count).
+    spawned: u64,
+    /// Lifetime migration counts, recorded as each threadlet quits.
+    migs_per_thread: Summary,
     /// Events processed so far (watchdog wall-event cap).
     events: u64,
     /// First fatal error raised by a handler; stops the run.
@@ -220,10 +229,15 @@ impl Engine {
         let links = (0..cfg.nodes)
             .map(|_| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO))
             .collect();
+        // Pending events and live contexts are both bounded by the slot
+        // population (plus in-flight posted stores), so sizing off the
+        // machine's total slots keeps steady-state scheduling away from
+        // reallocation; the cap keeps tiny runs on huge configs cheap.
+        let reserve = (cfg.total_slots() as usize).min(4096);
         let mut engine = Engine {
             cfg,
-            q: EventQueue::new(),
-            threads: Vec::new(),
+            q: EventQueue::with_capacity(reserve),
+            threads: Vec::with_capacity(reserve),
             nodelets,
             links,
             mig_latency: LogHistogram::new(),
@@ -233,6 +247,9 @@ impl Engine {
             breakdown: TimeBreakdown::default(),
             redirect,
             fault_draws: 0,
+            free_tids: Vec::new(),
+            spawned: 0,
+            migs_per_thread: Summary::new(),
             events: 0,
             error: None,
         };
@@ -416,8 +433,7 @@ impl Engine {
         loc: NodeletId,
         home: NodeletId,
     ) -> ThreadId {
-        let tid = ThreadId(self.threads.len() as u32);
-        self.threads.push(Thread {
+        let fresh = Thread {
             kernel: Some(kernel),
             loc,
             home,
@@ -431,8 +447,23 @@ impl Engine {
             done: false,
             op_started: Time::ZERO,
             op_kind: OpKind::None,
-        });
+        };
+        // A quit context has no pending events (its last continuation was
+        // the pop that executed `Op::Quit`), so its table slot — and the
+        // `ThreadId` indexing it — can be reused wholesale.
+        let tid = match self.free_tids.pop() {
+            Some(idx) => {
+                self.threads[idx as usize] = fresh;
+                ThreadId(idx)
+            }
+            None => {
+                let tid = ThreadId(self.threads.len() as u32);
+                self.threads.push(fresh);
+                tid
+            }
+        };
         self.live += 1;
+        self.spawned += 1;
         tid
     }
 
@@ -570,7 +601,7 @@ impl Engine {
 
     fn execute(&mut self, tid: ThreadId, op: Op, now: Time) {
         let loc = self.threads[tid.idx()].loc;
-        let costs = self.cfg.costs.clone();
+        let costs = self.cfg.costs;
         let target = match &op {
             Op::Load { addr, .. } | Op::Store { addr, .. } | Op::AtomicAdd { addr, .. } => {
                 Some(addr.nodelet)
@@ -734,7 +765,10 @@ impl Engine {
                 let t = &mut self.threads[tid.idx()];
                 t.done = true;
                 t.kernel = None;
+                let migrations = t.migrations;
+                self.migs_per_thread.record(migrations as f64);
                 self.live -= 1;
+                self.free_tids.push(tid.0);
                 self.emit(now, loc, Some(tid), TraceKind::Quit);
                 self.q.schedule(now, Event::SlotRelease(loc));
             }
@@ -924,10 +958,6 @@ impl Engine {
 
     fn into_report(self) -> RunReport {
         let makespan = self.q.now();
-        let mut migs = Summary::new();
-        for t in &self.threads {
-            migs.record(t.migrations as f64);
-        }
         let occupancy = self
             .nodelets
             .iter()
@@ -964,9 +994,10 @@ impl Engine {
             nodelets: self.nodelets.into_iter().map(|n| n.counters).collect(),
             occupancy,
             gcs_per_nodelet: self.cfg.gcs_per_nodelet,
-            threads: self.threads.len() as u64,
+            threads: self.spawned,
+            events: self.events,
             migration_latency: self.mig_latency,
-            migrations_per_thread: migs,
+            migrations_per_thread: self.migs_per_thread,
             timelines,
             breakdown,
             trace: self.recorder.map(TraceRecorder::into_log),

@@ -109,6 +109,9 @@ pub struct RunReport {
     pub gcs_per_nodelet: u32,
     /// Total threadlets that ran.
     pub threads: u64,
+    /// Discrete events the engine processed (the scheduler's unit of
+    /// work; events/sec is the simulator's own throughput metric).
+    pub events: u64,
     /// Distribution of single-migration latency (issue to arrival).
     pub migration_latency: LogHistogram,
     /// Distribution of per-thread lifetime migration counts.
@@ -242,6 +245,7 @@ mod tests {
             occupancy: vec![NodeletOccupancy::default(); n],
             gcs_per_nodelet: 1,
             threads: 0,
+            events: 0,
             migration_latency: LogHistogram::new(),
             migrations_per_thread: Summary::new(),
             timelines: None,

@@ -263,13 +263,92 @@ pub fn global() -> TelemetryConfig {
 // completed run (not per event).
 
 static COLLECT: AtomicBool = AtomicBool::new(false);
-static COLLECTED: Mutex<Vec<RunReport>> = Mutex::new(Vec::new());
+static COLLECTED: Mutex<Collected> = Mutex::new(Collected::new());
+
+/// Point id of a run outside any keyed scope. Unkeyed runs sort after
+/// every keyed run, in completion order.
+pub const UNKEYED: u64 = u64::MAX;
+
+/// Collected reports plus the bookkeeping that makes their export order
+/// deterministic under concurrent sweeps: each report is tagged with the
+/// run key (sweep-point id + retry attempt) of the thread that ran the
+/// engine, and [`take_reports`] sorts by `(point, seq)` — so `-j N`
+/// produces the same `runs` array as `-j 1`.
+struct Collected {
+    /// `(point, attempt, arrival seq, report)` per finished run.
+    runs: Vec<(u64, u32, u64, RunReport)>,
+    next_seq: u64,
+    /// Points whose outcome is decided: only the recorded attempt's
+    /// reports are kept (`u32::MAX` = point abandoned, keep none). This
+    /// is what silences detached stragglers: a timed-out attempt that
+    /// finishes late offers a report, but its `(point, attempt)` is no
+    /// longer accepted.
+    accepted: Vec<(u64, u32)>,
+}
+
+impl Collected {
+    const fn new() -> Self {
+        Collected {
+            runs: Vec::new(),
+            next_seq: 0,
+            accepted: Vec::new(),
+        }
+    }
+
+    fn accepts(&self, point: u64, attempt: u32) -> bool {
+        self.accepted
+            .iter()
+            .all(|&(p, a)| p != point || a == attempt)
+    }
+}
+
+std::thread_local! {
+    /// Run key of the current thread: which sweep point (and which retry
+    /// attempt of it) any engine run on this thread belongs to.
+    static RUN_KEY: std::cell::Cell<(u64, u32)> = const { std::cell::Cell::new((UNKEYED, 0)) };
+}
+
+/// Run `f` with this thread's run key set to `(point, attempt)`,
+/// restoring the previous key afterwards. Sweep executors wrap each
+/// point in this so concurrent runs' reports can be re-ordered into
+/// sweep order at export.
+pub fn with_run_key<R>(point: u64, attempt: u32, f: impl FnOnce() -> R) -> R {
+    let prev = RUN_KEY.with(|k| k.replace((point, attempt)));
+    struct Restore((u64, u32));
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            RUN_KEY.with(|k| k.set(self.0));
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The current thread's sweep-point id ([`UNKEYED`] outside any
+/// [`with_run_key`] scope).
+pub fn current_point() -> u64 {
+    RUN_KEY.with(|k| k.get().0)
+}
+
+/// Decide point `point`: keep only reports from `attempt`, drop the
+/// rest (already-collected and future — e.g. a detached straggler from
+/// a timed-out earlier attempt). `attempt = u32::MAX` abandons the
+/// point entirely.
+pub fn accept_attempt(point: u64, attempt: u32) {
+    if point == UNKEYED {
+        return;
+    }
+    let mut c = collected();
+    c.runs.retain(|&(p, a, _, _)| p != point || a == attempt);
+    c.accepted.push((point, attempt));
+}
 
 /// Start (or stop) collecting a clone of every finished run's report.
-/// Starting clears anything previously collected.
+/// Starting clears anything previously collected, including decided
+/// points.
 pub fn collect_reports(on: bool) {
     if on {
-        collected().clear();
+        *collected() = Collected::new();
     }
     COLLECT.store(on, Ordering::SeqCst);
 }
@@ -279,21 +358,35 @@ pub fn collecting_reports() -> bool {
     COLLECT.load(Ordering::SeqCst)
 }
 
-/// Take every report collected since [`collect_reports`]`(true)`.
+/// Take every report collected since [`collect_reports`]`(true)`, in
+/// deterministic sweep order: sorted by `(point, arrival)`, with
+/// unkeyed runs last in completion order.
 pub fn take_reports() -> Vec<RunReport> {
-    std::mem::take(&mut *collected())
+    let mut c = collected();
+    let mut runs = std::mem::take(&mut c.runs);
+    c.next_seq = 0;
+    drop(c);
+    runs.sort_by_key(|&(point, _, seq, _)| (point, seq));
+    runs.into_iter().map(|(_, _, _, r)| r).collect()
 }
 
-fn collected() -> std::sync::MutexGuard<'static, Vec<RunReport>> {
+fn collected() -> std::sync::MutexGuard<'static, Collected> {
     // A poisoned lock only means a panic mid-push; the data is still a
-    // valid Vec, so recover rather than propagate the panic.
+    // valid state, so recover rather than propagate the panic.
     COLLECTED.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Called by the engine when a run completes; a no-op unless armed.
 pub(crate) fn offer_report(report: &RunReport) {
     if COLLECT.load(Ordering::Relaxed) {
-        collected().push(report.clone());
+        let (point, attempt) = RUN_KEY.with(|k| k.get());
+        let mut c = collected();
+        if !c.accepts(point, attempt) {
+            return;
+        }
+        let seq = c.next_seq;
+        c.next_seq += 1;
+        c.runs.push((point, attempt, seq, report.clone()));
     }
 }
 

@@ -146,6 +146,8 @@ pub struct ChaseResult {
     pub breakdown: emu_core::engine::TimeBreakdown,
     /// Fault-recovery totals (Emu runs; zeroed on CPU).
     pub faults: emu_core::metrics::FaultTotals,
+    /// Discrete events the engine processed (Emu runs; 0 on CPU).
+    pub events: u64,
 }
 
 /// Per-element compute charged by the Emu chase kernel: pointer compare,
@@ -244,6 +246,7 @@ pub fn run_chase_emu(cfg: &MachineConfig, cc: &ChaseConfig) -> Result<ChaseResul
         makespan: report.makespan,
         faults: report.fault_totals(),
         breakdown: report.breakdown,
+        events: report.events,
     })
 }
 
@@ -327,6 +330,7 @@ pub mod cpu {
             makespan: report.makespan,
             breakdown: emu_core::engine::TimeBreakdown::default(),
             faults: emu_core::metrics::FaultTotals::default(),
+            events: 0,
         }
     }
 }
