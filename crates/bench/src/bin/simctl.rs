@@ -47,6 +47,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "bfs" => cmd_bfs(&p),
         "mttkrp" => cmd_mttkrp(&p),
         "trace" => cmd_trace(&p),
+        "fuzz" => cmd_fuzz(&p),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -506,5 +507,44 @@ fn run_traced_bench(p: &Parsed, bench: &str, cfg: &MachineConfig) -> Result<(), 
             Ok(())
         }
         other => Err(format!("unknown --bench {other:?}; one of: stream, chase")),
+    }
+}
+
+fn cmd_fuzz(p: &Parsed) -> Result<(), String> {
+    use conformance::fuzz;
+
+    p.check_known(&["cases", "seed", "corpus"])?;
+    let cases: u64 = p.get("cases", 500u64)?;
+    let seed: u64 = p.get("seed", desim::rng::DEFAULT_SEED)?;
+    let corpus = p.get_str("corpus", "tests/corpus");
+    let t0 = std::time::Instant::now();
+    match fuzz::fuzz(seed, cases, |i| {
+        if i > 0 && i % 100 == 0 {
+            eprintln!("  ... {i}/{cases}");
+        }
+    }) {
+        Ok(n) => {
+            println!(
+                "fuzz: {n} cases clean on both queue backends (seed {seed}, {:.1}s)",
+                t0.elapsed().as_secs_f64()
+            );
+            Ok(())
+        }
+        Err(fail) => {
+            eprintln!("fuzz: case {} violated conformance:", fail.case_index);
+            for problem in &fail.problems {
+                eprintln!("  {problem}");
+            }
+            let dir = std::path::Path::new(&corpus);
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = dir.join(format!("fuzz-{seed}-{}.case", fail.case_index));
+            std::fs::write(&path, fuzz::encode(&fail.minimized)).map_err(|e| e.to_string())?;
+            eprintln!("fuzz: minimized repro written to {}", path.display());
+            Err(format!(
+                "{} conformance violation(s) on case {}",
+                fail.problems.len(),
+                fail.case_index
+            ))
+        }
     }
 }

@@ -146,6 +146,9 @@ COMMANDS
   trace     run a traced workload --bench stream|chase --block 1 --events 65536
             and export telemetry  --bucket-us 20 --trace-out F --jsonl-out F
                                   --report-json F
+  fuzz      conformance fuzzing   --cases 500 --seed N --corpus tests/corpus
+            (lockstep calendar-vs-heap queue backends + run audit; a
+            failure shrinks to a minimal repro written to the corpus)
   presets   list machine presets
   help      this text
 

@@ -469,28 +469,29 @@ impl<'a> JsonParser<'a> {
         false
     }
 
+    fn digits(&mut self) -> usize {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        self.i - start
+    }
+
     fn number(&mut self) -> bool {
         let start = self.i;
         self.eat(b'-');
-        let mut digits = 0;
-        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
-            self.i += 1;
-            digits += 1;
-        }
-        if digits == 0 {
+        if self.digits() == 0 {
             self.i = start;
             return false;
         }
-        if self.eat(b'.') {
-            while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
-                self.i += 1;
-            }
+        if self.eat(b'.') && self.digits() == 0 {
+            return false;
         }
-        if self.eat(b'e') || self.eat(b'E') {
+        if (self.eat(b'e') || self.eat(b'E')) && {
             let _ = self.eat(b'+') || self.eat(b'-');
-            while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
-                self.i += 1;
-            }
+            self.digits() == 0
+        } {
+            return false;
         }
         true
     }
@@ -509,11 +510,22 @@ impl<'a> JsonParser<'a> {
                     self.depth -= 1;
                     return true;
                 }
+                // Key spans (raw bytes, quotes included) seen in this
+                // object, to reject duplicate keys: serializers that
+                // emit the same field twice produce JSON most readers
+                // silently last-write-wins on, which hides bugs.
+                let mut keys: Vec<&'a [u8]> = Vec::new();
                 loop {
                     self.ws();
+                    let key_start = self.i;
                     if !self.string() {
                         return false;
                     }
+                    let key = &self.b[key_start..self.i];
+                    if keys.contains(&key) {
+                        return false;
+                    }
+                    keys.push(key);
                     self.ws();
                     if !self.eat(b':') || !self.value() {
                         return false;
@@ -550,6 +562,10 @@ impl<'a> JsonParser<'a> {
             Some(b't') => self.lit("true"),
             Some(b'f') => self.lit("false"),
             Some(b'n') => self.lit("null"),
+            // JSON has no non-finite number literals; reject the
+            // spellings JavaScript/Python serializers leak before they
+            // reach the number parser's fallthrough.
+            Some(b'N') | Some(b'I') => false,
             _ => self.number(),
         }
     }
@@ -623,9 +639,36 @@ mod tests {
             "\"unterminated",
             "{\"a\":1,}",
             "[1 2]",
+            "1.",
+            "1e",
+            "1e+",
         ] {
             assert!(!json_ok(bad), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn validator_rejects_nonfinite_literals() {
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "[1,NaN]",
+            "{\"x\":Infinity}",
+            "{\"x\":-Infinity}",
+        ] {
+            assert!(!json_ok(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_object_keys() {
+        assert!(!json_ok("{\"a\":1,\"a\":2}"));
+        assert!(!json_ok("{\"a\":1,\"b\":{\"c\":1,\"c\":2}}"));
+        assert!(!json_ok("[{\"k\":1,\"k\":1}]"));
+        // Same key in sibling objects is fine.
+        assert!(json_ok("{\"a\":{\"k\":1},\"b\":{\"k\":2}}"));
+        assert!(json_ok("[{\"k\":1},{\"k\":2}]"));
     }
 
     #[test]

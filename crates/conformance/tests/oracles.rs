@@ -1,0 +1,19 @@
+//! Analytical-oracle conformance: every closed-form prediction must
+//! bracket the engine's measurement, for every machine preset the
+//! paper models. Bands are documented in EXPERIMENTS.md.
+
+use conformance::oracle::{all_presets, check_all};
+
+#[test]
+fn oracles_hold_for_every_preset() {
+    let mut failures = Vec::new();
+    for (name, cfg) in all_presets() {
+        for check in check_all(&cfg).unwrap() {
+            println!("{name}: {check}");
+            if !check.pass() {
+                failures.push(format!("{name}: {check}"));
+            }
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}

@@ -1,12 +1,13 @@
 //! Randomized (seeded, deterministic) tests of the simulation kernel's
-//! invariants. Each test sweeps a fixed set of seeds so failures are
-//! reproducible without any external property-testing framework.
+//! invariants. Each test sweeps a fixed set of seeds via
+//! [`test_support::cases`] so failures are reproducible without any
+//! external property-testing framework.
 
-use desim::rng::{rng_from_seed, Rng64};
 use desim::server::{FifoServer, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
 use desim::EventQueue;
+use test_support::{cases, Rng64};
 
 const CASES: u64 = 64;
 
@@ -23,9 +24,8 @@ fn arrivals(rng: &mut Rng64, max_at: u64, max_dur: u64, max_len: usize) -> Vec<(
 /// service intervals never overlap, and busy time is conserved.
 #[test]
 fn fifo_server_conservation() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xF1F0 + case);
-        let reqs = arrivals(&mut rng, 10_000, 500, 200);
+    cases(CASES, 0xF1F0, |_case, rng| {
+        let reqs = arrivals(rng, 10_000, 500, 200);
         let mut s = FifoServer::new();
         let mut last_done = Time::ZERO;
         let mut total_service = Time::ZERO;
@@ -41,17 +41,16 @@ fn fifo_server_conservation() {
         }
         assert_eq!(s.busy_time(), total_service);
         assert_eq!(s.served(), reqs.len() as u64);
-    }
+    });
 }
 
 /// Multi-server: total busy is conserved and the k-server bound holds
 /// (aggregate utilization at most 1.0).
 #[test]
 fn multiserver_conservation() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x3A11 + case);
+    cases(CASES, 0x3A11, |_case, rng| {
         let k = rng.gen_range(1..8usize);
-        let reqs = arrivals(&mut rng, 5_000, 300, 100);
+        let reqs = arrivals(rng, 5_000, 300, 100);
         let mut m = MultiServer::new(k);
         let mut total_service = Time::ZERO;
         let mut makespan = Time::ZERO;
@@ -64,14 +63,13 @@ fn multiserver_conservation() {
         assert_eq!(m.busy_time(), total_service);
         let util = m.utilization(makespan);
         assert!(util <= 1.0 + 1e-9, "utilization {util}");
-    }
+    });
 }
 
 /// Event queue pops in (time, insertion) order for arbitrary input.
 #[test]
 fn event_queue_total_order() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x0EDE + case);
+    cases(CASES, 0x0EDE, |_case, rng| {
         let len = rng.gen_range(1..300usize);
         let mut q = EventQueue::new();
         for i in 0..len {
@@ -84,14 +82,13 @@ fn event_queue_total_order() {
             }
             last = Some((t, i));
         }
-    }
+    });
 }
 
 /// Merging summaries in any split equals the single-stream summary.
 #[test]
 fn summary_merge_split_invariant() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x5123 + case);
+    cases(CASES, 0x5123, |_case, rng| {
         let len = rng.gen_range(2..200usize);
         let xs: Vec<f64> = (0..len).map(|_| rng.gen_range(-1e6..1e6)).collect();
         let cut = rng.gen_range(0..len + 1);
@@ -106,14 +103,13 @@ fn summary_merge_split_invariant() {
         assert!((a.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
         assert_eq!(a.min(), whole.min());
         assert_eq!(a.max(), whole.max());
-    }
+    });
 }
 
 /// Histogram quantiles are monotone in q and bracket min/max.
 #[test]
 fn histogram_quantiles_monotone() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x4157 + case);
+    cases(CASES, 0x4157, |_case, rng| {
         let len = rng.gen_range(1..200usize);
         let samples: Vec<u64> = (0..len).map(|_| rng.gen_range(1..1_000_000u64)).collect();
         let mut h = LogHistogram::new();
@@ -127,15 +123,14 @@ fn histogram_quantiles_monotone() {
         let max = *samples.iter().max().unwrap();
         // The top quantile's bucket upper bound is at least the max sample.
         assert!(h.quantile(1.0) >= Time::from_ps(max));
-    }
+    });
 }
 
 /// Link: completion is monotone in arrival for equal sizes, and the
 /// transfer time scales linearly with bytes.
 #[test]
 fn link_monotone_and_linear() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x117C + case);
+    cases(CASES, 0x117C, |_case, rng| {
         let bw = rng.gen_range(1_000_000..100_000_000_000u64);
         let nsizes = rng.gen_range(1..50usize);
         let mut l = Link::new(bw, Time::from_ns(10));
@@ -155,16 +150,15 @@ fn link_monotone_and_linear() {
             (ten - 10 * one).abs() <= 10,
             "occupancy not linear: {one} vs {ten}"
         );
-    }
+    });
 }
 
 /// Equal-time events pop in insertion order (FIFO) on both backends,
 /// even when scheduling interleaves with popping.
 #[test]
 fn event_queue_equal_time_fifo_both_backends() {
-    for case in 0..CASES {
-        for heap in [false, true] {
-            let mut rng = rng_from_seed(0xF1F0_0EDE + case);
+    for heap in [false, true] {
+        cases(CASES, 0xF1F0_0EDE, |_case, rng| {
             let mut q = if heap {
                 EventQueue::heap_backed()
             } else {
@@ -188,7 +182,7 @@ fn event_queue_equal_time_fifo_both_backends() {
                 got_per_time[which].push(i);
             }
             assert_eq!(got_per_time, expect_per_time, "FIFO violated (heap={heap})");
-        }
+        });
     }
 }
 
@@ -197,10 +191,9 @@ fn event_queue_equal_time_fifo_both_backends() {
 /// interleaved schedule/pop traffic and far-future (overflow) events.
 #[test]
 fn event_queue_backends_are_equivalent() {
-    for case in 0..CASES {
+    cases(CASES, 0xCA1E_0DA2, |_case, rng| {
         let mut cal = EventQueue::new();
         let mut heap = EventQueue::heap_backed();
-        let mut rng = rng_from_seed(0xCA1E_0DA2 + case);
         let ops = rng.gen_range(50..500usize);
         let mut next_id = 0usize;
         for _ in 0..ops {
@@ -228,5 +221,5 @@ fn event_queue_backends_are_equivalent() {
                 break;
             }
         }
-    }
+    });
 }

@@ -351,6 +351,20 @@ impl Engine {
         self.recorder = (capacity > 0).then(|| TraceRecorder::new(capacity));
     }
 
+    /// Swap the event scheduler onto the reference binary-heap backend
+    /// (see [`EventQueue::heap_backed`]). Already-scheduled events are
+    /// carried over in `(time, seq)` order, so this may be called at any
+    /// point before [`Engine::run`]; a given workload must pop the exact
+    /// same event sequence on either backend, which is what the
+    /// conformance fuzzer's lockstep comparison checks.
+    pub fn use_reference_queue(&mut self) {
+        let mut q = EventQueue::heap_backed();
+        while let Some((at, ev)) = self.q.pop() {
+            q.schedule(at, ev);
+        }
+        self.q = q;
+    }
+
     /// Record one structured trace event (a single branch when tracing
     /// is off — the zero-cost-when-disabled guarantee).
     #[inline]

@@ -29,7 +29,10 @@
 //! * [`metrics`] — the per-nodelet counters and bandwidth reductions the
 //!   paper reports;
 //! * [`trace`] — optional structured event tracing (spawns, migrations,
-//!   NACKs, stalls with nodelet/thread/timestamp), zero-cost when off.
+//!   NACKs, stalls with nodelet/thread/timestamp), zero-cost when off;
+//! * [`audit`] — post-run invariant checking (threadlet/migration
+//!   conservation, trace/counter reconciliation, occupancy bounds),
+//!   the referee behind the `simctl fuzz` conformance fuzzer.
 //!
 //! ## Quick example
 //!
@@ -56,6 +59,7 @@
 
 pub mod addr;
 pub mod alloc;
+pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod fault;
@@ -69,6 +73,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::addr::{GlobalAddr, NodeletId};
     pub use crate::alloc::{ArrayHandle, Layout, MemSpace};
+    pub use crate::audit::{assert_consistent, audit, Violation};
     pub use crate::config::{CostModel, MachineConfig};
     pub use crate::engine::Engine;
     pub use crate::fault::{FaultPlan, SimError};

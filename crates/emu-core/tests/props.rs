@@ -2,10 +2,10 @@
 //! invariants. Each test sweeps a fixed set of seeds so failures are
 //! reproducible without any external property-testing framework.
 
-use desim::rng::{rng_from_seed, Rng64};
 use emu_core::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use test_support::{cases, Rng64};
 
 const CASES: u64 = 64;
 
@@ -89,9 +89,8 @@ fn expected(specs: &[OpSpec], start: u32) -> (u64, u64, u64) {
 /// counters match an offline replay of the op semantics exactly.
 #[test]
 fn engine_counters_match_offline_replay() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xC047 + case);
-        let specs = arb_ops(&mut rng);
+    cases(CASES, 0xC047, |_case, rng| {
+        let specs = arb_ops(rng);
         let start = rng.gen_range(0..8u32);
         let mut e = Engine::new(presets::chick_prototype()).unwrap();
         let ops: Vec<Op> = specs.iter().map(OpSpec::to_op).collect();
@@ -108,17 +107,16 @@ fn engine_counters_match_offline_replay() {
         if !specs.is_empty() {
             assert!(r.makespan > desim::Time::ZERO);
         }
-    }
+    });
 }
 
 /// Two concurrent threads with arbitrary programs also terminate with
 /// exact aggregate accounting (no lost or duplicated work).
 #[test]
 fn engine_two_threads_accounting() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x2788 + case);
-        let a = arb_ops(&mut rng);
-        let b = arb_ops(&mut rng);
+    cases(CASES, 0x2788, |_case, rng| {
+        let a = arb_ops(rng);
+        let b = arb_ops(rng);
         let mut e = Engine::new(presets::chick_prototype()).unwrap();
         e.spawn_at(
             NodeletId(0),
@@ -139,15 +137,14 @@ fn engine_two_threads_accounting() {
         assert_eq!(got_loaded, l1 + l2);
         assert_eq!(got_stored, s1 + s2);
         assert_eq!(r.threads, 2);
-    }
+    });
 }
 
 /// Spawn strategies run every worker exactly once on the machine,
 /// for arbitrary worker counts.
 #[test]
 fn spawn_strategies_complete() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x59A3 + case);
+    cases(CASES, 0x59A3, |_case, rng| {
         let nworkers = rng.gen_range(1..80usize);
         let strategy = SpawnStrategy::ALL[rng.gen_range(0..SpawnStrategy::ALL.len())];
         let ran = Arc::new(AtomicUsize::new(0));
@@ -172,15 +169,14 @@ fn spawn_strategies_complete() {
         assert_eq!(ran.load(Ordering::Relaxed), nworkers);
         // Thread accounting: every thread the engine created terminated.
         assert!(r.threads >= nworkers as u64);
-    }
+    });
 }
 
 /// Striped allocations deal element i to nodelet i % N and replicated
 /// allocations always resolve locally, for arbitrary geometry.
 #[test]
 fn allocation_owner_laws() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xA110 + case);
+    cases(CASES, 0xA110, |_case, rng| {
         let nodelets = rng.gen_range(1..64u32);
         let len = rng.gen_range(1..10_000u64);
         let here = NodeletId(rng.gen_range(0..64u32) % nodelets);
@@ -191,15 +187,14 @@ fn allocation_owner_laws() {
             assert_eq!(striped.owner(i, here).0, (i % nodelets as u64) as u32);
             assert_eq!(replicated.owner(i, here), here);
         }
-    }
+    });
 }
 
 /// Engine determinism over arbitrary programs.
 #[test]
 fn engine_is_deterministic() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xDE7E + case);
-        let specs = arb_ops(&mut rng);
+    cases(CASES, 0xDE7E, |_case, rng| {
+        let specs = arb_ops(rng);
         let run = || {
             let mut e = Engine::new(presets::chick_prototype()).unwrap();
             e.spawn_at(
@@ -210,5 +205,5 @@ fn engine_is_deterministic() {
             e.run().unwrap().makespan
         };
         assert_eq!(run(), run());
-    }
+    });
 }

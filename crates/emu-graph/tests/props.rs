@@ -2,13 +2,13 @@
 //! substrate. Each test sweeps a fixed set of seeds so failures are
 //! reproducible without any external property-testing framework.
 
-use desim::rng::{rng_from_seed, Rng64};
 use emu_core::presets;
 use emu_graph::bfs::{run_bfs_emu, BfsMode};
 use emu_graph::gen::{uniform, EdgeList};
 use emu_graph::insert::run_insert_emu;
 use emu_graph::stinger::Stinger;
 use std::sync::Arc;
+use test_support::{cases, Rng64};
 
 const CASES: u64 = 32;
 
@@ -23,9 +23,8 @@ fn arb_edges(rng: &mut Rng64) -> EdgeList {
 /// matter the insertion order or block capacity.
 #[test]
 fn stinger_holds_exactly_the_distinct_edges() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x571 + case);
-        let edges = arb_edges(&mut rng);
+    cases(CASES, 0x571, |_case, rng| {
+        let edges = arb_edges(rng);
         let block_cap = rng.gen_range(1..10usize);
         let g = Stinger::build_host(&edges, block_cap, 8);
         // Expected: sorted deduped undirected adjacency.
@@ -39,16 +38,15 @@ fn stinger_holds_exactly_the_distinct_edges() {
             l.dedup();
         }
         assert_eq!(g.canonical_adjacency(), expect);
-    }
+    });
 }
 
 /// Block capacity shapes the structure: every block except the last
 /// of each vertex is exactly full.
 #[test]
 fn blocks_pack_tightly() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xB10C + case);
-        let edges = arb_edges(&mut rng);
+    cases(CASES, 0xB10C, |_case, rng| {
+        let edges = arb_edges(rng);
         let block_cap = rng.gen_range(1..8usize);
         let g = Stinger::build_host(&edges, block_cap, 8);
         for v in 0..g.nv() {
@@ -57,16 +55,15 @@ fn blocks_pack_tightly() {
                 assert_eq!(b.neighbors.len(), block_cap);
             }
         }
-    }
+    });
 }
 
 /// Simulated streaming insertion produces the same structure as the
 /// host build, for any thread count.
 #[test]
 fn simulated_insert_equals_host() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x145E87 + case);
-        let edges = arb_edges(&mut rng);
+    cases(CASES, 0x145E87, |_case, rng| {
+        let edges = arb_edges(rng);
         let threads = rng.gen_range(1..24usize);
         let cfg = presets::chick_prototype();
         let r = run_insert_emu(&cfg, &edges, threads, 4).unwrap();
@@ -75,16 +72,15 @@ fn simulated_insert_equals_host() {
             r.graph.lock().unwrap().canonical_adjacency(),
             host.canonical_adjacency()
         );
-    }
+    });
 }
 
 /// Both BFS modes compute exactly the reference levels on arbitrary
 /// graphs and sources.
 #[test]
 fn bfs_always_matches_reference() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xBF5 + case);
-        let edges = arb_edges(&mut rng);
+    cases(CASES, 0xBF5, |_case, rng| {
+        let edges = arb_edges(rng);
         let src = rng.gen_range(0..edges.nv);
         let threads = rng.gen_range(1..16usize);
         let g = Arc::new(Stinger::build_host(&edges, 4, 8));
@@ -100,16 +96,15 @@ fn bfs_always_matches_reference() {
             .unwrap();
             assert_eq!(&r.levels, &reference, "{}", mode.name());
         }
-    }
+    });
 }
 
 /// BFS level sets are symmetric in an undirected graph: adjacent
 /// vertices' levels differ by at most 1.
 #[test]
 fn bfs_levels_lipschitz() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x11B5 + case);
-        let edges = arb_edges(&mut rng);
+    cases(CASES, 0x11B5, |_case, rng| {
+        let edges = arb_edges(rng);
         let g = Arc::new(Stinger::build_host(&edges, 4, 8));
         let r = run_bfs_emu(
             &presets::chick_prototype(),
@@ -126,5 +121,5 @@ fn bfs_levels_lipschitz() {
                 assert!(lu.abs_diff(lv) <= 1, "({u},{v}): {lu} vs {lv}");
             }
         }
-    }
+    });
 }

@@ -2,12 +2,12 @@
 //! substrate. Each test sweeps a fixed set of seeds so failures are
 //! reproducible without any external property-testing framework.
 
-use desim::rng::{rng_from_seed, Rng64};
 use emu_core::presets;
 use emu_tensor::coo::{mttkrp_reference, SparseTensor, TensorEntry};
 use emu_tensor::cpu::{run_mttkrp_cpu, CpuMttkrpConfig};
 use emu_tensor::emu::{run_mttkrp_emu, EmuMttkrpConfig, TensorLayout};
 use std::sync::Arc;
+use test_support::{cases, Rng64};
 
 const CASES: u64 = 32;
 
@@ -32,8 +32,8 @@ fn arb_tensor(rng: &mut Rng64) -> SparseTensor {
 /// Entries come out sorted, deduplicated, and in bounds.
 #[test]
 fn tensor_canonical_form() {
-    for case in 0..CASES {
-        let t = arb_tensor(&mut rng_from_seed(0x7E45 + case));
+    cases(CASES, 0x7E45, |_case, rng| {
+        let t = arb_tensor(rng);
         let es = t.entries();
         for w in es.windows(2) {
             assert!((w[0].i, w[0].j, w[0].k) < (w[1].i, w[1].j, w[1].k));
@@ -41,14 +41,14 @@ fn tensor_canonical_form() {
         for e in es {
             assert!(e.i < t.dims[0] && e.j < t.dims[1] && e.k < t.dims[2]);
         }
-    }
+    });
 }
 
 /// Slice ranges partition the entry array.
 #[test]
 fn slice_ranges_partition() {
-    for case in 0..CASES {
-        let t = arb_tensor(&mut rng_from_seed(0x511CE + case));
+    cases(CASES, 0x511CE, |_case, rng| {
+        let t = arb_tensor(rng);
         let mut covered = 0;
         let mut last_end = 0;
         for i in 0..t.dims[0] {
@@ -58,16 +58,15 @@ fn slice_ranges_partition() {
             covered += r.len();
         }
         assert_eq!(covered, t.nnz());
-    }
+    });
 }
 
 /// Both Emu layouts and the CPU implementation agree exactly with the
 /// reference for arbitrary tensors, ranks, and thread counts.
 #[test]
 fn mttkrp_exact_everywhere() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x377 + case);
-        let t = Arc::new(arb_tensor(&mut rng));
+    cases(CASES, 0x377, |_case, rng| {
+        let t = Arc::new(arb_tensor(rng));
         let rank = rng.gen_range(1..6u32);
         let threads = rng.gen_range(1..24usize);
         let reference = mttkrp_reference(&t, rank);
@@ -98,15 +97,14 @@ fn mttkrp_exact_everywhere() {
             },
         );
         close(&cpu.y, "cpu");
-    }
+    });
 }
 
 /// MTTKRP is linear in the tensor values: scaling every value scales Y.
 #[test]
 fn mttkrp_homogeneous() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x40E0 + case);
-        let t = arb_tensor(&mut rng);
+    cases(CASES, 0x40E0, |_case, rng| {
+        let t = arb_tensor(rng);
         let scale = rng.gen_range(0.5..3.0);
         let rank = 3;
         let y1 = mttkrp_reference(&t, rank);
@@ -124,5 +122,5 @@ fn mttkrp_homogeneous() {
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a * scale - b).abs() < 1e-9);
         }
-    }
+    });
 }

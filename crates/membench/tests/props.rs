@@ -3,12 +3,12 @@
 //! Each test sweeps a fixed set of seeds so failures are reproducible
 //! without any external property-testing framework.
 
-use desim::rng::rng_from_seed;
 use emu_core::prelude::*;
 use membench::chase::{run_chase_emu, traversal_order, ChaseConfig, ShuffleMode};
 use membench::spmv_emu::{run_spmv_emu, x_vector, EmuLayout, EmuSpmvConfig};
 use membench::stream::{run_stream_emu, stream_checksum, EmuStreamConfig, StreamKernel};
 use std::sync::Arc;
+use test_support::cases;
 
 const CASES: u64 = 48;
 
@@ -16,8 +16,7 @@ const CASES: u64 = 48;
 /// modes and any geometry.
 #[test]
 fn traversal_order_permutation() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x7AE5 + case);
+    cases(CASES, 0x7AE5, |_case, rng| {
         let blocks = rng.gen_range(1..32usize);
         let block = rng.gen_range(1..64usize);
         let mode = ShuffleMode::ALL[rng.gen_range(0..ShuffleMode::ALL.len())];
@@ -32,14 +31,13 @@ fn traversal_order_permutation() {
             let b = chunk[0] as usize / block;
             assert!(chunk.iter().all(|&e| e as usize / block == b));
         }
-    }
+    });
 }
 
 /// The chase checksum is correct for arbitrary configurations.
 #[test]
 fn chase_checksum_always_right() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xC4A5E + case);
+    cases(CASES, 0xC4A5E, |_case, rng| {
         let blocks = rng.gen_range(1..8usize);
         let block = rng.gen_range(1..32usize);
         let cc = ChaseConfig {
@@ -51,14 +49,13 @@ fn chase_checksum_always_right() {
         };
         let r = run_chase_emu(&presets::chick_prototype(), &cc).unwrap();
         assert_eq!(r.checksum, cc.expected_checksum());
-    }
+    });
 }
 
 /// STREAM checksums hold for every kernel x strategy x thread count.
 #[test]
 fn stream_checksum_always_right() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x57AEA + case);
+    cases(CASES, 0x57AEA, |_case, rng| {
         let kernel = [
             StreamKernel::Add,
             StreamKernel::Copy,
@@ -80,15 +77,14 @@ fn stream_checksum_always_right() {
         )
         .unwrap();
         assert_eq!(r.checksum, stream_checksum(n, kernel));
-    }
+    });
 }
 
 /// SpMV on random sparse matrices is exact in every layout, for any
 /// grain size.
 #[test]
 fn spmv_exact_on_random_matrices() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x59F4 + case);
+    cases(CASES, 0x59F4, |_case, rng| {
         let n = rng.gen_range(10..60u32);
         let nnz_per_row = rng.gen_range(1..6u32);
         let layout = EmuLayout::ALL[rng.gen_range(0..EmuLayout::ALL.len())];
@@ -108,15 +104,14 @@ fn spmv_exact_on_random_matrices() {
         for (i, (a, b)) in reference.iter().zip(&r.y).enumerate() {
             assert!((a - b).abs() < 1e-9, "row {i}: {a} vs {b}");
         }
-    }
+    });
 }
 
 /// Migration count bounds for the chase: at most one migration per
 /// element.
 #[test]
 fn chase_migrations_bounded() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xB0DD + case);
+    cases(CASES, 0xB0DD, |_case, rng| {
         let blocks = rng.gen_range(2..10usize);
         let block = rng.gen_range(1..16usize);
         let cc = ChaseConfig {
@@ -131,5 +126,5 @@ fn chase_migrations_bounded() {
             r.migrations <= cc.total_elems(),
             "more migrations than elements"
         );
-    }
+    });
 }

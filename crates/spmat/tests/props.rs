@@ -2,11 +2,11 @@
 //! substrate. Each test sweeps a fixed set of seeds so failures are
 //! reproducible without any external property-testing framework.
 
-use desim::rng::{rng_from_seed, Rng64};
 use spmat::coo::CooMatrix;
 use spmat::csr::CsrMatrix;
 use spmat::laplacian::{laplacian, LaplacianSpec};
 use spmat::partition::{contiguous, nnz_balanced, round_robin};
+use test_support::{cases, Rng64};
 
 const CASES: u64 = 64;
 
@@ -28,20 +28,19 @@ fn arb_coo(rng: &mut Rng64) -> CooMatrix {
 /// CSR built from any COO satisfies all format invariants.
 #[test]
 fn from_coo_always_valid() {
-    for case in 0..CASES {
-        let coo = arb_coo(&mut rng_from_seed(0xC00 + case));
+    cases(CASES, 0xC00, |_case, rng| {
+        let coo = arb_coo(rng);
         let m = CsrMatrix::from_coo(&coo);
         assert!(m.validate().is_ok(), "{:?}", m.validate());
         assert!(m.nnz() as usize <= coo.nnz());
-    }
+    });
 }
 
 /// SpMV agrees with a naive dense computation from the COO triplets.
 #[test]
 fn spmv_matches_dense() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xDE05E + case);
-        let coo = arb_coo(&mut rng);
+    cases(CASES, 0xDE05E, |_case, rng| {
+        let coo = arb_coo(rng);
         let seed = rng.gen_range(0..1000u64);
         let m = CsrMatrix::from_coo(&coo);
         let x: Vec<f64> = (0..coo.ncols)
@@ -55,15 +54,14 @@ fn spmv_matches_dense() {
         for (a, b) in dense.iter().zip(&y) {
             assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
-    }
+    });
 }
 
 /// SpMV is linear: A(ax + by) == a·Ax + b·Ay.
 #[test]
 fn spmv_linearity() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x11EA7 + case);
-        let coo = arb_coo(&mut rng);
+    cases(CASES, 0x11EA7, |_case, rng| {
+        let coo = arb_coo(rng);
         let a = rng.gen_range(-4.0..4.0);
         let b = rng.gen_range(-4.0..4.0);
         let m = CsrMatrix::from_coo(&coo);
@@ -77,7 +75,7 @@ fn spmv_linearity() {
             let rhs = a * mx[i] + b * my[i];
             assert!((lhs[i] - rhs).abs() < 1e-6, "row {i}: {} vs {rhs}", lhs[i]);
         }
-    }
+    });
 }
 
 /// The Laplacian nnz formula is exact and the matrix is symmetric
@@ -100,8 +98,7 @@ fn laplacian_structure() {
 /// Every partitioner covers all rows exactly once.
 #[test]
 fn partitions_cover() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xC0FE + case);
+    cases(CASES, 0xC0FE, |_case, rng| {
         let nrows = rng.gen_range(1..500u32);
         let owners = rng.gen_range(1..17u32);
         let m = laplacian(LaplacianSpec { dims: 1, n: nrows });
@@ -115,7 +112,7 @@ fn partitions_cover() {
             let covered: usize = (0..owners).map(|o| p.rows_of(o).len()).sum();
             assert_eq!(covered, nrows as usize);
         }
-    }
+    });
 }
 
 /// nnz-balanced partitioning conserves the matrix's nonzeros.

@@ -1,0 +1,45 @@
+//! Shared scaffolding for the workspace's property-style test suites.
+//!
+//! Every crate carries a `tests/props.rs` that sweeps a fixed set of
+//! seeds — deterministic, reproducible randomized testing without an
+//! external property-testing framework. The seeded-case loop used to be
+//! copy-pasted into each suite; [`cases`] is that loop, once.
+//!
+//! This crate is a dev-dependency only: it must never appear in a
+//! non-test build graph.
+
+pub use desim::rng::{rng_from_seed, Rng64};
+
+/// Run `n` seeded cases of a property.
+///
+/// Case `i` receives a fresh [`Rng64`] seeded with `tag + i` — exactly
+/// the stream the hand-rolled `for case in 0..CASES` loops produced, so
+/// a suite refactored onto this helper generates byte-identical inputs.
+/// `tag` is the suite-specific constant (conventionally a hex pun like
+/// `0xF1F0`); keeping tags distinct keeps the suites' streams
+/// independent.
+///
+/// The case index is passed to the closure for use in failure messages:
+/// re-running a single failing case means seeding `tag + i` directly.
+pub fn cases(n: u64, tag: u64, mut f: impl FnMut(u64, &mut Rng64)) {
+    for case in 0..n {
+        let mut rng = rng_from_seed(tag.wrapping_add(case));
+        f(case, &mut rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_runs_each_seed_once_with_the_legacy_stream() {
+        let mut seen = Vec::new();
+        cases(4, 0xABCD, |case, rng| seen.push((case, rng.next_u64())));
+        assert_eq!(seen.len(), 4);
+        for (case, draw) in seen {
+            // Byte-compatible with the replaced hand-rolled loops.
+            assert_eq!(draw, rng_from_seed(0xABCD + case).next_u64());
+        }
+    }
+}

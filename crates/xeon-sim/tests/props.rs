@@ -2,7 +2,7 @@
 //! invariants. Each test sweeps a fixed set of seeds so failures are
 //! reproducible without any external property-testing framework.
 
-use desim::rng::rng_from_seed;
+use test_support::cases;
 use xeon_sim::cache::Cache;
 use xeon_sim::config::{sandy_bridge, CacheGeometry};
 use xeon_sim::prelude::*;
@@ -22,8 +22,7 @@ fn tiny_geom(assoc: u32, sets: u32) -> CacheGeometry {
 /// line just installed is always present.
 #[test]
 fn cache_capacity_bound() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xCAB + case);
+    cases(CASES, 0xCAB, |_case, rng| {
         let assoc = rng.gen_range(1..8u32);
         let sets = rng.gen_range(1..16u32);
         let len = rng.gen_range(1..400usize);
@@ -40,14 +39,13 @@ fn cache_capacity_bound() {
         distinct.dedup();
         let resident = distinct.iter().filter(|&&l| c.contains(l)).count();
         assert!(resident as u64 <= geom.sets() * assoc as u64);
-    }
+    });
 }
 
 /// hits + misses equals the number of accesses, always.
 #[test]
 fn cache_stats_partition() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x57A7 + case);
+    cases(CASES, 0x57A7, |_case, rng| {
         let len = rng.gen_range(1..300usize);
         let addrs: Vec<u64> = (0..len).map(|_| rng.gen_range(0..100_000u64)).collect();
         let mut c = Cache::new(tiny_geom(4, 8));
@@ -56,7 +54,7 @@ fn cache_stats_partition() {
         }
         let (h, m) = c.stats();
         assert_eq!(h + m, addrs.len() as u64);
-    }
+    });
 }
 
 /// Within one set, an access pattern that fits the associativity
@@ -87,8 +85,7 @@ fn cache_lru_stack_property() {
 #[test]
 fn dram_monotone() {
     use desim::time::Time;
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0xD7A8 + case);
+    cases(CASES, 0xD7A8, |_case, rng| {
         let len = rng.gen_range(1..200usize);
         let reqs: Vec<(u64, bool)> = (0..len)
             .map(|_| (rng.gen_range(0..1u64 << 24), rng.next_u64() & 1 == 0))
@@ -106,15 +103,14 @@ fn dram_monotone() {
         assert_eq!(s.row_hits + s.row_misses, reqs.len() as u64);
         let r = s.row_hit_rate();
         assert!((0.0..=1.0).contains(&r));
-    }
+    });
 }
 
 /// The engine terminates for arbitrary single-thread programs and
 /// counts every load at exactly one level.
 #[test]
 fn cpu_engine_levels_partition() {
-    for case in 0..CASES {
-        let mut rng = rng_from_seed(0x1E7E15 + case);
+    cases(CASES, 0x1E7E15, |_case, rng| {
         let len = rng.gen_range(1..200usize);
         let ops: Vec<(u64, u8)> = (0..len)
             .map(|_| (rng.gen_range(0..1u64 << 20), rng.gen_range(0..3u32) as u8))
@@ -139,14 +135,13 @@ fn cpu_engine_levels_partition() {
             c.l1_hits + c.l2_hits + c.l3_hits + c.prefetch_hits + c.dram_loads,
             loads
         );
-    }
+    });
 }
 
 /// Determinism of the CPU engine under arbitrary multi-thread loads.
 #[test]
 fn cpu_engine_deterministic() {
-    for case in 0..16u64 {
-        let mut rng = rng_from_seed(0xDE7C + case);
+    cases(16, 0xDE7C, |_case, rng| {
         let nthreads = rng.gen_range(1..4usize);
         let seqs: Vec<Vec<u64>> = (0..nthreads)
             .map(|_| {
@@ -169,5 +164,5 @@ fn cpu_engine_deterministic() {
             e.run().makespan
         };
         assert_eq!(run(), run());
-    }
+    });
 }

@@ -1,0 +1,29 @@
+//! Replay the committed fuzz corpus under the lockstep conformance
+//! harness. Every `tests/corpus/*.case` file — seeded exemplars and any
+//! shrunk repro `simctl fuzz` ever committed — must run clean on both
+//! event-queue backends and pass the run audit, forever.
+
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut replayed = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("case") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let case =
+            conformance::fuzz::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let problems = conformance::fuzz::run_case(&case);
+        assert!(problems.is_empty(), "{}: {problems:#?}", path.display());
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 3,
+        "corpus unexpectedly small ({replayed} cases)"
+    );
+}
