@@ -182,6 +182,42 @@ fn main() {
         chase_eps / 1e6
     );
 
+    // Sharded-scheduler throughput: the same STREAM kernel on the
+    // 64-nodelet emu64 machine, sequential vs 4 scheduler shards. On a
+    // multi-core host the ratio is the intra-run parallel speedup; on
+    // one core it measures pure epoch/barrier overhead.
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let e64 = presets::emu64_full_speed();
+    let e64_sc = EmuStreamConfig {
+        total_elems: 1 << 14,
+        nthreads: 256,
+        ..Default::default()
+    };
+    let mut e64_events = 0u64;
+    let pdes_seq_s = bench("emu64/stream_16k_elems_256thr_seq", || {
+        emu_core::engine::set_sim_threads(1);
+        let r = run_stream_emu(&e64, &e64_sc).expect("stream").report;
+        e64_events = r.events;
+        r.makespan.ps()
+    });
+    let mut e64_par_events = 0u64;
+    let pdes_par_s = bench("emu64/stream_16k_elems_256thr_4shard", || {
+        emu_core::engine::set_sim_threads(4);
+        let r = run_stream_emu(&e64, &e64_sc).expect("stream").report;
+        emu_core::engine::set_sim_threads(1);
+        e64_par_events = r.events;
+        r.makespan.ps()
+    });
+    assert_eq!(e64_events, e64_par_events, "sharded run diverged");
+    let pdes_seq_eps = e64_events as f64 / pdes_seq_s;
+    let pdes_eps = e64_par_events as f64 / pdes_par_s;
+    println!(
+        "  engine: emu64 STREAM seq {:.2} M events/s, 4-shard {:.2} M events/s ({:.2}x, {host_cores} host cores)",
+        pdes_seq_eps / 1e6,
+        pdes_eps / 1e6,
+        pdes_eps / pdes_seq_eps
+    );
+
     bench("emu/pingpong_64thr_100rt", || {
         run_pingpong(
             &cfg,
@@ -247,6 +283,8 @@ fn main() {
                 "\"calendar_events_per_sec\":{:.1},\"heap_events_per_sec\":{:.1}}},",
                 "\"engine\":{{\"stream_events_per_sec\":{:.1},\"chase_events_per_sec\":{:.1},",
                 "\"stream_events\":{},\"chase_events\":{}}},",
+                "\"pdes\":{{\"host_parallelism\":{},\"shards\":4,\"events\":{},",
+                "\"seq_events_per_sec\":{:.1},\"pdes_events_per_sec\":{:.1},\"speedup\":{:.3}}},",
                 "\"all_figures_quick\":{{\"jobs_1_s\":{},\"jobs_n\":{},\"jobs_n_s\":{},\"speedup\":{}}}}}\n"
             ),
             cal_s,
@@ -257,6 +295,11 @@ fn main() {
             chase_eps,
             stream_events,
             chase_events,
+            host_cores,
+            e64_events,
+            pdes_seq_eps,
+            pdes_eps,
+            pdes_eps / pdes_seq_eps,
             opt(fig_j1),
             jobs_n,
             opt(fig_jn),

@@ -37,6 +37,19 @@ fn run(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--jobs: cannot parse {v:?}"))?;
         emu_bench::runcfg::set_jobs(n);
     }
+    // `--sim-threads` is likewise global: every engine the command
+    // constructs shards its scheduler across N workers. Deterministic —
+    // the knob only changes speed, never results.
+    if let Some(v) = p.options.remove("sim-threads") {
+        let n: usize = if v == "auto" {
+            let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+            (cores / emu_bench::runcfg::jobs()).max(1)
+        } else {
+            v.parse()
+                .map_err(|_| format!("--sim-threads: cannot parse {v:?} (want a count or auto)"))?
+        };
+        emu_core::engine::set_sim_threads(n.max(1));
+    }
     match p.command.as_str() {
         "presets" => cmd_presets(),
         "stream" => cmd_stream(&p),
@@ -48,6 +61,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "mttkrp" => cmd_mttkrp(&p),
         "trace" => cmd_trace(&p),
         "fuzz" => cmd_fuzz(&p),
+        "pdes-speedup" => cmd_pdes_speedup(&p),
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -510,6 +524,154 @@ fn run_traced_bench(p: &Parsed, bench: &str, cfg: &MachineConfig) -> Result<(), 
     }
 }
 
+fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
+    use emu_core::trace;
+    use membench::{chase, stream};
+    use std::time::Instant;
+
+    p.check_known(&["preset", "shards", "threads", "elems", "gate", "out"])?;
+    let preset = p.get_str("preset", "emu64");
+    let cfg = cli::preset_by_name(&preset)?;
+    let shards: usize = p.get("shards", 4usize)?;
+    let nthreads: usize = p.get("threads", 512usize)?;
+    let elems: u64 = emu_bench::runcfg::sized(p.get("elems", 1u64 << 16)?, 1 << 12);
+    let gate: bool = p.get("gate", false)?;
+
+    struct Leg {
+        name: &'static str,
+        events: u64,
+        seq_eps: f64,
+        par_eps: f64,
+    }
+
+    // Run one workload sequentially and with N shards, timing both and
+    // checking the collected reports are byte-identical — the speedup
+    // claim is only meaningful if the results did not change.
+    let run_leg = |name: &'static str, body: &dyn Fn() -> Result<(), String>| {
+        let timed = |threads: usize| -> Result<(u64, f64, String), String> {
+            emu_core::engine::set_sim_threads(threads);
+            trace::collect_reports(true);
+            let t0 = Instant::now();
+            let outcome = body();
+            let dt = t0.elapsed().as_secs_f64();
+            let reports = trace::take_reports();
+            trace::collect_reports(false);
+            outcome?;
+            let events: u64 = reports.iter().map(|r| r.events).sum();
+            Ok((events, events as f64 / dt.max(1e-9), format!("{reports:?}")))
+        };
+        let (events, seq_eps, seq_fp) = timed(1)?;
+        let (par_events, par_eps, par_fp) = timed(shards)?;
+        emu_core::engine::set_sim_threads(1);
+        if events != par_events || seq_fp != par_fp {
+            return Err(format!(
+                "{name}: sharded run diverged from sequential ({events} vs {par_events} events)"
+            ));
+        }
+        Ok(Leg {
+            name,
+            events,
+            seq_eps,
+            par_eps,
+        })
+    };
+
+    let stream_cfg = cfg.clone();
+    let stream_leg = run_leg("stream_add", &|| {
+        let sc = stream::EmuStreamConfig {
+            total_elems: elems,
+            nthreads,
+            strategy: SpawnStrategy::RecursiveRemote,
+            kernel: stream::StreamKernel::Add,
+            single_nodelet: false,
+            stack_touch_period: 4,
+        };
+        let r = stream::run_stream_emu(&stream_cfg, &sc).map_err(|e| e.to_string())?;
+        if r.checksum != stream::stream_checksum(sc.total_elems, sc.kernel) {
+            return Err("STREAM checksum mismatch".into());
+        }
+        Ok(())
+    })?;
+    let chase_cfg = cfg.clone();
+    let chase_leg = run_leg("pointer_chase", &|| {
+        let cc = chase::ChaseConfig {
+            elems_per_list: emu_bench::runcfg::sized_usize(2048, 256),
+            nlists: nthreads,
+            block_elems: 64,
+            mode: chase::ShuffleMode::FullBlock,
+            seed: desim::rng::DEFAULT_SEED,
+        };
+        let r = chase::run_chase_emu(&chase_cfg, &cc).map_err(|e| e.to_string())?;
+        if r.checksum != cc.expected_checksum() {
+            return Err("chase checksum mismatch".into());
+        }
+        Ok(())
+    })?;
+
+    let legs = [stream_leg, chase_leg];
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    println!("sharded-scheduler speedup on {preset} ({shards} shards, {cores} host cores):");
+    let mut min_speedup = f64::INFINITY;
+    let mut best_par = 0.0f64;
+    for l in &legs {
+        let s = l.par_eps / l.seq_eps.max(1e-9);
+        min_speedup = min_speedup.min(s);
+        best_par = best_par.max(l.par_eps);
+        println!(
+            "  {:<14} {:>10} events  {:>12.0} ev/s seq  {:>12.0} ev/s x{shards}  {:.2}x",
+            l.name, l.events, l.seq_eps, l.par_eps, s
+        );
+    }
+
+    let mut json = format!(
+        "{{\"preset\":\"{preset}\",\"shards\":{shards},\"host_parallelism\":{cores},\"workloads\":["
+    );
+    for (i, l) in legs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"name\":\"{}\",\"events\":{},\"seq_events_per_sec\":{:.1},\"par_events_per_sec\":{:.1},\"speedup\":{:.3}}}",
+            l.name,
+            l.events,
+            l.seq_eps,
+            l.par_eps,
+            l.par_eps / l.seq_eps.max(1e-9)
+        ));
+    }
+    json.push_str(&format!(
+        "],\"min_speedup\":{min_speedup:.3},\"pdes_events_per_sec\":{best_par:.1}}}"
+    ));
+    if !emu_bench::telemetry::json_ok(&json) {
+        return Err("internal error: pdes_speedup JSON failed validation".into());
+    }
+    let out_path = p
+        .options
+        .get("out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| emu_bench::output::results_dir().join("pdes_speedup.json"));
+    emu_bench::output::write_artifact("pdes-speedup", &out_path, &json);
+
+    if gate {
+        // A one-core host cannot run shards in parallel at all, so the
+        // speedup bar only applies where threads can actually overlap
+        // (CI runners and developer machines). Override with
+        // EMU_PDES_GATE_MIN to tighten or loosen.
+        let min_required: f64 = std::env::var("EMU_PDES_GATE_MIN")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if cores > 1 { 1.0 } else { 0.0 });
+        if min_speedup < min_required {
+            eprintln!(
+                "pdes-speedup: gate failed — {min_speedup:.2}x < {min_required}x with {shards} shards on {cores} cores"
+            );
+            std::process::exit(1);
+        }
+        println!("pdes-speedup: gate ok ({min_speedup:.2}x >= {min_required}x)");
+    }
+    Ok(())
+}
+
 fn cmd_fuzz(p: &Parsed) -> Result<(), String> {
     use conformance::fuzz;
 
@@ -525,7 +687,7 @@ fn cmd_fuzz(p: &Parsed) -> Result<(), String> {
     }) {
         Ok(n) => {
             println!(
-                "fuzz: {n} cases clean on both queue backends (seed {seed}, {:.1}s)",
+                "fuzz: {n} cases clean on calendar, heap, and 2-shard schedulers (seed {seed}, {:.1}s)",
                 t0.elapsed().as_secs_f64()
             );
             Ok(())

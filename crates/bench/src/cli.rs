@@ -147,8 +147,14 @@ COMMANDS
             and export telemetry  --bucket-us 20 --trace-out F --jsonl-out F
                                   --report-json F
   fuzz      conformance fuzzing   --cases 500 --seed N --corpus tests/corpus
-            (lockstep calendar-vs-heap queue backends + run audit; a
-            failure shrinks to a minimal repro written to the corpus)
+            (lockstep calendar-vs-heap queue backends, sequential-vs-
+            sharded scheduler, + run audit; a failure shrinks to a
+            minimal repro written to the corpus)
+  pdes-speedup  sharded-scheduler --preset emu64 --shards 4 --threads 512
+            microbenchmark        --elems 65536 --gate false
+            (sequential vs N-shard events/sec on STREAM + pointer
+            chase; writes pdes_speedup.json under the results dir;
+            --gate true exits 1 if the sharded run is slower)
   presets   list machine presets
   help      this text
 
@@ -156,6 +162,11 @@ GLOBAL OPTIONS
   --jobs N  worker threads for parameter sweeps (also: EMU_JOBS; the
             figure binaries and all_figures take --jobs/-j N too).
             Results are identical at any job count.
+  --sim-threads N|auto
+            shards the event scheduler of every simulated run across N
+            worker threads (also: EMU_SIM_THREADS; the figure binaries
+            take it too). `auto` splits host cores across --jobs.
+            Results are byte-identical at any value.
 
 Every command prints bandwidth/throughput plus the migration counters
 relevant to the Emu execution model. `trace` additionally writes a

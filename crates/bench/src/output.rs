@@ -112,6 +112,11 @@ pub struct TelemetryArgs {
     /// `--jobs N` / `-j N`: sweep worker threads (0 = default, see
     /// [`crate::runcfg::jobs`]).
     pub jobs: usize,
+    /// `--sim-threads N|auto`: intra-run simulation shards per engine
+    /// run (`None` = leave the process default alone; `Some(0)` = auto,
+    /// splitting host cores across the sweep workers). Results are
+    /// byte-identical at any value — this is purely a speed knob.
+    pub sim_threads: Option<usize>,
 }
 
 impl TelemetryArgs {
@@ -150,10 +155,34 @@ impl TelemetryArgs {
                         out.jobs = v.parse().unwrap_or(out.jobs);
                     }
                 }
+                "--sim-threads" => {
+                    if let Some(v) = args.next() {
+                        out.sim_threads = if v == "auto" {
+                            Some(0)
+                        } else {
+                            v.parse().ok().or(out.sim_threads)
+                        };
+                    }
+                }
                 _ => {}
             }
         }
         out
+    }
+
+    /// Resolve `--sim-threads` to a concrete shard count. `auto`
+    /// (stored as `Some(0)`) divides the host's cores across the sweep
+    /// workers so a parallel sweep of parallel runs does not
+    /// oversubscribe; call after the jobs count is settled.
+    pub fn resolved_sim_threads(&self) -> Option<usize> {
+        self.sim_threads.map(|n| {
+            if n == 0 {
+                let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+                (cores / crate::runcfg::jobs()).max(1)
+            } else {
+                n
+            }
+        })
     }
 
     /// Whether any telemetry artifact was requested.
@@ -216,6 +245,9 @@ pub fn run_figure_with(
 
     if args.jobs > 0 {
         crate::runcfg::set_jobs(args.jobs);
+    }
+    if let Some(n) = args.resolved_sim_threads() {
+        emu_core::engine::set_sim_threads(n);
     }
     if args.any() {
         trace::collect_reports(true);
@@ -332,6 +364,26 @@ mod tests {
         let off = TelemetryArgs::parse(std::iter::empty());
         assert!(!off.any() && !off.wants_trace());
         assert!(!off.config().enabled());
+        assert!(off.sim_threads.is_none() && off.resolved_sim_threads().is_none());
+    }
+
+    #[test]
+    fn sim_threads_flag_parses_counts_and_auto() {
+        fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+            s.split_whitespace().map(String::from)
+        }
+        let n = TelemetryArgs::parse(argv("--sim-threads 4"));
+        assert_eq!(n.sim_threads, Some(4));
+        assert_eq!(n.resolved_sim_threads(), Some(4));
+
+        let auto = TelemetryArgs::parse(argv("--sim-threads auto"));
+        assert_eq!(auto.sim_threads, Some(0));
+        // Auto resolves to at least one shard regardless of host shape.
+        assert!(auto.resolved_sim_threads().unwrap() >= 1);
+
+        // Garbage value leaves the default untouched.
+        let bad = TelemetryArgs::parse(argv("--sim-threads lots"));
+        assert_eq!(bad.sim_threads, None);
     }
 
     #[test]

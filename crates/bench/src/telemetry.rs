@@ -154,6 +154,17 @@ pub fn report_json(label: &str, r: &RunReport) -> String {
         histogram_json(&r.migration_latency),
         summary_json(&r.migrations_per_thread)
     );
+    let p = &r.pdes;
+    let _ = write!(
+        out,
+        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{}}}",
+        p.shards,
+        p.lookahead_ps,
+        p.epochs,
+        p.mailbox_sent,
+        p.mailbox_delivered,
+        p.min_cross_delay_ps
+    );
     out.push_str(",\"nodelets\":[");
     for (i, (c, o)) in r.nodelets.iter().zip(&r.occupancy).enumerate() {
         if i > 0 {

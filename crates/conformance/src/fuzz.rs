@@ -1,15 +1,16 @@
 //! Deterministic configuration fuzzing for the engine.
 //!
 //! The fuzzer generates randomized-but-valid [`MachineConfig`]s, fault
-//! plans, and per-thread op scripts; runs each case twice — once on the
-//! default calendar event queue and once on the reference binary-heap
-//! backend — and demands the two runs agree **exactly** (counters,
-//! occupancy, histograms, makespan, and the full event trace). Both
-//! runs are then audited by [`emu_core::audit`]. Because every
-//! stochastic fault decision is keyed off a monotone draw counter, two
-//! backends that pop events in the same (time, seq) order must produce
-//! byte-identical reports; any divergence is a queue bug, and any audit
-//! violation is an accounting bug.
+//! plans, and per-thread op scripts; runs each case three times — on the
+//! default calendar event queue, on the reference binary-heap backend,
+//! and on the sharded parallel scheduler with two workers — and demands
+//! all runs agree **exactly** (counters, occupancy, histograms,
+//! makespan, and the full event trace). Every run is then audited by
+//! [`emu_core::audit`]. Because every stochastic fault decision is
+//! keyed off a monotone draw counter, backends that pop events in the
+//! same (time, key) order must produce byte-identical reports; any
+//! divergence is a queue or barrier bug, and any audit violation is an
+//! accounting bug.
 //!
 //! Failures shrink greedily to a minimal reproducer and round-trip
 //! through a plain-text codec ([`encode`]/[`decode`]) so they can be
@@ -216,12 +217,17 @@ fn gen_ops(rng: &mut Rng64, total: u32) -> Vec<OpSpec> {
 /// reconciliation always applies.
 const TRACE_CAP: usize = 1 << 16;
 
-fn run_once(case: &FuzzCase, reference_queue: bool) -> Result<RunReport, SimError> {
+fn run_once(
+    case: &FuzzCase,
+    reference_queue: bool,
+    sim_threads: usize,
+) -> Result<RunReport, SimError> {
     let total = case.cfg.total_nodelets();
     let mut e = Engine::new(case.cfg.clone())?;
     if reference_queue {
         e.use_reference_queue();
     }
+    e.set_sim_threads(sim_threads);
     e.enable_trace(TRACE_CAP);
     for t in &case.threads {
         let ops: Vec<Op> = t.ops.iter().map(|o| o.to_op(total)).collect();
@@ -233,13 +239,11 @@ fn run_once(case: &FuzzCase, reference_queue: bool) -> Result<RunReport, SimErro
 /// Compare two reports field group by field group, returning a message
 /// per divergence. Identical runs must match exactly (not within a
 /// tolerance): both backends consume the same seeds in the same order.
-fn diff_reports(a: &RunReport, b: &RunReport) -> Vec<String> {
+fn diff_reports(a: &RunReport, b: &RunReport, la: &str, lb: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut check = |what: &str, x: String, y: String| {
         if x != y {
-            out.push(format!(
-                "{what} diverged:\n  calendar: {x}\n  heap:     {y}"
-            ));
+            out.push(format!("{what} diverged:\n  {la}: {x}\n  {lb}: {y}"));
         }
     };
     check(
@@ -274,6 +278,11 @@ fn diff_reports(a: &RunReport, b: &RunReport) -> Vec<String> {
         format!("{:?}", a.breakdown),
         format!("{:?}", b.breakdown),
     );
+    check(
+        "pdes summary",
+        format!("{:?}", a.pdes),
+        format!("{:?}", b.pdes),
+    );
     match (&a.trace, &b.trace) {
         (Some(ta), Some(tb)) => {
             if ta.events != tb.events || ta.dropped != tb.dropped {
@@ -286,29 +295,46 @@ fn diff_reports(a: &RunReport, b: &RunReport) -> Vec<String> {
     out
 }
 
-/// Run one case in lockstep on both queue backends, audit both runs,
-/// and return every problem found (empty = conforming).
+/// Run one case in lockstep on both queue backends and on the sharded
+/// parallel scheduler (two workers), audit every run, and return every
+/// problem found (empty = conforming).
 pub fn run_case(case: &FuzzCase) -> Vec<String> {
     let mut problems = Vec::new();
-    match (run_once(case, false), run_once(case, true)) {
-        (Ok(a), Ok(b)) => {
-            problems.extend(diff_reports(&a, &b));
-            for v in audit(&case.cfg, &a) {
-                problems.push(format!("audit (calendar): {v}"));
-            }
-            for v in audit(&case.cfg, &b) {
-                problems.push(format!("audit (heap): {v}"));
+    match (
+        run_once(case, false, 1),
+        run_once(case, true, 1),
+        run_once(case, false, 2),
+    ) {
+        (Ok(a), Ok(b), Ok(p)) => {
+            problems.extend(diff_reports(&a, &b, "calendar", "heap"));
+            problems.extend(diff_reports(&a, &p, "sequential", "pdes-2shard"));
+            for (label, r) in [("calendar", &a), ("heap", &b), ("pdes-2shard", &p)] {
+                for v in audit(&case.cfg, r) {
+                    problems.push(format!("audit ({label}): {v}"));
+                }
             }
         }
-        (Err(ea), Err(eb)) => {
+        (Err(ea), Err(eb), Err(ep)) => {
             // A deterministic rejection is fine, but it must be the
-            // same rejection on both backends.
-            if ea.to_string() != eb.to_string() {
-                problems.push(format!("errors diverged: calendar={ea}, heap={eb}"));
+            // same rejection on every backend.
+            if ea.to_string() != eb.to_string() || ea.to_string() != ep.to_string() {
+                problems.push(format!(
+                    "errors diverged: calendar={ea}, heap={eb}, pdes-2shard={ep}"
+                ));
             }
         }
-        (Ok(_), Err(e)) => problems.push(format!("heap backend failed, calendar ok: {e}")),
-        (Err(e), Ok(_)) => problems.push(format!("calendar backend failed, heap ok: {e}")),
+        (ra, rb, rp) => {
+            let d = |r: Result<RunReport, SimError>| match r {
+                Ok(_) => "ok".to_string(),
+                Err(e) => format!("err ({e})"),
+            };
+            problems.push(format!(
+                "outcomes diverged: calendar={}, heap={}, pdes-2shard={}",
+                d(ra),
+                d(rb),
+                d(rp)
+            ));
+        }
     }
     problems
 }
@@ -702,6 +728,20 @@ mod tests {
         // The repro should be down to a single op on a single thread.
         assert_eq!(small.threads.len(), 1);
         assert_eq!(small.threads[0].ops.len(), 1);
+    }
+
+    #[test]
+    fn committed_cross_shard_nack_case_exercises_the_fault_path() {
+        // The corpus exemplar for the sharded scheduler must actually
+        // produce cross-shard mailbox traffic and migration NACKs, or
+        // it guards nothing.
+        let text = include_str!("../../../tests/corpus/cross-shard-nack.case");
+        let case = decode(text).unwrap();
+        let report = run_once(&case, false, 2).unwrap();
+        assert!(report.fault_totals().nacks > 0, "case must NACK");
+        assert!(report.pdes.mailbox_sent > 0, "case must cross shards");
+        assert!(report.total_migrations() > 0, "case must migrate");
+        assert!(run_case(&case).is_empty());
     }
 
     #[test]

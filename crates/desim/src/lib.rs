@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod pdes;
 pub mod queue;
 pub mod rng;
 pub mod server;
@@ -34,6 +35,7 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
+pub use pdes::{Mailboxes, SpinBarrier};
 pub use queue::EventQueue;
 pub use server::{FifoServer, Grant, Link, MultiServer};
 pub use stats::{Bandwidth, Counter, LogHistogram, Summary};

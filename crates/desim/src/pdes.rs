@@ -1,0 +1,241 @@
+//! Primitives for conservative parallel discrete-event simulation.
+//!
+//! A conservative PDES run shards the simulated machine across a fixed
+//! worker pool and advances time in *epochs*: windows of simulated time
+//! no wider than the minimum cross-shard latency (the *lookahead*).
+//! Within an epoch every worker drains its own event queue without
+//! synchronization — conservatism guarantees no other shard can inject
+//! an event into the window — and cross-shard events are buffered into
+//! per-worker [`Mailboxes`] that are exchanged at a [`SpinBarrier`]
+//! between windows.
+//!
+//! These two pieces are deliberately tiny and engine-agnostic: the
+//! engine decides what an event is, how to route it, and how wide the
+//! window may be; this module only supplies the deterministic exchange
+//! machinery. Determinism comes from the *engine-side* discipline of
+//! keying every event with an intrinsic `(time, key)` pair (see
+//! [`EventQueue::schedule_keyed`](crate::EventQueue::schedule_keyed)),
+//! so nothing here needs to care about arrival order: mailbox contents
+//! are re-sorted into the destination queue by key on delivery.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A reusable sense-reversing spin barrier for a fixed set of workers.
+///
+/// Epoch loops hit the barrier twice per window, so parking threads in
+/// the kernel on every crossing would dominate short epochs. Arrivals
+/// spin briefly and then yield, which keeps the exchange cheap when all
+/// workers are hot without burning a core when one straggles.
+///
+/// The barrier is reusable: sense reversal lets the same object carry
+/// every epoch of a run without re-initialization.
+#[derive(Debug)]
+pub struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    /// Generation counter; waiters leave once it moves past theirs.
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// A barrier releasing once `parties` workers arrive.
+    ///
+    /// # Panics
+    /// Panics if `parties` is zero.
+    pub fn new(parties: usize) -> Self {
+        assert!(parties > 0, "a barrier needs at least one party");
+        SpinBarrier {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Block until all parties have arrived. Returns `true` for exactly
+    /// one arrival per crossing (the last one in), mirroring
+    /// `std::sync::Barrier`'s leader flag.
+    pub fn wait(&self) -> bool {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.parties {
+            // Leader: reset the arrival count, then release everyone by
+            // bumping the generation.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+            return true;
+        }
+        let mut spins = 0u32;
+        while self.generation.load(Ordering::Acquire) == gen {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        false
+    }
+}
+
+/// Per-destination buffers for cross-shard event exchange.
+///
+/// One slot per worker; senders [`post`](Mailboxes::post) into the
+/// destination's slot during a window, and the destination
+/// [`drain`](Mailboxes::drain)s its own slot after the barrier. The
+/// per-slot mutexes are uncontended in the common case (each sender
+/// touches a given slot at most a handful of times per window) and the
+/// barrier between post and drain gives the happens-before edge, so the
+/// structure is deliberately simple.
+#[derive(Debug)]
+pub struct Mailboxes<M> {
+    slots: Vec<Mutex<Vec<M>>>,
+}
+
+impl<M> Mailboxes<M> {
+    /// Mailboxes for `workers` destinations.
+    pub fn new(workers: usize) -> Self {
+        Mailboxes {
+            slots: std::iter::repeat_with(|| Mutex::new(Vec::new()))
+                .take(workers)
+                .collect(),
+        }
+    }
+
+    /// Number of destination slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether there are no destination slots.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Append `msgs` to destination `dest`'s slot.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the slot mutex is poisoned.
+    pub fn post(&self, dest: usize, msgs: impl IntoIterator<Item = M>) {
+        let mut slot = self.slots[dest].lock().expect("mailbox poisoned");
+        slot.extend(msgs);
+    }
+
+    /// Take everything currently posted to destination `dest`.
+    ///
+    /// Delivery order is whatever arrival order the senders raced into;
+    /// callers re-establish determinism by re-sorting into their event
+    /// queue under intrinsic `(time, key)` ordering.
+    ///
+    /// # Panics
+    /// Panics if `dest` is out of range or the slot mutex is poisoned.
+    pub fn drain(&self, dest: usize) -> Vec<M> {
+        let mut slot = self.slots[dest].lock().expect("mailbox poisoned");
+        std::mem::take(&mut *slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn barrier_releases_all_parties_with_one_leader() {
+        let barrier = SpinBarrier::new(4);
+        let leaders = AtomicU64::new(0);
+        let after = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..100 {
+                        if barrier.wait() {
+                            leaders.fetch_add(1, Ordering::Relaxed);
+                        }
+                        after.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(leaders.load(Ordering::Relaxed), 100);
+        assert_eq!(after.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn barrier_separates_phases() {
+        // Classic lockstep check: with a barrier between increments, no
+        // worker can be a full phase ahead of another.
+        let barrier = SpinBarrier::new(3);
+        let phase = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        std::thread::scope(|s| {
+            for (me, p) in phase.iter().enumerate() {
+                let phase = &phase;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        p.store(round + 1, Ordering::SeqCst);
+                        barrier.wait();
+                        for (other, q) in phase.iter().enumerate() {
+                            if other != me {
+                                let v = q.load(Ordering::SeqCst);
+                                assert!(
+                                    v == round + 1 || v == round + 2,
+                                    "worker {other} at phase {v} while {me} is at {}",
+                                    round + 1
+                                );
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let b = SpinBarrier::new(1);
+        for _ in 0..10 {
+            assert!(b.wait());
+        }
+    }
+
+    #[test]
+    fn mailboxes_round_trip_across_threads() {
+        let boxes: Mailboxes<(usize, u64)> = Mailboxes::new(3);
+        let barrier = SpinBarrier::new(3);
+        std::thread::scope(|s| {
+            for me in 0..3usize {
+                let boxes = &boxes;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    // Everyone posts one message to everyone else.
+                    for dest in 0..3 {
+                        if dest != me {
+                            boxes.post(dest, [(me, 100 + me as u64)]);
+                        }
+                    }
+                    barrier.wait();
+                    let mut got = boxes.drain(me);
+                    got.sort_unstable();
+                    let expect: Vec<_> = (0..3)
+                        .filter(|&o| o != me)
+                        .map(|o| (o, 100 + o as u64))
+                        .collect();
+                    assert_eq!(got, expect);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn drain_empties_the_slot() {
+        let boxes: Mailboxes<u32> = Mailboxes::new(2);
+        assert_eq!(boxes.len(), 2);
+        assert!(!boxes.is_empty());
+        boxes.post(1, [7, 8]);
+        assert_eq!(boxes.drain(1), vec![7, 8]);
+        assert!(boxes.drain(1).is_empty());
+        assert!(boxes.drain(0).is_empty());
+    }
+}

@@ -123,10 +123,19 @@ impl<E> Calendar<E> {
     fn with_capacity(n: usize) -> Self {
         let mut c = Self::new();
         // The steady-state population spreads across the window; giving
-        // the spill list and overflow room up front removes the mid-run
-        // reallocations that dominate first-run profiles.
+        // every store room up front removes the mid-run reallocations
+        // that dominate first-run profiles. Events land in one of three
+        // places, so all three need pre-sizing: the live-slot spill
+        // list, the window buckets (population / slots each), and the
+        // far-future overflow heap.
         c.sorted.reserve(n.min(4096));
         c.overflow.reserve(n);
+        let per_bucket = n / NUM_BUCKETS;
+        if per_bucket > 0 {
+            for b in &mut c.buckets {
+                b.reserve(per_bucket);
+            }
+        }
         c
     }
 
@@ -221,6 +230,35 @@ impl<E> Calendar<E> {
         }
         best
     }
+
+    /// `(at, seq)` of the earliest pending event without touching any
+    /// state. Same store-by-store minimum as `peek_time`, but carrying
+    /// the tie-break key: the overflow top is the overflow-wide minimum
+    /// and the first non-empty bucket in scan order holds exactly the
+    /// smallest pending slot, so comparing the two candidates by
+    /// `(at, seq)` yields the global winner.
+    fn peek_key(&self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(e) = self.sorted.last() {
+            return Some((e.at, e.seq));
+        }
+        let mut best: Option<(Time, u64)> = self.overflow.peek().map(|Reverse(e)| (e.at, e.seq));
+        if self.bucketed > 0 {
+            let mut s = self.cur_slot;
+            loop {
+                let b = &self.buckets[(s & MASK) as usize];
+                if !b.is_empty() {
+                    let k = b.iter().map(|e| (e.at, e.seq)).min().expect("non-empty");
+                    best = Some(best.map_or(k, |o| o.min(k)));
+                    break;
+                }
+                s += 1;
+            }
+        }
+        best
+    }
 }
 
 impl<E> EventQueue<E> {
@@ -284,6 +322,64 @@ impl<E> EventQueue<E> {
     pub fn schedule_after(&mut self, delay: Time, event: E) {
         let at = self.now + delay;
         self.schedule(at, event);
+    }
+
+    /// Schedule `event` at `at` under a caller-supplied tie-break `key`
+    /// instead of the queue's internal insertion counter.
+    ///
+    /// Sharded engines use this to make pop order a pure function of the
+    /// event population: when every event carries an intrinsic key (for
+    /// example `source_shard << 40 | per_source_sequence`), the order
+    /// `(at, key)` does not depend on which worker inserted first, so a
+    /// run merged from several queues reproduces the single-queue order
+    /// exactly. Callers are responsible for key uniqueness per time; the
+    /// internal counter is left untouched, so `schedule` and
+    /// `schedule_keyed` should not be mixed on one queue.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `at` is in the past.
+    pub fn schedule_keyed(&mut self, at: Time, key: u64, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past");
+        let entry = Entry {
+            at,
+            seq: key,
+            event,
+        };
+        match &mut self.backend {
+            Backend::Heap(h) => h.push(Reverse(entry)),
+            Backend::Calendar(c) => c.push(entry),
+        }
+    }
+
+    /// Pop the earliest event together with its tie-break key, advancing
+    /// the clock to its time.
+    ///
+    /// The companion of [`EventQueue::schedule_keyed`]: sharded engines
+    /// need the key back to merge several queues into one global
+    /// `(time, key)` order.
+    pub fn pop_keyed(&mut self) -> Option<(Time, u64, E)> {
+        let entry = match &mut self.backend {
+            Backend::Heap(h) => h.pop().map(|Reverse(e)| e),
+            Backend::Calendar(c) => c.pop(),
+        }?;
+        debug_assert!(entry.at >= self.now, "time ran backwards");
+        self.now = entry.at;
+        Some((entry.at, entry.seq, entry.event))
+    }
+
+    /// Time and tie-break key of the earliest pending event, if any.
+    ///
+    /// Deliberately does *not* slide the calendar window: peeking must
+    /// leave the queue able to accept events earlier than the peeked
+    /// one (a sharded engine peeks past its epoch horizon, then
+    /// delivers mailbox events that sort before what it saw). The
+    /// common case (live slot non-empty) is O(1); slot boundaries pay
+    /// the same window scan a pop would.
+    pub fn peek_key(&self) -> Option<(Time, u64)> {
+        match &self.backend {
+            Backend::Heap(h) => h.peek().map(|Reverse(e)| (e.at, e.seq)),
+            Backend::Calendar(c) => c.peek_key(),
+        }
     }
 
     /// Pop the earliest event, advancing the simulation clock to its time.
@@ -434,6 +530,90 @@ mod tests {
             assert_eq!(q.len(), 2);
             q.pop();
             assert_eq!(q.len(), 1);
+        }
+    }
+
+    #[test]
+    fn with_capacity_presizes_every_store() {
+        // Regression: with_capacity used to size only part of the
+        // calendar, so a full-window population still reallocated
+        // mid-run. Fill every store to its nominal share and check that
+        // no store grew past its pre-sized capacity.
+        let n = 4096;
+        let mut q = EventQueue::with_capacity(n);
+        let (bucket_caps, sorted_cap, overflow_cap) = match &q.backend {
+            Backend::Calendar(c) => (
+                c.buckets.iter().map(|b| b.capacity()).collect::<Vec<_>>(),
+                c.sorted.capacity(),
+                c.overflow.capacity(),
+            ),
+            Backend::Heap(_) => unreachable!("with_capacity is calendar-backed"),
+        };
+        let per_bucket = n / NUM_BUCKETS;
+        assert!(bucket_caps.iter().all(|&c| c >= per_bucket));
+        assert!(sorted_cap >= n.min(4096));
+        assert!(overflow_cap >= n);
+        // One window's worth spread evenly over the slots (slot 0 lands
+        // in the spill list), plus a full population beyond the window.
+        let window_ps = (NUM_BUCKETS as u64) << WIDTH_SHIFT;
+        for i in 0..n {
+            let slot = (i % NUM_BUCKETS) as u64;
+            q.schedule(Time::from_ps(slot << WIDTH_SHIFT), i);
+        }
+        for i in 0..n {
+            q.schedule(Time::from_ps(window_ps + i as u64), i);
+        }
+        match &q.backend {
+            Backend::Calendar(c) => {
+                for (b, &cap0) in c.buckets.iter().zip(&bucket_caps) {
+                    assert_eq!(b.capacity(), cap0, "bucket reallocated");
+                }
+                assert_eq!(c.sorted.capacity(), sorted_cap, "spill list reallocated");
+                assert_eq!(c.overflow.capacity(), overflow_cap, "overflow reallocated");
+            }
+            Backend::Heap(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn keyed_pop_order_is_time_then_key_on_both_backends() {
+        for mut q in [
+            EventQueue::new(),
+            EventQueue::heap_backed(),
+            EventQueue::with_capacity(8),
+        ] {
+            // Keys arrive out of order; pops must follow (time, key),
+            // not insertion order.
+            q.schedule_keyed(Time::from_ns(5), 7, "d");
+            q.schedule_keyed(Time::from_ns(5), 2, "c");
+            q.schedule_keyed(Time::from_ns(1), 9, "b");
+            q.schedule_keyed(Time::from_ns(1), 1, "a");
+            assert_eq!(q.peek_key(), Some((Time::from_ns(1), 1)));
+            let order: Vec<_> = std::iter::from_fn(|| q.pop_keyed())
+                .map(|(_, k, e)| (k, e))
+                .collect();
+            assert_eq!(
+                order,
+                vec![(1, "a"), (9, "b"), (2, "c"), (7, "d")],
+                "keyed order diverged"
+            );
+            assert_eq!(q.now(), Time::from_ns(5));
+        }
+    }
+
+    #[test]
+    fn peek_key_sees_bucketed_and_overflow_events() {
+        let window_ps = (NUM_BUCKETS as u64) << WIDTH_SHIFT;
+        for make in [EventQueue::new, EventQueue::heap_backed] {
+            let mut q = make();
+            q.schedule_keyed(Time::from_ps(3 * window_ps), 11, ());
+            assert_eq!(q.peek_key(), Some((Time::from_ps(3 * window_ps), 11)));
+            q.schedule_keyed(Time::from_ps(5 << WIDTH_SHIFT), 4, ());
+            assert_eq!(q.peek_key(), Some((Time::from_ps(5 << WIDTH_SHIFT), 4)));
+            // Peeking must not disturb the pop order.
+            assert_eq!(q.pop_keyed().map(|(_, k, _)| k), Some(4));
+            assert_eq!(q.pop_keyed().map(|(_, k, _)| k), Some(11));
+            assert!(q.pop_keyed().is_none());
         }
     }
 

@@ -56,7 +56,11 @@ impl fmt::Display for Violation {
 ///   the threadlet time breakdown fits within `threads x makespan`;
 /// * **fault-totals consistency** — fault classes the plan disabled
 ///   recorded zero events, every NACK of a completed run was retried,
-///   and dead nodelets stayed silent.
+///   and dead nodelets stayed silent;
+/// * **sharded-scheduler conservation** — every cross-shard event posted
+///   to a mailbox was delivered, no cross-shard event was scheduled
+///   below the conservative lookahead horizon, and a zero-lookahead
+///   machine never entered epoch mode.
 pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
     fn fail(v: &mut Vec<Violation>, invariant: &'static str, detail: String) {
         v.push(Violation { invariant, detail });
@@ -215,6 +219,44 @@ pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
                 format!("dead nodelet {i} recorded activity ({activity} counter units)"),
             );
         }
+    }
+
+    // -- Sharded-scheduler conservation ------------------------------
+    let pdes = &report.pdes;
+    if pdes.mailbox_sent != pdes.mailbox_delivered {
+        fail(
+            &mut v,
+            "pdes-mailbox-conservation",
+            format!(
+                "{} cross-shard events posted but {} delivered",
+                pdes.mailbox_sent, pdes.mailbox_delivered
+            ),
+        );
+    }
+    // Conservatism: with epoch barriers active, every cross-shard event
+    // must land at or beyond the lookahead horizon from its send time.
+    // `min_cross_delay_ps` is u64::MAX when nothing crossed a shard.
+    if pdes.epochs > 0 && pdes.min_cross_delay_ps < pdes.lookahead_ps {
+        fail(
+            &mut v,
+            "pdes-lookahead-horizon",
+            format!(
+                "cross-shard event delayed only {} ps under a {} ps lookahead",
+                pdes.min_cross_delay_ps, pdes.lookahead_ps
+            ),
+        );
+    }
+    // A machine with zero lookahead cannot run epochs at all — the
+    // engine must fall back to the merged (sequential) scheduler.
+    if pdes.lookahead_ps == 0 && pdes.epochs != 0 {
+        fail(
+            &mut v,
+            "pdes-epoch-mode",
+            format!(
+                "{} epochs recorded on a zero-lookahead machine",
+                pdes.epochs
+            ),
+        );
     }
 
     // -- Trace checks ------------------------------------------------
@@ -458,6 +500,45 @@ mod tests {
         let v = audit(&cfg, &report);
         assert!(
             v.iter().any(|v| v.invariant == "queue-residency"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_mailbox_leak_is_caught() {
+        // A cross-shard event that was posted but never delivered.
+        let (cfg, mut report) = traced_run();
+        report.pdes.mailbox_sent += 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-mailbox-conservation"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_lookahead_violation_is_caught() {
+        // An event that crossed shards below the conservative horizon.
+        let (cfg, mut report) = traced_run();
+        assert!(report.pdes.epochs > 0, "workload must run in epoch mode");
+        assert!(report.pdes.lookahead_ps > 0);
+        report.pdes.min_cross_delay_ps = report.pdes.lookahead_ps - 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-lookahead-horizon"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_zero_lookahead_epochs_are_caught() {
+        let (cfg, mut report) = traced_run();
+        report.pdes.lookahead_ps = 0;
+        report.pdes.min_cross_delay_ps = 0;
+        assert!(report.pdes.epochs > 0);
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-epoch-mode"),
             "got {v:?}"
         );
     }

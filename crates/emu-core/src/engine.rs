@@ -24,45 +24,118 @@
 //!
 //! All state changes happen inside event handlers, so resources see
 //! arrivals in nondecreasing time order and FIFO semantics hold.
+//!
+//! ## Intra-run parallelism
+//!
+//! The machine is sharded **one nodelet per shard**: every nodelet owns
+//! its own calendar queue, servers, counters, and trace ring, and every
+//! handler touches only its own shard's state. Events destined for
+//! another nodelet are *sent* — buffered into a per-shard outbox and
+//! delivered into the destination's queue at a deterministic exchange
+//! point.
+//!
+//! Time advances with a conservative lookahead `L`
+//! ([`Engine::lookahead`]): the minimum latency any cross-nodelet
+//! interaction can incur (the smaller of the intra-node and inter-node
+//! hop latencies). When `L > 0`, the run proceeds in *epochs*: each
+//! window spans `[min next event, min next event + L)`, and within it
+//! every shard drains its own queue independently — conservatism
+//! guarantees no other shard can inject an event below the horizon.
+//! Workers (see [`set_sim_threads`]) each own a contiguous block of
+//! shards and exchange cross-shard events through [`Mailboxes`] at a
+//! [`SpinBarrier`] between windows. When `L == 0` (degenerate zero-hop
+//! configs) the engine falls back to a merged scheduler that interleaves
+//! the shards sequentially.
+//!
+//! Determinism does not depend on the worker count: every event carries
+//! an intrinsic `(time, key)` pair — the key namespaces the sending
+//! shard above its per-shard send sequence — so the merged event order,
+//! every counter, and every trace byte are identical whether the run
+//! used one worker or many. The [`PdesSummary`] on the report records
+//! how the sharded scheduler ran.
 
 use crate::addr::{GlobalAddr, NodeletId};
 use crate::config::MachineConfig;
 use crate::fault::{self, SimError};
 use crate::kernel::{Kernel, KernelCtx, Op, Placement, ThreadId};
-use crate::metrics::{NodeletCounters, NodeletOccupancy, RunReport};
-use crate::trace::{self, TraceEvent, TraceKind, TraceRecorder};
+use crate::metrics::{NodeletCounters, NodeletOccupancy, PdesSummary, RunReport};
+use crate::trace::{self, TraceEvent, TraceKind, TraceLog, TraceRecorder};
+use desim::pdes::{Mailboxes, SpinBarrier};
 use desim::queue::EventQueue;
 use desim::server::{FifoServer, Grant, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
 use desim::timeline::{Gauge, Timeline};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
-/// Internal engine events. One pop = one state transition.
+/// Process-global default worker count for [`Engine::run`]; `0` means
+/// "not yet resolved" (falls back to `EMU_SIM_THREADS`, then 1).
+static SIM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-global default number of simulation workers used by
+/// every subsequently-run engine that did not call
+/// [`Engine::set_sim_threads`]. Values are clamped to at least 1.
+pub fn set_sim_threads(n: usize) {
+    SIM_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The process-global default simulation worker count: the last value
+/// passed to [`set_sim_threads`], else `EMU_SIM_THREADS` from the
+/// environment, else 1 (fully sequential).
+pub fn sim_threads() -> usize {
+    let v = SIM_THREADS.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let n = std::env::var("EMU_SIM_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    SIM_THREADS.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Bit position of the shard namespace within an event key. Runtime keys
+/// are `(shard + 1) << KEY_SHIFT | send_seq`; pre-run spawns use bare
+/// sequence numbers (namespace 0), which sort before all runtime keys.
+const KEY_SHIFT: u32 = 40;
+
+/// Internal engine events. One pop = one state transition. Events carry
+/// their thread context by value, so a migration literally ships the
+/// context between shards — there is no global thread table.
 enum Event {
-    /// Thread context arrives at its `loc` (spawn or migration); it must
+    /// Thread context arrives at a nodelet (spawn or migration); it must
     /// acquire a hardware slot before issuing.
-    Arrive(ThreadId),
+    Arrive(Box<Thread>),
     /// Thread holds a slot and may issue its next operation.
-    Ready(ThreadId),
+    Ready(Box<Thread>),
     /// A load issued earlier now reaches the memory channel.
-    ChannelRead(ThreadId, u32),
-    /// A (possibly remote) store/atomic packet reaches a channel.
+    ChannelRead(Box<Thread>, u32),
+    /// A (possibly remote) store/atomic packet reaches this nodelet's
+    /// channel (the destination is the shard the event is scheduled on).
     ChannelWrite {
-        nodelet: NodeletId,
         bytes: u32,
         atomic: bool,
         from_remote: bool,
     },
     /// A departing context reaches its migration engine.
-    MigrateOut(ThreadId),
-    /// A cross-node migration enters the RapidIO link of its source node.
-    LinkSend(ThreadId),
-    /// A hardware slot frees on a nodelet (context departed or quit).
-    SlotRelease(NodeletId),
+    MigrateOut(Box<Thread>),
+    /// A cross-node migration leaves the migration engine toward the
+    /// RapidIO fabric (drop/retransmit decisions happen here, on the
+    /// source nodelet).
+    LinkSend(Box<Thread>),
+    /// A cross-node migration enters the node's RapidIO interface, which
+    /// lives on the node's head nodelet.
+    LinkTransit(Box<Thread>),
+    /// A hardware slot frees on this nodelet (context departed or quit).
+    SlotRelease,
 }
 
 struct Thread {
+    tid: ThreadId,
     kernel: Option<Box<dyn Kernel>>,
     loc: NodeletId,
     home: NodeletId,
@@ -76,7 +149,10 @@ struct Thread {
     mig_attempts: u32,
     /// Consecutive drops of the currently outstanding link packet.
     link_attempts: u32,
-    done: bool,
+    /// Remote-spawned context that has not yet reached its target; the
+    /// spawn is counted (and traced) on arrival so it lands on the shard
+    /// that owns the counter.
+    newborn: bool,
     /// When the currently outstanding operation began.
     op_started: Time,
     /// What kind of delay the outstanding operation is charged to.
@@ -126,6 +202,14 @@ impl TimeBreakdown {
             part.ps() as f64 / t.ps() as f64
         }
     }
+
+    fn absorb(&mut self, other: &TimeBreakdown) {
+        self.compute += other.compute;
+        self.memory += other.memory;
+        self.migration += other.migration;
+        self.store_issue += other.store_issue;
+        self.spawn += other.spawn;
+    }
 }
 
 struct Nodelet {
@@ -136,54 +220,92 @@ struct Nodelet {
     /// Hardware slots currently held by resident threadlets (the
     /// live-threadlet gauge samples this).
     in_use: u32,
-    waiters: VecDeque<ThreadId>,
+    waiters: VecDeque<Box<Thread>>,
     counters: NodeletCounters,
+}
+
+/// Optional per-shard time series (enabled via [`Engine::enable_timeline`]).
+struct ShardTl {
+    core: Timeline,
+    channel: Timeline,
+    migration: Timeline,
+    queue_depth: Gauge,
+    live_threads: Gauge,
+}
+
+/// One cross-shard event in flight between epoch barriers.
+struct OutMsg {
+    dest: u32,
+    at: Time,
+    key: u64,
+    ev: Event,
+}
+
+/// One nodelet's slice of the machine: its event queue, resources,
+/// counters, statistics, and cross-shard outbox. Handlers may touch only
+/// their own shard, which is what makes window execution race-free.
+struct Shard {
+    id: u32,
+    q: EventQueue<Event>,
+    nl: Nodelet,
+    /// The node's RapidIO link; present only on head nodelets
+    /// (`id % nodelets_per_node == 0`), which own the node's interface.
+    link: Option<Link>,
+    mig_latency: LogHistogram,
+    /// Lifetime migration counts, recorded as threadlets quit here.
+    migs_per_thread: Summary,
+    /// Alive-thread delta contributed by this shard (spawns here minus
+    /// quits here); the machine-wide sum is the live population.
+    live: i64,
+    spawned: u64,
+    next_tid: u32,
+    /// Per-shard event sequence; every schedule (local or remote)
+    /// consumes one, so within-shard order equals insertion order.
+    send_seq: u64,
+    events: u64,
+    fault_draws: u64,
+    /// Key of the event currently dispatching (error attribution).
+    cur_key: u64,
+    breakdown: TimeBreakdown,
+    recorder: Option<TraceRecorder>,
+    tl: Option<ShardTl>,
+    outbox: Vec<OutMsg>,
+    /// Cross-shard events sent / delivered (conservation-checked).
+    sent: u64,
+    delivered: u64,
+    /// Smallest cross-shard scheduling delay this shard produced.
+    min_cross_delay: Time,
+    /// Simulated time of this shard's last dispatched event.
+    now: Time,
+    /// First fatal error raised by a handler, tagged with the `(time,
+    /// key)` of the event that raised it so the globally-first error
+    /// wins regardless of worker count.
+    error: Option<(Time, u64, SimError)>,
+}
+
+/// Per-worker decision inputs published at the epoch barrier.
+#[derive(Default, Clone, Copy)]
+struct WorkerSlot {
+    events: u64,
+    any_error: bool,
+    next: Option<Time>,
 }
 
 /// The Emu machine simulator. Construct, seed initial threadlets with
 /// [`Engine::spawn_at`], then [`Engine::run`] to completion.
 pub struct Engine {
     cfg: MachineConfig,
-    q: EventQueue<Event>,
-    threads: Vec<Thread>,
-    nodelets: Vec<Nodelet>,
-    /// One outbound RapidIO link per node card (inter-node migrations).
-    links: Vec<Link>,
-    mig_latency: LogHistogram,
-    live: u64,
-    trace: Option<Trace>,
-    /// Structured event recorder; `None` (the default) costs one branch
-    /// per would-be event (see [`crate::trace`]).
-    recorder: Option<TraceRecorder>,
-    breakdown: TimeBreakdown,
+    shards: Vec<Shard>,
     /// Nearest-live-nodelet map for dead-nodelet redirection (identity
     /// when the fault plan marks nothing dead).
     redirect: Vec<u32>,
-    /// Monotone counter feeding deterministic fault draws.
-    fault_draws: u64,
-    /// Thread-table indices of contexts that have quit, ready for reuse.
-    /// Recycling contexts keeps the table (and its per-entry boxes) at
-    /// the peak-concurrency size instead of the total-spawn size.
-    free_tids: Vec<u32>,
-    /// Total threadlets ever spawned (recycling makes `threads.len()`
-    /// a peak-concurrency figure, not a spawn count).
-    spawned: u64,
-    /// Lifetime migration counts, recorded as each threadlet quits.
-    migs_per_thread: Summary,
-    /// Events processed so far (watchdog wall-event cap).
-    events: u64,
-    /// First fatal error raised by a handler; stops the run.
-    error: Option<SimError>,
-}
-
-/// Optional per-nodelet time series (enabled via
-/// [`Engine::enable_timeline`]).
-struct Trace {
-    core: Vec<Timeline>,
-    channel: Vec<Timeline>,
-    migration: Vec<Timeline>,
-    queue_depth: Vec<Gauge>,
-    live_threads: Vec<Gauge>,
+    /// Pre-run spawn sequence; bare keys in namespace 0 sort before all
+    /// runtime keys, so initial arrivals pop first at time zero.
+    init_seq: u64,
+    /// Per-engine worker-count override (else the process global).
+    sim_threads: Option<usize>,
+    /// Ring capacity for the merged trace (0 when tracing is off).
+    trace_capacity: usize,
 }
 
 /// Per-nodelet time series of one run (present when
@@ -209,49 +331,67 @@ impl Engine {
     ///
     /// # Errors
     /// [`SimError::InvalidConfig`] if the configuration fails
-    /// [`MachineConfig::validate`]; [`SimError::AllNodeletsDead`] if the
-    /// fault plan leaves no live nodelet.
+    /// [`MachineConfig::validate`] or exceeds the sharded scheduler's
+    /// nodelet limit; [`SimError::AllNodeletsDead`] if the fault plan
+    /// leaves no live nodelet.
     pub fn new(cfg: MachineConfig) -> Result<Self, SimError> {
         cfg.validate().map_err(SimError::InvalidConfig)?;
+        if cfg.total_nodelets() >= (1 << (64 - KEY_SHIFT as u64)) as u32 {
+            return Err(SimError::InvalidConfig(format!(
+                "total nodelets {} exceeds the sharded scheduler's limit of {}",
+                cfg.total_nodelets(),
+                (1u64 << (64 - KEY_SHIFT as u64)) - 1
+            )));
+        }
         let redirect = fault::redirect_map(&cfg.faults, cfg.total_nodelets())?;
         let n = cfg.total_nodelets() as usize;
-        let nodelets = (0..n)
-            .map(|_| Nodelet {
-                cores: MultiServer::new(cfg.gcs_per_nodelet as usize),
-                channel: FifoServer::new(),
-                mig_engine: FifoServer::new(),
-                slots_free: cfg.slots_per_nodelet(),
-                in_use: 0,
-                waiters: VecDeque::new(),
-                counters: NodeletCounters::default(),
+        // Pending events and live contexts on a shard are both bounded
+        // by its slot population (plus in-flight posted stores), so
+        // sizing off the per-nodelet slots keeps steady-state scheduling
+        // away from reallocation; the cap keeps tiny runs cheap.
+        let reserve = (cfg.slots_per_nodelet() as usize).min(4096);
+        let shards = (0..n as u32)
+            .map(|id| Shard {
+                id,
+                q: EventQueue::with_capacity(reserve),
+                nl: Nodelet {
+                    cores: MultiServer::new(cfg.gcs_per_nodelet as usize),
+                    channel: FifoServer::new(),
+                    mig_engine: FifoServer::new(),
+                    slots_free: cfg.slots_per_nodelet(),
+                    in_use: 0,
+                    waiters: VecDeque::new(),
+                    counters: NodeletCounters::default(),
+                },
+                link: (id % cfg.nodelets_per_node == 0)
+                    .then(|| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO)),
+                mig_latency: LogHistogram::new(),
+                migs_per_thread: Summary::new(),
+                live: 0,
+                spawned: 0,
+                next_tid: 0,
+                send_seq: 0,
+                events: 0,
+                fault_draws: 0,
+                cur_key: 0,
+                breakdown: TimeBreakdown::default(),
+                recorder: None,
+                tl: None,
+                outbox: Vec::new(),
+                sent: 0,
+                delivered: 0,
+                min_cross_delay: Time::MAX,
+                now: Time::ZERO,
+                error: None,
             })
             .collect();
-        let links = (0..cfg.nodes)
-            .map(|_| Link::new(cfg.rapidio_bytes_per_sec, Time::ZERO))
-            .collect();
-        // Pending events and live contexts are both bounded by the slot
-        // population (plus in-flight posted stores), so sizing off the
-        // machine's total slots keeps steady-state scheduling away from
-        // reallocation; the cap keeps tiny runs on huge configs cheap.
-        let reserve = (cfg.total_slots() as usize).min(4096);
         let mut engine = Engine {
             cfg,
-            q: EventQueue::with_capacity(reserve),
-            threads: Vec::with_capacity(reserve),
-            nodelets,
-            links,
-            mig_latency: LogHistogram::new(),
-            live: 0,
-            trace: None,
-            recorder: None,
-            breakdown: TimeBreakdown::default(),
+            shards,
             redirect,
-            fault_draws: 0,
-            free_tids: Vec::new(),
-            spawned: 0,
-            migs_per_thread: Summary::new(),
-            events: 0,
-            error: None,
+            init_seq: 0,
+            sim_threads: None,
+            trace_capacity: 0,
         };
         // Benchmark runners build engines internally; the process-global
         // telemetry config (see [`crate::trace::set_global`]) lets the
@@ -266,59 +406,33 @@ impl Engine {
         Ok(engine)
     }
 
-    /// Record a fatal error; the event loop stops at the next pop.
-    fn fail(&mut self, e: SimError) {
-        if self.error.is_none() {
-            self.error = Some(e);
+    /// The machine configuration this engine simulates.
+    pub fn cfg(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Override the worker count for this engine's run (clamped to at
+    /// least 1), independent of the process-global [`set_sim_threads`].
+    /// Any count yields byte-identical results; counts above the shard
+    /// count are truncated to one shard per worker.
+    pub fn set_sim_threads(&mut self, n: usize) {
+        self.sim_threads = Some(n.max(1));
+    }
+
+    /// The conservative lookahead of this machine: the minimum simulated
+    /// latency any cross-nodelet interaction can incur. Epoch windows
+    /// are exactly this wide. [`Time::MAX`] on a single-nodelet machine
+    /// (no cross-shard path exists); [`Time::ZERO`] forces the merged
+    /// sequential scheduler.
+    pub fn lookahead(&self) -> Time {
+        let multi_nodelet = self.cfg.nodelets_per_node > 1;
+        let multi_node = self.cfg.nodes > 1;
+        match (multi_nodelet, multi_node) {
+            (true, true) => self.cfg.intra_node_hop.min(self.cfg.inter_node_hop),
+            (true, false) => self.cfg.intra_node_hop,
+            (false, true) => self.cfg.inter_node_hop,
+            (false, false) => Time::MAX,
         }
-    }
-
-    /// Next deterministic fault draw in `[0, 1)`.
-    #[inline]
-    fn fdraw(&mut self) -> f64 {
-        let n = self.fault_draws;
-        self.fault_draws += 1;
-        fault::unit_draw(self.cfg.faults.seed, n)
-    }
-
-    /// Scale a service time by the nodelet's slowdown factor (exact
-    /// identity at the nominal factor of 1.0).
-    #[inline]
-    fn scaled(&self, nodelet: usize, t: Time) -> Time {
-        let f = self.cfg.faults.slow_factor(nodelet);
-        if f == 1.0 {
-            t
-        } else {
-            Time::from_ps((t.ps() as f64 * f).round() as u64)
-        }
-    }
-
-    /// Where traffic aimed at `n` actually lands (dead-nodelet redirect);
-    /// counts a redirect on the absorbing nodelet when it moves.
-    fn redirected(&mut self, n: NodeletId, now: Time) -> NodeletId {
-        let to = NodeletId(self.redirect[n.idx()]);
-        if to != n {
-            self.nodelets[to.idx()].counters.redirects += 1;
-            self.emit(now, to, None, TraceKind::Redirect);
-        }
-        to
-    }
-
-    /// Remap an address owned by a dead nodelet to its live stand-in.
-    fn remap_addr(&mut self, addr: GlobalAddr, now: Time) -> GlobalAddr {
-        if self.redirect[addr.nodelet.idx()] == addr.nodelet.0 {
-            addr
-        } else {
-            GlobalAddr::new(self.redirected(addr.nodelet, now), addr.offset)
-        }
-    }
-
-    /// Offer scaled service to a nodelet's cores, tracing the grant.
-    fn core_offer(&mut self, nodelet: usize, now: Time, service: Time) -> Grant {
-        let service = self.scaled(nodelet, service);
-        let grant = self.nodelets[nodelet].cores.offer(now, service);
-        self.trace_core(nodelet, grant);
-        grant
     }
 
     /// Record per-nodelet time series (occupancy timelines plus
@@ -333,87 +447,44 @@ impl Engine {
         };
         let tl = Timeline::new(bucket).map_err(invalid)?;
         let gauge = Gauge::new(bucket).map_err(invalid)?;
-        let n = self.nodelets.len();
-        self.trace = Some(Trace {
-            core: vec![tl.clone(); n],
-            channel: vec![tl.clone(); n],
-            migration: vec![tl; n],
-            queue_depth: vec![gauge.clone(); n],
-            live_threads: vec![gauge; n],
-        });
+        for s in &mut self.shards {
+            s.tl = Some(ShardTl {
+                core: tl.clone(),
+                channel: tl.clone(),
+                migration: tl.clone(),
+                queue_depth: gauge.clone(),
+                live_threads: gauge.clone(),
+            });
+        }
         Ok(())
     }
 
     /// Record structured trace events into a ring of at most `capacity`
     /// entries (0 disables). See [`crate::trace`]; the finalized log is
     /// attached to [`RunReport::trace`](crate::metrics::RunReport::trace).
+    /// Each shard records into its own ring of the full capacity; the
+    /// merged log keeps the globally-last `capacity` events.
     pub fn enable_trace(&mut self, capacity: usize) {
-        self.recorder = (capacity > 0).then(|| TraceRecorder::new(capacity));
+        self.trace_capacity = capacity;
+        for s in &mut self.shards {
+            s.recorder = (capacity > 0).then(|| TraceRecorder::new(capacity));
+        }
     }
 
-    /// Swap the event scheduler onto the reference binary-heap backend
-    /// (see [`EventQueue::heap_backed`]). Already-scheduled events are
-    /// carried over in `(time, seq)` order, so this may be called at any
-    /// point before [`Engine::run`]; a given workload must pop the exact
-    /// same event sequence on either backend, which is what the
-    /// conformance fuzzer's lockstep comparison checks.
+    /// Swap every shard's event scheduler onto the reference binary-heap
+    /// backend (see [`EventQueue::heap_backed`]). Already-scheduled
+    /// events are carried over in `(time, key)` order, so this may be
+    /// called at any point before [`Engine::run`]; a given workload must
+    /// pop the exact same event sequence on either backend, which is
+    /// what the conformance fuzzer's lockstep comparison checks.
     pub fn use_reference_queue(&mut self) {
-        let mut q = EventQueue::heap_backed();
-        while let Some((at, ev)) = self.q.pop() {
-            q.schedule(at, ev);
+        for s in &mut self.shards {
+            let mut q = EventQueue::heap_backed();
+            while let Some((at, key, ev)) = s.q.pop_keyed() {
+                q.schedule_keyed(at, key, ev);
+            }
+            s.q = q;
         }
-        self.q = q;
-    }
-
-    /// Record one structured trace event (a single branch when tracing
-    /// is off — the zero-cost-when-disabled guarantee).
-    #[inline]
-    fn emit(&mut self, at: Time, nodelet: NodeletId, thread: Option<ThreadId>, kind: TraceKind) {
-        if let Some(r) = self.recorder.as_mut() {
-            r.record(TraceEvent {
-                at,
-                nodelet,
-                thread,
-                kind,
-            });
-        }
-    }
-
-    /// Sample the slot gauges of `nodelet` (call after its waiter queue
-    /// or resident count changes).
-    #[inline]
-    fn sample_slots(&mut self, nodelet: usize, now: Time) {
-        if let Some(t) = self.trace.as_mut() {
-            let nl = &self.nodelets[nodelet];
-            t.queue_depth[nodelet].set(now, nl.waiters.len() as u64);
-            t.live_threads[nodelet].set(now, nl.in_use as u64);
-        }
-    }
-
-    #[inline]
-    fn trace_core(&mut self, nodelet: usize, grant: desim::server::Grant) {
-        if let Some(t) = self.trace.as_mut() {
-            t.core[nodelet].record(grant.start, grant.done - grant.start);
-        }
-    }
-
-    #[inline]
-    fn trace_channel(&mut self, nodelet: usize, grant: desim::server::Grant) {
-        if let Some(t) = self.trace.as_mut() {
-            t.channel[nodelet].record(grant.start, grant.done - grant.start);
-        }
-    }
-
-    #[inline]
-    fn trace_migration(&mut self, nodelet: usize, grant: desim::server::Grant) {
-        if let Some(t) = self.trace.as_mut() {
-            t.migration[nodelet].record(grant.start, grant.done - grant.start);
-        }
-    }
-
-    /// The machine configuration this engine simulates.
-    pub fn cfg(&self) -> &MachineConfig {
-        &self.cfg
     }
 
     /// Create an initial threadlet on `nodelet` at time zero. May be
@@ -433,60 +504,67 @@ impl Engine {
                 total: self.cfg.total_nodelets(),
             });
         }
-        let nodelet = self.redirected(nodelet, Time::ZERO);
-        let tid = self.alloc_thread(kernel, nodelet, nodelet);
-        self.nodelets[nodelet.idx()].counters.spawns += 1;
-        self.emit(Time::ZERO, nodelet, Some(tid), TraceKind::Spawn);
-        self.q.schedule(Time::ZERO, Event::Arrive(tid));
-        Ok(tid)
-    }
-
-    fn alloc_thread(
-        &mut self,
-        kernel: Box<dyn Kernel>,
-        loc: NodeletId,
-        home: NodeletId,
-    ) -> ThreadId {
-        let fresh = Thread {
+        let total = self.cfg.total_nodelets();
+        let to = NodeletId(self.redirect[nodelet.idx()]);
+        if to != nodelet {
+            let sh = &mut self.shards[to.idx()];
+            sh.nl.counters.redirects += 1;
+            if let Some(r) = sh.recorder.as_mut() {
+                r.record(TraceEvent {
+                    at: Time::ZERO,
+                    nodelet: to,
+                    thread: None,
+                    kind: TraceKind::Redirect,
+                });
+            }
+        }
+        let sh = &mut self.shards[to.idx()];
+        let tid = ThreadId(sh.next_tid.wrapping_mul(total).wrapping_add(to.0));
+        sh.next_tid += 1;
+        sh.live += 1;
+        sh.spawned += 1;
+        sh.nl.counters.spawns += 1;
+        if let Some(r) = sh.recorder.as_mut() {
+            r.record(TraceEvent {
+                at: Time::ZERO,
+                nodelet: to,
+                thread: Some(tid),
+                kind: TraceKind::Spawn,
+            });
+        }
+        let t = Box::new(Thread {
+            tid,
             kernel: Some(kernel),
-            loc,
-            home,
-            dest: loc,
+            loc: to,
+            home: to,
+            dest: to,
             resume: None,
             in_flight_migration: false,
             mig_issue_at: Time::ZERO,
             migrations: 0,
             mig_attempts: 0,
             link_attempts: 0,
-            done: false,
+            newborn: false,
             op_started: Time::ZERO,
             op_kind: OpKind::None,
-        };
-        // A quit context has no pending events (its last continuation was
-        // the pop that executed `Op::Quit`), so its table slot — and the
-        // `ThreadId` indexing it — can be reused wholesale.
-        let tid = match self.free_tids.pop() {
-            Some(idx) => {
-                self.threads[idx as usize] = fresh;
-                ThreadId(idx)
-            }
-            None => {
-                let tid = ThreadId(self.threads.len() as u32);
-                self.threads.push(fresh);
-                tid
-            }
-        };
-        self.live += 1;
-        self.spawned += 1;
-        tid
+        });
+        let key = self.init_seq;
+        self.init_seq += 1;
+        sh.q.schedule_keyed(Time::ZERO, key, Event::Arrive(t));
+        Ok(tid)
     }
 
     /// Run until every threadlet has quit; returns the measurement report.
     ///
+    /// The run is sharded one nodelet per shard and driven by the worker
+    /// count from [`Engine::set_sim_threads`] (else the process-global
+    /// [`set_sim_threads`], default 1). Results are byte-identical at
+    /// every worker count.
+    ///
     /// # Errors
     /// A watchdog converts every no-progress condition into a structured
     /// error instead of hanging or panicking:
-    /// [`SimError::Stalled`] if the event queue drains while threads are
+    /// [`SimError::Stalled`] if the event queues drain while threads are
     /// still alive (a deadlock), [`SimError::EventCapExceeded`] if the
     /// fault plan's wall-event cap trips (a livelock),
     /// [`SimError::RetryBudgetExhausted`] if injected NACKs/drops outlast
@@ -497,124 +575,638 @@ impl Engine {
             0 => u64::MAX,
             n => n,
         };
-        while let Some((now, ev)) = self.q.pop() {
-            self.events += 1;
-            if self.events > cap {
-                return Err(SimError::EventCapExceeded { cap });
+        let lookahead = self.lookahead();
+        let workers = self.sim_threads.unwrap_or_else(sim_threads).max(1);
+        let epochs = if lookahead == Time::ZERO {
+            self.run_merged(cap);
+            0
+        } else if workers <= 1 || self.shards.len() <= 1 {
+            self.run_epochs_inline(cap, lookahead)
+        } else {
+            self.run_epochs_threaded(cap, lookahead, workers)
+        };
+        self.finish(cap, lookahead, epochs)
+    }
+
+    /// Merged fallback scheduler for zero-lookahead machines: one global
+    /// loop popping the minimum `(time, key)` across all shards, with
+    /// immediate cross-shard delivery — sequential, but identical
+    /// semantics to the epoch schedulers.
+    fn run_merged(&mut self, cap: u64) {
+        let mut total = 0u64;
+        loop {
+            let mut best: Option<(Time, u64, usize)> = None;
+            for (i, s) in self.shards.iter().enumerate() {
+                if let Some((t, k)) = s.q.peek_key() {
+                    if best.is_none_or(|(bt, bk, _)| (t, k) < (bt, bk)) {
+                        best = Some((t, k, i));
+                    }
+                }
             }
-            match ev {
-                Event::Arrive(tid) => self.on_arrive(tid, now),
-                Event::Ready(tid) => self.on_ready(tid, now),
-                Event::ChannelRead(tid, bytes) => self.on_channel_read(tid, bytes, now),
-                Event::ChannelWrite {
-                    nodelet,
-                    bytes,
-                    atomic,
-                    from_remote,
-                } => self.on_channel_write(nodelet, bytes, atomic, from_remote, now),
-                Event::MigrateOut(tid) => self.on_migrate_out(tid, now),
-                Event::LinkSend(tid) => self.on_link_send(tid, now),
-                Event::SlotRelease(nodelet) => self.on_slot_release(nodelet, now),
+            let Some((_, _, i)) = best else { break };
+            let cfg = &self.cfg;
+            let redirect = &self.redirect[..];
+            let s = &mut self.shards[i];
+            let Some((at, key, ev)) = s.q.pop_keyed() else {
+                break;
+            };
+            s.now = at;
+            s.cur_key = key;
+            s.events += 1;
+            total += 1;
+            if total > cap {
+                // The popped event is counted but not dispatched,
+                // matching the sequential watchdog's trip point.
+                s.error = Some((at, key, SimError::EventCapExceeded { cap }));
+                break;
             }
-            if let Some(e) = self.error.take() {
-                return Err(e);
+            ShardCtx { cfg, redirect, s }.dispatch(ev, at);
+            if self.shards[i].error.is_some() {
+                break;
+            }
+            let msgs = std::mem::take(&mut self.shards[i].outbox);
+            for m in msgs {
+                let d = &mut self.shards[m.dest as usize];
+                d.q.schedule_keyed(m.at, m.key, m.ev);
+                d.delivered += 1;
             }
         }
-        if self.live != 0 {
+    }
+
+    /// Deliver every pending outbox message into its destination queue
+    /// (single-worker epoch exchange).
+    fn deliver_all(&mut self) {
+        let mut msgs = Vec::new();
+        for s in &mut self.shards {
+            msgs.append(&mut s.outbox);
+        }
+        for m in msgs {
+            let d = &mut self.shards[m.dest as usize];
+            d.q.schedule_keyed(m.at, m.key, m.ev);
+            d.delivered += 1;
+        }
+    }
+
+    /// Epoch scheduler, single worker: the identical protocol to the
+    /// threaded path (deliver → decide → drain windows) run inline, so
+    /// the epoch count and every result byte match any worker count.
+    fn run_epochs_inline(&mut self, cap: u64, lookahead: Time) -> u64 {
+        let mut epochs = 0u64;
+        loop {
+            self.deliver_all();
+            let any_error = self.shards.iter().any(|s| s.error.is_some());
+            let total: u64 = self.shards.iter().map(|s| s.events).sum();
+            let next = self
+                .shards
+                .iter()
+                .filter_map(|s| s.q.peek_key())
+                .map(|(t, _)| t)
+                .min();
+            if any_error || total > cap {
+                break;
+            }
+            let Some(next) = next else { break };
+            let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
+            epochs += 1;
+            for s in &mut self.shards {
+                run_window(&self.cfg, &self.redirect, s, end, cap);
+            }
+        }
+        epochs
+    }
+
+    /// Epoch scheduler over a scoped worker pool. Each worker owns a
+    /// contiguous block of shards; the two barrier crossings per epoch
+    /// separate (a) mailbox delivery + decision publishing from (b)
+    /// window draining + mailbox posting, so no shard is ever touched by
+    /// two workers concurrently and every worker takes the same
+    /// stop/continue decision from the same published inputs.
+    fn run_epochs_threaded(&mut self, cap: u64, lookahead: Time, workers: usize) -> u64 {
+        let shard_count = self.shards.len();
+        let chunk = shard_count.div_ceil(workers);
+        let nworkers = shard_count.div_ceil(chunk);
+        let slots: Vec<Mutex<WorkerSlot>> = (0..nworkers)
+            .map(|_| Mutex::new(WorkerSlot::default()))
+            .collect();
+        let mailboxes: Mailboxes<OutMsg> = Mailboxes::new(nworkers);
+        let barrier = SpinBarrier::new(nworkers);
+        let epochs = AtomicU64::new(0);
+        let cfg = &self.cfg;
+        let redirect = &self.redirect[..];
+        std::thread::scope(|scope| {
+            for (widx, my) in self.shards.chunks_mut(chunk).enumerate() {
+                let (slots, mailboxes, barrier, epochs) = (&slots, &mailboxes, &barrier, &epochs);
+                scope.spawn(move || {
+                    let base = widx * chunk;
+                    loop {
+                        // Exchange phase: deliver mail posted to this
+                        // worker's shards during the previous window.
+                        for m in mailboxes.drain(widx) {
+                            let s = &mut my[m.dest as usize - base];
+                            s.q.schedule_keyed(m.at, m.key, m.ev);
+                            s.delivered += 1;
+                        }
+                        {
+                            let mut slot = slots[widx].lock().expect("worker slot poisoned");
+                            slot.events = my.iter().map(|s| s.events).sum();
+                            slot.any_error = my.iter().any(|s| s.error.is_some());
+                            slot.next = my
+                                .iter()
+                                .filter_map(|s| s.q.peek_key())
+                                .map(|(t, _)| t)
+                                .min();
+                        }
+                        barrier.wait();
+                        // Decision: every worker reads every slot and
+                        // computes the same verdict, so all of them break
+                        // together (no barrier crossing after a break).
+                        let mut total = 0u64;
+                        let mut any_error = false;
+                        let mut next: Option<Time> = None;
+                        for slot in slots.iter() {
+                            let g = slot.lock().expect("worker slot poisoned");
+                            total += g.events;
+                            any_error |= g.any_error;
+                            next = match (next, g.next) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            };
+                        }
+                        if any_error || total > cap {
+                            break;
+                        }
+                        let Some(next) = next else { break };
+                        let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
+                        if widx == 0 {
+                            epochs.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // Window phase: drain own shards, post the mail.
+                        for s in my.iter_mut() {
+                            run_window(cfg, redirect, s, end, cap);
+                            if !s.outbox.is_empty() {
+                                for m in s.outbox.drain(..) {
+                                    mailboxes.post(m.dest as usize / chunk, [m]);
+                                }
+                            }
+                        }
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        epochs.load(Ordering::Relaxed)
+    }
+
+    /// Post-run epilogue shared by all schedulers: surface the globally
+    /// first error (by event `(time, key)`), then the watchdog verdicts,
+    /// else assemble the report.
+    fn finish(mut self, cap: u64, lookahead: Time, epochs: u64) -> Result<RunReport, SimError> {
+        if let Some((_, _, e)) = self
+            .shards
+            .iter_mut()
+            .filter_map(|s| s.error.take())
+            .min_by_key(|&(t, k, _)| (t, k))
+        {
+            return Err(e);
+        }
+        let total: u64 = self.shards.iter().map(|s| s.events).sum();
+        if total > cap {
+            return Err(SimError::EventCapExceeded { cap });
+        }
+        let live: i64 = self.shards.iter().map(|s| s.live).sum();
+        if live != 0 {
+            let at = self
+                .shards
+                .iter()
+                .map(|s| s.now)
+                .max()
+                .unwrap_or(Time::ZERO);
             return Err(SimError::Stalled {
-                live: self.live,
-                at: self.q.now(),
+                live: live.unsigned_abs(),
+                at,
             });
         }
-        let report = self.into_report();
+        let report = self.into_report(lookahead, epochs);
         trace::offer_report(&report);
         Ok(report)
     }
 
-    fn on_arrive(&mut self, tid: ThreadId, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
-        if self.threads[tid.idx()].in_flight_migration {
-            self.threads[tid.idx()].in_flight_migration = false;
-            let issued = self.threads[tid.idx()].mig_issue_at;
-            self.mig_latency.record(now - issued);
-            self.nodelets[loc.idx()].counters.migrations_in += 1;
-            self.emit(now, loc, Some(tid), TraceKind::MigrateIn);
+    /// Merge per-shard trace rings into one log holding the globally
+    /// last `capacity` events in `(time, shard, emission)` order. Exact:
+    /// within a shard the ring is nondecreasing in time, so the global
+    /// tail is always inside the per-shard retained tails.
+    fn take_merged_trace(&mut self) -> Option<TraceLog> {
+        if self.trace_capacity == 0 {
+            return None;
         }
-        let nl = &mut self.nodelets[loc.idx()];
-        if nl.slots_free > 0 {
-            nl.slots_free -= 1;
-            nl.in_use += 1;
-            self.q.schedule(now, Event::Ready(tid));
-        } else {
-            nl.counters.slot_waits += 1;
-            nl.waiters.push_back(tid);
-            self.emit(now, loc, Some(tid), TraceKind::SlotWait);
+        let cap = self.trace_capacity;
+        let mut emitted = 0u64;
+        let mut all: Vec<(Time, u32, usize, TraceEvent)> = Vec::new();
+        for s in &mut self.shards {
+            if let Some(r) = s.recorder.take() {
+                let log = r.into_log();
+                emitted += log.emitted();
+                for (pos, ev) in log.events.into_iter().enumerate() {
+                    all.push((ev.at, s.id, pos, ev));
+                }
+            }
         }
-        self.sample_slots(loc.idx(), now);
+        all.sort_unstable_by_key(|&(at, shard, pos, _)| (at, shard, pos));
+        let drop_n = all.len().saturating_sub(cap);
+        let events: Vec<TraceEvent> = all.into_iter().skip(drop_n).map(|e| e.3).collect();
+        let dropped = emitted - events.len() as u64;
+        Some(TraceLog {
+            events,
+            dropped,
+            capacity: cap,
+        })
     }
 
-    fn on_slot_release(&mut self, nodelet: NodeletId, now: Time) {
-        let nl = &mut self.nodelets[nodelet.idx()];
-        if let Some(waiter) = nl.waiters.pop_front() {
+    fn into_report(mut self, lookahead: Time, epochs: u64) -> RunReport {
+        let trace = self.take_merged_trace();
+        let makespan = self
+            .shards
+            .iter()
+            .map(|s| s.now)
+            .max()
+            .unwrap_or(Time::ZERO);
+        let pdes = PdesSummary {
+            shards: self.shards.len() as u64,
+            lookahead_ps: lookahead.ps(),
+            epochs,
+            mailbox_sent: self.shards.iter().map(|s| s.sent).sum(),
+            mailbox_delivered: self.shards.iter().map(|s| s.delivered).sum(),
+            min_cross_delay_ps: self
+                .shards
+                .iter()
+                .map(|s| s.min_cross_delay.ps())
+                .min()
+                .unwrap_or(u64::MAX),
+        };
+        let has_tl = self.shards.first().is_some_and(|s| s.tl.is_some());
+        let mut nodelets = Vec::with_capacity(self.shards.len());
+        let mut occupancy = Vec::with_capacity(self.shards.len());
+        let mut mig_latency = LogHistogram::new();
+        let mut migs_per_thread = Summary::new();
+        let mut breakdown = TimeBreakdown::default();
+        let mut threads = 0u64;
+        let mut events = 0u64;
+        let mut timelines = has_tl.then(|| RunTimelines {
+            bucket: Time::from_us(1),
+            core: Vec::new(),
+            channel: Vec::new(),
+            migration: Vec::new(),
+            queue_depth: Vec::new(),
+            live_threads: Vec::new(),
+        });
+        for s in self.shards {
+            occupancy.push(NodeletOccupancy {
+                core_busy: s.nl.cores.busy_time(),
+                channel_busy: s.nl.channel.busy_time(),
+                migration_busy: s.nl.mig_engine.busy_time(),
+                channel_mean_wait: s.nl.channel.mean_wait(),
+                migration_mean_wait: s.nl.mig_engine.mean_wait(),
+            });
+            nodelets.push(s.nl.counters);
+            mig_latency.merge(&s.mig_latency);
+            migs_per_thread.merge(&s.migs_per_thread);
+            breakdown.absorb(&s.breakdown);
+            threads += s.spawned;
+            events += s.events;
+            if let (Some(out), Some(mut tl)) = (timelines.as_mut(), s.tl) {
+                // Account the final plateau of every gauge out to the
+                // end of the run, so trailing idle time is not lost.
+                tl.queue_depth.finish(makespan);
+                tl.live_threads.finish(makespan);
+                out.bucket = tl.core.bucket();
+                out.core.push(tl.core);
+                out.channel.push(tl.channel);
+                out.migration.push(tl.migration);
+                out.queue_depth.push(tl.queue_depth);
+                out.live_threads.push(tl.live_threads);
+            }
+        }
+        RunReport {
+            makespan,
+            nodelets,
+            occupancy,
+            gcs_per_nodelet: self.cfg.gcs_per_nodelet,
+            threads,
+            events,
+            migration_latency: mig_latency,
+            migrations_per_thread: migs_per_thread,
+            timelines,
+            breakdown,
+            trace,
+            pdes,
+        }
+    }
+}
+
+/// Drain one shard's events strictly below `end`. Conservatism
+/// guarantees no other shard can deliver an event below `end` while this
+/// runs, so the window needs no synchronization.
+fn run_window(cfg: &MachineConfig, redirect: &[u32], s: &mut Shard, end: Time, cap: u64) {
+    loop {
+        if s.error.is_some() {
+            break;
+        }
+        let Some((at, _)) = s.q.peek_key() else { break };
+        if at >= end {
+            break;
+        }
+        let Some((at, key, ev)) = s.q.pop_keyed() else {
+            break;
+        };
+        s.now = at;
+        s.cur_key = key;
+        s.events += 1;
+        if s.events > cap {
+            // This shard alone blew the cap; the aggregate check at the
+            // barrier catches caps split across shards.
+            s.error = Some((at, key, SimError::EventCapExceeded { cap }));
+            break;
+        }
+        ShardCtx { cfg, redirect, s }.dispatch(ev, at);
+    }
+}
+
+/// One event dispatch's view of its shard: all handler state plus the
+/// read-only machine configuration and redirect map.
+struct ShardCtx<'a> {
+    cfg: &'a MachineConfig,
+    redirect: &'a [u32],
+    s: &'a mut Shard,
+}
+
+impl ShardCtx<'_> {
+    fn dispatch(&mut self, ev: Event, now: Time) {
+        match ev {
+            Event::Arrive(t) => self.on_arrive(t, now),
+            Event::Ready(t) => self.on_ready(t, now),
+            Event::ChannelRead(t, bytes) => self.on_channel_read(t, bytes, now),
+            Event::ChannelWrite {
+                bytes,
+                atomic,
+                from_remote,
+            } => self.on_channel_write(bytes, atomic, from_remote, now),
+            Event::MigrateOut(t) => self.on_migrate_out(t, now),
+            Event::LinkSend(t) => self.on_link_send(t, now),
+            Event::LinkTransit(t) => self.on_link_transit(t, now),
+            Event::SlotRelease => self.on_slot_release(now),
+        }
+    }
+
+    /// This shard's nodelet identity.
+    #[inline]
+    fn here(&self) -> NodeletId {
+        NodeletId(self.s.id)
+    }
+
+    /// Record a fatal error, tagged with the current event's `(time,
+    /// key)`; the schedulers stop at the next exchange point and the
+    /// globally-first error wins.
+    fn fail(&mut self, e: SimError) {
+        if self.s.error.is_none() {
+            self.s.error = Some((self.s.now, self.s.cur_key, e));
+        }
+    }
+
+    /// Next deterministic fault draw in `[0, 1)` from this shard's lane.
+    #[inline]
+    fn fdraw(&mut self) -> f64 {
+        let n = self.s.fault_draws;
+        self.s.fault_draws += 1;
+        fault::unit_draw_for(self.cfg.faults.seed, self.s.id, n)
+    }
+
+    /// Scale a service time by this nodelet's slowdown factor (exact
+    /// identity at the nominal factor of 1.0).
+    #[inline]
+    fn scaled(&self, t: Time) -> Time {
+        let f = self.cfg.faults.slow_factor(self.s.id as usize);
+        if f == 1.0 {
+            t
+        } else {
+            Time::from_ps((t.ps() as f64 * f).round() as u64)
+        }
+    }
+
+    /// Schedule `ev` at `at` with the next intrinsic key. Local events
+    /// go straight into this shard's queue; cross-shard events are
+    /// buffered into the outbox for barrier (or merged-loop) delivery.
+    fn send(&mut self, dest: NodeletId, at: Time, ev: Event) {
+        let s = &mut *self.s;
+        let key = ((s.id as u64 + 1) << KEY_SHIFT) | s.send_seq;
+        s.send_seq += 1;
+        if dest.0 == s.id {
+            s.q.schedule_keyed(at, key, ev);
+        } else {
+            let delay = at.saturating_sub(s.now);
+            if delay < s.min_cross_delay {
+                s.min_cross_delay = delay;
+            }
+            s.sent += 1;
+            s.outbox.push(OutMsg {
+                dest: dest.0,
+                at,
+                key,
+                ev,
+            });
+        }
+    }
+
+    /// Record one structured trace event (a single branch when tracing
+    /// is off — the zero-cost-when-disabled guarantee).
+    #[inline]
+    fn emit(&mut self, at: Time, nodelet: NodeletId, thread: Option<ThreadId>, kind: TraceKind) {
+        if let Some(r) = self.s.recorder.as_mut() {
+            r.record(TraceEvent {
+                at,
+                nodelet,
+                thread,
+                kind,
+            });
+        }
+    }
+
+    /// Sample the slot gauges (call after the waiter queue or resident
+    /// count changes).
+    #[inline]
+    fn sample_slots(&mut self, now: Time) {
+        let s = &mut *self.s;
+        if let Some(tl) = s.tl.as_mut() {
+            tl.queue_depth.set(now, s.nl.waiters.len() as u64);
+            tl.live_threads.set(now, s.nl.in_use as u64);
+        }
+    }
+
+    /// Offer scaled service to this nodelet's cores, tracing the grant.
+    fn core_offer(&mut self, now: Time, service: Time) -> Grant {
+        let service = self.scaled(service);
+        let grant = self.s.nl.cores.offer(now, service);
+        if let Some(tl) = self.s.tl.as_mut() {
+            tl.core.record(grant.start, grant.done - grant.start);
+        }
+        grant
+    }
+
+    #[inline]
+    fn trace_channel(&mut self, grant: Grant) {
+        if let Some(tl) = self.s.tl.as_mut() {
+            tl.channel.record(grant.start, grant.done - grant.start);
+        }
+    }
+
+    #[inline]
+    fn trace_migration(&mut self, grant: Grant) {
+        if let Some(tl) = self.s.tl.as_mut() {
+            tl.migration.record(grant.start, grant.done - grant.start);
+        }
+    }
+
+    /// Where traffic aimed at `n` actually lands (dead-nodelet
+    /// redirect). Counted on the *requesting* shard — the only state a
+    /// window may touch — which also keeps dead nodelets silent in the
+    /// counters.
+    fn redirected(&mut self, n: NodeletId, now: Time) -> NodeletId {
+        let to = NodeletId(self.redirect[n.idx()]);
+        if to != n {
+            self.s.nl.counters.redirects += 1;
+            let here = self.here();
+            self.emit(now, here, None, TraceKind::Redirect);
+        }
+        to
+    }
+
+    /// Remap an address owned by a dead nodelet to its live stand-in.
+    fn remap_addr(&mut self, addr: GlobalAddr, now: Time) -> GlobalAddr {
+        if self.redirect[addr.nodelet.idx()] == addr.nodelet.0 {
+            addr
+        } else {
+            GlobalAddr::new(self.redirected(addr.nodelet, now), addr.offset)
+        }
+    }
+
+    /// A fresh thread context spawned on this shard. IDs are strided by
+    /// the machine width so every shard mints from a disjoint namespace
+    /// without coordination.
+    fn alloc_thread(
+        &mut self,
+        kernel: Box<dyn Kernel>,
+        loc: NodeletId,
+        home: NodeletId,
+    ) -> Box<Thread> {
+        let s = &mut *self.s;
+        let tid = ThreadId(
+            s.next_tid
+                .wrapping_mul(self.cfg.total_nodelets())
+                .wrapping_add(s.id),
+        );
+        s.next_tid += 1;
+        s.live += 1;
+        s.spawned += 1;
+        Box::new(Thread {
+            tid,
+            kernel: Some(kernel),
+            loc,
+            home,
+            dest: loc,
+            resume: None,
+            in_flight_migration: false,
+            mig_issue_at: Time::ZERO,
+            migrations: 0,
+            mig_attempts: 0,
+            link_attempts: 0,
+            newborn: false,
+            op_started: Time::ZERO,
+            op_kind: OpKind::None,
+        })
+    }
+
+    fn on_arrive(&mut self, mut t: Box<Thread>, now: Time) {
+        let loc = t.loc;
+        if t.newborn {
+            // Remote spawn: the spawn is counted where the child lands,
+            // on the shard that owns that counter.
+            t.newborn = false;
+            self.s.nl.counters.spawns += 1;
+            self.emit(now, loc, Some(t.tid), TraceKind::Spawn);
+        }
+        if t.in_flight_migration {
+            t.in_flight_migration = false;
+            self.s.mig_latency.record(now - t.mig_issue_at);
+            self.s.nl.counters.migrations_in += 1;
+            self.emit(now, loc, Some(t.tid), TraceKind::MigrateIn);
+        }
+        if self.s.nl.slots_free > 0 {
+            self.s.nl.slots_free -= 1;
+            self.s.nl.in_use += 1;
+            self.send(loc, now, Event::Ready(t));
+        } else {
+            self.s.nl.counters.slot_waits += 1;
+            self.emit(now, loc, Some(t.tid), TraceKind::SlotWait);
+            self.s.nl.waiters.push_back(t);
+        }
+        self.sample_slots(now);
+    }
+
+    fn on_slot_release(&mut self, now: Time) {
+        let here = self.here();
+        if let Some(waiter) = self.s.nl.waiters.pop_front() {
             // Slot transfers directly to the waiter; the departing
             // context's slot is immediately re-occupied, so `in_use`
             // is unchanged.
-            self.q.schedule(now, Event::Ready(waiter));
+            self.send(here, now, Event::Ready(waiter));
         } else {
-            nl.slots_free += 1;
-            nl.in_use -= 1;
+            self.s.nl.slots_free += 1;
+            self.s.nl.in_use -= 1;
         }
-        self.sample_slots(nodelet.idx(), now);
+        self.sample_slots(now);
     }
 
-    fn on_ready(&mut self, tid: ThreadId, now: Time) {
-        self.charge(tid, now);
-        let op = match self.threads[tid.idx()].resume.take() {
+    fn on_ready(&mut self, mut t: Box<Thread>, now: Time) {
+        self.charge(&mut t, now);
+        let op = match t.resume.take() {
             Some(op) => op,
             None => {
-                let t = &self.threads[tid.idx()];
                 let ctx = KernelCtx {
-                    tid,
+                    tid: t.tid,
                     here: t.loc,
                     home: t.home,
                     now,
                 };
-                match self.threads[tid.idx()].kernel.as_mut() {
+                match t.kernel.as_mut() {
                     Some(kernel) => kernel.step(&ctx),
                     None => {
-                        self.fail(SimError::MissingKernel { thread: tid });
+                        let thread = t.tid;
+                        self.fail(SimError::MissingKernel { thread });
                         return;
                     }
                 }
             }
         };
-        self.execute(tid, op, now);
+        self.execute(t, op, now);
     }
 
     /// Attribute the elapsed time of the finished operation (if any) to
     /// its activity class.
-    fn charge(&mut self, tid: ThreadId, now: Time) {
-        let t = &mut self.threads[tid.idx()];
+    fn charge(&mut self, t: &mut Thread, now: Time) {
         let elapsed = now.saturating_sub(t.op_started);
+        let b = &mut self.s.breakdown;
         match t.op_kind {
             OpKind::None => {}
-            OpKind::Compute => self.breakdown.compute += elapsed,
-            OpKind::Memory => self.breakdown.memory += elapsed,
-            OpKind::Migration => self.breakdown.migration += elapsed,
-            OpKind::StoreIssue => self.breakdown.store_issue += elapsed,
-            OpKind::Spawn => self.breakdown.spawn += elapsed,
+            OpKind::Compute => b.compute += elapsed,
+            OpKind::Memory => b.memory += elapsed,
+            OpKind::Migration => b.migration += elapsed,
+            OpKind::StoreIssue => b.store_issue += elapsed,
+            OpKind::Spawn => b.spawn += elapsed,
         }
         t.op_kind = OpKind::None;
     }
 
-    fn begin(&mut self, tid: ThreadId, kind: OpKind, now: Time) {
-        let t = &mut self.threads[tid.idx()];
-        t.op_started = now;
-        t.op_kind = kind;
-    }
-
-    fn execute(&mut self, tid: ThreadId, op: Op, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
+    fn execute(&mut self, mut t: Box<Thread>, op: Op, now: Time) {
+        let loc = t.loc;
         let costs = self.cfg.costs;
         let target = match &op {
             Op::Load { addr, .. } | Op::Store { addr, .. } | Op::AtomicAdd { addr, .. } => {
@@ -627,10 +1219,10 @@ impl Engine {
             } => Some(*t),
             _ => None,
         };
-        if let Some(t) = target {
-            if t.0 >= self.cfg.total_nodelets() {
+        if let Some(tgt) = target {
+            if tgt.0 >= self.cfg.total_nodelets() {
                 self.fail(SimError::TargetOutOfRange {
-                    nodelet: t,
+                    nodelet: tgt,
                     total: self.cfg.total_nodelets(),
                 });
                 return;
@@ -658,49 +1250,47 @@ impl Engine {
                 kernel,
                 place: match place {
                     Placement::Here => Placement::Here,
-                    Placement::On(t) => Placement::On(self.redirected(t, now)),
+                    Placement::On(tgt) => Placement::On(self.redirected(tgt, now)),
                 },
             },
             other => other,
         };
         match &op {
-            Op::Compute { .. } => self.begin(tid, OpKind::Compute, now),
+            Op::Compute { .. } => self.begin(&mut t, OpKind::Compute, now),
             Op::Load { addr, .. } => {
                 let kind = if addr.is_local_to(loc) {
                     OpKind::Memory
                 } else {
                     OpKind::Migration
                 };
-                self.begin(tid, kind, now);
+                self.begin(&mut t, kind, now);
             }
-            Op::Store { .. } | Op::AtomicAdd { .. } => self.begin(tid, OpKind::StoreIssue, now),
-            Op::MigrateTo { .. } => self.begin(tid, OpKind::Migration, now),
-            Op::Spawn { .. } => self.begin(tid, OpKind::Spawn, now),
+            Op::Store { .. } | Op::AtomicAdd { .. } => self.begin(&mut t, OpKind::StoreIssue, now),
+            Op::MigrateTo { .. } => self.begin(&mut t, OpKind::Migration, now),
+            Op::Spawn { .. } => self.begin(&mut t, OpKind::Spawn, now),
             Op::Quit => {}
         }
         match op {
             Op::Compute { cycles } => {
                 let occ = self.cfg.cycles(cycles);
-                let grant = self.core_offer(loc.idx(), now, occ);
+                let grant = self.core_offer(now, occ);
                 let extra = self
                     .cfg
                     .cycles(cycles.saturating_mul(costs.compute_latency_factor.saturating_sub(1)));
-                self.q.schedule(grant.done + extra, Event::Ready(tid));
+                self.send(loc, grant.done + extra, Event::Ready(t));
             }
             Op::Load { addr, bytes } => {
                 if addr.is_local_to(loc) {
-                    let grant =
-                        self.core_offer(loc.idx(), now, self.cfg.cycles(costs.mem_issue_cycles));
+                    let grant = self.core_offer(now, self.cfg.cycles(costs.mem_issue_cycles));
                     let at_channel = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
-                    self.q.schedule(at_channel, Event::ChannelRead(tid, bytes));
+                    self.send(loc, at_channel, Event::ChannelRead(t, bytes));
                 } else {
-                    self.start_migration(tid, addr.nodelet, Some(Op::Load { addr, bytes }), now);
+                    self.start_migration(t, addr.nodelet, Some(Op::Load { addr, bytes }), now);
                 }
             }
             Op::Store { addr, bytes } | Op::AtomicAdd { addr, bytes } => {
                 let atomic = matches!(op, Op::AtomicAdd { .. });
-                let grant =
-                    self.core_offer(loc.idx(), now, self.cfg.cycles(costs.mem_issue_cycles));
+                let grant = self.core_offer(now, self.cfg.cycles(costs.mem_issue_cycles));
                 let pipelined = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
                 let (arrive, remote) = if addr.is_local_to(loc) {
                     (pipelined, false)
@@ -710,112 +1300,109 @@ impl Engine {
                     // issuing thread does NOT migrate or wait.
                     (pipelined + self.cfg.hop_latency(loc, addr.nodelet), true)
                 };
-                self.q.schedule(
+                self.send(
+                    addr.nodelet,
                     arrive,
                     Event::ChannelWrite {
-                        nodelet: addr.nodelet,
                         bytes,
                         atomic,
                         from_remote: remote,
                     },
                 );
                 // The thread continues once the store clears its pipeline.
-                self.q.schedule(pipelined, Event::Ready(tid));
+                self.send(loc, pipelined, Event::Ready(t));
             }
             Op::MigrateTo { nodelet } => {
                 if nodelet == loc {
                     // Degenerate self-migration: costs one issue.
-                    let grant = self.core_offer(
-                        loc.idx(),
-                        now,
-                        self.cfg.cycles(costs.migrate_issue_cycles),
-                    );
-                    self.q.schedule(grant.done, Event::Ready(tid));
+                    let grant = self.core_offer(now, self.cfg.cycles(costs.migrate_issue_cycles));
+                    self.send(loc, grant.done, Event::Ready(t));
                 } else {
-                    self.start_migration(tid, nodelet, None, now);
+                    self.start_migration(t, nodelet, None, now);
                 }
             }
             Op::Spawn { kernel, place } => {
-                let grant =
-                    self.core_offer(loc.idx(), now, self.cfg.cycles(costs.spawn_issue_cycles));
+                let grant = self.core_offer(now, self.cfg.cycles(costs.spawn_issue_cycles));
                 match place {
-                    Placement::Here => {
-                        let child = self.alloc_thread(kernel, loc, loc);
-                        self.nodelets[loc.idx()].counters.spawns += 1;
-                        self.emit(now, loc, Some(child), TraceKind::Spawn);
-                        self.q
-                            .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
-                    }
+                    Placement::Here => self.spawn_local(kernel, loc, grant.done, now),
                     Placement::On(target) if target == loc => {
                         // "Remote" spawn onto the current nodelet is just
                         // a local spawn — no engine traffic.
-                        let child = self.alloc_thread(kernel, loc, loc);
-                        self.nodelets[loc.idx()].counters.spawns += 1;
-                        self.emit(now, loc, Some(child), TraceKind::Spawn);
-                        self.q
-                            .schedule(grant.done + costs.spawn_local_latency, Event::Arrive(child));
+                        self.spawn_local(kernel, loc, grant.done, now);
                     }
                     Placement::On(target) => {
                         // A remote spawn ships the newborn context through
                         // the local migration engine, exactly like a
                         // migration; the child's home (stack) is the target.
-                        let child = self.alloc_thread(kernel, loc, target);
-                        self.nodelets[target.idx()].counters.spawns += 1;
-                        self.emit(now, target, Some(child), TraceKind::Spawn);
-                        self.threads[child.idx()].dest = target;
-                        self.threads[child.idx()].in_flight_migration = true;
-                        self.threads[child.idx()].mig_issue_at = grant.done;
-                        self.threads[child.idx()].migrations += 1;
-                        self.nodelets[loc.idx()].counters.migrations_out += 1;
-                        self.emit(now, loc, Some(child), TraceKind::MigrateOut);
-                        self.q.schedule(grant.done, Event::MigrateOut(child));
+                        let mut child = self.alloc_thread(kernel, loc, target);
+                        child.newborn = true;
+                        child.dest = target;
+                        child.in_flight_migration = true;
+                        child.mig_issue_at = grant.done;
+                        child.migrations = 1;
+                        self.s.nl.counters.migrations_out += 1;
+                        let ctid = child.tid;
+                        self.emit(now, loc, Some(ctid), TraceKind::MigrateOut);
+                        self.send(loc, grant.done, Event::MigrateOut(child));
                     }
                 }
                 // The parent resumes after the spawn clears its pipeline.
                 let resume = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
-                self.q.schedule(resume, Event::Ready(tid));
+                self.send(loc, resume, Event::Ready(t));
             }
             Op::Quit => {
-                let t = &mut self.threads[tid.idx()];
-                t.done = true;
                 t.kernel = None;
-                let migrations = t.migrations;
-                self.migs_per_thread.record(migrations as f64);
-                self.live -= 1;
-                self.free_tids.push(tid.0);
-                self.emit(now, loc, Some(tid), TraceKind::Quit);
-                self.q.schedule(now, Event::SlotRelease(loc));
+                self.s.migs_per_thread.record(t.migrations as f64);
+                self.s.live -= 1;
+                self.emit(now, loc, Some(t.tid), TraceKind::Quit);
+                self.send(loc, now, Event::SlotRelease);
             }
         }
     }
 
-    /// Issue a migration of `tid` toward `dest`; `resume` (if any) is
+    /// Spawn a child on this nodelet; it arrives after the local spawn
+    /// latency past the issuing grant.
+    fn spawn_local(&mut self, kernel: Box<dyn Kernel>, loc: NodeletId, done: Time, now: Time) {
+        let child = self.alloc_thread(kernel, loc, loc);
+        self.s.nl.counters.spawns += 1;
+        self.emit(now, loc, Some(child.tid), TraceKind::Spawn);
+        let latency = self.cfg.costs.spawn_local_latency;
+        self.send(loc, done + latency, Event::Arrive(child));
+    }
+
+    fn begin(&mut self, t: &mut Thread, kind: OpKind, now: Time) {
+        t.op_started = now;
+        t.op_kind = kind;
+    }
+
+    /// Issue a migration of `t` toward `dest`; `resume` (if any) is
     /// re-executed on arrival.
-    fn start_migration(&mut self, tid: ThreadId, dest: NodeletId, resume: Option<Op>, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
+    fn start_migration(
+        &mut self,
+        mut t: Box<Thread>,
+        dest: NodeletId,
+        resume: Option<Op>,
+        now: Time,
+    ) {
+        let loc = t.loc;
         debug_assert_ne!(loc, dest, "migration to current nodelet");
-        let grant = self.core_offer(
-            loc.idx(),
-            now,
-            self.cfg.cycles(self.cfg.costs.migrate_issue_cycles),
-        );
-        let t = &mut self.threads[tid.idx()];
+        let grant = self.core_offer(now, self.cfg.cycles(self.cfg.costs.migrate_issue_cycles));
         t.resume = resume;
         t.dest = dest;
         t.in_flight_migration = true;
         t.mig_issue_at = grant.done;
         t.migrations += 1;
-        self.nodelets[loc.idx()].counters.migrations_out += 1;
-        self.emit(now, loc, Some(tid), TraceKind::MigrateOut);
+        self.s.nl.counters.migrations_out += 1;
+        self.emit(now, loc, Some(t.tid), TraceKind::MigrateOut);
         // The context departs the core at grant.done: its slot frees and
         // it enters the migration engine.
-        self.q.schedule(grant.done, Event::SlotRelease(loc));
-        self.q.schedule(grant.done, Event::MigrateOut(tid));
+        self.send(loc, grant.done, Event::SlotRelease);
+        self.send(loc, grant.done, Event::MigrateOut(t));
     }
 
-    fn on_migrate_out(&mut self, tid: ThreadId, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
-        let dest = self.threads[tid.idx()].dest;
+    fn on_migrate_out(&mut self, mut t: Box<Thread>, now: Time) {
+        let loc = t.loc;
+        let dest = t.dest;
         let faults = &self.cfg.faults;
         if faults.mig_nack_prob > 0.0 {
             let (prob, backoff, budget) = (
@@ -826,136 +1413,149 @@ impl Engine {
             if self.fdraw() < prob {
                 // The engine refuses the context: back off exponentially
                 // (capped at 64x) and retry, up to the budget.
-                self.nodelets[loc.idx()].counters.mig_nacks += 1;
-                self.emit(now, loc, Some(tid), TraceKind::MigNack);
-                let attempts = self.threads[tid.idx()].mig_attempts;
+                self.s.nl.counters.mig_nacks += 1;
+                self.emit(now, loc, Some(t.tid), TraceKind::MigNack);
+                let attempts = t.mig_attempts;
                 if attempts >= budget {
+                    let thread = t.tid;
                     self.fail(SimError::RetryBudgetExhausted {
-                        thread: tid,
+                        thread,
                         nodelet: loc,
                         retries: attempts,
                     });
                     return;
                 }
-                self.threads[tid.idx()].mig_attempts = attempts + 1;
-                self.nodelets[loc.idx()].counters.mig_retries += 1;
-                self.emit(now, loc, Some(tid), TraceKind::MigRetry);
+                t.mig_attempts = attempts + 1;
+                self.s.nl.counters.mig_retries += 1;
+                self.emit(now, loc, Some(t.tid), TraceKind::MigRetry);
                 let delay = backoff * (1u64 << attempts.min(6));
-                self.q.schedule(now + delay, Event::MigrateOut(tid));
+                self.send(loc, now + delay, Event::MigrateOut(t));
                 return;
             }
         }
-        self.threads[tid.idx()].mig_attempts = 0;
-        let service = self.scaled(loc.idx(), self.cfg.migration_service());
-        let grant = self.nodelets[loc.idx()].mig_engine.offer(now, service);
-        self.trace_migration(loc.idx(), grant);
+        t.mig_attempts = 0;
+        let service = self.scaled(self.cfg.migration_service());
+        let grant = self.s.nl.mig_engine.offer(now, service);
+        self.trace_migration(grant);
         if loc.same_node(dest, self.cfg.nodelets_per_node) {
             let arrival = grant.done + self.cfg.hop_latency(loc, dest);
-            self.threads[tid.idx()].loc = dest;
-            self.q.schedule(arrival, Event::Arrive(tid));
+            t.loc = dest;
+            self.send(dest, arrival, Event::Arrive(t));
         } else {
             // Cross-node: after the engine, the context crosses the
             // RapidIO fabric, a shared per-node link.
-            self.q.schedule(grant.done, Event::LinkSend(tid));
+            self.send(loc, grant.done, Event::LinkSend(t));
         }
     }
 
-    fn on_link_send(&mut self, tid: ThreadId, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
-        let dest = self.threads[tid.idx()].dest;
-        let node = loc.node(self.cfg.nodelets_per_node) as usize;
+    fn on_link_send(&mut self, mut t: Box<Thread>, now: Time) {
+        let loc = t.loc;
         let faults = &self.cfg.faults;
         if faults.link_drop_prob > 0.0 {
             let (prob, budget) = (faults.link_drop_prob, faults.link_retry_budget);
             if self.fdraw() < prob {
                 // Packet lost on the fabric: detected after a round-trip
-                // hop and retransmitted, up to the budget.
-                self.nodelets[loc.idx()].counters.link_retransmits += 1;
-                self.emit(now, loc, Some(tid), TraceKind::LinkRetransmit);
-                let attempts = self.threads[tid.idx()].link_attempts;
+                // hop and retransmitted, up to the budget. Attributed to
+                // the (alive, sending) nodelet.
+                self.s.nl.counters.link_retransmits += 1;
+                self.emit(now, loc, Some(t.tid), TraceKind::LinkRetransmit);
+                let attempts = t.link_attempts;
                 if attempts >= budget {
+                    let thread = t.tid;
                     self.fail(SimError::RetryBudgetExhausted {
-                        thread: tid,
+                        thread,
                         nodelet: loc,
                         retries: attempts,
                     });
                     return;
                 }
-                self.threads[tid.idx()].link_attempts = attempts + 1;
-                self.q
-                    .schedule(now + self.cfg.inter_node_hop * 2, Event::LinkSend(tid));
+                t.link_attempts = attempts + 1;
+                let retry = now + self.cfg.inter_node_hop * 2;
+                self.send(loc, retry, Event::LinkSend(t));
                 return;
             }
         }
-        self.threads[tid.idx()].link_attempts = 0;
-        let delivered = self.links[node].send(now, self.cfg.context_bytes as u64);
+        t.link_attempts = 0;
+        // The node's RapidIO interface lives on its head nodelet; a
+        // packet from any other nodelet first hops there on the fabric.
+        let head = NodeletId(loc.node(self.cfg.nodelets_per_node) * self.cfg.nodelets_per_node);
+        if head == loc {
+            self.send(loc, now, Event::LinkTransit(t));
+        } else {
+            let at = now + self.cfg.intra_node_hop;
+            self.send(head, at, Event::LinkTransit(t));
+        }
+    }
+
+    fn on_link_transit(&mut self, mut t: Box<Thread>, now: Time) {
+        debug_assert!(
+            self.s.link.is_some(),
+            "LinkTransit routed to a non-head nodelet"
+        );
+        let dest = t.dest;
+        let bytes = self.cfg.context_bytes as u64;
+        let delivered = self
+            .s
+            .link
+            .as_mut()
+            .map(|l| l.send(now, bytes))
+            .unwrap_or(now);
         let arrival = delivered + self.cfg.inter_node_hop;
-        self.threads[tid.idx()].loc = dest;
-        self.q.schedule(arrival, Event::Arrive(tid));
+        t.loc = dest;
+        self.send(dest, arrival, Event::Arrive(t));
     }
 
-    fn on_channel_read(&mut self, tid: ThreadId, bytes: u32, now: Time) {
-        let loc = self.threads[tid.idx()].loc;
-        let service = self.channel_service_faulted(loc.idx(), bytes, Time::ZERO, now);
-        let nl = &mut self.nodelets[loc.idx()];
-        let grant = nl.channel.offer(now, service);
-        nl.counters.local_loads += 1;
-        nl.counters.bytes_loaded += bytes as u64;
-        self.emit(now, loc, Some(tid), TraceKind::LocalLoad);
-        self.trace_channel(loc.idx(), grant);
-        self.q
-            .schedule(grant.done + self.cfg.dram_latency, Event::Ready(tid));
+    fn on_channel_read(&mut self, t: Box<Thread>, bytes: u32, now: Time) {
+        let loc = t.loc;
+        let service = self.channel_service_faulted(bytes, Time::ZERO, now);
+        let s = &mut *self.s;
+        let grant = s.nl.channel.offer(now, service);
+        s.nl.counters.local_loads += 1;
+        s.nl.counters.bytes_loaded += bytes as u64;
+        self.emit(now, loc, Some(t.tid), TraceKind::LocalLoad);
+        self.trace_channel(grant);
+        let done = grant.done + self.cfg.dram_latency;
+        self.send(loc, done, Event::Ready(t));
     }
 
-    /// Channel service time for one access on `nodelet`, including the
-    /// slowdown factor and (probabilistically) an ECC-style retry.
-    fn channel_service_faulted(
-        &mut self,
-        nodelet: usize,
-        bytes: u32,
-        extra: Time,
-        now: Time,
-    ) -> Time {
-        let mut service = self.scaled(nodelet, self.cfg.channel_service(bytes) + extra);
+    /// Channel service time for one access on this nodelet, including
+    /// the slowdown factor and (probabilistically) an ECC-style retry.
+    fn channel_service_faulted(&mut self, bytes: u32, extra: Time, now: Time) -> Time {
+        let mut service = self.scaled(self.cfg.channel_service(bytes) + extra);
         let faults = &self.cfg.faults;
         if faults.ecc_prob > 0.0 {
             let (prob, latency) = (faults.ecc_prob, faults.ecc_latency);
             if self.fdraw() < prob {
                 // Correctable error: the access occupies the channel for
                 // one extra scrub-and-retry.
-                self.nodelets[nodelet].counters.ecc_retries += 1;
-                self.emit(now, NodeletId(nodelet as u32), None, TraceKind::EccRetry);
+                self.s.nl.counters.ecc_retries += 1;
+                let here = self.here();
+                self.emit(now, here, None, TraceKind::EccRetry);
                 service += latency;
             }
         }
         service
     }
 
-    fn on_channel_write(
-        &mut self,
-        nodelet: NodeletId,
-        bytes: u32,
-        atomic: bool,
-        from_remote: bool,
-        now: Time,
-    ) {
+    fn on_channel_write(&mut self, bytes: u32, atomic: bool, from_remote: bool, now: Time) {
+        let nodelet = self.here();
         let extra = if atomic {
             self.cfg.costs.atomic_extra
         } else {
             Time::ZERO
         };
-        let service = self.channel_service_faulted(nodelet.idx(), bytes, extra, now);
-        let nl = &mut self.nodelets[nodelet.idx()];
-        let grant = nl.channel.offer(now, service);
+        let service = self.channel_service_faulted(bytes, extra, now);
+        let s = &mut *self.s;
+        let grant = s.nl.channel.offer(now, service);
         if atomic {
-            nl.counters.atomics += 1;
+            s.nl.counters.atomics += 1;
         } else {
-            nl.counters.local_stores += 1;
+            s.nl.counters.local_stores += 1;
         }
         if from_remote {
-            nl.counters.remote_packets_in += 1;
+            s.nl.counters.remote_packets_in += 1;
         }
-        nl.counters.bytes_stored += bytes as u64;
+        s.nl.counters.bytes_stored += bytes as u64;
         // Posted packets are detached from their issuing thread by the
         // time they reach the channel, so these events carry no tid.
         let kind = if atomic {
@@ -967,55 +1567,7 @@ impl Engine {
         if from_remote {
             self.emit(now, nodelet, None, TraceKind::RemotePacket);
         }
-        self.trace_channel(nodelet.idx(), grant);
-    }
-
-    fn into_report(self) -> RunReport {
-        let makespan = self.q.now();
-        let occupancy = self
-            .nodelets
-            .iter()
-            .map(|n| NodeletOccupancy {
-                core_busy: n.cores.busy_time(),
-                channel_busy: n.channel.busy_time(),
-                migration_busy: n.mig_engine.busy_time(),
-                channel_mean_wait: n.channel.mean_wait(),
-                migration_mean_wait: n.mig_engine.mean_wait(),
-            })
-            .collect();
-        let breakdown = self.breakdown;
-        let timelines = self.trace.map(|mut t| {
-            // Account the final plateau of every gauge out to the end of
-            // the run, so trailing idle/resident time is not lost.
-            for g in t.queue_depth.iter_mut().chain(t.live_threads.iter_mut()) {
-                g.finish(makespan);
-            }
-            RunTimelines {
-                bucket: t
-                    .core
-                    .first()
-                    .map(Timeline::bucket)
-                    .unwrap_or(Time::from_us(1)),
-                core: t.core,
-                channel: t.channel,
-                migration: t.migration,
-                queue_depth: t.queue_depth,
-                live_threads: t.live_threads,
-            }
-        });
-        RunReport {
-            makespan,
-            nodelets: self.nodelets.into_iter().map(|n| n.counters).collect(),
-            occupancy,
-            gcs_per_nodelet: self.cfg.gcs_per_nodelet,
-            threads: self.spawned,
-            events: self.events,
-            migration_latency: self.mig_latency,
-            migrations_per_thread: self.migs_per_thread,
-            timelines,
-            breakdown,
-            trace: self.recorder.map(TraceRecorder::into_log),
-        }
+        self.trace_channel(grant);
     }
 }
 
@@ -1674,5 +2226,138 @@ mod tests {
             format!("{:?}", base.nodelets),
             format!("{:?}", zero.nodelets)
         );
+    }
+
+    // ---- sharded scheduler (PDES) ----
+
+    /// A faulted, traced, timelined multi-node workload; the strongest
+    /// worker-count-invariance check we can express in one test.
+    fn pdes_workload(cfg: MachineConfig, sim_threads: usize) -> RunReport {
+        let mut e = Engine::new(cfg).unwrap();
+        e.set_sim_threads(sim_threads);
+        e.enable_trace(1 << 14);
+        e.enable_timeline(Time::from_us(1)).unwrap();
+        for n in 0..4u32 {
+            let mut ops = Vec::new();
+            for i in 0..6u32 {
+                ops.push(Op::Load {
+                    addr: GlobalAddr::new(nl((n * 13 + i * 7) % 64), (i as u64) * 8),
+                    bytes: 8,
+                });
+                ops.push(Op::Store {
+                    addr: GlobalAddr::new(nl((n * 5 + i * 11) % 64), 0),
+                    bytes: 8,
+                });
+            }
+            ops.push(Op::Spawn {
+                kernel: Box::new(ScriptKernel::new(vec![Op::AtomicAdd {
+                    addr: GlobalAddr::new(nl(63 - n), 0),
+                    bytes: 8,
+                }])),
+                place: Placement::On(nl((n * 16 + 3) % 64)),
+            });
+            e.spawn_at(nl(n * 16), Box::new(ScriptKernel::new(ops)))
+                .unwrap();
+        }
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn worker_counts_produce_identical_reports() {
+        let mut cfg = presets::emu64_full_speed();
+        cfg.faults.mig_nack_prob = 0.2;
+        cfg.faults.mig_retry_budget = 64;
+        cfg.faults.ecc_prob = 0.1;
+        cfg.faults.seed = 42;
+        let one = pdes_workload(cfg.clone(), 1);
+        let two = pdes_workload(cfg.clone(), 2);
+        let four = pdes_workload(cfg.clone(), 4);
+        let many = pdes_workload(cfg, 999);
+        let dump = |r: &RunReport| format!("{r:?}");
+        assert_eq!(dump(&one), dump(&two));
+        assert_eq!(dump(&one), dump(&four));
+        assert_eq!(dump(&one), dump(&many));
+        // And the run actually crossed shards and epochs.
+        assert!(one.pdes.epochs > 0);
+        assert!(one.pdes.mailbox_sent > 0);
+        assert_eq!(one.pdes.mailbox_sent, one.pdes.mailbox_delivered);
+    }
+
+    #[test]
+    fn pdes_summary_reports_conservative_lookahead() {
+        let cfg = presets::chick_prototype();
+        let intra = cfg.intra_node_hop;
+        let r = pdes_workload_chick(cfg);
+        assert_eq!(r.pdes.shards, 8);
+        assert_eq!(r.pdes.lookahead_ps, intra.ps());
+        assert!(r.pdes.epochs >= 1);
+        assert_eq!(r.pdes.mailbox_sent, r.pdes.mailbox_delivered);
+        assert!(
+            r.pdes.min_cross_delay_ps >= r.pdes.lookahead_ps,
+            "cross-shard delay {} fell below the lookahead {}",
+            r.pdes.min_cross_delay_ps,
+            r.pdes.lookahead_ps
+        );
+    }
+
+    fn pdes_workload_chick(cfg: MachineConfig) -> RunReport {
+        let mut e = Engine::new(cfg).unwrap();
+        e.set_sim_threads(2);
+        e.spawn_at(nl(0), Box::new(ScriptKernel::new(busy_script())))
+            .unwrap();
+        e.run().unwrap()
+    }
+
+    #[test]
+    fn single_nodelet_machine_uses_max_lookahead() {
+        let mut cfg = presets::chick_prototype();
+        cfg.nodes = 1;
+        cfg.nodelets_per_node = 1;
+        cfg.faults = FaultPlan::none();
+        let mut e = Engine::new(cfg).unwrap();
+        assert_eq!(e.lookahead(), Time::MAX);
+        e.set_sim_threads(4);
+        e.spawn_at(
+            nl(0),
+            Box::new(ScriptKernel::new(vec![
+                Op::Compute { cycles: 10 },
+                Op::Load {
+                    addr: GlobalAddr::new(nl(0), 0),
+                    bytes: 8,
+                },
+            ])),
+        )
+        .unwrap();
+        let r = e.run().unwrap();
+        assert_eq!(r.pdes.shards, 1);
+        assert_eq!(r.pdes.lookahead_ps, Time::MAX.ps());
+        // Everything fits in one (unbounded) window.
+        assert_eq!(r.pdes.epochs, 1);
+        assert_eq!(r.pdes.mailbox_sent, 0);
+        assert_eq!(r.pdes.min_cross_delay_ps, u64::MAX);
+    }
+
+    #[test]
+    fn errors_are_worker_count_invariant() {
+        let run_with = |w: usize| {
+            let mut cfg = presets::chick_prototype();
+            cfg.faults.mig_nack_prob = 1.0;
+            cfg.faults.mig_retry_budget = 3;
+            let mut e = Engine::new(cfg).unwrap();
+            e.set_sim_threads(w);
+            for n in 0..4u32 {
+                e.spawn_at(
+                    nl(n),
+                    Box::new(ScriptKernel::new(vec![Op::MigrateTo {
+                        nodelet: nl((n + 1) % 8),
+                    }])),
+                )
+                .unwrap();
+            }
+            format!("{:?}", e.run().err().unwrap())
+        };
+        let one = run_with(1);
+        assert_eq!(one, run_with(2));
+        assert_eq!(one, run_with(4));
     }
 }

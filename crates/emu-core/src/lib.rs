@@ -78,7 +78,7 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::fault::{FaultPlan, SimError};
     pub use crate::kernel::{Kernel, KernelCtx, Op, Placement, ScriptKernel, ThreadId};
-    pub use crate::metrics::{FaultTotals, NodeletCounters, RunReport};
+    pub use crate::metrics::{FaultTotals, NodeletCounters, PdesSummary, RunReport};
     pub use crate::presets;
     pub use crate::spawn::{root_kernel, SpawnStrategy, WorkerFactory};
     pub use crate::trace::{TelemetryConfig, TraceEvent, TraceKind, TraceLog};

@@ -124,6 +124,39 @@ pub struct RunReport {
     /// Structured event log, when event tracing was enabled
     /// (see [`crate::engine::Engine::enable_trace`]).
     pub trace: Option<crate::trace::TraceLog>,
+    /// How the sharded scheduler ran. Worker-count-invariant by
+    /// construction: the same config yields the same summary whether
+    /// the run used one worker or many.
+    pub pdes: PdesSummary,
+}
+
+/// Summary of the conservative parallel scheduler for one run.
+///
+/// Every field is a function of the configuration and workload alone —
+/// not of the worker count — because shards, lookahead, and the epoch
+/// schedule are decided before any worker starts, and mailbox traffic
+/// is the deterministic cross-shard event stream. The audit leans on
+/// this: any worker-count-dependent value here is a scheduler bug.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PdesSummary {
+    /// Number of nodelet shards (always the total nodelet count).
+    pub shards: u64,
+    /// Conservative lookahead window in picoseconds: the minimum
+    /// latency any cross-shard interaction can incur. `Time::MAX.ps()`
+    /// when the machine has a single shard (no cross-shard path).
+    pub lookahead_ps: u64,
+    /// Epoch barriers crossed. Zero when the run used the merged
+    /// fallback scheduler (zero lookahead leaves no window to exploit).
+    pub epochs: u64,
+    /// Cross-shard events posted to mailboxes.
+    pub mailbox_sent: u64,
+    /// Cross-shard events delivered out of mailboxes.
+    pub mailbox_delivered: u64,
+    /// Smallest cross-shard scheduling delay observed, in picoseconds.
+    /// `u64::MAX` when no cross-shard event occurred. Must never fall
+    /// below `lookahead_ps` — that would falsify the conservatism the
+    /// epoch windows rely on.
+    pub min_cross_delay_ps: u64,
 }
 
 impl RunReport {
@@ -251,6 +284,7 @@ mod tests {
             timelines: None,
             breakdown: crate::engine::TimeBreakdown::default(),
             trace: None,
+            pdes: PdesSummary::default(),
         }
     }
 
