@@ -27,6 +27,14 @@ fn run(args: &[String]) -> Result<(), String> {
         println!("{}", cli::USAGE);
         return Ok(());
     }
+    // The daemon subcommands have their own flag grammar and exit
+    // codes; hand them to the simd crate before the bench parser.
+    if matches!(
+        args[0].as_str(),
+        "serve" | "client" | "once" | "simd-once" | "simd-bench"
+    ) {
+        std::process::exit(simd::dispatch(args));
+    }
     let mut p = cli::parse(args)?;
     // `--jobs` is accepted by every command (sweep worker threads; single
     // runs just ignore the pool size). Applied before dispatch so any

@@ -156,6 +156,15 @@ COMMANDS
             chase; writes pdes_speedup.json under the results dir;
             --gate true exits 1 if the sharded run is slower)
   presets   list machine presets
+  serve     resident simulation daemon: warm engine pool behind a
+            TCP/JSONL protocol (EMU_SIMD_* env knobs; see
+            EXPERIMENTS.md \"Simulation as a service\")
+  client    submit runs/sweeps to a daemon   --addr H:P --threads A,B,C
+            --elems N --requests N --health --shutdown --out F
+            (retries busy rejections with seeded jittered backoff)
+  simd-once execute one request line from stdin on a cold engine
+  simd-bench  warm-pool vs cold-process service benchmark; writes
+            BENCH_simd.json   --requests N --workers N --gate [MIN]
   help      this text
 
 GLOBAL OPTIONS

@@ -60,7 +60,9 @@ pub enum OpSpec {
 }
 
 impl OpSpec {
-    fn to_op(&self, total: u32) -> Op {
+    /// Lower this spec to a concrete engine [`Op`] on a machine of
+    /// `total` nodelets (targets are taken modulo `total`).
+    pub fn to_op(&self, total: u32) -> Op {
         let node = |n: u32| NodeletId(n % total);
         match *self {
             OpSpec::Load { nodelet, bytes } => Op::Load {
@@ -217,22 +219,30 @@ fn gen_ops(rng: &mut Rng64, total: u32) -> Vec<OpSpec> {
 /// reconciliation always applies.
 const TRACE_CAP: usize = 1 << 16;
 
+/// Seed `engine` (built from — or reset to — `case.cfg`) with one
+/// [`ScriptKernel`] per thread script. Shared by the lockstep runner and
+/// the `simd` daemon, which replays cases on warm engines.
+pub fn seed_case(engine: &mut Engine, case: &FuzzCase) -> Result<(), SimError> {
+    let total = engine.cfg().total_nodelets();
+    for t in &case.threads {
+        let ops: Vec<Op> = t.ops.iter().map(|o| o.to_op(total)).collect();
+        engine.spawn_at(NodeletId(t.start % total), Box::new(ScriptKernel::new(ops)))?;
+    }
+    Ok(())
+}
+
 fn run_once(
     case: &FuzzCase,
     reference_queue: bool,
     sim_threads: usize,
 ) -> Result<RunReport, SimError> {
-    let total = case.cfg.total_nodelets();
     let mut e = Engine::new(case.cfg.clone())?;
     if reference_queue {
         e.use_reference_queue();
     }
     e.set_sim_threads(sim_threads);
     e.enable_trace(TRACE_CAP);
-    for t in &case.threads {
-        let ops: Vec<Op> = t.ops.iter().map(|o| o.to_op(total)).collect();
-        e.spawn_at(NodeletId(t.start % total), Box::new(ScriptKernel::new(ops)))?;
-    }
+    seed_case(&mut e, case)?;
     e.run()
 }
 

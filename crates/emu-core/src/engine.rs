@@ -67,8 +67,8 @@ use desim::stats::{LogHistogram, Summary};
 use desim::time::Time;
 use desim::timeline::{Gauge, Timeline};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Process-global default worker count for [`Engine::run`]; `0` means
 /// "not yet resolved" (falls back to `EMU_SIM_THREADS`, then 1).
@@ -291,8 +291,14 @@ struct WorkerSlot {
     next: Option<Time>,
 }
 
+/// A cooperative cancellation flag paired with the wall-clock deadline
+/// (in milliseconds) it stands for — see [`Engine::set_cancel`].
+type Cancel = (Arc<AtomicBool>, u64);
+
 /// The Emu machine simulator. Construct, seed initial threadlets with
-/// [`Engine::spawn_at`], then [`Engine::run`] to completion.
+/// [`Engine::spawn_at`], then [`Engine::run`] to completion — or keep
+/// the engine warm across runs with [`Engine::run_once`] +
+/// [`Engine::reset`].
 pub struct Engine {
     cfg: MachineConfig,
     shards: Vec<Shard>,
@@ -306,6 +312,14 @@ pub struct Engine {
     sim_threads: Option<usize>,
     /// Ring capacity for the merged trace (0 when tracing is off).
     trace_capacity: usize,
+    /// Timeline bucket width, remembered so [`Engine::reset`] can re-arm
+    /// the per-shard series ([`None`] when timelines are off).
+    timeline_bucket: Option<Time>,
+    /// Per-run event-cap override (takes precedence over the fault
+    /// plan's `max_events`; [`None`] defers to the plan).
+    event_cap: Option<u64>,
+    /// Cooperative wall-clock cancellation flag for the current run.
+    cancel: Option<Cancel>,
 }
 
 /// Per-nodelet time series of one run (present when
@@ -344,13 +358,41 @@ impl Engine {
             )));
         }
         let redirect = fault::redirect_map(&cfg.faults, cfg.total_nodelets())?;
+        let shards = Self::build_shards(&cfg);
+        let mut engine = Engine {
+            cfg,
+            shards,
+            redirect,
+            init_seq: 0,
+            sim_threads: None,
+            trace_capacity: 0,
+            timeline_bucket: None,
+            event_cap: None,
+            cancel: None,
+        };
+        // Benchmark runners build engines internally; the process-global
+        // telemetry config (see [`crate::trace::set_global`]) lets the
+        // harness trace them without plumbing flags through every runner.
+        let telemetry = trace::global();
+        if telemetry.event_capacity > 0 {
+            engine.enable_trace(telemetry.event_capacity);
+        }
+        if let Some(bucket) = telemetry.timeline_bucket {
+            engine.enable_timeline(bucket)?;
+        }
+        Ok(engine)
+    }
+
+    /// Fresh per-nodelet shards for `cfg` — the zero state every run
+    /// starts from, shared by [`Engine::new`] and [`Engine::reset`].
+    fn build_shards(cfg: &MachineConfig) -> Vec<Shard> {
         let n = cfg.total_nodelets() as usize;
         // Pending events and live contexts on a shard are both bounded
         // by its slot population (plus in-flight posted stores), so
         // sizing off the per-nodelet slots keeps steady-state scheduling
         // away from reallocation; the cap keeps tiny runs cheap.
         let reserve = (cfg.slots_per_nodelet() as usize).min(4096);
-        let shards = (0..n as u32)
+        (0..n as u32)
             .map(|id| Shard {
                 id,
                 q: EventQueue::with_capacity(reserve),
@@ -384,31 +426,63 @@ impl Engine {
                 now: Time::ZERO,
                 error: None,
             })
-            .collect();
-        let mut engine = Engine {
-            cfg,
-            shards,
-            redirect,
-            init_seq: 0,
-            sim_threads: None,
-            trace_capacity: 0,
-        };
-        // Benchmark runners build engines internally; the process-global
-        // telemetry config (see [`crate::trace::set_global`]) lets the
-        // harness trace them without plumbing flags through every runner.
-        let telemetry = trace::global();
-        if telemetry.event_capacity > 0 {
-            engine.enable_trace(telemetry.event_capacity);
-        }
-        if let Some(bucket) = telemetry.timeline_bucket {
-            engine.enable_timeline(bucket)?;
-        }
-        Ok(engine)
+            .collect()
     }
 
     /// The machine configuration this engine simulates.
     pub fn cfg(&self) -> &MachineConfig {
         &self.cfg
+    }
+
+    /// Return the engine to its just-constructed state so it can run
+    /// another workload: every shard is rebuilt from the configuration
+    /// (fresh queues, servers, counters, statistics), the pre-run spawn
+    /// sequence restarts at zero, and any per-run event cap or
+    /// cancellation flag is cleared. Trace/timeline settings and the
+    /// worker-count override survive. A reset engine is
+    /// indistinguishable from a cold [`Engine::new`] of the same
+    /// configuration — reports from warm reuse are byte-identical to
+    /// cold runs (the `simd` warm pool's safety invariant).
+    pub fn reset(&mut self) {
+        self.shards = Self::build_shards(&self.cfg);
+        self.init_seq = 0;
+        self.event_cap = None;
+        self.cancel = None;
+        let cap = self.trace_capacity;
+        if cap > 0 {
+            for s in &mut self.shards {
+                s.recorder = Some(TraceRecorder::new(cap));
+            }
+        }
+        if let Some(bucket) = self.timeline_bucket {
+            self.enable_timeline(bucket)
+                .expect("bucket was valid when first enabled");
+        }
+    }
+
+    /// Cap the next run at `cap` dispatched events, overriding the fault
+    /// plan's `max_events` watchdog. `Some(0)` and [`None`] both restore
+    /// the plan's own setting (0 there means uncapped). The cap trips as
+    /// [`SimError::EventCapExceeded`] — deterministic, unlike the
+    /// wall-clock deadline of [`Engine::set_cancel`].
+    pub fn set_event_cap(&mut self, cap: Option<u64>) {
+        self.event_cap = cap.filter(|&n| n > 0);
+    }
+
+    /// Arm cooperative wall-clock cancellation: the schedulers poll
+    /// `flag` every ~1k events and abort the run with
+    /// [`SimError::DeadlineExceeded`] (reporting `deadline_ms`) once it
+    /// reads `true`. The flag is typically set by an external timer
+    /// thread; the engine itself never measures wall time, so runs that
+    /// finish before the flag trips stay byte-identical to uncancelled
+    /// runs. Cleared by [`Engine::reset`] or [`Engine::clear_cancel`].
+    pub fn set_cancel(&mut self, flag: Arc<AtomicBool>, deadline_ms: u64) {
+        self.cancel = Some((flag, deadline_ms));
+    }
+
+    /// Disarm [`Engine::set_cancel`]'s cancellation flag.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = None;
     }
 
     /// Override the worker count for this engine's run (clamped to at
@@ -447,6 +521,7 @@ impl Engine {
         };
         let tl = Timeline::new(bucket).map_err(invalid)?;
         let gauge = Gauge::new(bucket).map_err(invalid)?;
+        self.timeline_bucket = Some(bucket);
         for s in &mut self.shards {
             s.tl = Some(ShardTl {
                 core: tl.clone(),
@@ -571,9 +646,25 @@ impl Engine {
     /// their retry budget, and [`SimError::MissingKernel`] on engine-state
     /// corruption.
     pub fn run(mut self) -> Result<RunReport, SimError> {
-        let cap = match self.cfg.faults.max_events {
-            0 => u64::MAX,
-            n => n,
+        self.run_once()
+    }
+
+    /// [`Engine::run`] for a borrowed engine: runs the seeded workload to
+    /// completion and assembles the report, leaving the engine drained.
+    /// Call [`Engine::reset`] before seeding and running it again — this
+    /// is the warm-reuse path (a reset engine skips allocation-heavy
+    /// construction but reports byte-identically to a cold one).
+    ///
+    /// # Errors
+    /// As [`Engine::run`], plus [`SimError::DeadlineExceeded`] when a
+    /// flag armed via [`Engine::set_cancel`] trips mid-run.
+    pub fn run_once(&mut self) -> Result<RunReport, SimError> {
+        let cap = match self.event_cap {
+            Some(n) => n,
+            None => match self.cfg.faults.max_events {
+                0 => u64::MAX,
+                n => n,
+            },
         };
         let lookahead = self.lookahead();
         let workers = self.sim_threads.unwrap_or_else(sim_threads).max(1);
@@ -604,6 +695,16 @@ impl Engine {
                 }
             }
             let Some((_, _, i)) = best else { break };
+            if total & 0x3FF == 0 {
+                if let Some((flag, ms)) = &self.cancel {
+                    if flag.load(Ordering::Relaxed) {
+                        let s = &mut self.shards[i];
+                        let e = SimError::DeadlineExceeded { deadline_ms: *ms };
+                        s.error = Some((s.now, s.cur_key, e));
+                        break;
+                    }
+                }
+            }
             let cfg = &self.cfg;
             let redirect = &self.redirect[..];
             let s = &mut self.shards[i];
@@ -669,7 +770,7 @@ impl Engine {
             let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
             epochs += 1;
             for s in &mut self.shards {
-                run_window(&self.cfg, &self.redirect, s, end, cap);
+                run_window(&self.cfg, &self.redirect, s, end, cap, self.cancel.as_ref());
             }
         }
         epochs
@@ -693,6 +794,7 @@ impl Engine {
         let epochs = AtomicU64::new(0);
         let cfg = &self.cfg;
         let redirect = &self.redirect[..];
+        let cancel = self.cancel.as_ref();
         std::thread::scope(|scope| {
             for (widx, my) in self.shards.chunks_mut(chunk).enumerate() {
                 let (slots, mailboxes, barrier, epochs) = (&slots, &mailboxes, &barrier, &epochs);
@@ -742,7 +844,7 @@ impl Engine {
                         }
                         // Window phase: drain own shards, post the mail.
                         for s in my.iter_mut() {
-                            run_window(cfg, redirect, s, end, cap);
+                            run_window(cfg, redirect, s, end, cap, cancel);
                             if !s.outbox.is_empty() {
                                 for m in s.outbox.drain(..) {
                                     mailboxes.post(m.dest as usize / chunk, [m]);
@@ -760,7 +862,7 @@ impl Engine {
     /// Post-run epilogue shared by all schedulers: surface the globally
     /// first error (by event `(time, key)`), then the watchdog verdicts,
     /// else assemble the report.
-    fn finish(mut self, cap: u64, lookahead: Time, epochs: u64) -> Result<RunReport, SimError> {
+    fn finish(&mut self, cap: u64, lookahead: Time, epochs: u64) -> Result<RunReport, SimError> {
         if let Some((_, _, e)) = self
             .shards
             .iter_mut()
@@ -786,7 +888,7 @@ impl Engine {
                 at,
             });
         }
-        let report = self.into_report(lookahead, epochs);
+        let report = self.take_report(lookahead, epochs);
         trace::offer_report(&report);
         Ok(report)
     }
@@ -822,30 +924,27 @@ impl Engine {
         })
     }
 
-    fn into_report(mut self, lookahead: Time, epochs: u64) -> RunReport {
+    fn take_report(&mut self, lookahead: Time, epochs: u64) -> RunReport {
         let trace = self.take_merged_trace();
-        let makespan = self
-            .shards
-            .iter()
-            .map(|s| s.now)
-            .max()
-            .unwrap_or(Time::ZERO);
+        // Drain the shards into the report; [`Engine::reset`] rebuilds
+        // them before the next warm run.
+        let shards = std::mem::take(&mut self.shards);
+        let makespan = shards.iter().map(|s| s.now).max().unwrap_or(Time::ZERO);
         let pdes = PdesSummary {
-            shards: self.shards.len() as u64,
+            shards: shards.len() as u64,
             lookahead_ps: lookahead.ps(),
             epochs,
-            mailbox_sent: self.shards.iter().map(|s| s.sent).sum(),
-            mailbox_delivered: self.shards.iter().map(|s| s.delivered).sum(),
-            min_cross_delay_ps: self
-                .shards
+            mailbox_sent: shards.iter().map(|s| s.sent).sum(),
+            mailbox_delivered: shards.iter().map(|s| s.delivered).sum(),
+            min_cross_delay_ps: shards
                 .iter()
                 .map(|s| s.min_cross_delay.ps())
                 .min()
                 .unwrap_or(u64::MAX),
         };
-        let has_tl = self.shards.first().is_some_and(|s| s.tl.is_some());
-        let mut nodelets = Vec::with_capacity(self.shards.len());
-        let mut occupancy = Vec::with_capacity(self.shards.len());
+        let has_tl = shards.first().is_some_and(|s| s.tl.is_some());
+        let mut nodelets = Vec::with_capacity(shards.len());
+        let mut occupancy = Vec::with_capacity(shards.len());
         let mut mig_latency = LogHistogram::new();
         let mut migs_per_thread = Summary::new();
         let mut breakdown = TimeBreakdown::default();
@@ -859,7 +958,7 @@ impl Engine {
             queue_depth: Vec::new(),
             live_threads: Vec::new(),
         });
-        for s in self.shards {
+        for s in shards {
             occupancy.push(NodeletOccupancy {
                 core_busy: s.nl.cores.busy_time(),
                 channel_busy: s.nl.channel.busy_time(),
@@ -906,10 +1005,24 @@ impl Engine {
 /// Drain one shard's events strictly below `end`. Conservatism
 /// guarantees no other shard can deliver an event below `end` while this
 /// runs, so the window needs no synchronization.
-fn run_window(cfg: &MachineConfig, redirect: &[u32], s: &mut Shard, end: Time, cap: u64) {
+fn run_window(
+    cfg: &MachineConfig,
+    redirect: &[u32],
+    s: &mut Shard,
+    end: Time,
+    cap: u64,
+    cancel: Option<&Cancel>,
+) {
     loop {
         if s.error.is_some() {
             break;
+        }
+        if let Some((flag, ms)) = cancel {
+            if s.events & 0x3FF == 0 && flag.load(Ordering::Relaxed) {
+                let e = SimError::DeadlineExceeded { deadline_ms: *ms };
+                s.error = Some((s.now, s.cur_key, e));
+                break;
+            }
         }
         let Some((at, _)) = s.q.peek_key() else { break };
         if at >= end {

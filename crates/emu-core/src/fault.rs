@@ -75,6 +75,14 @@ pub enum SimError {
         /// The configured cap.
         cap: u64,
     },
+    /// A cooperative wall-clock deadline expired mid-run (see
+    /// [`crate::engine::Engine::set_cancel`]). Unlike the deterministic
+    /// event cap, where the run stops depends on host speed — callers use
+    /// this as a typed timeout, not a reproducible simulation outcome.
+    DeadlineExceeded {
+        /// The wall-clock budget that expired, in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -110,6 +118,12 @@ impl fmt::Display for SimError {
             ),
             SimError::EventCapExceeded { cap } => {
                 write!(f, "watchdog: event cap of {cap} exceeded (livelock?)")
+            }
+            SimError::DeadlineExceeded { deadline_ms } => {
+                write!(
+                    f,
+                    "watchdog: wall-clock deadline of {deadline_ms} ms exceeded"
+                )
             }
         }
     }

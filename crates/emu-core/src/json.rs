@@ -1,0 +1,674 @@
+//! Hand-rolled JSON serialization of run reports (the workspace is
+//! dependency-free), shared by the bench harness and the `simd` daemon:
+//!
+//! * **machine-readable report JSON** ([`report_json`]) — the full
+//!   [`RunReport`] (counters, occupancy, breakdown, histograms);
+//! * **a JSONL event log** ([`trace_jsonl`]) — one object per trace
+//!   event, preceded by a meta line with the drop count;
+//! * **Chrome `trace_event` JSON** ([`chrome_trace`]) — loadable in
+//!   Perfetto / `chrome://tracing`, one process per nodelet with counter
+//!   tracks for core/channel/migration-engine occupancy plus the slot
+//!   gauges, and instant events for the structured trace.
+//!
+//! All serializers are pure functions of the report, so a deterministic
+//! simulation yields byte-identical artifacts — the property the `simd`
+//! warm pool's "warm responses equal cold responses" invariant is stated
+//! in terms of. [`json_ok`] is a minimal syntax validator used to
+//! sanity-check emitted documents without a JSON dependency.
+
+use crate::metrics::RunReport;
+use crate::trace::TraceKind;
+use desim::stats::{LogHistogram, Summary};
+use desim::timeline::{Gauge, Timeline};
+use std::fmt::Write as _;
+
+/// Escape `s` as the *contents* of a JSON string (no surrounding quotes).
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSON string literal (quoted and escaped).
+pub fn jstr(s: &str) -> String {
+    format!("\"{}\"", esc(s))
+}
+
+/// A JSON number from an `f64`; non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A JSON array of `f64` values (non-finite entries become `null`).
+pub fn jarr_f64(xs: &[f64]) -> String {
+    let items: Vec<String> = xs.iter().map(|&x| jnum(x)).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// A JSON array of `u64` values.
+pub fn jarr_u64(xs: &[u64]) -> String {
+    let items: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// Serialize a [`Summary`] as a JSON object.
+pub fn summary_json(s: &Summary) -> String {
+    format!(
+        "{{\"count\":{},\"mean\":{},\"min\":{},\"max\":{},\"stddev\":{}}}",
+        s.count(),
+        jnum(s.mean()),
+        jnum(s.min()),
+        jnum(s.max()),
+        jnum(s.stddev())
+    )
+}
+
+/// Serialize a [`LogHistogram`] as a JSON object (count, summary,
+/// quantiles, trimmed log2 buckets).
+pub fn histogram_json(h: &LogHistogram) -> String {
+    // Trim trailing empty log2 buckets; the index in the trimmed array
+    // still equals the bucket exponent.
+    let buckets = h.buckets();
+    let last = buckets.iter().rposition(|&c| c > 0).map_or(0, |i| i + 1);
+    format!(
+        "{{\"count\":{},\"summary_ns\":{},\"p50_ps\":{},\"p90_ps\":{},\"p99_ps\":{},\"log2_ps_buckets\":{}}}",
+        h.count(),
+        summary_json(h.summary()),
+        h.quantile(0.5).ps(),
+        h.quantile(0.9).ps(),
+        h.quantile(0.99).ps(),
+        jarr_u64(&buckets[..last])
+    )
+}
+
+fn gauge_series(g: &Gauge) -> (Vec<f64>, Vec<u64>) {
+    let means = g.means();
+    let peaks: Vec<u64> = (0..g.len()).map(|b| g.peak(b)).collect();
+    (means, peaks)
+}
+
+fn timeline_profile(t: &Timeline, capacity: u32) -> Vec<f64> {
+    t.profile(capacity)
+}
+
+/// Serialize one run's [`RunReport`] as a JSON object.
+pub fn report_json(label: &str, r: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"label\":{},\"makespan_ps\":{},\"threads\":{},\"events\":{},\"gcs_per_nodelet\":{}",
+        jstr(label),
+        r.makespan.ps(),
+        r.threads,
+        r.events,
+        r.gcs_per_nodelet
+    );
+    let ft = r.fault_totals();
+    let _ = write!(
+        out,
+        ",\"totals\":{{\"bytes\":{},\"spawns\":{},\"migrations\":{},\"nacks\":{},\"retries\":{},\"ecc_retries\":{},\"link_retransmits\":{},\"redirects\":{}}}",
+        r.total_bytes(),
+        r.total_spawns(),
+        r.total_migrations(),
+        ft.nacks,
+        ft.retries,
+        ft.ecc_retries,
+        ft.link_retransmits,
+        ft.redirects
+    );
+    let _ = write!(
+        out,
+        ",\"memory_bandwidth_mbs\":{},\"migration_rate_per_sec\":{},\"core_utilization\":{},\"channel_utilization\":{},\"channel_balance_cv\":{}",
+        jnum(r.memory_bandwidth().mb_per_sec()),
+        jnum(r.migration_rate()),
+        jnum(r.core_utilization()),
+        jnum(r.channel_utilization()),
+        jnum(r.channel_balance_cv())
+    );
+    let b = &r.breakdown;
+    let _ = write!(
+        out,
+        ",\"breakdown_ps\":{{\"compute\":{},\"memory\":{},\"migration\":{},\"store_issue\":{},\"spawn\":{}}}",
+        b.compute.ps(),
+        b.memory.ps(),
+        b.migration.ps(),
+        b.store_issue.ps(),
+        b.spawn.ps()
+    );
+    let _ = write!(
+        out,
+        ",\"migration_latency\":{},\"migrations_per_thread\":{}",
+        histogram_json(&r.migration_latency),
+        summary_json(&r.migrations_per_thread)
+    );
+    let p = &r.pdes;
+    let _ = write!(
+        out,
+        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{}}}",
+        p.shards,
+        p.lookahead_ps,
+        p.epochs,
+        p.mailbox_sent,
+        p.mailbox_delivered,
+        p.min_cross_delay_ps
+    );
+    out.push_str(",\"nodelets\":[");
+    for (i, (c, o)) in r.nodelets.iter().zip(&r.occupancy).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"spawns\":{},\"migrations_out\":{},\"migrations_in\":{},\"local_loads\":{},\"local_stores\":{},\"atomics\":{},\"remote_packets_in\":{},\"bytes_loaded\":{},\"bytes_stored\":{},\"slot_waits\":{},\"mig_nacks\":{},\"mig_retries\":{},\"ecc_retries\":{},\"link_retransmits\":{},\"redirects\":{},\"core_busy_ps\":{},\"channel_busy_ps\":{},\"migration_busy_ps\":{},\"channel_mean_wait_ps\":{},\"migration_mean_wait_ps\":{}}}",
+            c.spawns,
+            c.migrations_out,
+            c.migrations_in,
+            c.local_loads,
+            c.local_stores,
+            c.atomics,
+            c.remote_packets_in,
+            c.bytes_loaded,
+            c.bytes_stored,
+            c.slot_waits,
+            c.mig_nacks,
+            c.mig_retries,
+            c.ecc_retries,
+            c.link_retransmits,
+            c.redirects,
+            o.core_busy.ps(),
+            o.channel_busy.ps(),
+            o.migration_busy.ps(),
+            o.channel_mean_wait.ps(),
+            o.migration_mean_wait.ps()
+        );
+    }
+    out.push(']');
+    match &r.trace {
+        None => out.push_str(",\"trace\":null"),
+        Some(log) => {
+            let _ = write!(
+                out,
+                ",\"trace\":{{\"capacity\":{},\"dropped\":{},\"emitted\":{},\"events_by_kind\":{{",
+                log.capacity,
+                log.dropped,
+                log.emitted()
+            );
+            for (i, kind) in TraceKind::ALL.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", jstr(kind.name()), log.count_of(*kind));
+            }
+            out.push_str("}}");
+        }
+    }
+    match &r.timelines {
+        None => out.push_str(",\"timelines\":null"),
+        Some(tl) => {
+            let _ = write!(
+                out,
+                ",\"timelines\":{{\"bucket_ps\":{},\"nodelets\":[",
+                tl.bucket.ps()
+            );
+            for i in 0..tl.core.len() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let (qd_mean, qd_peak) = gauge_series(&tl.queue_depth[i]);
+                let (live_mean, live_peak) = gauge_series(&tl.live_threads[i]);
+                let _ = write!(
+                    out,
+                    "{{\"core_util\":{},\"channel_util\":{},\"migration_util\":{},\"queue_depth_mean\":{},\"queue_depth_peak\":{},\"live_threads_mean\":{},\"live_threads_peak\":{}}}",
+                    jarr_f64(&timeline_profile(&tl.core[i], r.gcs_per_nodelet)),
+                    jarr_f64(&timeline_profile(&tl.channel[i], 1)),
+                    jarr_f64(&timeline_profile(&tl.migration[i], 1)),
+                    jarr_f64(&qd_mean),
+                    jarr_u64(&qd_peak),
+                    jarr_f64(&live_mean),
+                    jarr_u64(&live_peak)
+                );
+            }
+            out.push_str("]}");
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// JSONL event log of one run: a meta line, then one line per retained
+/// trace event (`{"ts_ps":..,"nodelet":..,"thread":..,"kind":".."}`).
+/// Empty trace (tracing disabled) yields just the meta line.
+pub fn trace_jsonl(r: &RunReport) -> String {
+    let mut out = String::new();
+    let (cap, dropped, retained) = match &r.trace {
+        Some(log) => (log.capacity, log.dropped, log.events.len()),
+        None => (0, 0, 0),
+    };
+    let _ = writeln!(
+        out,
+        "{{\"meta\":{{\"makespan_ps\":{},\"threads\":{},\"capacity\":{},\"dropped\":{},\"retained\":{}}}}}",
+        r.makespan.ps(),
+        r.threads,
+        cap,
+        dropped,
+        retained
+    );
+    if let Some(log) = &r.trace {
+        for e in &log.events {
+            let thread = match e.thread {
+                Some(t) => t.0.to_string(),
+                None => "null".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "{{\"ts_ps\":{},\"nodelet\":{},\"thread\":{},\"kind\":{}}}",
+                e.at.ps(),
+                e.nodelet.0,
+                thread,
+                jstr(e.kind.name())
+            );
+        }
+    }
+    out
+}
+
+/// One Chrome `trace_event` entry shared by the helpers below.
+fn chrome_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push_str(",\n");
+    }
+    *first = false;
+    out.push_str(body);
+}
+
+/// Chrome `trace_event` JSON for one run, loadable in Perfetto or
+/// `chrome://tracing`. One process per nodelet; occupancy timelines and
+/// slot gauges become counter tracks, structured trace events become
+/// thread-scoped instants.
+pub fn chrome_trace(r: &RunReport) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let nodelets = r.nodelets.len();
+    for pid in 0..nodelets {
+        chrome_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"nodelet {pid}\"}}}}"
+            ),
+        );
+        chrome_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"sort_index\":{pid}}}}}"
+            ),
+        );
+        chrome_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":\"events\"}}}}"
+            ),
+        );
+    }
+    if let Some(tl) = &r.timelines {
+        let bucket_us = tl.bucket.us_f64();
+        for pid in 0..nodelets {
+            let series: [(&str, Vec<f64>); 5] = [
+                (
+                    "core occupancy",
+                    timeline_profile(&tl.core[pid], r.gcs_per_nodelet),
+                ),
+                ("channel occupancy", timeline_profile(&tl.channel[pid], 1)),
+                (
+                    "migration engine occupancy",
+                    timeline_profile(&tl.migration[pid], 1),
+                ),
+                ("slot queue depth", tl.queue_depth[pid].means()),
+                ("live threadlets", tl.live_threads[pid].means()),
+            ];
+            for (name, values) in &series {
+                for (b, v) in values.iter().enumerate() {
+                    chrome_event(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"{name}\",\"ph\":\"C\",\"pid\":{pid},\"tid\":0,\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                            jnum(b as f64 * bucket_us),
+                            jnum(*v)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if let Some(log) = &r.trace {
+        for e in &log.events {
+            let thread = match e.thread {
+                Some(t) => t.0.to_string(),
+                None => "null".to_string(),
+            };
+            chrome_event(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":{},\"cat\":\"emu\",\"ph\":\"i\",\"s\":\"t\",\"pid\":{},\"tid\":0,\"ts\":{},\"args\":{{\"thread\":{}}}}}",
+                    jstr(e.kind.name()),
+                    e.nodelet.0,
+                    jnum(e.at.us_f64()),
+                    thread
+                ),
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "\n],\"otherData\":{{\"makespan_ps\":{},\"threads\":{},\"dropped_events\":{}}}}}",
+        r.makespan.ps(),
+        r.threads,
+        r.trace.as_ref().map_or(0, |l| l.dropped)
+    );
+    out
+}
+
+// ---- minimal JSON syntax validator -------------------------------------
+
+struct JsonParser<'a> {
+    b: &'a [u8],
+    i: usize,
+    depth: u32,
+}
+
+impl<'a> JsonParser<'a> {
+    fn ws(&mut self) {
+        while let Some(&c) = self.b.get(self.i) {
+            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn lit(&mut self, s: &str) -> bool {
+        if self.b[self.i..].starts_with(s.as_bytes()) {
+            self.i += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> bool {
+        if !self.eat(b'"') {
+            return false;
+        }
+        while let Some(&c) = self.b.get(self.i) {
+            self.i += 1;
+            match c {
+                b'"' => return true,
+                b'\\' => {
+                    // Skip the escaped character (sufficient for a
+                    // syntax check of our own ASCII-escaped output).
+                    self.i += 1;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.i;
+        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        self.i - start
+    }
+
+    fn number(&mut self) -> bool {
+        let start = self.i;
+        self.eat(b'-');
+        if self.digits() == 0 {
+            self.i = start;
+            return false;
+        }
+        if self.eat(b'.') && self.digits() == 0 {
+            return false;
+        }
+        if (self.eat(b'e') || self.eat(b'E')) && {
+            let _ = self.eat(b'+') || self.eat(b'-');
+            self.digits() == 0
+        } {
+            return false;
+        }
+        true
+    }
+
+    fn value(&mut self) -> bool {
+        if self.depth > 128 {
+            return false;
+        }
+        self.ws();
+        match self.b.get(self.i) {
+            Some(b'{') => {
+                self.i += 1;
+                self.depth += 1;
+                self.ws();
+                if self.eat(b'}') {
+                    self.depth -= 1;
+                    return true;
+                }
+                // Key spans (raw bytes, quotes included) seen in this
+                // object, to reject duplicate keys: serializers that
+                // emit the same field twice produce JSON most readers
+                // silently last-write-wins on, which hides bugs.
+                let mut keys: Vec<&'a [u8]> = Vec::new();
+                loop {
+                    self.ws();
+                    let key_start = self.i;
+                    if !self.string() {
+                        return false;
+                    }
+                    let key = &self.b[key_start..self.i];
+                    if keys.contains(&key) {
+                        return false;
+                    }
+                    keys.push(key);
+                    self.ws();
+                    if !self.eat(b':') || !self.value() {
+                        return false;
+                    }
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    self.depth -= 1;
+                    return self.eat(b'}');
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                self.depth += 1;
+                self.ws();
+                if self.eat(b']') {
+                    self.depth -= 1;
+                    return true;
+                }
+                loop {
+                    if !self.value() {
+                        return false;
+                    }
+                    self.ws();
+                    if self.eat(b',') {
+                        continue;
+                    }
+                    self.depth -= 1;
+                    return self.eat(b']');
+                }
+            }
+            Some(b'"') => self.string(),
+            Some(b't') => self.lit("true"),
+            Some(b'f') => self.lit("false"),
+            Some(b'n') => self.lit("null"),
+            // JSON has no non-finite number literals; reject the
+            // spellings JavaScript/Python serializers leak before they
+            // reach the number parser's fallthrough.
+            Some(b'N') | Some(b'I') => false,
+            _ => self.number(),
+        }
+    }
+}
+
+/// Whether `s` is a single syntactically valid JSON document. A minimal
+/// recursive-descent check (no value construction, no dependency) used
+/// by tests and `simctl trace` to validate emitted artifacts.
+pub fn json_ok(s: &str) -> bool {
+    let mut p = JsonParser {
+        b: s.as_bytes(),
+        i: 0,
+        depth: 0,
+    };
+    if !p.value() {
+        return false;
+    }
+    p.ws();
+    p.i == p.b.len()
+}
+
+/// Whether every line of `s` is a valid JSON document (JSONL).
+pub fn jsonl_ok(s: &str) -> bool {
+    s.lines().all(json_ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_controls_and_quotes() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+        assert_eq!(jstr("hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn nonfinite_numbers_become_null() {
+        assert_eq!(jnum(1.5), "1.5");
+        assert_eq!(jnum(f64::NAN), "null");
+        assert_eq!(jnum(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn validator_accepts_valid_documents() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "-1.5e-3",
+            "[1,2,3]",
+            "{\"a\":[true,false,null],\"b\":{\"c\":\"d\\\"e\"}}",
+            "  { \"x\" : 1 }  ",
+        ] {
+            assert!(json_ok(ok), "should accept {ok:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[1 2]",
+            "1.",
+            "1e",
+            "1e+",
+        ] {
+            assert!(!json_ok(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_nonfinite_literals() {
+        for bad in [
+            "NaN",
+            "Infinity",
+            "-Infinity",
+            "[1,NaN]",
+            "{\"x\":Infinity}",
+            "{\"x\":-Infinity}",
+        ] {
+            assert!(!json_ok(bad), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_duplicate_object_keys() {
+        assert!(!json_ok("{\"a\":1,\"a\":2}"));
+        assert!(!json_ok("{\"a\":1,\"b\":{\"c\":1,\"c\":2}}"));
+        assert!(!json_ok("[{\"k\":1,\"k\":1}]"));
+        // Same key in sibling objects is fine.
+        assert!(json_ok("{\"a\":{\"k\":1},\"b\":{\"k\":2}}"));
+        assert!(json_ok("[{\"k\":1},{\"k\":2}]"));
+    }
+
+    #[test]
+    fn jsonl_validator_checks_every_line() {
+        assert!(jsonl_ok("{\"a\":1}\n{\"b\":2}\n"));
+        assert!(!jsonl_ok("{\"a\":1}\nnot json\n"));
+    }
+
+    #[test]
+    fn report_json_round_trips_the_validator() {
+        let engine = crate::engine::Engine::new(crate::presets::chick_prototype()).unwrap();
+        let mut engine = engine;
+        engine
+            .spawn_at(
+                crate::addr::NodeletId(0),
+                Box::new(crate::kernel::ScriptKernel::new(vec![
+                    crate::kernel::Op::Compute { cycles: 10 },
+                ])),
+            )
+            .unwrap();
+        let report = engine.run().unwrap();
+        let j = report_json("unit", &report);
+        assert!(json_ok(&j), "{j}");
+        assert!(jsonl_ok(&trace_jsonl(&report)));
+        assert!(json_ok(&chrome_trace(&report)));
+    }
+}

@@ -30,6 +30,10 @@
 //!   paper reports;
 //! * [`trace`] — optional structured event tracing (spawns, migrations,
 //!   NACKs, stalls with nodelet/thread/timestamp), zero-cost when off;
+//! * [`json`] — dependency-free JSON serializers for [`metrics::RunReport`]
+//!   (report JSON, JSONL event logs, Chrome traces) plus a minimal
+//!   syntax validator, shared by the bench harness and the `simd`
+//!   daemon;
 //! * [`audit`] — post-run invariant checking (threadlet/migration
 //!   conservation, trace/counter reconciliation, occupancy bounds),
 //!   the referee behind the `simctl fuzz` conformance fuzzer.
@@ -63,6 +67,7 @@ pub mod audit;
 pub mod config;
 pub mod engine;
 pub mod fault;
+pub mod json;
 pub mod kernel;
 pub mod metrics;
 pub mod presets;

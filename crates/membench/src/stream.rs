@@ -216,7 +216,19 @@ impl Kernel for StreamWorker {
 
 /// Run STREAM on the Emu machine described by `cfg`.
 pub fn run_stream_emu(cfg: &MachineConfig, sc: &EmuStreamConfig) -> Result<StreamResult, SimError> {
+    let mut engine = Engine::new(cfg.clone())?;
+    run_stream_on(&mut engine, sc)
+}
+
+/// Run STREAM on a caller-provided engine (which must be freshly built
+/// or [`Engine::reset`]). This is the warm-reuse entry the `simd` daemon
+/// uses: the engine's construction cost is paid once per worker while
+/// per-request results stay byte-identical to [`run_stream_emu`], which
+/// delegates here. Respects any event cap or cancellation flag armed on
+/// the engine before the call.
+pub fn run_stream_on(engine: &mut Engine, sc: &EmuStreamConfig) -> Result<StreamResult, SimError> {
     assert!(sc.nthreads > 0 && sc.total_elems > 0);
+    let cfg = engine.cfg().clone();
     let nodelets = cfg.total_nodelets();
     let mut ms = MemSpace::new(nodelets);
     let (a, b, c) = if sc.single_nodelet {
@@ -258,9 +270,8 @@ pub fn run_stream_emu(cfg: &MachineConfig, sc: &EmuStreamConfig) -> Result<Strea
     // The spawn fan-out spans all nodelets unless the run is pinned to one.
     let fanout = if sc.single_nodelet { 1 } else { nodelets };
     let root = emu_core::spawn::root_kernel(sc.strategy, sc.nthreads, fanout, factory);
-    let mut engine = Engine::new(cfg.clone())?;
     engine.spawn_at(NodeletId(0), root)?;
-    let report = engine.run()?;
+    let report = engine.run_once()?;
     let semantic_bytes = sc.total_elems * sc.kernel.bytes_per_elem();
     Ok(StreamResult {
         semantic_bytes,

@@ -1,0 +1,249 @@
+//! Warm-pool vs cold-process service benchmark (`BENCH_simd.json`).
+//!
+//! Both legs execute the same quick Fig. 4 STREAM point (single
+//! nodelet on the Chick preset, small array) with the same concurrency.
+//! The warm leg drives the in-process pool, whose workers reuse reset
+//! engines; the cold leg spawns one `simd-once` child process per
+//! request, paying process startup plus a cold engine build each time —
+//! exactly what a daemonless client pays per run. The gate asserts the
+//! resident pool is at least `gate_min` times faster.
+
+use crate::pool::{Pool, PoolConfig};
+use crate::proto::{run_request_line, RunRequest, Spec};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Benchmark shape.
+#[derive(Debug, Clone)]
+pub struct BenchOpts {
+    /// Measured requests per leg.
+    pub requests: usize,
+    /// Pool workers / client concurrency.
+    pub workers: usize,
+    /// STREAM elements per request (the quick Fig. 4 point).
+    pub elems: u64,
+    /// STREAM threadlets per request.
+    pub threads: usize,
+    /// Minimum warm/cold speedup to pass (`None` = report only).
+    pub gate_min: Option<f64>,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            requests: 24,
+            workers: 4,
+            elems: 512,
+            threads: 16,
+            gate_min: None,
+        }
+    }
+}
+
+/// One leg's latency distribution.
+#[derive(Debug, Clone, Copy)]
+pub struct Leg {
+    /// Requests per second over the leg's wall time.
+    pub rps: f64,
+    /// Median request latency, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile request latency, ms.
+    pub p99_ms: f64,
+    /// Total wall time, ms.
+    pub total_ms: f64,
+}
+
+fn leg_from(latencies: &mut [Duration], total: Duration, n: usize) -> Leg {
+    latencies.sort();
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    let pick = |q: usize| ms(latencies[(latencies.len() * q / 100).min(latencies.len() - 1)]);
+    Leg {
+        rps: n as f64 / total.as_secs_f64(),
+        p50_ms: pick(50),
+        p99_ms: pick(99),
+        total_ms: ms(total),
+    }
+}
+
+fn bench_request(id: u64, opts: &BenchOpts) -> RunRequest {
+    RunRequest {
+        id,
+        spec: Spec::Stream {
+            preset: "chick".into(),
+            elems: opts.elems,
+            threads: opts.threads,
+            kernel: "add".into(),
+            strategy: "serial".into(),
+            single_nodelet: true,
+            stack_touch_period: 4,
+        },
+        deadline_ms: None,
+        max_events: None,
+        chaos: None,
+    }
+}
+
+/// Drive `opts.requests` through a warm pool with `opts.workers`
+/// concurrent submitters, after one pre-warming round per worker.
+fn warm_leg(opts: &BenchOpts) -> Result<Leg, String> {
+    let pool = Pool::start(PoolConfig {
+        workers: opts.workers,
+        queue_cap: 2 * opts.workers + 4,
+        ..PoolConfig::default()
+    });
+    // Pre-warm every slot so the measured leg is steady-state.
+    let mut warmups = Vec::new();
+    for i in 0..opts.workers {
+        let (tx, rx) = mpsc::channel();
+        pool.submit(bench_request(i as u64, opts), tx)
+            .map_err(|e| format!("warmup rejected: {e:?}"))?;
+        warmups.push(rx);
+    }
+    for rx in warmups {
+        let r = rx.recv().map_err(|_| "warmup response lost")?;
+        if !r.contains("\"ok\":true") {
+            return Err(format!("warmup failed: {r}"));
+        }
+    }
+
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for w in 0..opts.workers {
+            let pool = &pool;
+            let latencies = Arc::clone(&latencies);
+            let share =
+                opts.requests / opts.workers + usize::from(w < opts.requests % opts.workers);
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                for i in 0..share {
+                    let t0 = Instant::now();
+                    let (tx, rx) = mpsc::channel();
+                    let id = (1000 + w * 1000 + i) as u64;
+                    // Block politely if admission pushes back.
+                    loop {
+                        match pool.submit(bench_request(id, opts), tx.clone()) {
+                            Ok(()) => break,
+                            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+                        }
+                    }
+                    let r = rx.recv().map_err(|_| "response lost")?;
+                    if !r.contains("\"ok\":true") {
+                        return Err(format!("warm request failed: {r}"));
+                    }
+                    latencies.lock().unwrap().push(t0.elapsed());
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| "bench submitter panicked")??;
+        }
+        Ok(())
+    })?;
+    let total = started.elapsed();
+    pool.drain(Duration::from_secs(30));
+    let leaks = pool.stats().reconcile();
+    if !leaks.is_empty() {
+        return Err(format!("pool counters leaked: {leaks:?}"));
+    }
+    let mut lats = latencies.lock().unwrap().clone();
+    Ok(leg_from(&mut lats, total, opts.requests))
+}
+
+/// Execute one request in a freshly spawned `simd-once` child process.
+fn cold_once(line: &str) -> Result<String, String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let mut child = std::process::Command::new(exe)
+        .arg("simd-once")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn simd-once: {e}"))?;
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(format!("{line}\n").as_bytes())
+        .map_err(|e| format!("feed simd-once: {e}"))?;
+    let mut reply = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut reply)
+        .map_err(|e| format!("read simd-once: {e}"))?;
+    let status = child.wait().map_err(|e| e.to_string())?;
+    if !status.success() {
+        return Err(format!("simd-once exited with {status}"));
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+/// Drive `opts.requests` through one-shot child processes with the
+/// same concurrency as the warm leg.
+fn cold_leg(opts: &BenchOpts) -> Result<Leg, String> {
+    let latencies = Arc::new(Mutex::new(Vec::with_capacity(opts.requests)));
+    let started = Instant::now();
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::new();
+        for w in 0..opts.workers {
+            let latencies = Arc::clone(&latencies);
+            let share =
+                opts.requests / opts.workers + usize::from(w < opts.requests % opts.workers);
+            handles.push(scope.spawn(move || -> Result<(), String> {
+                for i in 0..share {
+                    let id = (1000 + w * 1000 + i) as u64;
+                    let line = run_request_line(&bench_request(id, opts));
+                    let t0 = Instant::now();
+                    let r = cold_once(&line)?;
+                    if !r.contains("\"ok\":true") {
+                        return Err(format!("cold request failed: {r}"));
+                    }
+                    latencies.lock().unwrap().push(t0.elapsed());
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().map_err(|_| "cold submitter panicked")??;
+        }
+        Ok(())
+    })?;
+    let total = started.elapsed();
+    let mut lats = latencies.lock().unwrap().clone();
+    Ok(leg_from(&mut lats, total, opts.requests))
+}
+
+/// Run both legs and render `BENCH_simd.json`. Returns the document
+/// and whether the gate (if any) passed.
+pub fn run_bench(opts: &BenchOpts) -> Result<(String, bool), String> {
+    let warm = warm_leg(opts)?;
+    let cold = cold_leg(opts)?;
+    let speedup = cold.p50_ms / warm.p50_ms.max(1e-9);
+    let pass = opts.gate_min.map(|g| speedup >= g).unwrap_or(true);
+    let leg = |l: &Leg| {
+        format!(
+            "{{\"rps\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"total_ms\":{:.3}}}",
+            l.rps, l.p50_ms, l.p99_ms, l.total_ms
+        )
+    };
+    let json = format!(
+        "{{\"bench\":\"simd\",\"requests\":{},\"workers\":{},\
+         \"spec\":{{\"preset\":\"chick\",\"elems\":{},\"threads\":{},\"kernel\":\"add\",\
+         \"strategy\":\"serial\",\"single_nodelet\":true}},\
+         \"warm\":{},\"cold\":{},\"speedup_p50\":{:.3},\"gate_min\":{},\"pass\":{}}}",
+        opts.requests,
+        opts.workers,
+        opts.elems,
+        opts.threads,
+        leg(&warm),
+        leg(&cold),
+        speedup,
+        opts.gate_min
+            .map(|g| format!("{g:.3}"))
+            .unwrap_or_else(|| "null".into()),
+        pass
+    );
+    Ok((json, pass))
+}

@@ -1,0 +1,6 @@
+//! The `simd` binary: the resident simulation daemon and its client.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(simd::dispatch(&args));
+}

@@ -1,0 +1,254 @@
+//! `simd` — the resident simulation daemon.
+//!
+//! Rebuilding an [`Engine`](emu_core::engine::Engine) for every run is
+//! the dominant cost of short requests (figure sweeps, conformance
+//! cases, CI probes). This crate keeps a pool of **warm** engines
+//! resident behind a TCP/JSONL protocol and hardens every layer:
+//!
+//! - **Warm reuse** — each worker parks its engine after a successful
+//!   run and [`Engine::reset`](emu_core::engine::Engine::reset)s it for
+//!   the next request with the same machine config. Reset-vs-cold
+//!   byte identity is enforced by emu-core's `reset_reuse` regression
+//!   suite, by the report audit on every response, and optionally by
+//!   an online self-check (`EMU_SIMD_SELFCHECK=1`).
+//! - **Admission control** — a bounded in-flight cap; overload gets an
+//!   explicit `busy` rejection with a retry hint instead of unbounded
+//!   queueing.
+//! - **Deadlines** — per-request wall-clock budgets armed on a timer
+//!   wheel and polled cooperatively by the engine
+//!   ([`SimError::DeadlineExceeded`](emu_core::fault::SimError)), plus
+//!   per-request event caps.
+//! - **Fault isolation** — a panicking worker is caught, answered on
+//!   behalf of, and respawned by a supervisor; its queue (owned by the
+//!   pool) loses nothing, and other in-flight requests are untouched.
+//! - **Graceful drain** — shutdown stops admission, lets in-flight
+//!   work finish or deadline out, then flushes a telemetry summary
+//!   whose counters must reconcile exactly.
+//!
+//! Configuration is environment-driven (`EMU_SIMD_*`); the knobs are
+//! documented in EXPERIMENTS.md.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod client;
+pub mod exec;
+pub mod parse;
+pub mod pool;
+pub mod proto;
+pub mod server;
+
+use pool::PoolConfig;
+use server::ServeOpts;
+
+/// Read a `u64` env knob, falling back to `default` when unset/invalid.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read a boolean env knob: set and not `0`/empty means on.
+pub fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Build a [`PoolConfig`] from the `EMU_SIMD_*` environment.
+pub fn pool_config_from_env() -> PoolConfig {
+    let workers = env_u64("EMU_SIMD_WORKERS", 2).max(1) as usize;
+    PoolConfig {
+        workers,
+        queue_cap: env_u64("EMU_SIMD_QUEUE", 2 * workers as u64 + 4).max(1) as usize,
+        default_deadline_ms: env_u64("EMU_SIMD_DEADLINE_MS", 0),
+        default_max_events: env_u64("EMU_SIMD_MAX_EVENTS", 0),
+        selfcheck: env_flag("EMU_SIMD_SELFCHECK"),
+    }
+}
+
+/// Build [`ServeOpts`] from the `EMU_SIMD_*` environment.
+pub fn serve_opts_from_env() -> ServeOpts {
+    ServeOpts {
+        addr: std::env::var("EMU_SIMD_ADDR").unwrap_or_else(|_| "127.0.0.1:7677".into()),
+        pool: pool_config_from_env(),
+        drain_ms: env_u64("EMU_SIMD_DRAIN_MS", 10_000),
+        max_conns: env_u64("EMU_SIMD_MAX_CONNS", 32).max(1) as usize,
+        telemetry_path: std::env::var("EMU_SIMD_TELEMETRY")
+            .ok()
+            .filter(|p| !p.is_empty()),
+        handle_signals: true,
+    }
+}
+
+/// The cold one-shot comparator: read one request line from stdin,
+/// execute it on a fresh engine, write the response line to stdout.
+///
+/// This is what a daemonless client pays per run — process startup
+/// plus a cold engine build — and is the `cold` leg of the service
+/// benchmark as well as the byte-identity oracle for tests.
+pub fn run_once_stdin() -> i32 {
+    use std::io::{BufRead, Write};
+    let mut line = String::new();
+    if std::io::stdin().lock().read_line(&mut line).is_err() || line.trim().is_empty() {
+        eprintln!("simd-once: expected one request line on stdin");
+        return 2;
+    }
+    let reply = match proto::parse_request(line.trim_end()) {
+        Err(e) => proto::err_response(0, proto::ErrorKind::Proto, &e, None),
+        Ok(proto::Request::Run(req)) => {
+            let mut slot = exec::WarmSlot::new();
+            match exec::execute(&mut slot, &req, None) {
+                Ok(out) => proto::ok_response(req.id, 0, false, &out.report_json),
+                Err(e) => proto::err_response(req.id, e.kind, &e.message, None),
+            }
+        }
+        Ok(proto::Request::Health { id }) | Ok(proto::Request::Shutdown { id }) => {
+            proto::err_response(
+                id,
+                proto::ErrorKind::Proto,
+                "simd-once only handles runs",
+                None,
+            )
+        }
+    };
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "{reply}");
+    let _ = out.flush();
+    0
+}
+
+/// Usage text for the daemon subcommands (shared by `simd` and
+/// `simctl`).
+pub const USAGE: &str = "\
+simd subcommands:
+  serve                       run the resident daemon (EMU_SIMD_* env knobs)
+  client [flags]              submit runs / health / shutdown to a daemon
+      --addr H:P --preset P --elems N --threads A,B,C --requests N
+      --kernel K --strategy S --single-nodelet --deadline-ms N
+      --max-events N --seed N --retries N --backoff-ms N
+      --health --shutdown --out FILE
+  simd-once                   execute one request line from stdin, cold
+  simd-bench [flags]          warm-pool vs cold-process service benchmark
+      --requests N --workers N --elems N --threads N --gate [MIN] --out FILE
+";
+
+/// Dispatch a daemon subcommand (`serve`, `client`, `simd-once`,
+/// `simd-bench`). Returns the process exit code.
+pub fn dispatch(args: &[String]) -> i32 {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return 2;
+    };
+    match cmd.as_str() {
+        "serve" => match server::serve(serve_opts_from_env()) {
+            Ok(summary) => {
+                if summary.violations.is_empty() {
+                    0
+                } else {
+                    for v in &summary.violations {
+                        eprintln!("simd: invariant violated: {v}");
+                    }
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("simd serve: {e}");
+                1
+            }
+        },
+        "client" => match client::run_cli(&args[1..]) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("simd client: {e}");
+                1
+            }
+        },
+        "once" | "simd-once" => run_once_stdin(),
+        "bench" | "simd-bench" => match bench_cli(&args[1..]) {
+            Ok(pass) => {
+                if pass {
+                    0
+                } else {
+                    1
+                }
+            }
+            Err(e) => {
+                eprintln!("simd bench: {e}");
+                1
+            }
+        },
+        other => {
+            eprintln!("unknown simd subcommand {other:?}");
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+fn bench_cli(args: &[String]) -> Result<bool, String> {
+    let mut opts = bench::BenchOpts::default();
+    let mut out: Option<String> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--requests" => {
+                opts.requests = it
+                    .next()
+                    .ok_or("--requests needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --requests")?;
+            }
+            "--workers" => {
+                opts.workers = it
+                    .next()
+                    .ok_or("--workers needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --workers")?;
+            }
+            "--elems" => {
+                opts.elems = it
+                    .next()
+                    .ok_or("--elems needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --elems")?;
+            }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --threads")?;
+            }
+            "--gate" => {
+                // Optional value; default threshold 2.0, overridable by
+                // EMU_SIMD_GATE_MIN or an inline number.
+                let inline = it.peek().and_then(|v| v.parse::<f64>().ok()).inspect(|_| {
+                    it.next();
+                });
+                let min = inline.unwrap_or_else(|| {
+                    std::env::var("EMU_SIMD_GATE_MIN")
+                        .ok()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(2.0)
+                });
+                opts.gate_min = Some(min);
+            }
+            "--out" => out = Some(it.next().ok_or("--out needs a value")?.clone()),
+            other => return Err(format!("unknown bench flag {other:?}")),
+        }
+    }
+    let (json, pass) = bench::run_bench(&opts)?;
+    println!("{json}");
+    if let Some(path) = out {
+        if let Some(dir) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        std::fs::write(&path, format!("{json}\n")).map_err(|e| format!("write {path}: {e}"))?;
+    }
+    if !pass {
+        eprintln!("simd bench: warm/cold speedup gate FAILED: {json}");
+    }
+    Ok(pass)
+}
