@@ -31,7 +31,7 @@ fn run(args: &[String]) -> Result<(), String> {
     // codes; hand them to the simd crate before the bench parser.
     if matches!(
         args[0].as_str(),
-        "serve" | "client" | "once" | "simd-once" | "simd-bench"
+        "serve" | "client" | "once" | "simd-once" | "simd-bench" | "top"
     ) {
         std::process::exit(simd::dispatch(args));
     }
@@ -533,43 +533,60 @@ fn run_traced_bench(p: &Parsed, bench: &str, cfg: &MachineConfig) -> Result<(), 
 }
 
 fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
+    use emu_core::metrics::PdesPhaseProfile;
     use emu_core::trace;
     use membench::{chase, stream};
     use std::time::Instant;
 
-    p.check_known(&["preset", "shards", "threads", "elems", "gate", "out"])?;
+    p.check_known(&[
+        "preset", "shards", "threads", "elems", "gate", "out", "phases",
+    ])?;
     let preset = p.get_str("preset", "emu64");
     let cfg = cli::preset_by_name(&preset)?;
     let shards: usize = p.get("shards", 4usize)?;
     let nthreads: usize = p.get("threads", 512usize)?;
     let elems: u64 = emu_bench::runcfg::sized(p.get("elems", 1u64 << 16)?, 1 << 12);
     let gate: bool = p.get("gate", false)?;
+    let phases: bool = p.get("phases", false)?;
+    if phases {
+        emu_core::engine::set_phase_profile(true);
+    }
 
     struct Leg {
         name: &'static str,
         events: u64,
         seq_eps: f64,
         par_eps: f64,
+        par_phases: Vec<PdesPhaseProfile>,
     }
 
     // Run one workload sequentially and with N shards, timing both and
     // checking the collected reports are byte-identical — the speedup
-    // claim is only meaningful if the results did not change.
+    // claim is only meaningful if the results did not change. Phase
+    // profiles carry wall-clock times, so they are lifted out of the
+    // reports *before* the byte-identity comparison.
     let run_leg = |name: &'static str, body: &dyn Fn() -> Result<(), String>| {
-        let timed = |threads: usize| -> Result<(u64, f64, String), String> {
+        let timed = |threads: usize| -> Result<(u64, f64, String, Vec<PdesPhaseProfile>), String> {
             emu_core::engine::set_sim_threads(threads);
             trace::collect_reports(true);
             let t0 = Instant::now();
             let outcome = body();
             let dt = t0.elapsed().as_secs_f64();
-            let reports = trace::take_reports();
+            let mut reports = trace::take_reports();
             trace::collect_reports(false);
             outcome?;
+            let profiles: Vec<PdesPhaseProfile> =
+                reports.iter_mut().filter_map(|r| r.phases.take()).collect();
             let events: u64 = reports.iter().map(|r| r.events).sum();
-            Ok((events, events as f64 / dt.max(1e-9), format!("{reports:?}")))
+            Ok((
+                events,
+                events as f64 / dt.max(1e-9),
+                format!("{reports:?}"),
+                profiles,
+            ))
         };
-        let (events, seq_eps, seq_fp) = timed(1)?;
-        let (par_events, par_eps, par_fp) = timed(shards)?;
+        let (events, seq_eps, seq_fp, _) = timed(1)?;
+        let (par_events, par_eps, par_fp, par_phases) = timed(shards)?;
         emu_core::engine::set_sim_threads(1);
         if events != par_events || seq_fp != par_fp {
             return Err(format!(
@@ -581,6 +598,7 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
             events,
             seq_eps,
             par_eps,
+            par_phases,
         })
     };
 
@@ -617,6 +635,9 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
     })?;
 
     let legs = [stream_leg, chase_leg];
+    if phases {
+        emu_core::engine::set_phase_profile(false);
+    }
     let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
     println!("sharded-scheduler speedup on {preset} ({shards} shards, {cores} host cores):");
     let mut min_speedup = f64::INFINITY;
@@ -631,6 +652,53 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
         );
     }
 
+    // Where does the sharded scheduler's wall-clock go? Aggregate the
+    // per-worker phase breakdowns over every engine run of the leg.
+    #[derive(Default)]
+    struct PhaseAgg {
+        drain: u64,
+        barrier: u64,
+        exchange: u64,
+        merge: u64,
+        total: u64,
+        epochs: u64,
+        wall: u64,
+    }
+    let aggregate = |profiles: &[PdesPhaseProfile]| -> PhaseAgg {
+        let mut agg = PhaseAgg::default();
+        for pr in profiles {
+            agg.epochs += pr.epochs;
+            agg.wall += pr.wall_ns;
+            for w in &pr.workers {
+                agg.drain += w.drain_ns;
+                agg.barrier += w.barrier_ns;
+                agg.exchange += w.exchange_ns;
+                agg.merge += w.merge_ns;
+                agg.total += w.loop_ns;
+            }
+        }
+        agg
+    };
+    if phases {
+        println!("PDES phase profile (x{shards} runs, worker time summed):");
+        for l in &legs {
+            let a = aggregate(&l.par_phases);
+            let pct = |ns: u64| 100.0 * ns as f64 / a.total.max(1) as f64;
+            let eps = a.epochs as f64 / (a.wall as f64 / 1e9).max(1e-9);
+            println!(
+                "  {:<14} drain {:>5.1}%  barrier {:>5.1}%  exchange {:>5.1}%  merge {:>5.1}%  \
+                 {} epochs ({:.0}/s)",
+                l.name,
+                pct(a.drain),
+                pct(a.barrier),
+                pct(a.exchange),
+                pct(a.merge),
+                a.epochs,
+                eps,
+            );
+        }
+    }
+
     let mut json = format!(
         "{{\"preset\":\"{preset}\",\"shards\":{shards},\"host_parallelism\":{cores},\"workloads\":["
     );
@@ -639,13 +707,22 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
             json.push(',');
         }
         json.push_str(&format!(
-            "{{\"name\":\"{}\",\"events\":{},\"seq_events_per_sec\":{:.1},\"par_events_per_sec\":{:.1},\"speedup\":{:.3}}}",
+            "{{\"name\":\"{}\",\"events\":{},\"seq_events_per_sec\":{:.1},\"par_events_per_sec\":{:.1},\"speedup\":{:.3}",
             l.name,
             l.events,
             l.seq_eps,
             l.par_eps,
             l.par_eps / l.seq_eps.max(1e-9)
         ));
+        if phases {
+            let a = aggregate(&l.par_phases);
+            json.push_str(&format!(
+                ",\"phases\":{{\"drain_ns\":{},\"barrier_ns\":{},\"exchange_ns\":{},\
+                 \"merge_ns\":{},\"loop_ns\":{},\"epochs\":{},\"wall_ns\":{}}}",
+                a.drain, a.barrier, a.exchange, a.merge, a.total, a.epochs, a.wall
+            ));
+        }
+        json.push('}');
     }
     json.push_str(&format!(
         "],\"min_speedup\":{min_speedup:.3},\"pdes_events_per_sec\":{best_par:.1}}}"

@@ -151,10 +151,12 @@ COMMANDS
             sharded scheduler, + run audit; a failure shrinks to a
             minimal repro written to the corpus)
   pdes-speedup  sharded-scheduler --preset emu64 --shards 4 --threads 512
-            microbenchmark        --elems 65536 --gate false
+            microbenchmark        --elems 65536 --gate false --phases false
             (sequential vs N-shard events/sec on STREAM + pointer
             chase; writes pdes_speedup.json under the results dir;
-            --gate true exits 1 if the sharded run is slower)
+            --gate true exits 1 if the sharded run is slower;
+            --phases true prints the drain/barrier/exchange/merge
+            wall-clock split of the sharded scheduler)
   presets   list machine presets
   serve     resident simulation daemon: warm engine pool behind a
             TCP/JSONL protocol (EMU_SIMD_* env knobs; see
@@ -165,6 +167,8 @@ COMMANDS
   simd-once execute one request line from stdin on a cold engine
   simd-bench  warm-pool vs cold-process service benchmark; writes
             BENCH_simd.json   --requests N --workers N --gate [MIN]
+  top       live dashboard over a daemon's {\"op\":\"metrics\"} snapshots
+            --addr H:P --interval MS --once --count N
   help      this text
 
 GLOBAL OPTIONS

@@ -258,6 +258,63 @@ pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
             ),
         );
     }
+    // The depth high-water mark counts deliveries within one exchange,
+    // so it can never exceed the lifetime delivery total — and a run
+    // that delivered anything must have a nonzero mark.
+    if pdes.mailbox_depth_hwm > pdes.mailbox_delivered
+        || (pdes.mailbox_delivered > 0 && pdes.mailbox_depth_hwm == 0)
+    {
+        fail(
+            &mut v,
+            "pdes-mailbox-hwm-bound",
+            format!(
+                "depth high-water mark {} inconsistent with {} total deliveries",
+                pdes.mailbox_depth_hwm, pdes.mailbox_delivered
+            ),
+        );
+    }
+
+    // -- Phase-profile reconciliation --------------------------------
+    // Wall-clock phase attribution (present only when profiling was
+    // enabled): the four phases partition each worker's loop, so their
+    // sum must reconcile with the measured loop time, and no worker
+    // can have looped longer than the whole scheduler ran.
+    if let Some(phases) = report.phases.as_ref() {
+        for w in &phases.workers {
+            let sum = w.phase_sum_ns();
+            let tolerance = (w.loop_ns / 10).max(2_000_000);
+            if sum.abs_diff(w.loop_ns) > tolerance {
+                fail(
+                    &mut v,
+                    "pdes-phase-reconcile",
+                    format!(
+                        "worker {}: phases sum to {} ns but the loop took {} ns (tolerance {} ns)",
+                        w.worker, sum, w.loop_ns, tolerance
+                    ),
+                );
+            }
+            if w.loop_ns > phases.wall_ns + tolerance {
+                fail(
+                    &mut v,
+                    "pdes-phase-wall-bound",
+                    format!(
+                        "worker {}: loop {} ns exceeds scheduler wall time {} ns",
+                        w.worker, w.loop_ns, phases.wall_ns
+                    ),
+                );
+            }
+        }
+        if phases.epochs != pdes.epochs {
+            fail(
+                &mut v,
+                "pdes-phase-epochs",
+                format!(
+                    "profile counted {} epochs but the summary has {}",
+                    phases.epochs, pdes.epochs
+                ),
+            );
+        }
+    }
 
     // -- Trace checks ------------------------------------------------
     let Some(log) = report.trace.as_ref() else {
@@ -539,6 +596,111 @@ mod tests {
         let v = audit(&cfg, &report);
         assert!(
             v.iter().any(|v| v.invariant == "pdes-epoch-mode"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_mailbox_hwm_overflow_is_caught() {
+        let (cfg, mut report) = traced_run();
+        assert!(report.pdes.mailbox_delivered > 0, "need cross-shard mail");
+        report.pdes.mailbox_depth_hwm = report.pdes.mailbox_delivered + 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-mailbox-hwm-bound"),
+            "got {v:?}"
+        );
+        // And zeroing the mark while deliveries exist is also a bug.
+        report.pdes.mailbox_depth_hwm = 0;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-mailbox-hwm-bound"),
+            "got {v:?}"
+        );
+    }
+
+    /// Like [`traced_run`] but with wall-clock phase profiling on, so
+    /// the report carries a [`crate::metrics::PdesPhaseProfile`].
+    fn profiled_run() -> (MachineConfig, RunReport) {
+        let cfg = presets::chick_prototype();
+        let mut engine = Engine::new(cfg.clone()).unwrap();
+        engine.enable_phase_profile(true);
+        for t in 0..4u32 {
+            let here = NodeletId(t % 4);
+            let there = NodeletId((t + 3) % 8);
+            engine
+                .spawn_at(
+                    here,
+                    Box::new(ScriptKernel::new(vec![
+                        Op::Load {
+                            addr: GlobalAddr::new(there, 0x20),
+                            bytes: 16,
+                        },
+                        Op::Store {
+                            addr: GlobalAddr::new(here, 0x30),
+                            bytes: 8,
+                        },
+                    ])),
+                )
+                .unwrap();
+        }
+        let report = engine.run().unwrap();
+        (cfg, report)
+    }
+
+    #[test]
+    fn profiled_run_reconciles_clean() {
+        let (cfg, report) = profiled_run();
+        let phases = report.phases.as_ref().expect("profiling was enabled");
+        assert!(!phases.workers.is_empty(), "epoch path must profile");
+        assert_eq!(phases.epochs, report.pdes.epochs);
+        let v = audit(&cfg, &report);
+        assert!(v.is_empty(), "clean profiled run must audit clean: {v:?}");
+    }
+
+    #[test]
+    fn seeded_phase_imbalance_is_caught() {
+        // Corrupt one phase by more than the reconciliation tolerance:
+        // the phases no longer sum to the measured loop time.
+        let (cfg, mut report) = profiled_run();
+        let phases = report.phases.as_mut().unwrap();
+        let w = &mut phases.workers[0];
+        w.drain_ns += w.loop_ns + 1_000_000_000;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-phase-reconcile"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_phase_epoch_mismatch_is_caught() {
+        let (cfg, mut report) = profiled_run();
+        report.phases.as_mut().unwrap().epochs += 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-phase-epochs"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_phase_wall_overrun_is_caught() {
+        // A worker claiming to have looped far longer than the whole
+        // scheduler ran is measuring nonsense.
+        let (cfg, mut report) = profiled_run();
+        let phases = report.phases.as_mut().unwrap();
+        let wall = phases.wall_ns;
+        let w = &mut phases.workers[0];
+        w.loop_ns = wall + 10_000_000_000;
+        // Keep the phase sum consistent so only the wall bound trips.
+        w.drain_ns = w.loop_ns;
+        w.barrier_ns = 0;
+        w.exchange_ns = 0;
+        w.merge_ns = 0;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-phase-wall-bound"),
             "got {v:?}"
         );
     }

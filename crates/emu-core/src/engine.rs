@@ -58,7 +58,9 @@ use crate::addr::{GlobalAddr, NodeletId};
 use crate::config::MachineConfig;
 use crate::fault::{self, SimError};
 use crate::kernel::{Kernel, KernelCtx, Op, Placement, ThreadId};
-use crate::metrics::{NodeletCounters, NodeletOccupancy, PdesSummary, RunReport};
+use crate::metrics::{
+    NodeletCounters, NodeletOccupancy, PdesPhaseProfile, PdesSummary, PhaseBreakdown, RunReport,
+};
 use crate::trace::{self, TraceEvent, TraceKind, TraceLog, TraceRecorder};
 use desim::pdes::{Mailboxes, SpinBarrier};
 use desim::queue::EventQueue;
@@ -96,6 +98,33 @@ pub fn sim_threads() -> usize {
         .unwrap_or(1);
     SIM_THREADS.store(n, Ordering::Relaxed);
     n
+}
+
+/// Process-global default for PDES phase profiling; 0 = unresolved
+/// (falls back to `EMU_PDES_PHASES`), 1 = off, 2 = on.
+static PHASE_PROFILE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-global default for wall-clock phase profiling of
+/// the epoch scheduler, used by every subsequently constructed engine
+/// that does not call [`Engine::enable_phase_profile`]. Off by
+/// default: profiled reports carry host timings and are therefore not
+/// byte-identical run to run.
+pub fn set_phase_profile(on: bool) {
+    PHASE_PROFILE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-global phase-profiling default: the last value passed
+/// to [`set_phase_profile`], else `EMU_PDES_PHASES=1` from the
+/// environment, else off.
+pub fn phase_profile() -> bool {
+    match PHASE_PROFILE.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("EMU_PDES_PHASES").is_ok_and(|v| v == "1");
+            PHASE_PROFILE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        v => v == 2,
+    }
 }
 
 /// Bit position of the shard namespace within an event key. Runtime keys
@@ -273,6 +302,14 @@ struct Shard {
     /// Cross-shard events sent / delivered (conservation-checked).
     sent: u64,
     delivered: u64,
+    /// Deliveries into this shard during the current exchange batch
+    /// (an epoch, or one dispatch under the merged fallback), with the
+    /// batch identifier that last touched it.
+    delivered_batch: u64,
+    mail_mark: u64,
+    /// Most deliveries this shard absorbed in any single exchange
+    /// batch — deterministic, so it lives in [`PdesSummary`].
+    mail_hwm: u64,
     /// Smallest cross-shard scheduling delay this shard produced.
     min_cross_delay: Time,
     /// Simulated time of this shard's last dispatched event.
@@ -281,6 +318,93 @@ struct Shard {
     /// key)` of the event that raised it so the globally-first error
     /// wins regardless of worker count.
     error: Option<(Time, u64, SimError)>,
+}
+
+impl Shard {
+    /// Deliver one cross-shard message into this shard's queue,
+    /// tracking the per-exchange-batch depth high-water mark. `mark`
+    /// identifies the exchange batch (epoch iteration or merged
+    /// dispatch); any value that differs between batches works.
+    #[inline]
+    fn absorb_mail(&mut self, mark: u64, m: OutMsg) {
+        if self.mail_mark != mark {
+            self.mail_mark = mark;
+            self.delivered_batch = 0;
+        }
+        self.q.schedule_keyed(m.at, m.key, m.ev);
+        self.delivered += 1;
+        self.delivered_batch += 1;
+        if self.delivered_batch > self.mail_hwm {
+            self.mail_hwm = self.delivered_batch;
+        }
+    }
+}
+
+/// Wall-clock phase attribution for one epoch-loop worker. When
+/// disarmed (`on == false`) every call is a predictable branch — the
+/// un-profiled scheduler never reads the clock.
+struct PhaseClock {
+    on: bool,
+    start: std::time::Instant,
+    last: std::time::Instant,
+    drain: u64,
+    barrier: u64,
+    exchange: u64,
+    merge: u64,
+}
+
+/// Which phase the time since the previous mark belongs to.
+#[derive(Clone, Copy)]
+enum Phase {
+    Drain,
+    Barrier,
+    Exchange,
+    Merge,
+}
+
+impl PhaseClock {
+    fn new(on: bool) -> Self {
+        let now = std::time::Instant::now();
+        PhaseClock {
+            on,
+            start: now,
+            last: now,
+            drain: 0,
+            barrier: 0,
+            exchange: 0,
+            merge: 0,
+        }
+    }
+
+    /// Attribute the time since the previous mark to `phase`.
+    #[inline]
+    fn mark(&mut self, phase: Phase) {
+        if !self.on {
+            return;
+        }
+        let now = std::time::Instant::now();
+        let ns = now.duration_since(self.last).as_nanos() as u64;
+        self.last = now;
+        match phase {
+            Phase::Drain => self.drain += ns,
+            Phase::Barrier => self.barrier += ns,
+            Phase::Exchange => self.exchange += ns,
+            Phase::Merge => self.merge += ns,
+        }
+    }
+
+    /// The finished breakdown; `loop_ns` spans first to last mark, so
+    /// the four phases partition it exactly.
+    fn into_breakdown(self, worker: u32) -> PhaseBreakdown {
+        PhaseBreakdown {
+            worker,
+            drain_ns: self.drain,
+            barrier_ns: self.barrier,
+            exchange_ns: self.exchange,
+            merge_ns: self.merge,
+            loop_ns: self.last.duration_since(self.start).as_nanos() as u64,
+        }
+    }
 }
 
 /// Per-worker decision inputs published at the epoch barrier.
@@ -320,6 +444,11 @@ pub struct Engine {
     event_cap: Option<u64>,
     /// Cooperative wall-clock cancellation flag for the current run.
     cancel: Option<Cancel>,
+    /// Whether the epoch schedulers measure their wall-clock phase
+    /// split (see [`Engine::enable_phase_profile`]).
+    phase_profile: bool,
+    /// Profile captured by the last run, consumed by the report.
+    pending_phases: Option<PdesPhaseProfile>,
 }
 
 /// Per-nodelet time series of one run (present when
@@ -369,6 +498,8 @@ impl Engine {
             timeline_bucket: None,
             event_cap: None,
             cancel: None,
+            phase_profile: phase_profile(),
+            pending_phases: None,
         };
         // Benchmark runners build engines internally; the process-global
         // telemetry config (see [`crate::trace::set_global`]) lets the
@@ -422,6 +553,9 @@ impl Engine {
                 outbox: Vec::new(),
                 sent: 0,
                 delivered: 0,
+                delivered_batch: 0,
+                mail_mark: u64::MAX,
+                mail_hwm: 0,
                 min_cross_delay: Time::MAX,
                 now: Time::ZERO,
                 error: None,
@@ -448,6 +582,7 @@ impl Engine {
         self.init_seq = 0;
         self.event_cap = None;
         self.cancel = None;
+        self.pending_phases = None;
         let cap = self.trace_capacity;
         if cap > 0 {
             for s in &mut self.shards {
@@ -491,6 +626,17 @@ impl Engine {
     /// count are truncated to one shard per worker.
     pub fn set_sim_threads(&mut self, n: usize) {
         self.sim_threads = Some(n.max(1));
+    }
+
+    /// Turn wall-clock phase profiling of the epoch scheduler on or
+    /// off for this engine (overriding the process-global
+    /// [`set_phase_profile`] default captured at construction). When
+    /// on, [`RunReport::phases`](crate::metrics::RunReport::phases)
+    /// carries a [`PdesPhaseProfile`]; when off (the default) it is
+    /// `None`, keeping reports byte-identical across worker counts and
+    /// repeat runs. Survives [`Engine::reset`] like the trace settings.
+    pub fn enable_phase_profile(&mut self, on: bool) {
+        self.phase_profile = on;
     }
 
     /// The conservative lookahead of this machine: the minimum simulated
@@ -668,14 +814,21 @@ impl Engine {
         };
         let lookahead = self.lookahead();
         let workers = self.sim_threads.unwrap_or_else(sim_threads).max(1);
-        let epochs = if lookahead == Time::ZERO {
+        let profile = self.phase_profile;
+        let t0 = profile.then(std::time::Instant::now);
+        let (epochs, phase_workers) = if lookahead == Time::ZERO {
             self.run_merged(cap);
-            0
+            (0, Vec::new())
         } else if workers <= 1 || self.shards.len() <= 1 {
-            self.run_epochs_inline(cap, lookahead)
+            self.run_epochs_inline(cap, lookahead, profile)
         } else {
-            self.run_epochs_threaded(cap, lookahead, workers)
+            self.run_epochs_threaded(cap, lookahead, workers, profile)
         };
+        self.pending_phases = t0.map(|t0| PdesPhaseProfile {
+            workers: phase_workers,
+            epochs,
+            wall_ns: t0.elapsed().as_nanos() as u64,
+        });
         self.finish(cap, lookahead, epochs)
     }
 
@@ -727,34 +880,38 @@ impl Engine {
             }
             let msgs = std::mem::take(&mut self.shards[i].outbox);
             for m in msgs {
-                let d = &mut self.shards[m.dest as usize];
-                d.q.schedule_keyed(m.at, m.key, m.ev);
-                d.delivered += 1;
+                self.shards[m.dest as usize].absorb_mail(total, m);
             }
         }
     }
 
     /// Deliver every pending outbox message into its destination queue
-    /// (single-worker epoch exchange).
-    fn deliver_all(&mut self) {
+    /// (single-worker epoch exchange). `mark` identifies the exchange
+    /// batch for mailbox-depth tracking.
+    fn deliver_all(&mut self, mark: u64) {
         let mut msgs = Vec::new();
         for s in &mut self.shards {
             msgs.append(&mut s.outbox);
         }
         for m in msgs {
-            let d = &mut self.shards[m.dest as usize];
-            d.q.schedule_keyed(m.at, m.key, m.ev);
-            d.delivered += 1;
+            self.shards[m.dest as usize].absorb_mail(mark, m);
         }
     }
 
     /// Epoch scheduler, single worker: the identical protocol to the
     /// threaded path (deliver → decide → drain windows) run inline, so
     /// the epoch count and every result byte match any worker count.
-    fn run_epochs_inline(&mut self, cap: u64, lookahead: Time) -> u64 {
+    fn run_epochs_inline(
+        &mut self,
+        cap: u64,
+        lookahead: Time,
+        profile: bool,
+    ) -> (u64, Vec<PhaseBreakdown>) {
         let mut epochs = 0u64;
+        let mut clk = PhaseClock::new(profile);
         loop {
-            self.deliver_all();
+            self.deliver_all(epochs);
+            clk.mark(Phase::Exchange);
             let any_error = self.shards.iter().any(|s| s.error.is_some());
             let total: u64 = self.shards.iter().map(|s| s.events).sum();
             let next = self
@@ -763,6 +920,7 @@ impl Engine {
                 .filter_map(|s| s.q.peek_key())
                 .map(|(t, _)| t)
                 .min();
+            clk.mark(Phase::Merge);
             if any_error || total > cap {
                 break;
             }
@@ -772,8 +930,10 @@ impl Engine {
             for s in &mut self.shards {
                 run_window(&self.cfg, &self.redirect, s, end, cap, self.cancel.as_ref());
             }
+            clk.mark(Phase::Drain);
         }
-        epochs
+        let workers = profile.then(|| vec![clk.into_breakdown(0)]);
+        (epochs, workers.unwrap_or_default())
     }
 
     /// Epoch scheduler over a scoped worker pool. Each worker owns a
@@ -782,7 +942,13 @@ impl Engine {
     /// window draining + mailbox posting, so no shard is ever touched by
     /// two workers concurrently and every worker takes the same
     /// stop/continue decision from the same published inputs.
-    fn run_epochs_threaded(&mut self, cap: u64, lookahead: Time, workers: usize) -> u64 {
+    fn run_epochs_threaded(
+        &mut self,
+        cap: u64,
+        lookahead: Time,
+        workers: usize,
+        profile: bool,
+    ) -> (u64, Vec<PhaseBreakdown>) {
         let shard_count = self.shards.len();
         let chunk = shard_count.div_ceil(workers);
         let nworkers = shard_count.div_ceil(chunk);
@@ -792,22 +958,26 @@ impl Engine {
         let mailboxes: Mailboxes<OutMsg> = Mailboxes::new(nworkers);
         let barrier = SpinBarrier::new(nworkers);
         let epochs = AtomicU64::new(0);
+        let breakdowns: Vec<Mutex<Option<PhaseBreakdown>>> =
+            (0..nworkers).map(|_| Mutex::new(None)).collect();
         let cfg = &self.cfg;
         let redirect = &self.redirect[..];
         let cancel = self.cancel.as_ref();
         std::thread::scope(|scope| {
             for (widx, my) in self.shards.chunks_mut(chunk).enumerate() {
                 let (slots, mailboxes, barrier, epochs) = (&slots, &mailboxes, &barrier, &epochs);
+                let breakdowns = &breakdowns;
                 scope.spawn(move || {
                     let base = widx * chunk;
+                    let mut clk = PhaseClock::new(profile);
+                    let mut iter = 0u64;
                     loop {
                         // Exchange phase: deliver mail posted to this
                         // worker's shards during the previous window.
                         for m in mailboxes.drain(widx) {
-                            let s = &mut my[m.dest as usize - base];
-                            s.q.schedule_keyed(m.at, m.key, m.ev);
-                            s.delivered += 1;
+                            my[m.dest as usize - base].absorb_mail(iter, m);
                         }
+                        iter += 1;
                         {
                             let mut slot = slots[widx].lock().expect("worker slot poisoned");
                             slot.events = my.iter().map(|s| s.events).sum();
@@ -818,7 +988,9 @@ impl Engine {
                                 .map(|(t, _)| t)
                                 .min();
                         }
+                        clk.mark(Phase::Exchange);
                         barrier.wait();
+                        clk.mark(Phase::Barrier);
                         // Decision: every worker reads every slot and
                         // computes the same verdict, so all of them break
                         // together (no barrier crossing after a break).
@@ -834,6 +1006,7 @@ impl Engine {
                                 (a, b) => a.or(b),
                             };
                         }
+                        clk.mark(Phase::Merge);
                         if any_error || total > cap {
                             break;
                         }
@@ -842,21 +1015,35 @@ impl Engine {
                         if widx == 0 {
                             epochs.fetch_add(1, Ordering::Relaxed);
                         }
-                        // Window phase: drain own shards, post the mail.
+                        // Window phase: drain own shards, then post the
+                        // mail (posting is attributed to exchange).
                         for s in my.iter_mut() {
                             run_window(cfg, redirect, s, end, cap, cancel);
+                        }
+                        clk.mark(Phase::Drain);
+                        for s in my.iter_mut() {
                             if !s.outbox.is_empty() {
                                 for m in s.outbox.drain(..) {
                                     mailboxes.post(m.dest as usize / chunk, [m]);
                                 }
                             }
                         }
+                        clk.mark(Phase::Exchange);
                         barrier.wait();
+                        clk.mark(Phase::Barrier);
+                    }
+                    if profile {
+                        *breakdowns[widx].lock().expect("breakdown slot poisoned") =
+                            Some(clk.into_breakdown(widx as u32));
                     }
                 });
             }
         });
-        epochs.load(Ordering::Relaxed)
+        let phases = breakdowns
+            .into_iter()
+            .filter_map(|m| m.into_inner().expect("breakdown slot poisoned"))
+            .collect();
+        (epochs.load(Ordering::Relaxed), phases)
     }
 
     /// Post-run epilogue shared by all schedulers: surface the globally
@@ -869,10 +1056,12 @@ impl Engine {
             .filter_map(|s| s.error.take())
             .min_by_key(|&(t, k, _)| (t, k))
         {
+            record_obs_failure();
             return Err(e);
         }
         let total: u64 = self.shards.iter().map(|s| s.events).sum();
         if total > cap {
+            record_obs_failure();
             return Err(SimError::EventCapExceeded { cap });
         }
         let live: i64 = self.shards.iter().map(|s| s.live).sum();
@@ -883,12 +1072,14 @@ impl Engine {
                 .map(|s| s.now)
                 .max()
                 .unwrap_or(Time::ZERO);
+            record_obs_failure();
             return Err(SimError::Stalled {
                 live: live.unsigned_abs(),
                 at,
             });
         }
         let report = self.take_report(lookahead, epochs);
+        record_obs_run(&report);
         trace::offer_report(&report);
         Ok(report)
     }
@@ -941,6 +1132,7 @@ impl Engine {
                 .map(|s| s.min_cross_delay.ps())
                 .min()
                 .unwrap_or(u64::MAX),
+            mailbox_depth_hwm: shards.iter().map(|s| s.mail_hwm).max().unwrap_or(0),
         };
         let has_tl = shards.first().is_some_and(|s| s.tl.is_some());
         let mut nodelets = Vec::with_capacity(shards.len());
@@ -998,7 +1190,81 @@ impl Engine {
             breakdown,
             trace,
             pdes,
+            phases: self.pending_phases.take(),
         }
+    }
+}
+
+/// The engine's registered live metrics (see [`crate::obs`]): handles
+/// are resolved once and cached so per-run recording is a handful of
+/// relaxed atomic adds.
+struct EngineObs {
+    runs: &'static crate::obs::Counter,
+    failed_runs: &'static crate::obs::Counter,
+    events: &'static crate::obs::Counter,
+    epochs: &'static crate::obs::Counter,
+    mailbox_sent: &'static crate::obs::Counter,
+    mailbox_delivered: &'static crate::obs::Counter,
+    mailbox_depth_hwm: &'static crate::obs::Gauge,
+    run_events: &'static crate::obs::Histogram,
+    profiled_runs: &'static crate::obs::Counter,
+    phase_drain: &'static crate::obs::Counter,
+    phase_barrier: &'static crate::obs::Counter,
+    phase_exchange: &'static crate::obs::Counter,
+    phase_merge: &'static crate::obs::Counter,
+}
+
+fn engine_obs() -> &'static EngineObs {
+    static CELLS: std::sync::OnceLock<EngineObs> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| EngineObs {
+        runs: crate::obs::counter("emu_engine_runs_total"),
+        failed_runs: crate::obs::counter("emu_engine_failed_runs_total"),
+        events: crate::obs::counter("emu_engine_events_total"),
+        epochs: crate::obs::counter("emu_pdes_epochs_total"),
+        mailbox_sent: crate::obs::counter("emu_pdes_mailbox_sent_total"),
+        mailbox_delivered: crate::obs::counter("emu_pdes_mailbox_delivered_total"),
+        mailbox_depth_hwm: crate::obs::gauge("emu_pdes_mailbox_depth_hwm"),
+        run_events: crate::obs::histogram("emu_engine_run_events"),
+        profiled_runs: crate::obs::counter("emu_pdes_profiled_runs_total"),
+        phase_drain: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"drain\"}"),
+        phase_barrier: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"barrier\"}"),
+        phase_exchange: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"exchange\"}"),
+        phase_merge: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"merge\"}"),
+    })
+}
+
+/// Fold one completed run into the live registry. All values come from
+/// the already-assembled report, so this is off the simulation hot
+/// path entirely; the [`crate::obs::enabled`] guard makes the quiet
+/// path (registry disabled) a single relaxed load.
+fn record_obs_run(report: &RunReport) {
+    if !crate::obs::enabled() {
+        return;
+    }
+    let m = engine_obs();
+    m.runs.inc();
+    m.events.add(report.events);
+    m.epochs.add(report.pdes.epochs);
+    m.mailbox_sent.add(report.pdes.mailbox_sent);
+    m.mailbox_delivered.add(report.pdes.mailbox_delivered);
+    m.mailbox_depth_hwm
+        .record_max(report.pdes.mailbox_depth_hwm.min(i64::MAX as u64) as i64);
+    m.run_events.record(report.events);
+    if let Some(phases) = &report.phases {
+        m.profiled_runs.inc();
+        for w in &phases.workers {
+            m.phase_drain.add(w.drain_ns);
+            m.phase_barrier.add(w.barrier_ns);
+            m.phase_exchange.add(w.exchange_ns);
+            m.phase_merge.add(w.merge_ns);
+        }
+    }
+}
+
+/// Count a run that ended in a structured error.
+fn record_obs_failure() {
+    if crate::obs::enabled() {
+        engine_obs().failed_runs.inc();
     }
 }
 

@@ -161,14 +161,37 @@ pub fn report_json(label: &str, r: &RunReport) -> String {
     let p = &r.pdes;
     let _ = write!(
         out,
-        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{}}}",
+        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{},\"mailbox_depth_hwm\":{}}}",
         p.shards,
         p.lookahead_ps,
         p.epochs,
         p.mailbox_sent,
         p.mailbox_delivered,
-        p.min_cross_delay_ps
+        p.min_cross_delay_ps,
+        p.mailbox_depth_hwm
     );
+    // Wall-clock phase profile: emitted only when profiling was
+    // enabled, so un-profiled reports stay byte-identical run to run.
+    if let Some(ph) = &r.phases {
+        let _ = write!(
+            out,
+            ",\"pdes_phases\":{{\"epochs\":{},\"wall_ns\":{},\"epochs_per_sec\":{},\"workers\":[",
+            ph.epochs,
+            ph.wall_ns,
+            jnum(ph.epochs_per_sec())
+        );
+        for (i, w) in ph.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"drain_ns\":{},\"barrier_ns\":{},\"exchange_ns\":{},\"merge_ns\":{},\"loop_ns\":{}}}",
+                w.worker, w.drain_ns, w.barrier_ns, w.exchange_ns, w.merge_ns, w.loop_ns
+            );
+        }
+        out.push_str("]}");
+    }
     out.push_str(",\"nodelets\":[");
     for (i, (c, o)) in r.nodelets.iter().zip(&r.occupancy).enumerate() {
         if i > 0 {

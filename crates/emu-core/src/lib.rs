@@ -28,6 +28,10 @@
 //!   was itself a degraded machine (Fig 10);
 //! * [`metrics`] — the per-nodelet counters and bandwidth reductions the
 //!   paper reports;
+//! * [`obs`] — an always-on process-global metrics registry (counters,
+//!   gauges, log-bucketed latency histograms) feeding the `simd`
+//!   daemon's live `metrics` op, the Prometheus `/metrics` exporter,
+//!   and `simctl top`;
 //! * [`trace`] — optional structured event tracing (spawns, migrations,
 //!   NACKs, stalls with nodelet/thread/timestamp), zero-cost when off;
 //! * [`json`] — dependency-free JSON serializers for [`metrics::RunReport`]
@@ -70,6 +74,7 @@ pub mod fault;
 pub mod json;
 pub mod kernel;
 pub mod metrics;
+pub mod obs;
 pub mod presets;
 pub mod spawn;
 pub mod trace;

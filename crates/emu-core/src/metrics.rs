@@ -128,6 +128,11 @@ pub struct RunReport {
     /// construction: the same config yields the same summary whether
     /// the run used one worker or many.
     pub pdes: PdesSummary,
+    /// Wall-clock phase breakdown of the epoch loop, present only when
+    /// phase profiling was explicitly enabled (see
+    /// [`crate::engine::Engine::enable_phase_profile`]). `None` by
+    /// default so reports stay byte-identical across worker counts.
+    pub phases: Option<PdesPhaseProfile>,
 }
 
 /// Summary of the conservative parallel scheduler for one run.
@@ -157,6 +162,68 @@ pub struct PdesSummary {
     /// below `lookahead_ps` — that would falsify the conservatism the
     /// epoch windows rely on.
     pub min_cross_delay_ps: u64,
+    /// High-water mark of mailbox depth: the most cross-shard events
+    /// any single shard had delivered to it in one exchange. Counted
+    /// per destination shard per epoch (per dispatch batch under the
+    /// merged fallback), so it is worker-count-invariant like every
+    /// other field here.
+    pub mailbox_depth_hwm: u64,
+}
+
+/// Wall-clock time split of one epoch-scheduler worker's loop.
+///
+/// Unlike [`PdesSummary`], these are *measurements of the host*, not
+/// of the simulated machine: they vary run to run and with the worker
+/// count. They exist to diagnose where real time goes — the ROADMAP's
+/// "make PDES win" item needs exactly this split.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Worker index (0-based; the inline scheduler reports worker 0).
+    pub worker: u32,
+    /// Time spent draining shard calendars inside epoch windows.
+    pub drain_ns: u64,
+    /// Time spent blocked at the sense-reversing barrier.
+    pub barrier_ns: u64,
+    /// Time spent posting to and delivering from mailboxes.
+    pub exchange_ns: u64,
+    /// Time spent in the per-epoch decision/merge step (reading every
+    /// worker's published earliest-event slot, picking the next window).
+    pub merge_ns: u64,
+    /// Total wall-clock time of this worker's epoch loop. The audit
+    /// checks the four phases above sum to this within tolerance.
+    pub loop_ns: u64,
+}
+
+impl PhaseBreakdown {
+    /// Sum of the four measured phases.
+    pub fn phase_sum_ns(&self) -> u64 {
+        self.drain_ns + self.barrier_ns + self.exchange_ns + self.merge_ns
+    }
+}
+
+/// Per-worker wall-clock phase profile of the PDES epoch loop, plus
+/// loop-level throughput. Attached to [`RunReport::phases`] only when
+/// profiling is enabled; absent otherwise so byte-identity across
+/// `--sim-threads` is preserved.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PdesPhaseProfile {
+    /// One breakdown per worker, ascending by worker index.
+    pub workers: Vec<PhaseBreakdown>,
+    /// Epoch barriers crossed (mirrors [`PdesSummary::epochs`]).
+    pub epochs: u64,
+    /// Wall-clock duration of the whole epoch scheduler, in ns.
+    pub wall_ns: u64,
+}
+
+impl PdesPhaseProfile {
+    /// Epochs per wall-clock second (0 for an instantaneous run).
+    pub fn epochs_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.epochs as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
 }
 
 impl RunReport {
@@ -285,6 +352,7 @@ mod tests {
             breakdown: crate::engine::TimeBreakdown::default(),
             trace: None,
             pdes: PdesSummary::default(),
+            phases: None,
         }
     }
 

@@ -54,6 +54,23 @@ pub struct ExecOutcome {
     pub report_json: String,
     /// Whether a warm engine was reused (vs built cold).
     pub warm: bool,
+    /// The config key the engine was parked under (see [`spec_key`]) —
+    /// the pool publishes it for sticky routing.
+    pub config_key: String,
+}
+
+/// The warm-slot key a spec resolves to: the debug rendering of its
+/// [`MachineConfig`]. Two requests with the same key can share a warm
+/// engine, which is what the pool's sticky router matches on. `None`
+/// when the spec does not resolve (the run would fail as `proto`
+/// anyway, so routing it anywhere is fine).
+pub fn spec_key(spec: &Spec) -> Option<String> {
+    let plan = resolve(spec).ok()?;
+    let cfg = match &plan {
+        Plan::Case(case) => &case.cfg,
+        Plan::Stream(cfg, _) => cfg,
+    };
+    Some(format!("{cfg:?}"))
 }
 
 /// Resolve a preset name using the same vocabulary as the bench CLI.
@@ -208,11 +225,12 @@ pub fn execute(
         return Err(ExecError::new(ErrorKind::Audit, joined.join("; ")));
     }
     engine.clear_cancel();
-    slot.0 = Some((key, engine));
+    slot.0 = Some((key.clone(), engine));
 
     Ok(ExecOutcome {
         report_json: report_json("run", &report),
         warm,
+        config_key: key,
     })
 }
 

@@ -37,6 +37,7 @@ pub mod parse;
 pub mod pool;
 pub mod proto;
 pub mod server;
+pub mod top;
 
 use pool::PoolConfig;
 use server::ServeOpts;
@@ -79,6 +80,9 @@ pub fn serve_opts_from_env() -> ServeOpts {
             .ok()
             .filter(|p| !p.is_empty()),
         handle_signals: true,
+        metrics_addr: std::env::var("EMU_SIMD_METRICS_ADDR")
+            .ok()
+            .filter(|a| !a.is_empty()),
     }
 }
 
@@ -104,14 +108,14 @@ pub fn run_once_stdin() -> i32 {
                 Err(e) => proto::err_response(req.id, e.kind, &e.message, None),
             }
         }
-        Ok(proto::Request::Health { id }) | Ok(proto::Request::Shutdown { id }) => {
-            proto::err_response(
-                id,
-                proto::ErrorKind::Proto,
-                "simd-once only handles runs",
-                None,
-            )
-        }
+        Ok(proto::Request::Health { id })
+        | Ok(proto::Request::Metrics { id })
+        | Ok(proto::Request::Shutdown { id }) => proto::err_response(
+            id,
+            proto::ErrorKind::Proto,
+            "simd-once only handles runs",
+            None,
+        ),
     };
     let mut out = std::io::stdout();
     let _ = writeln!(out, "{reply}");
@@ -132,6 +136,8 @@ simd subcommands:
   simd-once                   execute one request line from stdin, cold
   simd-bench [flags]          warm-pool vs cold-process service benchmark
       --requests N --workers N --elems N --threads N --gate [MIN] --out FILE
+  top [flags]                 live dashboard over the daemon's metrics op
+      --addr H:P --interval MS --once --count N
 ";
 
 /// Dispatch a daemon subcommand (`serve`, `client`, `simd-once`,
@@ -166,6 +172,13 @@ pub fn dispatch(args: &[String]) -> i32 {
             }
         },
         "once" | "simd-once" => run_once_stdin(),
+        "top" => match top::run_cli(&args[1..]) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("simd top: {e}");
+                1
+            }
+        },
         "bench" | "simd-bench" => match bench_cli(&args[1..]) {
             Ok(pass) => {
                 if pass {

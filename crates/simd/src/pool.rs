@@ -2,20 +2,99 @@
 //! control, a cooperative deadline timer, and a supervisor that
 //! respawns faulted workers.
 //!
-//! Requests are distributed round-robin over per-worker mpsc queues.
-//! The pool (not the worker) owns each queue's receiver, so a worker
-//! that dies mid-panic never strands queued jobs: the supervisor's
-//! replacement picks up the same queue. Every accepted request gets
-//! exactly one response — success, typed failure, or the panic notice
-//! sent on the worker's behalf after `catch_unwind`.
+//! Requests are routed *sticky-first*: a request whose config matches
+//! an engine some worker already has warm goes to that worker (a reset
+//! is ~free; a cold build is not), and everything else falls back to
+//! round-robin over the per-worker mpsc queues. The pool (not the
+//! worker) owns each queue's receiver, so a worker that dies mid-panic
+//! never strands queued jobs: the supervisor's replacement picks up
+//! the same queue. Every accepted request gets exactly one response —
+//! success, typed failure, or the panic notice sent on the worker's
+//! behalf after `catch_unwind`.
+//!
+//! Every [`PoolStats`] transition is mirrored into the process-global
+//! [`emu_core::obs`] registry (plus queue-wait/execute latency
+//! histograms and per-worker busy counters the shutdown summary can't
+//! express), so a live daemon is observable via `{"op":"metrics"}`,
+//! the Prometheus exporter, and `simctl top`.
 
 use crate::exec::{self, WarmSlot};
 use crate::proto::{err_response, ok_response, Chaos, ErrorKind, RunRequest};
+use emu_core::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// The pool's registered live metrics: handles resolved once, then
+/// every update is one relaxed atomic next to the matching
+/// [`PoolStats`] bump (the obs deltas must reconcile exactly against
+/// the snapshot counters — `tests/metrics.rs` enforces it).
+struct PoolObs {
+    submitted: &'static obs::Counter,
+    accepted: &'static obs::Counter,
+    rejected_busy: &'static obs::Counter,
+    rejected_draining: &'static obs::Counter,
+    completed_ok: &'static obs::Counter,
+    failed_proto: &'static obs::Counter,
+    failed_sim: &'static obs::Counter,
+    failed_audit: &'static obs::Counter,
+    failed_event_cap: &'static obs::Counter,
+    failed_deadline: &'static obs::Counter,
+    failed_panic: &'static obs::Counter,
+    warm_hits: &'static obs::Counter,
+    cold_builds: &'static obs::Counter,
+    respawns: &'static obs::Counter,
+    selfcheck_runs: &'static obs::Counter,
+    selfcheck_failures: &'static obs::Counter,
+    routed_sticky: &'static obs::Counter,
+    in_flight: &'static obs::Gauge,
+    queue_wait: &'static obs::Histogram,
+    execute: &'static obs::Histogram,
+}
+
+fn pool_obs() -> &'static PoolObs {
+    static CELLS: std::sync::OnceLock<PoolObs> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| PoolObs {
+        submitted: obs::counter("simd_pool_submitted_total"),
+        accepted: obs::counter("simd_pool_accepted_total"),
+        rejected_busy: obs::counter("simd_pool_rejected_busy_total"),
+        rejected_draining: obs::counter("simd_pool_rejected_draining_total"),
+        completed_ok: obs::counter("simd_pool_completed_ok_total"),
+        failed_proto: obs::counter("simd_pool_failed_proto_total"),
+        failed_sim: obs::counter("simd_pool_failed_sim_total"),
+        failed_audit: obs::counter("simd_pool_failed_audit_total"),
+        failed_event_cap: obs::counter("simd_pool_failed_event_cap_total"),
+        failed_deadline: obs::counter("simd_pool_failed_deadline_total"),
+        failed_panic: obs::counter("simd_pool_failed_panic_total"),
+        warm_hits: obs::counter("simd_pool_warm_hits_total"),
+        cold_builds: obs::counter("simd_pool_cold_builds_total"),
+        respawns: obs::counter("simd_pool_respawns_total"),
+        selfcheck_runs: obs::counter("simd_pool_selfcheck_runs_total"),
+        selfcheck_failures: obs::counter("simd_pool_selfcheck_failures_total"),
+        routed_sticky: obs::counter("simd_pool_routed_sticky_total"),
+        in_flight: obs::gauge("simd_pool_in_flight"),
+        queue_wait: obs::histogram("simd_pool_queue_wait_ns"),
+        execute: obs::histogram("simd_pool_execute_ns"),
+    })
+}
+
+/// Per-worker live series (busy time and jobs served). A respawned
+/// worker resolves to the same handles, so the series survives panics.
+struct WorkerObs {
+    busy_ns: &'static obs::Counter,
+    jobs: &'static obs::Counter,
+}
+
+impl WorkerObs {
+    fn new(idx: usize) -> WorkerObs {
+        WorkerObs {
+            busy_ns: obs::counter(format!("simd_worker_busy_ns_total{{worker=\"{idx}\"}}")),
+            jobs: obs::counter(format!("simd_worker_jobs_total{{worker=\"{idx}\"}}")),
+        }
+    }
+}
 
 /// Pool sizing and per-request defaults.
 #[derive(Debug, Clone)]
@@ -80,6 +159,9 @@ pub struct PoolStats {
     pub selfcheck_runs: AtomicU64,
     /// Self-check byte mismatches (must stay 0).
     pub selfcheck_failures: AtomicU64,
+    /// Requests routed to the worker already warm on their config
+    /// (each one is a reset the round-robin router would have wasted).
+    pub routed_sticky: AtomicU64,
     /// Requests admitted but not yet answered.
     pub in_flight: AtomicU64,
 }
@@ -104,6 +186,7 @@ pub struct StatsSnapshot {
     pub respawns: u64,
     pub selfcheck_runs: u64,
     pub selfcheck_failures: u64,
+    pub routed_sticky: u64,
     pub in_flight: u64,
 }
 
@@ -126,7 +209,7 @@ impl StatsSnapshot {
              \"completed_ok\":{},\"failed_proto\":{},\"failed_sim\":{},\"failed_audit\":{},\
              \"failed_event_cap\":{},\"failed_deadline\":{},\"failed_panic\":{},\
              \"warm_hits\":{},\"cold_builds\":{},\"respawns\":{},\"selfcheck_runs\":{},\
-             \"selfcheck_failures\":{},\"in_flight\":{}}}",
+             \"selfcheck_failures\":{},\"routed_sticky\":{},\"in_flight\":{}}}",
             self.submitted,
             self.accepted,
             self.rejected_busy,
@@ -143,6 +226,7 @@ impl StatsSnapshot {
             self.respawns,
             self.selfcheck_runs,
             self.selfcheck_failures,
+            self.routed_sticky,
             self.in_flight
         )
     }
@@ -170,6 +254,7 @@ impl PoolStats {
             respawns: g(&self.respawns),
             selfcheck_runs: g(&self.selfcheck_runs),
             selfcheck_failures: g(&self.selfcheck_failures),
+            routed_sticky: g(&self.routed_sticky),
             in_flight: g(&self.in_flight),
         }
     }
@@ -205,6 +290,12 @@ impl PoolStats {
                 s.selfcheck_failures
             ));
         }
+        if s.routed_sticky > s.accepted {
+            out.push(format!(
+                "routing overcount: routed_sticky {} exceeds accepted {}",
+                s.routed_sticky, s.accepted
+            ));
+        }
         out
     }
 }
@@ -225,6 +316,8 @@ pub enum Reject {
 struct RunJob {
     req: RunRequest,
     resp: mpsc::Sender<String>,
+    /// Admission time, for the queue-wait latency histogram.
+    queued_at: Instant,
 }
 
 enum Job {
@@ -244,6 +337,10 @@ struct Shared {
     queues: Vec<Arc<Mutex<mpsc::Receiver<Job>>>>,
     cfg: PoolConfig,
     sup_tx: mpsc::Sender<SupMsg>,
+    /// The config key each worker's engine is currently warm on
+    /// (`None` after a failure or before the first run). Written by
+    /// the owning worker, read by the submit-side sticky router.
+    warm_keys: Vec<Mutex<Option<String>>>,
 }
 
 /// The resident worker pool.
@@ -279,6 +376,7 @@ impl Pool {
             queues,
             cfg,
             sup_tx,
+            warm_keys: (0..workers).map(|_| Mutex::new(None)).collect(),
         });
         for idx in 0..workers {
             spawn_worker(idx, Arc::clone(&shared));
@@ -292,6 +390,7 @@ impl Pool {
                         match msg {
                             SupMsg::Down(idx) => {
                                 shared.stats.respawns.fetch_add(1, Ordering::SeqCst);
+                                pool_obs().respawns.inc();
                                 spawn_worker(idx, Arc::clone(&shared));
                             }
                             SupMsg::Stop => break,
@@ -329,9 +428,12 @@ impl Pool {
     /// Offer a run for admission. On success exactly one response line
     /// will eventually arrive on `resp`.
     pub fn submit(&self, req: RunRequest, resp: mpsc::Sender<String>) -> Result<(), Reject> {
+        let m = pool_obs();
         self.stats.submitted.fetch_add(1, Ordering::SeqCst);
+        m.submitted.inc();
         if self.draining.load(Ordering::SeqCst) {
             self.stats.rejected_draining.fetch_add(1, Ordering::SeqCst);
+            m.rejected_draining.inc();
             return Err(Reject::Draining);
         }
         let cap = self.shared.cfg.queue_cap.max(1) as u64;
@@ -339,6 +441,7 @@ impl Pool {
             let cur = self.stats.in_flight.load(Ordering::SeqCst);
             if cur >= cap {
                 self.stats.rejected_busy.fetch_add(1, Ordering::SeqCst);
+                m.rejected_busy.inc();
                 return Err(Reject::Busy { in_flight: cur });
             }
             if self
@@ -351,11 +454,36 @@ impl Pool {
             }
         }
         self.stats.accepted.fetch_add(1, Ordering::SeqCst);
-        let w = self.next.fetch_add(1, Ordering::SeqCst) % self.senders.len();
+        m.accepted.inc();
+        m.in_flight.add(1);
+        let w = self.pick_worker(&req);
         self.senders[w]
-            .send(Job::Run(Box::new(RunJob { req, resp })))
+            .send(Job::Run(Box::new(RunJob {
+                req,
+                resp,
+                queued_at: Instant::now(),
+            })))
             .expect("pool holds every queue receiver");
         Ok(())
+    }
+
+    /// Sticky-first routing: prefer the worker whose parked engine is
+    /// already warm on this request's config (a reset instead of a
+    /// cold build), else fall back to round-robin. The scan is over
+    /// `workers` tiny mutexes held for a comparison each — contention
+    /// is bounded by the admission cap.
+    fn pick_worker(&self, req: &RunRequest) -> usize {
+        if let Some(key) = exec::spec_key(&req.spec) {
+            for (i, slot) in self.shared.warm_keys.iter().enumerate() {
+                let warm = slot.lock().expect("warm key lock never poisoned");
+                if warm.as_deref() == Some(key.as_str()) {
+                    self.stats.routed_sticky.fetch_add(1, Ordering::SeqCst);
+                    pool_obs().routed_sticky.inc();
+                    return i;
+                }
+            }
+        }
+        self.next.fetch_add(1, Ordering::SeqCst) % self.senders.len()
     }
 
     /// Stop admitting, wait up to `timeout` for in-flight work, then
@@ -389,6 +517,7 @@ fn spawn_worker(idx: usize, shared: Arc<Shared>) {
 fn worker_main(idx: usize, shared: Arc<Shared>) {
     let rx = Arc::clone(&shared.queues[idx]);
     let mut slot = WarmSlot::new();
+    let wobs = WorkerObs::new(idx);
     loop {
         // Hold the queue lock only for the blocking recv, never while
         // running a job, so a panicking job cannot poison the queue.
@@ -407,15 +536,21 @@ fn worker_main(idx: usize, shared: Arc<Shared>) {
         let id = run.req.id;
         let resp = run.resp.clone();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_run(idx, &mut slot, *run, &shared)
+            handle_run(idx, &mut slot, *run, &shared, &wobs)
         }));
         if outcome.is_err() {
             // Fault isolation: record the failure, answer on the dead
             // job's behalf, and hand the queue to a fresh worker. The
             // warm engine (possibly corrupted mid-panic) dies with this
-            // thread.
+            // thread, so the router must forget it.
             shared.stats.failed_panic.fetch_add(1, Ordering::SeqCst);
             shared.stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+            let m = pool_obs();
+            m.failed_panic.inc();
+            m.in_flight.add(-1);
+            *shared.warm_keys[idx]
+                .lock()
+                .expect("warm key lock never poisoned") = None;
             let _ = resp.send(err_response(
                 id,
                 ErrorKind::Panic,
@@ -428,10 +563,22 @@ fn worker_main(idx: usize, shared: Arc<Shared>) {
     }
 }
 
-fn handle_run(idx: usize, slot: &mut WarmSlot, run: RunJob, shared: &Shared) {
-    let RunJob { mut req, resp } = run;
+fn handle_run(idx: usize, slot: &mut WarmSlot, run: RunJob, shared: &Shared, wobs: &WorkerObs) {
+    let RunJob {
+        mut req,
+        resp,
+        queued_at,
+    } = run;
     let id = req.id;
     let stats = &shared.stats;
+    let m = pool_obs();
+    // Latency histograms need clock reads, so they honor the global
+    // obs switch; plain counter mirrors are one relaxed atomic and
+    // stay on so the registry always reconciles against `PoolStats`.
+    let record_latency = obs::enabled();
+    if record_latency {
+        m.queue_wait.record(queued_at.elapsed().as_nanos() as u64);
+    }
 
     if req.chaos == Some(Chaos::Panic) {
         panic!("chaos: poison request {id}");
@@ -448,28 +595,45 @@ fn handle_run(idx: usize, slot: &mut WarmSlot, run: RunJob, shared: &Shared) {
         )
     });
 
+    let exec_start = record_latency.then(Instant::now);
     let result = exec::execute(slot, &req, cancel);
+    if let Some(t0) = exec_start {
+        let busy = t0.elapsed().as_nanos() as u64;
+        m.execute.record(busy);
+        wobs.busy_ns.add(busy);
+        wobs.jobs.inc();
+    }
+    // The key the router may sticky-match next: set on success, cleared
+    // on any failure (a failed run discards the worker's engine).
+    let mut parked_key: Option<String> = None;
     let line = match result {
         Ok(out) => {
             let mut ok = true;
             if out.warm && shared.cfg.selfcheck {
                 stats.selfcheck_runs.fetch_add(1, Ordering::SeqCst);
+                m.selfcheck_runs.inc();
                 let cold = exec::execute(&mut WarmSlot::new(), &req, None);
                 if cold.map(|c| c.report_json) != Ok(out.report_json.clone()) {
                     stats.selfcheck_failures.fetch_add(1, Ordering::SeqCst);
+                    m.selfcheck_failures.inc();
                     ok = false;
                 }
             }
             if ok {
                 stats.completed_ok.fetch_add(1, Ordering::SeqCst);
+                m.completed_ok.inc();
                 if out.warm {
                     stats.warm_hits.fetch_add(1, Ordering::SeqCst);
+                    m.warm_hits.inc();
                 } else {
                     stats.cold_builds.fetch_add(1, Ordering::SeqCst);
+                    m.cold_builds.inc();
                 }
+                parked_key = Some(out.config_key.clone());
                 ok_response(id, idx, out.warm, &out.report_json)
             } else {
                 stats.failed_audit.fetch_add(1, Ordering::SeqCst);
+                m.failed_audit.inc();
                 err_response(
                     id,
                     ErrorKind::Audit,
@@ -479,18 +643,25 @@ fn handle_run(idx: usize, slot: &mut WarmSlot, run: RunJob, shared: &Shared) {
             }
         }
         Err(e) => {
-            let counter = match e.kind {
-                ErrorKind::Proto => &stats.failed_proto,
-                ErrorKind::Deadline => &stats.failed_deadline,
-                ErrorKind::EventCap => &stats.failed_event_cap,
-                ErrorKind::Audit => &stats.failed_audit,
-                _ => &stats.failed_sim,
+            let (counter, mirror) = match e.kind {
+                ErrorKind::Proto => (&stats.failed_proto, m.failed_proto),
+                ErrorKind::Deadline => (&stats.failed_deadline, m.failed_deadline),
+                ErrorKind::EventCap => (&stats.failed_event_cap, m.failed_event_cap),
+                ErrorKind::Audit => (&stats.failed_audit, m.failed_audit),
+                _ => (&stats.failed_sim, m.failed_sim),
             };
             counter.fetch_add(1, Ordering::SeqCst);
+            mirror.inc();
             err_response(id, e.kind, &e.message, None)
         }
     };
+    // Publish the warm key before answering, so a client that submits
+    // its next request after reading this response is routed sticky.
+    *shared.warm_keys[idx]
+        .lock()
+        .expect("warm key lock never poisoned") = parked_key;
     stats.in_flight.fetch_sub(1, Ordering::SeqCst);
+    m.in_flight.add(-1);
     let _ = resp.send(line);
 }
 
@@ -638,6 +809,49 @@ mod tests {
             "{:?}",
             pool.stats().reconcile()
         );
+    }
+
+    #[test]
+    fn sticky_routing_reuses_the_warm_worker() {
+        let pool = Pool::start(PoolConfig {
+            workers: 2,
+            queue_cap: 8,
+            ..PoolConfig::default()
+        });
+        // Warm both workers on different configs: the first request has
+        // no warm match (round-robin -> worker 0), the second uses a
+        // different preset (no match -> worker 1).
+        let a = submit_and_wait(&pool, stream_req(1, 512));
+        assert!(a.contains("\"ok\":true"), "{a}");
+        let mut other = stream_req(2, 512);
+        other.spec = Spec::Stream {
+            preset: "chick-sim".into(),
+            elems: 512,
+            threads: 16,
+            kernel: "add".into(),
+            strategy: "serial".into(),
+            single_nodelet: true,
+            stack_touch_period: 4,
+        };
+        let b = submit_and_wait(&pool, other);
+        assert!(b.contains("\"ok\":true"), "{b}");
+        // Every further "chick" request must ride worker 0's warm
+        // engine: sticky routing beats round-robin, which would have
+        // bounced half of them onto worker 1 for cold builds.
+        for i in 0..4 {
+            let r = submit_and_wait(&pool, stream_req(10 + i, 512));
+            assert!(r.contains("\"warm\":true"), "request {i} not warm: {r}");
+        }
+        assert!(pool.drain(Duration::from_secs(10)));
+        let s = pool.stats().snapshot();
+        assert_eq!(s.completed_ok, 6);
+        assert_eq!(
+            s.cold_builds, 2,
+            "one cold build per distinct config: {s:?}"
+        );
+        assert_eq!(s.warm_hits, 4);
+        assert_eq!(s.routed_sticky, 4, "{s:?}");
+        assert!(pool.stats().reconcile().is_empty());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! ```json
 //! {"op":"run","id":1,"spec":{...},"deadline_ms":250,"max_events":1000000}
 //! {"op":"health","id":2}
-//! {"op":"shutdown","id":3}
+//! {"op":"metrics","id":3}
+//! {"op":"shutdown","id":4}
 //! ```
 //!
 //! A `run` spec is either a scripted case in the conformance fuzz
@@ -38,6 +39,11 @@ pub enum Request {
     Run(RunRequest),
     /// Ask for a pool statistics snapshot.
     Health {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+    /// Ask for a live-metrics registry snapshot ([`emu_core::obs`]).
+    Metrics {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
@@ -184,6 +190,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         .ok_or("missing \"op\"")?;
     match op {
         "health" => Ok(Request::Health { id }),
+        "metrics" => Ok(Request::Metrics { id }),
         "shutdown" => Ok(Request::Shutdown { id }),
         "run" => {
             let spec = parse_spec(v.get("spec").ok_or("run request missing \"spec\"")?)?;
@@ -332,6 +339,10 @@ mod tests {
         assert_eq!(
             parse_request(r#"{"op":"health","id":9}"#).unwrap(),
             Request::Health { id: 9 }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"metrics","id":11}"#).unwrap(),
+            Request::Metrics { id: 11 }
         );
         assert_eq!(
             parse_request(r#"{"op":"shutdown","id":10}"#).unwrap(),

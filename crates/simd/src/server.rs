@@ -9,12 +9,36 @@
 
 use crate::pool::{Pool, PoolConfig, Reject, StatsSnapshot};
 use crate::proto::{err_response, parse_request, ErrorKind, Request};
+use emu_core::obs;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread;
 use std::time::Duration;
+
+/// The server's live series: connection churn, wire traffic, and
+/// scrape counts. Resolved once; every update is one relaxed atomic.
+struct ServerObs {
+    connections: &'static obs::Counter,
+    active: &'static obs::Gauge,
+    bytes_in: &'static obs::Counter,
+    bytes_out: &'static obs::Counter,
+    parse_errors: &'static obs::Counter,
+    scrapes: &'static obs::Counter,
+}
+
+fn server_obs() -> &'static ServerObs {
+    static CELLS: std::sync::OnceLock<ServerObs> = std::sync::OnceLock::new();
+    CELLS.get_or_init(|| ServerObs {
+        connections: obs::counter("simd_server_connections_total"),
+        active: obs::gauge("simd_server_connections_active"),
+        bytes_in: obs::counter("simd_server_bytes_in_total"),
+        bytes_out: obs::counter("simd_server_bytes_out_total"),
+        parse_errors: obs::counter("simd_server_parse_errors_total"),
+        scrapes: obs::counter("simd_server_metrics_scrapes_total"),
+    })
+}
 
 /// Daemon configuration (see `EMU_SIMD_*` in EXPERIMENTS.md).
 #[derive(Debug, Clone)]
@@ -32,6 +56,10 @@ pub struct ServeOpts {
     /// Install SIGTERM/SIGINT handlers (the daemon binary does; tests
     /// and in-process servers use the `shutdown` op instead).
     pub handle_signals: bool,
+    /// Optional bind address for the plain-text Prometheus exporter
+    /// (`EMU_SIMD_METRICS_ADDR`; port 0 picks a free port; `None`
+    /// disables the endpoint).
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOpts {
@@ -43,6 +71,7 @@ impl Default for ServeOpts {
             max_conns: 32,
             telemetry_path: None,
             handle_signals: false,
+            metrics_addr: None,
         }
     }
 }
@@ -136,11 +165,21 @@ pub fn serve_with(
     let shutdown = Arc::new(AtomicBool::new(false));
     let conns = Arc::new(AtomicUsize::new(0));
 
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics = match &opts.metrics_addr {
+        Some(addr) => Some(metrics_exporter(addr, Arc::clone(&metrics_stop))?),
+        None => None,
+    };
+
     {
+        let metrics_field = match &metrics {
+            Some((addr, _)) => format!(",\"metrics_addr\":\"{addr}\""),
+            None => String::new(),
+        };
         let mut out = std::io::stdout();
         let _ = writeln!(
             out,
-            "{{\"event\":\"ready\",\"addr\":\"{local}\",\"workers\":{}}}",
+            "{{\"event\":\"ready\",\"addr\":\"{local}\",\"workers\":{}{metrics_field}}}",
             pool.workers()
         );
         let _ = out.flush();
@@ -160,6 +199,9 @@ pub fn serve_with(
                     continue;
                 }
                 conns.fetch_add(1, Ordering::SeqCst);
+                let so = server_obs();
+                so.connections.inc();
+                so.active.add(1);
                 let pool = Arc::clone(&pool);
                 let shutdown = Arc::clone(&shutdown);
                 let conns = Arc::clone(&conns);
@@ -167,6 +209,7 @@ pub fn serve_with(
                     .name("simd-conn".into())
                     .spawn(move || {
                         let _ = handle_conn(stream, &pool, &shutdown);
+                        server_obs().active.add(-1);
                         conns.fetch_sub(1, Ordering::SeqCst);
                     })
                     .map_err(|e| format!("spawn connection handler: {e}"))?;
@@ -178,6 +221,10 @@ pub fn serve_with(
         }
     }
 
+    if let Some((_, handle)) = metrics {
+        metrics_stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
     let drained = pool.drain(Duration::from_millis(opts.drain_ms));
     let summary = ServeSummary {
         stats: pool.stats().snapshot(),
@@ -201,15 +248,20 @@ pub fn serve_with(
 
 /// Serve one connection: requests in, responses out, strictly in order.
 fn handle_conn(stream: TcpStream, pool: &Pool, shutdown: &AtomicBool) -> std::io::Result<()> {
+    let so = server_obs();
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let line = line?;
+        so.bytes_in.add(line.len() as u64 + 1);
         if line.trim().is_empty() {
             continue;
         }
         let reply = match parse_request(&line) {
-            Err(e) => err_response(0, ErrorKind::Proto, &e, None),
+            Err(e) => {
+                so.parse_errors.inc();
+                err_response(0, ErrorKind::Proto, &e, None)
+            }
             Ok(Request::Health { id }) => {
                 format!(
                     "{{\"id\":{id},\"ok\":true,\"health\":{{\"workers\":{},\"draining\":{},\"stats\":{}}}}}",
@@ -218,9 +270,16 @@ fn handle_conn(stream: TcpStream, pool: &Pool, shutdown: &AtomicBool) -> std::io
                     pool.stats().snapshot().json()
                 )
             }
+            Ok(Request::Metrics { id }) => {
+                format!(
+                    "{{\"id\":{id},\"ok\":true,\"metrics\":{}}}",
+                    obs::snapshot().json()
+                )
+            }
             Ok(Request::Shutdown { id }) => {
                 shutdown.store(true, Ordering::SeqCst);
                 let reply = format!("{{\"id\":{id},\"ok\":true,\"shutting_down\":true}}");
+                so.bytes_out.add(reply.len() as u64 + 1);
                 writeln!(writer, "{reply}")?;
                 writer.flush()?;
                 break;
@@ -244,8 +303,81 @@ fn handle_conn(stream: TcpStream, pool: &Pool, shutdown: &AtomicBool) -> std::io
                 }
             }
         };
+        so.bytes_out.add(reply.len() as u64 + 1);
         writeln!(writer, "{reply}")?;
         writer.flush()?;
     }
     Ok(())
+}
+
+/// Bind the Prometheus endpoint and serve scrapes until `stop` trips.
+/// Hand-rolled HTTP/1.0: read the request head, answer `GET /metrics`
+/// with the text exposition format, 404 anything else, close. Returns
+/// the bound address (port 0 picks a free one) and the serving thread.
+pub fn metrics_exporter(
+    addr: &str,
+    stop: Arc<AtomicBool>,
+) -> Result<(SocketAddr, thread::JoinHandle<()>), String> {
+    let listener = TcpListener::bind(addr).map_err(|e| format!("bind metrics {addr}: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("metrics set_nonblocking: {e}"))?;
+    let local = listener.local_addr().map_err(|e| e.to_string())?;
+    let handle = thread::Builder::new()
+        .name("simd-metrics".into())
+        .spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let _ = serve_scrape(stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        })
+        .map_err(|e| format!("spawn metrics exporter: {e}"))?;
+    Ok((local, handle))
+}
+
+fn serve_scrape(stream: TcpStream) -> std::io::Result<()> {
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the rest of the head so the client never sees a reset
+    // before it finishes sending.
+    loop {
+        let mut header = String::new();
+        match reader.read_line(&mut header) {
+            Ok(0) => break,
+            Ok(_) if header == "\r\n" || header == "\n" => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let is_metrics =
+        parts.next() == Some("GET") && matches!(parts.next(), Some("/metrics") | Some("/metrics/"));
+    let mut stream = stream;
+    if is_metrics {
+        server_obs().scrapes.inc();
+        let body = obs::snapshot().prometheus();
+        write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+    } else {
+        let body = "not found; try GET /metrics\n";
+        write!(
+            stream,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )?;
+    }
+    stream.flush()
 }

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (version 0.0.4) scrape body.
+
+Usage: check_prom.py FILE [required_series ...]
+
+Checks, stdlib-only (CI runner has no prometheus client):
+  - every non-comment line is `name[{label="value"}] number`;
+  - metric and label names match the Prometheus grammar;
+  - every sample's family has a preceding `# TYPE` line, each family is
+    typed exactly once, and the type is counter/gauge/summary;
+  - counter and summary-count samples are non-negative;
+  - summary families expose quantile/_sum/_count samples;
+  - every `required_series` name appears as a sample.
+
+Exits nonzero with one line per violation.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?:\{(?P<label>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"\\]*)"\})?'
+    r" (?P<num>\S+)$"
+)
+TYPES = {"counter", "gauge", "summary"}
+
+
+def family(name: str) -> str:
+    """Collapse summary sub-series onto the family that typed them."""
+    for suffix in ("_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text: str, required: list[str]) -> list[str]:
+    errors = []
+    typed = {}  # family -> declared type
+    seen = {}  # sample name -> parsed value (last wins, like Prometheus)
+    quantiles = set()  # summary families with at least one quantile sample
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            errors.append(f"line {lineno}: blank line inside exposition")
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                    continue
+                _, _, name, kind = parts
+                if not NAME_RE.match(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                if kind not in TYPES:
+                    errors.append(f"line {lineno}: unknown type {kind!r}")
+                if name in typed:
+                    errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                typed[name] = kind
+            # Other comments (e.g. HELP) are legal and ignored.
+            continue
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, num = m.group("name"), m.group("num")
+        try:
+            val = float(num)
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value {num!r}")
+            continue
+        fam = family(name)
+        kind = typed.get(fam)
+        if kind is None:
+            errors.append(f"line {lineno}: sample {name} has no TYPE for {fam}")
+            continue
+        if m.group("label") == "quantile":
+            quantiles.add(fam)
+        if kind == "counter" and val < 0:
+            errors.append(f"line {lineno}: counter {name} is negative ({num})")
+        if kind == "summary" and name.endswith("_count") and val < 0:
+            errors.append(f"line {lineno}: summary count {name} is negative")
+        seen[name] = val
+    for fam, kind in typed.items():
+        if kind == "summary":
+            for part, have in [
+                ("quantile samples", fam in quantiles),
+                ("_sum", f"{fam}_sum" in seen),
+                ("_count", f"{fam}_count" in seen),
+            ]:
+                if not have:
+                    errors.append(f"summary {fam} is missing its {part}")
+    for name in required:
+        if name not in seen:
+            errors.append(f"required series {name} is absent")
+    if not seen:
+        errors.append("exposition contains no samples at all")
+    return errors
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1], encoding="utf-8") as f:
+        text = f.read()
+    errors = check(text, sys.argv[2:])
+    for e in errors:
+        print(f"check_prom: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"check_prom: ok ({sys.argv[1]})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,7 @@ fn start_daemon(workers: usize, queue_cap: usize) -> (SocketAddr, JoinHandle<Ser
             max_conns: 16,
             telemetry_path: None,
             handle_signals: false,
+            metrics_addr: None,
         };
         serve_with(opts, move |addr| addr_tx.send(addr).unwrap()).expect("daemon failed")
     });
