@@ -738,14 +738,21 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
     emu_bench::output::write_artifact("pdes-speedup", &out_path, &json);
 
     if gate {
-        // A one-core host cannot run shards in parallel at all, so the
-        // speedup bar only applies where threads can actually overlap
-        // (CI runners and developer machines). Override with
-        // EMU_PDES_GATE_MIN to tighten or loosen.
+        // The speedup bar scales with what the host can deliver: a
+        // one-core box cannot overlap shards at all, a two-core box
+        // must at least not lose to sequential, and anywhere with four
+        // or more cores the sharded scheduler must win outright (2x).
+        // Override with EMU_PDES_GATE_MIN to tighten or loosen.
         let min_required: f64 = std::env::var("EMU_PDES_GATE_MIN")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(if cores > 1 { 1.0 } else { 0.0 });
+            .unwrap_or(if cores >= 4 {
+                2.0
+            } else if cores > 1 {
+                1.0
+            } else {
+                0.0
+            });
         if min_speedup < min_required {
             eprintln!(
                 "pdes-speedup: gate failed — {min_speedup:.2}x < {min_required}x with {shards} shards on {cores} cores"
@@ -753,6 +760,25 @@ fn cmd_pdes_speedup(p: &Parsed) -> Result<(), String> {
             std::process::exit(1);
         }
         println!("pdes-speedup: gate ok ({min_speedup:.2}x >= {min_required}x)");
+        // Synchronization-cost bar: with the fused gate the barrier
+        // phase must stay a minority cost. Checked on stream_add (the
+        // epoch-dense leg) whenever the profile is available and the
+        // host actually ran shards in parallel.
+        if phases && cores >= 4 {
+            let a = aggregate(&legs[0].par_phases);
+            let frac = a.barrier as f64 / a.total.max(1) as f64;
+            if frac >= 0.25 {
+                eprintln!(
+                    "pdes-speedup: gate failed — stream_add barrier time {:.1}% of loop (must be < 25%)",
+                    100.0 * frac
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "pdes-speedup: barrier gate ok ({:.1}% of stream_add loop < 25%)",
+                100.0 * frac
+            );
+        }
     }
     Ok(())
 }

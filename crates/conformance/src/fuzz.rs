@@ -241,6 +241,11 @@ fn run_once(
         e.use_reference_queue();
     }
     e.set_sim_threads(sim_threads);
+    // The sharded leg exists to lockstep-check the threaded scheduler,
+    // so pin it on: adaptive merging would otherwise collapse the pool
+    // to the inline path on a single-core host and the three-way
+    // comparison would silently lose its parallel witness.
+    e.enable_merge(false);
     e.enable_trace(TRACE_CAP);
     seed_case(&mut e, case)?;
     e.run()

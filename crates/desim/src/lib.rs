@@ -27,6 +27,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod pdes;
 pub mod queue;
 pub mod rng;
@@ -35,7 +36,8 @@ pub mod stats;
 pub mod time;
 pub mod timeline;
 
-pub use pdes::{Mailboxes, SpinBarrier};
+pub use arena::{Arena, Idx};
+pub use pdes::{EdgeRings, EpochGate, GateView, SpinBarrier, SpscRing};
 pub use queue::EventQueue;
 pub use server::{FifoServer, Grant, Link, MultiServer};
 pub use stats::{Bandwidth, Counter, LogHistogram, Summary};

@@ -60,7 +60,14 @@ impl fmt::Display for Violation {
 /// * **sharded-scheduler conservation** — every cross-shard event posted
 ///   to a mailbox was delivered, no cross-shard event was scheduled
 ///   below the conservative lookahead horizon, and a zero-lookahead
-///   machine never entered epoch mode.
+///   machine never entered epoch mode;
+/// * **fused-epoch conservation** — the clean-window count is bounded by
+///   the epoch count, agrees with the mailbox totals (an all-local run
+///   is all clean, a run that posted mail is not), and every dirty
+///   window is backed by at least one posted event;
+/// * **shard-merge-map validity** — with a phase profile attached, the
+///   adaptive merge planner's shard→worker map is total: one owner per
+///   shard, every owner inside the group pool, no empty group.
 pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
     fn fail(v: &mut Vec<Violation>, invariant: &'static str, detail: String) {
         v.push(Violation { invariant, detail });
@@ -274,6 +281,57 @@ pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
         );
     }
 
+    // Fused-epoch conservation: a clean window is one that crossed the
+    // gate with no cross-shard mail in flight. There can never be more
+    // clean windows than windows; a run that never posted mail is all
+    // clean; a run that posted any mail has at least one dirty window;
+    // and every dirty window carries at least one posted event. All
+    // four hold for every scheduler (fused, two-sync, inline) because
+    // cleanliness depends only on simulated content — the merged
+    // fallback (epochs == 0) is exempt from the emptiness checks since
+    // it never opens a window at all.
+    if pdes.clean_windows > pdes.epochs {
+        fail(
+            &mut v,
+            "pdes-clean-window-bound",
+            format!(
+                "{} clean windows out of {} epochs",
+                pdes.clean_windows, pdes.epochs
+            ),
+        );
+    }
+    if pdes.epochs > 0 && pdes.mailbox_sent == 0 && pdes.clean_windows != pdes.epochs {
+        fail(
+            &mut v,
+            "pdes-clean-window-bound",
+            format!(
+                "no cross-shard mail but only {} of {} windows were clean",
+                pdes.clean_windows, pdes.epochs
+            ),
+        );
+    }
+    if pdes.epochs > 0 && pdes.mailbox_sent > 0 && pdes.clean_windows == pdes.epochs {
+        fail(
+            &mut v,
+            "pdes-clean-window-bound",
+            format!(
+                "{} cross-shard events posted yet all {} windows claim to be clean",
+                pdes.mailbox_sent, pdes.epochs
+            ),
+        );
+    }
+    if pdes.mailbox_sent < pdes.epochs.saturating_sub(pdes.clean_windows) {
+        fail(
+            &mut v,
+            "pdes-clean-window-bound",
+            format!(
+                "{} dirty windows but only {} events were ever posted",
+                pdes.epochs - pdes.clean_windows,
+                pdes.mailbox_sent
+            ),
+        );
+    }
+
     // -- Phase-profile reconciliation --------------------------------
     // Wall-clock phase attribution (present only when profiling was
     // enabled): the four phases partition each worker's loop, so their
@@ -313,6 +371,50 @@ pub fn audit(cfg: &MachineConfig, report: &RunReport) -> Vec<Violation> {
                     phases.epochs, pdes.epochs
                 ),
             );
+        }
+        // Shard-merge-map validity: the adaptive merge planner must
+        // have produced a total map — one owning worker per shard,
+        // every owner inside the group pool, and no empty group (an
+        // empty group would mean a worker spinning on the gate for the
+        // whole run, contributing nothing but synchronization cost).
+        if phases.merge_groups == 0 {
+            fail(
+                &mut v,
+                "pdes-merge-map",
+                "profile records zero merge groups".to_string(),
+            );
+        } else {
+            if phases.shard_owners.len() as u64 != pdes.shards {
+                fail(
+                    &mut v,
+                    "pdes-merge-map",
+                    format!(
+                        "merge map covers {} shards but the machine has {}",
+                        phases.shard_owners.len(),
+                        pdes.shards
+                    ),
+                );
+            }
+            let groups = phases.merge_groups;
+            let mut seen = vec![false; groups as usize];
+            for (shard, &owner) in phases.shard_owners.iter().enumerate() {
+                if (owner as u64) < groups {
+                    seen[owner as usize] = true;
+                } else {
+                    fail(
+                        &mut v,
+                        "pdes-merge-map",
+                        format!("shard {shard} assigned to worker {owner} outside {groups} groups"),
+                    );
+                }
+            }
+            if let Some(empty) = seen.iter().position(|&s| !s) {
+                fail(
+                    &mut v,
+                    "pdes-merge-map",
+                    format!("merge group {empty} owns no shards"),
+                );
+            }
         }
     }
 
@@ -619,6 +721,47 @@ mod tests {
         );
     }
 
+    #[test]
+    fn seeded_clean_window_overcount_is_caught() {
+        // A scheduler bug that flags every window clean (skipping the
+        // exchange) on a run that demonstrably posted cross-shard mail.
+        let (cfg, mut report) = traced_run();
+        assert!(report.pdes.epochs > 0, "workload must run in epoch mode");
+        assert!(report.pdes.mailbox_sent > 0, "workload must cross shards");
+        report.pdes.clean_windows = report.pdes.epochs;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-clean-window-bound"),
+            "got {v:?}"
+        );
+        // And more clean windows than windows is nonsense outright.
+        report.pdes.clean_windows = report.pdes.epochs + 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-clean-window-bound"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_phantom_dirty_windows_are_caught() {
+        // The dual bug: a scheduler that marks windows dirty (forcing
+        // ring drains) although nothing was ever posted — legal only if
+        // the mailbox totals back it up.
+        let (cfg, mut report) = traced_run();
+        assert!(report.pdes.epochs > 1);
+        report.pdes.mailbox_sent = 0;
+        report.pdes.mailbox_delivered = 0;
+        report.pdes.mailbox_depth_hwm = 0;
+        report.pdes.min_cross_delay_ps = u64::MAX;
+        report.pdes.clean_windows = report.pdes.epochs - 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-clean-window-bound"),
+            "got {v:?}"
+        );
+    }
+
     /// Like [`traced_run`] but with wall-clock phase profiling on, so
     /// the report carries a [`crate::metrics::PdesPhaseProfile`].
     fn profiled_run() -> (MachineConfig, RunReport) {
@@ -701,6 +844,55 @@ mod tests {
         let v = audit(&cfg, &report);
         assert!(
             v.iter().any(|v| v.invariant == "pdes-phase-wall-bound"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_partial_merge_map_is_caught() {
+        // A merge planner that drops a shard from the map.
+        let (cfg, mut report) = profiled_run();
+        let phases = report.phases.as_mut().unwrap();
+        assert!(!phases.shard_owners.is_empty());
+        phases.shard_owners.pop();
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-merge-map"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_out_of_pool_owner_is_caught() {
+        // A shard assigned to a worker id beyond the group pool.
+        let (cfg, mut report) = profiled_run();
+        let phases = report.phases.as_mut().unwrap();
+        let groups = phases.merge_groups as u32;
+        phases.shard_owners[0] = groups;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-merge-map"),
+            "got {v:?}"
+        );
+    }
+
+    #[test]
+    fn seeded_empty_merge_group_is_caught() {
+        // A group pool wider than the set of workers that actually own
+        // shards: the extra worker would spin on the gate all run.
+        let (cfg, mut report) = profiled_run();
+        let phases = report.phases.as_mut().unwrap();
+        phases.merge_groups += 1;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-merge-map"),
+            "got {v:?}"
+        );
+        // And zero groups with a profile attached is never valid.
+        report.phases.as_mut().unwrap().merge_groups = 0;
+        let v = audit(&cfg, &report);
+        assert!(
+            v.iter().any(|v| v.invariant == "pdes-merge-map"),
             "got {v:?}"
         );
     }

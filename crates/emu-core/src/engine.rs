@@ -62,7 +62,8 @@ use crate::metrics::{
     NodeletCounters, NodeletOccupancy, PdesPhaseProfile, PdesSummary, PhaseBreakdown, RunReport,
 };
 use crate::trace::{self, TraceEvent, TraceKind, TraceLog, TraceRecorder};
-use desim::pdes::{Mailboxes, SpinBarrier};
+use desim::arena::{Arena, Idx as TRef};
+use desim::pdes::{EdgeRings, EpochGate, GATE_DIRTY, GATE_ERROR};
 use desim::queue::EventQueue;
 use desim::server::{FifoServer, Grant, Link, MultiServer};
 use desim::stats::{LogHistogram, Summary};
@@ -127,22 +128,134 @@ pub fn phase_profile() -> bool {
     }
 }
 
+/// Process-global default for epoch fusion; 0 = unresolved (falls back
+/// to `EMU_PDES_FUSE`), 1 = off, 2 = on.
+static PDES_FUSE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-global default for epoch fusion (committing clean
+/// windows on a single gate crossing instead of two), used by every
+/// subsequently constructed engine that does not call
+/// [`Engine::enable_fuse`]. Fusion changes only wall-clock behavior;
+/// results are byte-identical either way.
+pub fn set_pdes_fuse(on: bool) {
+    PDES_FUSE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-global epoch-fusion default: the last value passed to
+/// [`set_pdes_fuse`], else `EMU_PDES_FUSE` from the environment (`0`
+/// disables), else on.
+pub fn pdes_fuse() -> bool {
+    match PDES_FUSE.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("EMU_PDES_FUSE").map_or(true, |v| v != "0");
+            PDES_FUSE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        v => v == 2,
+    }
+}
+
+/// Process-global default for adaptive shard merging; 0 = unresolved
+/// (falls back to `EMU_PDES_MERGE`), 1 = off, 2 = on.
+static PDES_MERGE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-global default for adaptive shard merging (collapsing
+/// under-loaded shards onto shared workers), used by every subsequently
+/// constructed engine that does not call [`Engine::enable_merge`].
+/// Merging changes only worker placement; results are byte-identical
+/// either way.
+pub fn set_pdes_merge(on: bool) {
+    PDES_MERGE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-global shard-merging default: the last value passed to
+/// [`set_pdes_merge`], else `EMU_PDES_MERGE` from the environment (`0`
+/// disables), else on.
+pub fn pdes_merge() -> bool {
+    match PDES_MERGE.load(Ordering::Relaxed) {
+        0 => {
+            let on = std::env::var("EMU_PDES_MERGE").map_or(true, |v| v != "0");
+            PDES_MERGE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+            on
+        }
+        v => v == 2,
+    }
+}
+
+/// Process-global default per-edge ring capacity; 0 = unresolved (falls
+/// back to `EMU_PDES_RING`, then 512).
+static PDES_RING: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-global default capacity (in messages) of each SPSC
+/// exchange ring, clamped to at least 1 and rounded up to a power of
+/// two at ring construction. Overflow past the capacity spills to a
+/// mutex-guarded side list, so any capacity is correct; bigger rings
+/// just lock less.
+pub fn set_pdes_ring(capacity: usize) {
+    PDES_RING.store(capacity.max(1), Ordering::Relaxed);
+}
+
+/// The process-global ring-capacity default: the last value passed to
+/// [`set_pdes_ring`], else `EMU_PDES_RING` from the environment, else
+/// 512.
+pub fn pdes_ring() -> usize {
+    let v = PDES_RING.load(Ordering::Relaxed);
+    if v != 0 {
+        return v;
+    }
+    let n = std::env::var("EMU_PDES_RING")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(512);
+    PDES_RING.store(n, Ordering::Relaxed);
+    n
+}
+
+/// Process-global default merge threshold, stored as `threshold + 1`;
+/// 0 = unresolved (falls back to `EMU_PDES_MERGE_MIN`, then 16).
+static PDES_MERGE_MIN: AtomicU64 = AtomicU64::new(0);
+
+/// Set the process-global merge threshold: a shard counts as *loaded*
+/// when it holds at least this many pending events at run start, and
+/// the merge planner sizes the worker pool to the loaded-shard count.
+pub fn set_pdes_merge_min(threshold: u64) {
+    PDES_MERGE_MIN.store(threshold.saturating_add(1), Ordering::Relaxed);
+}
+
+/// The process-global merge-threshold default: the last value passed to
+/// [`set_pdes_merge_min`], else `EMU_PDES_MERGE_MIN` from the
+/// environment, else 16.
+pub fn pdes_merge_min() -> u64 {
+    let v = PDES_MERGE_MIN.load(Ordering::Relaxed);
+    if v != 0 {
+        return v - 1;
+    }
+    let n = std::env::var("EMU_PDES_MERGE_MIN")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(16);
+    PDES_MERGE_MIN.store(n.saturating_add(1), Ordering::Relaxed);
+    n
+}
+
 /// Bit position of the shard namespace within an event key. Runtime keys
 /// are `(shard + 1) << KEY_SHIFT | send_seq`; pre-run spawns use bare
 /// sequence numbers (namespace 0), which sort before all runtime keys.
 const KEY_SHIFT: u32 = 40;
 
-/// Internal engine events. One pop = one state transition. Events carry
-/// their thread context by value, so a migration literally ships the
-/// context between shards — there is no global thread table.
+/// Internal engine events. One pop = one state transition. Thread
+/// contexts live in their shard's [`Arena`]; events carry only the
+/// 8-byte generational handle, so the hot pop loop moves no boxes and
+/// chases no per-event heap pointers.
 enum Event {
     /// Thread context arrives at a nodelet (spawn or migration); it must
     /// acquire a hardware slot before issuing.
-    Arrive(Box<Thread>),
+    Arrive(TRef),
     /// Thread holds a slot and may issue its next operation.
-    Ready(Box<Thread>),
+    Ready(TRef),
     /// A load issued earlier now reaches the memory channel.
-    ChannelRead(Box<Thread>, u32),
+    ChannelRead(TRef, u32),
     /// A (possibly remote) store/atomic packet reaches this nodelet's
     /// channel (the destination is the shard the event is scheduled on).
     ChannelWrite {
@@ -151,16 +264,34 @@ enum Event {
         from_remote: bool,
     },
     /// A departing context reaches its migration engine.
-    MigrateOut(Box<Thread>),
+    MigrateOut(TRef),
     /// A cross-node migration leaves the migration engine toward the
     /// RapidIO fabric (drop/retransmit decisions happen here, on the
     /// source nodelet).
-    LinkSend(Box<Thread>),
+    LinkSend(TRef),
     /// A cross-node migration enters the node's RapidIO interface, which
     /// lives on the node's head nodelet.
-    LinkTransit(Box<Thread>),
+    LinkTransit(TRef),
     /// A hardware slot frees on this nodelet (context departed or quit).
     SlotRelease,
+}
+
+/// The cross-shard wire format. Arena handles are meaningless outside
+/// their shard, so a departing context is extracted from the source
+/// arena, shipped by value, and re-inserted at the destination. Only
+/// three event kinds ever cross shards: thread arrivals, link transits
+/// toward a remote head nodelet, and posted store/atomic packets.
+enum WireEv {
+    /// A migrating (or remotely spawned) context arriving at `dest`.
+    Arrive(Thread),
+    /// A context entering a remote node's RapidIO interface.
+    LinkTransit(Thread),
+    /// A posted store/atomic packet (no thread context attached).
+    ChannelWrite {
+        bytes: u32,
+        atomic: bool,
+        from_remote: bool,
+    },
 }
 
 struct Thread {
@@ -249,7 +380,7 @@ struct Nodelet {
     /// Hardware slots currently held by resident threadlets (the
     /// live-threadlet gauge samples this).
     in_use: u32,
-    waiters: VecDeque<Box<Thread>>,
+    waiters: VecDeque<TRef>,
     counters: NodeletCounters,
 }
 
@@ -262,12 +393,20 @@ struct ShardTl {
     live_threads: Gauge,
 }
 
-/// One cross-shard event in flight between epoch barriers.
+/// One cross-shard event in flight between epoch gate crossings.
 struct OutMsg {
     dest: u32,
     at: Time,
     key: u64,
-    ev: Event,
+    /// Window the message was posted in, stamped by the scheduler at
+    /// post time. The depth high-water mark batches deliveries by this
+    /// field rather than by drain round: a fused drain may pick up mail
+    /// another worker published moments after the crossing (harmless
+    /// for results — the event lies beyond the open window and queues
+    /// order by intrinsic key), so only the posting window is a
+    /// deterministic batch identity.
+    epoch: u64,
+    ev: WireEv,
 }
 
 /// One nodelet's slice of the machine: its event queue, resources,
@@ -276,6 +415,9 @@ struct OutMsg {
 struct Shard {
     id: u32,
     q: EventQueue<Event>,
+    /// Resident thread contexts, in one flat slab; queued events refer
+    /// into it by generational handle.
+    arena: Arena<Thread>,
     nl: Nodelet,
     /// The node's RapidIO link; present only on head nodelets
     /// (`id % nodelets_per_node == 0`), which own the node's interface.
@@ -302,11 +444,12 @@ struct Shard {
     /// Cross-shard events sent / delivered (conservation-checked).
     sent: u64,
     delivered: u64,
-    /// Deliveries into this shard during the current exchange batch
-    /// (an epoch, or one dispatch under the merged fallback), with the
-    /// batch identifier that last touched it.
-    delivered_batch: u64,
-    mail_mark: u64,
+    /// Per-batch delivery counts for the two most recent exchange
+    /// batches, as `(mark, count)` slots. Two batches can be live at
+    /// once: a drain may pick up the next window's early-published
+    /// mail interleaved (per-edge) with the previous window's, so the
+    /// count must key on the mark, not on delivery adjacency.
+    mail_batch: [(u64, u64); 2],
     /// Most deliveries this shard absorbed in any single exchange
     /// batch — deterministic, so it lives in [`PdesSummary`].
     mail_hwm: u64,
@@ -323,20 +466,42 @@ struct Shard {
 impl Shard {
     /// Deliver one cross-shard message into this shard's queue,
     /// tracking the per-exchange-batch depth high-water mark. `mark`
-    /// identifies the exchange batch (epoch iteration or merged
-    /// dispatch); any value that differs between batches works.
+    /// identifies the exchange batch — the posting window under the
+    /// epoch schedulers, the dispatch count under the merged fallback.
+    /// It must be a function of simulated content only (never of drain
+    /// timing), or the high-water mark stops being deterministic.
     #[inline]
     fn absorb_mail(&mut self, mark: u64, m: OutMsg) {
-        if self.mail_mark != mark {
-            self.mail_mark = mark;
-            self.delivered_batch = 0;
+        let slot = if self.mail_batch[0].0 == mark {
+            0
+        } else if self.mail_batch[1].0 == mark {
+            1
+        } else {
+            // Evict the older batch: marks only move forward, so a
+            // mark smaller than both live ones can never recur.
+            let older = usize::from(self.mail_batch[0].0 > self.mail_batch[1].0);
+            self.mail_batch[older] = (mark, 0);
+            older
+        };
+        self.mail_batch[slot].1 += 1;
+        if self.mail_batch[slot].1 > self.mail_hwm {
+            self.mail_hwm = self.mail_batch[slot].1;
         }
-        self.q.schedule_keyed(m.at, m.key, m.ev);
+        let ev = match m.ev {
+            WireEv::Arrive(t) => Event::Arrive(self.arena.insert(t)),
+            WireEv::LinkTransit(t) => Event::LinkTransit(self.arena.insert(t)),
+            WireEv::ChannelWrite {
+                bytes,
+                atomic,
+                from_remote,
+            } => Event::ChannelWrite {
+                bytes,
+                atomic,
+                from_remote,
+            },
+        };
+        self.q.schedule_keyed(m.at, m.key, ev);
         self.delivered += 1;
-        self.delivered_batch += 1;
-        if self.delivered_batch > self.mail_hwm {
-            self.mail_hwm = self.delivered_batch;
-        }
     }
 }
 
@@ -407,12 +572,22 @@ impl PhaseClock {
     }
 }
 
-/// Per-worker decision inputs published at the epoch barrier.
+/// What one scheduler run did, beyond the per-shard counters: the epoch
+/// count plus the synchronization stats that feed [`PdesSummary`] and
+/// [`PdesPhaseProfile`]. `epochs` and `clean` depend only on simulated
+/// content, so every scheduler produces the same values for the same
+/// workload; `crossings` and `fused` describe how the run was executed.
 #[derive(Default, Clone, Copy)]
-struct WorkerSlot {
-    events: u64,
-    any_error: bool,
-    next: Option<Time>,
+struct SchedStats {
+    /// Lookahead windows drained.
+    epochs: u64,
+    /// Windows after which no shard had posted cross-shard mail.
+    clean: u64,
+    /// Gate/barrier crossings the workers performed (0 when inline).
+    crossings: u64,
+    /// Clean windows committed on a single gate crossing (0 when epoch
+    /// fusion is disabled or the run was inline/merged).
+    fused: u64,
 }
 
 /// A cooperative cancellation flag paired with the wall-clock deadline
@@ -447,8 +622,21 @@ pub struct Engine {
     /// Whether the epoch schedulers measure their wall-clock phase
     /// split (see [`Engine::enable_phase_profile`]).
     phase_profile: bool,
+    /// Whether clean windows commit on a single gate crossing (see
+    /// [`Engine::enable_fuse`]).
+    fuse: bool,
+    /// Whether the run-start planner may collapse under-loaded shards
+    /// onto shared workers (see [`Engine::enable_merge`]).
+    merge: bool,
+    /// Pending events a shard needs at run start to count as loaded for
+    /// the merge planner.
+    merge_min: u64,
+    /// Per-edge SPSC exchange-ring capacity in messages.
+    ring_capacity: usize,
     /// Profile captured by the last run, consumed by the report.
     pending_phases: Option<PdesPhaseProfile>,
+    /// Clean-window count of the last run, consumed by the report.
+    pending_clean: u64,
 }
 
 /// Per-nodelet time series of one run (present when
@@ -499,7 +687,12 @@ impl Engine {
             event_cap: None,
             cancel: None,
             phase_profile: phase_profile(),
+            fuse: pdes_fuse(),
+            merge: pdes_merge(),
+            merge_min: pdes_merge_min(),
+            ring_capacity: pdes_ring(),
             pending_phases: None,
+            pending_clean: 0,
         };
         // Benchmark runners build engines internally; the process-global
         // telemetry config (see [`crate::trace::set_global`]) lets the
@@ -527,6 +720,7 @@ impl Engine {
             .map(|id| Shard {
                 id,
                 q: EventQueue::with_capacity(reserve),
+                arena: Arena::with_capacity(reserve),
                 nl: Nodelet {
                     cores: MultiServer::new(cfg.gcs_per_nodelet as usize),
                     channel: FifoServer::new(),
@@ -553,8 +747,9 @@ impl Engine {
                 outbox: Vec::new(),
                 sent: 0,
                 delivered: 0,
-                delivered_batch: 0,
-                mail_mark: u64::MAX,
+                // Mark 0 never occurs (batch identifiers start at 1),
+                // so zeroed slots are evictable empties.
+                mail_batch: [(0, 0), (0, 0)],
                 mail_hwm: 0,
                 min_cross_delay: Time::MAX,
                 now: Time::ZERO,
@@ -583,6 +778,7 @@ impl Engine {
         self.event_cap = None;
         self.cancel = None;
         self.pending_phases = None;
+        self.pending_clean = 0;
         let cap = self.trace_capacity;
         if cap > 0 {
             for s in &mut self.shards {
@@ -637,6 +833,40 @@ impl Engine {
     /// repeat runs. Survives [`Engine::reset`] like the trace settings.
     pub fn enable_phase_profile(&mut self, on: bool) {
         self.phase_profile = on;
+    }
+
+    /// Turn epoch fusion on or off for this engine (overriding the
+    /// process-global [`set_pdes_fuse`] default captured at
+    /// construction). Fusion commits windows after which no cross-shard
+    /// mail was posted on a single gate crossing instead of two — a
+    /// pure wall-clock optimization; results are byte-identical either
+    /// way. Survives [`Engine::reset`].
+    pub fn enable_fuse(&mut self, on: bool) {
+        self.fuse = on;
+    }
+
+    /// Turn adaptive shard merging on or off for this engine
+    /// (overriding the process-global [`set_pdes_merge`] default
+    /// captured at construction). When on, the run-start planner sizes
+    /// the worker pool to the shards that actually hold work and
+    /// balances shards across it by pending-event count; placement is
+    /// deterministic and recorded in the phase profile. Results are
+    /// byte-identical either way. Survives [`Engine::reset`].
+    pub fn enable_merge(&mut self, on: bool) {
+        self.merge = on;
+    }
+
+    /// Override the merge planner's loaded-shard threshold for this
+    /// engine (see [`set_pdes_merge_min`]). Survives [`Engine::reset`].
+    pub fn set_merge_min(&mut self, threshold: u64) {
+        self.merge_min = threshold;
+    }
+
+    /// Override the per-edge SPSC exchange-ring capacity for this
+    /// engine (clamped to at least 1; see [`set_pdes_ring`]). Survives
+    /// [`Engine::reset`].
+    pub fn set_ring_capacity(&mut self, capacity: usize) {
+        self.ring_capacity = capacity.max(1);
     }
 
     /// The conservative lookahead of this machine: the minimum simulated
@@ -753,7 +983,7 @@ impl Engine {
                 kind: TraceKind::Spawn,
             });
         }
-        let t = Box::new(Thread {
+        let r = sh.arena.insert(Thread {
             tid,
             kernel: Some(kernel),
             loc: to,
@@ -771,7 +1001,7 @@ impl Engine {
         });
         let key = self.init_seq;
         self.init_seq += 1;
-        sh.q.schedule_keyed(Time::ZERO, key, Event::Arrive(t));
+        sh.q.schedule_keyed(Time::ZERO, key, Event::Arrive(r));
         Ok(tid)
     }
 
@@ -816,20 +1046,95 @@ impl Engine {
         let workers = self.sim_threads.unwrap_or_else(sim_threads).max(1);
         let profile = self.phase_profile;
         let t0 = profile.then(std::time::Instant::now);
-        let (epochs, phase_workers) = if lookahead == Time::ZERO {
+        let (stats, phase_workers, owners, groups) = if lookahead == Time::ZERO {
             self.run_merged(cap);
-            (0, Vec::new())
-        } else if workers <= 1 || self.shards.len() <= 1 {
-            self.run_epochs_inline(cap, lookahead, profile)
+            (
+                SchedStats::default(),
+                Vec::new(),
+                vec![0u32; self.shards.len()],
+                1,
+            )
         } else {
-            self.run_epochs_threaded(cap, lookahead, workers, profile)
+            let (owners, groups) = self.plan_groups(workers);
+            if groups <= 1 {
+                let (stats, ph) = self.run_epochs_inline(cap, lookahead, profile);
+                (stats, ph, owners, 1)
+            } else {
+                let (stats, ph) =
+                    self.run_epochs_threaded(cap, lookahead, &owners, groups, profile);
+                (stats, ph, owners, groups)
+            }
         };
         self.pending_phases = t0.map(|t0| PdesPhaseProfile {
             workers: phase_workers,
-            epochs,
+            epochs: stats.epochs,
             wall_ns: t0.elapsed().as_nanos() as u64,
+            barrier_crossings: stats.crossings,
+            fused_windows: stats.fused,
+            merge_groups: groups as u64,
+            shard_owners: owners,
         });
-        self.finish(cap, lookahead, epochs)
+        self.pending_clean = stats.clean;
+        self.finish(cap, lookahead, stats.epochs)
+    }
+
+    /// Run-start placement of shards onto workers. Returns one owning
+    /// worker per shard plus the worker-pool size. Deterministic: the
+    /// decision reads only shard ids, pending-event counts, and the
+    /// host's core count — all fixed for the duration of a run, and
+    /// none of which can alter results (grouping decides execution
+    /// strategy, never simulated content).
+    ///
+    /// When merging is enabled, the pool is first capped at the host's
+    /// available parallelism — gate workers beyond the core count can
+    /// only take turns spinning at the barrier, so an oversubscribed
+    /// request (say 4 sim-threads on a 1-core box) collapses toward
+    /// the inline scheduler instead of paying synchronization for no
+    /// overlap. Then, if some shards are *loaded* (at least
+    /// [`Engine::set_merge_min`] pending events), the pool shrinks to
+    /// the loaded-shard count and shards are balanced across it
+    /// greedily by pending-event weight — so 64 shards with 4 busy ones
+    /// get 4 workers carrying similar load instead of 64÷workers
+    /// arbitrary blocks. Otherwise (merging off, one worker, or a run
+    /// whose work hasn't fanned out yet) shards are chunked
+    /// contiguously, preserving the pre-merge placement. With merging
+    /// disabled the requested worker count is honored exactly, which
+    /// is how tests pin the threaded scheduler on small hosts.
+    fn plan_groups(&self, workers: usize) -> (Vec<u32>, usize) {
+        let n = self.shards.len();
+        let mut workers = workers.clamp(1, n.max(1));
+        if self.merge {
+            let host = std::thread::available_parallelism().map_or(1, |c| c.get());
+            workers = workers.min(host);
+        }
+        let loaded = if self.merge && workers > 1 {
+            self.shards
+                .iter()
+                .filter(|s| s.q.len() as u64 >= self.merge_min.max(1))
+                .count()
+        } else {
+            0
+        };
+        if loaded == 0 {
+            let chunk = n.div_ceil(workers);
+            let owners: Vec<u32> = (0..n).map(|i| (i / chunk) as u32).collect();
+            let groups = owners.last().map_or(1, |&o| o as usize + 1);
+            return (owners, groups);
+        }
+        let groups = workers.min(loaded);
+        let mut owners = vec![0u32; n];
+        let mut load = vec![0u64; groups];
+        for (i, s) in self.shards.iter().enumerate() {
+            // Greedy balance in shard-id order: each shard lands on the
+            // currently lightest worker (ties to the lowest id). The +1
+            // spreads empty shards instead of piling them on worker 0.
+            let g = (0..groups)
+                .min_by_key(|&g| (load[g], g))
+                .expect("groups >= 1");
+            owners[i] = g as u32;
+            load[g] += s.q.len() as u64 + 1;
+        }
+        (owners, groups)
     }
 
     /// Merged fallback scheduler for zero-lookahead machines: one global
@@ -906,11 +1211,18 @@ impl Engine {
         cap: u64,
         lookahead: Time,
         profile: bool,
-    ) -> (u64, Vec<PhaseBreakdown>) {
-        let mut epochs = 0u64;
+    ) -> (SchedStats, Vec<PhaseBreakdown>) {
+        let mut stats = SchedStats::default();
         let mut clk = PhaseClock::new(profile);
+        let mut drained = false;
         loop {
-            self.deliver_all(epochs);
+            // A window is clean when the drain that just finished posted
+            // no cross-shard mail; the first iteration precedes any
+            // drain and counts for nobody.
+            if drained && self.shards.iter().all(|s| s.outbox.is_empty()) {
+                stats.clean += 1;
+            }
+            self.deliver_all(stats.epochs);
             clk.mark(Phase::Exchange);
             let any_error = self.shards.iter().any(|s| s.error.is_some());
             let total: u64 = self.shards.iter().map(|s| s.events).sum();
@@ -926,115 +1238,187 @@ impl Engine {
             }
             let Some(next) = next else { break };
             let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
-            epochs += 1;
+            stats.epochs += 1;
             for s in &mut self.shards {
                 run_window(&self.cfg, &self.redirect, s, end, cap, self.cancel.as_ref());
             }
+            drained = true;
             clk.mark(Phase::Drain);
         }
         let workers = profile.then(|| vec![clk.into_breakdown(0)]);
-        (epochs, workers.unwrap_or_default())
+        (stats, workers.unwrap_or_default())
     }
 
-    /// Epoch scheduler over a scoped worker pool. Each worker owns a
-    /// contiguous block of shards; the two barrier crossings per epoch
-    /// separate (a) mailbox delivery + decision publishing from (b)
-    /// window draining + mailbox posting, so no shard is ever touched by
-    /// two workers concurrently and every worker takes the same
-    /// stop/continue decision from the same published inputs.
+    /// Epoch scheduler over a scoped worker pool. Each worker owns the
+    /// shards [`Engine::plan_groups`] assigned it; cross-shard mail
+    /// moves over per-edge SPSC rings and the workers agree on every
+    /// window through an [`EpochGate`].
+    ///
+    /// With fusion on, one gate crossing commits each window: every
+    /// worker's digest carries `min(own queue minima, earliest mail it
+    /// just posted)`, whose gate-wide minimum equals the post-delivery
+    /// global minimum — so the window decision is correct *before*
+    /// delivery, and rings are drained only when somebody's dirty flag
+    /// says there is mail at all. With fusion off, the scheduler falls
+    /// back to the classic two crossings per window (deliver first,
+    /// then agree on the post-delivery minimum). Both commit the exact
+    /// same window sequence; only wall-clock behavior differs.
     fn run_epochs_threaded(
         &mut self,
         cap: u64,
         lookahead: Time,
-        workers: usize,
+        owners: &[u32],
+        groups: usize,
         profile: bool,
-    ) -> (u64, Vec<PhaseBreakdown>) {
-        let shard_count = self.shards.len();
-        let chunk = shard_count.div_ceil(workers);
-        let nworkers = shard_count.div_ceil(chunk);
-        let slots: Vec<Mutex<WorkerSlot>> = (0..nworkers)
-            .map(|_| Mutex::new(WorkerSlot::default()))
-            .collect();
-        let mailboxes: Mailboxes<OutMsg> = Mailboxes::new(nworkers);
-        let barrier = SpinBarrier::new(nworkers);
-        let epochs = AtomicU64::new(0);
+    ) -> (SchedStats, Vec<PhaseBreakdown>) {
+        // Route table: a message for shard `d` is posted on edge
+        // (worker, owners[d]) and delivered to that group's
+        // `local_idx[d]`-th shard (groups keep ascending shard order).
+        let mut local_idx = vec![0u32; self.shards.len()];
+        let mut counts = vec![0u32; groups];
+        for (i, &o) in owners.iter().enumerate() {
+            local_idx[i] = counts[o as usize];
+            counts[o as usize] += 1;
+        }
+        let mut grouped: Vec<Vec<&mut Shard>> = (0..groups).map(|_| Vec::new()).collect();
+        for (s, &o) in self.shards.iter_mut().zip(owners.iter()) {
+            grouped[o as usize].push(s);
+        }
+        let rings: EdgeRings<OutMsg> = EdgeRings::new(groups, self.ring_capacity);
+        let gate = EpochGate::new(groups);
+        let stats_out = Mutex::new(SchedStats::default());
         let breakdowns: Vec<Mutex<Option<PhaseBreakdown>>> =
-            (0..nworkers).map(|_| Mutex::new(None)).collect();
+            (0..groups).map(|_| Mutex::new(None)).collect();
+        let fuse = self.fuse;
         let cfg = &self.cfg;
         let redirect = &self.redirect[..];
         let cancel = self.cancel.as_ref();
+        let local_idx = &local_idx[..];
         std::thread::scope(|scope| {
-            for (widx, my) in self.shards.chunks_mut(chunk).enumerate() {
-                let (slots, mailboxes, barrier, epochs) = (&slots, &mailboxes, &barrier, &epochs);
+            for (g, mut mine) in grouped.into_iter().enumerate() {
+                let (rings, gate, stats_out) = (&rings, &gate, &stats_out);
                 let breakdowns = &breakdowns;
                 scope.spawn(move || {
-                    let base = widx * chunk;
                     let mut clk = PhaseClock::new(profile);
-                    let mut iter = 0u64;
+                    let mut stats = SchedStats::default();
+                    let mut round = 0u64;
+                    let mut drained = false;
+                    let mut dirty_me = false;
+                    let mut out_min: Option<Time> = None;
+                    let mut inbox: Vec<OutMsg> = Vec::new();
                     loop {
-                        // Exchange phase: deliver mail posted to this
-                        // worker's shards during the previous window.
-                        for m in mailboxes.drain(widx) {
-                            my[m.dest as usize - base].absorb_mail(iter, m);
+                        // Digest: events, error flag, dirty flag, and
+                        // the earliest time this group could still act
+                        // at — its queue minima and (fused) the mail it
+                        // posted last window, which is not yet in any
+                        // queue.
+                        let local_next = mine
+                            .iter()
+                            .filter_map(|s| s.q.peek_key())
+                            .map(|(t, _)| t)
+                            .min();
+                        let next = match (local_next, out_min) {
+                            (Some(a), Some(b)) => Some(a.min(b)),
+                            (a, b) => a.or(b),
+                        };
+                        let events: u64 = mine.iter().map(|s| s.events).sum();
+                        let mut flags = 0u64;
+                        if mine.iter().any(|s| s.error.is_some()) {
+                            flags |= GATE_ERROR;
                         }
-                        iter += 1;
-                        {
-                            let mut slot = slots[widx].lock().expect("worker slot poisoned");
-                            slot.events = my.iter().map(|s| s.events).sum();
-                            slot.any_error = my.iter().any(|s| s.error.is_some());
-                            slot.next = my
-                                .iter()
-                                .filter_map(|s| s.q.peek_key())
-                                .map(|(t, _)| t)
-                                .min();
+                        if dirty_me {
+                            flags |= GATE_DIRTY;
                         }
                         clk.mark(Phase::Exchange);
-                        barrier.wait();
+                        let view = gate.sync(g, round, events, next.map(|t| t.ps()), flags);
+                        round += 1;
+                        stats.crossings += 1;
                         clk.mark(Phase::Barrier);
-                        // Decision: every worker reads every slot and
-                        // computes the same verdict, so all of them break
-                        // together (no barrier crossing after a break).
-                        let mut total = 0u64;
-                        let mut any_error = false;
-                        let mut next: Option<Time> = None;
-                        for slot in slots.iter() {
-                            let g = slot.lock().expect("worker slot poisoned");
-                            total += g.events;
-                            any_error |= g.any_error;
-                            next = match (next, g.next) {
-                                (Some(a), Some(b)) => Some(a.min(b)),
-                                (a, b) => a.or(b),
-                            };
-                        }
-                        clk.mark(Phase::Merge);
-                        if any_error || total > cap {
-                            break;
-                        }
-                        let Some(next) = next else { break };
-                        let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
-                        if widx == 0 {
-                            epochs.fetch_add(1, Ordering::Relaxed);
-                        }
-                        // Window phase: drain own shards, then post the
-                        // mail (posting is attributed to exchange).
-                        for s in my.iter_mut() {
-                            run_window(cfg, redirect, s, end, cap, cancel);
-                        }
-                        clk.mark(Phase::Drain);
-                        for s in my.iter_mut() {
-                            if !s.outbox.is_empty() {
-                                for m in s.outbox.drain(..) {
-                                    mailboxes.post(m.dest as usize / chunk, [m]);
-                                }
+                        // Clean accounting: the dirty flags describe the
+                        // window drained just before this crossing.
+                        if drained && !view.any_dirty() {
+                            stats.clean += 1;
+                            if fuse {
+                                stats.fused += 1;
                             }
                         }
+                        let (total, next_ps, err) = if fuse {
+                            if view.any_dirty() {
+                                rings.drain_into(g, &mut inbox);
+                                for m in inbox.drain(..) {
+                                    let mark = m.epoch;
+                                    mine[local_idx[m.dest as usize] as usize].absorb_mail(mark, m);
+                                }
+                                clk.mark(Phase::Exchange);
+                            }
+                            (view.events, view.next_ps, view.any_error())
+                        } else {
+                            // Two-crossing fallback: deliver first, then
+                            // agree on the post-delivery minimum.
+                            rings.drain_into(g, &mut inbox);
+                            for m in inbox.drain(..) {
+                                let mark = m.epoch;
+                                mine[local_idx[m.dest as usize] as usize].absorb_mail(mark, m);
+                            }
+                            clk.mark(Phase::Exchange);
+                            let next2 = mine
+                                .iter()
+                                .filter_map(|s| s.q.peek_key())
+                                .map(|(t, _)| t.ps())
+                                .min();
+                            let err2 = if mine.iter().any(|s| s.error.is_some()) {
+                                GATE_ERROR
+                            } else {
+                                0
+                            };
+                            let view2 = gate.sync(g, round, 0, next2, err2);
+                            round += 1;
+                            stats.crossings += 1;
+                            clk.mark(Phase::Barrier);
+                            (
+                                view.events,
+                                view2.next_ps,
+                                view.any_error() || view2.any_error(),
+                            )
+                        };
+                        clk.mark(Phase::Merge);
+                        // Decision: identical on every worker (it reads
+                        // only gate views), so all workers break
+                        // together and nobody is left at the gate.
+                        if err || total > cap {
+                            break;
+                        }
+                        let Some(next_ps) = next_ps else { break };
+                        let end = Time::from_ps(next_ps.saturating_add(lookahead.ps()));
+                        stats.epochs += 1;
+                        for s in mine.iter_mut() {
+                            run_window(cfg, redirect, s, end, cap, cancel);
+                        }
+                        drained = true;
+                        clk.mark(Phase::Drain);
+                        dirty_me = false;
+                        out_min = None;
+                        for s in mine.iter_mut() {
+                            for mut m in s.outbox.drain(..) {
+                                if out_min.is_none_or(|o| m.at < o) {
+                                    out_min = Some(m.at);
+                                }
+                                dirty_me = true;
+                                m.epoch = stats.epochs;
+                                rings.post(g, owners[m.dest as usize] as usize, [m]);
+                            }
+                        }
+                        rings.publish_from(g);
                         clk.mark(Phase::Exchange);
-                        barrier.wait();
-                        clk.mark(Phase::Barrier);
                     }
                     if profile {
-                        *breakdowns[widx].lock().expect("breakdown slot poisoned") =
-                            Some(clk.into_breakdown(widx as u32));
+                        *breakdowns[g].lock().expect("breakdown slot poisoned") =
+                            Some(clk.into_breakdown(g as u32));
+                    }
+                    if g == 0 {
+                        // Every worker derives the same stats from the
+                        // same gate views; one representative reports.
+                        *stats_out.lock().expect("stats slot poisoned") = stats;
                     }
                 });
             }
@@ -1043,7 +1427,8 @@ impl Engine {
             .into_iter()
             .filter_map(|m| m.into_inner().expect("breakdown slot poisoned"))
             .collect();
-        (epochs.load(Ordering::Relaxed), phases)
+        let stats = *stats_out.lock().expect("stats slot poisoned");
+        (stats, phases)
     }
 
     /// Post-run epilogue shared by all schedulers: surface the globally
@@ -1125,6 +1510,7 @@ impl Engine {
             shards: shards.len() as u64,
             lookahead_ps: lookahead.ps(),
             epochs,
+            clean_windows: self.pending_clean,
             mailbox_sent: shards.iter().map(|s| s.sent).sum(),
             mailbox_delivered: shards.iter().map(|s| s.delivered).sum(),
             min_cross_delay_ps: shards
@@ -1203,11 +1589,14 @@ struct EngineObs {
     failed_runs: &'static crate::obs::Counter,
     events: &'static crate::obs::Counter,
     epochs: &'static crate::obs::Counter,
+    clean_windows: &'static crate::obs::Counter,
     mailbox_sent: &'static crate::obs::Counter,
     mailbox_delivered: &'static crate::obs::Counter,
     mailbox_depth_hwm: &'static crate::obs::Gauge,
     run_events: &'static crate::obs::Histogram,
     profiled_runs: &'static crate::obs::Counter,
+    barrier_crossings: &'static crate::obs::Counter,
+    fused_windows: &'static crate::obs::Counter,
     phase_drain: &'static crate::obs::Counter,
     phase_barrier: &'static crate::obs::Counter,
     phase_exchange: &'static crate::obs::Counter,
@@ -1221,11 +1610,14 @@ fn engine_obs() -> &'static EngineObs {
         failed_runs: crate::obs::counter("emu_engine_failed_runs_total"),
         events: crate::obs::counter("emu_engine_events_total"),
         epochs: crate::obs::counter("emu_pdes_epochs_total"),
+        clean_windows: crate::obs::counter("emu_pdes_clean_windows_total"),
         mailbox_sent: crate::obs::counter("emu_pdes_mailbox_sent_total"),
         mailbox_delivered: crate::obs::counter("emu_pdes_mailbox_delivered_total"),
         mailbox_depth_hwm: crate::obs::gauge("emu_pdes_mailbox_depth_hwm"),
         run_events: crate::obs::histogram("emu_engine_run_events"),
         profiled_runs: crate::obs::counter("emu_pdes_profiled_runs_total"),
+        barrier_crossings: crate::obs::counter("emu_pdes_barrier_crossings_total"),
+        fused_windows: crate::obs::counter("emu_pdes_fused_windows_total"),
         phase_drain: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"drain\"}"),
         phase_barrier: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"barrier\"}"),
         phase_exchange: crate::obs::counter("emu_pdes_phase_ns_total{phase=\"exchange\"}"),
@@ -1245,6 +1637,7 @@ fn record_obs_run(report: &RunReport) {
     m.runs.inc();
     m.events.add(report.events);
     m.epochs.add(report.pdes.epochs);
+    m.clean_windows.add(report.pdes.clean_windows);
     m.mailbox_sent.add(report.pdes.mailbox_sent);
     m.mailbox_delivered.add(report.pdes.mailbox_delivered);
     m.mailbox_depth_hwm
@@ -1252,6 +1645,8 @@ fn record_obs_run(report: &RunReport) {
     m.run_events.record(report.events);
     if let Some(phases) = &report.phases {
         m.profiled_runs.inc();
+        m.barrier_crossings.add(phases.barrier_crossings);
+        m.fused_windows.add(phases.fused_windows);
         for w in &phases.workers {
             m.phase_drain.add(w.drain_ns);
             m.phase_barrier.add(w.barrier_ns);
@@ -1371,27 +1766,93 @@ impl ShardCtx<'_> {
         }
     }
 
-    /// Schedule `ev` at `at` with the next intrinsic key. Local events
-    /// go straight into this shard's queue; cross-shard events are
-    /// buffered into the outbox for barrier (or merged-loop) delivery.
-    fn send(&mut self, dest: NodeletId, at: Time, ev: Event) {
+    /// The next intrinsic event key. Every schedule — local or cross —
+    /// consumes exactly one, so within-shard order equals issue order
+    /// regardless of destination.
+    #[inline]
+    fn next_key(&mut self) -> u64 {
         let s = &mut *self.s;
         let key = ((s.id as u64 + 1) << KEY_SHIFT) | s.send_seq;
         s.send_seq += 1;
-        if dest.0 == s.id {
-            s.q.schedule_keyed(at, key, ev);
+        key
+    }
+
+    /// Schedule `ev` on this shard at `at` with the next intrinsic key.
+    fn send_local(&mut self, at: Time, ev: Event) {
+        let key = self.next_key();
+        self.s.q.schedule_keyed(at, key, ev);
+    }
+
+    /// Buffer `ev` for delivery to shard `dest` at the next exchange,
+    /// consuming the next intrinsic key.
+    fn send_cross(&mut self, dest: NodeletId, at: Time, ev: WireEv) {
+        let key = self.next_key();
+        let s = &mut *self.s;
+        let delay = at.saturating_sub(s.now);
+        if delay < s.min_cross_delay {
+            s.min_cross_delay = delay;
+        }
+        s.sent += 1;
+        s.outbox.push(OutMsg {
+            dest: dest.0,
+            at,
+            key,
+            epoch: 0,
+            ev,
+        });
+    }
+
+    /// Ship thread `r` to `dest` as an arrival: it stays in the arena
+    /// for a same-shard hop, and is extracted onto the wire (to be
+    /// re-inserted at the destination) for a cross-shard one.
+    fn send_arrive(&mut self, dest: NodeletId, at: Time, r: TRef) {
+        if dest.0 == self.s.id {
+            self.send_local(at, Event::Arrive(r));
         } else {
-            let delay = at.saturating_sub(s.now);
-            if delay < s.min_cross_delay {
-                s.min_cross_delay = delay;
-            }
-            s.sent += 1;
-            s.outbox.push(OutMsg {
-                dest: dest.0,
+            let t = self
+                .s
+                .arena
+                .remove(r)
+                .expect("departing thread context is live");
+            self.send_cross(dest, at, WireEv::Arrive(t));
+        }
+    }
+
+    /// Ship thread `r` to head nodelet `dest` as a link transit.
+    fn send_transit(&mut self, dest: NodeletId, at: Time, r: TRef) {
+        if dest.0 == self.s.id {
+            self.send_local(at, Event::LinkTransit(r));
+        } else {
+            let t = self
+                .s
+                .arena
+                .remove(r)
+                .expect("transiting thread context is live");
+            self.send_cross(dest, at, WireEv::LinkTransit(t));
+        }
+    }
+
+    /// Route a posted store/atomic packet to `dest`'s memory channel.
+    fn send_packet(&mut self, dest: NodeletId, at: Time, bytes: u32, atomic: bool, remote: bool) {
+        if dest.0 == self.s.id {
+            self.send_local(
                 at,
-                key,
-                ev,
-            });
+                Event::ChannelWrite {
+                    bytes,
+                    atomic,
+                    from_remote: remote,
+                },
+            );
+        } else {
+            self.send_cross(
+                dest,
+                at,
+                WireEv::ChannelWrite {
+                    bytes,
+                    atomic,
+                    from_remote: remote,
+                },
+            );
         }
     }
 
@@ -1470,12 +1931,7 @@ impl ShardCtx<'_> {
     /// A fresh thread context spawned on this shard. IDs are strided by
     /// the machine width so every shard mints from a disjoint namespace
     /// without coordination.
-    fn alloc_thread(
-        &mut self,
-        kernel: Box<dyn Kernel>,
-        loc: NodeletId,
-        home: NodeletId,
-    ) -> Box<Thread> {
+    fn alloc_thread(&mut self, kernel: Box<dyn Kernel>, loc: NodeletId, home: NodeletId) -> TRef {
         let s = &mut *self.s;
         let tid = ThreadId(
             s.next_tid
@@ -1485,7 +1941,7 @@ impl ShardCtx<'_> {
         s.next_tid += 1;
         s.live += 1;
         s.spawned += 1;
-        Box::new(Thread {
+        s.arena.insert(Thread {
             tid,
             kernel: Some(kernel),
             loc,
@@ -1503,40 +1959,46 @@ impl ShardCtx<'_> {
         })
     }
 
-    fn on_arrive(&mut self, mut t: Box<Thread>, now: Time) {
-        let loc = t.loc;
-        if t.newborn {
+    fn on_arrive(&mut self, r: TRef, now: Time) {
+        let (loc, tid, newborn, migrated, issued) = {
+            let t = self
+                .s
+                .arena
+                .get_mut(r)
+                .expect("arriving thread context is live");
+            let newborn = std::mem::take(&mut t.newborn);
+            let migrated = std::mem::take(&mut t.in_flight_migration);
+            (t.loc, t.tid, newborn, migrated, t.mig_issue_at)
+        };
+        if newborn {
             // Remote spawn: the spawn is counted where the child lands,
             // on the shard that owns that counter.
-            t.newborn = false;
             self.s.nl.counters.spawns += 1;
-            self.emit(now, loc, Some(t.tid), TraceKind::Spawn);
+            self.emit(now, loc, Some(tid), TraceKind::Spawn);
         }
-        if t.in_flight_migration {
-            t.in_flight_migration = false;
-            self.s.mig_latency.record(now - t.mig_issue_at);
+        if migrated {
+            self.s.mig_latency.record(now - issued);
             self.s.nl.counters.migrations_in += 1;
-            self.emit(now, loc, Some(t.tid), TraceKind::MigrateIn);
+            self.emit(now, loc, Some(tid), TraceKind::MigrateIn);
         }
         if self.s.nl.slots_free > 0 {
             self.s.nl.slots_free -= 1;
             self.s.nl.in_use += 1;
-            self.send(loc, now, Event::Ready(t));
+            self.send_local(now, Event::Ready(r));
         } else {
             self.s.nl.counters.slot_waits += 1;
-            self.emit(now, loc, Some(t.tid), TraceKind::SlotWait);
-            self.s.nl.waiters.push_back(t);
+            self.emit(now, loc, Some(tid), TraceKind::SlotWait);
+            self.s.nl.waiters.push_back(r);
         }
         self.sample_slots(now);
     }
 
     fn on_slot_release(&mut self, now: Time) {
-        let here = self.here();
         if let Some(waiter) = self.s.nl.waiters.pop_front() {
             // Slot transfers directly to the waiter; the departing
             // context's slot is immediately re-occupied, so `in_use`
             // is unchanged.
-            self.send(here, now, Event::Ready(waiter));
+            self.send_local(now, Event::Ready(waiter));
         } else {
             self.s.nl.slots_free += 1;
             self.s.nl.in_use -= 1;
@@ -1544,36 +2006,51 @@ impl ShardCtx<'_> {
         self.sample_slots(now);
     }
 
-    fn on_ready(&mut self, mut t: Box<Thread>, now: Time) {
-        self.charge(&mut t, now);
-        let op = match t.resume.take() {
-            Some(op) => op,
-            None => {
-                let ctx = KernelCtx {
-                    tid: t.tid,
-                    here: t.loc,
-                    home: t.home,
-                    now,
-                };
-                match t.kernel.as_mut() {
-                    Some(kernel) => kernel.step(&ctx),
-                    None => {
-                        let thread = t.tid;
-                        self.fail(SimError::MissingKernel { thread });
-                        return;
+    fn on_ready(&mut self, r: TRef, now: Time) {
+        self.charge(r, now);
+        let stepped = {
+            let t = self
+                .s
+                .arena
+                .get_mut(r)
+                .expect("ready thread context is live");
+            match t.resume.take() {
+                Some(op) => Ok(op),
+                None => {
+                    let ctx = KernelCtx {
+                        tid: t.tid,
+                        here: t.loc,
+                        home: t.home,
+                        now,
+                    };
+                    match t.kernel.as_mut() {
+                        Some(kernel) => Ok(kernel.step(&ctx)),
+                        None => Err(t.tid),
                     }
                 }
             }
         };
-        self.execute(t, op, now);
+        match stepped {
+            Ok(op) => self.execute(r, op, now),
+            Err(thread) => self.fail(SimError::MissingKernel { thread }),
+        }
     }
 
     /// Attribute the elapsed time of the finished operation (if any) to
     /// its activity class.
-    fn charge(&mut self, t: &mut Thread, now: Time) {
-        let elapsed = now.saturating_sub(t.op_started);
+    fn charge(&mut self, r: TRef, now: Time) {
+        let (kind, elapsed) = {
+            let t = self
+                .s
+                .arena
+                .get_mut(r)
+                .expect("charged thread context is live");
+            let kind = t.op_kind;
+            t.op_kind = OpKind::None;
+            (kind, now.saturating_sub(t.op_started))
+        };
         let b = &mut self.s.breakdown;
-        match t.op_kind {
+        match kind {
             OpKind::None => {}
             OpKind::Compute => b.compute += elapsed,
             OpKind::Memory => b.memory += elapsed,
@@ -1581,11 +2058,15 @@ impl ShardCtx<'_> {
             OpKind::StoreIssue => b.store_issue += elapsed,
             OpKind::Spawn => b.spawn += elapsed,
         }
-        t.op_kind = OpKind::None;
     }
 
-    fn execute(&mut self, mut t: Box<Thread>, op: Op, now: Time) {
-        let loc = t.loc;
+    fn execute(&mut self, r: TRef, op: Op, now: Time) {
+        let loc = self
+            .s
+            .arena
+            .get(r)
+            .expect("executing thread context is live")
+            .loc;
         let costs = self.cfg.costs;
         let target = match &op {
             Op::Load { addr, .. } | Op::Store { addr, .. } | Op::AtomicAdd { addr, .. } => {
@@ -1635,18 +2116,18 @@ impl ShardCtx<'_> {
             other => other,
         };
         match &op {
-            Op::Compute { .. } => self.begin(&mut t, OpKind::Compute, now),
+            Op::Compute { .. } => self.begin(r, OpKind::Compute, now),
             Op::Load { addr, .. } => {
                 let kind = if addr.is_local_to(loc) {
                     OpKind::Memory
                 } else {
                     OpKind::Migration
                 };
-                self.begin(&mut t, kind, now);
+                self.begin(r, kind, now);
             }
-            Op::Store { .. } | Op::AtomicAdd { .. } => self.begin(&mut t, OpKind::StoreIssue, now),
-            Op::MigrateTo { .. } => self.begin(&mut t, OpKind::Migration, now),
-            Op::Spawn { .. } => self.begin(&mut t, OpKind::Spawn, now),
+            Op::Store { .. } | Op::AtomicAdd { .. } => self.begin(r, OpKind::StoreIssue, now),
+            Op::MigrateTo { .. } => self.begin(r, OpKind::Migration, now),
+            Op::Spawn { .. } => self.begin(r, OpKind::Spawn, now),
             Op::Quit => {}
         }
         match op {
@@ -1656,15 +2137,15 @@ impl ShardCtx<'_> {
                 let extra = self
                     .cfg
                     .cycles(cycles.saturating_mul(costs.compute_latency_factor.saturating_sub(1)));
-                self.send(loc, grant.done + extra, Event::Ready(t));
+                self.send_local(grant.done + extra, Event::Ready(r));
             }
             Op::Load { addr, bytes } => {
                 if addr.is_local_to(loc) {
                     let grant = self.core_offer(now, self.cfg.cycles(costs.mem_issue_cycles));
                     let at_channel = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
-                    self.send(loc, at_channel, Event::ChannelRead(t, bytes));
+                    self.send_local(at_channel, Event::ChannelRead(r, bytes));
                 } else {
-                    self.start_migration(t, addr.nodelet, Some(Op::Load { addr, bytes }), now);
+                    self.start_migration(r, addr.nodelet, Some(Op::Load { addr, bytes }), now);
                 }
             }
             Op::Store { addr, bytes } | Op::AtomicAdd { addr, bytes } => {
@@ -1679,25 +2160,17 @@ impl ShardCtx<'_> {
                     // issuing thread does NOT migrate or wait.
                     (pipelined + self.cfg.hop_latency(loc, addr.nodelet), true)
                 };
-                self.send(
-                    addr.nodelet,
-                    arrive,
-                    Event::ChannelWrite {
-                        bytes,
-                        atomic,
-                        from_remote: remote,
-                    },
-                );
+                self.send_packet(addr.nodelet, arrive, bytes, atomic, remote);
                 // The thread continues once the store clears its pipeline.
-                self.send(loc, pipelined, Event::Ready(t));
+                self.send_local(pipelined, Event::Ready(r));
             }
             Op::MigrateTo { nodelet } => {
                 if nodelet == loc {
                     // Degenerate self-migration: costs one issue.
                     let grant = self.core_offer(now, self.cfg.cycles(costs.migrate_issue_cycles));
-                    self.send(loc, grant.done, Event::Ready(t));
+                    self.send_local(grant.done, Event::Ready(r));
                 } else {
-                    self.start_migration(t, nodelet, None, now);
+                    self.start_migration(r, nodelet, None, now);
                 }
             }
             Op::Spawn { kernel, place } => {
@@ -1713,28 +2186,39 @@ impl ShardCtx<'_> {
                         // A remote spawn ships the newborn context through
                         // the local migration engine, exactly like a
                         // migration; the child's home (stack) is the target.
-                        let mut child = self.alloc_thread(kernel, loc, target);
-                        child.newborn = true;
-                        child.dest = target;
-                        child.in_flight_migration = true;
-                        child.mig_issue_at = grant.done;
-                        child.migrations = 1;
+                        let child = self.alloc_thread(kernel, loc, target);
+                        let ctid = {
+                            let c = self
+                                .s
+                                .arena
+                                .get_mut(child)
+                                .expect("just-allocated child is live");
+                            c.newborn = true;
+                            c.dest = target;
+                            c.in_flight_migration = true;
+                            c.mig_issue_at = grant.done;
+                            c.migrations = 1;
+                            c.tid
+                        };
                         self.s.nl.counters.migrations_out += 1;
-                        let ctid = child.tid;
                         self.emit(now, loc, Some(ctid), TraceKind::MigrateOut);
-                        self.send(loc, grant.done, Event::MigrateOut(child));
+                        self.send_local(grant.done, Event::MigrateOut(child));
                     }
                 }
                 // The parent resumes after the spawn clears its pipeline.
                 let resume = grant.done + self.cfg.cycles(costs.mem_pipeline_cycles);
-                self.send(loc, resume, Event::Ready(t));
+                self.send_local(resume, Event::Ready(r));
             }
             Op::Quit => {
-                t.kernel = None;
+                let t = self
+                    .s
+                    .arena
+                    .remove(r)
+                    .expect("quitting thread context is live");
                 self.s.migs_per_thread.record(t.migrations as f64);
                 self.s.live -= 1;
                 self.emit(now, loc, Some(t.tid), TraceKind::Quit);
-                self.send(loc, now, Event::SlotRelease);
+                self.send_local(now, Event::SlotRelease);
             }
         }
     }
@@ -1743,45 +2227,63 @@ impl ShardCtx<'_> {
     /// latency past the issuing grant.
     fn spawn_local(&mut self, kernel: Box<dyn Kernel>, loc: NodeletId, done: Time, now: Time) {
         let child = self.alloc_thread(kernel, loc, loc);
+        let ctid = self
+            .s
+            .arena
+            .get(child)
+            .expect("just-allocated child is live")
+            .tid;
         self.s.nl.counters.spawns += 1;
-        self.emit(now, loc, Some(child.tid), TraceKind::Spawn);
+        self.emit(now, loc, Some(ctid), TraceKind::Spawn);
         let latency = self.cfg.costs.spawn_local_latency;
-        self.send(loc, done + latency, Event::Arrive(child));
+        self.send_local(done + latency, Event::Arrive(child));
     }
 
-    fn begin(&mut self, t: &mut Thread, kind: OpKind, now: Time) {
+    fn begin(&mut self, r: TRef, kind: OpKind, now: Time) {
+        let t = self
+            .s
+            .arena
+            .get_mut(r)
+            .expect("beginning thread context is live");
         t.op_started = now;
         t.op_kind = kind;
     }
 
-    /// Issue a migration of `t` toward `dest`; `resume` (if any) is
+    /// Issue a migration of `r` toward `dest`; `resume` (if any) is
     /// re-executed on arrival.
-    fn start_migration(
-        &mut self,
-        mut t: Box<Thread>,
-        dest: NodeletId,
-        resume: Option<Op>,
-        now: Time,
-    ) {
-        let loc = t.loc;
-        debug_assert_ne!(loc, dest, "migration to current nodelet");
+    fn start_migration(&mut self, r: TRef, dest: NodeletId, resume: Option<Op>, now: Time) {
         let grant = self.core_offer(now, self.cfg.cycles(self.cfg.costs.migrate_issue_cycles));
-        t.resume = resume;
-        t.dest = dest;
-        t.in_flight_migration = true;
-        t.mig_issue_at = grant.done;
-        t.migrations += 1;
+        let (loc, tid) = {
+            let t = self
+                .s
+                .arena
+                .get_mut(r)
+                .expect("migrating thread context is live");
+            t.resume = resume;
+            t.dest = dest;
+            t.in_flight_migration = true;
+            t.mig_issue_at = grant.done;
+            t.migrations += 1;
+            (t.loc, t.tid)
+        };
+        debug_assert_ne!(loc, dest, "migration to current nodelet");
         self.s.nl.counters.migrations_out += 1;
-        self.emit(now, loc, Some(t.tid), TraceKind::MigrateOut);
+        self.emit(now, loc, Some(tid), TraceKind::MigrateOut);
         // The context departs the core at grant.done: its slot frees and
         // it enters the migration engine.
-        self.send(loc, grant.done, Event::SlotRelease);
-        self.send(loc, grant.done, Event::MigrateOut(t));
+        self.send_local(grant.done, Event::SlotRelease);
+        self.send_local(grant.done, Event::MigrateOut(r));
     }
 
-    fn on_migrate_out(&mut self, mut t: Box<Thread>, now: Time) {
-        let loc = t.loc;
-        let dest = t.dest;
+    fn on_migrate_out(&mut self, r: TRef, now: Time) {
+        let (loc, dest, tid, attempts) = {
+            let t = self
+                .s
+                .arena
+                .get(r)
+                .expect("departing thread context is live");
+            (t.loc, t.dest, t.tid, t.mig_attempts)
+        };
         let faults = &self.cfg.faults;
         if faults.mig_nack_prob > 0.0 {
             let (prob, backoff, budget) = (
@@ -1793,42 +2295,55 @@ impl ShardCtx<'_> {
                 // The engine refuses the context: back off exponentially
                 // (capped at 64x) and retry, up to the budget.
                 self.s.nl.counters.mig_nacks += 1;
-                self.emit(now, loc, Some(t.tid), TraceKind::MigNack);
-                let attempts = t.mig_attempts;
+                self.emit(now, loc, Some(tid), TraceKind::MigNack);
                 if attempts >= budget {
-                    let thread = t.tid;
                     self.fail(SimError::RetryBudgetExhausted {
-                        thread,
+                        thread: tid,
                         nodelet: loc,
                         retries: attempts,
                     });
                     return;
                 }
-                t.mig_attempts = attempts + 1;
+                self.s
+                    .arena
+                    .get_mut(r)
+                    .expect("departing thread context is live")
+                    .mig_attempts = attempts + 1;
                 self.s.nl.counters.mig_retries += 1;
-                self.emit(now, loc, Some(t.tid), TraceKind::MigRetry);
+                self.emit(now, loc, Some(tid), TraceKind::MigRetry);
                 let delay = backoff * (1u64 << attempts.min(6));
-                self.send(loc, now + delay, Event::MigrateOut(t));
+                self.send_local(now + delay, Event::MigrateOut(r));
                 return;
             }
         }
-        t.mig_attempts = 0;
+        self.s
+            .arena
+            .get_mut(r)
+            .expect("departing thread context is live")
+            .mig_attempts = 0;
         let service = self.scaled(self.cfg.migration_service());
         let grant = self.s.nl.mig_engine.offer(now, service);
         self.trace_migration(grant);
         if loc.same_node(dest, self.cfg.nodelets_per_node) {
             let arrival = grant.done + self.cfg.hop_latency(loc, dest);
-            t.loc = dest;
-            self.send(dest, arrival, Event::Arrive(t));
+            self.s
+                .arena
+                .get_mut(r)
+                .expect("departing thread context is live")
+                .loc = dest;
+            self.send_arrive(dest, arrival, r);
         } else {
             // Cross-node: after the engine, the context crosses the
             // RapidIO fabric, a shared per-node link.
-            self.send(loc, grant.done, Event::LinkSend(t));
+            self.send_local(grant.done, Event::LinkSend(r));
         }
     }
 
-    fn on_link_send(&mut self, mut t: Box<Thread>, now: Time) {
-        let loc = t.loc;
+    fn on_link_send(&mut self, r: TRef, now: Time) {
+        let (loc, tid, attempts) = {
+            let t = self.s.arena.get(r).expect("sending thread context is live");
+            (t.loc, t.tid, t.link_attempts)
+        };
         let faults = &self.cfg.faults;
         if faults.link_drop_prob > 0.0 {
             let (prob, budget) = (faults.link_drop_prob, faults.link_retry_budget);
@@ -1837,41 +2352,52 @@ impl ShardCtx<'_> {
                 // hop and retransmitted, up to the budget. Attributed to
                 // the (alive, sending) nodelet.
                 self.s.nl.counters.link_retransmits += 1;
-                self.emit(now, loc, Some(t.tid), TraceKind::LinkRetransmit);
-                let attempts = t.link_attempts;
+                self.emit(now, loc, Some(tid), TraceKind::LinkRetransmit);
                 if attempts >= budget {
-                    let thread = t.tid;
                     self.fail(SimError::RetryBudgetExhausted {
-                        thread,
+                        thread: tid,
                         nodelet: loc,
                         retries: attempts,
                     });
                     return;
                 }
-                t.link_attempts = attempts + 1;
+                self.s
+                    .arena
+                    .get_mut(r)
+                    .expect("sending thread context is live")
+                    .link_attempts = attempts + 1;
                 let retry = now + self.cfg.inter_node_hop * 2;
-                self.send(loc, retry, Event::LinkSend(t));
+                self.send_local(retry, Event::LinkSend(r));
                 return;
             }
         }
-        t.link_attempts = 0;
+        self.s
+            .arena
+            .get_mut(r)
+            .expect("sending thread context is live")
+            .link_attempts = 0;
         // The node's RapidIO interface lives on its head nodelet; a
         // packet from any other nodelet first hops there on the fabric.
         let head = NodeletId(loc.node(self.cfg.nodelets_per_node) * self.cfg.nodelets_per_node);
         if head == loc {
-            self.send(loc, now, Event::LinkTransit(t));
+            self.send_local(now, Event::LinkTransit(r));
         } else {
             let at = now + self.cfg.intra_node_hop;
-            self.send(head, at, Event::LinkTransit(t));
+            self.send_transit(head, at, r);
         }
     }
 
-    fn on_link_transit(&mut self, mut t: Box<Thread>, now: Time) {
+    fn on_link_transit(&mut self, r: TRef, now: Time) {
         debug_assert!(
             self.s.link.is_some(),
             "LinkTransit routed to a non-head nodelet"
         );
-        let dest = t.dest;
+        let dest = self
+            .s
+            .arena
+            .get(r)
+            .expect("transiting thread context is live")
+            .dest;
         let bytes = self.cfg.context_bytes as u64;
         let delivered = self
             .s
@@ -1880,21 +2406,28 @@ impl ShardCtx<'_> {
             .map(|l| l.send(now, bytes))
             .unwrap_or(now);
         let arrival = delivered + self.cfg.inter_node_hop;
-        t.loc = dest;
-        self.send(dest, arrival, Event::Arrive(t));
+        self.s
+            .arena
+            .get_mut(r)
+            .expect("transiting thread context is live")
+            .loc = dest;
+        self.send_arrive(dest, arrival, r);
     }
 
-    fn on_channel_read(&mut self, t: Box<Thread>, bytes: u32, now: Time) {
-        let loc = t.loc;
+    fn on_channel_read(&mut self, r: TRef, bytes: u32, now: Time) {
+        let (loc, tid) = {
+            let t = self.s.arena.get(r).expect("loading thread context is live");
+            (t.loc, t.tid)
+        };
         let service = self.channel_service_faulted(bytes, Time::ZERO, now);
         let s = &mut *self.s;
         let grant = s.nl.channel.offer(now, service);
         s.nl.counters.local_loads += 1;
         s.nl.counters.bytes_loaded += bytes as u64;
-        self.emit(now, loc, Some(t.tid), TraceKind::LocalLoad);
+        self.emit(now, loc, Some(tid), TraceKind::LocalLoad);
         self.trace_channel(grant);
         let done = grant.done + self.cfg.dram_latency;
-        self.send(loc, done, Event::Ready(t));
+        self.send_local(done, Event::Ready(r));
     }
 
     /// Channel service time for one access on this nodelet, including
@@ -2612,8 +3145,19 @@ mod tests {
     /// A faulted, traced, timelined multi-node workload; the strongest
     /// worker-count-invariance check we can express in one test.
     fn pdes_workload(cfg: MachineConfig, sim_threads: usize) -> RunReport {
+        pdes_workload_with(cfg, sim_threads, |_| {})
+    }
+
+    /// [`pdes_workload`] with an engine-tweak hook, used to flip the
+    /// scheduler knobs (fusion, merging, ring capacity) per run.
+    fn pdes_workload_with(
+        cfg: MachineConfig,
+        sim_threads: usize,
+        tweak: impl FnOnce(&mut Engine),
+    ) -> RunReport {
         let mut e = Engine::new(cfg).unwrap();
         e.set_sim_threads(sim_threads);
+        tweak(&mut e);
         e.enable_trace(1 << 14);
         e.enable_timeline(Time::from_us(1)).unwrap();
         for n in 0..4u32 {
@@ -2660,6 +3204,45 @@ mod tests {
         assert!(one.pdes.epochs > 0);
         assert!(one.pdes.mailbox_sent > 0);
         assert_eq!(one.pdes.mailbox_sent, one.pdes.mailbox_delivered);
+    }
+
+    #[test]
+    fn scheduler_knobs_produce_identical_reports() {
+        // Every execution-strategy knob — epoch fusion, adaptive shard
+        // merging, ring capacity down to the always-spilling minimum —
+        // must leave the report byte-identical: they decide how the
+        // scheduler synchronizes, never what it simulates.
+        let mut cfg = presets::emu64_full_speed();
+        cfg.faults.mig_nack_prob = 0.2;
+        cfg.faults.mig_retry_budget = 64;
+        cfg.faults.ecc_prob = 0.1;
+        cfg.faults.seed = 42;
+        let base = pdes_workload(cfg.clone(), 4);
+        let unfused = pdes_workload_with(cfg.clone(), 4, |e| e.enable_fuse(false));
+        let unmerged = pdes_workload_with(cfg.clone(), 4, |e| e.enable_merge(false));
+        let merged_low = pdes_workload_with(cfg.clone(), 4, |e| {
+            e.enable_merge(true);
+            e.set_merge_min(1);
+        });
+        let tiny_rings = pdes_workload_with(cfg, 4, |e| e.set_ring_capacity(1));
+        let dump = |r: &RunReport| format!("{r:?}");
+        assert_eq!(dump(&base), dump(&unfused), "fusion changed the report");
+        assert_eq!(dump(&base), dump(&unmerged), "merging changed the report");
+        assert_eq!(
+            dump(&base),
+            dump(&merged_low),
+            "merge threshold changed the report"
+        );
+        assert_eq!(
+            dump(&base),
+            dump(&tiny_rings),
+            "ring capacity changed the report"
+        );
+        assert!(base.pdes.mailbox_sent > 0, "workload must cross shards");
+        assert!(
+            base.pdes.clean_windows < base.pdes.epochs,
+            "workload must have dirty windows for the knobs to matter"
+        );
     }
 
     #[test]

@@ -161,24 +161,29 @@ pub fn report_json(label: &str, r: &RunReport) -> String {
     let p = &r.pdes;
     let _ = write!(
         out,
-        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{},\"mailbox_depth_hwm\":{}}}",
+        ",\"pdes\":{{\"shards\":{},\"lookahead_ps\":{},\"epochs\":{},\"mailbox_sent\":{},\"mailbox_delivered\":{},\"min_cross_delay_ps\":{},\"mailbox_depth_hwm\":{},\"clean_windows\":{}}}",
         p.shards,
         p.lookahead_ps,
         p.epochs,
         p.mailbox_sent,
         p.mailbox_delivered,
         p.min_cross_delay_ps,
-        p.mailbox_depth_hwm
+        p.mailbox_depth_hwm,
+        p.clean_windows
     );
     // Wall-clock phase profile: emitted only when profiling was
     // enabled, so un-profiled reports stay byte-identical run to run.
     if let Some(ph) = &r.phases {
         let _ = write!(
             out,
-            ",\"pdes_phases\":{{\"epochs\":{},\"wall_ns\":{},\"epochs_per_sec\":{},\"workers\":[",
+            ",\"pdes_phases\":{{\"epochs\":{},\"wall_ns\":{},\"epochs_per_sec\":{},\"barrier_crossings\":{},\"fused_windows\":{},\"merge_groups\":{},\"shard_owners\":{},\"workers\":[",
             ph.epochs,
             ph.wall_ns,
-            jnum(ph.epochs_per_sec())
+            jnum(ph.epochs_per_sec()),
+            ph.barrier_crossings,
+            ph.fused_windows,
+            ph.merge_groups,
+            jarr_u64(&ph.shard_owners.iter().map(|&o| o as u64).collect::<Vec<_>>())
         );
         for (i, w) in ph.workers.iter().enumerate() {
             if i > 0 {

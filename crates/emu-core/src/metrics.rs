@@ -153,6 +153,12 @@ pub struct PdesSummary {
     /// Epoch barriers crossed. Zero when the run used the merged
     /// fallback scheduler (zero lookahead leaves no window to exploit).
     pub epochs: u64,
+    /// Windows after which no shard had posted any cross-shard event —
+    /// the all-local case epoch fusion commits on a single gate
+    /// crossing. A function of the simulated event stream (which shards
+    /// talk when), not of worker placement, so it is worker-count-,
+    /// fusion-, and merge-invariant like every other field here.
+    pub clean_windows: u64,
     /// Cross-shard events posted to mailboxes.
     pub mailbox_sent: u64,
     /// Cross-shard events delivered out of mailboxes.
@@ -213,6 +219,18 @@ pub struct PdesPhaseProfile {
     pub epochs: u64,
     /// Wall-clock duration of the whole epoch scheduler, in ns.
     pub wall_ns: u64,
+    /// Gate crossings the worker pool performed: one per window with
+    /// epoch fusion on, two with it off, zero for inline/merged runs.
+    pub barrier_crossings: u64,
+    /// Clean windows committed on the single-crossing fast path (zero
+    /// when fusion was off or the run was inline/merged).
+    pub fused_windows: u64,
+    /// Worker-pool size the run-start merge planner chose (1 for
+    /// inline and merged runs).
+    pub merge_groups: u64,
+    /// Owning worker of each shard, indexed by shard id — the merge
+    /// map the audit validates against `merge_groups`.
+    pub shard_owners: Vec<u32>,
 }
 
 impl PdesPhaseProfile {
