@@ -35,6 +35,11 @@ fn run(args: &[String]) -> Result<(), String> {
     ) {
         std::process::exit(simd::dispatch(args));
     }
+    // Likewise the scenario suite: positional subcommands and its own
+    // exit codes (0 pass, 1 failures, 2 usage).
+    if args[0] == "scenario" {
+        std::process::exit(emu_bench::scncmd::dispatch(&args[1..]));
+    }
     let mut p = cli::parse(args)?;
     // `--jobs` is accepted by every command (sweep worker threads; single
     // runs just ignore the pool size). Applied before dispatch so any
@@ -810,8 +815,13 @@ fn cmd_fuzz(p: &Parsed) -> Result<(), String> {
             }
             let dir = std::path::Path::new(&corpus);
             std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
-            let path = dir.join(format!("fuzz-{seed}-{}.case", fail.case_index));
-            std::fs::write(&path, fuzz::encode(&fail.minimized)).map_err(|e| e.to_string())?;
+            // Repros land in the scenario language so they can be
+            // replayed (and promoted to the registry) with
+            // `simctl scenario run`.
+            let name = format!("fuzz-{seed}-{}", fail.case_index);
+            let scn = scenario::case::scenario_from_case(&name, &fail.minimized);
+            let path = dir.join(format!("{name}.scn"));
+            std::fs::write(&path, scenario::print(&scn)).map_err(|e| e.to_string())?;
             eprintln!("fuzz: minimized repro written to {}", path.display());
             Err(format!(
                 "{} conformance violation(s) on case {}",

@@ -84,18 +84,10 @@ impl Parsed {
     }
 }
 
-/// Resolve a machine preset by name.
+/// Resolve a machine preset by name (shared vocabulary in
+/// [`presets::by_name`]).
 pub fn preset_by_name(name: &str) -> Result<MachineConfig, String> {
-    match name {
-        "chick" | "chick-hw" | "prototype" => Ok(presets::chick_prototype()),
-        "chick-sim" | "toolchain-sim" => Ok(presets::chick_toolchain_sim()),
-        "full-speed" => Ok(presets::chick_full_speed()),
-        "emu64" => Ok(presets::emu64_full_speed()),
-        "chick-8node" => Ok(presets::chick_8node_prototype()),
-        other => Err(format!(
-            "unknown preset {other:?}; one of: chick, chick-sim, full-speed, emu64, chick-8node"
-        )),
-    }
+    presets::by_name(name)
 }
 
 /// Resolve a spawn strategy by name.
@@ -149,7 +141,13 @@ COMMANDS
   fuzz      conformance fuzzing   --cases 500 --seed N --corpus tests/corpus
             (lockstep calendar-vs-heap queue backends, sequential-vs-
             sharded scheduler, + run audit; a failure shrinks to a
-            minimal repro written to the corpus)
+            minimal repro written to the corpus as a .scn scenario)
+  scenario  conformance suite     run <path>... [--jobs N] [--report-json F]
+            (.scn files)          check <path>... | gen <dir>
+            (declarative scenarios: machine + workload + faults +
+            sweep + expect; `run` executes every point with checksum,
+            audit, oracle, monotonicity, and byte-identity checks;
+            `gen` regenerates the committed scenarios/ registry)
   pdes-speedup  sharded-scheduler --preset emu64 --shards 4 --threads 512
             microbenchmark        --elems 65536 --gate false --phases false
             (sequential vs N-shard events/sec on STREAM + pointer

@@ -18,6 +18,7 @@ pub mod figures;
 pub mod harness;
 pub mod output;
 pub mod runcfg;
+pub mod scncmd;
 pub mod sweep;
 pub mod telemetry;
 pub mod validate;

@@ -579,7 +579,20 @@ fn parse<T: std::str::FromStr>(v: &str, key: &str) -> Result<T, String> {
     v.parse().map_err(|_| format!("bad value for {key}: {v:?}"))
 }
 
-fn parse_op(tok: &str) -> Result<OpSpec, String> {
+/// Render one [`OpSpec`] in the corpus token syntax (`L0:8`, `C5`,
+/// `M3`, …) — the inverse of [`parse_op`].
+pub fn op_token(op: &OpSpec) -> String {
+    match op {
+        OpSpec::Load { nodelet, bytes } => format!("L{nodelet}:{bytes}"),
+        OpSpec::Store { nodelet, bytes } => format!("S{nodelet}:{bytes}"),
+        OpSpec::Atomic { nodelet, bytes } => format!("A{nodelet}:{bytes}"),
+        OpSpec::Compute { cycles } => format!("C{cycles}"),
+        OpSpec::Migrate { nodelet } => format!("M{nodelet}"),
+    }
+}
+
+/// Parse one op token of the corpus syntax back into an [`OpSpec`].
+pub fn parse_op(tok: &str) -> Result<OpSpec, String> {
     if tok.is_empty() {
         return Err("empty op token".into());
     }
@@ -613,6 +626,68 @@ fn parse_op(tok: &str) -> Result<OpSpec, String> {
     })
 }
 
+/// Apply one `key=value` override to `cfg` using the corpus codec
+/// vocabulary: machine geometry, clocking, cost-model, and `fault_*`
+/// knobs. Shared by [`decode`] and the `.scn` scenario resolver, so a
+/// scenario's `machine`/`faults` overrides and a corpus case speak
+/// exactly the same language.
+pub fn apply_config_key(cfg: &mut MachineConfig, key: &str, val: &str) -> Result<(), String> {
+    match key {
+        "nodes" => cfg.nodes = parse(val, key)?,
+        "nodelets_per_node" => cfg.nodelets_per_node = parse(val, key)?,
+        "gcs_per_nodelet" => cfg.gcs_per_nodelet = parse(val, key)?,
+        "threadlets_per_gc" => cfg.threadlets_per_gc = parse(val, key)?,
+        "gc_hz" => cfg.gc_clock = desim::time::Clock::from_hz(parse(val, key)?),
+        "ncdram_bytes_per_sec" => cfg.ncdram_bytes_per_sec = parse(val, key)?,
+        "dram_latency_ps" => cfg.dram_latency = Time::from_ps(parse(val, key)?),
+        "dram_access_overhead_ps" => cfg.dram_access_overhead = Time::from_ps(parse(val, key)?),
+        "dram_burst_bytes" => cfg.dram_burst_bytes = parse(val, key)?,
+        "migration_rate_per_sec" => cfg.migration_rate_per_sec = parse(val, key)?,
+        "intra_node_hop_ps" => cfg.intra_node_hop = Time::from_ps(parse(val, key)?),
+        "inter_node_hop_ps" => cfg.inter_node_hop = Time::from_ps(parse(val, key)?),
+        "rapidio_bytes_per_sec" => cfg.rapidio_bytes_per_sec = parse(val, key)?,
+        "context_bytes" => cfg.context_bytes = parse(val, key)?,
+        "mem_issue_cycles" => cfg.costs.mem_issue_cycles = parse(val, key)?,
+        "mem_pipeline_cycles" => cfg.costs.mem_pipeline_cycles = parse(val, key)?,
+        "compute_latency_factor" => cfg.costs.compute_latency_factor = parse(val, key)?,
+        "spawn_issue_cycles" => cfg.costs.spawn_issue_cycles = parse(val, key)?,
+        "spawn_local_latency_ps" => cfg.costs.spawn_local_latency = Time::from_ps(parse(val, key)?),
+        "migrate_issue_cycles" => cfg.costs.migrate_issue_cycles = parse(val, key)?,
+        "atomic_extra_ps" => cfg.costs.atomic_extra = Time::from_ps(parse(val, key)?),
+        "fault_seed" => cfg.faults.seed = parse(val, key)?,
+        "fault_mig_nack_prob" => cfg.faults.mig_nack_prob = parse(val, key)?,
+        "fault_mig_backoff_ps" => cfg.faults.mig_backoff = Time::from_ps(parse(val, key)?),
+        "fault_mig_retry_budget" => cfg.faults.mig_retry_budget = parse(val, key)?,
+        "fault_ecc_prob" => cfg.faults.ecc_prob = parse(val, key)?,
+        "fault_ecc_latency_ps" => cfg.faults.ecc_latency = Time::from_ps(parse(val, key)?),
+        "fault_link_drop_prob" => cfg.faults.link_drop_prob = parse(val, key)?,
+        "fault_link_retry_budget" => cfg.faults.link_retry_budget = parse(val, key)?,
+        "fault_max_events" => cfg.faults.max_events = parse(val, key)?,
+        "fault_slowdown" => {
+            cfg.faults.slowdown = val
+                .split(',')
+                .map(|x| parse(x, key))
+                .collect::<Result<_, _>>()?
+        }
+        "fault_dead" => {
+            cfg.faults.dead = val
+                .split(',')
+                .map(|x| Ok::<bool, String>(parse::<u8>(x, key)? != 0))
+                .collect::<Result<_, _>>()?
+        }
+        _ => return Err(format!("unknown key {key:?}")),
+    }
+    Ok(())
+}
+
+/// Parse one `thread=<start> <ops…>` payload (the part after `=`).
+pub fn parse_thread(val: &str) -> Result<ThreadScript, String> {
+    let mut toks = val.split_whitespace();
+    let start = parse(toks.next().unwrap_or(""), "thread start")?;
+    let ops = toks.map(parse_op).collect::<Result<_, _>>()?;
+    Ok(ThreadScript { start, ops })
+}
+
 /// Parse the corpus text format back into a case. The decoded config is
 /// re-validated, so a corrupt corpus file fails loudly, not subtly.
 pub fn decode(text: &str) -> Result<FuzzCase, String> {
@@ -627,58 +702,10 @@ pub fn decode(text: &str) -> Result<FuzzCase, String> {
         let (key, val) = line
             .split_once('=')
             .ok_or_else(|| format!("bad line {line:?}"))?;
-        match key {
-            "nodes" => cfg.nodes = parse(val, key)?,
-            "nodelets_per_node" => cfg.nodelets_per_node = parse(val, key)?,
-            "gcs_per_nodelet" => cfg.gcs_per_nodelet = parse(val, key)?,
-            "threadlets_per_gc" => cfg.threadlets_per_gc = parse(val, key)?,
-            "gc_hz" => cfg.gc_clock = desim::time::Clock::from_hz(parse(val, key)?),
-            "ncdram_bytes_per_sec" => cfg.ncdram_bytes_per_sec = parse(val, key)?,
-            "dram_latency_ps" => cfg.dram_latency = Time::from_ps(parse(val, key)?),
-            "dram_access_overhead_ps" => cfg.dram_access_overhead = Time::from_ps(parse(val, key)?),
-            "dram_burst_bytes" => cfg.dram_burst_bytes = parse(val, key)?,
-            "migration_rate_per_sec" => cfg.migration_rate_per_sec = parse(val, key)?,
-            "intra_node_hop_ps" => cfg.intra_node_hop = Time::from_ps(parse(val, key)?),
-            "inter_node_hop_ps" => cfg.inter_node_hop = Time::from_ps(parse(val, key)?),
-            "rapidio_bytes_per_sec" => cfg.rapidio_bytes_per_sec = parse(val, key)?,
-            "context_bytes" => cfg.context_bytes = parse(val, key)?,
-            "mem_issue_cycles" => cfg.costs.mem_issue_cycles = parse(val, key)?,
-            "mem_pipeline_cycles" => cfg.costs.mem_pipeline_cycles = parse(val, key)?,
-            "compute_latency_factor" => cfg.costs.compute_latency_factor = parse(val, key)?,
-            "spawn_issue_cycles" => cfg.costs.spawn_issue_cycles = parse(val, key)?,
-            "spawn_local_latency_ps" => {
-                cfg.costs.spawn_local_latency = Time::from_ps(parse(val, key)?)
-            }
-            "migrate_issue_cycles" => cfg.costs.migrate_issue_cycles = parse(val, key)?,
-            "atomic_extra_ps" => cfg.costs.atomic_extra = Time::from_ps(parse(val, key)?),
-            "fault_seed" => cfg.faults.seed = parse(val, key)?,
-            "fault_mig_nack_prob" => cfg.faults.mig_nack_prob = parse(val, key)?,
-            "fault_mig_backoff_ps" => cfg.faults.mig_backoff = Time::from_ps(parse(val, key)?),
-            "fault_mig_retry_budget" => cfg.faults.mig_retry_budget = parse(val, key)?,
-            "fault_ecc_prob" => cfg.faults.ecc_prob = parse(val, key)?,
-            "fault_ecc_latency_ps" => cfg.faults.ecc_latency = Time::from_ps(parse(val, key)?),
-            "fault_link_drop_prob" => cfg.faults.link_drop_prob = parse(val, key)?,
-            "fault_link_retry_budget" => cfg.faults.link_retry_budget = parse(val, key)?,
-            "fault_max_events" => cfg.faults.max_events = parse(val, key)?,
-            "fault_slowdown" => {
-                cfg.faults.slowdown = val
-                    .split(',')
-                    .map(|x| parse(x, key))
-                    .collect::<Result<_, _>>()?
-            }
-            "fault_dead" => {
-                cfg.faults.dead = val
-                    .split(',')
-                    .map(|x| Ok::<bool, String>(parse::<u8>(x, key)? != 0))
-                    .collect::<Result<_, _>>()?
-            }
-            "thread" => {
-                let mut toks = val.split_whitespace();
-                let start = parse(toks.next().unwrap_or(""), "thread start")?;
-                let ops = toks.map(parse_op).collect::<Result<_, _>>()?;
-                threads.push(ThreadScript { start, ops });
-            }
-            _ => return Err(format!("unknown key {key:?}")),
+        if key == "thread" {
+            threads.push(parse_thread(val)?);
+        } else {
+            apply_config_key(&mut cfg, key, val)?;
         }
     }
     cfg.validate()?;
@@ -745,19 +772,9 @@ mod tests {
         assert_eq!(small.threads[0].ops.len(), 1);
     }
 
-    #[test]
-    fn committed_cross_shard_nack_case_exercises_the_fault_path() {
-        // The corpus exemplar for the sharded scheduler must actually
-        // produce cross-shard mailbox traffic and migration NACKs, or
-        // it guards nothing.
-        let text = include_str!("../../../tests/corpus/cross-shard-nack.case");
-        let case = decode(text).unwrap();
-        let report = run_once(&case, false, 2).unwrap();
-        assert!(report.fault_totals().nacks > 0, "case must NACK");
-        assert!(report.pdes.mailbox_sent > 0, "case must cross shards");
-        assert!(report.total_migrations() > 0, "case must migrate");
-        assert!(run_case(&case).is_empty());
-    }
+    // The cross-shard-nack corpus exemplar's potency check (it must
+    // NACK, cross shards, and migrate) lives in the scenario crate's
+    // corpus tests now that the corpus is committed as `.scn`.
 
     #[test]
     fn decode_rejects_garbage() {

@@ -13,8 +13,10 @@
 //! All serializers are pure functions of the report, so a deterministic
 //! simulation yields byte-identical artifacts — the property the `simd`
 //! warm pool's "warm responses equal cold responses" invariant is stated
-//! in terms of. [`json_ok`] is a minimal syntax validator used to
-//! sanity-check emitted documents without a JSON dependency.
+//! in terms of. [`json_ok`] is a syntax validator used to sanity-check
+//! emitted documents without a JSON dependency; it is a thin wrapper
+//! over the workspace's one strict reader, [`crate::jsonread`], so the
+//! validator and the `simd` daemon's request parser cannot drift apart.
 
 use crate::metrics::RunReport;
 use crate::trace::TraceKind;
@@ -419,176 +421,15 @@ pub fn chrome_trace(r: &RunReport) -> String {
 
 // ---- minimal JSON syntax validator -------------------------------------
 
-struct JsonParser<'a> {
-    b: &'a [u8],
-    i: usize,
-    depth: u32,
-}
-
-impl<'a> JsonParser<'a> {
-    fn ws(&mut self) {
-        while let Some(&c) = self.b.get(self.i) {
-            if c == b' ' || c == b'\t' || c == b'\n' || c == b'\r' {
-                self.i += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn eat(&mut self, c: u8) -> bool {
-        if self.b.get(self.i) == Some(&c) {
-            self.i += 1;
-            true
-        } else {
-            false
-        }
-    }
-
-    fn lit(&mut self, s: &str) -> bool {
-        if self.b[self.i..].starts_with(s.as_bytes()) {
-            self.i += s.len();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn string(&mut self) -> bool {
-        if !self.eat(b'"') {
-            return false;
-        }
-        while let Some(&c) = self.b.get(self.i) {
-            self.i += 1;
-            match c {
-                b'"' => return true,
-                b'\\' => {
-                    // Skip the escaped character (sufficient for a
-                    // syntax check of our own ASCII-escaped output).
-                    self.i += 1;
-                }
-                _ => {}
-            }
-        }
-        false
-    }
-
-    fn digits(&mut self) -> usize {
-        let start = self.i;
-        while self.b.get(self.i).is_some_and(|c| c.is_ascii_digit()) {
-            self.i += 1;
-        }
-        self.i - start
-    }
-
-    fn number(&mut self) -> bool {
-        let start = self.i;
-        self.eat(b'-');
-        if self.digits() == 0 {
-            self.i = start;
-            return false;
-        }
-        if self.eat(b'.') && self.digits() == 0 {
-            return false;
-        }
-        if (self.eat(b'e') || self.eat(b'E')) && {
-            let _ = self.eat(b'+') || self.eat(b'-');
-            self.digits() == 0
-        } {
-            return false;
-        }
-        true
-    }
-
-    fn value(&mut self) -> bool {
-        if self.depth > 128 {
-            return false;
-        }
-        self.ws();
-        match self.b.get(self.i) {
-            Some(b'{') => {
-                self.i += 1;
-                self.depth += 1;
-                self.ws();
-                if self.eat(b'}') {
-                    self.depth -= 1;
-                    return true;
-                }
-                // Key spans (raw bytes, quotes included) seen in this
-                // object, to reject duplicate keys: serializers that
-                // emit the same field twice produce JSON most readers
-                // silently last-write-wins on, which hides bugs.
-                let mut keys: Vec<&'a [u8]> = Vec::new();
-                loop {
-                    self.ws();
-                    let key_start = self.i;
-                    if !self.string() {
-                        return false;
-                    }
-                    let key = &self.b[key_start..self.i];
-                    if keys.contains(&key) {
-                        return false;
-                    }
-                    keys.push(key);
-                    self.ws();
-                    if !self.eat(b':') || !self.value() {
-                        return false;
-                    }
-                    self.ws();
-                    if self.eat(b',') {
-                        continue;
-                    }
-                    self.depth -= 1;
-                    return self.eat(b'}');
-                }
-            }
-            Some(b'[') => {
-                self.i += 1;
-                self.depth += 1;
-                self.ws();
-                if self.eat(b']') {
-                    self.depth -= 1;
-                    return true;
-                }
-                loop {
-                    if !self.value() {
-                        return false;
-                    }
-                    self.ws();
-                    if self.eat(b',') {
-                        continue;
-                    }
-                    self.depth -= 1;
-                    return self.eat(b']');
-                }
-            }
-            Some(b'"') => self.string(),
-            Some(b't') => self.lit("true"),
-            Some(b'f') => self.lit("false"),
-            Some(b'n') => self.lit("null"),
-            // JSON has no non-finite number literals; reject the
-            // spellings JavaScript/Python serializers leak before they
-            // reach the number parser's fallthrough.
-            Some(b'N') | Some(b'I') => false,
-            _ => self.number(),
-        }
-    }
-}
-
-/// Whether `s` is a single syntactically valid JSON document. A minimal
-/// recursive-descent check (no value construction, no dependency) used
-/// by tests and `simctl trace` to validate emitted artifacts.
+/// Whether `s` is a single syntactically valid JSON document.
+///
+/// Delegates to the strict shared reader in [`crate::jsonread`]: one
+/// grammar for the whole workspace means a document this validator
+/// blesses is exactly a document the `simd` protocol parser accepts
+/// (duplicate keys, lone surrogates, and non-finite numbers all
+/// rejected).
 pub fn json_ok(s: &str) -> bool {
-    let mut p = JsonParser {
-        b: s.as_bytes(),
-        i: 0,
-        depth: 0,
-    };
-    if !p.value() {
-        return false;
-    }
-    p.ws();
-    p.i == p.b.len()
+    crate::jsonread::parse(s).is_ok()
 }
 
 /// Whether every line of `s` is a valid JSON document (JSONL).

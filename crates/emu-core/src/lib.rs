@@ -38,6 +38,9 @@
 //!   (report JSON, JSONL event logs, Chrome traces) plus a minimal
 //!   syntax validator, shared by the bench harness and the `simd`
 //!   daemon;
+//! * [`jsonread`] — the workspace's one strict JSON reader (duplicate
+//!   keys, lone surrogates, and non-finite numbers rejected), behind
+//!   both [`json::json_ok`] and the `simd` protocol parser;
 //! * [`audit`] — post-run invariant checking (threadlet/migration
 //!   conservation, trace/counter reconciliation, occupancy bounds),
 //!   the referee behind the `simctl fuzz` conformance fuzzer.
@@ -72,6 +75,7 @@ pub mod config;
 pub mod engine;
 pub mod fault;
 pub mod json;
+pub mod jsonread;
 pub mod kernel;
 pub mod metrics;
 pub mod obs;

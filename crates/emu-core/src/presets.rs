@@ -112,6 +112,33 @@ pub fn chick_8node_prototype() -> MachineConfig {
     }
 }
 
+/// Resolve a preset by name. This is the one vocabulary shared by the
+/// bench CLI, the `simd` daemon, and `.scn` scenario files: the short
+/// CLI spellings plus the canonical function names.
+pub fn by_name(name: &str) -> Result<MachineConfig, String> {
+    match name {
+        "chick" | "chick-hw" | "prototype" | "chick_prototype" => Ok(chick_prototype()),
+        "chick-sim" | "toolchain-sim" | "chick_toolchain_sim" => Ok(chick_toolchain_sim()),
+        "full-speed" | "chick_full_speed" => Ok(chick_full_speed()),
+        "emu64" | "emu64_full_speed" => Ok(emu64_full_speed()),
+        "chick-8node" | "chick_8node_prototype" => Ok(chick_8node_prototype()),
+        other => Err(format!(
+            "unknown preset {other:?}; one of: chick, chick-sim, full-speed, emu64, chick-8node"
+        )),
+    }
+}
+
+/// The five presets under their short CLI names, in the paper's order.
+pub fn all() -> Vec<(&'static str, MachineConfig)> {
+    vec![
+        ("chick", chick_prototype()),
+        ("chick-sim", chick_toolchain_sim()),
+        ("full-speed", chick_full_speed()),
+        ("emu64", emu64_full_speed()),
+        ("chick-8node", chick_8node_prototype()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -164,6 +191,17 @@ mod tests {
         assert!(fs.gc_clock.hz() > hw.gc_clock.hz());
         assert!(fs.ncdram_bytes_per_sec > hw.ncdram_bytes_per_sec);
         assert!(fs.migration_rate_per_sec > hw.migration_rate_per_sec);
+    }
+
+    #[test]
+    fn by_name_covers_every_preset_and_both_spellings() {
+        for (name, cfg) in all() {
+            let resolved = by_name(name).unwrap();
+            assert_eq!(format!("{resolved:?}"), format!("{cfg:?}"), "{name}");
+        }
+        assert!(by_name("chick_prototype").is_ok());
+        assert!(by_name("emu64_full_speed").is_ok());
+        assert!(by_name("nope").is_err());
     }
 
     #[test]

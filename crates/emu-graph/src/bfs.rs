@@ -55,6 +55,9 @@ pub struct BfsResult {
     pub migrations: u64,
     /// Traversed edges per second.
     pub teps: f64,
+    /// Per-level machine reports, in level order (one engine run per
+    /// level-synchronous step), for auditing and fingerprinting.
+    pub reports: Vec<emu_core::metrics::RunReport>,
 }
 
 /// Cycles of frontier bookkeeping per traversed edge.
@@ -254,6 +257,7 @@ pub fn run_bfs_emu(
     let mut migrations = 0u64;
     let mut edges = 0u64;
     let mut depth = 0u32;
+    let mut reports = Vec::new();
 
     while !frontier.is_empty() {
         depth += 1;
@@ -288,6 +292,7 @@ pub fn run_bfs_emu(
         total_time += report.makespan;
         migrations += report.total_migrations();
         edges += st.edges.load(std::sync::atomic::Ordering::Relaxed);
+        reports.push(report);
         let st = Arc::try_unwrap(st).unwrap_or_else(|_| panic!("level state still shared"));
         visited = st.visited.into_inner().unwrap();
         levels = st.levels.into_inner().unwrap();
@@ -314,6 +319,7 @@ pub fn run_bfs_emu(
         total_time,
         migrations,
         teps,
+        reports,
     })
 }
 

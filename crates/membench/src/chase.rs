@@ -148,6 +148,9 @@ pub struct ChaseResult {
     pub faults: emu_core::metrics::FaultTotals,
     /// Discrete events the engine processed (Emu runs; 0 on CPU).
     pub events: u64,
+    /// Full machine report (Emu runs; `None` on CPU, which has no
+    /// engine report to audit or fingerprint).
+    pub report: Option<emu_core::metrics::RunReport>,
 }
 
 /// Per-element compute charged by the Emu chase kernel: pointer compare,
@@ -247,6 +250,7 @@ pub fn run_chase_emu(cfg: &MachineConfig, cc: &ChaseConfig) -> Result<ChaseResul
         faults: report.fault_totals(),
         breakdown: report.breakdown,
         events: report.events,
+        report: Some(report),
     })
 }
 
@@ -331,6 +335,7 @@ pub mod cpu {
             breakdown: emu_core::engine::TimeBreakdown::default(),
             faults: emu_core::metrics::FaultTotals::default(),
             events: 0,
+            report: None,
         }
     }
 }

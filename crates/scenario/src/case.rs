@@ -1,0 +1,98 @@
+//! Bridging the fuzz corpus and the scenario language.
+//!
+//! The fuzzer generates and shrinks on [`FuzzCase`] (the engine-level
+//! form); this module lifts those cases into self-contained script
+//! scenarios — every machine key written out explicitly, faults in the
+//! faults section, one `thread` line per script — and lowers script
+//! scenarios back down. Minimized repros are emitted as `.scn` so the
+//! corpus, the registry, and the conformance runner all speak one
+//! language.
+
+use crate::ast::{Scenario, Workload, WorkloadKind};
+use conformance::fuzz::{self, FuzzCase};
+use desim::rng::Rng64;
+use std::collections::BTreeMap;
+
+/// Lift a fuzz case into a self-contained script scenario named
+/// `name`. The machine is spelled out key by key (the corpus codec's
+/// encoding), so the scenario does not depend on preset defaults.
+pub fn scenario_from_case(name: &str, case: &FuzzCase) -> Scenario {
+    let mut machine_overrides = Vec::new();
+    let mut faults = Vec::new();
+    let mut threads = Vec::new();
+    for line in fuzz::encode(case).lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, val) = line
+            .split_once('=')
+            .expect("fuzz::encode emits key=value lines");
+        if key == "thread" {
+            threads.push(fuzz::parse_thread(val).expect("fuzz::encode emits valid threads"));
+        } else if let Some(fk) = key.strip_prefix("fault_") {
+            faults.push((fk.to_string(), val.to_string()));
+        } else {
+            machine_overrides.push((key.to_string(), val.to_string()));
+        }
+    }
+    Scenario {
+        name: name.to_string(),
+        preset: "chick".to_string(),
+        machine_overrides,
+        workload: Workload {
+            kind: WorkloadKind::Script,
+            params: BTreeMap::new(),
+            threads,
+        },
+        faults,
+        sweep: Vec::new(),
+        expect: Vec::new(),
+    }
+}
+
+/// Lower a script scenario back to the engine-level fuzz case. Errors
+/// on non-script workloads and on swept scenarios (a fuzz case is one
+/// point).
+pub fn case_from_scenario(s: &Scenario) -> Result<FuzzCase, String> {
+    if s.workload.kind != WorkloadKind::Script {
+        return Err(format!(
+            "scenario {:?} is a {} workload, not a script",
+            s.name,
+            s.workload.kind.name()
+        ));
+    }
+    if !s.sweep.is_empty() {
+        return Err(format!(
+            "scenario {:?} sweeps; a fuzz case is one point",
+            s.name
+        ));
+    }
+    let cfg = crate::parse::base_config(s)?;
+    Ok(FuzzCase {
+        cfg,
+        threads: s.workload.threads.clone(),
+    })
+}
+
+/// Generate a random script scenario (the fuzzer's unit of work).
+pub fn gen_scenario(name: &str, rng: &mut Rng64) -> Scenario {
+    scenario_from_case(name, &fuzz::gen_case(rng))
+}
+
+/// Greedily shrink a failing scenario, spending at most `max_evals`
+/// probe runs. `still_fails` must return true when the candidate still
+/// reproduces the failure. Shrinking happens on the underlying fuzz
+/// case; the result is lifted back under the same name.
+pub fn shrink_scenario(
+    s: &Scenario,
+    max_evals: usize,
+    still_fails: &mut dyn FnMut(&Scenario) -> bool,
+) -> Result<Scenario, String> {
+    let case = case_from_scenario(s)?;
+    let name = s.name.clone();
+    let best = fuzz::shrink_with(&case, max_evals, &mut |c| {
+        still_fails(&scenario_from_case(&name, c))
+    });
+    Ok(scenario_from_case(&name, &best))
+}

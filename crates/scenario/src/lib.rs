@@ -1,0 +1,37 @@
+//! A declarative scenario language for the Emu Chick simulator, and
+//! the committed registry that serves as the main conformance suite.
+//!
+//! One `.scn` file names a machine (preset + inline overrides), a
+//! workload (STREAM, pointer chase, BFS, MTTKRP, SpMV, or a raw
+//! threadlet script), an optional seeded fault plan, a sweep of up to
+//! two axes, and a block of `expect` assertions: counter bounds,
+//! closed-form oracle ratio bands, monotonicity along a swept axis,
+//! and byte-identical reports across scheduler worker counts.
+//!
+//! - [`ast`] — what a parsed scenario means.
+//! - [`parse`] — the line-oriented parser (every error carries its
+//!   line number) and the canonical printer.
+//! - [`resolve`] — lowering onto [`emu_core::config::MachineConfig`]
+//!   and the benchmark crates' own configs; sweep expansion.
+//! - [`run`] — point execution with functional verification and
+//!   physical-invariant audits, plus the *pure* assertion evaluator.
+//! - [`case`] — lifting fuzz cases to script scenarios and back, so
+//!   the fuzzer generates, shrinks, and emits repros in `.scn`.
+//! - [`registry`] — the deterministic generator of the committed
+//!   `scenarios/` tree.
+//!
+//! The runner in `simctl scenario run` and the daemon's
+//! `{"op":"scenario"}` request both sit on these modules; neither adds
+//! semantics of its own.
+
+pub mod ast;
+pub mod case;
+pub mod parse;
+pub mod registry;
+pub mod resolve;
+pub mod run;
+
+pub use ast::{Axis, CmpOp, Direction, Expect, Scenario, Workload, WorkloadKind};
+pub use parse::{parse, print};
+pub use resolve::{resolve, Point, ResolvedWorkload};
+pub use run::{evaluate, run_point, run_scenario, PointOutcome, ScenarioOutcome};

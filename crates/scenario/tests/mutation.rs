@@ -1,0 +1,156 @@
+//! Mutation coverage for `expect` evaluation: seed an "engine bug" by
+//! tampering with real point outcomes and prove the matching assertion
+//! fails. Evaluation is pure, so each tampering models exactly one
+//! class of regression — a miscounted counter, a broken monotone
+//! trend, a scheduler run whose report drifts with the worker count —
+//! reaching the evaluator through the same data path a real bug would.
+
+use scenario::run::PointOutcome;
+
+fn suite_scenario() -> (scenario::Scenario, Vec<PointOutcome>) {
+    let text = "\
+scenario mutation-witness
+
+machine chick
+
+workload stream
+  elems = 64
+  threads = 4
+
+sweep elems = 32, 64
+
+expect
+  counter events >= 1
+  counter threads == 4
+  monotonic events nondecreasing over elems
+  byte_identical_at_sim_threads = 1, 2
+";
+    let s = scenario::parse(text).unwrap();
+    let points = scenario::resolve(&s).unwrap();
+    let outcomes: Vec<PointOutcome> = points.iter().map(|p| scenario::run_point(&s, p)).collect();
+    (s, outcomes)
+}
+
+#[test]
+fn untampered_run_passes() {
+    let (s, outcomes) = suite_scenario();
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(fails.is_empty(), "{fails:#?}");
+}
+
+#[test]
+fn wrong_counter_fails_the_counter_assertion() {
+    let (s, mut outcomes) = suite_scenario();
+    // Seeded bug: a run that loses a threadlet.
+    *outcomes[0].metrics.get_mut("threads").unwrap() = 3.0;
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(
+        fails.iter().any(|f| f.contains("counter threads")),
+        "{fails:#?}"
+    );
+}
+
+#[test]
+fn missing_metric_fails_loudly() {
+    let (s, mut outcomes) = suite_scenario();
+    outcomes[1].metrics.remove("events");
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(
+        fails.iter().any(|f| f.contains("not produced")),
+        "{fails:#?}"
+    );
+}
+
+#[test]
+fn broken_monotonicity_fails_the_monotonic_assertion() {
+    let (s, mut outcomes) = suite_scenario();
+    // Seeded bug: the larger problem size reports fewer events than
+    // the smaller one (e.g. dropped work on one shard).
+    let small = outcomes[0].metrics["events"];
+    *outcomes[1].metrics.get_mut("events").unwrap() = small - 1.0;
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(
+        fails.iter().any(|f| f.contains("monotonic events")),
+        "{fails:#?}"
+    );
+}
+
+#[test]
+fn fingerprint_drift_fails_the_byte_identity_assertion() {
+    let (s, mut outcomes) = suite_scenario();
+    // Seeded bug: the two-worker scheduler produces a slightly
+    // different report than the sequential one.
+    let (_, fp) = outcomes[0]
+        .fingerprints
+        .iter_mut()
+        .find(|(n, _)| *n == 2)
+        .unwrap();
+    fp.push('x');
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(
+        fails.iter().any(|f| f.contains("not byte-identical")),
+        "{fails:#?}"
+    );
+}
+
+#[test]
+fn missing_fingerprint_fails_the_byte_identity_assertion() {
+    let (s, mut outcomes) = suite_scenario();
+    outcomes[1].fingerprints.retain(|(n, _)| *n != 2);
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(
+        fails.iter().any(|f| f.contains("no fingerprint")),
+        "{fails:#?}"
+    );
+}
+
+#[test]
+fn point_problems_fail_the_scenario() {
+    let (s, mut outcomes) = suite_scenario();
+    outcomes[0]
+        .problems
+        .push("audit: threadlet conservation violated".into());
+    let fails = scenario::evaluate(&s, &outcomes);
+    assert!(fails.iter().any(|f| f.contains("audit:")), "{fails:#?}");
+}
+
+/// The tampering above models bugs at the outcome boundary; this one
+/// proves a real engine-visible divergence trips the suite end to end:
+/// two different machine configurations cannot share a fingerprint.
+#[test]
+fn a_real_config_change_changes_the_fingerprint() {
+    let (s, outcomes) = suite_scenario();
+    let text = "\
+scenario mutation-witness
+
+machine chick
+  gc_hz = 115000000
+
+workload stream
+  elems = 64
+  threads = 4
+
+sweep elems = 32, 64
+
+expect
+  counter events >= 1
+  counter threads == 4
+  monotonic events nondecreasing over elems
+  byte_identical_at_sim_threads = 1, 2
+";
+    let s2 = scenario::parse(text).unwrap();
+    let points2 = scenario::resolve(&s2).unwrap();
+    let outcomes2: Vec<PointOutcome> = points2
+        .iter()
+        .map(|p| scenario::run_point(&s2, p))
+        .collect();
+    // Both pass their own suite…
+    assert!(scenario::evaluate(&s, &outcomes).is_empty());
+    assert!(scenario::evaluate(&s2, &outcomes2).is_empty());
+    // …but the slowed clock must be visible in the fingerprints, or
+    // byte-identity would be vacuously satisfiable by any report.
+    assert_ne!(
+        outcomes[0].fingerprints[0].1, outcomes2[0].fingerprints[0].1,
+        "fingerprints must reflect the machine configuration"
+    );
+}

@@ -1,0 +1,79 @@
+//! The committed `scenarios/` registry and its generator must agree,
+//! and the registry must keep its coverage guarantees.
+
+use scenario::ast::*;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+fn scenarios_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn committed_registry_matches_the_generator() {
+    let dir = scenarios_dir();
+    for (name, text) in scenario::registry::files() {
+        let committed = std::fs::read_to_string(dir.join(&name)).unwrap_or_else(|e| {
+            panic!("{name}: missing from scenarios/ ({e}); run `simctl scenario gen scenarios/`")
+        });
+        assert_eq!(
+            committed, text,
+            "{name}: committed file drifted from the generator; run `simctl scenario gen scenarios/`"
+        );
+    }
+}
+
+#[test]
+fn every_committed_scenario_parses_and_resolves() {
+    let dir = scenarios_dir();
+    let mut n = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "scn") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let s = scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let points = scenario::resolve(&s).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(!points.is_empty(), "{}: no points", path.display());
+        n += 1;
+    }
+    assert!(
+        n >= 200,
+        "registry has {n} scenarios; the suite requires at least 200"
+    );
+}
+
+#[test]
+fn registry_covers_every_preset_workload_pair_and_enough_faults() {
+    let scenarios = scenario::registry::generate();
+    let mut pairs = BTreeSet::new();
+    let mut faulty = 0;
+    let mut identity = 0;
+    for s in &scenarios {
+        pairs.insert((s.preset.clone(), s.workload.kind));
+        if !s.faults.is_empty() {
+            faulty += 1;
+        }
+        if s.expect
+            .iter()
+            .any(|e| matches!(e, Expect::ByteIdentical { .. }))
+        {
+            identity += 1;
+        }
+    }
+    for preset in scenario::registry::PRESETS {
+        for kind in WorkloadKind::ALL {
+            assert!(
+                pairs.contains(&(preset.to_string(), kind)),
+                "no scenario for preset {preset} x workload {}",
+                kind.name()
+            );
+        }
+    }
+    assert!(
+        faulty >= 20,
+        "only {faulty} fault-bearing scenarios (need 20+)"
+    );
+    assert!(identity >= 20, "only {identity} byte-identity scenarios");
+}

@@ -69,22 +69,15 @@ pub fn spec_key(spec: &Spec) -> Option<String> {
     let cfg = match &plan {
         Plan::Case(case) => &case.cfg,
         Plan::Stream(cfg, _) => cfg,
+        Plan::ScenarioPoint(_, point) => &point.cfg,
     };
     Some(format!("{cfg:?}"))
 }
 
-/// Resolve a preset name using the same vocabulary as the bench CLI.
+/// Resolve a preset name using the same vocabulary as the bench CLI
+/// (shared resolver in [`presets::by_name`]).
 pub fn preset_by_name(name: &str) -> Result<MachineConfig, String> {
-    match name {
-        "chick" | "chick-hw" | "prototype" => Ok(presets::chick_prototype()),
-        "chick-sim" | "toolchain-sim" => Ok(presets::chick_toolchain_sim()),
-        "full-speed" => Ok(presets::chick_full_speed()),
-        "emu64" => Ok(presets::emu64_full_speed()),
-        "chick-8node" => Ok(presets::chick_8node_prototype()),
-        other => Err(format!(
-            "unknown preset {other:?}; one of: chick, chick-sim, full-speed, emu64, chick-8node"
-        )),
-    }
+    presets::by_name(name)
 }
 
 fn kernel_by_name(name: &str) -> Result<StreamKernel, String> {
@@ -114,6 +107,7 @@ fn strategy_by_name(name: &str) -> Result<SpawnStrategy, String> {
 enum Plan {
     Case(conformance::fuzz::FuzzCase),
     Stream(MachineConfig, EmuStreamConfig),
+    ScenarioPoint(Box<scenario::Scenario>, scenario::Point),
 }
 
 fn resolve(spec: &Spec) -> Result<Plan, ExecError> {
@@ -150,6 +144,19 @@ fn resolve(spec: &Spec) -> Result<Plan, ExecError> {
             };
             Ok(Plan::Stream(cfg, sc))
         }
+        Spec::ScenarioPoint { text, index } => {
+            let proto = |e| ExecError::new(ErrorKind::Proto, e);
+            let s = scenario::parse(text).map_err(|e| proto(format!("bad scenario: {e}")))?;
+            let mut points = scenario::resolve(&s).map_err(proto)?;
+            if *index >= points.len() {
+                return Err(proto(format!(
+                    "scenario {:?} has {} points; index {index} is out of range",
+                    s.name,
+                    points.len()
+                )));
+            }
+            Ok(Plan::ScenarioPoint(Box::new(s), points.swap_remove(*index)))
+        }
     }
 }
 
@@ -175,9 +182,27 @@ pub fn execute(
     cancel: Option<(Arc<AtomicBool>, u64)>,
 ) -> Result<ExecOutcome, ExecError> {
     let plan = resolve(&req.spec)?;
+
+    // A scenario point runs through the scenario crate's own runner
+    // (which builds the workload's engines, audits every report, and
+    // verifies the result against the functional oracle), so it never
+    // touches this worker's parked engine. Deadline and event budgets
+    // do not reach inside `run_point`; problems travel back as data in
+    // the outcome document so the server can evaluate the scenario's
+    // expect block over every point (see `crate::scn`).
+    if let Plan::ScenarioPoint(s, point) = &plan {
+        let outcome = scenario::run_point(s, point);
+        return Ok(ExecOutcome {
+            report_json: crate::scn::point_outcome_json(&outcome),
+            warm: false,
+            config_key: format!("{:?}", point.cfg),
+        });
+    }
+
     let cfg = match &plan {
         Plan::Case(case) => &case.cfg,
         Plan::Stream(cfg, _) => cfg,
+        Plan::ScenarioPoint(..) => unreachable!("handled above"),
     };
     let key = format!("{cfg:?}");
 
@@ -215,6 +240,7 @@ pub fn execute(
             }
             res.report
         }
+        Plan::ScenarioPoint(..) => unreachable!("handled above"),
     };
 
     // A finished engine is drained but structurally sound; audit the

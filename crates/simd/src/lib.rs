@@ -36,6 +36,7 @@ pub mod exec;
 pub mod parse;
 pub mod pool;
 pub mod proto;
+pub mod scn;
 pub mod server;
 pub mod top;
 
@@ -108,6 +109,7 @@ pub fn run_once_stdin() -> i32 {
                 Err(e) => proto::err_response(req.id, e.kind, &e.message, None),
             }
         }
+        Ok(proto::Request::Scenario(req)) => scn::handle_once(&req),
         Ok(proto::Request::Health { id })
         | Ok(proto::Request::Metrics { id })
         | Ok(proto::Request::Shutdown { id }) => proto::err_response(

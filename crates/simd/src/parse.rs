@@ -1,316 +1,21 @@
-//! A small recursive-descent JSON reader for the daemon protocol.
+//! JSON reading for the daemon protocol.
 //!
-//! [`emu_core::json`] owns the *writer* side (serializers plus a
-//! validating scanner); the daemon additionally needs to read request
-//! lines into a value tree. This parser is strict where the protocol
-//! cares (duplicate keys rejected, finite numbers only, bounded
-//! nesting) and deliberately tiny: the protocol only uses objects of
-//! scalars plus one nested `spec` object.
+//! The daemon used to carry its own recursive-descent reader here; that
+//! and `emu_core::json::json_ok`'s validating scanner were two
+//! implementations of "strict JSON" that could silently drift apart
+//! (one rejecting a duplicate key or lone surrogate the other let
+//! through). The reader now lives in [`emu_core::jsonread`] and both
+//! consumers share it; this module re-exports it under the old path so
+//! protocol code keeps reading `parse::parse`.
 
-use std::collections::BTreeSet;
-
-/// Maximum nesting depth accepted, mirroring `emu_core::json`'s scanner.
-const MAX_DEPTH: usize = 128;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any number (always finite).
-    Num(f64),
-    /// A string with escapes resolved.
-    Str(String),
-    /// An array.
-    Arr(Vec<Value>),
-    /// An object in source order (keys are unique).
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    /// Look up a key in an object; `None` for absent keys or non-objects.
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The number as `u64`, if this is a non-negative integer.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The number, if this is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The boolean, if this is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Value::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-/// Parse one complete JSON document. Trailing non-whitespace is an error.
-pub fn parse(text: &str) -> Result<Value, String> {
-    let bytes = text.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
-    p.skip_ws();
-    let v = p.value(0)?;
-    p.skip_ws();
-    if p.pos != bytes.len() {
-        return Err(format!("trailing bytes at offset {}", p.pos));
-    }
-    Ok(v)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at offset {}", b as char, self.pos))
-        }
-    }
-
-    fn value(&mut self, depth: usize) -> Result<Value, String> {
-        if depth > MAX_DEPTH {
-            return Err("nesting too deep".into());
-        }
-        match self.peek() {
-            Some(b'{') => self.object(depth),
-            Some(b'[') => self.array(depth),
-            Some(b'"') => Ok(Value::Str(self.string()?)),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(c) => Err(format!("unexpected {:?} at offset {}", c as char, self.pos)),
-            None => Err("unexpected end of input".into()),
-        }
-    }
-
-    fn literal(&mut self, text: &str, v: Value) -> Result<Value, String> {
-        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
-            self.pos += text.len();
-            Ok(v)
-        } else {
-            Err(format!("bad literal at offset {}", self.pos))
-        }
-    }
-
-    fn object(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        let mut seen = BTreeSet::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            if !seen.insert(key.clone()) {
-                return Err(format!("duplicate key {key:?}"));
-            }
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let v = self.value(depth + 1)?;
-            pairs.push((key, v));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(pairs));
-                }
-                _ => return Err(format!("expected ',' or '}}' at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn array(&mut self, depth: usize) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at offset {}", self.pos)),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = self
-                .peek()
-                .ok_or_else(|| "unterminated string".to_string())?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let e = self
-                        .peek()
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match e {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hi = self.hex4()?;
-                            let c = if (0xD800..0xDC00).contains(&hi) {
-                                // A high surrogate must pair with \uDC00..\uDFFF.
-                                if self.peek() != Some(b'\\') {
-                                    return Err("lone high surrogate".into());
-                                }
-                                self.pos += 1;
-                                if self.peek() != Some(b'u') {
-                                    return Err("lone high surrogate".into());
-                                }
-                                self.pos += 1;
-                                let lo = self.hex4()?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err("bad low surrogate".into());
-                                }
-                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(cp).ok_or("bad surrogate pair")?
-                            } else if (0xDC00..0xE000).contains(&hi) {
-                                return Err("lone low surrogate".into());
-                            } else {
-                                char::from_u32(hi).ok_or("bad \\u escape")?
-                            };
-                            out.push(c);
-                        }
-                        other => {
-                            return Err(format!("bad escape \\{}", other as char));
-                        }
-                    }
-                }
-                _ if b < 0x20 => return Err("raw control character in string".into()),
-                _ => {
-                    // Re-borrow the source so multi-byte UTF-8 stays intact.
-                    let start = self.pos - 1;
-                    let mut end = self.pos;
-                    while end < self.bytes.len()
-                        && self.bytes[end] != b'"'
-                        && self.bytes[end] != b'\\'
-                        && self.bytes[end] >= 0x20
-                    {
-                        end += 1;
-                    }
-                    let chunk = std::str::from_utf8(&self.bytes[start..end])
-                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
-                    out.push_str(chunk);
-                    self.pos = end;
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, String> {
-        if self.pos + 4 > self.bytes.len() {
-            return Err("truncated \\u escape".into());
-        }
-        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-            .map_err(|_| "bad \\u escape".to_string())?;
-        let v = u32::from_str_radix(s, 16).map_err(|_| "bad \\u escape".to_string())?;
-        self.pos += 4;
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<Value, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(b) = self.peek() {
-            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
-        let n: f64 = s
-            .parse()
-            .map_err(|_| format!("bad number {s:?} at offset {start}"))?;
-        if !n.is_finite() {
-            return Err(format!("non-finite number {s:?}"));
-        }
-        Ok(Value::Num(n))
-    }
-}
+pub use emu_core::jsonread::{parse, Value};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn parses_protocol_shapes() {
+    fn parses_protocol_shapes_through_the_shared_reader() {
         let v =
             parse(r#"{"op":"run","id":7,"spec":{"kind":"case","case":"a\nb"},"deadline_ms":250}"#)
                 .unwrap();
@@ -319,46 +24,27 @@ mod tests {
         let spec = v.get("spec").unwrap();
         assert_eq!(spec.get("kind").unwrap().as_str(), Some("case"));
         assert_eq!(spec.get("case").unwrap().as_str(), Some("a\nb"));
-        assert_eq!(v.get("deadline_ms").unwrap().as_u64(), Some(250));
-        assert!(v.get("missing").is_none());
     }
 
     #[test]
-    fn resolves_escapes_and_surrogates() {
-        let v = parse(r#""\u0041\u00e9\ud83d\ude00\t""#).unwrap();
-        assert_eq!(v.as_str(), Some("Aé😀\t"));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\":1,}",
-            "{\"a\":1}{",
-            "{\"a\":1,\"a\":2}",
-            "\"\\ud800x\"",
-            "1e999",
-            "nul",
-            "[1 2]",
+    fn shared_reader_and_json_ok_agree() {
+        // The satellite invariant: the protocol parser and the artifact
+        // validator are the same grammar. Spot-check both directions
+        // here; the full shared rejection corpus lives in
+        // `tests/json_corpus.rs`.
+        for doc in [
+            r#"{"a":1,"a":2}"#,
+            "\"\\ud800\"",
+            "NaN",
+            "[1,]",
+            r#"{"ok":true}"#,
+            "[1,2,3]",
         ] {
-            assert!(parse(bad).is_err(), "accepted {bad:?}");
+            assert_eq!(
+                parse(doc).is_ok(),
+                emu_core::json::json_ok(doc),
+                "diverged on {doc:?}"
+            );
         }
-    }
-
-    #[test]
-    fn round_trips_emu_core_writer_output() {
-        // Whatever the shared writer emits must be readable here.
-        let s = emu_core::json::jstr("quote \" slash \\ nl \n tab \t");
-        let v = parse(&s).unwrap();
-        assert_eq!(v.as_str(), Some("quote \" slash \\ nl \n tab \t"));
-    }
-
-    #[test]
-    fn depth_cap_holds() {
-        let deep = "[".repeat(200) + &"]".repeat(200);
-        assert!(parse(&deep).is_err());
-        let ok = "[".repeat(64) + &"]".repeat(64);
-        assert!(parse(&ok).is_ok());
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! ```json
 //! {"op":"run","id":1,"spec":{...},"deadline_ms":250,"max_events":1000000}
+//! {"op":"scenario","id":5,"scenario":"scenario s\n\nmachine chick\n..."}
 //! {"op":"health","id":2}
 //! {"op":"metrics","id":3}
 //! {"op":"shutdown","id":4}
@@ -13,6 +14,13 @@
 //! A `run` spec is either a scripted case in the conformance fuzz
 //! codec, `{"kind":"case","case":"<codec text>"}`, or a STREAM point,
 //! `{"kind":"stream","preset":"chick","elems":4096,"threads":64,...}`.
+//!
+//! A `scenario` request carries a complete `.scn` document (the
+//! declarative conformance language in the `scenario` crate); the
+//! server resolves its sweep and routes every point through the warm
+//! pool as an internal `{"kind":"scenario_point"}` spec, then
+//! evaluates the `expect` block over the collected outcomes
+//! (see [`crate::scn`]).
 //!
 //! Successful run responses put the report object **last** so its
 //! bytes can be compared verbatim against a direct
@@ -37,6 +45,8 @@ use emu_core::json::jstr;
 pub enum Request {
     /// Submit a simulation run.
     Run(RunRequest),
+    /// Run a full `.scn` scenario through the warm pool.
+    Scenario(ScenarioRequest),
     /// Ask for a pool statistics snapshot.
     Health {
         /// Client-chosen correlation id, echoed in the response.
@@ -69,6 +79,20 @@ pub struct RunRequest {
     pub chaos: Option<Chaos>,
 }
 
+/// A `scenario` request: one `.scn` document, executed point by point
+/// on the pool with the budgets below applied per point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRequest {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The full `.scn` text (validated by [`scenario::parse`]).
+    pub text: String,
+    /// Per-point wall-clock budget override in milliseconds.
+    pub deadline_ms: Option<u64>,
+    /// Per-point event-count budget override.
+    pub max_events: Option<u64>,
+}
+
 /// A run payload.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Spec {
@@ -96,6 +120,17 @@ pub enum Spec {
         single_nodelet: bool,
         /// Cilk-frame touch period (0 disables).
         stack_touch_period: u32,
+    },
+    /// One resolved point of a `.scn` scenario. This is how the
+    /// server's `{"op":"scenario"}` handler fans a scenario out over
+    /// the pool; it is also accepted on the wire so a client can replay
+    /// a single sweep point in isolation.
+    ScenarioPoint {
+        /// The full `.scn` text (each worker re-parses it; scenarios
+        /// are small and parsing is allocation-bound, not sim-bound).
+        text: String,
+        /// Which resolved point to run, in sweep order.
+        index: usize,
     },
 }
 
@@ -209,6 +244,18 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 chaos,
             }))
         }
+        "scenario" => {
+            let text = v
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("scenario request missing \"scenario\" text")?;
+            Ok(Request::Scenario(ScenarioRequest {
+                id,
+                text: text.to_string(),
+                deadline_ms: opt_u64(&v, "deadline_ms")?,
+                max_events: opt_u64(&v, "max_events")?,
+            }))
+        }
         other => Err(format!("unknown op {other:?}")),
     }
 }
@@ -254,6 +301,20 @@ fn parse_spec(v: &Value) -> Result<Spec, String> {
                 stack_touch_period: num("stack_touch_period", 4) as u32,
             })
         }
+        "scenario_point" => {
+            let text = v
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("scenario_point spec missing \"scenario\" text")?;
+            let index = v
+                .get("index")
+                .and_then(Value::as_u64)
+                .ok_or("scenario_point spec missing \"index\"")?;
+            Ok(Spec::ScenarioPoint {
+                text: text.to_string(),
+                index: index as usize,
+            })
+        }
         other => Err(format!("unknown spec kind {other:?}")),
     }
 }
@@ -278,6 +339,10 @@ pub fn run_request_line(req: &RunRequest) -> String {
             jstr(kernel),
             jstr(strategy)
         ),
+        Spec::ScenarioPoint { text, index } => format!(
+            "{{\"kind\":\"scenario_point\",\"scenario\":{},\"index\":{index}}}",
+            jstr(text)
+        ),
     };
     let mut line = format!("{{\"op\":\"run\",\"id\":{},\"spec\":{spec}", req.id);
     if let Some(ms) = req.deadline_ms {
@@ -288,6 +353,24 @@ pub fn run_request_line(req: &RunRequest) -> String {
     }
     if req.chaos == Some(Chaos::Panic) {
         line.push_str(",\"chaos\":\"panic\"");
+    }
+    line.push('}');
+    line
+}
+
+/// Render a scenario request line (the client side of
+/// [`parse_request`]'s `scenario` arm).
+pub fn scenario_request_line(req: &ScenarioRequest) -> String {
+    let mut line = format!(
+        "{{\"op\":\"scenario\",\"id\":{},\"scenario\":{}",
+        req.id,
+        jstr(&req.text)
+    );
+    if let Some(ms) = req.deadline_ms {
+        line.push_str(&format!(",\"deadline_ms\":{ms}"));
+    }
+    if let Some(n) = req.max_events {
+        line.push_str(&format!(",\"max_events\":{n}"));
     }
     line.push('}');
     line
@@ -331,6 +414,36 @@ mod tests {
         };
         let line = run_request_line(&req);
         assert!(!line.contains('\n'), "request line must stay one line");
+        assert_eq!(parse_request(&line).unwrap(), Request::Run(req));
+    }
+
+    #[test]
+    fn scenario_request_round_trips() {
+        let req = ScenarioRequest {
+            id: 77,
+            text: "scenario s\n\nmachine chick\n\nworkload stream\n  elems = 64\n".into(),
+            deadline_ms: Some(500),
+            max_events: None,
+        };
+        let line = scenario_request_line(&req);
+        assert!(!line.contains('\n'), "request line must stay one line");
+        assert_eq!(parse_request(&line).unwrap(), Request::Scenario(req));
+        assert!(parse_request(r#"{"op":"scenario","id":1}"#).is_err());
+    }
+
+    #[test]
+    fn scenario_point_spec_round_trips() {
+        let req = RunRequest {
+            id: 8,
+            spec: Spec::ScenarioPoint {
+                text: "scenario s\n\nmachine chick\n\nworkload stream\n".into(),
+                index: 3,
+            },
+            deadline_ms: None,
+            max_events: Some(1_000_000),
+            chaos: None,
+        };
+        let line = run_request_line(&req);
         assert_eq!(parse_request(&line).unwrap(), Request::Run(req));
     }
 

@@ -284,6 +284,7 @@ fn handle_conn(stream: TcpStream, pool: &Pool, shutdown: &AtomicBool) -> std::io
                 writer.flush()?;
                 break;
             }
+            Ok(Request::Scenario(req)) => crate::scn::handle(pool, &req),
             Ok(Request::Run(req)) => {
                 let id = req.id;
                 let (tx, rx) = mpsc::channel();

@@ -1,0 +1,150 @@
+//! End-to-end `{"op":"scenario"}`: a live daemon runs a swept `.scn`
+//! document point-by-point through the warm pool, evaluates its expect
+//! block, and answers one line — pass, assertion failures as data, or
+//! a typed protocol error — then drains clean.
+
+use simd::client::{request, ClientOpts};
+use simd::parse::{parse, Value};
+use simd::pool::PoolConfig;
+use simd::proto::{run_request_line, scenario_request_line, RunRequest, ScenarioRequest, Spec};
+use simd::server::{serve_with, ServeOpts, ServeSummary};
+use std::net::SocketAddr;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+const SCN: &str = "\
+scenario daemon-smoke
+
+machine chick
+
+workload stream
+  elems = 64
+  threads = 4
+
+sweep elems = 32, 64
+
+expect
+  counter events >= 1
+  counter threads == 4
+  monotonic events nondecreasing over elems
+  byte_identical_at_sim_threads = 1, 2
+";
+
+fn start_daemon() -> (SocketAddr, JoinHandle<ServeSummary>) {
+    let (addr_tx, addr_rx) = mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        let opts = ServeOpts {
+            addr: "127.0.0.1:0".into(),
+            pool: PoolConfig {
+                workers: 2,
+                queue_cap: 4,
+                ..PoolConfig::default()
+            },
+            drain_ms: 30_000,
+            max_conns: 8,
+            telemetry_path: None,
+            handle_signals: false,
+            metrics_addr: None,
+        };
+        serve_with(opts, move |addr| addr_tx.send(addr).unwrap()).expect("daemon failed")
+    });
+    let addr = addr_rx.recv().expect("daemon never became ready");
+    (addr, handle)
+}
+
+fn scenario_req(id: u64, text: &str) -> String {
+    scenario_request_line(&ScenarioRequest {
+        id,
+        text: text.into(),
+        deadline_ms: None,
+        max_events: None,
+    })
+}
+
+#[test]
+fn scenario_op_runs_sweeps_through_the_pool() {
+    let (addr, handle) = start_daemon();
+    let opts = ClientOpts {
+        addr: addr.to_string(),
+        ..ClientOpts::default()
+    };
+
+    // A clean scenario passes with no failures, both sweep points run.
+    let reply = request(&opts, &scenario_req(1, SCN)).unwrap();
+    let v = parse(&reply).unwrap_or_else(|e| panic!("{e}: {reply}"));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+    let scn = v.get("scenario").expect("scenario object");
+    assert_eq!(
+        scn.get("pass").and_then(Value::as_bool),
+        Some(true),
+        "{reply}"
+    );
+    assert_eq!(
+        scn.get("points").and_then(Value::as_u64),
+        Some(2),
+        "{reply}"
+    );
+    assert_eq!(
+        scn.get("name").and_then(Value::as_str),
+        Some("daemon-smoke"),
+        "{reply}"
+    );
+
+    // An unmeetable bound is a *result* (ok:true, pass:false), and the
+    // failure names the assertion.
+    let failing = SCN.replace("counter events >= 1", "counter events >= 999999999999");
+    let reply = request(&opts, &scenario_req(2, &failing)).unwrap();
+    let v = parse(&reply).unwrap();
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+    let scn = v.get("scenario").expect("scenario object");
+    assert_eq!(
+        scn.get("pass").and_then(Value::as_bool),
+        Some(false),
+        "{reply}"
+    );
+    assert!(reply.contains("counter events"), "{reply}");
+
+    // A malformed document is a typed protocol error.
+    let reply = request(&opts, &scenario_req(3, "workload warp\n")).unwrap();
+    assert!(reply.contains("\"ok\":false"), "{reply}");
+    assert!(reply.contains("\"kind\":\"proto\""), "{reply}");
+
+    // A single point replays through the ordinary run op, carrying the
+    // outcome document as its report.
+    let reply = request(
+        &opts,
+        &run_request_line(&RunRequest {
+            id: 4,
+            spec: Spec::ScenarioPoint {
+                text: SCN.into(),
+                index: 1,
+            },
+            deadline_ms: None,
+            max_events: None,
+            chaos: None,
+        }),
+    )
+    .unwrap();
+    let v = parse(&reply).unwrap_or_else(|e| panic!("{e}: {reply}"));
+    assert_eq!(v.get("ok").and_then(Value::as_bool), Some(true), "{reply}");
+    let point = v.get("report").expect("report object");
+    assert_eq!(
+        point.get("point").and_then(Value::as_u64),
+        Some(1),
+        "{reply}"
+    );
+    assert!(
+        matches!(point.get("problems"), Some(Value::Arr(p)) if p.is_empty()),
+        "{reply}"
+    );
+
+    let bye = request(&opts, "{\"op\":\"shutdown\",\"id\":9}").unwrap();
+    assert!(bye.contains("\"shutting_down\":true"), "{bye}");
+    let summary = handle.join().expect("daemon thread");
+    assert!(summary.drained, "daemon failed to drain");
+    assert!(
+        summary.violations.is_empty(),
+        "conservation violated: {:?}",
+        summary.violations
+    );
+}

@@ -1,13 +1,46 @@
-//! Replay the committed fuzz corpus under the lockstep conformance
-//! harness. Every `tests/corpus/*.case` file — seeded exemplars and any
-//! shrunk repro `simctl fuzz` ever committed — must run clean on both
-//! event-queue backends and pass the run audit, forever.
+//! Replay the committed fuzz corpus. Every `tests/corpus/*.scn` file —
+//! seeded exemplars and any shrunk repro `simctl fuzz` ever committed —
+//! must run clean under the full scenario runner (lockstep queue
+//! backends, sharded scheduler, run audit, expect blocks), forever.
+//!
+//! Legacy `.case` files still replay through the corpus codec; that
+//! shim keeps old repro attachments usable for one release while
+//! everything new lands as `.scn` (see `simctl scenario promote`).
 
 use std::fs;
 use std::path::Path;
 
 #[test]
 fn corpus_replays_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut replayed = 0;
+    for entry in fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("scn") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).unwrap();
+        let s = scenario::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let outcome = scenario::run_scenario(&s);
+        assert!(
+            outcome.pass(),
+            "{}: {:#?}",
+            path.display(),
+            outcome.failures
+        );
+        replayed += 1;
+    }
+    assert!(
+        replayed >= 4,
+        "corpus unexpectedly small ({replayed} scenarios)"
+    );
+}
+
+/// One-release shim: legacy `.case` repros must still decode and
+/// replay clean through the corpus codec, and must lower to the exact
+/// same engine-level case as their promoted `.scn` sibling.
+#[test]
+fn legacy_case_files_still_replay_and_match_their_scn_form() {
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
     let mut replayed = 0;
     for entry in fs::read_dir(&dir).unwrap() {
@@ -20,10 +53,19 @@ fn corpus_replays_clean() {
             conformance::fuzz::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let problems = conformance::fuzz::run_case(&case);
         assert!(problems.is_empty(), "{}: {problems:#?}", path.display());
+
+        let scn_path = path.with_extension("scn");
+        let scn_text = fs::read_to_string(&scn_path)
+            .unwrap_or_else(|e| panic!("{}: promoted sibling missing: {e}", scn_path.display()));
+        let s = scenario::parse(&scn_text).unwrap();
+        let lowered = scenario::case::case_from_scenario(&s).unwrap();
+        assert_eq!(
+            conformance::fuzz::encode(&lowered),
+            conformance::fuzz::encode(&case),
+            "{}: .case and .scn forms diverge",
+            path.display()
+        );
         replayed += 1;
     }
-    assert!(
-        replayed >= 3,
-        "corpus unexpectedly small ({replayed} cases)"
-    );
+    assert!(replayed >= 1, "shim witness missing");
 }
