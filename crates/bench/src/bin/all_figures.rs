@@ -11,5 +11,8 @@ fn main() {
     emu_bench::output::run_figure("fig10", emu_bench::figures::fig10);
     emu_bench::output::run_figure("fig11", emu_bench::figures::fig11);
     emu_bench::output::run_figure("headline", emu_bench::figures::headline);
+    if runcache::enabled() {
+        eprintln!("{}", emu_bench::cache::session_summary());
+    }
     eprintln!("[all_figures] done in {:.1}s", t0.elapsed().as_secs_f64());
 }

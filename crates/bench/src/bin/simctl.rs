@@ -40,6 +40,10 @@ fn run(args: &[String]) -> Result<(), String> {
     if args[0] == "scenario" {
         std::process::exit(emu_bench::scncmd::dispatch(&args[1..]));
     }
+    // And the result cache: stats / gc / verify over the on-disk store.
+    if args[0] == "cache" {
+        std::process::exit(emu_bench::cachecmd::dispatch(&args[1..]));
+    }
     let mut p = cli::parse(args)?;
     // `--jobs` is accepted by every command (sweep worker threads; single
     // runs just ignore the pool size). Applied before dispatch so any

@@ -142,12 +142,20 @@ COMMANDS
             (lockstep calendar-vs-heap queue backends, sequential-vs-
             sharded scheduler, + run audit; a failure shrinks to a
             minimal repro written to the corpus as a .scn scenario)
-  scenario  conformance suite     run <path>... [--jobs N] [--report-json F]
-            (.scn files)          check <path>... | gen <dir>
+  scenario  conformance suite     run <path>... [--jobs N] [--cache]
+            (.scn files)          [--report-json F]
+                                  check <path>... | gen <dir>
             (declarative scenarios: machine + workload + faults +
             sweep + expect; `run` executes every point with checksum,
             audit, oracle, monotonicity, and byte-identity checks;
-            `gen` regenerates the committed scenarios/ registry)
+            `gen` regenerates the committed scenarios/ registry;
+            `--cache` serves unchanged points from the result cache)
+  cache     result-cache tools    stats | gc [--max-mb N]
+            (.emu-cache store)    verify [--sample N]
+            (content-addressed run results keyed by config + workload
+            digests; EMU_CACHE=1 arms caching, EMU_CACHE_DIR moves the
+            store, gc prunes oldest-first to EMU_CACHE_MAX_MB; verify
+            re-simulates stored recipes and fails on any byte drift)
   pdes-speedup  sharded-scheduler --preset emu64 --shards 4 --threads 512
             microbenchmark        --elems 65536 --gate false --phases false
             (sequential vs N-shard events/sec on STREAM + pointer

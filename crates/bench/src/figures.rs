@@ -10,6 +10,7 @@
 //! assembles rows in sweep order — the tables and CSVs are identical at
 //! any job count.
 
+use crate::cache;
 use crate::output::{fmt_mbs, Table};
 use crate::runcfg::{sized, sized_usize};
 use crate::sweep;
@@ -66,18 +67,25 @@ pub fn fig04() -> Result<Table, SimError> {
     );
     let strategies = [SpawnStrategy::Serial, SpawnStrategy::Recursive];
     let rows = grid(&FIG4_THREADS, &strategies, |&threads, &strategy| {
-        let r = run_stream_emu(
-            &cfg,
-            &EmuStreamConfig {
-                total_elems: elems,
-                nthreads: threads,
-                strategy,
-                single_nodelet: true,
-                ..Default::default()
+        let sc = EmuStreamConfig {
+            total_elems: elems,
+            nthreads: threads,
+            strategy,
+            single_nodelet: true,
+            ..Default::default()
+        };
+        cache::memo_str(
+            "fig04",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("stream", format!("{sc:?}")),
+            ],
+            || {
+                let r = run_stream_emu(&cfg, &sc)?;
+                assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+                Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
             },
-        )?;
-        assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
-        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+        )
     })?;
     for (&threads, cells) in FIG4_THREADS.iter().zip(rows) {
         let mut row = vec![threads.to_string()];
@@ -102,18 +110,25 @@ pub fn fig05() -> Result<Table, SimError> {
         ],
     );
     let rows = grid(&FIG5_THREADS, &SpawnStrategy::ALL, |&threads, &strategy| {
-        let r = run_stream_emu(
-            &cfg,
-            &EmuStreamConfig {
-                total_elems: elems,
-                nthreads: threads,
-                strategy,
-                single_nodelet: false,
-                ..Default::default()
+        let sc = EmuStreamConfig {
+            total_elems: elems,
+            nthreads: threads,
+            strategy,
+            single_nodelet: false,
+            ..Default::default()
+        };
+        cache::memo_str(
+            "fig05",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("stream", format!("{sc:?}")),
+            ],
+            || {
+                let r = run_stream_emu(&cfg, &sc)?;
+                assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
+                Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
             },
-        )?;
-        assert_eq!(r.checksum, stream_checksum(elems, StreamKernel::Add));
-        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+        )
     })?;
     for (&threads, cells) in FIG5_THREADS.iter().zip(rows) {
         let mut row = vec![threads.to_string()];
@@ -147,9 +162,18 @@ fn chase_emu_sweep(
             mode: ShuffleMode::FullBlock,
             seed: desim::rng::DEFAULT_SEED,
         };
-        let r = chase::run_chase_emu(cfg, &cc)?;
-        assert_eq!(r.checksum, cc.expected_checksum());
-        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+        cache::memo_str(
+            "chase-emu",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("chase", format!("{cc:?}")),
+            ],
+            || {
+                let r = chase::run_chase_emu(cfg, &cc)?;
+                assert_eq!(r.checksum, cc.expected_checksum());
+                Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+            },
+        )
     })?;
     for (&block, cells) in blocks.iter().zip(rows) {
         let mut row = vec![block.to_string()];
@@ -196,9 +220,18 @@ pub fn fig07() -> Result<Table, SimError> {
             mode: ShuffleMode::FullBlock,
             seed: desim::rng::DEFAULT_SEED,
         };
-        let r = chase::cpu::run_chase_cpu(&cfg, &cc);
-        assert_eq!(r.checksum, cc.expected_checksum());
-        Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+        cache::memo_str(
+            "chase-cpu",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("chase", format!("{cc:?}")),
+            ],
+            || {
+                let r = chase::cpu::run_chase_cpu(&cfg, &cc);
+                assert_eq!(r.checksum, cc.expected_checksum());
+                Ok(format!("{:.1}", r.bandwidth.mb_per_sec()))
+            },
+        )
     })?;
     for (&block, cells) in blocks.iter().zip(rows) {
         let mut row = vec![block.to_string()];
@@ -211,30 +244,41 @@ pub fn fig07() -> Result<Table, SimError> {
 /// Peak measured STREAM bandwidth of the Emu prototype (denominator of
 /// Fig 8's utilization).
 pub fn emu_peak_stream_mbs() -> Result<f64, SimError> {
-    let r = run_stream_emu(
-        &presets::chick_prototype(),
-        &EmuStreamConfig {
-            total_elems: sized(1 << 18, 1 << 13),
-            nthreads: 512,
-            strategy: SpawnStrategy::RecursiveRemote,
-            ..Default::default()
-        },
-    )?;
-    Ok(r.bandwidth.mb_per_sec())
+    let cfg = presets::chick_prototype();
+    let sc = EmuStreamConfig {
+        total_elems: sized(1 << 18, 1 << 13),
+        nthreads: 512,
+        strategy: SpawnStrategy::RecursiveRemote,
+        ..Default::default()
+    };
+    cache::memo_f64(
+        "emu-peak-stream",
+        &[
+            ("machine", format!("{cfg:?}")),
+            ("stream", format!("{sc:?}")),
+        ],
+        || Ok(run_stream_emu(&cfg, &sc)?.bandwidth.mb_per_sec()),
+    )
 }
 
 /// Peak measured STREAM bandwidth of the Sandy Bridge (Fig 8 denominator).
 pub fn xeon_peak_stream_mbs() -> f64 {
-    let r = run_stream_cpu(
-        &xeon_sim::config::sandy_bridge(),
-        &CpuStreamConfig {
-            total_elems: sized(1 << 20, 1 << 14),
-            nthreads: 16,
-            kernel: StreamKernel::Add,
-            nt_stores: true,
-        },
-    );
-    r.bandwidth.mb_per_sec()
+    let cfg = xeon_sim::config::sandy_bridge();
+    let sc = CpuStreamConfig {
+        total_elems: sized(1 << 20, 1 << 14),
+        nthreads: 16,
+        kernel: StreamKernel::Add,
+        nt_stores: true,
+    };
+    cache::memo_f64(
+        "xeon-peak-stream",
+        &[
+            ("machine", format!("{cfg:?}")),
+            ("stream", format!("{sc:?}")),
+        ],
+        || Ok(run_stream_cpu(&cfg, &sc).bandwidth.mb_per_sec()),
+    )
+    .expect("cpu stream cannot fail")
 }
 
 /// Fig 8: pointer-chase bandwidth as a fraction of each platform's peak
@@ -258,36 +302,54 @@ pub fn fig08() -> Result<Table, SimError> {
     );
     // Stage 2: the block sweep, one cell per (block, platform).
     let rows = grid(&CHASE_BLOCKS, &[true, false], |&block, &is_emu| {
+        // The utilization cell depends on the peak denominator too, so
+        // the denominator joins the key material.
         if is_emu {
-            let emu = chase::run_chase_emu(
-                &emu_cfg,
-                &ChaseConfig {
-                    elems_per_list: sized_usize(4096, 512).max(block),
-                    nlists: 512,
-                    block_elems: block,
-                    mode: ShuffleMode::FullBlock,
-                    seed: desim::rng::DEFAULT_SEED,
+            let cc = ChaseConfig {
+                elems_per_list: sized_usize(4096, 512).max(block),
+                nlists: 512,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            };
+            cache::memo_str(
+                "fig08-emu",
+                &[
+                    ("machine", format!("{emu_cfg:?}")),
+                    ("chase", format!("{cc:?}")),
+                    ("peak", format!("{emu_peak:?}")),
+                ],
+                || {
+                    let emu = chase::run_chase_emu(&emu_cfg, &cc)?;
+                    Ok(format!(
+                        "{:.1}",
+                        100.0 * emu.bandwidth.mb_per_sec() / emu_peak
+                    ))
                 },
-            )?;
-            Ok(format!(
-                "{:.1}",
-                100.0 * emu.bandwidth.mb_per_sec() / emu_peak
-            ))
+            )
         } else {
-            let xeon = chase::cpu::run_chase_cpu(
-                &cpu_cfg,
-                &ChaseConfig {
-                    elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
-                    nlists: 32,
-                    block_elems: block,
-                    mode: ShuffleMode::FullBlock,
-                    seed: desim::rng::DEFAULT_SEED,
+            let cc = ChaseConfig {
+                elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+                nlists: 32,
+                block_elems: block,
+                mode: ShuffleMode::FullBlock,
+                seed: desim::rng::DEFAULT_SEED,
+            };
+            cache::memo_str(
+                "fig08-xeon",
+                &[
+                    ("machine", format!("{cpu_cfg:?}")),
+                    ("chase", format!("{cc:?}")),
+                    ("peak", format!("{xeon_peak:?}")),
+                ],
+                || {
+                    let xeon = chase::cpu::run_chase_cpu(&cpu_cfg, &cc);
+                    Ok(format!(
+                        "{:.1}",
+                        100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak
+                    ))
                 },
-            );
-            Ok(format!(
-                "{:.1}",
-                100.0 * xeon.bandwidth.mb_per_sec() / xeon_peak
-            ))
+            )
         }
     })?;
     for (&block, cells) in CHASE_BLOCKS.iter().zip(rows) {
@@ -310,29 +372,43 @@ pub fn fig09a() -> Result<Table, SimError> {
     );
     // One sweep point per matrix size: the three layouts share the
     // assembled matrix, so the row is the natural parallel unit.
+    // Rows are memoized whole (cells newline-joined) so a warm run
+    // skips even the shared matrix assembly.
     let rows = sweep::run_indexed(FIG9_SIZES.len(), |i| -> Result<Vec<String>, SimError> {
         let n = FIG9_SIZES[i];
-        let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
-        let reference = m.spmv(&x_vector(m.ncols()));
-        let mut cells = vec![n.to_string()];
-        for layout in EmuLayout::ALL {
-            let r = run_spmv_emu(
-                &cfg,
-                Arc::clone(&m),
-                &EmuSpmvConfig {
-                    layout,
-                    grain_nnz: 16,
-                },
-            )?;
-            let err = reference
-                .iter()
-                .zip(&r.y)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
-            assert!(err < 1e-9, "{} produced a wrong result", layout.name());
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        Ok(cells)
+        let spec = LaplacianSpec::paper(n);
+        let joined = cache::memo_str(
+            "fig09a",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("laplacian", format!("{spec:?}")),
+                ("grain_nnz", "16".to_string()),
+            ],
+            || {
+                let m = Arc::new(laplacian(spec));
+                let reference = m.spmv(&x_vector(m.ncols()));
+                let mut cells = vec![n.to_string()];
+                for layout in EmuLayout::ALL {
+                    let r = run_spmv_emu(
+                        &cfg,
+                        Arc::clone(&m),
+                        &EmuSpmvConfig {
+                            layout,
+                            grain_nnz: 16,
+                        },
+                    )?;
+                    let err = reference
+                        .iter()
+                        .zip(&r.y)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(err < 1e-9, "{} produced a wrong result", layout.name());
+                    cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+                }
+                Ok(cells.join("\n"))
+            },
+        )?;
+        Ok(joined.split('\n').map(str::to_string).collect())
     });
     for row in rows {
         t.row(row?);
@@ -370,27 +446,39 @@ pub fn fig09b() -> Result<Table, SimError> {
         } else {
             n
         };
-        let m = Arc::new(laplacian(LaplacianSpec::paper(n)));
-        let reference = m.spmv(&x_vector(m.ncols()));
-        let mut cells = vec![n.to_string()];
-        for &strategy in &strategies {
-            let r = run_spmv_cpu(
-                &cfg,
-                Arc::clone(&m),
-                &CpuSpmvConfig {
-                    strategy,
-                    nthreads: 56,
-                },
-            );
-            let err = reference
-                .iter()
-                .zip(&r.y)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0, f64::max);
-            assert!(err < 1e-9, "{} produced a wrong result", strategy.name());
-            cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
-        }
-        Ok(cells)
+        let spec = LaplacianSpec::paper(n);
+        let joined = cache::memo_str(
+            "fig09b",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("laplacian", format!("{spec:?}")),
+                ("strategies", format!("{strategies:?}")),
+            ],
+            || {
+                let m = Arc::new(laplacian(spec));
+                let reference = m.spmv(&x_vector(m.ncols()));
+                let mut cells = vec![n.to_string()];
+                for &strategy in &strategies {
+                    let r = run_spmv_cpu(
+                        &cfg,
+                        Arc::clone(&m),
+                        &CpuSpmvConfig {
+                            strategy,
+                            nthreads: 56,
+                        },
+                    );
+                    let err = reference
+                        .iter()
+                        .zip(&r.y)
+                        .map(|(a, b)| (a - b).abs())
+                        .fold(0.0, f64::max);
+                    assert!(err < 1e-9, "{} produced a wrong result", strategy.name());
+                    cells.push(format!("{:.1}", r.bandwidth.mb_per_sec()));
+                }
+                Ok(cells.join("\n"))
+            },
+        )?;
+        Ok(joined.split('\n').map(str::to_string).collect())
     });
     for row in rows {
         t.row(row?);
@@ -405,9 +493,19 @@ pub fn fig10() -> Result<Table, SimError> {
     let sim = presets::chick_toolchain_sim();
     // Every hardware/simulator measurement is independent: run all
     // twelve as one batch (hw/sim pairs adjacent, in row order).
-    let stream1 = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+    let stream_mbs = |cfg: &MachineConfig, sc: &EmuStreamConfig| {
+        cache::memo_f64(
+            "fig10-stream",
+            &[
+                ("machine", format!("{cfg:?}")),
+                ("stream", format!("{sc:?}")),
+            ],
+            || Ok(run_stream_emu(cfg, sc)?.bandwidth.mb_per_sec()),
+        )
+    };
+    let stream1 = move |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
         Box::new(move || {
-            Ok(run_stream_emu(
+            stream_mbs(
                 &cfg,
                 &EmuStreamConfig {
                     total_elems: sized(1 << 15, 1 << 12),
@@ -416,14 +514,12 @@ pub fn fig10() -> Result<Table, SimError> {
                     single_nodelet: true,
                     ..Default::default()
                 },
-            )?
-            .bandwidth
-            .mb_per_sec())
+            )
         })
     };
-    let stream8 = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
+    let stream8 = move |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
         Box::new(move || {
-            Ok(run_stream_emu(
+            stream_mbs(
                 &cfg,
                 &EmuStreamConfig {
                     total_elems: sized(1 << 18, 1 << 13),
@@ -431,9 +527,7 @@ pub fn fig10() -> Result<Table, SimError> {
                     strategy: SpawnStrategy::RecursiveRemote,
                     ..Default::default()
                 },
-            )?
-            .bandwidth
-            .mb_per_sec())
+            )
         })
     };
     // Pointer chase: migration-bound at block 1 (where hardware and
@@ -449,7 +543,14 @@ pub fn fig10() -> Result<Table, SimError> {
                     mode: ShuffleMode::FullBlock,
                     seed: 1,
                 };
-                Ok(chase::run_chase_emu(&cfg, &cc)?.bandwidth.mb_per_sec())
+                cache::memo_f64(
+                    "fig10-chase",
+                    &[
+                        ("machine", format!("{cfg:?}")),
+                        ("chase", format!("{cc:?}")),
+                    ],
+                    || Ok(chase::run_chase_emu(&cfg, &cc)?.bandwidth.mb_per_sec()),
+                )
             })
         };
     // Ping-pong: the migration rate at load, and the latency at light
@@ -459,19 +560,27 @@ pub fn fig10() -> Result<Table, SimError> {
               latency: bool|
      -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
         Box::new(move || {
-            let r = run_pingpong(
-                &cfg,
-                &PingPongConfig {
-                    nthreads: threads,
-                    round_trips: sized(2000, 200) as u32,
-                    ..Default::default()
+            let pc = PingPongConfig {
+                nthreads: threads,
+                round_trips: sized(2000, 200) as u32,
+                ..Default::default()
+            };
+            cache::memo_f64(
+                "fig10-pingpong",
+                &[
+                    ("machine", format!("{cfg:?}")),
+                    ("pingpong", format!("{pc:?}")),
+                    ("metric", if latency { "latency" } else { "rate" }.into()),
+                ],
+                || {
+                    let r = run_pingpong(&cfg, &pc)?;
+                    Ok(if latency {
+                        r.mean_latency_ns / 1000.0
+                    } else {
+                        r.migrations_per_sec / 1e6
+                    })
                 },
-            )?;
-            Ok(if latency {
-                r.mean_latency_ns / 1000.0
-            } else {
-                r.migrations_per_sec / 1e6
-            })
+            )
         })
     };
     let v = batch(vec![
@@ -530,49 +639,59 @@ pub fn headline() -> Result<Table, SimError> {
     // Stage 1: the scalar measurements, one batch.
     let pp_rate = |cfg: MachineConfig| -> Box<dyn FnOnce() -> Result<f64, SimError> + Send> {
         Box::new(move || {
-            Ok(run_pingpong(
-                &cfg,
-                &PingPongConfig {
-                    nthreads: 64,
-                    round_trips: sized(2000, 200) as u32,
-                    ..Default::default()
-                },
-            )?
-            .migrations_per_sec
-                / 1e6)
+            let pc = PingPongConfig {
+                nthreads: 64,
+                round_trips: sized(2000, 200) as u32,
+                ..Default::default()
+            };
+            cache::memo_f64(
+                "headline-pp-rate",
+                &[
+                    ("machine", format!("{cfg:?}")),
+                    ("pingpong", format!("{pc:?}")),
+                ],
+                || Ok(run_pingpong(&cfg, &pc)?.migrations_per_sec / 1e6),
+            )
         })
     };
     let scalars = batch(vec![
         Box::new(emu_peak_stream_mbs),
         Box::new(|| {
-            Ok(run_stream_emu(
-                &presets::chick_8node_prototype(),
-                &EmuStreamConfig {
-                    total_elems: sized(1 << 20, 1 << 15),
-                    nthreads: 4096,
-                    strategy: SpawnStrategy::RecursiveRemote,
-                    ..Default::default()
-                },
-            )?
-            .bandwidth
-            .mb_per_sec())
+            let cfg = presets::chick_8node_prototype();
+            let sc = EmuStreamConfig {
+                total_elems: sized(1 << 20, 1 << 15),
+                nthreads: 4096,
+                strategy: SpawnStrategy::RecursiveRemote,
+                ..Default::default()
+            };
+            cache::memo_f64(
+                "headline-8node-stream",
+                &[
+                    ("machine", format!("{cfg:?}")),
+                    ("stream", format!("{sc:?}")),
+                ],
+                || Ok(run_stream_emu(&cfg, &sc)?.bandwidth.mb_per_sec()),
+            )
         }),
         Box::new(|| Ok(xeon_peak_stream_mbs())),
         {
             let cfg = emu_cfg.clone();
             Box::new(move || {
-                Ok(chase::run_chase_emu(
-                    &cfg,
-                    &ChaseConfig {
-                        elems_per_list: sized_usize(4096, 512),
-                        nlists: 512,
-                        block_elems: 1,
-                        mode: ShuffleMode::FullBlock,
-                        seed: 1,
-                    },
-                )?
-                .bandwidth
-                .mb_per_sec())
+                let cc = ChaseConfig {
+                    elems_per_list: sized_usize(4096, 512),
+                    nlists: 512,
+                    block_elems: 1,
+                    mode: ShuffleMode::FullBlock,
+                    seed: 1,
+                };
+                cache::memo_f64(
+                    "headline-chase",
+                    &[
+                        ("machine", format!("{cfg:?}")),
+                        ("chase", format!("{cc:?}")),
+                    ],
+                    || Ok(chase::run_chase_emu(&cfg, &cc)?.bandwidth.mb_per_sec()),
+                )
             })
         },
         pp_rate(emu_cfg.clone()),
@@ -580,16 +699,19 @@ pub fn headline() -> Result<Table, SimError> {
         {
             let cfg = emu_cfg.clone();
             Box::new(move || {
-                Ok(run_pingpong(
-                    &cfg,
-                    &PingPongConfig {
-                        nthreads: 8,
-                        round_trips: sized(2000, 200) as u32,
-                        ..Default::default()
-                    },
-                )?
-                .mean_latency_ns
-                    / 1000.0)
+                let pc = PingPongConfig {
+                    nthreads: 8,
+                    round_trips: sized(2000, 200) as u32,
+                    ..Default::default()
+                };
+                cache::memo_f64(
+                    "headline-pp-latency",
+                    &[
+                        ("machine", format!("{cfg:?}")),
+                        ("pingpong", format!("{pc:?}")),
+                    ],
+                    || Ok(run_pingpong(&cfg, &pc)?.mean_latency_ns / 1000.0),
+                )
             })
         },
     ])?;
@@ -599,36 +721,47 @@ pub fn headline() -> Result<Table, SimError> {
     // Stage 2: the chase utilization sweeps ("most cases" medians).
     let emu_bws = sweep::run_indexed(CHASE_BLOCKS.len(), |i| -> Result<f64, SimError> {
         let block = CHASE_BLOCKS[i];
-        Ok(chase::run_chase_emu(
-            &emu_cfg,
-            &ChaseConfig {
-                elems_per_list: sized_usize(4096, 512).max(block),
-                nlists: 512,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: 1,
-            },
-        )?
-        .bandwidth
-        .mb_per_sec())
+        let cc = ChaseConfig {
+            elems_per_list: sized_usize(4096, 512).max(block),
+            nlists: 512,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: 1,
+        };
+        cache::memo_f64(
+            "headline-chase",
+            &[
+                ("machine", format!("{emu_cfg:?}")),
+                ("chase", format!("{cc:?}")),
+            ],
+            || Ok(chase::run_chase_emu(&emu_cfg, &cc)?.bandwidth.mb_per_sec()),
+        )
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
     let cpu_cfg = xeon_sim::config::sandy_bridge();
     let xeon_bws = sweep::run_indexed(CHASE_BLOCKS.len(), |i| {
         let block = CHASE_BLOCKS[i];
-        chase::cpu::run_chase_cpu(
-            &cpu_cfg,
-            &ChaseConfig {
-                elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
-                nlists: 32,
-                block_elems: block,
-                mode: ShuffleMode::FullBlock,
-                seed: 1,
+        let cc = ChaseConfig {
+            elems_per_list: sized_usize(1 << 18, 1 << 13).max(block),
+            nlists: 32,
+            block_elems: block,
+            mode: ShuffleMode::FullBlock,
+            seed: 1,
+        };
+        cache::memo_f64(
+            "headline-chase-cpu",
+            &[
+                ("machine", format!("{cpu_cfg:?}")),
+                ("chase", format!("{cc:?}")),
+            ],
+            || {
+                Ok(chase::cpu::run_chase_cpu(&cpu_cfg, &cc)
+                    .bandwidth
+                    .mb_per_sec())
             },
         )
-        .bandwidth
-        .mb_per_sec()
+        .expect("cpu chase cannot fail")
     });
     let median = |mut xs: Vec<f64>| -> f64 {
         xs.sort_by(f64::total_cmp);

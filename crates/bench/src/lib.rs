@@ -11,6 +11,8 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod cache;
+pub mod cachecmd;
 pub mod cli;
 pub mod degradation;
 pub mod extensions;

@@ -29,7 +29,7 @@ pub fn dispatch(args: &[String]) -> i32 {
         Err(e) => {
             eprintln!("scenario: {e}");
             eprintln!(
-                "usage: simctl scenario run <path>... [--jobs N] [--report-json FILE]\n\
+                "usage: simctl scenario run <path>... [--jobs N] [--cache] [--report-json FILE]\n\
                  \u{20}      simctl scenario check <path>...\n\
                  \u{20}      simctl scenario gen <dir>\n\
                  \u{20}      simctl scenario promote <file.case>..."
@@ -67,6 +67,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     };
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut report_json: Option<String> = None;
+    let mut use_cache = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,6 +77,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                 let n: usize = v.parse().map_err(|_| format!("--jobs: bad value {v:?}"))?;
                 crate::runcfg::set_jobs(n.max(1));
             }
+            "--cache" => use_cache = true,
             "--report-json" => {
                 i += 1;
                 report_json = Some(args.get(i).ok_or("--report-json needs a value")?.clone());
@@ -92,7 +94,7 @@ fn run(args: &[String]) -> Result<bool, String> {
     match verb.as_str() {
         "gen" => cmd_gen(&paths),
         "check" => cmd_check(&paths),
-        "run" => cmd_run(&paths, report_json.as_deref()),
+        "run" => cmd_run(&paths, report_json.as_deref(), use_cache),
         "promote" => cmd_promote(&paths),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -184,14 +186,18 @@ fn cmd_check(paths: &[PathBuf]) -> Result<bool, String> {
     Ok(bad.is_empty())
 }
 
-fn cmd_run(paths: &[PathBuf], report_json: Option<&str>) -> Result<bool, String> {
+fn cmd_run(paths: &[PathBuf], report_json: Option<&str>, use_cache: bool) -> Result<bool, String> {
+    if use_cache {
+        runcache::set_enabled(true);
+    }
     let (parsed, bad) = load(paths)?;
     let t0 = std::time::Instant::now();
     // Scenarios fan out across the sweep executor's worker pool;
     // each scenario's points stay sequential so per-scenario output
     // is deterministic.
-    let outcomes: Vec<scenario::ScenarioOutcome> =
-        crate::sweep::run_indexed(parsed.len(), |i| scenario::run_scenario(&parsed[i].1));
+    let outcomes: Vec<scenario::ScenarioOutcome> = crate::sweep::run_indexed(parsed.len(), |i| {
+        scenario::run::run_scenario_cached(&parsed[i].1)
+    });
 
     let mut passed = 0usize;
     let mut failed = 0usize;
@@ -221,6 +227,13 @@ fn cmd_run(paths: &[PathBuf], report_json: Option<&str>) -> Result<bool, String>
         passed + failed,
         t0.elapsed().as_secs_f64()
     );
+    if runcache::enabled() {
+        let s = runcache::session_stats();
+        println!(
+            "[runcache] hits={} misses={} stores={}",
+            s.hits, s.misses, s.stores
+        );
+    }
 
     if let Some(path) = report_json {
         let mut items: Vec<String> = parsed

@@ -248,6 +248,7 @@ const KEY_SHIFT: u32 = 40;
 /// contexts live in their shard's [`Arena`]; events carry only the
 /// 8-byte generational handle, so the hot pop loop moves no boxes and
 /// chases no per-event heap pointers.
+#[derive(Clone)]
 enum Event {
     /// Thread context arrives at a nodelet (spawn or migration); it must
     /// acquire a hardware slot before issuing.
@@ -319,6 +320,37 @@ struct Thread {
     op_kind: OpKind,
 }
 
+impl Thread {
+    /// Duplicate this context for an engine snapshot, if its kernel
+    /// (and any kernel riding in a pending `resume` op) can fork.
+    fn try_fork(&self) -> Option<Thread> {
+        let kernel = match &self.kernel {
+            Some(k) => Some(k.fork()?),
+            None => None,
+        };
+        let resume = match &self.resume {
+            Some(op) => Some(crate::kernel::fork_op(op)?),
+            None => None,
+        };
+        Some(Thread {
+            tid: self.tid,
+            kernel,
+            loc: self.loc,
+            home: self.home,
+            dest: self.dest,
+            resume,
+            in_flight_migration: self.in_flight_migration,
+            mig_issue_at: self.mig_issue_at,
+            migrations: self.migrations,
+            mig_attempts: self.mig_attempts,
+            link_attempts: self.link_attempts,
+            newborn: self.newborn,
+            op_started: self.op_started,
+            op_kind: self.op_kind,
+        })
+    }
+}
+
 /// Where a threadlet's wall time goes — the paper's §III-D "other system
 /// overheads" made measurable.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -372,6 +404,7 @@ impl TimeBreakdown {
     }
 }
 
+#[derive(Clone)]
 struct Nodelet {
     cores: MultiServer,
     channel: FifoServer,
@@ -385,6 +418,7 @@ struct Nodelet {
 }
 
 /// Optional per-shard time series (enabled via [`Engine::enable_timeline`]).
+#[derive(Clone)]
 struct ShardTl {
     core: Timeline,
     channel: Timeline,
@@ -502,6 +536,41 @@ impl Shard {
         };
         self.q.schedule_keyed(m.at, m.key, ev);
         self.delivered += 1;
+    }
+
+    /// Duplicate this shard for an engine snapshot. Callable only at an
+    /// epoch barrier (outbox empty — in-flight mail has no stable
+    /// serialization). Returns `None` if any resident kernel declines
+    /// to fork.
+    fn try_clone(&self) -> Option<Shard> {
+        debug_assert!(self.outbox.is_empty(), "snapshot with mail in flight");
+        Some(Shard {
+            id: self.id,
+            q: self.q.clone(),
+            arena: self.arena.try_clone_with(Thread::try_fork)?,
+            nl: self.nl.clone(),
+            link: self.link.clone(),
+            mig_latency: self.mig_latency.clone(),
+            migs_per_thread: self.migs_per_thread.clone(),
+            live: self.live,
+            spawned: self.spawned,
+            next_tid: self.next_tid,
+            send_seq: self.send_seq,
+            events: self.events,
+            fault_draws: self.fault_draws,
+            cur_key: self.cur_key,
+            breakdown: self.breakdown,
+            recorder: self.recorder.clone(),
+            tl: self.tl.clone(),
+            outbox: Vec::new(),
+            sent: self.sent,
+            delivered: self.delivered,
+            mail_batch: self.mail_batch,
+            mail_hwm: self.mail_hwm,
+            min_cross_delay: self.min_cross_delay,
+            now: self.now,
+            error: self.error.clone(),
+        })
     }
 }
 
@@ -637,6 +706,41 @@ pub struct Engine {
     pending_phases: Option<PdesPhaseProfile>,
     /// Clean-window count of the last run, consumed by the report.
     pending_clean: u64,
+    /// Capture a barrier snapshot every this many epochs (0 = never).
+    checkpoint_every: u64,
+    /// Most recent barrier snapshot of the current/last run.
+    pending_snapshot: Option<EngineSnapshot>,
+    /// `(epochs, clean)` already accounted by the run a restored
+    /// snapshot came from; the next run continues from these.
+    resume_base: Option<(u64, u64)>,
+}
+
+/// A consistent cut of a running engine, captured at a PDES epoch
+/// barrier (see [`Engine::set_checkpoint_every`]): per-shard event
+/// queues, thread arenas, servers, counters, and fault-RNG draw
+/// counters, plus the scheduler progress needed to resume. Opaque —
+/// produce with [`Engine::take_snapshot`], consume with
+/// [`Engine::restore`]. A restored run replays the remaining windows
+/// exactly, so its report is byte-identical to the uninterrupted run's;
+/// one snapshot can seed many runs (warm-started variants forking from
+/// a common prefix).
+pub struct EngineSnapshot {
+    /// Debug rendering of the owning config; restore refuses a
+    /// mismatched engine.
+    cfg_key: String,
+    shards: Vec<Shard>,
+    init_seq: u64,
+    /// Epoch windows drained before the cut.
+    epochs: u64,
+    /// Clean windows counted before the cut.
+    clean: u64,
+}
+
+impl EngineSnapshot {
+    /// Epoch windows the captured run had drained at the cut.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
 }
 
 /// Per-nodelet time series of one run (present when
@@ -693,6 +797,9 @@ impl Engine {
             ring_capacity: pdes_ring(),
             pending_phases: None,
             pending_clean: 0,
+            checkpoint_every: 0,
+            pending_snapshot: None,
+            resume_base: None,
         };
         // Benchmark runners build engines internally; the process-global
         // telemetry config (see [`crate::trace::set_global`]) lets the
@@ -779,6 +886,8 @@ impl Engine {
         self.cancel = None;
         self.pending_phases = None;
         self.pending_clean = 0;
+        self.pending_snapshot = None;
+        self.resume_base = None;
         let cap = self.trace_capacity;
         if cap > 0 {
             for s in &mut self.shards {
@@ -867,6 +976,79 @@ impl Engine {
     /// [`Engine::reset`].
     pub fn set_ring_capacity(&mut self, capacity: usize) {
         self.ring_capacity = capacity.max(1);
+    }
+
+    /// Capture a barrier snapshot every `n` epoch windows during runs
+    /// (0 disables). Checkpointing forces the inline epoch scheduler —
+    /// the cut must be taken between windows with no worker mid-drain —
+    /// but cannot change results: every scheduler commits the identical
+    /// window sequence. Only kernels that implement
+    /// [`Kernel::fork`](crate::kernel::Kernel::fork) can be captured; a
+    /// barrier where some resident kernel declines keeps the previous
+    /// snapshot instead. Survives [`Engine::reset`] like the trace
+    /// settings.
+    pub fn set_checkpoint_every(&mut self, n: u64) {
+        self.checkpoint_every = n;
+    }
+
+    /// Take the most recent epoch-barrier snapshot captured during the
+    /// last run (then forget it). `None` if checkpointing was off, the
+    /// run never reached a checkpointed barrier, or a resident kernel
+    /// declined to fork at every eligible barrier.
+    pub fn take_snapshot(&mut self) -> Option<EngineSnapshot> {
+        self.pending_snapshot.take()
+    }
+
+    /// Rewind this engine to `snap`'s barrier cut. The next
+    /// [`Engine::run_once`] resumes the captured run from that barrier
+    /// and produces a report byte-identical to the uninterrupted run's.
+    /// The snapshot is cloned, not consumed — several engines (or
+    /// repeated runs) can fork from the same prefix.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] if `snap` came from a different
+    /// machine configuration, or if a captured kernel can no longer be
+    /// duplicated.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SimError> {
+        let key = format!("{:?}", self.cfg);
+        if key != snap.cfg_key {
+            return Err(SimError::InvalidConfig(
+                "snapshot was captured under a different machine configuration".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(snap.shards.len());
+        for s in &snap.shards {
+            shards.push(s.try_clone().ok_or_else(|| {
+                SimError::InvalidConfig("snapshot holds a kernel that cannot fork".into())
+            })?);
+        }
+        self.shards = shards;
+        self.init_seq = snap.init_seq;
+        self.resume_base = Some((snap.epochs, snap.clean));
+        self.pending_snapshot = None;
+        self.pending_phases = None;
+        self.pending_clean = 0;
+        Ok(())
+    }
+
+    /// Capture the current barrier state as the pending snapshot.
+    /// Callable only between windows (outboxes empty). Silently keeps
+    /// the previous snapshot when a resident kernel declines to fork.
+    fn capture_snapshot(&mut self, epochs: u64, clean: u64) {
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for s in &self.shards {
+            match s.try_clone() {
+                Some(c) => shards.push(c),
+                None => return,
+            }
+        }
+        self.pending_snapshot = Some(EngineSnapshot {
+            cfg_key: format!("{:?}", self.cfg),
+            shards,
+            init_seq: self.init_seq,
+            epochs,
+            clean,
+        });
     }
 
     /// The conservative lookahead of this machine: the minimum simulated
@@ -1045,6 +1227,11 @@ impl Engine {
         let lookahead = self.lookahead();
         let workers = self.sim_threads.unwrap_or_else(sim_threads).max(1);
         let profile = self.phase_profile;
+        // Base scheduler progress from a restored snapshot: epoch marks
+        // and final counts continue from the captured run's absolutes
+        // (cloned mailbox-batch slots hold absolute marks, so a resumed
+        // run restarting at relative zero could collide with them).
+        let base = self.resume_base.take().unwrap_or((0, 0));
         let t0 = profile.then(std::time::Instant::now);
         let (stats, phase_workers, owners, groups) = if lookahead == Time::ZERO {
             self.run_merged(cap);
@@ -1055,9 +1242,18 @@ impl Engine {
                 1,
             )
         } else {
-            let (owners, groups) = self.plan_groups(workers);
+            // Checkpointing and resuming both pin the inline scheduler:
+            // the barrier cut needs no worker mid-window, and the
+            // threaded path stamps relative epoch marks that a resumed
+            // run cannot reconcile with the snapshot's absolute ones.
+            // Window sequence and results are identical either way.
+            let (owners, groups) = if self.checkpoint_every > 0 || base != (0, 0) {
+                (vec![0u32; self.shards.len()], 1)
+            } else {
+                self.plan_groups(workers)
+            };
             if groups <= 1 {
-                let (stats, ph) = self.run_epochs_inline(cap, lookahead, profile);
+                let (stats, ph) = self.run_epochs_inline(cap, lookahead, profile, base);
                 (stats, ph, owners, 1)
             } else {
                 let (stats, ph) =
@@ -1067,15 +1263,15 @@ impl Engine {
         };
         self.pending_phases = t0.map(|t0| PdesPhaseProfile {
             workers: phase_workers,
-            epochs: stats.epochs,
+            epochs: base.0 + stats.epochs,
             wall_ns: t0.elapsed().as_nanos() as u64,
             barrier_crossings: stats.crossings,
             fused_windows: stats.fused,
             merge_groups: groups as u64,
             shard_owners: owners,
         });
-        self.pending_clean = stats.clean;
-        self.finish(cap, lookahead, stats.epochs)
+        self.pending_clean = base.1 + stats.clean;
+        self.finish(cap, lookahead, base.0 + stats.epochs)
     }
 
     /// Run-start placement of shards onto workers. Returns one owning
@@ -1211,6 +1407,7 @@ impl Engine {
         cap: u64,
         lookahead: Time,
         profile: bool,
+        base: (u64, u64),
     ) -> (SchedStats, Vec<PhaseBreakdown>) {
         let mut stats = SchedStats::default();
         let mut clk = PhaseClock::new(profile);
@@ -1222,7 +1419,10 @@ impl Engine {
             if drained && self.shards.iter().all(|s| s.outbox.is_empty()) {
                 stats.clean += 1;
             }
-            self.deliver_all(stats.epochs);
+            // Exchange marks are absolute (resume-safe): cloned
+            // mailbox-batch slots in a restored snapshot carry the
+            // original run's marks, and marks must only move forward.
+            self.deliver_all(base.0 + stats.epochs);
             clk.mark(Phase::Exchange);
             let any_error = self.shards.iter().any(|s| s.error.is_some());
             let total: u64 = self.shards.iter().map(|s| s.events).sum();
@@ -1237,6 +1437,16 @@ impl Engine {
                 break;
             }
             let Some(next) = next else { break };
+            // The barrier cut: mail fully delivered, nothing mutated
+            // since (peeks only), and at least one more window will
+            // run — the exact state a restored engine re-enters at.
+            let abs_epoch = base.0 + stats.epochs;
+            if self.checkpoint_every > 0
+                && abs_epoch > 0
+                && abs_epoch.is_multiple_of(self.checkpoint_every)
+            {
+                self.capture_snapshot(abs_epoch, base.1 + stats.clean);
+            }
             let end = Time::from_ps(next.ps().saturating_add(lookahead.ps()));
             stats.epochs += 1;
             for s in &mut self.shards {
@@ -3243,6 +3453,143 @@ mod tests {
             base.pdes.clean_windows < base.pdes.epochs,
             "workload must have dirty windows for the knobs to matter"
         );
+    }
+
+    /// Seed a cross-shard script workload scaled to the machine's
+    /// nodelet count, with tracing, timelines, and faults armed — the
+    /// most state a snapshot could have to carry.
+    fn seed_snapshot_workload(e: &mut Engine) {
+        e.enable_trace(1 << 12);
+        e.enable_timeline(Time::from_us(1)).unwrap();
+        let total = e.cfg().total_nodelets();
+        for n in 0..4u32 {
+            let mut ops = Vec::new();
+            for i in 0..6u32 {
+                ops.push(Op::Load {
+                    addr: GlobalAddr::new(nl((n * 13 + i * 7) % total), (i as u64) * 8),
+                    bytes: 8,
+                });
+                ops.push(Op::Store {
+                    addr: GlobalAddr::new(nl((n * 5 + i * 11) % total), 0),
+                    bytes: 8,
+                });
+            }
+            ops.push(Op::Spawn {
+                kernel: Box::new(ScriptKernel::new(vec![Op::AtomicAdd {
+                    addr: GlobalAddr::new(nl((total - 1 - n) % total), 0),
+                    bytes: 8,
+                }])),
+                place: Placement::On(nl((n * 16 + 3) % total)),
+            });
+            e.spawn_at(
+                nl((n * (total / 4).max(1)) % total),
+                Box::new(ScriptKernel::new(ops)),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_identical_on_all_presets() {
+        let presets: [(&str, MachineConfig); 5] = [
+            ("chick", presets::chick_prototype()),
+            ("chick-sim", presets::chick_toolchain_sim()),
+            ("full-speed", presets::chick_full_speed()),
+            ("emu64", presets::emu64_full_speed()),
+            ("chick-8node", presets::chick_8node_prototype()),
+        ];
+        for (name, mut cfg) in presets {
+            cfg.faults.mig_nack_prob = 0.2;
+            cfg.faults.mig_retry_budget = 64;
+            cfg.faults.ecc_prob = 0.1;
+            cfg.faults.seed = 42;
+            let dump = |r: &RunReport| format!("{r:?}");
+
+            // The uninterrupted reference run.
+            let mut a = Engine::new(cfg.clone()).unwrap();
+            seed_snapshot_workload(&mut a);
+            let ra = a.run_once().unwrap();
+            assert!(
+                ra.pdes.epochs > 2,
+                "{name}: workload too short to checkpoint"
+            );
+
+            // Checkpointing must not perturb the run it rides on.
+            let mut b = Engine::new(cfg.clone()).unwrap();
+            b.set_checkpoint_every(2);
+            seed_snapshot_workload(&mut b);
+            let rb = b.run_once().unwrap();
+            assert_eq!(
+                dump(&ra),
+                dump(&rb),
+                "{name}: checkpointing perturbed the report"
+            );
+            let snap = b
+                .take_snapshot()
+                .expect("checkpointed run leaves a snapshot");
+            assert!(snap.epochs() > 0 && snap.epochs().is_multiple_of(2));
+
+            // A fresh engine restored from the barrier cut finishes the
+            // run byte-identically.
+            let mut c = Engine::new(cfg.clone()).unwrap();
+            c.enable_trace(1 << 12);
+            c.enable_timeline(Time::from_us(1)).unwrap();
+            c.restore(&snap).unwrap();
+            let rc = c.run_once().unwrap();
+            assert_eq!(dump(&ra), dump(&rc), "{name}: restored run diverged");
+
+            // The snapshot is reusable: a second fork from the same
+            // prefix reproduces the same bytes again.
+            let mut d = Engine::new(cfg.clone()).unwrap();
+            d.enable_trace(1 << 12);
+            d.enable_timeline(Time::from_us(1)).unwrap();
+            d.restore(&snap).unwrap();
+            let rd = d.run_once().unwrap();
+            assert_eq!(dump(&rc), dump(&rd), "{name}: second fork diverged");
+        }
+    }
+
+    #[test]
+    fn restore_rejects_a_mismatched_config() {
+        let mut b = Engine::new(presets::chick_prototype()).unwrap();
+        b.set_checkpoint_every(1);
+        seed_snapshot_workload(&mut b);
+        b.run_once().unwrap();
+        let snap = b.take_snapshot().expect("snapshot");
+        let mut other = Engine::new(presets::emu64_full_speed()).unwrap();
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn unforkable_kernels_skip_capture_without_failing_the_run() {
+        // A closure kernel declines to fork; the run must complete
+        // normally with no snapshot rather than erroring.
+        let cfg = presets::chick_prototype();
+        let mut e = Engine::new(cfg).unwrap();
+        e.set_checkpoint_every(1);
+        let total = e.cfg().total_nodelets();
+        let mut step = 0u32;
+        e.spawn_at(
+            nl(0),
+            Box::new(move |_ctx: &crate::kernel::KernelCtx| {
+                step += 1;
+                if step > 8 {
+                    Op::Quit
+                } else {
+                    Op::Load {
+                        addr: GlobalAddr::new(NodeletId(step % total), 0),
+                        bytes: 8,
+                    }
+                }
+            }),
+        )
+        .unwrap();
+        let r = e.run_once().unwrap();
+        assert!(r.pdes.epochs > 0);
+        assert!(e.take_snapshot().is_none(), "closure kernels cannot fork");
     }
 
     #[test]

@@ -128,7 +128,7 @@ pub struct TraceEvent {
 }
 
 /// A bounded ring buffer of [`TraceEvent`]s with a drop count.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TraceRecorder {
     capacity: usize,
     events: VecDeque<TraceEvent>,

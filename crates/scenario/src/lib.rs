@@ -34,4 +34,6 @@ pub mod run;
 pub use ast::{Axis, CmpOp, Direction, Expect, Scenario, Workload, WorkloadKind};
 pub use parse::{parse, print};
 pub use resolve::{resolve, Point, ResolvedWorkload};
-pub use run::{evaluate, run_point, run_scenario, PointOutcome, ScenarioOutcome};
+pub use run::{
+    evaluate, run_point, run_scenario, run_scenario_cached, PointOutcome, ScenarioOutcome,
+};

@@ -542,3 +542,192 @@ pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
         failures,
     }
 }
+
+// ---------------------------------------------------------------------------
+// Content-addressed point memoization
+// ---------------------------------------------------------------------------
+
+impl PointOutcome {
+    /// Serialize for the result cache. Declines (`None`) when a metric
+    /// is non-finite: the strict JSON reader would reject it on load.
+    pub fn cache_json(&self) -> Option<String> {
+        use emu_core::json::jstr;
+        use std::fmt::Write as _;
+        if self.metrics.values().any(|v| !v.is_finite()) {
+            return None;
+        }
+        let mut s = String::new();
+        let _ = write!(s, "{{\"index\":{},\"axes\":[", self.index);
+        for (i, (k, v)) in self.axes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{}]", jstr(k), jstr(v));
+        }
+        s.push_str("],\"metrics\":{");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "{}:{v:?}", jstr(k));
+        }
+        s.push_str("},\"fingerprints\":[");
+        for (i, (n, fp)) in self.fingerprints.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{n},{}]", jstr(fp));
+        }
+        s.push_str("],\"problems\":[");
+        for (i, p) in self.problems.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&jstr(p));
+        }
+        s.push_str("]}");
+        Some(s)
+    }
+
+    /// Parse a cached outcome back; strict — any shape mismatch is an
+    /// error, and the caller falls back to re-running the point.
+    pub fn from_cache_json(text: &str) -> Result<PointOutcome, String> {
+        use emu_core::jsonread::{parse, Value};
+        let v = parse(text)?;
+        let index = v
+            .get("index")
+            .and_then(Value::as_u64)
+            .ok_or("missing index")? as usize;
+        let pair = |x: &Value| -> Option<(String, String)> {
+            match x {
+                Value::Arr(kv) if kv.len() == 2 => {
+                    Some((kv[0].as_str()?.to_string(), kv[1].as_str()?.to_string()))
+                }
+                _ => None,
+            }
+        };
+        let axes = match v.get("axes") {
+            Some(Value::Arr(xs)) => xs
+                .iter()
+                .map(|x| pair(x).ok_or("bad axis pair"))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing axes".into()),
+        };
+        let metrics = match v.get("metrics") {
+            Some(Value::Obj(pairs)) => pairs
+                .iter()
+                .map(|(k, x)| x.as_f64().map(|f| (k.clone(), f)).ok_or("bad metric"))
+                .collect::<Result<BTreeMap<_, _>, _>>()?,
+            _ => return Err("missing metrics".into()),
+        };
+        let fingerprints = match v.get("fingerprints") {
+            Some(Value::Arr(xs)) => xs
+                .iter()
+                .map(|x| match x {
+                    Value::Arr(nf) if nf.len() == 2 => {
+                        let n = nf[0].as_u64().ok_or("bad fingerprint count")? as usize;
+                        let fp = nf[1].as_str().ok_or("bad fingerprint body")?.to_string();
+                        Ok((n, fp))
+                    }
+                    _ => Err("bad fingerprint pair".to_string()),
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing fingerprints".into()),
+        };
+        let problems = match v.get("problems") {
+            Some(Value::Arr(xs)) => xs
+                .iter()
+                .map(|x| x.as_str().map(str::to_string).ok_or("bad problem"))
+                .collect::<Result<Vec<_>, _>>()?,
+            _ => return Err("missing problems".into()),
+        };
+        Ok(PointOutcome {
+            index,
+            axes,
+            metrics,
+            fingerprints,
+            problems,
+        })
+    }
+}
+
+/// Whether scenario points may be served from the result cache: the
+/// cache must be on and no process-global telemetry armed (a traced or
+/// report-collecting run must execute every point).
+fn cache_active() -> bool {
+    runcache::enabled()
+        && !emu_core::trace::collecting_reports()
+        && !emu_core::trace::global().enabled()
+        && !emu_core::engine::phase_profile()
+}
+
+/// The scenario text hashed into cache keys: the canonical print of a
+/// copy whose machine-override and fault lines are stable-sorted by
+/// key. Reordering semantically order-free lines must not change the
+/// digest; duplicate keys keep their relative (last-wins) order.
+pub fn digest_form(s: &Scenario) -> String {
+    let mut c = s.clone();
+    c.machine_overrides.sort_by(|a, b| a.0.cmp(&b.0));
+    c.faults.sort_by(|a, b| a.0.cmp(&b.0));
+    crate::parse::print(&c)
+}
+
+/// [`run_scenario`], serving unchanged points from the result cache.
+///
+/// The digest covers the scenario's canonical printed text (override
+/// lines normalized by [`digest_form`]) plus the fully-resolved point
+/// (machine config, workload config, sweep axes), so any edit to the
+/// `.scn` file or to a preset lands on a different key. Assertions are
+/// always re-evaluated over the (cached or fresh) outcomes. With the
+/// cache disabled this is exactly [`run_scenario`].
+pub fn run_scenario_cached(s: &Scenario) -> ScenarioOutcome {
+    if !cache_active() {
+        return run_scenario(s);
+    }
+    let points = match crate::resolve::resolve(s) {
+        Ok(p) => p,
+        Err(e) => {
+            return ScenarioOutcome {
+                name: s.name.clone(),
+                points: Vec::new(),
+                failures: vec![format!("resolve: {e}")],
+            }
+        }
+    };
+    let printed = crate::parse::print(s);
+    let hashed = digest_form(s);
+    let outcomes: Vec<PointOutcome> = points
+        .iter()
+        .map(|p| {
+            let mut k = runcache::Key::new("scn-point");
+            k.record("scenario", &hashed);
+            k.record("index", &p.index.to_string());
+            k.record_debug("point", p);
+            let digest = k.digest();
+            if let Some(e) = runcache::lookup(&digest) {
+                if let Ok(o) = PointOutcome::from_cache_json(&e.payload) {
+                    return o;
+                }
+            }
+            let o = run_point(s, p);
+            if let Some(payload) = o.cache_json() {
+                runcache::publish(
+                    &digest,
+                    &runcache::Entry {
+                        kind: "scn-point".into(),
+                        label: format!("{} #{}", s.name, p.index),
+                        payload,
+                        recipe: Some(format!("scn:{}\n{printed}", p.index)),
+                    },
+                );
+            }
+            o
+        })
+        .collect();
+    let failures = evaluate(s, &outcomes);
+    ScenarioOutcome {
+        name: s.name.clone(),
+        points: outcomes,
+        failures,
+    }
+}

@@ -110,6 +110,122 @@ enum Plan {
     ScenarioPoint(Box<scenario::Scenario>, scenario::Point),
 }
 
+/// Whether daemon runs may be served from (or published to) the result
+/// cache right now: the cache must be enabled and no process-global
+/// telemetry armed.
+fn cache_active() -> bool {
+    runcache::enabled()
+        && !emu_core::trace::collecting_reports()
+        && !emu_core::trace::global().enabled()
+        && !emu_core::engine::phase_profile()
+}
+
+/// Everything the pool needs to cache one run: the content digest, a
+/// display label, and the self-contained re-run recipe consumed by
+/// `simctl cache verify`.
+pub struct CachePlan {
+    /// Content digest the report is stored under.
+    pub digest: String,
+    /// Human-readable label for `cache stats`.
+    pub label: String,
+    /// Re-run recipe (`case:…` or `stream\nk=v…`).
+    pub recipe: String,
+}
+
+/// The cache plan for a run request, or `None` when the request is not
+/// cacheable: cache off, telemetry armed, unresolvable spec, or a
+/// scenario point (those go through the scenario crate's own cache).
+///
+/// The digest hashes fully-resolved content — the decoded case
+/// re-encoded in canonical form, or the resolved machine + stream
+/// configs — so formatting differences hash identically and a preset
+/// definition change lands on a new key. Event/deadline budgets are
+/// excluded: they do not alter the report of a run that completes.
+pub fn cache_plan(spec: &Spec) -> Option<CachePlan> {
+    if !cache_active() {
+        return None;
+    }
+    match resolve(spec).ok()? {
+        Plan::Case(case) => {
+            let text = conformance::fuzz::encode(&case);
+            let mut k = runcache::Key::new("simd-case");
+            k.record("case", &text);
+            Some(CachePlan {
+                digest: k.digest(),
+                label: format!(
+                    "case {}n/{}t",
+                    case.cfg.total_nodelets(),
+                    case.threads.len()
+                ),
+                recipe: format!("case:{text}"),
+            })
+        }
+        Plan::Stream(cfg, sc) => {
+            let Spec::Stream {
+                preset,
+                elems,
+                threads,
+                kernel,
+                strategy,
+                single_nodelet,
+                stack_touch_period,
+            } = spec
+            else {
+                return None;
+            };
+            let mut k = runcache::Key::new("simd-stream");
+            k.record_debug("machine", &cfg);
+            k.record_debug("stream", &sc);
+            Some(CachePlan {
+                digest: k.digest(),
+                label: format!("stream {preset} {elems}x{threads}"),
+                recipe: format!(
+                    "stream\npreset={preset}\nelems={elems}\nthreads={threads}\n\
+                     kernel={kernel}\nstrategy={strategy}\nsingle_nodelet={single_nodelet}\n\
+                     stack_touch_period={stack_touch_period}"
+                ),
+            })
+        }
+        Plan::ScenarioPoint(..) => None,
+    }
+}
+
+/// Rebuild the [`Spec`] a `stream` recipe describes (the inverse of
+/// [`cache_plan`]'s recipe rendering). Used by `simctl cache verify`.
+pub fn spec_from_stream_recipe(recipe: &str) -> Result<Spec, String> {
+    let mut preset = None;
+    let mut elems = None;
+    let mut threads = None;
+    let mut kernel = None;
+    let mut strategy = None;
+    let mut single_nodelet = None;
+    let mut stack_touch_period = None;
+    for line in recipe.lines().skip(1) {
+        let (key, val) = line
+            .split_once('=')
+            .ok_or_else(|| format!("bad recipe line {line:?}"))?;
+        match key {
+            "preset" => preset = Some(val.to_string()),
+            "elems" => elems = val.parse().ok(),
+            "threads" => threads = val.parse().ok(),
+            "kernel" => kernel = Some(val.to_string()),
+            "strategy" => strategy = Some(val.to_string()),
+            "single_nodelet" => single_nodelet = val.parse().ok(),
+            "stack_touch_period" => stack_touch_period = val.parse().ok(),
+            other => return Err(format!("unknown recipe key {other:?}")),
+        }
+    }
+    Ok(Spec::Stream {
+        preset: preset.ok_or("recipe missing preset")?,
+        elems: elems.ok_or("recipe missing elems")?,
+        threads: threads.ok_or("recipe missing threads")?,
+        kernel: kernel.ok_or("recipe missing kernel")?,
+        strategy: strategy.ok_or("recipe missing strategy")?,
+        single_nodelet: single_nodelet.ok_or("recipe missing single_nodelet")?,
+        stack_touch_period: stack_touch_period.ok_or("recipe missing stack_touch_period")?,
+    })
+}
+
 fn resolve(spec: &Spec) -> Result<Plan, ExecError> {
     match spec {
         Spec::Case { text } => {

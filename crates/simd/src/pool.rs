@@ -19,7 +19,7 @@
 //! the Prometheus exporter, and `simctl top`.
 
 use crate::exec::{self, WarmSlot};
-use crate::proto::{err_response, ok_response, Chaos, ErrorKind, RunRequest};
+use crate::proto::{cached_response, err_response, ok_response, Chaos, ErrorKind, RunRequest};
 use emu_core::obs;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -45,6 +45,7 @@ struct PoolObs {
     failed_panic: &'static obs::Counter,
     warm_hits: &'static obs::Counter,
     cold_builds: &'static obs::Counter,
+    served_from_cache: &'static obs::Counter,
     respawns: &'static obs::Counter,
     selfcheck_runs: &'static obs::Counter,
     selfcheck_failures: &'static obs::Counter,
@@ -70,6 +71,7 @@ fn pool_obs() -> &'static PoolObs {
         failed_panic: obs::counter("simd_pool_failed_panic_total"),
         warm_hits: obs::counter("simd_pool_warm_hits_total"),
         cold_builds: obs::counter("simd_pool_cold_builds_total"),
+        served_from_cache: obs::counter("simd_pool_served_from_cache_total"),
         respawns: obs::counter("simd_pool_respawns_total"),
         selfcheck_runs: obs::counter("simd_pool_selfcheck_runs_total"),
         selfcheck_failures: obs::counter("simd_pool_selfcheck_failures_total"),
@@ -153,6 +155,9 @@ pub struct PoolStats {
     pub warm_hits: AtomicU64,
     /// Successful runs that built a fresh engine.
     pub cold_builds: AtomicU64,
+    /// Successful runs answered from the content-addressed result
+    /// cache at admission, without touching a worker.
+    pub served_from_cache: AtomicU64,
     /// Workers respawned by the supervisor.
     pub respawns: AtomicU64,
     /// Warm results re-validated against a cold run.
@@ -183,6 +188,7 @@ pub struct StatsSnapshot {
     pub failed_panic: u64,
     pub warm_hits: u64,
     pub cold_builds: u64,
+    pub served_from_cache: u64,
     pub respawns: u64,
     pub selfcheck_runs: u64,
     pub selfcheck_failures: u64,
@@ -208,8 +214,9 @@ impl StatsSnapshot {
             "{{\"submitted\":{},\"accepted\":{},\"rejected_busy\":{},\"rejected_draining\":{},\
              \"completed_ok\":{},\"failed_proto\":{},\"failed_sim\":{},\"failed_audit\":{},\
              \"failed_event_cap\":{},\"failed_deadline\":{},\"failed_panic\":{},\
-             \"warm_hits\":{},\"cold_builds\":{},\"respawns\":{},\"selfcheck_runs\":{},\
-             \"selfcheck_failures\":{},\"routed_sticky\":{},\"in_flight\":{}}}",
+             \"warm_hits\":{},\"cold_builds\":{},\"served_from_cache\":{},\"respawns\":{},\
+             \"selfcheck_runs\":{},\"selfcheck_failures\":{},\"routed_sticky\":{},\
+             \"in_flight\":{}}}",
             self.submitted,
             self.accepted,
             self.rejected_busy,
@@ -223,6 +230,7 @@ impl StatsSnapshot {
             self.failed_panic,
             self.warm_hits,
             self.cold_builds,
+            self.served_from_cache,
             self.respawns,
             self.selfcheck_runs,
             self.selfcheck_failures,
@@ -251,6 +259,7 @@ impl PoolStats {
             failed_panic: g(&self.failed_panic),
             warm_hits: g(&self.warm_hits),
             cold_builds: g(&self.cold_builds),
+            served_from_cache: g(&self.served_from_cache),
             respawns: g(&self.respawns),
             selfcheck_runs: g(&self.selfcheck_runs),
             selfcheck_failures: g(&self.selfcheck_failures),
@@ -278,10 +287,11 @@ impl PoolStats {
                 s.in_flight
             ));
         }
-        if s.completed_ok != s.warm_hits + s.cold_builds {
+        if s.completed_ok != s.warm_hits + s.cold_builds + s.served_from_cache {
             out.push(format!(
-                "engine accounting leak: completed_ok {} != warm_hits {} + cold_builds {}",
-                s.completed_ok, s.warm_hits, s.cold_builds
+                "engine accounting leak: completed_ok {} != warm_hits {} + cold_builds {} \
+                 + served_from_cache {}",
+                s.completed_ok, s.warm_hits, s.cold_builds, s.served_from_cache
             ));
         }
         if s.selfcheck_failures > 0 {
@@ -435,6 +445,26 @@ impl Pool {
             self.stats.rejected_draining.fetch_add(1, Ordering::SeqCst);
             m.rejected_draining.inc();
             return Err(Reject::Draining);
+        }
+        // Result-cache short circuit: a request whose digest is already
+        // stored is answered here, before it ever counts against the
+        // in-flight cap or reaches a worker. `cache_plan` is `None`
+        // unless the cache is enabled and no telemetry is armed, so the
+        // probe is inert by default; chaos requests always dispatch so
+        // fault injection is never masked by a stale hit.
+        if req.chaos.is_none() {
+            if let Some(plan) = exec::cache_plan(&req.spec) {
+                if let Some(entry) = runcache::lookup(&plan.digest) {
+                    self.stats.accepted.fetch_add(1, Ordering::SeqCst);
+                    m.accepted.inc();
+                    self.stats.completed_ok.fetch_add(1, Ordering::SeqCst);
+                    m.completed_ok.inc();
+                    self.stats.served_from_cache.fetch_add(1, Ordering::SeqCst);
+                    m.served_from_cache.inc();
+                    let _ = resp.send(cached_response(req.id, &entry.payload));
+                    return Ok(());
+                }
+            }
         }
         let cap = self.shared.cfg.queue_cap.max(1) as u64;
         loop {
@@ -630,6 +660,21 @@ fn handle_run(idx: usize, slot: &mut WarmSlot, run: RunJob, shared: &Shared, wob
                     m.cold_builds.inc();
                 }
                 parked_key = Some(out.config_key.clone());
+                // Publish for future `submit` probes. No-op unless the
+                // cache is on and the run is cacheable (`cache_plan`).
+                if req.chaos.is_none() {
+                    if let Some(plan) = exec::cache_plan(&req.spec) {
+                        runcache::publish(
+                            &plan.digest,
+                            &runcache::Entry {
+                                kind: "simd-run".into(),
+                                label: plan.label,
+                                payload: out.report_json.clone(),
+                                recipe: Some(plan.recipe),
+                            },
+                        );
+                    }
+                }
                 ok_response(id, idx, out.warm, &out.report_json)
             } else {
                 stats.failed_audit.fetch_add(1, Ordering::SeqCst);

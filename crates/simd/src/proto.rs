@@ -185,6 +185,14 @@ pub fn ok_response(id: u64, worker: usize, warm: bool, report: &str) -> String {
     format!("{{\"id\":{id},\"ok\":true,\"worker\":{worker},\"warm\":{warm},\"report\":{report}}}")
 }
 
+/// Render a success response served from the content-addressed result
+/// cache without dispatching to a worker. Same shape contract as
+/// [`ok_response`] — the report is embedded verbatim and last — with a
+/// `"cached":true` marker instead of worker/warm provenance.
+pub fn cached_response(id: u64, report: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"cached\":true,\"warm\":false,\"report\":{report}}}")
+}
+
 /// Render a failure response.
 pub fn err_response(
     id: u64,

@@ -212,6 +212,19 @@ fn render(opts: &TopOpts, prev: Option<(&Sample, Duration)>, cur: &Sample) -> St
         cur.counter("simd_pool_routed_sticky_total"),
         cur.counter("simd_pool_selfcheck_runs_total"),
     ));
+    // Result-cache line: daemon-side admission hits plus the process
+    // cache counters. All zeros (and a quiet line) unless EMU_CACHE is
+    // on in the daemon.
+    let cache_hits = cur.counter("emu_cache_hits_total");
+    let cache_misses = cur.counter("emu_cache_misses_total");
+    if cache_hits + cache_misses + cur.counter("emu_cache_stores_total") > 0 {
+        line(format!(
+            "cache    served {}  hits {cache_hits}  misses {cache_misses}  stores {}  bytes {}",
+            cur.counter("simd_pool_served_from_cache_total"),
+            cur.counter("emu_cache_stores_total"),
+            cur.counter("emu_cache_bytes_written_total"),
+        ));
+    }
     for (title, name) in [
         ("queue-wait", "simd_pool_queue_wait_ns"),
         ("execute", "simd_pool_execute_ns"),
@@ -388,6 +401,28 @@ mod tests {
         let frame = render(&opts, Some((&a, Duration::from_secs(2))), &b);
         assert!(frame.contains("req/s 10.0"), "{frame}");
         assert!(frame.contains("w0 25%"), "{frame}");
+    }
+
+    #[test]
+    fn cache_line_appears_only_when_the_cache_saw_traffic() {
+        let quiet = parse_sample(REPLY).unwrap();
+        let opts = TopOpts {
+            once: true,
+            ..TopOpts::default()
+        };
+        assert!(!render(&opts, None, &quiet).contains("cache    "));
+
+        let mut busy = quiet.clone();
+        busy.counters.insert("emu_cache_hits_total".into(), 5);
+        busy.counters.insert("emu_cache_misses_total".into(), 2);
+        busy.counters.insert("emu_cache_stores_total".into(), 2);
+        busy.counters
+            .insert("simd_pool_served_from_cache_total".into(), 5);
+        let frame = render(&opts, None, &busy);
+        assert!(
+            frame.contains("cache    served 5  hits 5  misses 2  stores 2"),
+            "{frame}"
+        );
     }
 
     #[test]

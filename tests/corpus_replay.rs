@@ -3,9 +3,10 @@
 //! must run clean under the full scenario runner (lockstep queue
 //! backends, sharded scheduler, run audit, expect blocks), forever.
 //!
-//! Legacy `.case` files still replay through the corpus codec; that
-//! shim keeps old repro attachments usable for one release while
-//! everything new lands as `.scn` (see `simctl scenario promote`).
+//! The corpus is `.scn`-only. The `.case` text codec itself remains
+//! load-bearing (fuzz repros, `scenario promote`, and the result
+//! cache's `case:` recipes all speak it), so its round-trip stays
+//! pinned here on an in-memory fixture.
 
 use std::fs;
 use std::path::Path;
@@ -36,36 +37,27 @@ fn corpus_replays_clean() {
     );
 }
 
-/// One-release shim: legacy `.case` repros must still decode and
-/// replay clean through the corpus codec, and must lower to the exact
-/// same engine-level case as their promoted `.scn` sibling.
+/// The `.case` codec round trip: encode ∘ decode is the identity on
+/// encoded form, and decode normalizes whatever formatting a repro was
+/// written with. The cache relies on this normalization for stable
+/// `simd-case` digests.
 #[test]
-fn legacy_case_files_still_replay_and_match_their_scn_form() {
+fn case_codec_round_trips_on_a_fixture() {
+    let mut rng = desim::rng::rng_from_seed(3);
+    let case = conformance::fuzz::gen_case(&mut rng);
+    let encoded = conformance::fuzz::encode(&case);
+    let decoded = conformance::fuzz::decode(&encoded).unwrap();
+    assert_eq!(conformance::fuzz::encode(&decoded), encoded);
+
+    // No committed .case files remain; repros land as .scn now.
     let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
-    let mut replayed = 0;
     for entry in fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
-        if path.extension().and_then(|e| e.to_str()) != Some("case") {
-            continue;
-        }
-        let text = fs::read_to_string(&path).unwrap();
-        let case =
-            conformance::fuzz::decode(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
-        let problems = conformance::fuzz::run_case(&case);
-        assert!(problems.is_empty(), "{}: {problems:#?}", path.display());
-
-        let scn_path = path.with_extension("scn");
-        let scn_text = fs::read_to_string(&scn_path)
-            .unwrap_or_else(|e| panic!("{}: promoted sibling missing: {e}", scn_path.display()));
-        let s = scenario::parse(&scn_text).unwrap();
-        let lowered = scenario::case::case_from_scenario(&s).unwrap();
-        assert_eq!(
-            conformance::fuzz::encode(&lowered),
-            conformance::fuzz::encode(&case),
-            "{}: .case and .scn forms diverge",
+        assert_ne!(
+            path.extension().and_then(|e| e.to_str()),
+            Some("case"),
+            "{}: stray legacy .case file",
             path.display()
         );
-        replayed += 1;
     }
-    assert!(replayed >= 1, "shim witness missing");
 }
